@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the software crypto substrate — the per-operation
+//! costs that define the paper's `SW` baseline (and that the cost model
+//! in `qtls-sim` abstracts).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qtls_crypto::ecc::{self, NamedCurve};
+use qtls_crypto::kdf;
+use qtls_crypto::sha256::Sha256;
+use qtls_crypto::test_keys::test_rsa_2048;
+use qtls_crypto::TestRng;
+use std::hint::black_box;
+
+fn bench_rsa(c: &mut Criterion) {
+    let key = test_rsa_2048();
+    let mut rng = TestRng::new(1);
+    let mut group = c.benchmark_group("rsa2048");
+    group.sample_size(20);
+    group.bench_function("sign_pkcs1_sha256", |b| {
+        b.iter(|| key.sign_pkcs1_sha256(black_box(b"server key exchange")).unwrap())
+    });
+    let ct = key
+        .public()
+        .encrypt_pkcs1(&[7u8; 48], &mut rng)
+        .unwrap();
+    group.bench_function("decrypt_premaster", |b| {
+        b.iter(|| key.decrypt_pkcs1(black_box(&ct)).unwrap())
+    });
+    let sig = key.sign_pkcs1_sha256(b"msg").unwrap();
+    group.bench_function("verify", |b| {
+        b.iter(|| key.public().verify_pkcs1_sha256(black_box(b"msg"), &sig).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_ecc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecdsa_sign");
+    group.sample_size(10);
+    for curve in [NamedCurve::P256, NamedCurve::P384, NamedCurve::B283, NamedCurve::K283] {
+        let mut rng = TestRng::new(2);
+        let kp = ecc::generate_keypair(curve, &mut rng);
+        group.bench_function(curve.name(), |b| {
+            let mut nonce_rng = TestRng::new(3);
+            b.iter(|| ecc::ecdsa_sign(curve, &kp.private, black_box(b"transcript"), &mut nonce_rng))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ecdh");
+    group.sample_size(10);
+    for curve in [NamedCurve::P256, NamedCurve::P384] {
+        let mut rng = TestRng::new(4);
+        let alice = ecc::generate_keypair(curve, &mut rng);
+        let bob = ecc::generate_keypair(curve, &mut rng);
+        group.bench_function(format!("derive_{}", curve.name()), |b| {
+            b.iter(|| ecc::ecdh(curve, &alice.private, black_box(&bob.public)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_symmetric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_cipher");
+    // The 16 KB record of the secure-data-transfer phase (§2.1).
+    let record = vec![0x5au8; 16 * 1024];
+    group.throughput(Throughput::Bytes(record.len() as u64));
+    group.bench_function("aes128_cbc_hmac_sha1_16kb", |b| {
+        b.iter(|| {
+            qtls_tls::provider::software_encrypt(
+                [1; 16],
+                &[2; 20],
+                [3; 16],
+                black_box(&record),
+                b"aad",
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("kdf");
+    group.bench_function("tls12_prf_key_block", |b| {
+        b.iter(|| kdf::prf_tls12(black_box(b"master"), b"key expansion", b"randoms", 104))
+    });
+    group.bench_function("hkdf_expand_label", |b| {
+        b.iter(|| kdf::hkdf_expand_label(black_box(&[7u8; 32]), b"s hs traffic", &[1; 32], 32))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("hash");
+    let data = vec![0u8; 16 * 1024];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("sha256_16kb", |b| b.iter(|| Sha256::digest(black_box(&data))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_rsa, bench_ecc, bench_symmetric);
+criterion_main!(benches);

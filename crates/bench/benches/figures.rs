@@ -1,0 +1,47 @@
+//! Regenerate every table and figure of the paper's evaluation section
+//! on the simulated testbed. Runs under `cargo bench --bench figures`
+//! (non-criterion harness); pass figure names to restrict, `--full` for
+//! full fidelity.
+//!
+//! The same runners back `cargo run -p qtls-sim --bin figures`.
+
+use qtls_sim::experiments::{self, Fidelity, Figure};
+
+/// A named figure generator.
+type FigureRunner = (&'static str, Box<dyn Fn() -> Figure>);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    // `cargo bench` passes `--bench`; ignore flags.
+    let wanted: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|s| !s.starts_with("--"))
+        .collect();
+    let f = if full { Fidelity::FULL } else { Fidelity::QUICK };
+    let all: Vec<FigureRunner> = vec![
+        ("table1", Box::new(experiments::table1)),
+        ("fig7a", Box::new(move || experiments::fig7a(f))),
+        ("fig7b", Box::new(move || experiments::fig7b(f))),
+        ("fig7c", Box::new(move || experiments::fig7c(f))),
+        ("fig8", Box::new(move || experiments::fig8(f))),
+        ("fig9a", Box::new(move || experiments::fig9a(f))),
+        ("fig9b", Box::new(move || experiments::fig9b(f))),
+        ("fig10", Box::new(move || experiments::fig10(f))),
+        ("fig11", Box::new(move || experiments::fig11(f))),
+        ("fig12a", Box::new(move || experiments::fig12a(f))),
+        ("fig12b", Box::new(move || experiments::fig12b(f))),
+        ("fig12c", Box::new(move || experiments::fig12c(f))),
+        ("thresholds", Box::new(move || experiments::threshold_sweep(f))),
+    ];
+    for (name, runner) in all {
+        if !wanted.is_empty() && !wanted.contains(&name) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let fig = runner();
+        println!("{}", fig.render());
+        eprintln!("[{name} generated in {:.1?}]\n", t0.elapsed());
+    }
+}

@@ -1,0 +1,186 @@
+//! Micro-benchmarks of the offload framework's moving parts — the
+//! ablations DESIGN.md §7 calls out:
+//!
+//! - fiber pause/resume cost (the "slight performance penalty" of fiber
+//!   async, §4.1);
+//! - kernel-bypass async queue vs FD-based notification (§4.4);
+//! - ring push/pop (the request/response ring pair);
+//! - heuristic poll decision cost (§4.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qtls_core::{
+    start_job, AsyncQueue, EngineMode, FdSelector, HeuristicConfig, HeuristicPoller,
+    OffloadEngine, StartResult, VirtualFd,
+};
+use qtls_qat::ring::Ring;
+use qtls_qat::{CryptoOp, QatConfig, QatDevice};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_fiber(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fiber");
+    group.bench_function("start_finish_no_pause", |b| {
+        b.iter(|| match start_job(|| black_box(42)) {
+            StartResult::Finished(v) => v,
+            StartResult::Paused(_) => unreachable!(),
+        })
+    });
+    group.bench_function("start_pause_resume", |b| {
+        b.iter(|| {
+            let job = match start_job(|| {
+                qtls_core::pause_job();
+                7
+            }) {
+                StartResult::Paused(j) => j,
+                StartResult::Finished(_) => unreachable!(),
+            };
+            match job.resume() {
+                StartResult::Finished(v) => v,
+                StartResult::Paused(_) => unreachable!(),
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_notification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("notification");
+    // Kernel-bypass: push + drain of the application async queue.
+    let queue: AsyncQueue<u64> = AsyncQueue::new();
+    group.bench_function("kernel_bypass_queue", |b| {
+        b.iter(|| {
+            queue.push(black_box(1u64));
+            queue.pop().unwrap()
+        })
+    });
+    // FD-based: signal + poll_ready + clear through the selector.
+    let selector = FdSelector::new();
+    let fd = Arc::new(VirtualFd::new(1));
+    selector.register(Arc::clone(&fd));
+    group.bench_function("fd_signal_poll_clear", |b| {
+        b.iter(|| {
+            fd.signal();
+            let ready = selector.poll_ready();
+            fd.clear();
+            ready
+        })
+    });
+    group.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring");
+    let ring: Ring<u64> = Ring::new(64);
+    group.bench_function("push_pop", |b| {
+        b.iter(|| {
+            ring.push(black_box(9)).ok();
+            ring.pop().unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_heuristic(c: &mut Criterion) {
+    // Decision cost of the heuristic check (called wherever a crypto op
+    // may be involved — must be nearly free).
+    let dev = QatDevice::new(QatConfig {
+        endpoints: 1,
+        engines_per_endpoint: 0,
+        ring_capacity: 256,
+        ..QatConfig::functional_small()
+    });
+    let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Async));
+    let poller = HeuristicPoller::new(Arc::clone(&engine), HeuristicConfig::default());
+    let mut group = c.benchmark_group("heuristic");
+    group.bench_function("check_no_inflight", |b| {
+        b.iter(|| poller.check(black_box(100)))
+    });
+    group.finish();
+}
+
+fn bench_offload_roundtrip(c: &mut Criterion) {
+    // Full blocking offload of a PRF through the threaded device model:
+    // submit → engine thread computes → poll → callback.
+    let dev = QatDevice::new(QatConfig::functional_small());
+    let engine = OffloadEngine::new(dev.alloc_instance(), EngineMode::Blocking);
+    let mut group = c.benchmark_group("offload");
+    group.sample_size(30);
+    group.bench_function("blocking_prf_roundtrip", |b| {
+        b.iter(|| {
+            engine
+                .offload(CryptoOp::Prf {
+                    secret: b"s".to_vec(),
+                    label: b"l".to_vec(),
+                    seed: b"x".to_vec(),
+                    out_len: 48,
+                })
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fiber_vs_stack(c: &mut Criterion) {
+    // §4.1's trade-off: "the fiber async implementation has a slight
+    // performance penalty due to the fiber management and switches" vs
+    // the state-flag (stack) design. Both drive one PRF offload to
+    // completion against the same device.
+    use qtls_core::{StackAsyncOp, StackPoll};
+    let dev = QatDevice::new(QatConfig::functional_small());
+    let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Async));
+    let op = || CryptoOp::Prf {
+        secret: b"s".to_vec(),
+        label: b"l".to_vec(),
+        seed: b"x".to_vec(),
+        out_len: 16,
+    };
+    let mut group = c.benchmark_group("async_impl");
+    group.sample_size(30);
+    let eng = Arc::clone(&engine);
+    group.bench_function("fiber_offload_roundtrip", |b| {
+        b.iter(|| {
+            let e2 = Arc::clone(&eng);
+            let mut job = match start_job(move || e2.offload(op())) {
+                StartResult::Paused(j) => j,
+                StartResult::Finished(_) => unreachable!(),
+            };
+            loop {
+                eng.poll_all();
+                match job.resume() {
+                    StartResult::Finished(r) => break r.unwrap(),
+                    StartResult::Paused(j) => {
+                        job = j;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        })
+    });
+    let eng = Arc::clone(&engine);
+    group.bench_function("stack_offload_roundtrip", |b| {
+        b.iter(|| {
+            let s = StackAsyncOp::new();
+            assert!(matches!(s.drive(&eng, op), StackPoll::WantAsync));
+            loop {
+                eng.poll_all();
+                match s.drive(&eng, op) {
+                    StackPoll::Ready(r) => break r.unwrap(),
+                    StackPoll::WantAsync => std::thread::yield_now(),
+                    StackPoll::WantRetry => unreachable!(),
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fiber,
+    bench_notification,
+    bench_ring,
+    bench_heuristic,
+    bench_offload_roundtrip,
+    bench_fiber_vs_stack
+);
+criterion_main!(benches);

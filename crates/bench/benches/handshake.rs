@@ -1,0 +1,86 @@
+//! End-to-end functional handshake benchmarks: real TLS sessions with
+//! real crypto, in software and through the threaded QAT device model.
+//! These measure the *functional* stack (wall clock on this machine),
+//! complementing the simulated-testbed figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qtls_crypto::ecc::NamedCurve;
+use qtls_tls::client::ClientSession;
+use qtls_tls::provider::CryptoProvider;
+use qtls_tls::server::{ServerConfig, ServerSession};
+use qtls_tls::suite::CipherSuite;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static SEED: AtomicU64 = AtomicU64::new(0x1000_0000);
+
+fn pump(client: &mut ClientSession, server: &mut ServerSession) {
+    for _ in 0..32 {
+        let c = client.take_output();
+        let s = server.take_output();
+        if c.is_empty() && s.is_empty() {
+            break;
+        }
+        if !c.is_empty() {
+            server.feed(&c);
+            server.process().unwrap();
+        }
+        if !s.is_empty() {
+            client.feed(&s);
+            client.process().unwrap();
+        }
+    }
+    assert!(server.is_established() && client.is_established());
+}
+
+fn full_handshake(config: &Arc<ServerConfig>, provider: CryptoProvider, suite: CipherSuite) {
+    let seed = SEED.fetch_add(2, Ordering::Relaxed);
+    let mut server = ServerSession::new(Arc::clone(config), provider, seed);
+    let mut client = ClientSession::new(
+        CryptoProvider::Software,
+        suite,
+        NamedCurve::P256,
+        None,
+        seed + 1,
+    );
+    client.start().unwrap();
+    pump(&mut client, &mut server);
+}
+
+fn bench_handshakes(c: &mut Criterion) {
+    let config = ServerConfig::test_default();
+    let mut group = c.benchmark_group("functional_handshake");
+    group.sample_size(10);
+    for suite in CipherSuite::ALL {
+        group.bench_function(format!("sw_{}", suite.name()), |b| {
+            b.iter(|| full_handshake(&config, CryptoProvider::Software, suite))
+        });
+    }
+    group.finish();
+}
+
+fn bench_offloaded_handshake(c: &mut Criterion) {
+    use qtls_core::{EngineMode, OffloadEngine};
+    use qtls_qat::{QatConfig, QatDevice};
+    let config = ServerConfig::test_default();
+    let device = QatDevice::new(QatConfig::functional_small());
+    let mut group = c.benchmark_group("functional_handshake");
+    group.sample_size(10);
+    let engine = Arc::new(OffloadEngine::new(
+        device.alloc_instance(),
+        EngineMode::Blocking,
+    ));
+    group.bench_function("offload_blocking_ECDHE-RSA", |b| {
+        b.iter(|| {
+            full_handshake(
+                &config,
+                CryptoProvider::offload(Arc::clone(&engine)),
+                CipherSuite::EcdheRsa,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_handshakes, bench_offloaded_handshake);
+criterion_main!(benches);

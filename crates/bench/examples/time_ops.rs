@@ -1,0 +1,19 @@
+fn main() {
+    use qtls_crypto::ecc::{self, NamedCurve};
+    use qtls_crypto::TestRng;
+    let mut rng = TestRng::new(1);
+    for curve in [NamedCurve::B283, NamedCurve::B409, NamedCurve::P384] {
+        let kp = ecc::generate_keypair(curve, &mut rng);
+        let t0 = std::time::Instant::now();
+        let n = 5;
+        for _ in 0..n {
+            let _ = ecc::ecdsa_sign(curve, &kp.private, b"m", &mut rng);
+        }
+        println!("{:?} sign: {:?}/op", curve, t0.elapsed() / n);
+    }
+    // RSA
+    let key = qtls_crypto::test_keys::test_rsa_2048();
+    let t0 = std::time::Instant::now();
+    for _ in 0..10 { let _ = key.sign_pkcs1_sha256(b"m"); }
+    println!("rsa2048 sign: {:?}/op", t0.elapsed() / 10);
+}

@@ -1,0 +1,13 @@
+//! # qtls-bench — benchmark harnesses
+//!
+//! - `benches/crypto.rs`: criterion micro-benchmarks of the software
+//!   crypto substrate (the per-op costs behind the `SW` baseline);
+//! - `benches/framework.rs`: criterion micro-benchmarks of the offload
+//!   framework's moving parts (rings, fibers, notification schemes,
+//!   heuristic poll decision) — the §4.4/§4.1 ablations;
+//! - `benches/handshake.rs`: end-to-end functional handshakes through
+//!   the real TLS stack and the threaded QAT device model;
+//! - `benches/figures.rs`: regenerates every table and figure of the
+//!   paper's evaluation on the simulated testbed (see EXPERIMENTS.md).
+
+#![warn(missing_docs)]

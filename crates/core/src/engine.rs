@@ -1,0 +1,431 @@
+//! The QAT Engine layer (paper §3.2, §4.3): the bridge between the TLS
+//! library and the QAT driver.
+//!
+//! Responsibilities, exactly as in the paper:
+//!
+//! - submit crypto requests through the driver's non-blocking API and
+//!   register a response callback;
+//! - in async mode, pause the current offload job after submission
+//!   ("crypto pause") and hand the result over at resume time;
+//! - in straight-offload mode (`QAT+S`), block the caller until the
+//!   response arrives — reproducing the offload-I/O blocking pathology
+//!   of §2.4;
+//! - maintain the per-class inflight counters `R_asym`, `R_cipher`,
+//!   `R_prf` and expose their sum "with a new engine command" for the
+//!   heuristic polling scheme.
+
+use crate::fiber;
+use parking_lot::{Condvar, Mutex};
+use qtls_crypto::CryptoError;
+use qtls_qat::{make_request, CryptoInstance, CryptoOp, CryptoResult, OpClass, SubmitFull};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Inflight request counters (paper §4.3: collected in the QAT Engine
+/// layer "for accuracy").
+#[derive(Debug, Default)]
+pub struct InflightCounters {
+    /// Inflight asymmetric requests.
+    pub asym: AtomicU64,
+    /// Inflight cipher requests.
+    pub cipher: AtomicU64,
+    /// Inflight PRF requests.
+    pub prf: AtomicU64,
+}
+
+impl InflightCounters {
+    fn counter(&self, class: OpClass) -> &AtomicU64 {
+        match class {
+            OpClass::Asym => &self.asym,
+            OpClass::Cipher => &self.cipher,
+            OpClass::Prf => &self.prf,
+        }
+    }
+
+    /// `R_total = R_asym + R_cipher + R_prf`.
+    pub fn total(&self) -> u64 {
+        self.asym.load(Ordering::Relaxed)
+            + self.cipher.load(Ordering::Relaxed)
+            + self.prf.load(Ordering::Relaxed)
+    }
+
+    /// `R_asym` (selects the bigger heuristic threshold when non-zero).
+    pub fn asym_inflight(&self) -> u64 {
+        self.asym.load(Ordering::Relaxed)
+    }
+}
+
+/// How `offload` behaves for the submitting caller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Straight offload: the caller blocks until the response arrives
+    /// (QAT+S). Responses are retrieved by whatever poller is attached;
+    /// absent one, the caller polls the instance itself.
+    Blocking,
+    /// Asynchronous offload: pause the current fiber job; resume
+    /// delivers the result (QAT+A / QAT+AH / QTLS).
+    Async,
+}
+
+/// The offload engine bound to one crypto instance (one per worker).
+pub struct OffloadEngine {
+    instance: CryptoInstance,
+    mode: EngineMode,
+    counters: Arc<InflightCounters>,
+    next_cookie: AtomicU64,
+    /// Total submission retries due to a full request ring.
+    pub ring_full_retries: AtomicU64,
+    /// Whether a dedicated polling thread retrieves responses (affects
+    /// only the blocking path's self-polling decision).
+    has_external_poller: AtomicU64,
+}
+
+impl OffloadEngine {
+    /// Create an engine over `instance` in the given mode.
+    pub fn new(instance: CryptoInstance, mode: EngineMode) -> Self {
+        OffloadEngine {
+            instance,
+            mode,
+            counters: Arc::new(InflightCounters::default()),
+            next_cookie: AtomicU64::new(1),
+            ring_full_retries: AtomicU64::new(0),
+            has_external_poller: AtomicU64::new(0),
+        }
+    }
+
+    /// Declare that an external polling thread is attached (the blocking
+    /// path then waits instead of polling the rings itself).
+    pub fn set_external_poller(&self, attached: bool) {
+        self.has_external_poller
+            .store(attached as u64, Ordering::Relaxed);
+    }
+
+    /// The underlying crypto instance (for pollers).
+    pub fn instance(&self) -> &CryptoInstance {
+        &self.instance
+    }
+
+    /// Engine mode.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// The inflight counters ("new engine command" of §4.3).
+    pub fn inflight(&self) -> &InflightCounters {
+        &self.counters
+    }
+
+    /// Poll the instance, retrieving up to `max` responses (callbacks run
+    /// inline). Returns the number retrieved.
+    pub fn poll(&self, max: usize) -> usize {
+        self.instance.poll(max)
+    }
+
+    /// Drain all available responses.
+    pub fn poll_all(&self) -> usize {
+        self.instance.poll_all()
+    }
+
+    /// Offload one crypto operation according to the engine mode.
+    ///
+    /// - `Async` + inside a fiber job: submit, pause, return the result
+    ///   after resume (possibly pausing multiple times on ring-full).
+    /// - `Blocking`: submit and wait (straight offload).
+    /// - `Async` outside a job: falls back to blocking with self-polling
+    ///   (mirrors OpenSSL running synchronously when no `ASYNC_JOB` is
+    ///   active).
+    pub fn offload(&self, op: CryptoOp) -> CryptoResult {
+        match self.mode {
+            EngineMode::Async if fiber::in_job() => self.offload_async(op),
+            EngineMode::Async => self.offload_blocking(op, true),
+            EngineMode::Blocking => {
+                let self_poll = self.has_external_poller.load(Ordering::Relaxed) == 0;
+                self.offload_blocking(op, self_poll)
+            }
+        }
+    }
+
+    /// The async path: non-blocking submit + crypto pause (§3.2).
+    fn offload_async(&self, mut op: CryptoOp) -> CryptoResult {
+        let ctx_handle = fiber::current_wait_ctx().expect("offload_async requires a job");
+        let class = op.class();
+        loop {
+            let cookie = self.next_cookie.fetch_add(1, Ordering::Relaxed);
+            let completion = ctx_handle.clone();
+            let counters = Arc::clone(&self.counters);
+            self.counters.counter(class).fetch_add(1, Ordering::Relaxed);
+            let request = make_request(
+                cookie,
+                op,
+                Box::new(move |result| {
+                    // Response callback (runs at poll time): bookkeeping,
+                    // park the result, fire the async event notification.
+                    counters.counter(class).fetch_sub(1, Ordering::Relaxed);
+                    completion.complete(result);
+                }),
+            );
+            match self.instance.submit(request) {
+                Ok(()) => {
+                    // Crypto pause: return control to the application.
+                    fiber::pause_job();
+                    // Post-processing: the QAT response has been
+                    // retrieved and parked; consume it. A spurious resume
+                    // (event disorder, §4.2) just pauses again.
+                    loop {
+                        if let Some(result) = ctx_handle.get().take_result() {
+                            return result;
+                        }
+                        fiber::pause_job();
+                    }
+                }
+                Err(SubmitFull(back)) => {
+                    // Submission failure (§3.2): undo the counter, mark
+                    // retry, pause; the application reschedules the job
+                    // and we retry the submission.
+                    self.counters.counter(class).fetch_sub(1, Ordering::Relaxed);
+                    self.ring_full_retries.fetch_add(1, Ordering::Relaxed);
+                    op = back.op;
+                    ctx_handle.get().set_retry();
+                    fiber::pause_job();
+                }
+            }
+        }
+    }
+
+    /// The blocking path (straight offload / no-job fallback).
+    fn offload_blocking(&self, op: CryptoOp, self_poll: bool) -> CryptoResult {
+        let class = op.class();
+        let slot = Arc::new(BlockSlot::default());
+        let slot_cb = Arc::clone(&slot);
+        let counters = Arc::clone(&self.counters);
+        self.counters.counter(class).fetch_add(1, Ordering::Relaxed);
+        let cookie = self.next_cookie.fetch_add(1, Ordering::Relaxed);
+        let mut request = make_request(
+            cookie,
+            op,
+            Box::new(move |result| {
+                counters.counter(class).fetch_sub(1, Ordering::Relaxed);
+                slot_cb.fill(result);
+            }),
+        );
+        // Straight offload blocks even on submission: retry until queued.
+        loop {
+            match self.instance.submit(request) {
+                Ok(()) => break,
+                Err(SubmitFull(back)) => {
+                    self.ring_full_retries.fetch_add(1, Ordering::Relaxed);
+                    request = back;
+                    if self_poll {
+                        self.instance.poll_all();
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+        // Wait for the response ("the QAT Engine cannot return control to
+        // upper layers after it submits a crypto request" — §2.4).
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            if self_poll {
+                self.instance.poll_all();
+            }
+            if let Some(result) = slot.try_take(Duration::from_micros(50)) {
+                return result;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "blocking offload timed out: no poller retrieving responses?"
+            );
+        }
+    }
+}
+
+/// One-shot result slot for the blocking path.
+#[derive(Default)]
+struct BlockSlot {
+    lock: Mutex<Option<CryptoResult>>,
+    cond: Condvar,
+}
+
+impl BlockSlot {
+    fn fill(&self, result: CryptoResult) {
+        *self.lock.lock() = Some(result);
+        self.cond.notify_all();
+    }
+
+    fn try_take(&self, wait: Duration) -> Option<CryptoResult> {
+        let mut guard = self.lock.lock();
+        if guard.is_none() {
+            self.cond.wait_for(&mut guard, wait);
+        }
+        guard.take()
+    }
+}
+
+/// Convenience: a [`CryptoError`]-typed failure for engine users.
+pub type EngineResult = Result<Vec<u8>, CryptoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fiber::{start_job, StartResult};
+    use qtls_qat::{QatConfig, QatDevice};
+    use std::sync::mpsc;
+
+    fn device() -> QatDevice {
+        QatDevice::new(QatConfig::functional_small())
+    }
+
+    fn prf_op(n: usize) -> CryptoOp {
+        CryptoOp::Prf {
+            secret: b"secret".to_vec(),
+            label: b"label".to_vec(),
+            seed: b"seed".to_vec(),
+            out_len: n,
+        }
+    }
+
+    #[test]
+    fn blocking_offload_returns_result() {
+        let dev = device();
+        let engine = OffloadEngine::new(dev.alloc_instance(), EngineMode::Blocking);
+        let out = engine.offload(prf_op(48)).unwrap().into_bytes();
+        assert_eq!(out.len(), 48);
+        assert_eq!(engine.inflight().total(), 0);
+    }
+
+    #[test]
+    fn async_offload_pauses_and_resumes() {
+        let dev = device();
+        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Async));
+        let eng = Arc::clone(&engine);
+        let result = start_job(move || eng.offload(prf_op(32)));
+        let StartResult::Paused(job) = result else {
+            panic!("job must pause after submission")
+        };
+        // While paused, one PRF request is inflight.
+        assert_eq!(engine.inflight().total(), 1);
+        assert_eq!(engine.inflight().prf.load(Ordering::Relaxed), 1);
+        // Retrieve the response: poll until the callback fires.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.poll_all() == 0 {
+            assert!(Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        assert_eq!(engine.inflight().total(), 0);
+        match job.resume() {
+            StartResult::Finished(res) => {
+                assert_eq!(res.unwrap().into_bytes().len(), 32)
+            }
+            StartResult::Paused(_) => panic!("result ready; must finish"),
+        }
+    }
+
+    #[test]
+    fn many_concurrent_async_offloads() {
+        // Multiple crypto operations from different "connections"
+        // offloaded concurrently in one thread — §3.1's core claim.
+        let dev = device();
+        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Async));
+        let mut jobs = Vec::new();
+        for i in 0..16usize {
+            let eng = Arc::clone(&engine);
+            match start_job(move || eng.offload(prf_op(16 + i))) {
+                StartResult::Paused(j) => jobs.push((i, j)),
+                StartResult::Finished(_) => panic!("must pause"),
+            }
+        }
+        assert_eq!(engine.inflight().total(), 16);
+        // Retrieve all responses, then resume all jobs.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.inflight().total() > 0 {
+            engine.poll_all();
+            assert!(Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        for (i, job) in jobs {
+            match job.resume() {
+                StartResult::Finished(res) => {
+                    assert_eq!(res.unwrap().into_bytes().len(), 16 + i)
+                }
+                StartResult::Paused(_) => panic!("must finish"),
+            }
+        }
+    }
+
+    #[test]
+    fn async_outside_job_falls_back_to_blocking() {
+        let dev = device();
+        let engine = OffloadEngine::new(dev.alloc_instance(), EngineMode::Async);
+        let out = engine.offload(prf_op(20)).unwrap().into_bytes();
+        assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn ring_full_sets_retry_and_recovers() {
+        // Device with zero engines on a tiny ring: submissions queue up
+        // and the ring fills; after we attach capacity (poll drains
+        // nothing, so instead use a second device)... simpler: fill the
+        // ring, verify retry flag, then let engines drain (re-created
+        // device has engines).
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 1,
+            engines_per_endpoint: 0,
+            ring_capacity: 2,
+            ..QatConfig::functional_small()
+        });
+        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Async));
+        // Two jobs fill the ring.
+        let mut jobs = Vec::new();
+        for _ in 0..2 {
+            let eng = Arc::clone(&engine);
+            match start_job(move || eng.offload(prf_op(8))) {
+                StartResult::Paused(j) => jobs.push(j),
+                _ => panic!(),
+            }
+        }
+        // Third job hits ring-full and pauses with the retry flag.
+        let eng = Arc::clone(&engine);
+        let third = match start_job(move || eng.offload(prf_op(8))) {
+            StartResult::Paused(j) => j,
+            _ => panic!(),
+        };
+        assert!(third.wait_ctx().take_retry(), "retry flag expected");
+        assert_eq!(engine.ring_full_retries.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn notification_callback_fires_on_poll() {
+        let dev = device();
+        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Async));
+        let eng = Arc::clone(&engine);
+        let job = match start_job(move || eng.offload(prf_op(4))) {
+            StartResult::Paused(j) => j,
+            _ => panic!(),
+        };
+        let (tx, rx) = mpsc::channel();
+        job.wait_ctx().set_callback(
+            Arc::new(move |arg| {
+                let _ = tx.send(arg);
+            }),
+            4242,
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            engine.poll_all();
+            match rx.try_recv() {
+                Ok(arg) => {
+                    assert_eq!(arg, 4242);
+                    break;
+                }
+                Err(_) => assert!(Instant::now() < deadline, "callback never fired"),
+            }
+            std::thread::yield_now();
+        }
+        match job.resume() {
+            StartResult::Finished(r) => assert_eq!(r.unwrap().into_bytes().len(), 4),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Fiber async: cooperative pausable jobs, mirroring OpenSSL's
+//! `ASYNC_JOB` API (paper §4.1, Fig. 6).
+//!
+//! OpenSSL implements fibers with raw stack switching; here each job runs
+//! on a dedicated OS thread with a strict *handoff* discipline: exactly
+//! one of (caller, job) is runnable at any instant, enforced by a small
+//! state machine under a mutex. Semantics match the paper's description:
+//!
+//! - `start_job(f)` runs `f` until it either finishes or calls
+//!   [`pause_job`]; the caller is blocked meanwhile ("fiber context swap").
+//! - `pause_job()` (inside the job) returns control to the caller.
+//! - `AsyncJob::resume()` jumps back to the pause point.
+//!
+//! This keeps the synchronous-looking control flow of the TLS stack while
+//! allowing the offload to return control to the event loop — the whole
+//! point of the framework.
+
+use crate::wait_ctx::WaitCtx;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Who may run right now.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Turn {
+    /// The job thread runs; the caller waits.
+    Job,
+    /// The caller runs; the job thread waits at its pause point.
+    Caller,
+    /// The job function returned; result is available.
+    Done,
+}
+
+struct Shared {
+    turn: Mutex<Turn>,
+    cond: Condvar,
+    /// Wait context attached to this job (callback / fd / result slot).
+    wait_ctx: WaitCtx,
+}
+
+thread_local! {
+    static CURRENT_JOB: std::cell::RefCell<Option<Arc<Shared>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Outcome of [`start_job`] / [`AsyncJob::resume`].
+pub enum StartResult<R> {
+    /// The job function ran to completion.
+    Finished(R),
+    /// The job paused (`ASYNC_PAUSE`); resume it later.
+    Paused(AsyncJob<R>),
+}
+
+/// A paused asynchronous job.
+pub struct AsyncJob<R> {
+    shared: Arc<Shared>,
+    handle: std::thread::JoinHandle<R>,
+}
+
+impl<R> std::fmt::Debug for AsyncJob<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("AsyncJob { paused }")
+    }
+}
+
+/// Start a new fiber-based job (`ASYNC_start_job` with a NULL job).
+///
+/// Blocks the caller until `f` finishes or pauses.
+pub fn start_job<R, F>(f: F) -> StartResult<R>
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    let shared = Arc::new(Shared {
+        turn: Mutex::new(Turn::Job),
+        cond: Condvar::new(),
+        wait_ctx: WaitCtx::new(),
+    });
+    let job_shared = Arc::clone(&shared);
+    let handle = std::thread::Builder::new()
+        .name("async-job".into())
+        .spawn(move || {
+            CURRENT_JOB.with(|c| *c.borrow_mut() = Some(Arc::clone(&job_shared)));
+            let result = f();
+            CURRENT_JOB.with(|c| *c.borrow_mut() = None);
+            let mut turn = job_shared.turn.lock();
+            *turn = Turn::Done;
+            job_shared.cond.notify_all();
+            result
+        })
+        .expect("spawn job thread");
+    wait_for_caller_turn(&shared, handle)
+}
+
+impl<R: Send + 'static> AsyncJob<R> {
+    /// Resume a paused job (`ASYNC_start_job` with an existing job):
+    /// control jumps back to the pause point; blocks the caller until the
+    /// job pauses again or finishes.
+    pub fn resume(self) -> StartResult<R> {
+        {
+            let mut turn = self.shared.turn.lock();
+            debug_assert_eq!(*turn, Turn::Caller);
+            *turn = Turn::Job;
+            self.shared.cond.notify_all();
+        }
+        wait_for_caller_turn(&self.shared, self.handle)
+    }
+
+    /// The wait context of this job (`ASYNC_get_wait_ctx`).
+    pub fn wait_ctx(&self) -> &WaitCtx {
+        &self.shared.wait_ctx
+    }
+}
+
+/// Block the caller until the job yields (pause or finish).
+fn wait_for_caller_turn<R: Send + 'static>(
+    shared: &Arc<Shared>,
+    handle: std::thread::JoinHandle<R>,
+) -> StartResult<R> {
+    let mut turn = shared.turn.lock();
+    while *turn == Turn::Job {
+        shared.cond.wait(&mut turn);
+    }
+    match *turn {
+        Turn::Caller => {
+            drop(turn);
+            StartResult::Paused(AsyncJob {
+                shared: Arc::clone(shared),
+                handle,
+            })
+        }
+        Turn::Done => {
+            drop(turn);
+            let result = handle.join().expect("job thread panicked");
+            StartResult::Finished(result)
+        }
+        Turn::Job => unreachable!(),
+    }
+}
+
+/// Pause the current job (`ASYNC_pause_job`): returns control to the code
+/// that called `start_job`/`resume`. Blocks until resumed.
+///
+/// Panics when called outside a job — the synchronous path must check
+/// [`in_job`] first (mirrors `ASYNC_get_current_job() == NULL`).
+pub fn pause_job() {
+    let shared = CURRENT_JOB
+        .with(|c| c.borrow().clone())
+        .expect("pause_job called outside an async job");
+    let mut turn = shared.turn.lock();
+    debug_assert_eq!(*turn, Turn::Job);
+    *turn = Turn::Caller;
+    shared.cond.notify_all();
+    while *turn == Turn::Caller {
+        shared.cond.wait(&mut turn);
+    }
+}
+
+/// Is the calling code executing inside an async job?
+/// (`ASYNC_get_current_job() != NULL`.)
+pub fn in_job() -> bool {
+    CURRENT_JOB.with(|c| c.borrow().is_some())
+}
+
+/// The wait context of the currently-running job, if any.
+pub fn current_wait_ctx() -> Option<CurrentWaitCtx> {
+    CURRENT_JOB.with(|c| c.borrow().clone().map(CurrentWaitCtx))
+}
+
+/// A cloneable, sendable handle to a job's wait context. The engine's
+/// response callback holds one of these so it can park the crypto result
+/// and fire the notification from whichever thread polls the instance.
+#[derive(Clone)]
+pub struct CurrentWaitCtx(Arc<Shared>);
+
+impl CurrentWaitCtx {
+    /// Access the wait context.
+    pub fn get(&self) -> &WaitCtx {
+        &self.0.wait_ctx
+    }
+
+    /// Park `result` and fire the registered notification
+    /// (see [`WaitCtx::complete`]).
+    pub fn complete(&self, result: qtls_qat::CryptoResult) {
+        self.0.wait_ctx.complete(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn job_without_pause_finishes_immediately() {
+        match start_job(|| 42) {
+            StartResult::Finished(v) => assert_eq!(v, 42),
+            StartResult::Paused(_) => panic!("should not pause"),
+        }
+    }
+
+    #[test]
+    fn pause_and_resume_roundtrip() {
+        let steps = Arc::new(AtomicUsize::new(0));
+        let s = Arc::clone(&steps);
+        let r = start_job(move || {
+            s.fetch_add(1, Ordering::SeqCst);
+            pause_job();
+            s.fetch_add(1, Ordering::SeqCst);
+            "done"
+        });
+        let StartResult::Paused(job) = r else {
+            panic!("expected pause")
+        };
+        assert_eq!(steps.load(Ordering::SeqCst), 1);
+        match job.resume() {
+            StartResult::Finished(v) => assert_eq!(v, "done"),
+            StartResult::Paused(_) => panic!("should finish"),
+        }
+        assert_eq!(steps.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn multiple_pauses() {
+        let r = start_job(|| {
+            let mut acc = 0;
+            for i in 1..=3 {
+                acc += i;
+                pause_job();
+            }
+            acc
+        });
+        let mut job = match r {
+            StartResult::Paused(j) => j,
+            _ => panic!(),
+        };
+        let mut resumes = 0;
+        loop {
+            match job.resume() {
+                StartResult::Paused(j) => {
+                    job = j;
+                    resumes += 1;
+                }
+                StartResult::Finished(v) => {
+                    assert_eq!(v, 6);
+                    assert_eq!(resumes, 2);
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_job_detection() {
+        assert!(!in_job());
+        match start_job(in_job) {
+            StartResult::Finished(inside) => assert!(inside),
+            _ => panic!(),
+        }
+        assert!(!in_job());
+    }
+
+    #[test]
+    fn many_concurrent_paused_jobs() {
+        // The framework's core property: many offload jobs paused at once
+        // in one "process" (§3.1 C1, C2, C3 ...).
+        let mut jobs = Vec::new();
+        for i in 0..64u64 {
+            match start_job(move || {
+                pause_job();
+                i * 2
+            }) {
+                StartResult::Paused(j) => jobs.push(j),
+                _ => panic!(),
+            }
+        }
+        for (i, job) in jobs.into_iter().enumerate() {
+            match job.resume() {
+                StartResult::Finished(v) => assert_eq!(v, i as u64 * 2),
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn wait_ctx_accessible_inside_and_outside() {
+        let r = start_job(|| {
+            let ctx = current_wait_ctx().expect("inside job");
+            ctx.get().set_ready_marker(7);
+            pause_job();
+        });
+        let StartResult::Paused(job) = r else { panic!() };
+        assert_eq!(job.wait_ctx().ready_marker(), Some(7));
+        let StartResult::Finished(()) = job.resume() else {
+            panic!()
+        };
+    }
+}

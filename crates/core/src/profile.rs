@@ -1,0 +1,122 @@
+//! The five evaluated configurations (paper §5.1), shared by the
+//! functional server (`qtls-server`) and the discrete-event simulator
+//! (`qtls-sim`).
+
+use std::time::Duration;
+
+/// Offload configuration, in the paper's notation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OffloadProfile {
+    /// `SW`: software calculation (AES-NI class) for all crypto.
+    Sw,
+    /// `QAT+S`: straight offload + timer-based polling thread.
+    QatS,
+    /// `QAT+A`: async offload framework + timer polling thread +
+    /// FD-based notification.
+    QatA,
+    /// `QAT+AH`: async framework + heuristic polling (still FD-based
+    /// notification).
+    QatAH,
+    /// `QTLS`: heuristic polling + kernel-bypass notification.
+    Qtls,
+}
+
+/// How QAT responses are retrieved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PollingScheme {
+    /// Dedicated timer thread with a fixed interval.
+    TimerThread(Duration),
+    /// The heuristic scheme inside the event loop.
+    Heuristic,
+}
+
+/// How async events reach the application.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NotifyScheme {
+    /// eventfd-like FD through the I/O multiplexer (kernel crossings).
+    Fd,
+    /// Application-level async queue (kernel-bypass).
+    KernelBypass,
+}
+
+impl OffloadProfile {
+    /// All five configurations in the paper's presentation order.
+    pub const ALL: [OffloadProfile; 5] = [
+        OffloadProfile::Sw,
+        OffloadProfile::QatS,
+        OffloadProfile::QatA,
+        OffloadProfile::QatAH,
+        OffloadProfile::Qtls,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OffloadProfile::Sw => "SW",
+            OffloadProfile::QatS => "QAT+S",
+            OffloadProfile::QatA => "QAT+A",
+            OffloadProfile::QatAH => "QAT+AH",
+            OffloadProfile::Qtls => "QTLS",
+        }
+    }
+
+    /// Does this configuration offload crypto to the accelerator at all?
+    pub fn uses_qat(&self) -> bool {
+        !matches!(self, OffloadProfile::Sw)
+    }
+
+    /// Does it use the asynchronous offload framework (pause/resume)?
+    pub fn uses_async(&self) -> bool {
+        matches!(
+            self,
+            OffloadProfile::QatA | OffloadProfile::QatAH | OffloadProfile::Qtls
+        )
+    }
+
+    /// Response retrieval scheme (None for SW). The paper's default
+    /// timer interval is 10 µs.
+    pub fn polling(&self) -> Option<PollingScheme> {
+        match self {
+            OffloadProfile::Sw => None,
+            OffloadProfile::QatS | OffloadProfile::QatA => {
+                Some(PollingScheme::TimerThread(Duration::from_micros(10)))
+            }
+            OffloadProfile::QatAH | OffloadProfile::Qtls => Some(PollingScheme::Heuristic),
+        }
+    }
+
+    /// Async event notification scheme (None for SW / QAT+S, which have
+    /// no async events).
+    pub fn notification(&self) -> Option<NotifyScheme> {
+        match self {
+            OffloadProfile::Sw | OffloadProfile::QatS => None,
+            OffloadProfile::QatA | OffloadProfile::QatAH => Some(NotifyScheme::Fd),
+            OffloadProfile::Qtls => Some(NotifyScheme::KernelBypass),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_matrix_matches_paper() {
+        use OffloadProfile::*;
+        assert!(!Sw.uses_qat());
+        assert!(QatS.uses_qat() && !QatS.uses_async());
+        assert!(QatA.uses_async());
+        assert_eq!(QatA.notification(), Some(NotifyScheme::Fd));
+        assert_eq!(QatAH.polling(), Some(PollingScheme::Heuristic));
+        assert_eq!(QatAH.notification(), Some(NotifyScheme::Fd));
+        assert_eq!(Qtls.polling(), Some(PollingScheme::Heuristic));
+        assert_eq!(Qtls.notification(), Some(NotifyScheme::KernelBypass));
+        assert_eq!(Sw.polling(), None);
+    }
+
+    #[test]
+    fn labels() {
+        let labels: Vec<&str> = OffloadProfile::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, ["SW", "QAT+S", "QAT+A", "QAT+AH", "QTLS"]);
+    }
+}

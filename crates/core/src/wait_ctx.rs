@@ -1,0 +1,176 @@
+//! Per-job wait context — the equivalent of OpenSSL's `ASYNC_WAIT_CTX`
+//! extended with the paper's two new members, `callback` and
+//! `callback_arg` (§4.4), plus the parked crypto result that the engine
+//! stores between pause and resume.
+
+use crate::notify::VirtualFd;
+use parking_lot::Mutex;
+use qtls_qat::CryptoResult;
+use std::sync::Arc;
+
+/// The application-level notification callback (paper §4.4): invoked by
+/// the QAT response callback with `callback_arg` to enqueue the async
+/// handler without touching the kernel.
+pub type AsyncCallback = Arc<dyn Fn(u64) + Send + Sync>;
+
+#[derive(Default)]
+struct Inner {
+    /// Result parked by the QAT response callback, consumed at resume.
+    result: Option<CryptoResult>,
+    /// Set when a submission failed with a full ring; the application
+    /// must reschedule the job to retry (§3.2 "failure of crypto
+    /// submission").
+    needs_retry: bool,
+    /// Kernel-bypass notification: `(callback, callback_arg)`.
+    callback: Option<(AsyncCallback, u64)>,
+    /// FD-based notification: the eventfd-like virtual FD.
+    fd: Option<Arc<VirtualFd>>,
+    /// Free-form user tag (diagnostics/tests).
+    tag: Option<u64>,
+}
+
+/// Wait context shared between the job, the engine and the application.
+#[derive(Default)]
+pub struct WaitCtx {
+    inner: Mutex<Inner>,
+}
+
+impl WaitCtx {
+    /// Fresh, empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `SSL_set_async_callback` equivalent: register the kernel-bypass
+    /// callback and its argument (the async-handler information).
+    pub fn set_callback(&self, cb: AsyncCallback, arg: u64) {
+        self.inner.lock().callback = Some((cb, arg));
+    }
+
+    /// `ASYNC_WAIT_CTX_get_callback` equivalent.
+    pub fn callback(&self) -> Option<(AsyncCallback, u64)> {
+        self.inner.lock().callback.clone()
+    }
+
+    /// Set-FD API: associate an eventfd-like FD for FD-based notification.
+    pub fn set_fd(&self, fd: Arc<VirtualFd>) {
+        self.inner.lock().fd = Some(fd);
+    }
+
+    /// Get-FD API.
+    pub fn fd(&self) -> Option<Arc<VirtualFd>> {
+        self.inner.lock().fd.clone()
+    }
+
+    /// Park a crypto result (called by the QAT response callback) and
+    /// fire whichever notification mechanism is registered: the
+    /// application callback if set (kernel-bypass path), otherwise the
+    /// FD (writes the event "into the kernel").
+    pub fn complete(&self, result: CryptoResult) {
+        let notification = {
+            let mut inner = self.inner.lock();
+            inner.result = Some(result);
+            // Decide the notification under the lock; fire outside it.
+            if let Some((cb, arg)) = inner.callback.clone() {
+                Some(Notification::Callback(cb, arg))
+            } else {
+                inner.fd.clone().map(Notification::Fd)
+            }
+        };
+        match notification {
+            Some(Notification::Callback(cb, arg)) => cb(arg),
+            Some(Notification::Fd(fd)) => fd.signal(),
+            None => {}
+        }
+    }
+
+    /// Take the parked result (called by the engine right after resume).
+    pub fn take_result(&self) -> Option<CryptoResult> {
+        self.inner.lock().result.take()
+    }
+
+    /// Is a result parked and not yet consumed?
+    pub fn has_result(&self) -> bool {
+        self.inner.lock().result.is_some()
+    }
+
+    /// Mark that the submission failed and must be retried.
+    pub fn set_retry(&self) {
+        self.inner.lock().needs_retry = true;
+    }
+
+    /// Consume the retry flag.
+    pub fn take_retry(&self) -> bool {
+        std::mem::take(&mut self.inner.lock().needs_retry)
+    }
+
+    /// Attach a diagnostic tag.
+    pub fn set_ready_marker(&self, tag: u64) {
+        self.inner.lock().tag = Some(tag);
+    }
+
+    /// Read the diagnostic tag.
+    pub fn ready_marker(&self) -> Option<u64> {
+        self.inner.lock().tag
+    }
+}
+
+enum Notification {
+    Callback(AsyncCallback, u64),
+    Fd(Arc<VirtualFd>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtls_qat::CryptoOutput;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn result_parking() {
+        let ctx = WaitCtx::new();
+        assert!(!ctx.has_result());
+        ctx.complete(Ok(CryptoOutput::Bytes(vec![1, 2, 3])));
+        assert!(ctx.has_result());
+        let r = ctx.take_result().unwrap().unwrap().into_bytes();
+        assert_eq!(r, vec![1, 2, 3]);
+        assert!(!ctx.has_result());
+    }
+
+    #[test]
+    fn callback_fires_with_arg() {
+        let ctx = WaitCtx::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        ctx.set_callback(Arc::new(move |arg| h.store(arg, Ordering::SeqCst)), 77);
+        ctx.complete(Ok(CryptoOutput::Bytes(vec![])));
+        assert_eq!(hits.load(Ordering::SeqCst), 77);
+    }
+
+    #[test]
+    fn callback_takes_precedence_over_fd() {
+        let ctx = WaitCtx::new();
+        let fd = Arc::new(VirtualFd::new(1));
+        ctx.set_fd(Arc::clone(&fd));
+        let hit = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hit);
+        ctx.set_callback(
+            Arc::new(move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+            0,
+        );
+        ctx.complete(Ok(CryptoOutput::Bytes(vec![])));
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+        assert!(!fd.is_ready(), "FD path must be bypassed");
+    }
+
+    #[test]
+    fn retry_flag() {
+        let ctx = WaitCtx::new();
+        assert!(!ctx.take_retry());
+        ctx.set_retry();
+        assert!(ctx.take_retry());
+        assert!(!ctx.take_retry());
+    }
+}

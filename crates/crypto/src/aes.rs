@@ -1,0 +1,310 @@
+//! AES-128 block cipher and CBC mode (FIPS 197 / SP 800-38A).
+//!
+//! The paper's secure-data-transfer evaluation uses the AES128-SHA cipher
+//! suite (AES-128-CBC + HMAC-SHA1). This is a straightforward S-box
+//! implementation: the SW baseline in the simulator models AES-NI speed
+//! via the cost model, so this code only needs to be *correct*, and fast
+//! enough for functional tests.
+
+use crate::error::CryptoError;
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// Inverse S-box (derived at first use).
+fn inv_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let mut inv = [0u8; 256];
+        for (i, &s) in SBOX.iter().enumerate() {
+            inv[s as usize] = i as u8;
+        }
+        inv
+    })
+}
+
+/// Multiply in GF(2^8) with the AES polynomial 0x11b.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 key (11 round keys).
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expand a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        let mut rcon = 1u8;
+        for i in 4..44 {
+            let mut t = w[i - 1];
+            if i % 4 == 0 {
+                t.rotate_left(1);
+                for b in &mut t {
+                    *b = SBOX[*b as usize];
+                }
+                t[0] ^= rcon;
+                rcon = gmul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ t[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for r in 0..11 {
+            for c in 0..4 {
+                round_keys[r][c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        xor16(block, &self.round_keys[0]);
+        for r in 1..10 {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            xor16(block, &self.round_keys[r]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        xor16(block, &self.round_keys[10]);
+    }
+
+    /// Decrypt one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        xor16(block, &self.round_keys[10]);
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        for r in (1..10).rev() {
+            xor16(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+        }
+        xor16(block, &self.round_keys[0]);
+    }
+}
+
+fn xor16(a: &mut [u8; 16], b: &[u8; 16]) {
+    for i in 0..16 {
+        a[i] ^= b[i];
+    }
+}
+
+fn sub_bytes(b: &mut [u8; 16]) {
+    for x in b.iter_mut() {
+        *x = SBOX[*x as usize];
+    }
+}
+
+fn inv_sub_bytes(b: &mut [u8; 16]) {
+    let inv = inv_sbox();
+    for x in b.iter_mut() {
+        *x = inv[*x as usize];
+    }
+}
+
+/// State layout: column-major, i.e. byte index = col*4 + row.
+fn shift_rows(b: &mut [u8; 16]) {
+    let orig = *b;
+    for row in 1..4 {
+        for col in 0..4 {
+            b[col * 4 + row] = orig[((col + row) % 4) * 4 + row];
+        }
+    }
+}
+
+fn inv_shift_rows(b: &mut [u8; 16]) {
+    let orig = *b;
+    for row in 1..4 {
+        for col in 0..4 {
+            b[((col + row) % 4) * 4 + row] = orig[col * 4 + row];
+        }
+    }
+}
+
+fn mix_columns(b: &mut [u8; 16]) {
+    for col in 0..4 {
+        let c = [b[col * 4], b[col * 4 + 1], b[col * 4 + 2], b[col * 4 + 3]];
+        b[col * 4] = gmul(c[0], 2) ^ gmul(c[1], 3) ^ c[2] ^ c[3];
+        b[col * 4 + 1] = c[0] ^ gmul(c[1], 2) ^ gmul(c[2], 3) ^ c[3];
+        b[col * 4 + 2] = c[0] ^ c[1] ^ gmul(c[2], 2) ^ gmul(c[3], 3);
+        b[col * 4 + 3] = gmul(c[0], 3) ^ c[1] ^ c[2] ^ gmul(c[3], 2);
+    }
+}
+
+fn inv_mix_columns(b: &mut [u8; 16]) {
+    for col in 0..4 {
+        let c = [b[col * 4], b[col * 4 + 1], b[col * 4 + 2], b[col * 4 + 3]];
+        b[col * 4] = gmul(c[0], 14) ^ gmul(c[1], 11) ^ gmul(c[2], 13) ^ gmul(c[3], 9);
+        b[col * 4 + 1] = gmul(c[0], 9) ^ gmul(c[1], 14) ^ gmul(c[2], 11) ^ gmul(c[3], 13);
+        b[col * 4 + 2] = gmul(c[0], 13) ^ gmul(c[1], 9) ^ gmul(c[2], 14) ^ gmul(c[3], 11);
+        b[col * 4 + 3] = gmul(c[0], 11) ^ gmul(c[1], 13) ^ gmul(c[2], 9) ^ gmul(c[3], 14);
+    }
+}
+
+/// AES-128-CBC encryption. `plaintext.len()` must be a multiple of 16
+/// (TLS 1.2 CBC records are padded by the record layer before encryption).
+pub fn cbc_encrypt(key: &Aes128, iv: &[u8; 16], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if !plaintext.len().is_multiple_of(16) {
+        return Err(CryptoError::InvalidLength);
+    }
+    let mut out = Vec::with_capacity(plaintext.len());
+    let mut prev = *iv;
+    for chunk in plaintext.chunks_exact(16) {
+        let mut block: [u8; 16] = chunk.try_into().unwrap();
+        xor16(&mut block, &prev);
+        key.encrypt_block(&mut block);
+        out.extend_from_slice(&block);
+        prev = block;
+    }
+    Ok(out)
+}
+
+/// AES-128-CBC decryption.
+pub fn cbc_decrypt(key: &Aes128, iv: &[u8; 16], ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if !ciphertext.len().is_multiple_of(16) || ciphertext.is_empty() {
+        return Err(CryptoError::InvalidLength);
+    }
+    let mut out = Vec::with_capacity(ciphertext.len());
+    let mut prev = *iv;
+    for chunk in ciphertext.chunks_exact(16) {
+        let cblock: [u8; 16] = chunk.try_into().unwrap();
+        let mut block = cblock;
+        key.decrypt_block(&mut block);
+        xor16(&mut block, &prev);
+        out.extend_from_slice(&block);
+        prev = cblock;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fips197_vector() {
+        // FIPS 197 Appendix B.
+        let key: [u8; 16] = unhex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        let mut block: [u8; 16] = unhex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex(&block), "3925841d02dc09fbdc118597196a0b32");
+        aes.decrypt_block(&mut block);
+        assert_eq!(hex(&block), "3243f6a8885a308d313198a2e0370734");
+    }
+
+    #[test]
+    fn sp80038a_ecb_kat() {
+        // SP 800-38A F.1.1 (first block).
+        let key: [u8; 16] = unhex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        let mut block: [u8; 16] = unhex("6bc1bee22e409f96e93d7e117393172a").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex(&block), "3ad77bb40d7a3660a89ecaf32466ef97");
+    }
+
+    #[test]
+    fn sp80038a_cbc_kat() {
+        // SP 800-38A F.2.1 CBC-AES128.Encrypt (all four blocks).
+        let key: [u8; 16] = unhex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let iv: [u8; 16] = unhex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let pt = unhex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        );
+        let aes = Aes128::new(&key);
+        let ct = cbc_encrypt(&aes, &iv, &pt).unwrap();
+        assert_eq!(
+            hex(&ct),
+            "7649abac8119b246cee98e9b12e9197d\
+             5086cb9b507219ee95db113a917678b2\
+             73bed6b8e3c1743b7116e69e22229516\
+             3ff1caa1681fac09120eca307586e1a7"
+        );
+        assert_eq!(cbc_decrypt(&aes, &iv, &ct).unwrap(), pt);
+    }
+
+    #[test]
+    fn cbc_rejects_partial_blocks() {
+        let aes = Aes128::new(&[0u8; 16]);
+        assert!(cbc_encrypt(&aes, &[0u8; 16], &[0u8; 15]).is_err());
+        assert!(cbc_decrypt(&aes, &[0u8; 16], &[0u8; 17]).is_err());
+        assert!(cbc_decrypt(&aes, &[0u8; 16], &[]).is_err());
+    }
+
+    #[test]
+    fn cbc_roundtrip_various_lengths() {
+        let aes = Aes128::new(b"0123456789abcdef");
+        let iv = [7u8; 16];
+        for blocks in [1usize, 2, 5, 64] {
+            let pt: Vec<u8> = (0..blocks * 16).map(|i| i as u8).collect();
+            let ct = cbc_encrypt(&aes, &iv, &pt).unwrap();
+            assert_ne!(ct, pt);
+            assert_eq!(cbc_decrypt(&aes, &iv, &ct).unwrap(), pt);
+        }
+    }
+
+    #[test]
+    fn gmul_known_values() {
+        assert_eq!(gmul(0x57, 0x83), 0xc1); // FIPS 197 §4.2 example
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+        assert_eq!(gmul(1, 0xab), 0xab);
+        assert_eq!(gmul(0, 0xff), 0);
+    }
+}

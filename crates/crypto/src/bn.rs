@@ -1,0 +1,749 @@
+//! Arbitrary-precision unsigned integers ("big numbers").
+//!
+//! This is the arithmetic substrate for RSA and for scalar arithmetic in
+//! the elliptic-curve modules. Limbs are 64-bit, little-endian, and the
+//! representation is kept normalized (no most-significant zero limbs; the
+//! value zero has no limbs at all).
+//!
+//! The implementation favours clarity over absolute speed everywhere
+//! except modular exponentiation, which goes through the Montgomery
+//! machinery in [`crate::mont`] — that is the only bignum operation that
+//! is hot in TLS processing (RSA sign).
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bn {
+    /// Little-endian 64-bit limbs, normalized.
+    limbs: Vec<u64>,
+}
+
+impl fmt::Debug for Bn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bn(0x{})", self.to_hex())
+    }
+}
+
+impl Bn {
+    /// The value zero.
+    pub fn zero() -> Self {
+        Bn { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        Bn { limbs: vec![1] }
+    }
+
+    /// Construct from a single `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Bn::zero()
+        } else {
+            Bn { limbs: vec![v] }
+        }
+    }
+
+    /// Construct from little-endian limbs (normalizing).
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Bn { limbs }
+    }
+
+    /// Borrow the little-endian limbs.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Parse from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut iter = bytes.rchunks(8);
+        for chunk in &mut iter {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        Bn::from_limbs(limbs)
+    }
+
+    /// Serialize to big-endian bytes with no leading zeros (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len() - 1);
+        out.drain(..first_nonzero);
+        out
+    }
+
+    /// Serialize to exactly `len` big-endian bytes, left-padded with zeros.
+    ///
+    /// Panics if the value does not fit.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parse from a hexadecimal string (no `0x` prefix, case-insensitive).
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if !s.chars().all(|c| c.is_ascii_hexdigit()) {
+            return None;
+        }
+        // Left-pad to an even number of nibbles.
+        let padded;
+        let s = if s.len() % 2 == 1 {
+            padded = format!("0{s}");
+            &padded
+        } else {
+            s
+        };
+        let mut bytes = Vec::with_capacity(s.len() / 2);
+        for i in (0..s.len()).step_by(2) {
+            bytes.push(u8::from_str_radix(&s[i..i + 2], 16).ok()?);
+        }
+        Some(Bn::from_bytes_be(&bytes))
+    }
+
+    /// Render as lowercase hex with no leading zeros ("0" for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let bytes = self.to_bytes_be();
+        let mut s = String::with_capacity(bytes.len() * 2);
+        for b in &bytes {
+            s.push_str(&format!("{b:02x}"));
+        }
+        // Strip a single possible leading zero nibble.
+        if s.starts_with('0') && s.len() > 1 {
+            s.remove(0);
+        }
+        s
+    }
+
+    /// Is this the value zero?
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Is this the value one?
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Is the low bit set?
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Is the low bit clear (true for zero)?
+    pub fn is_even(&self) -> bool {
+        !self.is_odd()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Test bit `i` (little-endian bit numbering).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to one, growing as needed.
+    pub fn set_bit(&mut self, i: usize) {
+        let limb = i / 64;
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << (i % 64);
+    }
+
+    /// `self + other`.
+    #[allow(clippy::needless_range_loop)] // indexing two slices in lockstep
+    pub fn add(&self, other: &Bn) -> Bn {
+        let (a, b) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(a.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..a.len() {
+            let bi = b.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a[i].overflowing_add(bi);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Bn::from_limbs(out)
+    }
+
+    /// `self + v` for a small addend.
+    pub fn add_u64(&self, v: u64) -> Bn {
+        self.add(&Bn::from_u64(v))
+    }
+
+    /// `self - other`; panics if `other > self`.
+    pub fn sub(&self, other: &Bn) -> Bn {
+        assert!(self >= other, "bignum underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let bi = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(bi);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Bn::from_limbs(out)
+    }
+
+    /// `self * other` (schoolbook; operand sizes in TLS are ≤ 4096 bits,
+    /// where schoolbook with 64-bit limbs is competitive).
+    pub fn mul(&self, other: &Bn) -> Bn {
+        if self.is_zero() || other.is_zero() {
+            return Bn::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        Bn::from_limbs(out)
+    }
+
+    /// `self << n`.
+    pub fn shl(&self, n: usize) -> Bn {
+        if self.is_zero() || n == 0 {
+            if n == 0 {
+                return self.clone();
+            }
+            return Bn::zero();
+        }
+        let limb_shift = n / 64;
+        let bit_shift = n % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Bn::from_limbs(out)
+    }
+
+    /// `self >> n`.
+    pub fn shr(&self, n: usize) -> Bn {
+        let limb_shift = n / 64;
+        if limb_shift >= self.limbs.len() {
+            return Bn::zero();
+        }
+        let bit_shift = n % 64;
+        let src = &self.limbs[limb_shift..];
+        if bit_shift == 0 {
+            return Bn::from_limbs(src.to_vec());
+        }
+        let mut out = Vec::with_capacity(src.len());
+        for i in 0..src.len() {
+            let hi = src.get(i + 1).copied().unwrap_or(0);
+            out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+        }
+        Bn::from_limbs(out)
+    }
+
+    /// Quotient and remainder: `(self / div, self % div)`.
+    ///
+    /// Uses simple binary long division for small divisors and Knuth's
+    /// Algorithm D for multi-limb divisors.
+    pub fn div_rem(&self, div: &Bn) -> (Bn, Bn) {
+        assert!(!div.is_zero(), "division by zero");
+        match self.cmp(div) {
+            Ordering::Less => return (Bn::zero(), self.clone()),
+            Ordering::Equal => return (Bn::one(), Bn::zero()),
+            Ordering::Greater => {}
+        }
+        if div.limbs.len() == 1 {
+            let d = div.limbs[0];
+            let mut q = Vec::with_capacity(self.limbs.len());
+            let mut rem = 0u128;
+            for &l in self.limbs.iter().rev() {
+                let cur = (rem << 64) | l as u128;
+                q.push((cur / d as u128) as u64);
+                rem = cur % d as u128;
+            }
+            q.reverse();
+            return (Bn::from_limbs(q), Bn::from_u64(rem as u64));
+        }
+        self.div_rem_knuth(div)
+    }
+
+    /// Knuth Algorithm D (TAOCP 4.3.1) for multi-limb divisors.
+    fn div_rem_knuth(&self, div: &Bn) -> (Bn, Bn) {
+        // Normalize: shift so the divisor's top limb has its high bit set.
+        let shift = div.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = div.shl(shift);
+        let n = v.limbs.len();
+        let mut u_limbs = u.limbs.clone();
+        u_limbs.push(0); // room for the virtual top limb
+        let m = u_limbs.len() - n - 1;
+        let v_limbs = &v.limbs;
+        let vn1 = v_limbs[n - 1];
+        let vn2 = v_limbs[n - 2];
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            let numer = ((u_limbs[j + n] as u128) << 64) | u_limbs[j + n - 1] as u128;
+            let mut qhat = numer / vn1 as u128;
+            let mut rhat = numer % vn1 as u128;
+            // Correct qhat (at most twice).
+            while qhat >> 64 != 0
+                || qhat * vn2 as u128 > ((rhat << 64) | u_limbs[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += vn1 as u128;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply and subtract: u[j..j+n+1] -= qhat * v.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * v_limbs[i] as u128 + carry;
+                carry = p >> 64;
+                let t = u_limbs[j + i] as i128 - (p as u64) as i128 + borrow;
+                u_limbs[j + i] = t as u64;
+                borrow = t >> 64;
+            }
+            let t = u_limbs[j + n] as i128 - carry as i128 + borrow;
+            u_limbs[j + n] = t as u64;
+            let neg = t < 0;
+            q[j] = qhat as u64;
+            if neg {
+                // Rare: qhat was one too large; add v back.
+                q[j] -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let (s1, c1) = u_limbs[j + i].overflowing_add(v_limbs[i]);
+                    let (s2, c2) = s1.overflowing_add(carry);
+                    u_limbs[j + i] = s2;
+                    carry = (c1 as u64) + (c2 as u64);
+                }
+                u_limbs[j + n] = u_limbs[j + n].wrapping_add(carry);
+            }
+        }
+        let rem = Bn::from_limbs(u_limbs[..n].to_vec()).shr(shift);
+        (Bn::from_limbs(q), rem)
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &Bn) -> Bn {
+        self.div_rem(m).1
+    }
+
+    /// `(self * other) mod m`.
+    pub fn mul_mod(&self, other: &Bn, m: &Bn) -> Bn {
+        self.mul(other).rem(m)
+    }
+
+    /// `(self + other) mod m`; inputs must already be `< m`.
+    pub fn add_mod(&self, other: &Bn, m: &Bn) -> Bn {
+        let s = self.add(other);
+        if &s >= m {
+            s.sub(m)
+        } else {
+            s
+        }
+    }
+
+    /// `(self - other) mod m`; inputs must already be `< m`.
+    pub fn sub_mod(&self, other: &Bn, m: &Bn) -> Bn {
+        if self >= other {
+            self.sub(other)
+        } else {
+            self.add(m).sub(other)
+        }
+    }
+
+    /// Modular exponentiation `self^exp mod m`.
+    ///
+    /// Odd moduli go through Montgomery multiplication; even moduli fall
+    /// back to square-and-multiply with full reductions (rare in practice,
+    /// present for completeness).
+    pub fn mod_exp(&self, exp: &Bn, m: &Bn) -> Bn {
+        assert!(!m.is_zero(), "zero modulus");
+        if m.is_one() {
+            return Bn::zero();
+        }
+        if m.is_odd() {
+            let ctx = crate::mont::MontCtx::new(m.clone());
+            return ctx.mod_exp(self, exp);
+        }
+        // Generic square-and-multiply.
+        let mut result = Bn::one();
+        let mut base = self.rem(m);
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = result.mul_mod(&base, m);
+            }
+            base = base.mul_mod(&base, m);
+        }
+        result
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &Bn) -> Bn {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0;
+        while a.is_even() && b.is_even() {
+            a = a.shr(1);
+            b = b.shr(1);
+            shift += 1;
+        }
+        while a.is_even() {
+            a = a.shr(1);
+        }
+        loop {
+            while b.is_even() {
+                b = b.shr(1);
+            }
+            if a > b {
+                core::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub(&a);
+            if b.is_zero() {
+                break;
+            }
+        }
+        a.shl(shift)
+    }
+
+    /// Modular inverse: `self^-1 mod m`, if it exists.
+    ///
+    /// Extended binary Euclid; works for any modulus `m > 1` coprime with
+    /// `self`.
+    pub fn mod_inv(&self, m: &Bn) -> Option<Bn> {
+        if m.is_zero() || m.is_one() {
+            return None;
+        }
+        let a = self.rem(m);
+        if a.is_zero() {
+            return None;
+        }
+        // Signed-value extended Euclid using (value, negative?) pairs.
+        let (mut old_r, mut r) = (a, m.clone());
+        let (mut old_s, mut s) = ((Bn::one(), false), (Bn::zero(), false));
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = core::mem::replace(&mut r, rem);
+            // new_s = old_s - q * s  (in signed arithmetic)
+            let qs = q.mul(&s.0);
+            let new_s = signed_sub(&old_s, &(qs, s.1));
+            old_s = core::mem::replace(&mut s, new_s);
+        }
+        if !old_r.is_one() {
+            return None; // not coprime
+        }
+        let (val, neg) = old_s;
+        let val = val.rem(m);
+        Some(if neg && !val.is_zero() {
+            m.sub(&val)
+        } else {
+            val
+        })
+    }
+
+    /// Uniformly random value in `[0, bound)` using the given RNG.
+    pub fn random_below<R: crate::rng::EntropySource>(rng: &mut R, bound: &Bn) -> Bn {
+        assert!(!bound.is_zero());
+        let bits = bound.bit_len();
+        let bytes = bits.div_ceil(8);
+        let top_mask = if bits.is_multiple_of(8) {
+            0xff
+        } else {
+            (1u8 << (bits % 8)) - 1
+        };
+        // Rejection sampling: expected < 2 iterations.
+        loop {
+            let mut buf = vec![0u8; bytes];
+            rng.fill(&mut buf);
+            buf[0] &= top_mask;
+            let v = Bn::from_bytes_be(&buf);
+            if &v < bound {
+                return v;
+            }
+        }
+    }
+
+    /// Random value with exactly `bits` bits (top bit set).
+    pub fn random_bits<R: crate::rng::EntropySource>(rng: &mut R, bits: usize) -> Bn {
+        assert!(bits > 0);
+        let bytes = bits.div_ceil(8);
+        let mut buf = vec![0u8; bytes];
+        rng.fill(&mut buf);
+        let mut v = Bn::from_bytes_be(&buf);
+        // Clamp to exactly `bits` bits with the top bit set.
+        v = v.rem(&Bn::one().shl(bits));
+        v.set_bit(bits - 1);
+        v
+    }
+}
+
+/// Signed subtraction on (magnitude, is_negative) pairs: `a - b`.
+fn signed_sub(a: &(Bn, bool), b: &(Bn, bool)) -> (Bn, bool) {
+    match (a.1, b.1) {
+        (false, true) => (a.0.add(&b.0), false),  // a - (-b) = a + b
+        (true, false) => (a.0.add(&b.0), true),   // -a - b = -(a + b)
+        (false, false) => {
+            if a.0 >= b.0 {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        (true, true) => {
+            // -a - (-b) = b - a
+            if b.0 >= a.0 {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+    }
+}
+
+impl PartialOrd for Bn {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bn {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bn(s: &str) -> Bn {
+        Bn::from_hex(s).unwrap()
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(Bn::zero().is_zero());
+        assert!(Bn::one().is_one());
+        assert_eq!(Bn::zero().bit_len(), 0);
+        assert_eq!(Bn::one().bit_len(), 1);
+        assert!(Bn::zero().is_even());
+        assert!(Bn::one().is_odd());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+            assert_eq!(bn(s).to_hex(), s);
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let v = bn("0102030405060708090a0b0c0d0e0f");
+        assert_eq!(Bn::from_bytes_be(&v.to_bytes_be()), v);
+        assert_eq!(v.to_bytes_be_padded(20).len(), 20);
+        assert_eq!(Bn::from_bytes_be(&v.to_bytes_be_padded(20)), v);
+    }
+
+    #[test]
+    fn add_sub() {
+        let a = bn("ffffffffffffffffffffffffffffffff");
+        let b = bn("1");
+        let s = a.add(&b);
+        assert_eq!(s.to_hex(), "100000000000000000000000000000000");
+        assert_eq!(s.sub(&b), a);
+        assert_eq!(s.sub(&a), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Bn::one().sub(&bn("2"));
+    }
+
+    #[test]
+    fn mul_basics() {
+        assert_eq!(bn("ff").mul(&bn("ff")).to_hex(), "fe01");
+        assert_eq!(
+            bn("ffffffffffffffff").mul(&bn("ffffffffffffffff")).to_hex(),
+            "fffffffffffffffe0000000000000001"
+        );
+        assert!(Bn::zero().mul(&bn("deadbeef")).is_zero());
+    }
+
+    #[test]
+    fn shifts() {
+        let v = bn("deadbeef");
+        assert_eq!(v.shl(4).to_hex(), "deadbeef0");
+        assert_eq!(v.shl(64).shr(64), v);
+        assert_eq!(v.shr(100), Bn::zero());
+        assert_eq!(v.shl(0), v);
+    }
+
+    #[test]
+    fn div_rem_single_limb() {
+        let (q, r) = bn("deadbeefcafebabe").div_rem(&bn("10"));
+        assert_eq!(q.to_hex(), "deadbeefcafebab");
+        assert_eq!(r.to_hex(), "e");
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = bn("1234567890abcdef1234567890abcdef1234567890abcdef");
+        let b = bn("fedcba0987654321fedcba0987");
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn div_rem_edge_cases() {
+        let a = bn("100000000000000000000000000000000");
+        let (q, r) = a.div_rem(&a);
+        assert!(q.is_one());
+        assert!(r.is_zero());
+        let (q, r) = Bn::one().div_rem(&a);
+        assert!(q.is_zero());
+        assert!(r.is_one());
+    }
+
+    #[test]
+    fn mod_exp_small() {
+        // 3^7 mod 10 = 2187 mod 10 = 7
+        let r = bn("3").mod_exp(&bn("7"), &bn("a"));
+        assert_eq!(r.to_hex(), "7");
+    }
+
+    #[test]
+    fn mod_exp_fermat() {
+        // Fermat: a^(p-1) = 1 mod p for prime p not dividing a.
+        let p = bn("fffffffffffffffffffffffffffffffeffffffffffffffff"); // P-192 prime
+        let a = bn("123456789abcdef");
+        let r = a.mod_exp(&p.sub(&Bn::one()), &p);
+        assert!(r.is_one());
+    }
+
+    #[test]
+    fn mod_exp_even_modulus() {
+        // 5^3 mod 8 = 125 mod 8 = 5
+        let r = bn("5").mod_exp(&bn("3"), &bn("8"));
+        assert_eq!(r.to_hex(), "5");
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(bn("c").gcd(&bn("8")).to_hex(), "4");
+        assert_eq!(bn("11").gcd(&bn("13")).to_hex(), "1");
+        assert_eq!(Bn::zero().gcd(&bn("5")).to_hex(), "5");
+    }
+
+    #[test]
+    fn mod_inv_basics() {
+        let m = bn("11"); // 17
+        for a in 1u64..17 {
+            let inv = Bn::from_u64(a).mod_inv(&m).unwrap();
+            assert!(Bn::from_u64(a).mul_mod(&inv, &m).is_one(), "a={a}");
+        }
+        // Not coprime -> None.
+        assert!(bn("6").mod_inv(&bn("c")).is_none());
+        assert!(Bn::zero().mod_inv(&m).is_none());
+    }
+
+    #[test]
+    fn mod_inv_large() {
+        let m = bn("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+        let a = bn("deadbeefcafebabe0123456789abcdef");
+        let inv = a.mod_inv(&m).unwrap();
+        assert!(a.mul_mod(&inv, &m).is_one());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(bn("100") > bn("ff"));
+        assert!(bn("ff") < bn("100"));
+        assert_eq!(bn("abc").cmp(&bn("abc")), Ordering::Equal);
+    }
+
+    #[test]
+    fn bit_access() {
+        let mut v = Bn::zero();
+        v.set_bit(127);
+        assert!(v.bit(127));
+        assert!(!v.bit(126));
+        assert_eq!(v.bit_len(), 128);
+    }
+}

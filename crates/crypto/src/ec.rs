@@ -1,0 +1,399 @@
+//! Elliptic curves over prime fields: NIST P-256 and P-384.
+//!
+//! Short-Weierstrass curves `y^2 = x^3 + ax + b` with Jacobian-coordinate
+//! point arithmetic over the fixed-width Montgomery fields of
+//! [`crate::fp`]. Scalar multiplication uses a 4-bit fixed window.
+//!
+//! NOTE: this implementation is for the QTLS reproduction — it is
+//! algorithmically correct (validated against the NIST group structure
+//! and cross-checked sign/verify/ECDH tests) but NOT hardened against
+//! timing side channels.
+
+use crate::bn::Bn;
+use crate::fp::FpParams;
+
+/// An affine point (or infinity) with coordinates as plain integers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AffinePoint {
+    /// x coordinate (ignored when `infinity`).
+    pub x: Bn,
+    /// y coordinate (ignored when `infinity`).
+    pub y: Bn,
+    /// The point at infinity flag.
+    pub infinity: bool,
+}
+
+impl AffinePoint {
+    /// The point at infinity.
+    pub fn infinity() -> Self {
+        AffinePoint {
+            x: Bn::zero(),
+            y: Bn::zero(),
+            infinity: true,
+        }
+    }
+
+    /// A finite point.
+    pub fn new(x: Bn, y: Bn) -> Self {
+        AffinePoint {
+            x,
+            y,
+            infinity: false,
+        }
+    }
+}
+
+/// A prime-field short-Weierstrass curve with `N`-limb field elements.
+pub struct PrimeCurve<const N: usize> {
+    /// Field arithmetic context.
+    pub field: FpParams<N>,
+    /// Curve coefficient `a` (Montgomery form).
+    a: [u64; N],
+    /// Curve coefficient `b` (Montgomery form).
+    b: [u64; N],
+    /// Base point (Montgomery affine coordinates).
+    gx: [u64; N],
+    gy: [u64; N],
+    /// Group order `n`.
+    pub order: Bn,
+    /// Field size in bytes (for point encoding).
+    pub byte_len: usize,
+}
+
+/// A point in Jacobian coordinates, elements in Montgomery form.
+#[derive(Clone, Copy)]
+struct Jacobian<const N: usize> {
+    x: [u64; N],
+    y: [u64; N],
+    z: [u64; N],
+}
+
+impl<const N: usize> PrimeCurve<N> {
+    /// Construct from hex parameters.
+    pub fn from_hex(p: &str, a: &str, b: &str, gx: &str, gy: &str, n: &str) -> Self {
+        let p_bn = Bn::from_hex(p).unwrap();
+        let field = FpParams::<N>::new(&p_bn);
+        let byte_len = p_bn.bit_len().div_ceil(8);
+        PrimeCurve {
+            a: field.to_mont(&Bn::from_hex(a).unwrap()),
+            b: field.to_mont(&Bn::from_hex(b).unwrap()),
+            gx: field.to_mont(&Bn::from_hex(gx).unwrap()),
+            gy: field.to_mont(&Bn::from_hex(gy).unwrap()),
+            order: Bn::from_hex(n).unwrap(),
+            byte_len,
+            field,
+        }
+    }
+
+    /// The base point G in affine coordinates.
+    pub fn generator(&self) -> AffinePoint {
+        AffinePoint::new(self.field.from_mont(&self.gx), self.field.from_mont(&self.gy))
+    }
+
+    /// Is `pt` on the curve (and not infinity)?
+    pub fn is_on_curve(&self, pt: &AffinePoint) -> bool {
+        if pt.infinity {
+            return false;
+        }
+        if pt.x >= self.field.modulus_bn() || pt.y >= self.field.modulus_bn() {
+            return false;
+        }
+        let f = &self.field;
+        let x = f.to_mont(&pt.x);
+        let y = f.to_mont(&pt.y);
+        // y^2 == x^3 + a x + b
+        let lhs = f.sqr(&y);
+        let rhs = f.add(&f.add(&f.mul(&f.sqr(&x), &x), &f.mul(&self.a, &x)), &self.b);
+        f.eq(&lhs, &rhs)
+    }
+
+    fn to_jacobian(&self, pt: &AffinePoint) -> Jacobian<N> {
+        if pt.infinity {
+            return self.jac_infinity();
+        }
+        Jacobian {
+            x: self.field.to_mont(&pt.x),
+            y: self.field.to_mont(&pt.y),
+            z: self.field.one,
+        }
+    }
+
+    fn jac_infinity(&self) -> Jacobian<N> {
+        Jacobian {
+            x: self.field.one,
+            y: self.field.one,
+            z: self.field.zero(),
+        }
+    }
+
+    fn is_jac_infinity(&self, p: &Jacobian<N>) -> bool {
+        self.field.is_zero(&p.z)
+    }
+
+    fn to_affine(&self, p: &Jacobian<N>) -> AffinePoint {
+        if self.is_jac_infinity(p) {
+            return AffinePoint::infinity();
+        }
+        let f = &self.field;
+        let zi = f.inv(&p.z);
+        let zi2 = f.sqr(&zi);
+        let zi3 = f.mul(&zi2, &zi);
+        AffinePoint::new(f.from_mont(&f.mul(&p.x, &zi2)), f.from_mont(&f.mul(&p.y, &zi3)))
+    }
+
+    /// Jacobian point doubling (general `a`).
+    fn dbl(&self, p: &Jacobian<N>) -> Jacobian<N> {
+        let f = &self.field;
+        if self.is_jac_infinity(p) || f.is_zero(&p.y) {
+            return self.jac_infinity();
+        }
+        // S = 4 X Y^2
+        let y2 = f.sqr(&p.y);
+        let s = f.mul(&p.x, &y2);
+        let s = f.add(&s, &s);
+        let s = f.add(&s, &s);
+        // M = 3 X^2 + a Z^4
+        let x2 = f.sqr(&p.x);
+        let m = f.add(&f.add(&x2, &x2), &x2);
+        let z2 = f.sqr(&p.z);
+        let m = f.add(&m, &f.mul(&self.a, &f.sqr(&z2)));
+        // X' = M^2 - 2S
+        let x3 = f.sub(&f.sub(&f.sqr(&m), &s), &s);
+        // Y' = M (S - X') - 8 Y^4
+        let y4 = f.sqr(&y2);
+        let y4_8 = {
+            let t = f.add(&y4, &y4);
+            let t = f.add(&t, &t);
+            f.add(&t, &t)
+        };
+        let y3 = f.sub(&f.mul(&m, &f.sub(&s, &x3)), &y4_8);
+        // Z' = 2 Y Z
+        let yz = f.mul(&p.y, &p.z);
+        let z3 = f.add(&yz, &yz);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// Jacobian point addition.
+    fn add_jac(&self, p: &Jacobian<N>, q: &Jacobian<N>) -> Jacobian<N> {
+        let f = &self.field;
+        if self.is_jac_infinity(p) {
+            return *q;
+        }
+        if self.is_jac_infinity(q) {
+            return *p;
+        }
+        let z1z1 = f.sqr(&p.z);
+        let z2z2 = f.sqr(&q.z);
+        let u1 = f.mul(&p.x, &z2z2);
+        let u2 = f.mul(&q.x, &z1z1);
+        let s1 = f.mul(&f.mul(&p.y, &z2z2), &q.z);
+        let s2 = f.mul(&f.mul(&q.y, &z1z1), &p.z);
+        let h = f.sub(&u2, &u1);
+        let r = f.sub(&s2, &s1);
+        if f.is_zero(&h) {
+            if f.is_zero(&r) {
+                return self.dbl(p);
+            }
+            return self.jac_infinity();
+        }
+        let h2 = f.sqr(&h);
+        let h3 = f.mul(&h2, &h);
+        let u1h2 = f.mul(&u1, &h2);
+        // X3 = r^2 - H^3 - 2 U1 H^2
+        let x3 = f.sub(&f.sub(&f.sqr(&r), &h3), &f.add(&u1h2, &u1h2));
+        // Y3 = r (U1 H^2 - X3) - S1 H^3
+        let y3 = f.sub(&f.mul(&r, &f.sub(&u1h2, &x3)), &f.mul(&s1, &h3));
+        // Z3 = Z1 Z2 H
+        let z3 = f.mul(&f.mul(&p.z, &q.z), &h);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// Scalar multiplication `k * pt` with a 4-bit fixed window.
+    pub fn scalar_mul(&self, pt: &AffinePoint, k: &Bn) -> AffinePoint {
+        if k.is_zero() || pt.infinity {
+            return AffinePoint::infinity();
+        }
+        let base = self.to_jacobian(pt);
+        // table[i] = i * pt for i in 0..16
+        let mut table = Vec::with_capacity(16);
+        table.push(self.jac_infinity());
+        table.push(base);
+        for i in 2..16 {
+            if i % 2 == 0 {
+                table.push(self.dbl(&table[i / 2]));
+            } else {
+                table.push(self.add_jac(&table[i - 1], &base));
+            }
+        }
+        let bits = k.bit_len();
+        let windows = bits.div_ceil(4);
+        let mut acc = self.jac_infinity();
+        for w in (0..windows).rev() {
+            for _ in 0..4 {
+                acc = self.dbl(&acc);
+            }
+            let mut idx = 0usize;
+            for b in 0..4 {
+                let bit = w * 4 + (3 - b);
+                idx = (idx << 1) | k.bit(bit) as usize;
+            }
+            if idx != 0 {
+                acc = self.add_jac(&acc, &table[idx]);
+            }
+        }
+        self.to_affine(&acc)
+    }
+
+    /// `k * G`.
+    pub fn scalar_mul_base(&self, k: &Bn) -> AffinePoint {
+        let g = AffinePoint::new(self.field.from_mont(&self.gx), self.field.from_mont(&self.gy));
+        self.scalar_mul(&g, k)
+    }
+
+    /// Point addition on affine points (for tests/verification).
+    pub fn add_points(&self, p: &AffinePoint, q: &AffinePoint) -> AffinePoint {
+        let r = self.add_jac(&self.to_jacobian(p), &self.to_jacobian(q));
+        self.to_affine(&r)
+    }
+
+    /// Sum of two scalar multiplications `u1*G + u2*Q` (ECDSA verify).
+    pub fn double_scalar_mul(&self, u1: &Bn, u2: &Bn, q: &AffinePoint) -> AffinePoint {
+        // Straightforward: two windowed multiplications and an add.
+        let a = self.to_jacobian(&self.scalar_mul_base(u1));
+        let b = self.to_jacobian(&self.scalar_mul(q, u2));
+        self.to_affine(&self.add_jac(&a, &b))
+    }
+}
+
+/// NIST P-256 (secp256r1).
+pub fn p256() -> &'static PrimeCurve<4> {
+    use std::sync::OnceLock;
+    static CURVE: OnceLock<PrimeCurve<4>> = OnceLock::new();
+    CURVE.get_or_init(|| {
+        PrimeCurve::from_hex(
+            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff",
+            "ffffffff00000001000000000000000000000000fffffffffffffffffffffffc",
+            "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b",
+            "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296",
+            "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5",
+            "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551",
+        )
+    })
+}
+
+/// NIST P-384 (secp384r1).
+pub fn p384() -> &'static PrimeCurve<6> {
+    use std::sync::OnceLock;
+    static CURVE: OnceLock<PrimeCurve<6>> = OnceLock::new();
+    CURVE.get_or_init(|| {
+        PrimeCurve::from_hex(
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffe\
+             ffffffff0000000000000000ffffffff",
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffe\
+             ffffffff0000000000000000fffffffc",
+            "b3312fa7e23ee7e4988e056be3f82d19181d9c6efe8141120314088f5013875a\
+             c656398d8a2ed19d2a85c8edd3ec2aef",
+            "aa87ca22be8b05378eb1c71ef320ad746e1d3b628ba79b9859f741e082542a38\
+             5502f25dbf55296c3a545e3872760ab7",
+            "3617de4a96262c6f5d9e98bf9292dc29f8f41dbd289a147ce9da3113b5f0b8c0\
+             0a60b1ce1d7e819d7a431d7c90ea0e5f",
+            "ffffffffffffffffffffffffffffffffffffffffffffffffc7634d81f4372ddf\
+             581a0db248b0a77aecec196accc52973",
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p256_generator_on_curve() {
+        let c = p256();
+        assert!(c.is_on_curve(&c.generator()));
+    }
+
+    #[test]
+    fn p384_generator_on_curve() {
+        let c = p384();
+        assert!(c.is_on_curve(&c.generator()));
+    }
+
+    #[test]
+    fn p256_group_order() {
+        let c = p256();
+        // n * G = infinity
+        assert!(c.scalar_mul_base(&c.order).infinity);
+        // (n-1) * G = -G
+        let neg_g = c.scalar_mul_base(&c.order.sub(&Bn::one()));
+        let g = c.generator();
+        assert_eq!(neg_g.x, g.x);
+        assert_eq!(neg_g.y, c.field.modulus_bn().sub(&g.y));
+    }
+
+    #[test]
+    fn p384_group_order() {
+        let c = p384();
+        assert!(c.scalar_mul_base(&c.order).infinity);
+    }
+
+    #[test]
+    fn p256_known_multiple() {
+        // 2G for P-256 (public test vector).
+        let c = p256();
+        let two_g = c.scalar_mul_base(&Bn::from_u64(2));
+        assert_eq!(
+            two_g.x.to_hex(),
+            "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978"
+        );
+        assert_eq!(
+            two_g.y.to_hex(),
+            "7775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1"
+        );
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let c = p256();
+        let k1 = Bn::from_hex("1234567890abcdef").unwrap();
+        let k2 = Bn::from_hex("fedcba9876543210").unwrap();
+        let sum_scalar = k1.add(&k2);
+        let lhs = c.scalar_mul_base(&sum_scalar);
+        let rhs = c.add_points(&c.scalar_mul_base(&k1), &c.scalar_mul_base(&k2));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn add_doubling_consistency() {
+        let c = p256();
+        let g = c.generator();
+        let g2a = c.add_points(&g, &g);
+        let g2b = c.scalar_mul_base(&Bn::from_u64(2));
+        assert_eq!(g2a, g2b);
+        // P + (-P) = infinity
+        let neg_g = AffinePoint::new(g.x.clone(), c.field.modulus_bn().sub(&g.y));
+        assert!(c.add_points(&g, &neg_g).infinity);
+        // P + infinity = P
+        assert_eq!(c.add_points(&g, &AffinePoint::infinity()), g);
+    }
+
+    #[test]
+    fn off_curve_rejected() {
+        let c = p256();
+        let bogus = AffinePoint::new(Bn::from_u64(1), Bn::from_u64(1));
+        assert!(!c.is_on_curve(&bogus));
+        assert!(!c.is_on_curve(&AffinePoint::infinity()));
+    }
+
+    #[test]
+    fn double_scalar_mul_matches() {
+        let c = p256();
+        let q = c.scalar_mul_base(&Bn::from_u64(99));
+        let u1 = Bn::from_u64(7);
+        let u2 = Bn::from_u64(13);
+        let direct = c.double_scalar_mul(&u1, &u2, &q);
+        // 7G + 13*99G = (7 + 1287) G
+        let expect = c.scalar_mul_base(&Bn::from_u64(7 + 13 * 99));
+        assert_eq!(direct, expect);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types for the crypto layer.
+
+use core::fmt;
+
+/// Errors produced by cryptographic operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Message exceeds the capacity of the key/padding scheme.
+    MessageTooLong,
+    /// Key is too small for the requested encoding.
+    KeyTooSmall,
+    /// A signature failed verification.
+    InvalidSignature,
+    /// Ciphertext failed structural or padding checks.
+    DecryptionFailed,
+    /// A point is not on the curve / not in the group.
+    InvalidPoint,
+    /// A scalar is out of range (zero or ≥ group order).
+    InvalidScalar,
+    /// Input length is not acceptable (e.g. non-block-multiple for CBC).
+    InvalidLength,
+    /// MAC verification failed.
+    BadMac,
+    /// Malformed padding (CBC).
+    BadPadding,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CryptoError::MessageTooLong => "message too long",
+            CryptoError::KeyTooSmall => "key too small",
+            CryptoError::InvalidSignature => "invalid signature",
+            CryptoError::DecryptionFailed => "decryption failed",
+            CryptoError::InvalidPoint => "invalid curve point",
+            CryptoError::InvalidScalar => "invalid scalar",
+            CryptoError::InvalidLength => "invalid input length",
+            CryptoError::BadMac => "MAC verification failed",
+            CryptoError::BadPadding => "bad padding",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for CryptoError {}

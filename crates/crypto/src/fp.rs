@@ -1,0 +1,296 @@
+//! Fixed-width Montgomery arithmetic over prime fields, used by the
+//! prime-curve module (`ec`) for P-256 (N = 4 limbs) and P-384 (N = 6).
+//!
+//! Elements are `[u64; N]` in Montgomery form — no heap allocation in the
+//! point-arithmetic hot path, following the perf-book guidance to keep
+//! oft-instantiated types small and allocation-free.
+
+#![allow(clippy::needless_range_loop)] // fixed-width limb kernels index in lockstep
+
+use crate::bn::Bn;
+
+/// Parameters of a prime field with an `N`-limb odd modulus.
+#[derive(Clone, Debug)]
+pub struct FpParams<const N: usize> {
+    /// The prime modulus `p` (little-endian limbs).
+    pub p: [u64; N],
+    /// `-p^{-1} mod 2^64`.
+    pub n0_inv: u64,
+    /// `R^2 mod p` where `R = 2^(64N)` — converts into Montgomery form.
+    pub rr: [u64; N],
+    /// `R mod p` — the Montgomery representation of 1.
+    pub one: [u64; N],
+}
+
+impl<const N: usize> FpParams<N> {
+    /// Derive the parameters from a prime modulus.
+    pub fn new(p_bn: &Bn) -> Self {
+        assert!(p_bn.is_odd(), "prime field modulus must be odd");
+        assert!(p_bn.bit_len() <= 64 * N && p_bn.bit_len() > 64 * (N - 1));
+        let mut p = [0u64; N];
+        p[..p_bn.limbs().len()].copy_from_slice(p_bn.limbs());
+        // -p^{-1} mod 2^64 by Newton iteration.
+        let mut inv = p[0];
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(p[0].wrapping_mul(inv)));
+        }
+        let n0_inv = inv.wrapping_neg();
+        let rr_bn = Bn::one().shl(128 * N).rem(p_bn);
+        let mut rr = [0u64; N];
+        rr[..rr_bn.limbs().len()].copy_from_slice(rr_bn.limbs());
+        let one_bn = Bn::one().shl(64 * N).rem(p_bn);
+        let mut one = [0u64; N];
+        one[..one_bn.limbs().len()].copy_from_slice(one_bn.limbs());
+        FpParams { p, n0_inv, rr, one }
+    }
+
+    /// Convert a `Bn` (reduced mod p by the caller) into Montgomery form.
+    pub fn to_mont(&self, v: &Bn) -> [u64; N] {
+        let mut a = [0u64; N];
+        let v = v.rem(&self.modulus_bn());
+        a[..v.limbs().len()].copy_from_slice(v.limbs());
+        self.mul(&a, &self.rr)
+    }
+
+    /// Convert out of Montgomery form into a `Bn`.
+    pub fn from_mont(&self, a: &[u64; N]) -> Bn {
+        let mut one = [0u64; N];
+        one[0] = 1;
+        let v = self.mul(a, &one);
+        Bn::from_limbs(v.to_vec())
+    }
+
+    /// The modulus as a `Bn`.
+    pub fn modulus_bn(&self) -> Bn {
+        Bn::from_limbs(self.p.to_vec())
+    }
+
+    /// The additive identity (also the Montgomery form of 0).
+    pub fn zero(&self) -> [u64; N] {
+        [0u64; N]
+    }
+
+    /// Field addition.
+    pub fn add(&self, a: &[u64; N], b: &[u64; N]) -> [u64; N] {
+        let mut out = [0u64; N];
+        let mut carry = 0u64;
+        for i in 0..N {
+            let (s1, c1) = a[i].overflowing_add(b[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            // The true value is out + 2^(64N); the borrow from the
+            // subtraction cancels against the dropped carry.
+            let _ = sub_limbs_borrow(&mut out, &self.p);
+        } else if ge(&out, &self.p) {
+            sub_limbs(&mut out, &self.p);
+        }
+        out
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, a: &[u64; N], b: &[u64; N]) -> [u64; N] {
+        let mut out = *a;
+        let borrow = sub_limbs_borrow(&mut out, b);
+        if borrow {
+            // out += p
+            let mut carry = 0u64;
+            for i in 0..N {
+                let (s1, c1) = out[i].overflowing_add(self.p[i]);
+                let (s2, c2) = s1.overflowing_add(carry);
+                out[i] = s2;
+                carry = (c1 as u64) + (c2 as u64);
+            }
+        }
+        out
+    }
+
+    /// Field negation.
+    pub fn neg(&self, a: &[u64; N]) -> [u64; N] {
+        if a.iter().all(|&l| l == 0) {
+            return [0u64; N];
+        }
+        let mut out = self.p;
+        sub_limbs(&mut out, a);
+        out
+    }
+
+    /// Montgomery multiplication (CIOS): `a * b * R^{-1} mod p`.
+    pub fn mul(&self, a: &[u64; N], b: &[u64; N]) -> [u64; N] {
+        // t: N+2 limbs, on the stack.
+        let mut t = [0u64; 16]; // N <= 14 supported; we use N=4 or 6.
+        debug_assert!(N + 2 <= 16);
+        for &ai in a.iter() {
+            let mut carry = 0u128;
+            for j in 0..N {
+                let s = t[j] as u128 + (ai as u128) * (b[j] as u128) + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[N] as u128 + carry;
+            t[N] = s as u64;
+            t[N + 1] = (s >> 64) as u64;
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let s = t[0] as u128 + (m as u128) * (self.p[0] as u128);
+            let mut carry = s >> 64;
+            for j in 1..N {
+                let s = t[j] as u128 + (m as u128) * (self.p[j] as u128) + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[N] as u128 + carry;
+            t[N - 1] = s as u64;
+            t[N] = t[N + 1] + (s >> 64) as u64;
+            t[N + 1] = 0;
+        }
+        let mut out = [0u64; N];
+        out.copy_from_slice(&t[..N]);
+        if t[N] != 0 {
+            // True value is out + t[N] * 2^(64N) < 2p, so one subtraction
+            // (with the borrow cancelling the high limb) normalizes it.
+            let _ = sub_limbs_borrow(&mut out, &self.p);
+        } else if ge(&out, &self.p) {
+            sub_limbs(&mut out, &self.p);
+        }
+        out
+    }
+
+    /// Field squaring (delegates to `mul`).
+    pub fn sqr(&self, a: &[u64; N]) -> [u64; N] {
+        self.mul(a, a)
+    }
+
+    /// Field inversion via Fermat: `a^(p-2) mod p`.
+    pub fn inv(&self, a: &[u64; N]) -> [u64; N] {
+        let exp = self.modulus_bn().sub(&Bn::from_u64(2));
+        self.pow(a, &exp)
+    }
+
+    /// Exponentiation by a `Bn` exponent (square-and-multiply, MSB-first).
+    pub fn pow(&self, a: &[u64; N], exp: &Bn) -> [u64; N] {
+        let mut acc = self.one;
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.sqr(&acc);
+            if exp.bit(i) {
+                acc = self.mul(&acc, a);
+            }
+        }
+        acc
+    }
+
+    /// Is this the Montgomery form of zero?
+    pub fn is_zero(&self, a: &[u64; N]) -> bool {
+        a.iter().all(|&l| l == 0)
+    }
+
+    /// Equality (Montgomery forms are canonical `< p`).
+    pub fn eq(&self, a: &[u64; N], b: &[u64; N]) -> bool {
+        a == b
+    }
+}
+
+/// `a >= b` on little-endian fixed-size limbs.
+fn ge<const N: usize>(a: &[u64; N], b: &[u64; N]) -> bool {
+    for i in (0..N).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// `a -= b`, asserting no borrow out.
+fn sub_limbs<const N: usize>(a: &mut [u64; N], b: &[u64; N]) {
+    let borrow = sub_limbs_borrow(a, b);
+    debug_assert!(!borrow);
+}
+
+/// `a -= b`, returning whether a borrow out occurred.
+fn sub_limbs_borrow<const N: usize>(a: &mut [u64; N], b: &[u64; N]) -> bool {
+    let mut borrow = 0u64;
+    for i in 0..N {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    borrow != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p256() -> FpParams<4> {
+        FpParams::new(
+            &Bn::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_mont() {
+        let f = p256();
+        for hx in ["0", "1", "2", "deadbeef", "ffffffff00000001000000000000000000000000fffffffffffffffffffffffe"] {
+            let v = Bn::from_hex(hx).unwrap();
+            let m = f.to_mont(&v);
+            assert_eq!(f.from_mont(&m), v, "hx={hx}");
+        }
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let f = p256();
+        let a = f.to_mont(&Bn::from_hex("123456789abcdef").unwrap());
+        let b = f.to_mont(&Bn::from_hex("fedcba987654321").unwrap());
+        let s = f.add(&a, &b);
+        assert_eq!(f.sub(&s, &b), a);
+        let na = f.neg(&a);
+        assert!(f.is_zero(&f.add(&a, &na)));
+        assert!(f.is_zero(&f.neg(&f.zero())));
+    }
+
+    #[test]
+    fn mul_matches_bn() {
+        let f = p256();
+        let p = f.modulus_bn();
+        let a_bn = Bn::from_hex("aa87ca22be8b05378eb1c71ef320ad746e1d3b628ba79b98").unwrap();
+        let b_bn = Bn::from_hex("3617de4a96262c6f5d9e98bf9292dc29f8f41dbd289a147c").unwrap();
+        let a = f.to_mont(&a_bn);
+        let b = f.to_mont(&b_bn);
+        let c = f.mul(&a, &b);
+        assert_eq!(f.from_mont(&c), a_bn.mul_mod(&b_bn, &p));
+    }
+
+    #[test]
+    fn inversion() {
+        let f = p256();
+        let a = f.to_mont(&Bn::from_hex("123456789").unwrap());
+        let ai = f.inv(&a);
+        assert_eq!(f.mul(&a, &ai), f.one);
+    }
+
+    #[test]
+    fn pow_small() {
+        let f = p256();
+        let a = f.to_mont(&Bn::from_u64(3));
+        // 3^4 = 81
+        let r = f.pow(&a, &Bn::from_u64(4));
+        assert_eq!(f.from_mont(&r), Bn::from_u64(81));
+    }
+
+    #[test]
+    fn wraparound_add() {
+        let f = p256();
+        let p = f.modulus_bn();
+        let pm1 = f.to_mont(&p.sub(&Bn::one()));
+        let one = f.to_mont(&Bn::one());
+        // (p-1) + 1 = 0 mod p
+        assert!(f.is_zero(&f.add(&pm1, &one)));
+        // (p-1) + (p-1) = p-2 mod p
+        let r = f.add(&pm1, &pm1);
+        assert_eq!(f.from_mont(&r), p.sub(&Bn::from_u64(2)));
+    }
+}

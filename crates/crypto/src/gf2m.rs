@@ -1,0 +1,441 @@
+//! Arithmetic in binary fields GF(2^m) with polynomial basis, for the
+//! NIST binary curves B-283/K-283 (m = 283) and B-409/K-409 (m = 409).
+//!
+//! Elements are bit vectors packed into `L = ceil(m/64)` little-endian
+//! 64-bit words. Addition is XOR; multiplication is a 4-bit-window comb
+//! followed by word-level reduction by the field polynomial
+//! `x^m + sum(x^tap)`.
+
+/// A binary field GF(2^m) defined by its reduction pentanomial/trinomial.
+#[derive(Clone, Debug)]
+pub struct Gf2m {
+    /// Extension degree `m`.
+    pub m: usize,
+    /// Exponents of the reduction polynomial besides `m` (includes 0).
+    /// E.g. B-283 uses `x^283 + x^12 + x^7 + x^5 + 1` → `[12, 7, 5, 0]`.
+    pub taps: Vec<usize>,
+    /// Number of 64-bit words per element.
+    pub words: usize,
+}
+
+/// A field element: little-endian packed bits, `words` words long.
+pub type El = Vec<u64>;
+
+impl Gf2m {
+    /// Define GF(2^m) with the given reduction taps (must include 0).
+    pub fn new(m: usize, taps: &[usize]) -> Self {
+        assert!(taps.contains(&0), "reduction polynomial must include x^0");
+        // Single-pass word-level reduction requires each fold to land
+        // strictly below the word being folded: t <= m - 64. True for all
+        // NIST binary-field polynomials (283: taps ≤ 12; 409: tap 87).
+        assert!(taps.iter().all(|&t| t + 64 <= m), "tap too close to m");
+        Gf2m {
+            m,
+            taps: taps.to_vec(),
+            words: m.div_ceil(64),
+        }
+    }
+
+    /// The zero element.
+    pub fn zero(&self) -> El {
+        vec![0u64; self.words]
+    }
+
+    /// The one element.
+    pub fn one(&self) -> El {
+        let mut v = self.zero();
+        v[0] = 1;
+        v
+    }
+
+    /// Is `a` zero?
+    pub fn is_zero(&self, a: &El) -> bool {
+        a.iter().all(|&w| w == 0)
+    }
+
+    /// Parse from big-endian hex (e.g. NIST curve constants).
+    pub fn from_hex(&self, s: &str) -> El {
+        let bn = crate::bn::Bn::from_hex(s).expect("invalid hex");
+        self.from_bn(&bn)
+    }
+
+    /// From a `Bn` bit pattern (must fit in m bits).
+    pub fn from_bn(&self, v: &crate::bn::Bn) -> El {
+        assert!(v.bit_len() <= self.m, "element exceeds field size");
+        let mut out = self.zero();
+        out[..v.limbs().len()].copy_from_slice(v.limbs());
+        out
+    }
+
+    /// To a `Bn` bit pattern.
+    pub fn to_bn(&self, a: &El) -> crate::bn::Bn {
+        crate::bn::Bn::from_limbs(a.clone())
+    }
+
+    /// Field addition (XOR).
+    pub fn add(&self, a: &El, b: &El) -> El {
+        a.iter().zip(b.iter()).map(|(x, y)| x ^ y).collect()
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, a: &El, b: &El) -> El {
+        let mut wide = self.mul_wide(a, b);
+        self.reduce(&mut wide)
+    }
+
+    /// Field squaring (bit spreading + reduction).
+    pub fn sqr(&self, a: &El) -> El {
+        let mut wide = vec![0u64; 2 * self.words];
+        for (i, &w) in a.iter().enumerate() {
+            let (lo, hi) = spread_u64(w);
+            wide[2 * i] = lo;
+            wide[2 * i + 1] = hi;
+        }
+        self.reduce(&mut wide)
+    }
+
+    /// Carry-less polynomial multiplication, 4-bit window comb.
+    fn mul_wide(&self, a: &El, b: &El) -> Vec<u64> {
+        let l = self.words;
+        // Precompute v * b for v in 0..16 (each l+1 words: up to 3 bits overflow).
+        let mut table = vec![vec![0u64; l + 1]; 16];
+        for v in 1..16u64 {
+            // table[v] = table[v & (v-1)] ^ (b << tz(v))  — build from
+            // single-bit shifts.
+            let tz = v.trailing_zeros() as usize;
+            let prev = (v & (v - 1)) as usize;
+            let mut shifted = vec![0u64; l + 1];
+            // b << tz (tz in 0..4)
+            if tz == 0 {
+                shifted[..l].copy_from_slice(b);
+            } else {
+                let mut carry = 0u64;
+                for i in 0..l {
+                    shifted[i] = (b[i] << tz) | carry;
+                    carry = b[i] >> (64 - tz);
+                }
+                shifted[l] = carry;
+            }
+            for i in 0..=l {
+                table[v as usize][i] = table[prev][i] ^ shifted[i];
+            }
+        }
+        let mut out = vec![0u64; 2 * l + 1];
+        // Process a's nibbles from most significant to least.
+        for nib in (0..16).rev() {
+            if nib != 15 {
+                // out <<= 4
+                let mut carry = 0u64;
+                for w in out.iter_mut() {
+                    let nc = *w >> 60;
+                    *w = (*w << 4) | carry;
+                    carry = nc;
+                }
+                debug_assert_eq!(carry, 0);
+            }
+            let shift = nib * 4;
+            for (i, &aw) in a.iter().enumerate() {
+                let v = ((aw >> shift) & 0xf) as usize;
+                if v != 0 {
+                    for (j, &tw) in table[v].iter().enumerate() {
+                        out[i + j] ^= tw;
+                    }
+                }
+            }
+        }
+        out.truncate(2 * l);
+        out
+    }
+
+    /// Reduce a `2 * words`-word polynomial modulo the field polynomial.
+    ///
+    /// Single top-down pass over the high words: the constructor asserts
+    /// `t <= m - 64` for every tap, which guarantees each fold lands
+    /// strictly below the word being folded (so nothing is reintroduced
+    /// above the current position).
+    fn reduce(&self, c: &mut [u64]) -> El {
+        let l = self.words;
+        let m = self.m;
+        // Fold whole high words: bit (i*64 + k) maps to bits
+        // (i*64 + k - m + t) for each tap t.
+        for i in (l..2 * l).rev() {
+            let w = c[i];
+            if w == 0 {
+                continue;
+            }
+            c[i] = 0;
+            for &t in &self.taps {
+                let pos = i * 64 + t - m;
+                let wi = pos / 64;
+                let sh = pos % 64;
+                c[wi] ^= w << sh;
+                if sh != 0 {
+                    c[wi + 1] ^= w >> (64 - sh);
+                }
+            }
+        }
+        // Fold the residual bits of word l-1 above bit position m.
+        let top_bits = m % 64;
+        if top_bits != 0 {
+            let w = c[l - 1] >> top_bits;
+            if w != 0 {
+                c[l - 1] &= (1u64 << top_bits) - 1;
+                for &t in &self.taps {
+                    let wi = t / 64;
+                    let sh = t % 64;
+                    c[wi] ^= w << sh;
+                    if sh != 0 {
+                        c[wi + 1] ^= w >> (64 - sh);
+                    }
+                }
+                // `w` has at most 64 - top_bits bits and taps satisfy
+                // t + 64 <= m, so this fold cannot reach bit m again.
+                debug_assert_eq!(c[l - 1] >> top_bits, 0);
+            }
+        }
+        c[..l].to_vec()
+    }
+
+    /// Degree of the polynomial `a` (-1 for zero).
+    fn degree(a: &[u64]) -> isize {
+        for i in (0..a.len()).rev() {
+            if a[i] != 0 {
+                return (i * 64 + 63 - a[i].leading_zeros() as usize) as isize;
+            }
+        }
+        -1
+    }
+
+    /// Field inversion by the binary polynomial extended Euclidean
+    /// algorithm. Panics on zero.
+    pub fn inv(&self, a: &El) -> El {
+        assert!(!self.is_zero(a), "inversion of zero");
+        let l = self.words;
+        let work = l + 1;
+        // u = a, v = f (the reduction polynomial, m+1 bits).
+        let mut u = vec![0u64; work];
+        u[..l].copy_from_slice(a);
+        let mut v = vec![0u64; work];
+        v[self.m / 64] |= 1u64 << (self.m % 64);
+        for &t in &self.taps {
+            v[t / 64] ^= 1u64 << (t % 64);
+        }
+        let mut g1 = vec![0u64; work];
+        g1[0] = 1;
+        let mut g2 = vec![0u64; work];
+        while Self::degree(&u) > 0 {
+            let mut j = Self::degree(&u) - Self::degree(&v);
+            if j < 0 {
+                core::mem::swap(&mut u, &mut v);
+                core::mem::swap(&mut g1, &mut g2);
+                j = -j;
+            }
+            xor_shifted(&mut u, &v, j as usize);
+            xor_shifted(&mut g1, &g2, j as usize);
+        }
+        debug_assert_eq!(Self::degree(&u), 0, "input not invertible");
+        // g1 has degree < m; truncate to element width.
+        let mut out = g1;
+        out.truncate(l);
+        // If m % 64 == 0 this is exact; otherwise mask the top word.
+        let top_bits = self.m % 64;
+        if top_bits != 0 {
+            out[l - 1] &= (1u64 << top_bits) - 1;
+        }
+        out
+    }
+
+    /// Solve `z^2 + z = c` via the half-trace (valid for odd `m`).
+    /// Returns `None` if no solution exists (trace(c) == 1).
+    pub fn solve_quadratic(&self, c: &El) -> Option<El> {
+        assert!(self.m % 2 == 1, "half-trace requires odd m");
+        // H(c) = sum_{i=0}^{(m-1)/2} c^(2^(2i))
+        let mut z = c.clone();
+        let mut acc = c.clone();
+        for _ in 0..(self.m - 1) / 2 {
+            acc = self.sqr(&self.sqr(&acc));
+            z = self.add(&z, &acc);
+        }
+        // Verify: z^2 + z == c
+        let check = self.add(&self.sqr(&z), &z);
+        if check == *c {
+            Some(z)
+        } else {
+            None
+        }
+    }
+}
+
+/// `a ^= b << j` where `j` is a bit shift (a and b same length; bits
+/// shifted beyond `a` are asserted zero in debug).
+fn xor_shifted(a: &mut [u64], b: &[u64], j: usize) {
+    let wshift = j / 64;
+    let bshift = j % 64;
+    if bshift == 0 {
+        for i in (wshift..a.len()).rev() {
+            a[i] ^= b[i - wshift];
+        }
+    } else {
+        for i in (wshift..a.len()).rev() {
+            let lo = b[i - wshift] << bshift;
+            let hi = if i - wshift > 0 {
+                b[i - wshift - 1] >> (64 - bshift)
+            } else {
+                0
+            };
+            a[i] ^= lo | hi;
+        }
+    }
+}
+
+/// Spread the bits of `w` so bit i goes to bit 2i (squaring in GF(2)[x]).
+fn spread_u64(w: u64) -> (u64, u64) {
+    fn spread32(x: u32) -> u64 {
+        let mut v = x as u64;
+        v = (v | (v << 16)) & 0x0000_ffff_0000_ffff;
+        v = (v | (v << 8)) & 0x00ff_00ff_00ff_00ff;
+        v = (v | (v << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+        v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+        v
+    }
+    (spread32(w as u32), spread32((w >> 32) as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f283() -> Gf2m {
+        Gf2m::new(283, &[12, 7, 5, 0])
+    }
+
+    fn f409() -> Gf2m {
+        Gf2m::new(409, &[87, 0])
+    }
+
+    #[test]
+    fn small_field_gf2_127() {
+        // GF(2^127) with the irreducible trinomial x^127 + x + 1.
+        let f = Gf2m::new(127, &[1, 0]);
+        // x^126 * x = x^127 = x + 1.
+        let x126 = {
+            let mut v = f.zero();
+            v[1] = 1u64 << 62;
+            v
+        };
+        let x = f.from_hex("2");
+        assert_eq!(f.mul(&x126, &x), f.from_hex("3"));
+        // Inverses for a few elements.
+        for v in [1u64, 2, 3, 0xdeadbeef, u64::MAX] {
+            let e = vec![v, 0];
+            let inv = f.inv(&e);
+            assert_eq!(f.mul(&e, &inv), f.one(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn add_is_xor_and_self_inverse() {
+        let f = f283();
+        let a = f.from_hex("5f939258db7dd90e1934f8c70b0dfec2eed25b8557eac9c80e2e198f8cdbecd86b12053");
+        let b = f.from_hex("27b680ac8b8596da5a4af8a19a0303fca97fd7645309fa2a581485af6263e313b79a2f5");
+        assert_eq!(f.add(&a, &a), f.zero());
+        assert_eq!(f.add(&f.add(&a, &b), &b), a);
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        let f = f283();
+        let a = f.from_hex("123456789abcdef123456789abcdef123456789abcdef");
+        assert_eq!(f.mul(&a, &f.one()), a);
+        assert_eq!(f.mul(&a, &f.zero()), f.zero());
+    }
+
+    #[test]
+    fn mul_commutative_associative_283() {
+        let f = f283();
+        let a = f.from_hex("5f939258db7dd90e1934f8c70b0dfec2eed25b8557eac9c80e2e198f8cdbecd86b12053");
+        let b = f.from_hex("27b680ac8b8596da5a4af8a19a0303fca97fd7645309fa2a581485af6263e313b79a2f5");
+        let c = f.from_hex("3676854fe24141cb98fe6d4b20d02b4516ff702350eddb0826779c813f0df45be8112f4");
+        assert_eq!(f.mul(&a, &b), f.mul(&b, &a));
+        assert_eq!(f.mul(&f.mul(&a, &b), &c), f.mul(&a, &f.mul(&b, &c)));
+        // Distributivity.
+        assert_eq!(
+            f.mul(&a, &f.add(&b, &c)),
+            f.add(&f.mul(&a, &b), &f.mul(&a, &c))
+        );
+    }
+
+    #[test]
+    fn sqr_matches_mul() {
+        for f in [f283(), f409()] {
+            let a = f.from_hex("1ccda380f1c9e318d90f95d07e5426fe87e45c0e8184698e45962364e34116177dd2259");
+            assert_eq!(f.sqr(&a), f.mul(&a, &a));
+            let one = f.one();
+            assert_eq!(f.sqr(&one), one);
+        }
+    }
+
+    #[test]
+    fn inv_roundtrip_283() {
+        let f = f283();
+        let a = f.from_hex("5f939258db7dd90e1934f8c70b0dfec2eed25b8557eac9c80e2e198f8cdbecd86b12053");
+        let ai = f.inv(&a);
+        assert_eq!(f.mul(&a, &ai), f.one());
+        assert_eq!(f.inv(&f.one()), f.one());
+    }
+
+    #[test]
+    fn inv_roundtrip_409() {
+        let f = f409();
+        let a = f.from_hex("60f05f658f49c1ad3ab1890f7184210efd0987e307c84c27accfb8f9f67cc2c460189eb5aaaa62ee222eb1b35540cfe9023746");
+        let ai = f.inv(&a);
+        assert_eq!(f.mul(&a, &ai), f.one());
+    }
+
+    #[test]
+    fn fermat_little_theorem_283() {
+        // a^(2^m - 1) = 1 for nonzero a: equivalently a^(2^m) = a.
+        // Compute a^(2^m) by m squarings.
+        let f = f283();
+        let a = f.from_hex("abcdef0123456789abcdef0123456789");
+        let mut v = a.clone();
+        for _ in 0..283 {
+            v = f.sqr(&v);
+        }
+        assert_eq!(v, a);
+    }
+
+    #[test]
+    fn fermat_little_theorem_409() {
+        let f = f409();
+        let a = f.from_hex("deadbeefcafebabe0123456789");
+        let mut v = a.clone();
+        for _ in 0..409 {
+            v = f.sqr(&v);
+        }
+        assert_eq!(v, a);
+    }
+
+    #[test]
+    fn solve_quadratic_halftrace() {
+        let f = f283();
+        // For any z, c = z^2 + z must be solvable and the solutions are
+        // {z, z+1}.
+        let z = f.from_hex("123456789abcdef");
+        let c = f.add(&f.sqr(&z), &z);
+        let sol = f.solve_quadratic(&c).expect("must be solvable");
+        let alt = f.add(&sol, &f.one());
+        assert!(sol == z || alt == z);
+    }
+
+    #[test]
+    fn spread_bits() {
+        let (lo, hi) = spread_u64(0b1011);
+        assert_eq!(lo, 0b1000101);
+        assert_eq!(hi, 0);
+        let (lo, hi) = spread_u64(1u64 << 63);
+        assert_eq!(lo, 0);
+        assert_eq!(hi, 1u64 << 62);
+    }
+}

@@ -1,0 +1,25 @@
+//! A minimal streaming-hash abstraction so HMAC, the PRF and HKDF are
+//! generic over the digest (SHA-1 for the record MAC, SHA-256 for key
+//! derivation and signatures).
+
+/// A streaming cryptographic hash function.
+pub trait Hash: Clone {
+    /// Internal block size in bytes (HMAC padding unit).
+    const BLOCK_SIZE: usize;
+    /// Digest length in bytes.
+    const OUTPUT_SIZE: usize;
+
+    /// Fresh state.
+    fn new() -> Self;
+    /// Absorb bytes.
+    fn update(&mut self, data: &[u8]);
+    /// Finish, producing `OUTPUT_SIZE` bytes.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience.
+    fn hash(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}

@@ -1,0 +1,156 @@
+//! HMAC (RFC 2104), generic over the hash function.
+
+use crate::hash::Hash;
+
+/// Streaming HMAC state.
+#[derive(Clone)]
+pub struct Hmac<H: Hash> {
+    inner: H,
+    /// Key XOR opad, kept to build the outer hash at finalize time.
+    opad_key: Vec<u8>,
+}
+
+impl<H: Hash> Hmac<H> {
+    /// Start an HMAC computation with `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = if key.len() > H::BLOCK_SIZE {
+            H::hash(key)
+        } else {
+            key.to_vec()
+        };
+        k.resize(H::BLOCK_SIZE, 0);
+        let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+        let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+        let mut inner = H::new();
+        inner.update(&ipad);
+        Hmac {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finish, producing the tag.
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_digest = self.inner.finalize();
+        let mut outer = H::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot convenience.
+    pub fn mac(key: &[u8], msg: &[u8]) -> Vec<u8> {
+        let mut h = Hmac::<H>::new(key);
+        h.update(msg);
+        h.finalize()
+    }
+
+    /// Constant-time tag comparison.
+    pub fn verify(key: &[u8], msg: &[u8], tag: &[u8]) -> bool {
+        let computed = Self::mac(key, msg);
+        constant_time_eq(&computed, tag)
+    }
+}
+
+/// Constant-time byte-slice equality (length leak is acceptable: lengths
+/// are public protocol constants).
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::Sha1;
+    use crate::sha256::Sha256;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test cases for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = Hmac::<Sha256>::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = Hmac::<Sha256>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_long_key_data() {
+        let key = [0xaau8; 131];
+        let tag = Hmac::<Sha256>::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    // RFC 2202 test cases for HMAC-SHA-1.
+    #[test]
+    fn rfc2202_sha1_case1() {
+        let key = [0x0bu8; 20];
+        let tag = Hmac::<Sha1>::mac(&key, b"Hi There");
+        assert_eq!(hex(&tag), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    #[test]
+    fn rfc2202_sha1_case2() {
+        let tag = Hmac::<Sha1>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(hex(&tag), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let key = b"key material";
+        let msg: Vec<u8> = (0..200u8).collect();
+        let mut h = Hmac::<Sha256>::new(key);
+        h.update(&msg[..77]);
+        h.update(&msg[77..]);
+        assert_eq!(h.finalize(), Hmac::<Sha256>::mac(key, &msg));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = Hmac::<Sha256>::mac(b"k", b"m");
+        assert!(Hmac::<Sha256>::verify(b"k", b"m", &tag));
+        assert!(!Hmac::<Sha256>::verify(b"k", b"m2", &tag));
+        assert!(!Hmac::<Sha256>::verify(b"k2", b"m", &tag));
+        assert!(!Hmac::<Sha256>::verify(b"k", b"m", &tag[..31]));
+    }
+
+    #[test]
+    fn constant_time_eq_basics() {
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"ab"));
+        assert!(constant_time_eq(b"", b""));
+    }
+}

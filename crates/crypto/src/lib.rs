@@ -1,0 +1,45 @@
+//! # qtls-crypto — software cryptography substrate for the QTLS reproduction
+//!
+//! A from-scratch implementation of every cryptographic primitive the
+//! paper's TLS stack needs, standing in for OpenSSL's libcrypto:
+//!
+//! - [`bn`]/[`mont`]/[`prime`]: arbitrary-precision arithmetic, Montgomery
+//!   exponentiation and prime generation;
+//! - [`rsa`]: RSA-2048 sign/verify/encrypt/decrypt (PKCS#1 v1.5, CRT);
+//! - [`fp`]/[`ec`]: prime-field ECC — NIST P-256 and P-384 (ECDHE, ECDSA);
+//! - [`gf2m`]/[`ec2m`]: binary-field ECC — NIST B-283/B-409/K-283/K-409;
+//! - [`ecc`]: the unified named-curve API;
+//! - [`aes`]/[`sha1`]/[`sha256`]/[`hmac`]: the AES128-SHA record
+//!   protection suite and signature digests;
+//! - [`kdf`]: the TLS 1.2 PRF and HKDF / HKDF-Expand-Label (TLS 1.3).
+//!
+//! These are the operations the QAT accelerator offloads (RSA, ECC,
+//! symmetric chained cipher, PRF) and the CPU computes in the `SW`
+//! baseline. The implementation is validated against published test
+//! vectors and group-structure checks; it is **not** hardened against
+//! timing side channels and must not be used to protect real traffic.
+
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod bn;
+pub mod ec;
+pub mod ec2m;
+pub mod ecc;
+pub mod error;
+pub mod fp;
+pub mod gf2m;
+pub mod hash;
+pub mod hmac;
+pub mod kdf;
+pub mod mont;
+pub mod prime;
+pub mod rng;
+pub mod rsa;
+pub mod sha1;
+pub mod sha256;
+pub mod test_keys;
+
+pub use bn::Bn;
+pub use error::CryptoError;
+pub use rng::{EntropySource, SystemRng, TestRng};

@@ -1,0 +1,254 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+//!
+//! This is the hot path for RSA: `MontCtx::mod_exp` implements
+//! left-to-right fixed-window exponentiation over CIOS Montgomery
+//! multiplication. The window table is rebuilt per call; callers that sign
+//! repeatedly with the same key hold a [`MontCtx`] per modulus (see
+//! `rsa::RsaPrivateKey`).
+
+use crate::bn::Bn;
+
+/// Precomputed Montgomery context for a fixed odd modulus.
+#[derive(Clone, Debug)]
+pub struct MontCtx {
+    /// The modulus `n` (odd, > 1).
+    n: Vec<u64>,
+    /// `-n^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R^2 mod n` where `R = 2^(64 * limbs)`.
+    rr: Vec<u64>,
+    /// The modulus as a `Bn` (for slow-path reductions).
+    n_bn: Bn,
+}
+
+/// `-n^{-1} mod 2^64` for odd `n0` (Newton iteration on 2-adic inverse).
+fn neg_inv_u64(n0: u64) -> u64 {
+    debug_assert!(n0 & 1 == 1);
+    let mut inv = n0; // correct to 3 bits
+    for _ in 0..5 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(n0.wrapping_mul(inv), 1);
+    inv.wrapping_neg()
+}
+
+impl MontCtx {
+    /// Build a context for odd modulus `n > 1`.
+    pub fn new(n_bn: Bn) -> Self {
+        assert!(n_bn.is_odd() && !n_bn.is_one(), "modulus must be odd > 1");
+        let n = n_bn.limbs().to_vec();
+        let k = n.len();
+        let n0_inv = neg_inv_u64(n[0]);
+        // rr = R^2 mod n = 2^(128k) mod n.
+        let rr_bn = Bn::one().shl(128 * k).rem(&n_bn);
+        let mut rr = rr_bn.limbs().to_vec();
+        rr.resize(k, 0);
+        MontCtx { n, n0_inv, rr, n_bn }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Bn {
+        &self.n_bn
+    }
+
+    /// Number of 64-bit limbs in the modulus.
+    pub fn limbs(&self) -> usize {
+        self.n.len()
+    }
+
+    /// CIOS Montgomery multiplication: returns `a * b * R^{-1} mod n`.
+    ///
+    /// `a`, `b` and the result are `k`-limb little-endian vectors `< n`.
+    fn mont_mul(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        let k = self.n.len();
+        debug_assert!(a.len() == k && b.len() == k && out.len() == k);
+        // t has k+2 limbs.
+        let mut t = vec![0u64; k + 2];
+        for &ai in a.iter() {
+            // t += ai * b
+            let mut carry = 0u128;
+            for j in 0..k {
+                let s = t[j] as u128 + (ai as u128) * (b[j] as u128) + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+            // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let s = t[0] as u128 + (m as u128) * (self.n[0] as u128);
+            let mut carry = s >> 64;
+            for j in 1..k {
+                let s = t[j] as u128 + (m as u128) * (self.n[j] as u128) + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1] + (s >> 64) as u64;
+            t[k + 1] = 0;
+        }
+        // Conditional final subtraction.
+        let needs_sub = t[k] != 0 || ge(&t[..k], &self.n);
+        if needs_sub {
+            let mut borrow = 0u64;
+            for j in 0..k {
+                let (d1, b1) = t[j].overflowing_sub(self.n[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                out[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+        } else {
+            out.copy_from_slice(&t[..k]);
+        }
+    }
+
+    /// Convert into Montgomery form: `a * R mod n`.
+    fn to_mont(&self, a: &Bn) -> Vec<u64> {
+        let k = self.n.len();
+        let mut a_limbs = a.rem(&self.n_bn).limbs().to_vec();
+        a_limbs.resize(k, 0);
+        let mut out = vec![0u64; k];
+        self.mont_mul(&a_limbs, &self.rr, &mut out);
+        out
+    }
+
+    /// Convert out of Montgomery form: `a * R^{-1} mod n`.
+    #[allow(clippy::wrong_self_convention)] // "from Montgomery form", not a constructor
+    fn from_mont(&self, a: &[u64]) -> Bn {
+        let k = self.n.len();
+        let one: Vec<u64> = {
+            let mut v = vec![0u64; k];
+            v[0] = 1;
+            v
+        };
+        let mut out = vec![0u64; k];
+        self.mont_mul(a, &one, &mut out);
+        Bn::from_limbs(out)
+    }
+
+    /// Modular exponentiation `base^exp mod n` using a fixed 5-bit window.
+    pub fn mod_exp(&self, base: &Bn, exp: &Bn) -> Bn {
+        if exp.is_zero() {
+            return Bn::one().rem(&self.n_bn);
+        }
+        let k = self.n.len();
+        const WINDOW: usize = 5;
+        let base_m = self.to_mont(base);
+        // Precompute base^0..base^(2^w - 1) in Montgomery form.
+        let one_m = self.to_mont(&Bn::one());
+        let mut table = Vec::with_capacity(1 << WINDOW);
+        table.push(one_m.clone());
+        table.push(base_m.clone());
+        for i in 2..(1 << WINDOW) {
+            let mut t = vec![0u64; k];
+            self.mont_mul(&table[i - 1], &base_m, &mut t);
+            table.push(t);
+        }
+        let bits = exp.bit_len();
+        let mut acc = one_m;
+        let mut tmp = vec![0u64; k];
+        let mut i = bits;
+        while i > 0 {
+            let take = WINDOW.min(i);
+            // Square `take` times.
+            for _ in 0..take {
+                self.mont_mul(&acc.clone(), &acc.clone(), &mut tmp);
+                core::mem::swap(&mut acc, &mut tmp);
+            }
+            // Extract window bits [i-take, i).
+            let mut w = 0usize;
+            for j in (i - take..i).rev() {
+                w = (w << 1) | exp.bit(j) as usize;
+            }
+            if w != 0 {
+                self.mont_mul(&acc.clone(), &table[w], &mut tmp);
+                core::mem::swap(&mut acc, &mut tmp);
+            }
+            i -= take;
+        }
+        self.from_mont(&acc)
+    }
+
+    /// `a * b mod n` through Montgomery form (slower than raw `mont_mul`
+    /// but convenient for occasional products).
+    pub fn mul_mod(&self, a: &Bn, b: &Bn) -> Bn {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        let mut out = vec![0u64; self.n.len()];
+        self.mont_mul(&am, &bm, &mut out);
+        self.from_mont(&out)
+    }
+}
+
+/// `a >= b` for equal-length little-endian limb slices.
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bn(s: &str) -> Bn {
+        Bn::from_hex(s).unwrap()
+    }
+
+    #[test]
+    fn neg_inv_property() {
+        for n0 in [1u64, 3, 5, 0xffff_ffff_ffff_ffff, 0x1234_5678_9abc_def1] {
+            let inv = neg_inv_u64(n0);
+            // n0 * (-inv) == 1 mod 2^64  <=>  n0 * inv == -1 mod 2^64
+            assert_eq!(n0.wrapping_mul(inv.wrapping_neg()), 1);
+        }
+    }
+
+    #[test]
+    fn mul_mod_matches_naive() {
+        let m = bn("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+        let a = bn("deadbeefcafebabe0123456789abcdef00ff00ff00ff00ff");
+        let b = bn("1122334455667788991122334455667788aabbccddeeff");
+        let ctx = MontCtx::new(m.clone());
+        assert_eq!(ctx.mul_mod(&a, &b), a.mul_mod(&b, &m));
+    }
+
+    #[test]
+    fn mod_exp_matches_naive() {
+        let m = bn("f123456789abcdef123456789abcdef1");
+        let a = bn("abcdef");
+        let e = bn("10001");
+        let ctx = MontCtx::new(m.clone());
+        // naive square-and-multiply
+        let mut expect = Bn::one();
+        let mut base = a.rem(&m);
+        for i in 0..e.bit_len() {
+            if e.bit(i) {
+                expect = expect.mul_mod(&base, &m);
+            }
+            base = base.mul_mod(&base, &m);
+        }
+        assert_eq!(ctx.mod_exp(&a, &e), expect);
+    }
+
+    #[test]
+    fn mod_exp_zero_exponent() {
+        let m = bn("d");
+        let ctx = MontCtx::new(m);
+        assert!(ctx.mod_exp(&bn("5"), &Bn::zero()).is_one());
+    }
+
+    #[test]
+    fn mod_exp_fermat_256bit() {
+        let p = bn("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff");
+        let ctx = MontCtx::new(p.clone());
+        let a = bn("2");
+        assert!(ctx.mod_exp(&a, &p.sub(&Bn::one())).is_one());
+    }
+}

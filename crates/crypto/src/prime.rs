@@ -1,0 +1,128 @@
+//! Probabilistic primality testing and prime generation (for RSA keygen).
+
+use crate::bn::Bn;
+use crate::rng::EntropySource;
+
+/// Small primes used for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: &[u64] = &[
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Miller–Rabin primality test with `rounds` random bases.
+///
+/// Returns `true` if `n` is probably prime (error probability ≤ 4^-rounds).
+pub fn is_probable_prime<R: EntropySource>(n: &Bn, rounds: usize, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    if n.is_even() {
+        return n == &Bn::from_u64(2);
+    }
+    // Trial division.
+    for &p in SMALL_PRIMES {
+        let pb = Bn::from_u64(p);
+        if n == &pb {
+            return true;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^s with d odd.
+    let n_minus_1 = n.sub(&Bn::one());
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+    let two = Bn::from_u64(2);
+    let bound = n.sub(&Bn::from_u64(3)); // bases in [2, n-2]
+    'witness: for _ in 0..rounds {
+        let a = Bn::random_below(rng, &bound).add(&two);
+        let mut x = a.mod_exp(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.mul_mod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generate a random probable prime with exactly `bits` bits.
+pub fn gen_prime<R: EntropySource>(bits: usize, rng: &mut R) -> Bn {
+    assert!(bits >= 8, "prime too small");
+    // Rounds per FIPS 186-4 style guidance, scaled down for small test
+    // primes and up for production-size primes.
+    let rounds = if bits >= 1024 { 5 } else if bits >= 256 { 10 } else { 20 };
+    loop {
+        let mut candidate = Bn::random_bits(rng, bits);
+        if candidate.is_even() {
+            candidate = candidate.add(&Bn::one());
+        }
+        // Also set the second-highest bit so that p*q has exactly 2*bits bits.
+        candidate.set_bit(bits - 2);
+        if is_probable_prime(&candidate, rounds, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TestRng;
+
+    #[test]
+    fn known_primes() {
+        let mut rng = TestRng::new(7);
+        for p in [2u64, 3, 5, 7, 11, 101, 257, 65537, 4294967311] {
+            assert!(
+                is_probable_prime(&Bn::from_u64(p), 20, &mut rng),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn known_composites() {
+        let mut rng = TestRng::new(7);
+        // Includes Carmichael numbers 561, 1105, 1729, 294409.
+        for c in [1u64, 4, 6, 9, 15, 561, 1105, 1729, 294409, 65536, 4294967297] {
+            assert!(
+                !is_probable_prime(&Bn::from_u64(c), 20, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn mersenne_prime() {
+        let mut rng = TestRng::new(1);
+        // 2^127 - 1 is prime.
+        let m127 = Bn::one().shl(127).sub(&Bn::one());
+        assert!(is_probable_prime(&m127, 20, &mut rng));
+        // 2^128 - 1 = 3 * 5 * 17 * ... is composite.
+        let m128 = Bn::one().shl(128).sub(&Bn::one());
+        assert!(!is_probable_prime(&m128, 20, &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_size_and_primality() {
+        let mut rng = TestRng::new(42);
+        for bits in [64usize, 128, 256] {
+            let p = gen_prime(bits, &mut rng);
+            assert_eq!(p.bit_len(), bits);
+            assert!(p.is_odd());
+            assert!(is_probable_prime(&p, 20, &mut rng));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Deterministic, process-cached test keys.
+//!
+//! RSA-2048 key generation is too slow to repeat in every test, so a
+//! single key is derived once per process from a fixed seed and shared.
+//! The derivation is deterministic: every test run and every machine gets
+//! the same key material.
+
+use crate::rng::TestRng;
+use crate::rsa::RsaPrivateKey;
+use std::sync::OnceLock;
+
+static RSA_2048: OnceLock<RsaPrivateKey> = OnceLock::new();
+static RSA_1024: OnceLock<RsaPrivateKey> = OnceLock::new();
+
+/// A deterministic RSA-2048 key for tests, examples and benchmarks.
+pub fn test_rsa_2048() -> &'static RsaPrivateKey {
+    RSA_2048.get_or_init(|| {
+        let mut rng = TestRng::new(0x5154_4c53_2048); // "QTLS" 2048
+        RsaPrivateKey::generate(2048, &mut rng)
+    })
+}
+
+/// A deterministic RSA-1024 key (faster; for tests that only need "an RSA
+/// key" rather than production-size parameters).
+pub fn test_rsa_1024() -> &'static RsaPrivateKey {
+    RSA_1024.get_or_init(|| {
+        let mut rng = TestRng::new(0x5154_4c53_1024);
+        RsaPrivateKey::generate(1024, &mut rng)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_key_is_stable() {
+        let a = test_rsa_2048();
+        let b = test_rsa_2048();
+        assert_eq!(a.public().modulus(), b.public().modulus());
+    }
+}

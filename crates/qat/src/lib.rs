@@ -1,0 +1,37 @@
+//! # qtls-qat — a software model of an Intel® QuickAssist crypto device
+//!
+//! The paper's evaluation requires a DH8970 PCIe QAT card (three
+//! endpoints, dozens of parallel computation engines, hardware-assisted
+//! request/response ring pairs). No such card is available here, so this
+//! crate implements the *device model* the offload framework programs
+//! against (paper §2.3, Fig. 2):
+//!
+//! - [`ring::Ring`] — bounded lock-free rings with a ring-full submission
+//!   error (the failure case §3.2 handles by pausing and retrying);
+//! - [`device::CryptoInstance`] — the logical unit assigned to a worker:
+//!   one request/response ring pair with non-blocking `submit` and
+//!   `poll`;
+//! - [`device::QatDevice`] — endpoints whose engine threads load-balance
+//!   requests from *all* rings across *all* engines, so concurrent
+//!   requests from one process execute in parallel (§2.3 "Parallelism");
+//! - [`request`] — the operation descriptors (RSA, ECDSA/ECDH, PRF,
+//!   chained cipher) actually executed by [`qtls_crypto`] in real-compute
+//!   mode, or timed by the calibrated [`config::ServiceTable`];
+//! - [`counters::FwCounters`] — the `fw_counters` debugfs equivalent.
+//!
+//! Real-compute mode makes end-to-end offload *functionally verifiable*
+//! (the TLS handshake completes with genuine crypto); timed mode and the
+//! exported service table drive the paper-figure reproductions in
+//! `qtls-sim`.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod counters;
+pub mod device;
+pub mod request;
+pub mod ring;
+
+pub use config::{QatConfig, ServiceMode, ServiceTable};
+pub use device::{make_request, CryptoInstance, QatDevice, SubmitFull};
+pub use request::{CryptoOp, CryptoOutput, CryptoRequest, CryptoResponse, CryptoResult, OpClass};

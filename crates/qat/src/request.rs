@@ -1,0 +1,418 @@
+//! Crypto request/response types carried on the QAT rings.
+//!
+//! Requests carry full payloads so the device model can *actually
+//! execute* the operation in real-compute mode; in timed mode the same
+//! descriptors drive the calibrated service-time model.
+
+use qtls_crypto::bn::Bn;
+use qtls_crypto::ecc::NamedCurve;
+use qtls_crypto::rsa::RsaPrivateKey;
+use qtls_crypto::CryptoError;
+use std::sync::Arc;
+
+/// Coarse operation classes matching the paper's inflight counters
+/// (`R_asym`, `R_cipher`, `R_prf` in §4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Asymmetric-key calculation (RSA, ECDSA, ECDH).
+    Asym,
+    /// Symmetric chained cipher (AES-CBC + HMAC record protection).
+    Cipher,
+    /// Pseudo-random function / key derivation.
+    Prf,
+}
+
+/// A crypto operation descriptor (the "request" content).
+#[derive(Clone, Debug)]
+pub enum CryptoOp {
+    /// RSA private-key signature (PKCS#1 v1.5 + SHA-256).
+    RsaSign {
+        /// Signing key (shared; the paper notes QAT can keep keys inside
+        /// the ASIC — here the `Arc` stands in for the key handle).
+        key: Arc<RsaPrivateKey>,
+        /// Message to sign.
+        msg: Vec<u8>,
+    },
+    /// RSA private-key decryption of an encrypted premaster secret.
+    RsaDecrypt {
+        /// Decryption key.
+        key: Arc<RsaPrivateKey>,
+        /// PKCS#1 v1.5 ciphertext.
+        ciphertext: Vec<u8>,
+    },
+    /// ECDSA signature over `msg` (SHA-256).
+    EcdsaSign {
+        /// Curve.
+        curve: NamedCurve,
+        /// Private scalar.
+        key: Arc<Bn>,
+        /// Message to sign.
+        msg: Vec<u8>,
+        /// Deterministic seed for the nonce RNG (keeps the device model
+        /// reproducible).
+        nonce_seed: u64,
+    },
+    /// Ephemeral EC key generation (server ECDHE share).
+    EcKeygen {
+        /// Curve.
+        curve: NamedCurve,
+        /// Deterministic seed for key material.
+        seed: u64,
+    },
+    /// ECDH shared-secret derivation.
+    EcdhDerive {
+        /// Curve.
+        curve: NamedCurve,
+        /// Our private scalar.
+        private: Bn,
+        /// Peer public point, X9.62 uncompressed.
+        peer: Vec<u8>,
+    },
+    /// TLS 1.2 PRF expansion.
+    Prf {
+        /// Secret.
+        secret: Vec<u8>,
+        /// Label (e.g. `b"master secret"`).
+        label: Vec<u8>,
+        /// Seed.
+        seed: Vec<u8>,
+        /// Output length.
+        out_len: usize,
+    },
+    /// AES-128-CBC + HMAC-SHA1 record encryption (MAC-then-encrypt).
+    CipherEncrypt {
+        /// AES key.
+        enc_key: [u8; 16],
+        /// HMAC-SHA1 key.
+        mac_key: Vec<u8>,
+        /// Explicit IV.
+        iv: [u8; 16],
+        /// Plaintext fragment (≤ 16 KB).
+        plaintext: Vec<u8>,
+        /// MAC additional data (seq num + record header).
+        aad: Vec<u8>,
+    },
+    /// AES-128-CBC + HMAC-SHA1 record decryption + MAC check.
+    CipherDecrypt {
+        /// AES key.
+        enc_key: [u8; 16],
+        /// HMAC-SHA1 key.
+        mac_key: Vec<u8>,
+        /// Explicit IV.
+        iv: [u8; 16],
+        /// Ciphertext.
+        ciphertext: Vec<u8>,
+        /// MAC additional data.
+        aad: Vec<u8>,
+    },
+}
+
+impl CryptoOp {
+    /// Classify for the inflight counters and the service-time table.
+    pub fn class(&self) -> OpClass {
+        match self {
+            CryptoOp::RsaSign { .. }
+            | CryptoOp::RsaDecrypt { .. }
+            | CryptoOp::EcdsaSign { .. }
+            | CryptoOp::EcKeygen { .. }
+            | CryptoOp::EcdhDerive { .. } => OpClass::Asym,
+            CryptoOp::Prf { .. } => OpClass::Prf,
+            CryptoOp::CipherEncrypt { .. } | CryptoOp::CipherDecrypt { .. } => OpClass::Cipher,
+        }
+    }
+}
+
+/// Result payload of a completed operation.
+#[derive(Clone, Debug)]
+pub enum CryptoOutput {
+    /// Raw bytes (signature, shared secret, key block, ciphertext...).
+    Bytes(Vec<u8>),
+    /// A generated EC key pair.
+    KeyPair {
+        /// Private scalar.
+        private: Bn,
+        /// Public point, X9.62 uncompressed.
+        public: Vec<u8>,
+    },
+}
+
+impl CryptoOutput {
+    /// The byte payload; panics if this is a key pair.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            CryptoOutput::Bytes(b) => b,
+            CryptoOutput::KeyPair { .. } => panic!("expected bytes, got key pair"),
+        }
+    }
+}
+
+/// Completion callback invoked when the response is retrieved by a poll
+/// (the paper's "pre-registered response callback", §3.2).
+pub type ResponseCallback = Box<dyn FnOnce(CryptoResult) + Send>;
+
+/// The outcome delivered to the response callback.
+pub type CryptoResult = Result<CryptoOutput, CryptoError>;
+
+/// A request as submitted onto a QAT request ring.
+pub struct CryptoRequest {
+    /// Caller-assigned opaque cookie (diagnostics).
+    pub cookie: u64,
+    /// The operation.
+    pub op: CryptoOp,
+    /// Callback to invoke at response-retrieval time.
+    pub callback: ResponseCallback,
+}
+
+/// A response as read back from a QAT response ring.
+pub struct CryptoResponse {
+    /// Cookie of the originating request.
+    pub cookie: u64,
+    /// Operation class (for counter bookkeeping).
+    pub class: OpClass,
+    /// Result payload.
+    pub result: CryptoResult,
+    /// Callback registered at submission time.
+    pub callback: ResponseCallback,
+}
+
+/// Execute an operation using the software crypto substrate — this is
+/// what a QAT computation engine "does" in real-compute mode.
+pub fn execute(op: &CryptoOp) -> CryptoResult {
+    use qtls_crypto::{aes, ecc, hmac::Hmac, kdf, sha1::Sha1, TestRng};
+    match op {
+        CryptoOp::RsaSign { key, msg } => {
+            key.sign_pkcs1_sha256(msg).map(CryptoOutput::Bytes)
+        }
+        CryptoOp::RsaDecrypt { key, ciphertext } => {
+            key.decrypt_pkcs1(ciphertext).map(CryptoOutput::Bytes)
+        }
+        CryptoOp::EcdsaSign {
+            curve,
+            key,
+            msg,
+            nonce_seed,
+        } => {
+            let mut rng = TestRng::new(*nonce_seed);
+            let sig = ecc::ecdsa_sign(*curve, key, msg, &mut rng);
+            Ok(CryptoOutput::Bytes(sig.to_bytes(*curve)))
+        }
+        CryptoOp::EcKeygen { curve, seed } => {
+            let mut rng = TestRng::new(*seed);
+            let kp = ecc::generate_keypair(*curve, &mut rng);
+            Ok(CryptoOutput::KeyPair {
+                public: ecc::encode_point(*curve, &kp.public),
+                private: kp.private,
+            })
+        }
+        CryptoOp::EcdhDerive {
+            curve,
+            private,
+            peer,
+        } => {
+            let peer_pt = ecc::decode_point(*curve, peer)?;
+            ecc::ecdh(*curve, private, &peer_pt).map(CryptoOutput::Bytes)
+        }
+        CryptoOp::Prf {
+            secret,
+            label,
+            seed,
+            out_len,
+        } => Ok(CryptoOutput::Bytes(kdf::prf_tls12(
+            secret, label, seed, *out_len,
+        ))),
+        CryptoOp::CipherEncrypt {
+            enc_key,
+            mac_key,
+            iv,
+            plaintext,
+            aad,
+        } => {
+            // MAC-then-encrypt with TLS-style CBC padding.
+            let mut mac = Hmac::<Sha1>::new(mac_key);
+            mac.update(aad);
+            mac.update(plaintext);
+            let tag = mac.finalize();
+            let mut padded = Vec::with_capacity(plaintext.len() + tag.len() + 16);
+            padded.extend_from_slice(plaintext);
+            padded.extend_from_slice(&tag);
+            let pad_len = 16 - (padded.len() % 16);
+            padded.extend(std::iter::repeat_n((pad_len - 1) as u8, pad_len));
+            let cipher = aes::Aes128::new(enc_key);
+            aes::cbc_encrypt(&cipher, iv, &padded).map(CryptoOutput::Bytes)
+        }
+        CryptoOp::CipherDecrypt {
+            enc_key,
+            mac_key,
+            iv,
+            ciphertext,
+            aad,
+        } => {
+            let cipher = aes::Aes128::new(enc_key);
+            let padded = aes::cbc_decrypt(&cipher, iv, ciphertext)?;
+            if padded.is_empty() {
+                return Err(CryptoError::BadPadding);
+            }
+            let pad_len = *padded.last().unwrap() as usize + 1;
+            if pad_len > padded.len()
+                || padded[padded.len() - pad_len..]
+                    .iter()
+                    .any(|&b| b as usize != pad_len - 1)
+            {
+                return Err(CryptoError::BadPadding);
+            }
+            let content_and_tag = &padded[..padded.len() - pad_len];
+            if content_and_tag.len() < 20 {
+                return Err(CryptoError::BadMac);
+            }
+            let (content, tag) = content_and_tag.split_at(content_and_tag.len() - 20);
+            let mut mac = Hmac::<Sha1>::new(mac_key);
+            mac.update(aad);
+            mac.update(content);
+            if !qtls_crypto::hmac::constant_time_eq(&mac.finalize(), tag) {
+                return Err(CryptoError::BadMac);
+            }
+            Ok(CryptoOutput::Bytes(content.to_vec()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtls_crypto::test_keys::test_rsa_1024;
+
+    #[test]
+    fn op_classes() {
+        let key = Arc::new(test_rsa_1024().clone());
+        assert_eq!(
+            CryptoOp::RsaSign {
+                key: key.clone(),
+                msg: vec![]
+            }
+            .class(),
+            OpClass::Asym
+        );
+        assert_eq!(
+            CryptoOp::Prf {
+                secret: vec![],
+                label: vec![],
+                seed: vec![],
+                out_len: 8
+            }
+            .class(),
+            OpClass::Prf
+        );
+        assert_eq!(
+            CryptoOp::CipherEncrypt {
+                enc_key: [0; 16],
+                mac_key: vec![],
+                iv: [0; 16],
+                plaintext: vec![],
+                aad: vec![]
+            }
+            .class(),
+            OpClass::Cipher
+        );
+    }
+
+    #[test]
+    fn execute_rsa_sign() {
+        let key = Arc::new(test_rsa_1024().clone());
+        let out = execute(&CryptoOp::RsaSign {
+            key: key.clone(),
+            msg: b"hello".to_vec(),
+        })
+        .unwrap()
+        .into_bytes();
+        key.public().verify_pkcs1_sha256(b"hello", &out).unwrap();
+    }
+
+    #[test]
+    fn execute_prf() {
+        let out = execute(&CryptoOp::Prf {
+            secret: b"sec".to_vec(),
+            label: b"master secret".to_vec(),
+            seed: b"randoms".to_vec(),
+            out_len: 48,
+        })
+        .unwrap()
+        .into_bytes();
+        assert_eq!(out.len(), 48);
+        assert_eq!(
+            out,
+            qtls_crypto::kdf::prf_tls12(b"sec", b"master secret", b"randoms", 48)
+        );
+    }
+
+    #[test]
+    fn execute_cipher_roundtrip() {
+        let enc = CryptoOp::CipherEncrypt {
+            enc_key: [1; 16],
+            mac_key: vec![2; 20],
+            iv: [3; 16],
+            plaintext: b"application data record".to_vec(),
+            aad: b"seq+hdr".to_vec(),
+        };
+        let ct = execute(&enc).unwrap().into_bytes();
+        assert_eq!(ct.len() % 16, 0);
+        let dec = CryptoOp::CipherDecrypt {
+            enc_key: [1; 16],
+            mac_key: vec![2; 20],
+            iv: [3; 16],
+            ciphertext: ct.clone(),
+            aad: b"seq+hdr".to_vec(),
+        };
+        assert_eq!(
+            execute(&dec).unwrap().into_bytes(),
+            b"application data record"
+        );
+        // Wrong AAD -> MAC failure.
+        let bad = CryptoOp::CipherDecrypt {
+            enc_key: [1; 16],
+            mac_key: vec![2; 20],
+            iv: [3; 16],
+            ciphertext: ct,
+            aad: b"tampered".to_vec(),
+        };
+        assert!(matches!(execute(&bad), Err(CryptoError::BadMac)));
+    }
+
+    #[test]
+    fn execute_ecdh_keygen_and_derive() {
+        use qtls_crypto::ecc::NamedCurve;
+        let a = execute(&CryptoOp::EcKeygen {
+            curve: NamedCurve::P256,
+            seed: 1,
+        })
+        .unwrap();
+        let b = execute(&CryptoOp::EcKeygen {
+            curve: NamedCurve::P256,
+            seed: 2,
+        })
+        .unwrap();
+        let (CryptoOutput::KeyPair {
+            private: pa,
+            public: qa,
+        }, CryptoOutput::KeyPair {
+            private: pb,
+            public: qb,
+        }) = (a, b) else {
+            panic!("expected key pairs")
+        };
+        let s1 = execute(&CryptoOp::EcdhDerive {
+            curve: NamedCurve::P256,
+            private: pa,
+            peer: qb,
+        })
+        .unwrap()
+        .into_bytes();
+        let s2 = execute(&CryptoOp::EcdhDerive {
+            curve: NamedCurve::P256,
+            private: pb,
+            peer: qa,
+        })
+        .unwrap()
+        .into_bytes();
+        assert_eq!(s1, s2);
+    }
+}

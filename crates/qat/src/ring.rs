@@ -1,0 +1,255 @@
+//! Bounded lock-free MPMC ring buffer — the software model of a QAT
+//! hardware request/response ring.
+//!
+//! Implementation follows the well-known Vyukov bounded-queue design:
+//! each slot carries a sequence number that encodes whether it is ready
+//! for a producer or a consumer, so `push`/`pop` need only one CAS each.
+//! A full request ring returns [`RingFull`], which is exactly the
+//! submission-failure case §3.2 of the paper handles by pausing the
+//! offload job and retrying later.
+
+use crossbeam::utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Error returned when pushing to a full ring (the value is handed back).
+#[derive(Debug)]
+pub struct RingFull<T>(pub T);
+
+struct Slot<T> {
+    /// Sequence: `pos` when ready for producer, `pos + 1` when occupied.
+    seq: AtomicUsize,
+    val: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded multi-producer multi-consumer ring.
+pub struct Ring<T> {
+    buf: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    /// Create a ring with capacity `cap` (rounded up to a power of two,
+    /// minimum 2).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(2).next_power_of_two();
+        let buf: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                val: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Ring {
+            buf,
+            mask: cap - 1,
+            enqueue_pos: CachePadded::new(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Capacity (power of two).
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Approximate number of occupied slots (racy; for monitoring only).
+    pub fn len(&self) -> usize {
+        let enq = self.enqueue_pos.load(Ordering::Relaxed);
+        let deq = self.dequeue_pos.load(Ordering::Relaxed);
+        enq.saturating_sub(deq)
+    }
+
+    /// Whether the ring appears empty (racy; for monitoring only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Push a value; on a full ring the value is returned in [`RingFull`].
+    pub fn push(&self, value: T) -> Result<(), RingFull<T>> {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                // Slot ready for a producer at `pos`; try to claim it.
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { (*slot.val.get()).write(value) };
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                // Slot still holds an unconsumed value from a lap ago:
+                // the ring is full.
+                return Err(RingFull(value));
+            } else {
+                // Another producer claimed `pos`; reload.
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pop a value, or `None` if the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - (pos + 1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*slot.val.get()).assume_init_read() };
+                        // Mark the slot free for the producer one lap ahead.
+                        slot.seq.store(pos + self.mask + 1, Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Drain remaining values so their destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let r = Ring::new(8);
+        for i in 0..8 {
+            r.push(i).unwrap();
+        }
+        assert!(r.push(99).is_err());
+        for i in 0..8 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(Ring::<u8>::new(5).capacity(), 8);
+        assert_eq!(Ring::<u8>::new(0).capacity(), 2);
+        assert_eq!(Ring::<u8>::new(64).capacity(), 64);
+    }
+
+    #[test]
+    fn full_returns_value() {
+        let r = Ring::new(2);
+        r.push("a").unwrap();
+        r.push("b").unwrap();
+        let RingFull(v) = r.push("c").unwrap_err();
+        assert_eq!(v, "c");
+        // Space reappears after a pop.
+        assert_eq!(r.pop(), Some("a"));
+        r.push("c").unwrap();
+    }
+
+    #[test]
+    fn wraparound_many_laps() {
+        let r = Ring::new(4);
+        for i in 0..1000 {
+            r.push(i).unwrap();
+            assert_eq!(r.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drop_runs_destructors() {
+        let counter = Arc::new(());
+        let r = Ring::new(8);
+        for _ in 0..5 {
+            r.push(Arc::clone(&counter)).unwrap();
+        }
+        assert_eq!(Arc::strong_count(&counter), 6);
+        drop(r);
+        assert_eq!(Arc::strong_count(&counter), 1);
+    }
+
+    #[test]
+    fn mpmc_stress() {
+        let r = Arc::new(Ring::new(64));
+        let producers = 4;
+        let per_producer = 10_000u64;
+        let consumers = 4;
+        let total: u64 = producers as u64 * per_producer;
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    let v = (p as u64) << 32 | i;
+                    let mut item = v;
+                    loop {
+                        match r.push(item) {
+                            Ok(()) => break,
+                            Err(RingFull(back)) => {
+                                item = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let sum = Arc::new(AtomicUsize::new(0));
+        let popped = Arc::new(AtomicUsize::new(0));
+        let mut chandles = Vec::new();
+        for _ in 0..consumers {
+            let r = Arc::clone(&r);
+            let sum = Arc::clone(&sum);
+            let popped = Arc::clone(&popped);
+            chandles.push(std::thread::spawn(move || {
+                while popped.load(Ordering::Relaxed) < total as usize {
+                    if let Some(v) = r.pop() {
+                        sum.fetch_add((v & 0xffff_ffff) as usize, Ordering::Relaxed);
+                        popped.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for h in chandles {
+            h.join().unwrap();
+        }
+        let expect: usize = producers * (0..per_producer).sum::<u64>() as usize;
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+}

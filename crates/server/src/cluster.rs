@@ -1,0 +1,197 @@
+//! A multi-worker server — the paper's deployment shape: one master
+//! (this struct), N worker event loops on dedicated cores, all accepting
+//! from a shared listener, each with its own QAT crypto instance
+//! "distributed evenly from the three QAT endpoints" (§5.1).
+
+use crate::config_file::EngineDirectives;
+use crate::http::ContentStore;
+use crate::net::VListener;
+use crate::worker::{Worker, WorkerConfig, WorkerStats};
+use qtls_qat::QatDevice;
+use qtls_tls::server::ServerConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A running multi-worker HTTPS server.
+pub struct Cluster {
+    listener: Arc<VListener>,
+    stop: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<(WorkerStats, u64)>>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+    device: Option<Arc<QatDevice>>,
+}
+
+impl Cluster {
+    /// Start `directives.worker_processes` workers sharing one listener.
+    /// A QAT device is created automatically for offloading profiles.
+    pub fn start(
+        directives: &EngineDirectives,
+        tls: Arc<ServerConfig>,
+        content: Arc<ContentStore>,
+    ) -> Self {
+        let listener = Arc::new(VListener::new());
+        let device = directives
+            .profile
+            .uses_qat()
+            .then(|| Arc::new(QatDevice::with_defaults()));
+        let stop = Arc::new(AtomicBool::new(false));
+        // Per-worker accept queues, fed round-robin by the master
+        // dispatcher ("handle incoming connections in a balanced
+        // manner", §2.2).
+        let worker_listeners: Vec<Arc<VListener>> = (0..directives.worker_processes)
+            .map(|_| Arc::new(VListener::new()))
+            .collect();
+        let dispatcher = {
+            let shared = Arc::clone(&listener);
+            let targets = worker_listeners.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("qtls-master".into())
+                .spawn(move || {
+                    let mut next = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        match shared.accept() {
+                            Some(sock) => {
+                                targets[next % targets.len()].inject(sock);
+                                next += 1;
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                })
+                .expect("spawn dispatcher")
+        };
+        let handles = (0..directives.worker_processes)
+            .map(|i| {
+                let mut cfg = WorkerConfig::from_directives(directives);
+                cfg.tls = Arc::clone(&tls);
+                cfg.content = Arc::clone(&content);
+                let listener = Arc::clone(&worker_listeners[i]);
+                let device = device.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("qtls-worker-{i}"))
+                    .spawn(move || {
+                        let mut worker = Worker::new(listener, device.as_deref(), cfg);
+                        let mut drain: Option<Instant> = None;
+                        worker.run_until(|w| {
+                            if !stop.load(Ordering::Relaxed) {
+                                return false;
+                            }
+                            let d = *drain
+                                .get_or_insert_with(|| Instant::now() + Duration::from_secs(2));
+                            w.tc_alive() == 0 || Instant::now() > d
+                        });
+                        (worker.stats, worker.kernel_switches())
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        Cluster {
+            listener,
+            stop,
+            handles,
+            dispatcher: Some(dispatcher),
+            device,
+        }
+    }
+
+    /// The shared listener clients connect through.
+    pub fn listener(&self) -> Arc<VListener> {
+        Arc::clone(&self.listener)
+    }
+
+    /// The shared accelerator, if any.
+    pub fn device(&self) -> Option<&Arc<QatDevice>> {
+        self.device.as_ref()
+    }
+
+    /// Stop all workers (draining in-flight connections) and return the
+    /// per-worker statistics plus kernel-switch counts.
+    pub fn shutdown(mut self) -> Vec<(WorkerStats, u64)> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config_file::parse_ssl_engine_conf;
+    use crate::loadgen::{run_connection, ClientConfig};
+    use qtls_tls::server::ServerConfig;
+
+    #[test]
+    fn cluster_from_conf_serves_across_workers() {
+        let directives = parse_ssl_engine_conf(
+            r#"
+worker_processes 3;
+ssl_engine {
+    use qat_engine;
+    default_algorithm ALL;
+    qat_engine {
+        qat_offload_mode async;
+        qat_notify_mode poll;
+        qat_poll_mode heuristic;
+    }
+}
+"#,
+        )
+        .unwrap();
+        let cluster = Cluster::start(
+            &directives,
+            ServerConfig::test_default(),
+            Arc::new(ContentStore::new()),
+        );
+        let listener = cluster.listener();
+        // Enough connections that round-robin reaches every worker.
+        let mut handles = Vec::new();
+        for i in 0..9u64 {
+            let listener = Arc::clone(&listener);
+            handles.push(std::thread::spawn(move || {
+                let cfg = ClientConfig {
+                    request_path: Some("/4kb".into()),
+                    ..ClientConfig::default()
+                };
+                run_connection(&listener, &cfg, 40_000 + i, None, Duration::from_secs(60))
+                    .expect("connection")
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cluster.shutdown();
+        let total: u64 = stats.iter().map(|(s, _)| s.handshakes).sum();
+        let errors: u64 = stats.iter().map(|(s, _)| s.errors).sum();
+        assert_eq!(total, 9);
+        assert_eq!(errors, 0);
+        // Work spread across more than one worker.
+        let busy_workers = stats.iter().filter(|(s, _)| s.handshakes > 0).count();
+        assert!(busy_workers >= 2, "round-robin accept should spread load");
+        // QTLS profile: no kernel switches anywhere.
+        assert!(stats.iter().all(|(_, switches)| *switches == 0));
+    }
+
+    #[test]
+    fn sw_cluster_without_device() {
+        let directives = parse_ssl_engine_conf("worker_processes 2;").unwrap();
+        let cluster = Cluster::start(
+            &directives,
+            ServerConfig::test_default(),
+            Arc::new(ContentStore::new()),
+        );
+        assert!(cluster.device().is_none());
+        let listener = cluster.listener();
+        let cfg = ClientConfig::default();
+        run_connection(&listener, &cfg, 50_000, None, Duration::from_secs(60)).unwrap();
+        let stats = cluster.shutdown();
+        assert_eq!(stats.iter().map(|(s, _)| s.handshakes).sum::<u64>(), 1);
+    }
+}

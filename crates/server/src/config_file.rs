@@ -1,0 +1,354 @@
+//! The SSL Engine Framework configuration format (artifact appendix
+//! §A.7): the paper's extension of Nginx's engine setting into a block
+//! in the server configuration file:
+//!
+//! ```text
+//! worker_processes 8;
+//! ssl_engine {
+//!     use qat_engine;
+//!     default_algorithm RSA,EC,DH,PKEY_CRYPTO;
+//!     qat_engine {
+//!         qat_offload_mode async;
+//!         qat_notify_mode poll;
+//!         qat_poll_mode heuristic;
+//!         qat_heuristic_poll_asym_threshold 48;
+//!         qat_heuristic_poll_sym_threshold 24;
+//!     }
+//! }
+//! ```
+//!
+//! [`parse_ssl_engine_conf`] turns this into an [`EngineDirectives`]
+//! bundle (profile, offload selection, thresholds, worker count) that
+//! maps directly onto [`crate::worker::WorkerConfig`].
+
+use qtls_core::{HeuristicConfig, OffloadProfile};
+use qtls_tls::provider::OffloadSelection;
+use std::time::Duration;
+
+/// Parsed configuration directives.
+#[derive(Clone, Debug)]
+pub struct EngineDirectives {
+    /// `worker_processes N;`
+    pub worker_processes: usize,
+    /// Derived offload profile.
+    pub profile: OffloadProfile,
+    /// Which algorithm classes are offloaded (`default_algorithm`).
+    pub selection: OffloadSelection,
+    /// Heuristic thresholds (`qat_heuristic_poll_*_threshold`).
+    pub heuristic: HeuristicConfig,
+    /// Timer poll interval (`qat_poll_interval_us`, for timer mode).
+    pub timer_interval: Option<Duration>,
+}
+
+impl Default for EngineDirectives {
+    fn default() -> Self {
+        EngineDirectives {
+            worker_processes: 1,
+            profile: OffloadProfile::Sw,
+            selection: OffloadSelection::default(),
+            heuristic: HeuristicConfig::default(),
+            timer_interval: None,
+        }
+    }
+}
+
+/// Configuration parse errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfError {
+    /// Unbalanced `{`/`}`.
+    UnbalancedBraces,
+    /// A directive was malformed.
+    BadDirective(String),
+    /// A directive had an invalid value.
+    BadValue(String),
+}
+
+impl std::fmt::Display for ConfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfError::UnbalancedBraces => f.write_str("unbalanced braces"),
+            ConfError::BadDirective(d) => write!(f, "bad directive: {d}"),
+            ConfError::BadValue(d) => write!(f, "bad value in: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfError {}
+
+/// Strip `#` comments, split into `;`-terminated directives and brace
+/// tokens.
+fn tokenize(input: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for line in input.lines() {
+        let line = line.split('#').next().unwrap_or("");
+        for ch in line.chars() {
+            match ch {
+                ';' => {
+                    let t = current.trim();
+                    if !t.is_empty() {
+                        tokens.push(t.to_string());
+                    }
+                    current.clear();
+                }
+                '{' | '}' => {
+                    let t = current.trim();
+                    if !t.is_empty() {
+                        tokens.push(t.to_string());
+                    }
+                    current.clear();
+                    tokens.push(ch.to_string());
+                }
+                _ => current.push(ch),
+            }
+        }
+        current.push(' ');
+    }
+    if !current.trim().is_empty() {
+        tokens.push(current.trim().to_string());
+    }
+    tokens
+}
+
+/// Parse an Nginx-style configuration with the `ssl_engine` block.
+pub fn parse_ssl_engine_conf(input: &str) -> Result<EngineDirectives, ConfError> {
+    let mut out = EngineDirectives::default();
+    let mut depth = 0usize;
+    let mut use_engine = false;
+    let mut offload_async = false;
+    let mut poll_heuristic = true;
+    let mut notify_bypass = true;
+
+    for token in tokenize(input) {
+        match token.as_str() {
+            "{" => {
+                depth += 1;
+                continue;
+            }
+            "}" => {
+                depth = depth.checked_sub(1).ok_or(ConfError::UnbalancedBraces)?;
+                continue;
+            }
+            _ => {}
+        }
+        let mut parts = token.split_whitespace();
+        let name = parts.next().ok_or_else(|| ConfError::BadDirective(token.clone()))?;
+        let value = parts.collect::<Vec<_>>().join(" ");
+        let parse_u64 = |v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| ConfError::BadValue(token.clone()))
+        };
+        match name {
+            "worker_processes" => {
+                out.worker_processes = parse_u64(&value)? as usize;
+                if out.worker_processes == 0 {
+                    return Err(ConfError::BadValue(token.clone()));
+                }
+            }
+            "load_module" | "events" | "http" | "server" | "listen" | "ssl_certificate"
+            | "ssl_certificate_key" | "keepalive_timeout" | "ssl_session_cache"
+            | "ssl_session_tickets" => {
+                // Recognized-but-ignored standard directives.
+            }
+            "ssl_engine" | "qat_engine" if value.is_empty() => {
+                // Block openers; the `{` token follows.
+            }
+            "use" => {
+                use_engine = value == "qat_engine";
+                if !use_engine {
+                    return Err(ConfError::BadValue(token.clone()));
+                }
+            }
+            "default_algorithm" => {
+                let mut sel = OffloadSelection {
+                    asym: false,
+                    prf: false,
+                    cipher: false,
+                };
+                for alg in value.split(',') {
+                    match alg.trim() {
+                        "RSA" | "EC" | "DH" => sel.asym = true,
+                        "PKEY_CRYPTO" | "PRF" => sel.prf = true,
+                        "CIPHERS" | "CIPHER" => sel.cipher = true,
+                        "ALL" => {
+                            sel = OffloadSelection {
+                                asym: true,
+                                prf: true,
+                                cipher: true,
+                            }
+                        }
+                        "" => {}
+                        _ => return Err(ConfError::BadValue(token.clone())),
+                    }
+                }
+                out.selection = sel;
+            }
+            "qat_offload_mode" => match value.as_str() {
+                "async" => offload_async = true,
+                "sync" => offload_async = false,
+                _ => return Err(ConfError::BadValue(token.clone())),
+            },
+            "qat_notify_mode" => match value.as_str() {
+                // `poll` = kernel-bypass (the async queue); `event` = FD.
+                "poll" => notify_bypass = true,
+                "event" => notify_bypass = false,
+                _ => return Err(ConfError::BadValue(token.clone())),
+            },
+            "qat_poll_mode" => match value.as_str() {
+                "heuristic" => poll_heuristic = true,
+                "timer" => poll_heuristic = false,
+                _ => return Err(ConfError::BadValue(token.clone())),
+            },
+            "qat_poll_interval_us" => {
+                out.timer_interval = Some(Duration::from_micros(parse_u64(&value)?));
+            }
+            "qat_heuristic_poll_asym_threshold" => {
+                out.heuristic.asym_threshold = parse_u64(&value)?;
+            }
+            "qat_heuristic_poll_sym_threshold" => {
+                out.heuristic.sym_threshold = parse_u64(&value)?;
+            }
+            _ => return Err(ConfError::BadDirective(token.clone())),
+        }
+    }
+    if depth != 0 {
+        return Err(ConfError::UnbalancedBraces);
+    }
+    out.profile = match (use_engine, offload_async, poll_heuristic, notify_bypass) {
+        (false, ..) => OffloadProfile::Sw,
+        (true, false, ..) => OffloadProfile::QatS,
+        (true, true, false, _) => OffloadProfile::QatA,
+        (true, true, true, false) => OffloadProfile::QatAH,
+        (true, true, true, true) => OffloadProfile::Qtls,
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const APPENDIX_EXAMPLE: &str = r#"
+worker_processes 8;
+load_module modules/ngx_ssl_engine_qat_module.so;
+ssl_engine {
+    use qat_engine;
+    default_algorithm RSA,EC,DH,PKEY_CRYPTO;
+    qat_engine {
+        qat_offload_mode async;
+        qat_notify_mode poll;
+        qat_poll_mode heuristic;
+        qat_heuristic_poll_asym_threshold 48;
+        qat_heuristic_poll_sym_threshold 24;
+    }
+}
+"#;
+
+    #[test]
+    fn parses_the_artifact_appendix_example() {
+        let d = parse_ssl_engine_conf(APPENDIX_EXAMPLE).unwrap();
+        assert_eq!(d.worker_processes, 8);
+        assert_eq!(d.profile, OffloadProfile::Qtls);
+        assert!(d.selection.asym);
+        assert!(d.selection.prf);
+        assert!(!d.selection.cipher, "CIPHERS not listed");
+        assert_eq!(d.heuristic.asym_threshold, 48);
+        assert_eq!(d.heuristic.sym_threshold, 24);
+    }
+
+    #[test]
+    fn sync_mode_maps_to_straight_offload() {
+        let conf = r#"
+worker_processes 4;
+ssl_engine {
+    use qat_engine;
+    qat_engine { qat_offload_mode sync; }
+}
+"#;
+        let d = parse_ssl_engine_conf(conf).unwrap();
+        assert_eq!(d.profile, OffloadProfile::QatS);
+    }
+
+    #[test]
+    fn timer_polling_maps_to_qat_a() {
+        let conf = r#"
+ssl_engine {
+    use qat_engine;
+    qat_engine {
+        qat_offload_mode async;
+        qat_poll_mode timer;
+        qat_poll_interval_us 10;
+    }
+}
+"#;
+        let d = parse_ssl_engine_conf(conf).unwrap();
+        assert_eq!(d.profile, OffloadProfile::QatA);
+        assert_eq!(d.timer_interval, Some(Duration::from_micros(10)));
+    }
+
+    #[test]
+    fn fd_notification_maps_to_qat_ah() {
+        let conf = r#"
+ssl_engine {
+    use qat_engine;
+    qat_engine {
+        qat_offload_mode async;
+        qat_poll_mode heuristic;
+        qat_notify_mode event;
+    }
+}
+"#;
+        let d = parse_ssl_engine_conf(conf).unwrap();
+        assert_eq!(d.profile, OffloadProfile::QatAH);
+    }
+
+    #[test]
+    fn no_engine_block_means_sw() {
+        let d = parse_ssl_engine_conf("worker_processes 2;").unwrap();
+        assert_eq!(d.profile, OffloadProfile::Sw);
+        assert_eq!(d.worker_processes, 2);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let conf = "worker_processes 3; # the number of HT cores\n";
+        assert_eq!(parse_ssl_engine_conf(conf).unwrap().worker_processes, 3);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(
+            parse_ssl_engine_conf("ssl_engine {"),
+            Err(ConfError::UnbalancedBraces)
+        ));
+        assert!(matches!(
+            parse_ssl_engine_conf("nonsense_directive on;"),
+            Err(ConfError::BadDirective(_))
+        ));
+        assert!(matches!(
+            parse_ssl_engine_conf("worker_processes many;"),
+            Err(ConfError::BadValue(_))
+        ));
+        assert!(matches!(
+            parse_ssl_engine_conf("worker_processes 0;"),
+            Err(ConfError::BadValue(_))
+        ));
+        assert!(matches!(
+            parse_ssl_engine_conf("ssl_engine { use openssl_default; }"),
+            Err(ConfError::BadValue(_))
+        ));
+    }
+
+    #[test]
+    fn all_algorithms_keyword() {
+        let conf = r#"
+ssl_engine {
+    use qat_engine;
+    default_algorithm ALL;
+    qat_engine { qat_offload_mode async; }
+}
+"#;
+        let d = parse_ssl_engine_conf(conf).unwrap();
+        assert!(d.selection.asym && d.selection.prf && d.selection.cipher);
+    }
+}

@@ -1,0 +1,239 @@
+//! A minimal HTTP/1.1 subset: request parsing, keep-alive handling and a
+//! content store serving fixed-size objects — the web-server role the
+//! paper configures Nginx into for all experiments.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Method (only GET is served).
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Keep the connection alive after responding?
+    pub keep_alive: bool,
+}
+
+/// Incremental request parser outcome.
+pub enum ParseOutcome {
+    /// A complete request, plus bytes consumed.
+    Complete(HttpRequest, usize),
+    /// Need more bytes.
+    Partial,
+    /// Malformed request.
+    Bad(&'static str),
+}
+
+/// Parse one request from `buf` (headers only; GET has no body).
+pub fn parse_request(buf: &[u8]) -> ParseOutcome {
+    let Some(end) = find_header_end(buf) else {
+        // Guard against unbounded header growth.
+        if buf.len() > 16 * 1024 {
+            return ParseOutcome::Bad("headers too large");
+        }
+        return ParseOutcome::Partial;
+    };
+    let head = match std::str::from_utf8(&buf[..end]) {
+        Ok(s) => s,
+        Err(_) => return ParseOutcome::Bad("non-utf8 headers"),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ParseOutcome::Bad("bad request line");
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ParseOutcome::Bad("bad version");
+    }
+    // HTTP/1.1 defaults to keep-alive unless "Connection: close".
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("connection") {
+            let v = value.trim();
+            if v.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if v.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    ParseOutcome::Complete(
+        HttpRequest {
+            method: method.to_string(),
+            path: path.to_string(),
+            keep_alive,
+        },
+        end + 4,
+    )
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Build a response with the given status and body.
+pub fn build_response(status: u16, reason: &str, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body);
+    out
+}
+
+/// An in-memory content store. Besides explicit entries, paths of the
+/// form `/<N>kb` serve `N` kilobytes of synthetic data — the fixed-size
+/// objects of the paper's transfer experiments (4 KB–1024 KB).
+pub struct ContentStore {
+    entries: RwLock<HashMap<String, Vec<u8>>>,
+}
+
+impl Default for ContentStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContentStore {
+    /// Empty store (synthetic `/<N>kb` paths still resolve).
+    pub fn new() -> Self {
+        let mut entries = HashMap::new();
+        // The "small-size page (less than 100 bytes)" of §5.5.
+        entries.insert("/".to_string(), b"<html>QTLS reproduction index</html>".to_vec());
+        ContentStore {
+            entries: RwLock::new(entries),
+        }
+    }
+
+    /// Insert explicit content.
+    pub fn insert(&self, path: &str, body: Vec<u8>) {
+        self.entries.write().insert(path.to_string(), body);
+    }
+
+    /// Resolve a path to content.
+    pub fn get(&self, path: &str) -> Option<Vec<u8>> {
+        if let Some(body) = self.entries.read().get(path) {
+            return Some(body.clone());
+        }
+        // Synthetic sized objects: "/64kb" etc.
+        let stripped = path.strip_prefix('/')?.strip_suffix("kb")?;
+        let kb: usize = stripped.parse().ok()?;
+        if kb > 10 * 1024 {
+            return None;
+        }
+        Some(synthetic_body(kb * 1024))
+    }
+}
+
+/// Deterministic filler content of exactly `len` bytes.
+pub fn synthetic_body(len: usize) -> Vec<u8> {
+    let pattern = b"QTLS-PPoPP19-reproduction-payload-";
+    pattern.iter().copied().cycle().take(len).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_get() {
+        let raw = b"GET /64kb HTTP/1.1\r\nHost: test\r\n\r\n";
+        match parse_request(raw) {
+            ParseOutcome::Complete(req, used) => {
+                assert_eq!(req.method, "GET");
+                assert_eq!(req.path, "/64kb");
+                assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+                assert_eq!(used, raw.len());
+            }
+            _ => panic!("should parse"),
+        }
+    }
+
+    #[test]
+    fn parse_connection_close() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        match parse_request(raw) {
+            ParseOutcome::Complete(req, _) => assert!(!req.keep_alive),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_http10_default_close() {
+        let raw = b"GET / HTTP/1.0\r\n\r\n";
+        match parse_request(raw) {
+            ParseOutcome::Complete(req, _) => assert!(!req.keep_alive),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_partial() {
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\nHost:"),
+            ParseOutcome::Partial
+        ));
+    }
+
+    #[test]
+    fn parse_bad() {
+        assert!(matches!(
+            parse_request(b"NONSENSE\r\n\r\n"),
+            ParseOutcome::Bad(_)
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_consume_correctly() {
+        let mut raw = b"GET /a HTTP/1.1\r\n\r\n".to_vec();
+        raw.extend_from_slice(b"GET /b HTTP/1.1\r\n\r\n");
+        match parse_request(&raw) {
+            ParseOutcome::Complete(req, used) => {
+                assert_eq!(req.path, "/a");
+                match parse_request(&raw[used..]) {
+                    ParseOutcome::Complete(req2, _) => assert_eq!(req2.path, "/b"),
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn response_format() {
+        let r = build_response(200, "OK", b"hello", true);
+        let s = String::from_utf8(r).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 5\r\n"));
+        assert!(s.contains("Connection: keep-alive"));
+        assert!(s.ends_with("\r\n\r\nhello"));
+    }
+
+    #[test]
+    fn content_store_sized_paths() {
+        let store = ContentStore::new();
+        assert_eq!(store.get("/4kb").unwrap().len(), 4 * 1024);
+        assert_eq!(store.get("/1024kb").unwrap().len(), 1024 * 1024);
+        assert!(store.get("/nope").is_none());
+        assert!(store.get("/").unwrap().len() < 100, "small index page");
+    }
+
+    #[test]
+    fn content_store_explicit_entries() {
+        let store = ContentStore::new();
+        store.insert("/custom", b"abc".to_vec());
+        assert_eq!(store.get("/custom").unwrap(), b"abc");
+    }
+}

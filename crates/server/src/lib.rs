@@ -1,0 +1,24 @@
+//! # qtls-server — the event-driven web worker
+//!
+//! A miniature Nginx: one thread, many connections, non-blocking virtual
+//! sockets, an HTTP/1.1 subset, and the QTLS modifications of paper §4.2
+//! (TLS-ASYNC state, saved read handlers, heuristic polling integration,
+//! kernel-bypass async queue). All five offload configurations (`SW`,
+//! `QAT+S`, `QAT+A`, `QAT+AH`, `QTLS`) are wired end-to-end and can be
+//! exercised against the closed-loop load generators in [`loadgen`].
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config_file;
+pub mod http;
+pub mod loadgen;
+pub mod net;
+pub mod worker;
+
+pub use cluster::Cluster;
+pub use config_file::{parse_ssl_engine_conf, EngineDirectives};
+pub use http::ContentStore;
+pub use loadgen::{spawn_clients, ClientConfig, LoadStats};
+pub use net::{VListener, VSocket};
+pub use worker::{Worker, WorkerConfig, WorkerStats};

@@ -1,0 +1,337 @@
+//! Closed-loop load generators — the `openssl s_time` and ApacheBench
+//! roles of the paper's client servers, over the in-memory network.
+
+use crate::net::{SockError, VListener, VSocket};
+use qtls_crypto::ecc::NamedCurve;
+use qtls_tls::client::{ClientSession, ResumeData};
+use qtls_tls::tls13::Tls13ClientSession;
+use qtls_tls::provider::CryptoProvider;
+use qtls_tls::suite::CipherSuite;
+use qtls_tls::TlsError;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-generation parameters for one client stream.
+#[derive(Clone)]
+pub struct ClientConfig {
+    /// Cipher suite to offer.
+    pub suite: CipherSuite,
+    /// Curve to offer.
+    pub curve: NamedCurve,
+    /// Path to GET after the handshake (None = handshake-only, like
+    /// `s_time` against a closed page).
+    pub request_path: Option<String>,
+    /// Keep-alive requests per connection (1 = close after first).
+    pub requests_per_conn: usize,
+    /// Attempt session resumption on subsequent connections (the
+    /// `s_time -reuse` flag / Fig. 9 workloads). The value is the number
+    /// of abbreviated handshakes per full handshake (e.g. 9 for the 1:9
+    /// mixture); 0 disables resumption.
+    pub resumes_per_full: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            suite: CipherSuite::EcdheRsa,
+            curve: NamedCurve::P256,
+            request_path: None,
+            requests_per_conn: 1,
+            resumes_per_full: 0,
+        }
+    }
+}
+
+/// Aggregate results across all client streams.
+#[derive(Debug, Default)]
+pub struct LoadStats {
+    /// Completed connections (handshakes).
+    pub connections: AtomicU64,
+    /// Of which resumed.
+    pub resumed: AtomicU64,
+    /// HTTP responses fully received.
+    pub responses: AtomicU64,
+    /// Response body bytes received.
+    pub body_bytes: AtomicU64,
+    /// Errors.
+    pub errors: AtomicU64,
+    /// Total connection latency in microseconds (for averaging).
+    pub latency_us_total: AtomicU64,
+}
+
+impl LoadStats {
+    /// Average time from connect to connection completion.
+    pub fn avg_latency(&self) -> Duration {
+        let n = self.connections.load(Ordering::Relaxed).max(1);
+        Duration::from_micros(self.latency_us_total.load(Ordering::Relaxed) / n)
+    }
+}
+
+/// Errors a client stream can hit.
+#[derive(Debug)]
+pub enum ClientError {
+    /// TLS failure.
+    Tls(TlsError),
+    /// Transport failure.
+    Sock(SockError),
+    /// Server never answered.
+    Timeout,
+    /// Response was malformed.
+    BadResponse(&'static str),
+}
+
+impl From<TlsError> for ClientError {
+    fn from(e: TlsError) -> Self {
+        ClientError::Tls(e)
+    }
+}
+
+/// Pump a client session against a socket until `done` says stop.
+fn pump_until(
+    session: &mut ClientSession,
+    sock: &VSocket,
+    deadline: Instant,
+    mut done: impl FnMut(&mut ClientSession) -> bool,
+) -> Result<(), ClientError> {
+    loop {
+        let out = session.take_output();
+        if !out.is_empty() {
+            sock.write(&out).map_err(ClientError::Sock)?;
+        }
+        match sock.read_all() {
+            Ok(bytes) => {
+                session.feed(&bytes);
+                session.process()?;
+            }
+            Err(SockError::WouldBlock) => {}
+            Err(SockError::Closed) => return Err(ClientError::Sock(SockError::Closed)),
+        }
+        if done(session) {
+            // Flush any remaining output (e.g. the final Finished).
+            let out = session.take_output();
+            if !out.is_empty() {
+                sock.write(&out).map_err(ClientError::Sock)?;
+            }
+            return Ok(());
+        }
+        if Instant::now() > deadline {
+            return Err(ClientError::Timeout);
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Extract the Content-Length of a response, if headers are complete.
+fn response_content_len(buf: &[u8]) -> Option<(usize, usize)> {
+    let end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&buf[..end]).ok()?;
+    for line in head.split("\r\n").skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                return Some((end, value.trim().parse().ok()?));
+            }
+        }
+    }
+    Some((end, 0))
+}
+
+/// Run one TLS 1.3 connection: handshake, optional single request,
+/// close. Returns `(responses, body_bytes)`.
+pub fn run_connection_tls13(
+    listener: &VListener,
+    cfg: &ClientConfig,
+    seed: u64,
+    timeout: Duration,
+) -> Result<(u64, u64), ClientError> {
+    let deadline = Instant::now() + timeout;
+    let sock = listener.connect();
+    let mut session = Tls13ClientSession::new(
+        CryptoProvider::Software,
+        cfg.suite,
+        cfg.curve,
+        seed,
+    );
+    session.start()?;
+    let pump13 = |session: &mut Tls13ClientSession,
+                      done: &mut dyn FnMut(&mut Tls13ClientSession) -> bool|
+     -> Result<(), ClientError> {
+        loop {
+            let out = session.take_output();
+            if !out.is_empty() {
+                sock.write(&out).map_err(ClientError::Sock)?;
+            }
+            match sock.read_all() {
+                Ok(bytes) => {
+                    session.feed(&bytes);
+                    session.process()?;
+                }
+                Err(SockError::WouldBlock) => {}
+                Err(SockError::Closed) => return Err(ClientError::Sock(SockError::Closed)),
+            }
+            if done(session) {
+                let out = session.take_output();
+                if !out.is_empty() {
+                    sock.write(&out).map_err(ClientError::Sock)?;
+                }
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(ClientError::Timeout);
+            }
+            std::thread::yield_now();
+        }
+    };
+    pump13(&mut session, &mut |s| s.is_established())?;
+    let mut responses = 0u64;
+    let mut body_bytes = 0u64;
+    if let Some(path) = &cfg.request_path {
+        let req = format!("GET {path} HTTP/1.1\r\nHost: qtls\r\nConnection: close\r\n\r\n");
+        session.write_app_data(req.as_bytes())?;
+        let mut resp_buf: Vec<u8> = Vec::new();
+        let mut needed: Option<usize> = None;
+        pump13(&mut session, &mut |s| {
+            while let Some(chunk) = s.read_app_data() {
+                resp_buf.extend_from_slice(&chunk);
+            }
+            if needed.is_none() {
+                if let Some((hdr, len)) = response_content_len(&resp_buf) {
+                    needed = Some(hdr + len);
+                }
+            }
+            needed.is_some_and(|n| resp_buf.len() >= n)
+        })?;
+        let n = needed.expect("set by closure");
+        body_bytes += (n - response_content_len(&resp_buf).unwrap().0) as u64;
+        responses += 1;
+    }
+    sock.close();
+    Ok((responses, body_bytes))
+}
+
+/// Run one connection: handshake, optional requests, close.
+/// Returns resumption material for the next connection.
+pub fn run_connection(
+    listener: &VListener,
+    cfg: &ClientConfig,
+    seed: u64,
+    resume: Option<ResumeData>,
+    timeout: Duration,
+) -> Result<(Option<ResumeData>, bool, u64, u64), ClientError> {
+    let deadline = Instant::now() + timeout;
+    let sock = listener.connect();
+    let mut session = ClientSession::new(
+        CryptoProvider::Software,
+        cfg.suite,
+        cfg.curve,
+        resume,
+        seed,
+    );
+    session.start()?;
+    pump_until(&mut session, &sock, deadline, |s| s.is_established())?;
+    let resumed = session.was_resumed();
+    let mut responses = 0u64;
+    let mut body_bytes = 0u64;
+    if let Some(path) = &cfg.request_path {
+        let mut resp_buf: Vec<u8> = Vec::new();
+        for i in 0..cfg.requests_per_conn {
+            let keep = i + 1 < cfg.requests_per_conn;
+            let req = format!(
+                "GET {path} HTTP/1.1\r\nHost: qtls\r\nConnection: {}\r\n\r\n",
+                if keep { "keep-alive" } else { "close" }
+            );
+            session.write_app_data(req.as_bytes())?;
+            // Read until a complete response is buffered.
+            let mut needed: Option<usize> = None;
+            pump_until(&mut session, &sock, deadline, |s| {
+                while let Some(chunk) = s.read_app_data() {
+                    resp_buf.extend_from_slice(&chunk);
+                }
+                if needed.is_none() {
+                    if let Some((hdr, len)) = response_content_len(&resp_buf) {
+                        needed = Some(hdr + len);
+                    }
+                }
+                needed.is_some_and(|n| resp_buf.len() >= n)
+            })?;
+            let n = needed.expect("set by closure");
+            body_bytes += (n - response_content_len(&resp_buf).unwrap().0) as u64;
+            resp_buf.drain(..n);
+            responses += 1;
+        }
+    }
+    let resume_out = session.export_resume_data();
+    sock.close();
+    Ok((resume_out, resumed, responses, body_bytes))
+}
+
+/// Spawn `n_clients` closed-loop client threads hammering `listener`
+/// until `stop` is set. Mirrors "1000 s_time processes ... launched to
+/// establish new TLS connections".
+pub fn spawn_clients(
+    listener: Arc<VListener>,
+    cfg: ClientConfig,
+    n_clients: usize,
+    stop: Arc<AtomicBool>,
+    stats: Arc<LoadStats>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..n_clients)
+        .map(|client_idx| {
+            let listener = Arc::clone(&listener);
+            let cfg = cfg.clone();
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name(format!("loadgen-{client_idx}"))
+                .spawn(move || {
+                    let mut seed = 0xc11e_0000_0000 + ((client_idx as u64) << 20);
+                    let mut resume: Option<ResumeData> = None;
+                    let mut since_full = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        seed += 1;
+                        // Resumption mixture control (Fig. 9b).
+                        let attempt_resume = if cfg.resumes_per_full == 0 {
+                            None
+                        } else if since_full < cfg.resumes_per_full {
+                            resume.clone()
+                        } else {
+                            None
+                        };
+                        let t0 = Instant::now();
+                        match run_connection(
+                            &listener,
+                            &cfg,
+                            seed,
+                            attempt_resume,
+                            Duration::from_secs(30),
+                        ) {
+                            Ok((new_resume, resumed, responses, bytes)) => {
+                                stats.connections.fetch_add(1, Ordering::Relaxed);
+                                stats
+                                    .latency_us_total
+                                    .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                                if resumed {
+                                    stats.resumed.fetch_add(1, Ordering::Relaxed);
+                                    since_full += 1;
+                                } else {
+                                    since_full = 0;
+                                }
+                                if new_resume.is_some() {
+                                    resume = new_resume;
+                                }
+                                stats.responses.fetch_add(responses, Ordering::Relaxed);
+                                stats.body_bytes.fetch_add(bytes, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                stats.errors.fetch_add(1, Ordering::Relaxed);
+                                if stop.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                })
+                .expect("spawn client")
+        })
+        .collect()
+}

@@ -1,0 +1,248 @@
+//! In-memory network substrate: non-blocking virtual sockets with the
+//! semantics the event-driven architecture needs (readable/writable
+//! readiness, `WouldBlock`, FIN/close) — standing in for the testbed's
+//! TCP over back-to-back 40 GbE NICs.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One direction's byte pipe.
+struct Pipe {
+    buf: Mutex<VecDeque<u8>>,
+    closed: AtomicBool,
+}
+
+impl Pipe {
+    fn new() -> Arc<Self> {
+        Arc::new(Pipe {
+            buf: Mutex::new(VecDeque::new()),
+            closed: AtomicBool::new(false),
+        })
+    }
+}
+
+/// Non-blocking socket I/O errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SockError {
+    /// No bytes available / peer buffer full (never full here, reads only).
+    WouldBlock,
+    /// Peer closed its end.
+    Closed,
+}
+
+/// A non-blocking, in-memory stream socket.
+pub struct VSocket {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+}
+
+impl VSocket {
+    /// A connected socket pair.
+    pub fn pair() -> (VSocket, VSocket) {
+        let a = Pipe::new();
+        let b = Pipe::new();
+        (
+            VSocket {
+                rx: Arc::clone(&a),
+                tx: Arc::clone(&b),
+            },
+            VSocket { rx: b, tx: a },
+        )
+    }
+
+    /// Read up to `buf.len()` bytes (non-blocking).
+    pub fn read(&self, buf: &mut [u8]) -> Result<usize, SockError> {
+        let mut rx = self.rx.buf.lock();
+        if rx.is_empty() {
+            if self.rx.closed.load(Ordering::Acquire) {
+                return Err(SockError::Closed);
+            }
+            return Err(SockError::WouldBlock);
+        }
+        let n = buf.len().min(rx.len());
+        for b in buf.iter_mut().take(n) {
+            *b = rx.pop_front().unwrap();
+        }
+        Ok(n)
+    }
+
+    /// Drain everything currently readable.
+    pub fn read_all(&self) -> Result<Vec<u8>, SockError> {
+        let mut rx = self.rx.buf.lock();
+        if rx.is_empty() {
+            if self.rx.closed.load(Ordering::Acquire) {
+                return Err(SockError::Closed);
+            }
+            return Err(SockError::WouldBlock);
+        }
+        Ok(rx.drain(..).collect())
+    }
+
+    /// Write all bytes (the in-memory pipe is unbounded).
+    pub fn write(&self, data: &[u8]) -> Result<(), SockError> {
+        if self.tx.closed.load(Ordering::Acquire) {
+            return Err(SockError::Closed);
+        }
+        self.tx.buf.lock().extend(data);
+        Ok(())
+    }
+
+    /// Any bytes waiting to be read?
+    pub fn readable(&self) -> bool {
+        !self.rx.buf.lock().is_empty()
+    }
+
+    /// Has the peer closed (and no bytes remain)?
+    pub fn peer_closed(&self) -> bool {
+        self.rx.closed.load(Ordering::Acquire) && self.rx.buf.lock().is_empty()
+    }
+
+    /// Close the socket (both directions; buffered bytes remain readable
+    /// by the peer).
+    pub fn close(&self) {
+        self.tx.closed.store(true, Ordering::Release);
+        self.rx.closed.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for VSocket {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// A listening endpoint accepting virtual connections.
+pub struct VListener {
+    backlog: Mutex<VecDeque<VSocket>>,
+}
+
+impl Default for VListener {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VListener {
+    /// New listener.
+    pub fn new() -> Self {
+        VListener {
+            backlog: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Client side: connect, returning the client socket.
+    pub fn connect(&self) -> VSocket {
+        let (client, server) = VSocket::pair();
+        self.backlog.lock().push_back(server);
+        client
+    }
+
+    /// Server side: accept a pending connection (non-blocking).
+    pub fn accept(&self) -> Option<VSocket> {
+        self.backlog.lock().pop_front()
+    }
+
+    /// Inject an already-established server-side socket (used by the
+    /// cluster's master dispatcher to balance connections to workers).
+    pub fn inject(&self, sock: VSocket) {
+        self.backlog.lock().push_back(sock);
+    }
+
+    /// Pending connections.
+    pub fn pending(&self) -> usize {
+        self.backlog.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_bidirectional() {
+        let (a, b) = VSocket::pair();
+        a.write(b"ping").unwrap();
+        assert!(b.readable());
+        assert_eq!(b.read_all().unwrap(), b"ping");
+        b.write(b"pong").unwrap();
+        let mut buf = [0u8; 2];
+        assert_eq!(a.read(&mut buf).unwrap(), 2);
+        assert_eq!(&buf, b"po");
+        assert_eq!(a.read_all().unwrap(), b"ng");
+    }
+
+    #[test]
+    fn would_block_when_empty() {
+        let (a, _b) = VSocket::pair();
+        assert_eq!(a.read_all().unwrap_err(), SockError::WouldBlock);
+        assert!(!a.readable());
+    }
+
+    #[test]
+    fn close_semantics() {
+        let (a, b) = VSocket::pair();
+        a.write(b"last").unwrap();
+        a.close();
+        // Buffered data is still readable after FIN.
+        assert_eq!(b.read_all().unwrap(), b"last");
+        assert_eq!(b.read_all().unwrap_err(), SockError::Closed);
+        assert!(b.peer_closed());
+        assert_eq!(b.write(b"x").unwrap_err(), SockError::Closed);
+    }
+
+    #[test]
+    fn drop_closes() {
+        let (a, b) = VSocket::pair();
+        drop(a);
+        assert!(b.peer_closed());
+    }
+
+    #[test]
+    fn listener_accept_order() {
+        let l = VListener::new();
+        let c1 = l.connect();
+        let c2 = l.connect();
+        assert_eq!(l.pending(), 2);
+        let s1 = l.accept().unwrap();
+        c1.write(b"one").unwrap();
+        c2.write(b"two").unwrap();
+        assert_eq!(s1.read_all().unwrap(), b"one");
+        let s2 = l.accept().unwrap();
+        assert_eq!(s2.read_all().unwrap(), b"two");
+        assert!(l.accept().is_none());
+    }
+
+    #[test]
+    fn cross_thread() {
+        let l = Arc::new(VListener::new());
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            let c = l2.connect();
+            c.write(b"hello from client").unwrap();
+            loop {
+                match c.read_all() {
+                    Ok(v) => return v,
+                    Err(SockError::WouldBlock) => std::thread::yield_now(),
+                    Err(e) => panic!("{e:?}"),
+                }
+            }
+        });
+        let s = loop {
+            if let Some(s) = l.accept() {
+                break s;
+            }
+            std::thread::yield_now();
+        };
+        let got = loop {
+            match s.read_all() {
+                Ok(v) => break v,
+                Err(_) => std::thread::yield_now(),
+            }
+        };
+        assert_eq!(got, b"hello from client");
+        s.write(b"hi client").unwrap();
+        assert_eq!(t.join().unwrap(), b"hi client");
+    }
+}

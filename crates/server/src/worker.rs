@@ -1,0 +1,609 @@
+//! The event-driven HTTPS worker — the Nginx-worker role of the paper,
+//! with the QTLS modifications of §4.2:
+//!
+//! - one thread handles many connections over non-blocking sockets;
+//! - TLS processing runs inside fiber-based offload jobs (async
+//!   profiles): when a crypto request is submitted the job pauses, the
+//!   connection enters the **TLS-ASYNC** state and the loop moves on;
+//! - read events that arrive while an async event is expected are saved
+//!   and replayed after the async event is processed ("event disorder");
+//! - the heuristic polling scheme runs inside the loop, fed by the
+//!   engine's inflight counters and the worker's `TC_active` statistic
+//!   (`stub_status`-style accounting);
+//! - completions arrive through the kernel-bypass async queue (QTLS) or
+//!   an eventfd/epoll-style FD path (QAT+A / QAT+AH), whose simulated
+//!   kernel crossings are counted.
+
+use crate::http::{self, ContentStore, ParseOutcome};
+use crate::net::{SockError, VListener, VSocket};
+use qtls_core::{
+    fiber, AsyncQueue, EngineMode, FdSelector, HeuristicConfig, HeuristicPoller, NotifyScheme,
+    OffloadEngine, OffloadProfile, PollingScheme, StartResult, TimerPoller, VirtualFd,
+};
+use qtls_qat::QatDevice;
+use qtls_tls::provider::{CryptoProvider, OffloadSelection};
+use qtls_tls::any_session::AnyServerSession;
+use qtls_tls::server::ServerConfig;
+use qtls_tls::suite::Version;
+use qtls_tls::TlsError;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Worker configuration.
+pub struct WorkerConfig {
+    /// Offload profile (the five configurations of §5.1).
+    pub profile: OffloadProfile,
+    /// TLS server configuration (keys, suites, session cache).
+    pub tls: Arc<ServerConfig>,
+    /// Served content.
+    pub content: Arc<ContentStore>,
+    /// Heuristic polling thresholds.
+    pub heuristic: HeuristicConfig,
+    /// Timer-poller interval override (Fig. 12 sweeps 10 µs vs 1 ms).
+    pub timer_interval: Option<Duration>,
+    /// Which algorithm classes are offloaded (the `default_algorithm`
+    /// directive of the SSL Engine Framework).
+    pub selection: OffloadSelection,
+    /// Protocol version served (the worker terminates one protocol, as
+    /// in the paper's per-experiment Nginx configurations).
+    pub version: Version,
+}
+
+impl WorkerConfig {
+    /// Default config for `profile`.
+    pub fn new(profile: OffloadProfile) -> Self {
+        WorkerConfig {
+            profile,
+            tls: ServerConfig::test_default(),
+            content: Arc::new(ContentStore::new()),
+            heuristic: HeuristicConfig::default(),
+            timer_interval: None,
+            selection: OffloadSelection::default(),
+            version: Version::Tls12,
+        }
+    }
+
+    /// Build a worker config from parsed `ssl_engine` directives.
+    pub fn from_directives(d: &crate::config_file::EngineDirectives) -> Self {
+        WorkerConfig {
+            profile: d.profile,
+            tls: ServerConfig::test_default(),
+            content: Arc::new(ContentStore::new()),
+            heuristic: d.heuristic,
+            timer_interval: d.timer_interval,
+            selection: d.selection,
+            version: Version::Tls12,
+        }
+    }
+}
+
+/// Worker statistics (a `stub_status` superset).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    /// Completed handshakes.
+    pub handshakes: u64,
+    /// Of which abbreviated (resumed).
+    pub resumed: u64,
+    /// HTTP requests served.
+    pub requests: u64,
+    /// Application bytes sent.
+    pub bytes_sent: u64,
+    /// Fiber jobs that paused at least once (offload jobs).
+    pub async_jobs: u64,
+    /// Job resumptions processed.
+    pub resumptions: u64,
+    /// Ring-full retry reschedules.
+    pub retries: u64,
+    /// Connections closed.
+    pub closed: u64,
+    /// TLS protocol errors.
+    pub errors: u64,
+}
+
+/// The bundle that travels in and out of fiber jobs: the TLS session plus
+/// the connection's HTTP parsing state.
+struct ConnCtx {
+    session: Box<AnyServerSession>,
+    http_buf: Vec<u8>,
+}
+
+/// Result of one service pass over a connection.
+struct ServiceReport {
+    handshake_done: bool,
+    resumed: bool,
+    requests: u64,
+    bytes_sent: u64,
+    close: bool,
+    error: Option<TlsError>,
+}
+
+/// Run the TLS state machine + HTTP layer over whatever input has been
+/// fed. Runs inside a fiber job under the async profiles, so every
+/// crypto call inside may pause the job.
+fn service(ctx: &mut ConnCtx, content: &ContentStore) -> ServiceReport {
+    let mut report = ServiceReport {
+        handshake_done: false,
+        resumed: false,
+        requests: 0,
+        bytes_sent: 0,
+        close: false,
+        error: None,
+    };
+    let was_established = ctx.session.is_established();
+    match ctx.session.process() {
+        Ok(()) => {}
+        Err(e) => {
+            report.error = Some(e);
+            report.close = true;
+            return report;
+        }
+    }
+    if !was_established && ctx.session.is_established() {
+        report.handshake_done = true;
+        report.resumed = ctx.session.was_resumed();
+    }
+    // HTTP layer over decrypted application data.
+    while let Some(chunk) = ctx.session.read_app_data() {
+        ctx.http_buf.extend_from_slice(&chunk);
+    }
+    loop {
+        match http::parse_request(&ctx.http_buf) {
+            ParseOutcome::Complete(req, used) => {
+                ctx.http_buf.drain(..used);
+                let (status, reason, body) = if req.method != "GET" {
+                    (405, "Method Not Allowed", Vec::new())
+                } else {
+                    match content.get(&req.path) {
+                        Some(body) => (200, "OK", body),
+                        None => (404, "Not Found", Vec::new()),
+                    }
+                };
+                let resp = http::build_response(status, reason, &body, req.keep_alive);
+                report.bytes_sent += resp.len() as u64;
+                report.requests += 1;
+                if let Err(e) = ctx.session.write_app_data(&resp) {
+                    report.error = Some(e);
+                    report.close = true;
+                    break;
+                }
+                if !req.keep_alive {
+                    report.close = true;
+                    break;
+                }
+            }
+            ParseOutcome::Partial => break,
+            ParseOutcome::Bad(_) => {
+                report.close = true;
+                break;
+            }
+        }
+    }
+    report
+}
+
+/// Per-connection driver state (§4.2's TLS state machine extension: the
+/// `Awaiting` arm is the TLS-ASYNC state).
+enum Driver {
+    /// Session available; events can be handled directly.
+    Idle(ConnCtx),
+    /// An offload job is paused awaiting an async event.
+    Awaiting {
+        job: qtls_core::AsyncJob<(ConnCtx, ServiceReport)>,
+        /// A read event arrived while the async event was expected; its
+        /// handler was saved and will be replayed (§4.2).
+        saved_read: bool,
+        /// Paused due to a full request ring; resume to retry.
+        retry: bool,
+    },
+    /// Transitional.
+    Taken,
+}
+
+struct Conn {
+    sock: VSocket,
+    driver: Driver,
+    fd: Option<Arc<VirtualFd>>,
+    established: bool,
+    close_requested: bool,
+}
+
+/// The event-driven worker.
+pub struct Worker {
+    cfg: WorkerConfig,
+    listener: Arc<VListener>,
+    conns: HashMap<u64, Conn>,
+    next_id: u64,
+    engine: Option<Arc<OffloadEngine>>,
+    heuristic: Option<HeuristicPoller>,
+    _timer_poller: Option<TimerPoller>,
+    async_queue: Arc<AsyncQueue<u64>>,
+    selector: Option<FdSelector>,
+    /// Aggregated statistics.
+    pub stats: WorkerStats,
+    session_seed: u64,
+}
+
+impl Worker {
+    /// Build a worker for `cfg.profile`, allocating a QAT instance from
+    /// `device` for the offloading profiles.
+    pub fn new(listener: Arc<VListener>, device: Option<&QatDevice>, cfg: WorkerConfig) -> Self {
+        let profile = cfg.profile;
+        let engine = if profile.uses_qat() {
+            let device = device.expect("offload profile requires a QAT device");
+            let mode = if profile.uses_async() {
+                EngineMode::Async
+            } else {
+                EngineMode::Blocking
+            };
+            Some(Arc::new(OffloadEngine::new(device.alloc_instance(), mode)))
+        } else {
+            None
+        };
+        let timer_poller = match (profile.polling(), &engine) {
+            (Some(PollingScheme::TimerThread(default)), Some(engine)) => {
+                let interval = cfg.timer_interval.unwrap_or(default);
+                Some(TimerPoller::spawn(Arc::clone(engine), interval))
+            }
+            _ => None,
+        };
+        let heuristic = match (profile.polling(), &engine) {
+            (Some(PollingScheme::Heuristic), Some(engine)) => {
+                Some(HeuristicPoller::new(Arc::clone(engine), cfg.heuristic))
+            }
+            _ => None,
+        };
+        let selector = match profile.notification() {
+            Some(NotifyScheme::Fd) => Some(FdSelector::new()),
+            _ => None,
+        };
+        Worker {
+            cfg,
+            listener,
+            conns: HashMap::new(),
+            next_id: 1,
+            engine,
+            heuristic,
+            _timer_poller: timer_poller,
+            async_queue: Arc::new(AsyncQueue::new()),
+            selector,
+            stats: WorkerStats::default(),
+            session_seed: 0x9_0000_0000,
+        }
+    }
+
+    /// The offload engine, if any (inflight counters etc.).
+    pub fn engine(&self) -> Option<&Arc<OffloadEngine>> {
+        self.engine.as_ref()
+    }
+
+    /// Simulated user/kernel mode switches spent on async notification
+    /// (0 under the kernel-bypass scheme).
+    pub fn kernel_switches(&self) -> u64 {
+        self.selector.as_ref().map(|s| s.meter().total()).unwrap_or(0)
+    }
+
+    /// `TC_alive`: currently-open connections.
+    pub fn tc_alive(&self) -> u64 {
+        self.conns.len() as u64
+    }
+
+    /// `TC_idle`: established connections waiting for a request.
+    pub fn tc_idle(&self) -> u64 {
+        self.tc_alive() - self.tc_active()
+    }
+
+    /// Render the `stub_status`-style page the heuristic scheme builds
+    /// on (§4.3 extends this very module's accounting).
+    pub fn stub_status(&self) -> String {
+        format!(
+            "Active connections: {}\n\
+             server accepts handled requests\n {} {} {}\n\
+             TLS: alive {} idle {} active {} async-jobs {} resumptions {}\n",
+            self.tc_alive(),
+            self.stats.handshakes + self.stats.errors,
+            self.stats.handshakes,
+            self.stats.requests,
+            self.tc_alive(),
+            self.tc_idle(),
+            self.tc_active(),
+            self.stats.async_jobs,
+            self.stats.resumptions,
+        )
+    }
+
+    /// `TC_active = TC_alive - TC_idle` (§4.3): connections that are
+    /// handshaking, or have inflight work.
+    pub fn tc_active(&self) -> u64 {
+        self.conns
+            .values()
+            .filter(|c| {
+                !c.established
+                    || matches!(c.driver, Driver::Awaiting { .. })
+                    || c.sock.readable()
+            })
+            .count() as u64
+    }
+
+    fn provider(&self) -> CryptoProvider {
+        match &self.engine {
+            None => CryptoProvider::Software,
+            Some(engine) => CryptoProvider::Offload {
+                engine: Arc::clone(engine),
+                selection: self.cfg.selection,
+            },
+        }
+    }
+
+    /// One turn of the main event loop. Returns the number of events
+    /// handled (0 = idle).
+    pub fn run_iteration(&mut self) -> usize {
+        let mut events = 0;
+        // 1. Accept new connections.
+        while let Some(sock) = self.listener.accept() {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.session_seed += 1;
+            let session = Box::new(AnyServerSession::new(
+                self.cfg.version,
+                Arc::clone(&self.cfg.tls),
+                self.provider(),
+                self.session_seed,
+            ));
+            self.conns.insert(
+                id,
+                Conn {
+                    sock,
+                    driver: Driver::Idle(ConnCtx {
+                        session,
+                        http_buf: Vec::new(),
+                    }),
+                    fd: None,
+                    established: false,
+                    close_requested: false,
+                },
+            );
+            events += 1;
+        }
+        // 2. Socket read events.
+        let readable: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.sock.readable() || c.sock.peer_closed())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in readable {
+            events += 1;
+            let conn = self.conns.get_mut(&id).expect("exists");
+            if let Driver::Awaiting { saved_read, .. } = &mut conn.driver {
+                // §4.2: save the read handler; replay after the async
+                // event is processed.
+                *saved_read = true;
+            } else if conn.sock.peer_closed() && !conn.sock.readable() {
+                self.remove_conn(id);
+            } else {
+                self.drive(id);
+            }
+        }
+        // 3. QAT response retrieval (heuristic profiles; timer profiles
+        // poll from their dedicated thread).
+        if let Some(h) = &mut self.heuristic {
+            let tc_active = self
+                .conns
+                .values()
+                .filter(|c| {
+                    !c.established
+                        || matches!(c.driver, Driver::Awaiting { .. })
+                        || c.sock.readable()
+                })
+                .count() as u64;
+            events += h.maybe_poll(tc_active);
+            events += h.failover_check();
+        }
+        // 4. Async event delivery.
+        match self.cfg.profile.notification() {
+            Some(NotifyScheme::KernelBypass) => {
+                // Drain the application async queue (processed "at the
+                // end of the main event loop", §3.4).
+                for id in self.async_queue.drain() {
+                    events += 1;
+                    self.resume(id);
+                }
+            }
+            Some(NotifyScheme::Fd) => {
+                if let Some(selector) = &self.selector {
+                    let ready = selector.poll_ready();
+                    for id in ready {
+                        events += 1;
+                        if let Some(conn) = self.conns.get(&id) {
+                            if let Some(fd) = &conn.fd {
+                                fd.clear();
+                            }
+                        }
+                        self.resume(id);
+                    }
+                }
+            }
+            None => {}
+        }
+        // 5. Ring-full retries: reschedule paused jobs.
+        let retries: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| matches!(c.driver, Driver::Awaiting { retry: true, .. }))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in retries {
+            events += 1;
+            self.stats.retries += 1;
+            self.resume(id);
+        }
+        events
+    }
+
+    /// Run the loop until `stop` returns true, yielding when idle.
+    pub fn run_until(&mut self, mut stop: impl FnMut(&Worker) -> bool) {
+        while !stop(self) {
+            if self.run_iteration() == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Drive a connection that has a usable session.
+    fn drive(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if !matches!(conn.driver, Driver::Idle(_)) {
+            return; // still awaiting an async event
+        }
+        let Driver::Idle(mut ctx) = std::mem::replace(&mut conn.driver, Driver::Taken) else {
+            unreachable!("checked above")
+        };
+        // Feed everything readable.
+        match conn.sock.read_all() {
+            Ok(bytes) => ctx.session.feed(&bytes),
+            Err(SockError::WouldBlock) | Err(SockError::Closed) => {}
+        }
+        let use_async = self.cfg.profile.uses_async();
+        let content = Arc::clone(&self.cfg.content);
+        if use_async {
+            match fiber::start_job(move || {
+                let report = service(&mut ctx, &content);
+                (ctx, report)
+            }) {
+                StartResult::Finished((ctx, report)) => {
+                    self.finish_service(id, ctx, report);
+                }
+                StartResult::Paused(job) => {
+                    self.stats.async_jobs += 1;
+                    self.enter_async(id, job);
+                }
+            }
+        } else {
+            let report = service(&mut ctx, &content);
+            self.finish_service(id, ctx, report);
+        }
+    }
+
+    /// Transition a connection into TLS-ASYNC: register the notification
+    /// channel on the job's wait context.
+    fn enter_async(&mut self, id: u64, job: qtls_core::AsyncJob<(ConnCtx, ServiceReport)>) {
+        let retry = job.wait_ctx().take_retry();
+        match self.cfg.profile.notification() {
+            Some(NotifyScheme::KernelBypass) => {
+                // SSL_set_async_callback: the response callback pushes the
+                // async handler (here: the connection id) onto the queue.
+                let queue = Arc::clone(&self.async_queue);
+                job.wait_ctx().set_callback(
+                    Arc::new(move |arg| {
+                        queue.push(arg);
+                    }),
+                    id,
+                );
+                // Race repair: a dedicated poller may have retrieved the
+                // response between submission and this registration — the
+                // parked result would otherwise never be announced.
+                if job.wait_ctx().has_result() {
+                    self.async_queue.push(id);
+                }
+            }
+            Some(NotifyScheme::Fd) => {
+                let conn = self.conns.get_mut(&id).expect("exists");
+                // §4.4 optimization: one FD shared across all async jobs
+                // of the same connection.
+                let fd = conn.fd.get_or_insert_with(|| {
+                    let fd = Arc::new(VirtualFd::new(id));
+                    if let Some(sel) = &self.selector {
+                        sel.register(Arc::clone(&fd));
+                    }
+                    fd
+                });
+                job.wait_ctx().set_fd(Arc::clone(fd));
+                if job.wait_ctx().has_result() {
+                    fd.signal();
+                }
+            }
+            None => unreachable!("async profile without notification"),
+        }
+        let conn = self.conns.get_mut(&id).expect("exists");
+        conn.driver = Driver::Awaiting {
+            job,
+            saved_read: false,
+            retry,
+        };
+    }
+
+    /// Resume a paused offload job (post-processing phase).
+    fn resume(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let Driver::Awaiting {
+            job, saved_read, ..
+        } = std::mem::replace(&mut conn.driver, Driver::Taken)
+        else {
+            return;
+        };
+        self.stats.resumptions += 1;
+        match job.resume() {
+            StartResult::Finished((ctx, report)) => {
+                self.finish_service(id, ctx, report);
+                // Replay the saved read event (§4.2).
+                if saved_read {
+                    if let Some(conn) = self.conns.get(&id) {
+                        if conn.sock.readable() {
+                            self.drive(id);
+                        }
+                    }
+                }
+            }
+            StartResult::Paused(job) => {
+                // Another crypto op inside the same service pass.
+                let retry = job.wait_ctx().take_retry();
+                let conn = self.conns.get_mut(&id).expect("exists");
+                conn.driver = Driver::Awaiting {
+                    job,
+                    saved_read,
+                    retry,
+                };
+            }
+        }
+    }
+
+    /// Post-service bookkeeping: flush output, update stats, close.
+    fn finish_service(&mut self, id: u64, mut ctx: ConnCtx, report: ServiceReport) {
+        let out = ctx.session.take_output();
+        let conn = self.conns.get_mut(&id).expect("exists");
+        if !out.is_empty() {
+            let _ = conn.sock.write(&out);
+        }
+        if report.handshake_done {
+            self.stats.handshakes += 1;
+            if report.resumed {
+                self.stats.resumed += 1;
+            }
+            conn.established = true;
+        }
+        self.stats.requests += report.requests;
+        self.stats.bytes_sent += report.bytes_sent;
+        if report.error.is_some() {
+            self.stats.errors += 1;
+        }
+        conn.driver = Driver::Idle(ctx);
+        if report.close || conn.close_requested {
+            self.remove_conn(id);
+        }
+    }
+
+    fn remove_conn(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            if let (Some(fd), Some(sel)) = (&conn.fd, &self.selector) {
+                sel.deregister(fd.id);
+            }
+            conn.sock.close();
+            self.stats.closed += 1;
+        }
+    }
+}

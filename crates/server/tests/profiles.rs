@@ -1,0 +1,335 @@
+//! End-to-end worker tests: every offload profile terminates real TLS
+//! handshakes and serves HTTP over the in-memory network, with genuine
+//! crypto both in software and through the QAT device model.
+
+use qtls_core::OffloadProfile;
+use qtls_qat::{QatConfig, QatDevice};
+use qtls_server::loadgen::{run_connection, ClientConfig};
+use qtls_server::{VListener, Worker, WorkerConfig};
+use qtls_tls::suite::CipherSuite;
+use qtls_crypto::ecc::NamedCurve;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Run a worker on its own thread until stopped; return its final stats
+/// and kernel-switch count.
+fn with_worker<F>(
+    profile: OffloadProfile,
+    body: F,
+) -> (qtls_server::WorkerStats, u64)
+where
+    F: FnOnce(&Arc<VListener>),
+{
+    let listener = Arc::new(VListener::new());
+    let device = if profile.uses_qat() {
+        Some(QatDevice::new(QatConfig::functional_small()))
+    } else {
+        None
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let l2 = Arc::clone(&listener);
+    let handle = std::thread::spawn(move || {
+        let mut worker = Worker::new(l2, device.as_ref(), WorkerConfig::new(profile));
+        // After the stop signal, drain remaining work (e.g. the final
+        // Finished of an abbreviated handshake arrives after the client
+        // considers itself done) before exiting.
+        let mut deadline: Option<Instant> = None;
+        worker.run_until(|w| {
+            if !stop2.load(Ordering::Relaxed) {
+                return false;
+            }
+            let d = *deadline.get_or_insert_with(|| Instant::now() + Duration::from_secs(5));
+            w.tc_alive() == 0 || Instant::now() > d
+        });
+        let stats = worker.stats;
+        let switches = worker.kernel_switches();
+        (stats, switches)
+    });
+    body(&listener);
+    stop.store(true, Ordering::Relaxed);
+    handle.join().expect("worker thread")
+}
+
+fn handshake_and_get(listener: &Arc<VListener>, cfg: &ClientConfig, seed: u64) {
+    let (_, _, responses, _) =
+        run_connection(listener, cfg, seed, None, Duration::from_secs(60)).expect("connection");
+    if cfg.request_path.is_some() {
+        assert_eq!(responses, cfg.requests_per_conn as u64);
+    }
+}
+
+fn get_cfg(path: &str) -> ClientConfig {
+    ClientConfig {
+        request_path: Some(path.to_string()),
+        ..ClientConfig::default()
+    }
+}
+
+#[test]
+fn sw_profile_serves_requests() {
+    let (stats, switches) = with_worker(OffloadProfile::Sw, |l| {
+        for i in 0..3 {
+            handshake_and_get(l, &get_cfg("/"), 1000 + i);
+        }
+    });
+    assert_eq!(stats.handshakes, 3);
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(switches, 0, "SW has no async notification");
+}
+
+#[test]
+fn qat_s_profile_serves_requests() {
+    let (stats, _) = with_worker(OffloadProfile::QatS, |l| {
+        handshake_and_get(l, &get_cfg("/4kb"), 2000);
+    });
+    assert_eq!(stats.handshakes, 1);
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.async_jobs, 0, "straight offload never pauses");
+}
+
+#[test]
+fn qat_a_profile_uses_fd_notification() {
+    let (stats, switches) = with_worker(OffloadProfile::QatA, |l| {
+        handshake_and_get(l, &get_cfg("/"), 3000);
+    });
+    assert_eq!(stats.handshakes, 1);
+    assert_eq!(stats.errors, 0);
+    assert!(stats.async_jobs > 0, "async profile must pause jobs");
+    assert!(
+        switches > 0,
+        "FD-based notification must cross the (simulated) kernel"
+    );
+}
+
+#[test]
+fn qat_ah_profile_heuristic_polling() {
+    let (stats, _) = with_worker(OffloadProfile::QatAH, |l| {
+        handshake_and_get(l, &get_cfg("/"), 4000);
+    });
+    assert_eq!(stats.handshakes, 1);
+    assert_eq!(stats.errors, 0);
+    assert!(stats.async_jobs > 0);
+}
+
+#[test]
+fn qtls_profile_kernel_bypass() {
+    let (stats, switches) = with_worker(OffloadProfile::Qtls, |l| {
+        for i in 0..3 {
+            handshake_and_get(l, &get_cfg("/16kb"), 5000 + i);
+        }
+    });
+    assert_eq!(stats.handshakes, 3);
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.errors, 0);
+    assert!(stats.async_jobs > 0);
+    assert!(stats.resumptions > 0, "jobs must be resumed via the queue");
+    assert_eq!(
+        switches, 0,
+        "kernel-bypass notification must not cross the kernel"
+    );
+}
+
+#[test]
+fn qtls_concurrent_clients() {
+    // Multiple concurrent connections multiplexed in ONE worker thread —
+    // the event-driven architecture under the async framework.
+    let (stats, _) = with_worker(OffloadProfile::Qtls, |l| {
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let l = Arc::clone(l);
+            handles.push(std::thread::spawn(move || {
+                handshake_and_get(&l, &get_cfg("/"), 6000 + i);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    assert_eq!(stats.handshakes, 8);
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn tls_rsa_and_ecdsa_suites_through_qtls() {
+    let (stats, _) = with_worker(OffloadProfile::Qtls, |l| {
+        let mut cfg = get_cfg("/");
+        cfg.suite = CipherSuite::TlsRsa;
+        handshake_and_get(l, &cfg, 7000);
+        cfg.suite = CipherSuite::EcdheEcdsa;
+        cfg.curve = NamedCurve::P256;
+        handshake_and_get(l, &cfg, 7001);
+    });
+    assert_eq!(stats.handshakes, 2);
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn session_resumption_through_worker() {
+    let (stats, _) = with_worker(OffloadProfile::Qtls, |l| {
+        let cfg = ClientConfig {
+            resumes_per_full: 9,
+            ..ClientConfig::default()
+        };
+        // One closed-loop client doing 10 connections: 1 full + 9 abbreviated.
+        let mut resume = None;
+        for i in 0..10u64 {
+            let (new_resume, _resumed, _, _) =
+                run_connection(l, &cfg, 8000 + i, resume.take(), Duration::from_secs(60))
+                    .expect("connection");
+            resume = new_resume;
+        }
+    });
+    assert_eq!(stats.handshakes, 10);
+    assert_eq!(
+        stats.resumed, 9,
+        "first handshake full, the rest abbreviated"
+    );
+}
+
+#[test]
+fn keepalive_multiple_requests_one_connection() {
+    let (stats, _) = with_worker(OffloadProfile::Sw, |l| {
+        let cfg = ClientConfig {
+            request_path: Some("/4kb".into()),
+            requests_per_conn: 5,
+            ..ClientConfig::default()
+        };
+        handshake_and_get(l, &cfg, 9000);
+    });
+    assert_eq!(stats.handshakes, 1);
+    assert_eq!(stats.requests, 5);
+}
+
+#[test]
+fn large_transfer_fragments() {
+    // 1024 KB object: 64 records of 16 KB (Fig. 10's largest size).
+    let (stats, _) = with_worker(OffloadProfile::Qtls, |l| {
+        let t0 = Instant::now();
+        handshake_and_get(l, &get_cfg("/1024kb"), 10_000);
+        assert!(t0.elapsed() < Duration::from_secs(60));
+    });
+    assert_eq!(stats.requests, 1);
+    assert!(stats.bytes_sent >= 1024 * 1024);
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn kernel_switch_ablation_fd_vs_bypass() {
+    // The §4.4 ablation: FD notification costs kernel crossings per
+    // async event; the kernel-bypass queue costs none.
+    let n = 4;
+    let (stats_fd, switches_fd) = with_worker(OffloadProfile::QatAH, |l| {
+        for i in 0..n {
+            handshake_and_get(l, &ClientConfig::default(), 11_000 + i);
+        }
+    });
+    let (stats_kb, switches_kb) = with_worker(OffloadProfile::Qtls, |l| {
+        for i in 0..n {
+            handshake_and_get(l, &ClientConfig::default(), 12_000 + i);
+        }
+    });
+    assert_eq!(stats_fd.handshakes, n);
+    assert_eq!(stats_kb.handshakes, n);
+    assert!(switches_fd > 0);
+    assert_eq!(switches_kb, 0);
+}
+
+#[test]
+fn tls13_through_qtls_worker() {
+    // The worker terminates TLS 1.3 as well (Fig. 8's protocol), with
+    // the HKDF schedule computed on the CPU and the asymmetric ops
+    // offloaded.
+    use qtls_server::loadgen::run_connection_tls13;
+    use qtls_tls::suite::Version;
+
+    let listener = Arc::new(VListener::new());
+    let device = QatDevice::new(QatConfig::functional_small());
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let l2 = Arc::clone(&listener);
+    let handle = std::thread::spawn(move || {
+        let mut cfg = WorkerConfig::new(OffloadProfile::Qtls);
+        cfg.version = Version::Tls13;
+        let mut worker = Worker::new(l2, Some(&device), cfg);
+        let mut deadline: Option<Instant> = None;
+        worker.run_until(|w| {
+            if !stop2.load(Ordering::Relaxed) {
+                return false;
+            }
+            let d = *deadline.get_or_insert_with(|| Instant::now() + Duration::from_secs(5));
+            w.tc_alive() == 0 || Instant::now() > d
+        });
+        (worker.stats, device.fw_counters().asym.load(Ordering::Relaxed))
+    });
+    for i in 0..2u64 {
+        let cfg = ClientConfig {
+            request_path: Some("/4kb".into()),
+            ..ClientConfig::default()
+        };
+        let (responses, bytes) =
+            run_connection_tls13(&listener, &cfg, 60_000 + i, Duration::from_secs(60))
+                .expect("tls13 connection");
+        assert_eq!(responses, 1);
+        assert_eq!(bytes, 4096);
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (stats, asym_ops) = handle.join().unwrap();
+    assert_eq!(stats.handshakes, 2);
+    assert_eq!(stats.errors, 0);
+    // 2 handshakes x (keygen + ecdh + RSA sign) through the accelerator.
+    assert_eq!(asym_ops, 6);
+}
+
+#[test]
+fn stub_status_accounting() {
+    let listener = Arc::new(VListener::new());
+    let mut worker = Worker::new(
+        Arc::clone(&listener),
+        None,
+        WorkerConfig::new(OffloadProfile::Sw),
+    );
+    assert_eq!(worker.tc_alive(), 0);
+    // Drive one keepalive connection to established by hand.
+    let sock = listener.connect();
+    let mut client = qtls_tls::client::ClientSession::new(
+        qtls_tls::provider::CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        None,
+        77,
+    );
+    client.start().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !client.is_established() {
+        let out = client.take_output();
+        if !out.is_empty() {
+            sock.write(&out).unwrap();
+        }
+        worker.run_iteration();
+        if let Ok(bytes) = sock.read_all() {
+            client.feed(&bytes);
+            client.process().unwrap();
+        }
+        assert!(Instant::now() < deadline);
+    }
+    // Let the worker observe the final client flight.
+    for _ in 0..100 {
+        worker.run_iteration();
+    }
+    assert_eq!(worker.tc_alive(), 1, "connection stays alive (keepalive)");
+    assert_eq!(worker.tc_idle(), 1, "established + no pending input = idle");
+    assert_eq!(worker.tc_active(), 0);
+    let page = worker.stub_status();
+    assert!(page.contains("Active connections: 1"), "{page}");
+    assert!(page.contains("idle 1"), "{page}");
+    drop(sock);
+    for _ in 0..100 {
+        worker.run_iteration();
+    }
+    assert_eq!(worker.tc_alive(), 0, "closed connection reaped");
+}

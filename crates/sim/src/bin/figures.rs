@@ -1,0 +1,53 @@
+//! Regenerate the paper's tables and figures on the simulated testbed.
+//!
+//! ```text
+//! cargo run --release -p qtls-sim --bin figures            # everything
+//! cargo run --release -p qtls-sim --bin figures -- fig7a   # one figure
+//! cargo run --release -p qtls-sim --bin figures -- quick   # fast, noisier
+//! cargo run --release -p qtls-sim --bin figures -- json fig7a  # JSON out
+//! ```
+
+use qtls_sim::experiments::{self, Fidelity, Figure};
+
+/// A named figure generator.
+type FigureRunner = (&'static str, Box<dyn Fn() -> Figure>);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let json = args.iter().any(|a| a == "json");
+    let f = if quick { Fidelity::QUICK } else { Fidelity::FULL };
+    let wanted: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|s| *s != "quick" && *s != "json")
+        .collect();
+    let all: Vec<FigureRunner> = vec![
+        ("table1", Box::new(experiments::table1)),
+        ("fig7a", Box::new(move || experiments::fig7a(f))),
+        ("fig7b", Box::new(move || experiments::fig7b(f))),
+        ("fig7c", Box::new(move || experiments::fig7c(f))),
+        ("fig8", Box::new(move || experiments::fig8(f))),
+        ("fig9a", Box::new(move || experiments::fig9a(f))),
+        ("fig9b", Box::new(move || experiments::fig9b(f))),
+        ("fig10", Box::new(move || experiments::fig10(f))),
+        ("fig11", Box::new(move || experiments::fig11(f))),
+        ("fig12a", Box::new(move || experiments::fig12a(f))),
+        ("fig12b", Box::new(move || experiments::fig12b(f))),
+        ("fig12c", Box::new(move || experiments::fig12c(f))),
+        ("thresholds", Box::new(move || experiments::threshold_sweep(f))),
+    ];
+    for (name, runner) in all {
+        if !wanted.is_empty() && !wanted.contains(&name) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let fig = runner();
+        if json {
+            println!("{}", fig.to_json());
+        } else {
+            println!("{}", fig.render());
+        }
+        eprintln!("[{name} generated in {:.1?}]\n", t0.elapsed());
+    }
+}

@@ -1,0 +1,580 @@
+//! Experiment runners — one per table/figure of the paper's evaluation
+//! (§5). Each returns a [`Figure`] of labeled series that can be rendered
+//! as the text analogue of the paper's plot, and is exercised by the
+//! `qtls-bench` harness (`cargo bench --bench figures`).
+
+use crate::cost::CostModel;
+use crate::sim::{RequestLoad, Sim, SimConfig, SimProfile, SimReport};
+use crate::workload::SuiteKind;
+use qtls_crypto::ecc::NamedCurve;
+
+/// Simulation fidelity (trade run time for smoother numbers).
+#[derive(Clone, Copy, Debug)]
+pub struct Fidelity {
+    /// Warmup nanoseconds.
+    pub warmup_ns: u64,
+    /// Measurement window nanoseconds.
+    pub measure_ns: u64,
+}
+
+impl Fidelity {
+    /// Quick runs for tests (±10% noise).
+    pub const QUICK: Fidelity = Fidelity {
+        warmup_ns: 2_000_000_000,
+        measure_ns: 1_500_000_000,
+    };
+    /// Full runs for reported numbers.
+    pub const FULL: Fidelity = Fidelity {
+        warmup_ns: 6_000_000_000,
+        measure_ns: 4_000_000_000,
+    };
+}
+
+/// One plotted series.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Series {
+    /// Legend label (configuration name).
+    pub label: String,
+    /// `(x label, y value)` points.
+    pub points: Vec<(String, f64)>,
+}
+
+/// A reproduced figure/table.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Figure {
+    /// Paper identifier, e.g. "Fig 7a".
+    pub id: String,
+    /// Description.
+    pub title: String,
+    /// Y-axis unit.
+    pub unit: String,
+    /// All series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Render as an aligned text table (x values as rows, series as
+    /// columns) — the textual analogue of the paper's plot.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{} — {} [{}]\n", self.id, self.title, self.unit));
+        let xs: Vec<&String> = self.series[0].points.iter().map(|(x, _)| x).collect();
+        out.push_str(&format!("{:>12}", ""));
+        for s in &self.series {
+            out.push_str(&format!("{:>14}", s.label));
+        }
+        out.push('\n');
+        for (i, x) in xs.iter().enumerate() {
+            out.push_str(&format!("{x:>12}"));
+            for s in &self.series {
+                out.push_str(&format!("{:>14.2}", s.points[i].1));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialize as JSON (for scripts that post-process results).
+    /// Hand-rolled to keep the dependency set to the approved crates;
+    /// the structure is flat enough that escaping label strings is the
+    /// only subtlety.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"unit\": \"{}\",\n  \"series\": [\n",
+            esc(&self.id),
+            esc(&self.title),
+            esc(&self.unit)
+        ));
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("    {{\"label\": \"{}\", \"points\": [", esc(&s.label)));
+            for (j, (x, y)) in s.points.iter().enumerate() {
+                out.push_str(&format!("[\"{}\", {}]", esc(x), y));
+                if j + 1 < s.points.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push_str("]}");
+            out.push_str(if i + 1 < self.series.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+
+    /// Look up a value by series label and x label.
+    pub fn value(&self, label: &str, x: &str) -> Option<f64> {
+        let s = self.series.iter().find(|s| s.label == label)?;
+        s.points.iter().find(|(px, _)| px == x).map(|(_, y)| *y)
+    }
+}
+
+fn run(cfg: SimConfig) -> SimReport {
+    Sim::new(cfg).run()
+}
+
+fn handshake_cfg(
+    profile: SimProfile,
+    workers: usize,
+    clients: usize,
+    suite: SuiteKind,
+    f: Fidelity,
+) -> SimConfig {
+    let mut cfg = SimConfig::handshake(profile, workers, clients, suite);
+    cfg.warmup_ns = f.warmup_ns;
+    cfg.measure_ns = f.measure_ns;
+    cfg
+}
+
+/// Figure 7a: TLS 1.2 TLS-RSA (2048) full-handshake CPS vs workers.
+pub fn fig7a(f: Fidelity) -> Figure {
+    cps_vs_workers(
+        "Fig 7a",
+        "Full handshake, TLS 1.2 TLS-RSA (2048-bit)",
+        SuiteKind::TlsRsa,
+        &[2, 4, 8, 16, 24, 32],
+        SimProfile::FIVE.to_vec(),
+        0,
+        f,
+    )
+}
+
+/// Figure 7b: ECDHE-RSA (2048, P-256) CPS vs workers.
+pub fn fig7b(f: Fidelity) -> Figure {
+    cps_vs_workers(
+        "Fig 7b",
+        "Full handshake, TLS 1.2 ECDHE-RSA (2048-bit, P-256)",
+        SuiteKind::EcdheRsa(NamedCurve::P256),
+        &[2, 4, 8, 12, 16, 20],
+        SimProfile::FIVE.to_vec(),
+        0,
+        f,
+    )
+}
+
+/// Figure 8: TLS 1.3 ECDHE-RSA CPS vs workers (HKDF stays on the CPU).
+pub fn fig8(f: Fidelity) -> Figure {
+    cps_vs_workers(
+        "Fig 8",
+        "Full handshake, TLS 1.3 ECDHE-RSA (2048-bit, P-256)",
+        SuiteKind::Tls13EcdheRsa(NamedCurve::P256),
+        &[2, 4, 8, 12, 16, 20],
+        SimProfile::FIVE.to_vec(),
+        0,
+        f,
+    )
+}
+
+/// Figure 9a: 100% abbreviated handshakes, ECDHE-RSA.
+pub fn fig9a(f: Fidelity) -> Figure {
+    cps_vs_workers(
+        "Fig 9a",
+        "Session resumption (100% abbreviated), TLS 1.2 ECDHE-RSA",
+        SuiteKind::EcdheRsa(NamedCurve::P256),
+        &[2, 4, 8, 12, 16, 20],
+        SimProfile::FIVE.to_vec(),
+        u32::MAX,
+        f,
+    )
+}
+
+/// Figure 9b: full:abbreviated = 1:9 mixture, ECDHE-RSA.
+pub fn fig9b(f: Fidelity) -> Figure {
+    cps_vs_workers(
+        "Fig 9b",
+        "Session resumption (full:abbreviated = 1:9), TLS 1.2 ECDHE-RSA",
+        SuiteKind::EcdheRsa(NamedCurve::P256),
+        &[2, 4, 8, 12, 16, 20],
+        SimProfile::FIVE.to_vec(),
+        9,
+        f,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn cps_vs_workers(
+    id: &str,
+    title: &str,
+    suite: SuiteKind,
+    worker_counts: &[usize],
+    profiles: Vec<SimProfile>,
+    resumes_per_full: u32,
+    f: Fidelity,
+) -> Figure {
+    let series = profiles
+        .into_iter()
+        .map(|p| Series {
+            label: p.label(),
+            points: worker_counts
+                .iter()
+                .map(|&w| {
+                    let mut cfg = handshake_cfg(p, w, 2000, suite, f);
+                    cfg.resumes_per_full = resumes_per_full;
+                    let r = run(cfg);
+                    (format!("{w}HT"), r.cps / 1000.0)
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: id.into(),
+        title: title.into(),
+        unit: "K connections/s".into(),
+        series,
+    }
+}
+
+/// Figure 7c: ECDHE-ECDSA CPS on six NIST curves, 4 workers.
+pub fn fig7c(f: Fidelity) -> Figure {
+    let curves = NamedCurve::ALL;
+    let series = SimProfile::FIVE
+        .into_iter()
+        .map(|p| Series {
+            label: p.label(),
+            points: curves
+                .iter()
+                .map(|&c| {
+                    let cfg = handshake_cfg(p, 4, 2000, SuiteKind::EcdheEcdsa(c), f);
+                    let r = run(cfg);
+                    (c.name().to_string(), r.cps / 1000.0)
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "Fig 7c".into(),
+        title: "Full handshake, TLS 1.2 ECDHE-ECDSA (six NIST curves, 4 workers)".into(),
+        unit: "K connections/s".into(),
+        series,
+    }
+}
+
+/// Figure 10: secure data transfer throughput vs requested file size
+/// (AES128-SHA, 8 workers, 400 keep-alive clients).
+pub fn fig10(f: Fidelity) -> Figure {
+    let sizes_kb = [4u64, 16, 32, 64, 128, 256, 512, 1024];
+    let series = SimProfile::FIVE
+        .into_iter()
+        .map(|p| Series {
+            label: p.label(),
+            points: sizes_kb
+                .iter()
+                .map(|&kb| {
+                    let mut cfg = handshake_cfg(p, 8, 400, SuiteKind::TlsRsa, f);
+                    cfg.request = Some(RequestLoad {
+                        size: kb * 1024,
+                        requests_per_conn: 1000, // keepalive: handshake amortized away
+                    });
+                    let r = run(cfg);
+                    (format!("{kb}KB"), r.gbps)
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "Fig 10".into(),
+        title: "Secure data transfer throughput vs file size (AES128-SHA)".into(),
+        unit: "Gbps".into(),
+        series,
+    }
+}
+
+/// Figure 11: average response time vs concurrency (1 worker, TLS-RSA,
+/// small page, full handshake per request).
+pub fn fig11(f: Fidelity) -> Figure {
+    let concurrencies = [1usize, 2, 4, 6, 8, 12, 16, 32, 64, 128, 256];
+    let profiles = vec![
+        SimProfile::Sw,
+        SimProfile::QatS {
+            poll_interval_ns: 10_000,
+        },
+        SimProfile::QatA {
+            poll_interval_ns: 10_000,
+        },
+        SimProfile::Qtls,
+    ];
+    let series = profiles
+        .into_iter()
+        .map(|p| Series {
+            label: p.label(),
+            points: concurrencies
+                .iter()
+                .map(|&n| {
+                    let mut cfg = handshake_cfg(p, 1, n, SuiteKind::TlsRsa, f);
+                    cfg.request = Some(RequestLoad {
+                        size: 100, // "a small-size page (less than 100 bytes)"
+                        requests_per_conn: 1,
+                    });
+                    let r = run(cfg);
+                    (format!("{n}"), r.avg_latency_ms)
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "Fig 11".into(),
+        title: "Average response time vs concurrency (1 worker, TLS-RSA)".into(),
+        unit: "ms".into(),
+        series,
+    }
+}
+
+/// The three polling scenarios of §5.6.
+fn polling_profiles() -> Vec<(String, SimProfile)> {
+    vec![
+        (
+            "10us".into(),
+            SimProfile::QatA {
+                poll_interval_ns: 10_000,
+            },
+        ),
+        (
+            "1ms".into(),
+            SimProfile::QatA {
+                poll_interval_ns: 1_000_000,
+            },
+        ),
+        ("Heuristic".into(), SimProfile::QatAH),
+    ]
+}
+
+/// Figure 12a: CPS vs workers for the three polling schemes (TLS-RSA).
+pub fn fig12a(f: Fidelity) -> Figure {
+    let worker_counts = [2usize, 4, 8, 12, 16, 20, 24, 28, 32];
+    let series = polling_profiles()
+        .into_iter()
+        .map(|(label, p)| Series {
+            label,
+            points: worker_counts
+                .iter()
+                .map(|&w| {
+                    let cfg = handshake_cfg(p, w, 2000, SuiteKind::TlsRsa, f);
+                    (format!("{w}"), run(cfg).cps / 1000.0)
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "Fig 12a".into(),
+        title: "Polling schemes: full handshake TLS-RSA (2048-bit)".into(),
+        unit: "K connections/s".into(),
+        series,
+    }
+}
+
+/// Figure 12b: throughput vs concurrent clients, 64 KB file.
+pub fn fig12b(f: Fidelity) -> Figure {
+    let clients = [16usize, 32, 48, 64, 96, 128, 192, 256, 512];
+    let series = polling_profiles()
+        .into_iter()
+        .map(|(label, p)| Series {
+            label,
+            points: clients
+                .iter()
+                .map(|&n| {
+                    let mut cfg = handshake_cfg(p, 8, n, SuiteKind::TlsRsa, f);
+                    cfg.request = Some(RequestLoad {
+                        size: 64 * 1024,
+                        requests_per_conn: 1000,
+                    });
+                    (format!("{n}"), run(cfg).gbps)
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "Fig 12b".into(),
+        title: "Polling schemes: secure data transfer, 64 KB file (8 workers)".into(),
+        unit: "Gbps".into(),
+        series,
+    }
+}
+
+/// Figure 12c: response time vs concurrent clients.
+pub fn fig12c(f: Fidelity) -> Figure {
+    let clients = [1usize, 2, 4, 6, 8, 12, 16, 32, 64];
+    let series = polling_profiles()
+        .into_iter()
+        .map(|(label, p)| Series {
+            label,
+            points: clients
+                .iter()
+                .map(|&n| {
+                    let mut cfg = handshake_cfg(p, 1, n, SuiteKind::TlsRsa, f);
+                    cfg.request = Some(RequestLoad {
+                        size: 100,
+                        requests_per_conn: 1,
+                    });
+                    (format!("{n}"), run(cfg).avg_latency_ms)
+                })
+                .collect(),
+        })
+        .collect();
+    Figure {
+        id: "Fig 12c".into(),
+        title: "Polling schemes: average response time (1 worker)".into(),
+        unit: "ms".into(),
+        series,
+    }
+}
+
+/// Ablation (DESIGN.md §7): sweep the heuristic efficiency thresholds
+/// (the `qat_heuristic_poll_*_threshold` directives) around the paper's
+/// defaults of 48/24 and report CPS plus poll efficiency.
+pub fn threshold_sweep(f: Fidelity) -> Figure {
+    let thresholds = [6u64, 12, 24, 48, 96, 192];
+    let mut cps = Series {
+        label: "K CPS".into(),
+        points: vec![],
+    };
+    let mut polls_per_k = Series {
+        label: "polls/1K hs".into(),
+        points: vec![],
+    };
+    for &t in &thresholds {
+        let mut cfg = handshake_cfg(SimProfile::Qtls, 8, 2000, SuiteKind::TlsRsa, f);
+        // Scale both thresholds together, preserving the 2:1 ratio.
+        cfg.heuristic_asym_threshold = t;
+        cfg.heuristic_sym_threshold = t / 2;
+        let r = run(cfg);
+        cps.points.push((format!("{t}"), r.cps / 1000.0));
+        polls_per_k
+            .points
+            .push((format!("{t}"), r.polls as f64 / (r.handshakes as f64 / 1000.0)));
+    }
+    Figure {
+        id: "Ablation".into(),
+        title: "Heuristic asym-threshold sweep (sym = asym/2), TLS-RSA, 8 workers".into(),
+        unit: "see series".into(),
+        series: vec![cps, polls_per_k],
+    }
+}
+
+/// Table 1: server-side crypto operations per full handshake.
+pub fn table1() -> Figure {
+    use crate::workload::{handshake_flights, OpKind, Seg};
+    let m = CostModel::default();
+    let rows: Vec<(String, SuiteKind)> = vec![
+        ("1.2 TLS-RSA".into(), SuiteKind::TlsRsa),
+        (
+            "1.2 ECDHE-RSA".into(),
+            SuiteKind::EcdheRsa(NamedCurve::P256),
+        ),
+        (
+            "1.2 ECDHE-ECDSA".into(),
+            SuiteKind::EcdheEcdsa(NamedCurve::P256),
+        ),
+        (
+            "1.3 ECDHE-RSA".into(),
+            SuiteKind::Tls13EcdheRsa(NamedCurve::P256),
+        ),
+    ];
+    let mut rsa_series = Series {
+        label: "RSA".into(),
+        points: vec![],
+    };
+    let mut ecc_series = Series {
+        label: "ECC".into(),
+        points: vec![],
+    };
+    let mut kdf_series = Series {
+        label: "PRF/HKDF".into(),
+        points: vec![],
+    };
+    for (name, suite) in rows {
+        let flights = handshake_flights(suite, false, &m);
+        let mut rsa = 0.0;
+        let mut ecc = 0.0;
+        let mut kdf = 0.0;
+        for seg in flights.iter().flatten() {
+            match seg {
+                Seg::Op(OpKind::RsaPriv) => rsa += 1.0,
+                Seg::Op(OpKind::EcSign(_) | OpKind::EcKeygen(_) | OpKind::Ecdh(_)) => ecc += 1.0,
+                Seg::Op(OpKind::Prf) => kdf += 1.0,
+                // TLS 1.3's HKDF runs as CPU segments; count them.
+                Seg::Cpu(ns) if suite.is_tls13() && *ns % m.sw.hkdf_ns == 0 => {
+                    kdf += (*ns / m.sw.hkdf_ns) as f64;
+                }
+                _ => {}
+            }
+        }
+        rsa_series.points.push((name.clone(), rsa));
+        ecc_series.points.push((name.clone(), ecc));
+        kdf_series.points.push((name, kdf));
+    }
+    Figure {
+        id: "Table 1".into(),
+        title: "Server-side crypto operations for full handshake".into(),
+        unit: "operations".into(),
+        series: vec![rsa_series, ecc_series, kdf_series],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let t = table1();
+        assert_eq!(t.value("RSA", "1.2 TLS-RSA"), Some(1.0));
+        assert_eq!(t.value("ECC", "1.2 TLS-RSA"), Some(0.0));
+        assert_eq!(t.value("PRF/HKDF", "1.2 TLS-RSA"), Some(4.0));
+        assert_eq!(t.value("RSA", "1.2 ECDHE-RSA"), Some(1.0));
+        assert_eq!(t.value("ECC", "1.2 ECDHE-RSA"), Some(2.0));
+        assert_eq!(t.value("ECC", "1.2 ECDHE-ECDSA"), Some(3.0));
+        assert_eq!(t.value("RSA", "1.3 ECDHE-RSA"), Some(1.0));
+        assert!(t.value("PRF/HKDF", "1.3 ECDHE-RSA").unwrap() > 4.0);
+    }
+
+    #[test]
+    fn json_output_is_wellformed() {
+        let t = table1();
+        let j = t.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"id\": \"Table 1\""));
+        assert!(j.contains("\"label\": \"RSA\""));
+        assert!(j.contains("[\"1.2 TLS-RSA\", 1]"));
+        // Balanced braces/brackets (cheap sanity for hand-rolled JSON).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn render_produces_table() {
+        let t = table1();
+        let s = t.render();
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("ECDHE-ECDSA"));
+    }
+
+    #[test]
+    fn fig7a_quick_shape() {
+        // The headline claims: SW anchor, monotone config ordering,
+        // QTLS ≈ 9x SW at 8HT, card limit ~100K at 32HT.
+        let fig = fig7a(Fidelity::QUICK);
+        let sw8 = fig.value("SW", "8HT").unwrap();
+        let qats8 = fig.value("QAT+S", "8HT").unwrap();
+        let qata8 = fig.value("QAT+A", "8HT").unwrap();
+        let qatah8 = fig.value("QAT+AH", "8HT").unwrap();
+        let qtls8 = fig.value("QTLS", "8HT").unwrap();
+        assert!((3.5..5.2).contains(&sw8), "SW 8HT = {sw8}K (paper 4.3K)");
+        let s_ratio = qats8 / sw8;
+        assert!((1.4..3.5).contains(&s_ratio), "QAT+S/SW = {s_ratio} (paper ~2x)");
+        assert!(qata8 > qats8 * 2.0, "async >> straight");
+        assert!(qatah8 > qata8, "heuristic helps");
+        assert!(qtls8 > qatah8, "kernel bypass helps");
+        let ratio = qtls8 / sw8;
+        assert!((6.0..12.0).contains(&ratio), "QTLS/SW at 8HT = {ratio} (paper ~9x)");
+        let qtls32 = fig.value("QTLS", "32HT").unwrap();
+        assert!((80.0..115.0).contains(&qtls32), "card limit ~100K: {qtls32}K");
+    }
+}

@@ -1,0 +1,19 @@
+//! # qtls-sim — the simulated evaluation testbed
+//!
+//! A deterministic discrete-event simulator of the paper's platform
+//! (44-core Xeon server, DH8970 QAT card, two 40 GbE client machines)
+//! that regenerates every figure of the evaluation section. The five
+//! configurations, polling schemes and notification schemes are modeled
+//! from the calibrated per-operation costs in [`cost`]; system-level
+//! results are emergent, not fitted. See DESIGN.md §5 and EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod experiments;
+pub mod sim;
+pub mod workload;
+
+pub use cost::{CostModel, QAT_ENGINES};
+pub use sim::{RequestLoad, Sim, SimConfig, SimProfile, SimReport};
+pub use workload::SuiteKind;

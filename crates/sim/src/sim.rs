@@ -1,0 +1,1131 @@
+//! The discrete-event testbed simulator.
+//!
+//! Reproduces the paper's evaluation platform in virtual time: N worker
+//! cores running the event loop, a QAT card with parallel engines behind
+//! request/response rings, closed-loop client generators over an RTT/
+//! bandwidth network model, and the five offload configurations with
+//! their polling and notification schemes. All results of Figs. 7–12 are
+//! emergent from the per-operation costs in [`crate::cost`].
+
+use crate::cost::CostModel;
+use crate::workload::{handshake_flights, request_flight, Seg, SuiteKind};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Virtual time in nanoseconds.
+pub type Time = u64;
+
+/// One trace sample: `(time, busy engines, busy workers, queued tasks,
+/// ready responses)`.
+pub type TraceSample = (Time, usize, usize, usize, usize);
+
+/// Simulated offload configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimProfile {
+    /// Software baseline.
+    Sw,
+    /// Straight offload + timer polling thread.
+    QatS {
+        /// Poller interval (paper default 10 µs).
+        poll_interval_ns: u64,
+    },
+    /// Async framework + timer polling thread + FD notification.
+    QatA {
+        /// Poller interval.
+        poll_interval_ns: u64,
+    },
+    /// Async framework + heuristic polling + FD notification.
+    QatAH,
+    /// Full QTLS: heuristic polling + kernel-bypass notification.
+    Qtls,
+}
+
+impl SimProfile {
+    /// Figure label.
+    pub fn label(&self) -> String {
+        match self {
+            SimProfile::Sw => "SW".into(),
+            SimProfile::QatS { .. } => "QAT+S".into(),
+            SimProfile::QatA { poll_interval_ns } if *poll_interval_ns == 10_000 => {
+                "QAT+A".into()
+            }
+            SimProfile::QatA { poll_interval_ns } => {
+                format!("QAT+A({}us)", poll_interval_ns / 1000)
+            }
+            SimProfile::QatAH => "QAT+AH".into(),
+            SimProfile::Qtls => "QTLS".into(),
+        }
+    }
+
+    /// The paper's five configurations with default parameters.
+    pub const FIVE: [SimProfile; 5] = [
+        SimProfile::Sw,
+        SimProfile::QatS {
+            poll_interval_ns: 10_000,
+        },
+        SimProfile::QatA {
+            poll_interval_ns: 10_000,
+        },
+        SimProfile::QatAH,
+        SimProfile::Qtls,
+    ];
+
+    fn uses_qat(&self) -> bool {
+        !matches!(self, SimProfile::Sw)
+    }
+
+    fn uses_async(&self) -> bool {
+        matches!(
+            self,
+            SimProfile::QatA { .. } | SimProfile::QatAH | SimProfile::Qtls
+        )
+    }
+
+    fn timer_interval(&self) -> Option<u64> {
+        match self {
+            SimProfile::QatS { poll_interval_ns } | SimProfile::QatA { poll_interval_ns } => {
+                Some(*poll_interval_ns)
+            }
+            _ => None,
+        }
+    }
+
+    fn fd_notification(&self) -> bool {
+        matches!(self, SimProfile::QatA { .. } | SimProfile::QatAH)
+    }
+}
+
+/// HTTP request load after the handshake (ab-style).
+#[derive(Clone, Copy, Debug)]
+pub struct RequestLoad {
+    /// Object size in bytes.
+    pub size: u64,
+    /// Requests per connection (keep-alive).
+    pub requests_per_conn: u32,
+}
+
+/// Simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Offload configuration.
+    pub profile: SimProfile,
+    /// Number of worker (HT) cores.
+    pub workers: usize,
+    /// Number of closed-loop clients.
+    pub clients: usize,
+    /// Suite / protocol version.
+    pub suite: SuiteKind,
+    /// Abbreviated handshakes per full handshake per client
+    /// (0 = all full; `u32::MAX` = all abbreviated).
+    pub resumes_per_full: u32,
+    /// Optional request workload.
+    pub request: Option<RequestLoad>,
+    /// Warmup (excluded from measurement).
+    pub warmup_ns: Time,
+    /// Measurement window.
+    pub measure_ns: Time,
+    /// Cost model.
+    pub cost: CostModel,
+    /// Engines on the QAT card.
+    pub qat_engines: usize,
+    /// Heuristic efficiency threshold with asymmetric requests inflight
+    /// (§4.3 default 48).
+    pub heuristic_asym_threshold: u64,
+    /// Heuristic efficiency threshold without asymmetric requests
+    /// (§4.3 default 24).
+    pub heuristic_sym_threshold: u64,
+}
+
+impl SimConfig {
+    /// A handshake-benchmark config (s_time style).
+    pub fn handshake(profile: SimProfile, workers: usize, clients: usize, suite: SuiteKind) -> Self {
+        SimConfig {
+            profile,
+            workers,
+            clients,
+            suite,
+            resumes_per_full: 0,
+            request: None,
+            // Closed-loop equilibrium with thousands of clients takes
+            // `clients / CPS` seconds to prime; warm up generously.
+            warmup_ns: 2_000_000_000,  // 2 s
+            measure_ns: 1_500_000_000, // 1.5 s
+            cost: CostModel::default(),
+            qat_engines: crate::cost::QAT_ENGINES,
+            heuristic_asym_threshold: 48,
+            heuristic_sym_threshold: 24,
+        }
+    }
+}
+
+/// Simulation results.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct SimReport {
+    /// Handshakes completed per second (CPS).
+    pub cps: f64,
+    /// Handshakes completed in the window.
+    pub handshakes: u64,
+    /// Of which abbreviated.
+    pub abbreviated: u64,
+    /// HTTP responses per second.
+    pub rps: f64,
+    /// Application throughput in Gbit/s.
+    pub gbps: f64,
+    /// Average client-perceived response time (connect → done), ms.
+    pub avg_latency_ms: f64,
+    /// Median response time, ms.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile response time, ms.
+    pub p99_latency_ms: f64,
+    /// Worker CPU utilization (busy fraction).
+    pub worker_util: f64,
+    /// QAT engine utilization.
+    pub qat_util: f64,
+    /// Heuristic/timer polls executed.
+    pub polls: u64,
+    /// Polls that retrieved nothing.
+    pub empty_polls: u64,
+    /// Simulated user/kernel switches for notification.
+    pub kernel_switches: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    Connect { client: u32 },
+    Flight { conn: u32 },
+    Request { conn: u32 },
+    QatArrive { worker: u32, conn: u32 },
+    QatDone { worker: u32, conn: u32 },
+    QatReady { worker: u32, conn: u32 },
+    TaskDone { worker: u32 },
+    Failover { worker: u32 },
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Task {
+    Run(u32),
+    Resume(u32),
+    /// Continue a straight-offload flight after the blocking wait.
+    ResumeBlocked(u32),
+    /// Heuristic poll; `idle_wake` marks a timeliness-triggered poll on
+    /// an otherwise-idle worker (the event loop has to come around and
+    /// wake before the ring is read, unlike a busy-looping QAT+S worker).
+    Poll {
+        idle_wake: bool,
+    },
+}
+
+/// What to apply when the running task completes.
+#[derive(Clone, Copy, Debug)]
+enum Outcome {
+    /// Async offload: job paused after submission.
+    OpSubmitted,
+    /// Straight offload: the worker blocks until the response returns.
+    OpSubmittedBlocking { conn: u32 },
+    FlightDone { conn: u32 },
+    PollDone,
+}
+
+struct ConnSim {
+    client: u32,
+    worker: u32,
+    flights: VecDeque<Vec<Seg>>,
+    segs: VecDeque<Seg>,
+    started_at: Time,
+    requests_left: u32,
+    handshake_done: bool,
+    abbreviated: bool,
+    closed: bool,
+    /// Whether the (single) inflight op of this connection is asymmetric.
+    inflight_asym_flag: bool,
+    /// Engine service time of the (single) inflight op.
+    pending_service_ns: u64,
+    /// Diagnostics: when the current op was submitted / became ready.
+    dbg_submit_at: Time,
+    dbg_ready_at: Time,
+}
+
+struct WorkerSim {
+    queue: VecDeque<Task>,
+    running: Option<Outcome>,
+    /// Straight offload: the worker is blocked on this conn's response
+    /// since the given time (busy-waiting; no other task may run).
+    blocked: Option<(u32, Time)>,
+    inflight_total: u32,
+    inflight_asym: u32,
+    ready: VecDeque<u32>,
+    poll_queued: bool,
+    failover_scheduled: bool,
+    busy_ns: u64,
+}
+
+struct ClientSim {
+    handshakes_since_full: u32,
+}
+
+/// The simulator.
+pub struct Sim {
+    cfg: SimConfig,
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(Time, u64, u32)>>,
+    events: Vec<Ev>, // indexed by the heap's payload id
+    workers: Vec<WorkerSim>,
+    conns: Vec<ConnSim>,
+    clients: Vec<ClientSim>,
+    /// Busy engines on the card.
+    card_busy: usize,
+    /// Pending asymmetric requests (their own ring pairs, §2.3).
+    card_q_asym: VecDeque<(u32, u32)>,
+    /// Pending symmetric/PRF requests (separate ring pairs).
+    card_q_sym: VecDeque<(u32, u32)>,
+    /// Round-robin fairness toggle between the two ring classes.
+    card_rr_sym_next: bool,
+    qat_busy_ns: u64,
+    link_free: Time,
+    end: Time,
+    next_worker: usize,
+    jitter_state: u64,
+    // measurement
+    m_handshakes: u64,
+    m_abbrev: u64,
+    m_responses: u64,
+    m_bytes: u64,
+    m_latency_sum_ns: u64,
+    m_latency_count: u64,
+    /// Latency samples for percentiles (capped; deterministic reservoir).
+    m_latency_samples: Vec<u64>,
+    m_polls: u64,
+    m_empty_polls: u64,
+    m_kernel_switches: u64,
+    /// Diagnostics: accumulated (card wait, retrieve wait, count).
+    dbg_card_ns: u64,
+    dbg_retrieve_ns: u64,
+    dbg_ops: u64,
+    /// Diagnostics: sampling interval (0 = off).
+    pub trace_every: u64,
+    /// Collected trace samples.
+    pub trace: Vec<TraceSample>,
+}
+
+impl Sim {
+    /// Build and seed the simulation.
+    pub fn new(cfg: SimConfig) -> Self {
+        let workers = (0..cfg.workers)
+            .map(|_| WorkerSim {
+                queue: VecDeque::new(),
+                running: None,
+                blocked: None,
+                inflight_total: 0,
+                inflight_asym: 0,
+                ready: VecDeque::new(),
+                poll_queued: false,
+                failover_scheduled: false,
+                busy_ns: 0,
+            })
+            .collect();
+        let clients = (0..cfg.clients)
+            .map(|_| ClientSim {
+                handshakes_since_full: 0,
+            })
+            .collect();
+        let end = cfg.warmup_ns + cfg.measure_ns;
+        let mut sim = Sim {
+            cfg,
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            workers,
+            conns: Vec::new(),
+            clients,
+            card_busy: 0,
+            card_q_asym: VecDeque::new(),
+            card_q_sym: VecDeque::new(),
+            card_rr_sym_next: false,
+            qat_busy_ns: 0,
+            link_free: 0,
+            end,
+            next_worker: 0,
+            jitter_state: 0x243F_6A88_85A3_08D3,
+            m_handshakes: 0,
+            m_abbrev: 0,
+            m_responses: 0,
+            m_bytes: 0,
+            m_latency_sum_ns: 0,
+            m_latency_count: 0,
+            m_latency_samples: Vec::new(),
+            m_polls: 0,
+            m_empty_polls: 0,
+            m_kernel_switches: 0,
+            dbg_card_ns: 0,
+            dbg_retrieve_ns: 0,
+            dbg_ops: 0,
+            trace_every: 0,
+            trace: Vec::new(),
+        };
+        // Ramp clients up over the first part of the warmup so the
+        // closed-loop pipeline primes gradually (s_time processes do not
+        // all fire in the same microsecond either).
+        let ramp = (sim.cfg.warmup_ns / 2).max(1);
+        let n = sim.clients.len() as u64;
+        for c in 0..sim.clients.len() {
+            let at = (c as u64 * ramp) / n.max(1);
+            sim.schedule(at, Ev::Connect { client: c as u32 });
+        }
+        sim
+    }
+
+    /// Run with state sampling every `every` ns after warmup.
+    pub fn run_traced(mut self, every: u64) -> (SimReport, Vec<TraceSample>) {
+        self.trace_every = every;
+        let r = self.run_inner();
+        (r, std::mem::take(&mut self.trace))
+    }
+
+    /// Run and also report diagnostic averages:
+    /// (report, avg op card time µs, avg retrieval wait µs).
+    pub fn run_with_debug(self) -> (SimReport, f64, f64) {
+        let mut s = self;
+        let report = s.run_inner();
+        let n = s.dbg_ops.max(1) as f64;
+        (report, s.dbg_card_ns as f64 / n / 1000.0, s.dbg_retrieve_ns as f64 / n / 1000.0)
+    }
+
+    /// Run to completion and report.
+    pub fn run(self) -> SimReport {
+        let mut s = self;
+        s.run_inner()
+    }
+
+    fn run_inner(&mut self) -> SimReport {
+        let mut next_sample = if self.trace_every > 0 { self.cfg.warmup_ns } else { u64::MAX };
+        while let Some(Reverse((t, _, id))) = self.heap.pop() {
+            if t > self.end {
+                break;
+            }
+            self.now = t;
+            if t >= next_sample {
+                next_sample = t + self.trace_every;
+                let busy_engines = self.card_busy;
+                let busy_workers = self.workers.iter().filter(|w| w.running.is_some()).count();
+                let queued: usize = self.workers.iter().map(|w| w.queue.len()).sum();
+                let ready: usize = self.workers.iter().map(|w| w.ready.len()).sum();
+                self.trace.push((t, busy_engines, busy_workers, queued, ready));
+            }
+            let ev = self.events[id as usize];
+            self.dispatch(ev);
+        }
+        let secs = self.cfg.measure_ns as f64 / 1e9;
+        let elapsed = self.end as f64;
+        SimReport {
+            cps: self.m_handshakes as f64 / secs,
+            handshakes: self.m_handshakes,
+            abbreviated: self.m_abbrev,
+            rps: self.m_responses as f64 / secs,
+            gbps: (self.m_bytes as f64 * 8.0) / secs / 1e9,
+            avg_latency_ms: if self.m_latency_count > 0 {
+                self.m_latency_sum_ns as f64 / self.m_latency_count as f64 / 1e6
+            } else {
+                0.0
+            },
+            p50_latency_ms: percentile(&mut self.m_latency_samples, 0.50),
+            p99_latency_ms: percentile(&mut self.m_latency_samples, 0.99),
+            worker_util: self.workers.iter().map(|w| w.busy_ns).sum::<u64>() as f64
+                / (elapsed * self.cfg.workers as f64),
+            qat_util: self.qat_busy_ns as f64 / (elapsed * self.cfg.qat_engines as f64),
+            polls: self.m_polls,
+            empty_polls: self.m_empty_polls,
+            kernel_switches: self.m_kernel_switches,
+        }
+    }
+
+    fn schedule(&mut self, at: Time, ev: Ev) {
+        let id = self.events.len() as u32;
+        self.events.push(ev);
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, id)));
+    }
+
+    fn lcg(&mut self) -> u64 {
+        self.jitter_state = self
+            .jitter_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.jitter_state >> 33
+    }
+
+    /// Client-side turnaround jitter (0..400 µs): real load generators
+    /// (thousands of s_time/ab processes sharing client CPUs and NIC
+    /// queues) never run in lockstep; without this, identical closed-loop
+    /// clients phase-lock into worker/accelerator convoys that no real
+    /// testbed exhibits.
+    fn jitter(&mut self) -> u64 {
+        self.lcg() % 400_000
+    }
+
+    /// ±25% multiplicative noise on service/CPU durations (cache and
+    /// scheduler effects, input-dependent crypto timing, firmware
+    /// dispatch variability).
+    fn noisy(&mut self, ns: u64) -> u64 {
+        let r = self.lcg() % 1000;
+        ns * (750 + (r * 500) / 1000) / 1000
+    }
+
+    fn rtt(&self) -> u64 {
+        self.cfg.cost.net.rtt_ns
+    }
+
+    /// Serialize `bytes` onto the shared egress link; returns completion.
+    fn egress(&mut self, bytes: u64) -> Time {
+        let ser = (bytes as f64 * 8.0 / (self.cfg.cost.net.egress_gbps * 1e9) * 1e9) as u64;
+        let start = self.link_free.max(self.now);
+        self.link_free = start + ser;
+        self.link_free
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Connect { client } => self.on_connect(client),
+            Ev::Flight { conn } => self.on_flight(conn),
+            Ev::Request { conn } => self.on_request(conn),
+            Ev::QatArrive { worker, conn } => self.on_qat_arrive(worker, conn),
+            Ev::QatDone { worker, conn } => self.on_qat_done(worker, conn),
+            Ev::QatReady { worker, conn } => self.on_qat_ready(worker, conn),
+            Ev::TaskDone { worker } => self.on_task_done(worker),
+            Ev::Failover { worker } => self.on_failover(worker),
+        }
+    }
+
+    fn on_connect(&mut self, client: u32) {
+        // Decide full vs abbreviated for this connection.
+        let abbreviated = {
+            let c = &mut self.clients[client as usize];
+            if self.cfg.resumes_per_full == 0 {
+                false
+            } else if self.cfg.resumes_per_full == u32::MAX {
+                true
+            } else if c.handshakes_since_full < self.cfg.resumes_per_full {
+                c.handshakes_since_full += 1;
+                true
+            } else {
+                c.handshakes_since_full = 0;
+                false
+            }
+        };
+        let worker = (self.next_worker % self.cfg.workers) as u32;
+        self.next_worker += 1;
+        let flights = handshake_flights(self.cfg.suite, abbreviated, &self.cfg.cost);
+        let conn_id = self.conns.len() as u32;
+        self.conns.push(ConnSim {
+            client,
+            worker,
+            flights: flights.into(),
+            segs: VecDeque::new(),
+            started_at: self.now,
+            requests_left: self.cfg.request.map(|r| r.requests_per_conn).unwrap_or(0),
+            handshake_done: false,
+            abbreviated,
+            closed: false,
+            inflight_asym_flag: false,
+            pending_service_ns: 0,
+            dbg_submit_at: 0,
+            dbg_ready_at: 0,
+        });
+        // TCP connect (1 RTT) then the ClientHello arrives RTT/2 later.
+        let at = self.now + self.rtt() + self.rtt() / 2 + self.jitter();
+        self.schedule(at, Ev::Flight { conn: conn_id });
+    }
+
+    fn on_flight(&mut self, conn: u32) {
+        let c = &mut self.conns[conn as usize];
+        if c.closed {
+            return;
+        }
+        if c.segs.is_empty() {
+            if let Some(flight) = c.flights.pop_front() {
+                c.segs = flight.into();
+            }
+        }
+        let w = c.worker;
+        self.workers[w as usize].queue.push_back(Task::Run(conn));
+        self.kick(w);
+    }
+
+    fn on_request(&mut self, conn: u32) {
+        let size = self.cfg.request.expect("request workload").size;
+        let c = &mut self.conns[conn as usize];
+        if c.closed {
+            return;
+        }
+        c.segs = request_flight(size, &self.cfg.cost).into();
+        let w = c.worker;
+        self.workers[w as usize].queue.push_back(Task::Run(conn));
+        self.kick(w);
+    }
+
+    /// A request reaches the card (after driver/DMA fixed latency):
+    /// start it on a free engine or queue it on its class ring.
+    fn on_qat_arrive(&mut self, worker: u32, conn: u32) {
+        if self.card_busy < self.cfg.qat_engines {
+            self.card_busy += 1;
+            let service = self.conns[conn as usize].pending_service_ns;
+            let at = self.now + service;
+            self.schedule(at, Ev::QatDone { worker, conn });
+        } else if self.conns[conn as usize].inflight_was_asym() {
+            self.card_q_asym.push_back((worker, conn));
+        } else {
+            self.card_q_sym.push_back((worker, conn));
+        }
+    }
+
+    /// An engine finished a request: deliver the response toward the
+    /// response ring and start the next queued request. The two ring
+    /// classes are drained round-robin (hardware load-balances "requests
+    /// from all rings across all available computation engines", §2.3),
+    /// so short PRF/cipher ops never serialize behind an RSA backlog.
+    fn on_qat_done(&mut self, worker: u32, conn: u32) {
+        self.card_busy -= 1;
+        self.qat_busy_ns += self.conns[conn as usize].pending_service_ns;
+        // Start the next request, alternating classes.
+        let next = if self.card_rr_sym_next {
+            self.card_q_sym
+                .pop_front()
+                .or_else(|| self.card_q_asym.pop_front())
+        } else {
+            self.card_q_asym
+                .pop_front()
+                .or_else(|| self.card_q_sym.pop_front())
+        };
+        self.card_rr_sym_next = !self.card_rr_sym_next;
+        if let Some((nw, nc)) = next {
+            self.card_busy += 1;
+            let service = self.conns[nc as usize].pending_service_ns;
+            let at = self.now + service;
+            self.schedule(at, Ev::QatDone { worker: nw, conn: nc });
+        }
+        // Response retrieval: tick-aligned for timer pollers; immediate
+        // availability for the heuristic scheme.
+        let at = match self.cfg.profile.timer_interval() {
+            Some(interval) => ceil_to(self.now, interval),
+            None => self.now,
+        };
+        self.schedule(at, Ev::QatReady { worker, conn });
+    }
+
+    fn on_qat_ready(&mut self, worker: u32, conn: u32) {
+        let profile = self.cfg.profile;
+        self.conns[conn as usize].dbg_ready_at = self.now;
+        if !profile.uses_async() {
+            // Straight offload: unblock the worker; the blocked span
+            // counts as busy (it was busy-waiting). A response can also
+            // come back before the submitting task even finishes (tiny
+            // ops on an idle card) — park it as "already ready".
+            let w = &mut self.workers[worker as usize];
+            match w.blocked {
+                Some((bconn, since)) if bconn == conn => {
+                    w.blocked = None;
+                    w.busy_ns += self.now - since;
+                    w.queue.push_front(Task::ResumeBlocked(conn));
+                    self.kick(worker);
+                }
+                _ => w.ready.push_back(conn),
+            }
+            return;
+        }
+        let w = &mut self.workers[worker as usize];
+        if profile.timer_interval().is_some() {
+            // Timer scheme: the event time is already tick-aligned; the
+            // poller thread retrieves the response and notifies.
+            w.inflight_total -= 1;
+            self.dec_asym_if_needed(worker, conn);
+            self.workers[worker as usize]
+                .queue
+                .push_back(Task::Resume(conn));
+            self.kick(worker);
+        } else {
+            w.ready.push_back(conn);
+            self.heuristic_check(worker);
+        }
+    }
+
+    fn dec_asym_if_needed(&mut self, worker: u32, conn: u32) {
+        // The op kind that was inflight for `conn` was recorded on the
+        // connection (at most one inflight op per connection — §3.3).
+        let was_asym = self.conns[conn as usize].inflight_was_asym();
+        if was_asym {
+            self.workers[worker as usize].inflight_asym -= 1;
+        }
+    }
+
+    fn on_failover(&mut self, worker: u32) {
+        let failover_ns = 5_000_000;
+        let w = &mut self.workers[worker as usize];
+        if w.inflight_total > 0 || !w.ready.is_empty() {
+            if !w.ready.is_empty() && !w.poll_queued {
+                w.queue.push_back(Task::Poll { idle_wake: false });
+                w.poll_queued = true;
+            }
+            let at = self.now + failover_ns;
+            self.schedule(at, Ev::Failover { worker });
+            self.kick(worker);
+        } else {
+            w.failover_scheduled = false;
+        }
+    }
+
+    fn heuristic_check(&mut self, worker: u32) {
+        if self.cfg.profile.timer_interval().is_some() || !self.cfg.profile.uses_qat() {
+            return;
+        }
+        let w = &self.workers[worker as usize];
+        if w.poll_queued || w.ready.is_empty() {
+            return;
+        }
+        let idle = w.running.is_none() && w.queue.is_empty();
+        let threshold = if w.inflight_asym > 0 {
+            self.cfg.heuristic_asym_threshold
+        } else {
+            self.cfg.heuristic_sym_threshold
+        };
+        if idle || w.inflight_total as u64 >= threshold {
+            let w = &mut self.workers[worker as usize];
+            w.queue.push_back(Task::Poll { idle_wake: idle });
+            w.poll_queued = true;
+            self.kick(worker);
+        }
+    }
+
+    /// Start the next task if the worker is idle (and not blocked on a
+    /// straight-offload response).
+    fn kick(&mut self, worker: u32) {
+        let w = &self.workers[worker as usize];
+        if w.running.is_some() || w.blocked.is_some() {
+            return;
+        }
+        let Some(task) = self.workers[worker as usize].queue.pop_front() else {
+            return;
+        };
+        let (cpu_ns, outcome) = self.execute(worker, task);
+        // Timer-poller CPU tax: the dedicated polling thread (pinned to
+        // the same core) steals a fixed fraction of cycles.
+        let inflation = match self.cfg.profile.timer_interval() {
+            Some(interval) => {
+                let per_tick = 2 * self.cfg.cost.offload.ctx_switch_ns
+                    + self.cfg.cost.offload.poll_ns;
+                1.0 + per_tick as f64 / interval as f64
+            }
+            None => 1.0,
+        };
+        let dur = (cpu_ns as f64 * inflation) as u64;
+        self.workers[worker as usize].running = Some(outcome);
+        self.workers[worker as usize].busy_ns += dur;
+        let at = self.now + dur;
+        self.schedule(at, Ev::TaskDone { worker });
+    }
+
+    /// Execute a task: returns (cpu time, outcome).
+    fn execute(&mut self, worker: u32, task: Task) -> (u64, Outcome) {
+        let off = self.cfg.cost.offload.clone();
+        match task {
+            Task::Poll { idle_wake } => {
+                let w = &mut self.workers[worker as usize];
+                let retrieved: Vec<u32> = w.ready.drain(..).collect();
+                let n = retrieved.len() as u32;
+                let mut cpu = off.poll_ns + retrieved.len() as u64 * off.per_response_ns;
+                if idle_wake {
+                    // Event-loop wake-up before the poll runs.
+                    cpu += off.idle_wake_ns;
+                }
+                w.poll_queued = false;
+                if self.now >= self.cfg.warmup_ns {
+                    self.m_polls += 1;
+                    if retrieved.is_empty() {
+                        self.m_empty_polls += 1;
+                    }
+                }
+                for conn in retrieved {
+                    self.workers[worker as usize].inflight_total -= 1;
+                    self.dec_asym_if_needed(worker, conn);
+                    self.workers[worker as usize]
+                        .queue
+                        .push_back(Task::Resume(conn));
+                }
+                // Kernel-bypass queue ops are charged on the poll side.
+                if matches!(self.cfg.profile, SimProfile::Qtls) {
+                    cpu += n as u64 * off.queue_op_ns;
+                }
+
+                (cpu, Outcome::PollDone)
+            }
+            Task::Run(conn) => self.run_segments(worker, conn, 0),
+            Task::ResumeBlocked(conn) => {
+                // Straight offload: the poll that retrieved the response.
+                let cpu = off.poll_ns + off.per_response_ns;
+                self.run_segments(worker, conn, cpu)
+            }
+            Task::Resume(conn) => {
+                {
+                    let c = &self.conns[conn as usize];
+                    self.dbg_card_ns += c.dbg_ready_at.saturating_sub(c.dbg_submit_at);
+                    self.dbg_retrieve_ns += self.now.saturating_sub(c.dbg_ready_at);
+                    self.dbg_ops += 1;
+                }
+                // Post-processing entry: notification delivery + fiber
+                // resume overhead.
+                let mut cpu = off.pause_resume_ns;
+                if self.cfg.profile.fd_notification() {
+                    cpu += off.fd_switches_per_event * off.kernel_switch_ns;
+                    if self.now >= self.cfg.warmup_ns {
+                        self.m_kernel_switches += off.fd_switches_per_event;
+                    }
+                } else if matches!(self.cfg.profile, SimProfile::Qtls) {
+                    cpu += off.queue_op_ns;
+                }
+                // Timer profiles also pay per-response retrieval here
+                // (the poller thread's work happens on the same core).
+                if self.cfg.profile.timer_interval().is_some() {
+                    cpu += off.per_response_ns;
+                }
+                self.run_segments(worker, conn, cpu)
+            }
+        }
+    }
+
+    /// Run a connection's segments until an offload submission or the
+    /// flight completes.
+    fn run_segments(&mut self, worker: u32, conn: u32, mut cpu: u64) -> (u64, Outcome) {
+        let off = self.cfg.cost.offload.clone();
+        let profile = self.cfg.profile;
+        loop {
+            let Some(seg) = self.conns[conn as usize].segs.pop_front() else {
+                return (cpu, Outcome::FlightDone { conn });
+            };
+            match seg {
+                Seg::Cpu(ns) => cpu += self.noisy(ns),
+                Seg::Op(op) => {
+                    if !profile.uses_qat() {
+                        let ns = op.sw_ns(&self.cfg.cost);
+                        cpu += self.noisy(ns);
+                        continue;
+                    }
+                    // Submit through the driver: the request reaches the
+                    // card after a fixed DMA/firmware latency.
+                    cpu += off.submit_ns;
+                    let fixed = self.noisy(if op.is_asym() {
+                        off.fixed_latency_asym_ns
+                    } else {
+                        off.fixed_latency_sym_ns
+                    });
+                    let submit_at = self.now + cpu;
+                    let service = self.noisy(op.qat_ns(&self.cfg.cost));
+                    {
+                        let c = &mut self.conns[conn as usize];
+                        c.set_inflight_asym(op.is_asym());
+                        c.pending_service_ns = service;
+                        c.dbg_submit_at = submit_at;
+                    }
+                    self.schedule(submit_at + fixed, Ev::QatArrive { worker, conn });
+                    if profile.uses_async() {
+                        // Pre-processing: pause after submission; the
+                        // remaining segments run at resume time.
+                        let w = &mut self.workers[worker as usize];
+                        w.inflight_total += 1;
+                        if op.is_asym() {
+                            w.inflight_asym += 1;
+                        }
+                        // Heuristic failover timer.
+                        if profile.timer_interval().is_none()
+                            && !self.workers[worker as usize].failover_scheduled
+                        {
+                            self.workers[worker as usize].failover_scheduled = true;
+                            let at = self.now + 5_000_000;
+                            self.schedule(at, Ev::Failover { worker });
+                        }
+                        return (cpu, Outcome::OpSubmitted);
+                    } else {
+                        // Straight offload: block the worker (§2.4) until
+                        // the response is retrieved.
+                        return (cpu, Outcome::OpSubmittedBlocking { conn });
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_task_done(&mut self, worker: u32) {
+        let outcome = self.workers[worker as usize]
+            .running
+            .take()
+            .expect("task was running");
+        match outcome {
+            Outcome::OpSubmitted | Outcome::PollDone => {}
+            Outcome::OpSubmittedBlocking { conn } => {
+                // The worker busy-waits from now until the response is
+                // retrieved — unless it already came back mid-task.
+                let w = &mut self.workers[worker as usize];
+                if let Some(pos) = w.ready.iter().position(|&c| c == conn) {
+                    w.ready.remove(pos);
+                    w.queue.push_front(Task::ResumeBlocked(conn));
+                } else {
+                    w.blocked = Some((conn, self.now));
+                }
+            }
+            Outcome::FlightDone { conn } => self.flight_done(conn),
+        }
+        self.heuristic_check(worker);
+        self.kick(worker);
+    }
+
+    fn flight_done(&mut self, conn: u32) {
+        let rtt = self.rtt();
+        let jitter = self.jitter();
+        let c = &mut self.conns[conn as usize];
+        if !c.flights.is_empty() {
+            // More handshake flights: client turnaround.
+            let at = self.now + rtt + jitter;
+            self.schedule(at, Ev::Flight { conn });
+            return;
+        }
+        if !c.handshake_done {
+            c.handshake_done = true;
+            let in_window = self.now >= self.cfg.warmup_ns && self.now <= self.end;
+            if in_window {
+                self.m_handshakes += 1;
+                if c.abbreviated {
+                    self.m_abbrev += 1;
+                }
+            }
+            if self.cfg.request.is_some() {
+                // First GET arrives one RTT after our final flight.
+                let at = self.now + rtt + jitter;
+                self.schedule(at, Ev::Request { conn });
+            } else {
+                // s_time: connection completes at the client, which
+                // immediately reconnects.
+                let done_at = self.now + rtt / 2;
+                let client = c.client;
+                c.closed = true;
+                self.record_latency(conn, done_at);
+                self.schedule(done_at + jitter, Ev::Connect { client });
+            }
+            return;
+        }
+        // A request flight finished: response leaves through the link.
+        let size = self.cfg.request.expect("request workload").size;
+        let sent_at = self.egress(size);
+        let c = &mut self.conns[conn as usize];
+        c.requests_left -= 1;
+        let client_got_it = sent_at + rtt / 2;
+        let in_window = client_got_it >= self.cfg.warmup_ns && client_got_it <= self.end;
+        if in_window {
+            self.m_responses += 1;
+            self.m_bytes += size;
+        }
+        if c.requests_left > 0 {
+            let at = sent_at + rtt + jitter;
+            self.schedule(at, Ev::Request { conn });
+        } else {
+            let client = c.client;
+            c.closed = true;
+            self.record_latency(conn, client_got_it);
+            self.schedule(client_got_it + jitter, Ev::Connect { client });
+        }
+    }
+
+    fn record_latency(&mut self, conn: u32, done_at: Time) {
+        if done_at >= self.cfg.warmup_ns && done_at <= self.end {
+            let c = &self.conns[conn as usize];
+            let sample = done_at - c.started_at;
+            self.m_latency_sum_ns += sample;
+            self.m_latency_count += 1;
+            // Deterministic reservoir: keep the first 200K samples (more
+            // than any measurement window produces per worker-seconds of
+            // interest), replace pseudo-randomly beyond that.
+            const CAP: usize = 200_000;
+            if self.m_latency_samples.len() < CAP {
+                self.m_latency_samples.push(sample);
+            } else {
+                let idx = (self.lcg() % self.m_latency_count) as usize;
+                if idx < CAP {
+                    self.m_latency_samples[idx] = sample;
+                }
+            }
+        }
+    }
+}
+
+/// Round `t` up to the next multiple of `step`.
+fn ceil_to(t: Time, step: u64) -> Time {
+    t.div_ceil(step) * step
+}
+
+/// In-place percentile (nearest-rank) in milliseconds; 0 if empty.
+fn percentile(samples: &mut [u64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    let idx = ((samples.len() as f64 - 1.0) * q).round() as usize;
+    samples[idx] as f64 / 1e6
+}
+
+impl ConnSim {
+    fn set_inflight_asym(&mut self, asym: bool) {
+        // Reuse `abbreviated`'s sibling storage: a dedicated flag.
+        self.inflight_asym_flag = asym;
+    }
+
+    fn inflight_was_asym(&self) -> bool {
+        self.inflight_asym_flag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtls_crypto::ecc::NamedCurve;
+
+    fn quick(mut cfg: SimConfig) -> SimReport {
+        cfg.warmup_ns = 1_500_000_000;
+        cfg.measure_ns = 1_000_000_000;
+        Sim::new(cfg).run()
+    }
+
+    #[test]
+    fn sw_tls_rsa_matches_anchor() {
+        let r = quick(SimConfig::handshake(SimProfile::Sw, 8, 400, SuiteKind::TlsRsa));
+        // Paper Fig. 7a: SW at 8HT ≈ 4.3K CPS.
+        assert!((3500.0..5200.0).contains(&r.cps), "cps={}", r.cps);
+        assert!(r.worker_util > 0.9, "SW must be CPU-bound: {}", r.worker_util);
+    }
+
+    #[test]
+    fn qtls_beats_sw_handshakes() {
+        let sw = quick(SimConfig::handshake(SimProfile::Sw, 8, 2000, SuiteKind::TlsRsa));
+        let qtls = quick(SimConfig::handshake(SimProfile::Qtls, 8, 2000, SuiteKind::TlsRsa));
+        assert!(
+            qtls.cps > 5.0 * sw.cps,
+            "QTLS={} SW={}",
+            qtls.cps,
+            sw.cps
+        );
+    }
+
+    #[test]
+    fn config_ordering_matches_paper() {
+        // SW < QAT+S < QAT+A < QAT+AH < QTLS for TLS-RSA full handshakes.
+        let mut last = 0.0;
+        for p in SimProfile::FIVE {
+            let r = quick(SimConfig::handshake(p, 8, 2000, SuiteKind::TlsRsa));
+            assert!(
+                r.cps > last,
+                "{} ({}) must beat previous ({})",
+                p.label(),
+                r.cps,
+                last
+            );
+            last = r.cps;
+        }
+    }
+
+    #[test]
+    fn kernel_bypass_eliminates_switches() {
+        let ah = quick(SimConfig::handshake(SimProfile::QatAH, 4, 500, SuiteKind::TlsRsa));
+        let qtls = quick(SimConfig::handshake(SimProfile::Qtls, 4, 500, SuiteKind::TlsRsa));
+        assert!(ah.kernel_switches > 0);
+        assert_eq!(qtls.kernel_switches, 0);
+    }
+
+    #[test]
+    fn abbreviated_handshakes_count() {
+        let mut cfg = SimConfig::handshake(SimProfile::Sw, 4, 200, SuiteKind::EcdheRsa(NamedCurve::P256));
+        cfg.resumes_per_full = u32::MAX;
+        let r = quick(cfg);
+        assert!(r.handshakes > 0);
+        assert_eq!(r.abbreviated, r.handshakes);
+    }
+
+    #[test]
+    fn transfer_workload_produces_throughput() {
+        let mut cfg = SimConfig::handshake(SimProfile::Sw, 8, 400, SuiteKind::TlsRsa);
+        cfg.request = Some(RequestLoad {
+            size: 128 * 1024,
+            requests_per_conn: 50,
+        });
+        let r = quick(cfg);
+        assert!(r.gbps > 1.0, "gbps={}", r.gbps);
+        assert!(r.rps > 1000.0, "rps={}", r.rps);
+    }
+
+    #[test]
+    fn latency_increases_with_concurrency() {
+        let small = quick(SimConfig::handshake(SimProfile::Sw, 1, 1, SuiteKind::TlsRsa));
+        let big = quick(SimConfig::handshake(SimProfile::Sw, 1, 64, SuiteKind::TlsRsa));
+        assert!(big.avg_latency_ms > small.avg_latency_ms * 5.0);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let r = quick(SimConfig::handshake(SimProfile::Qtls, 2, 100, SuiteKind::TlsRsa));
+        assert!(r.p50_latency_ms > 0.0);
+        assert!(r.p50_latency_ms <= r.p99_latency_ms);
+        // The mean sits between the median and the tail for these
+        // right-skewed queueing distributions.
+        assert!(r.avg_latency_ms >= r.p50_latency_ms * 0.5);
+        assert!(r.avg_latency_ms <= r.p99_latency_ms * 1.5);
+    }
+
+    #[test]
+    fn short_ops_not_starved_behind_asym_backlog() {
+        // Regression test for the per-class ring queues (§2.3): the card
+        // must drain PRF requests round-robin with the RSA backlog.
+        // Without class fairness, the whole fleet phase-locks behind the
+        // RSA queue and worker+card utilization collapse in antiphase
+        // (observed as a hard CPS plateau past ~17 workers).
+        let r24 = quick(SimConfig::handshake(
+            SimProfile::QatA { poll_interval_ns: 10_000 },
+            24,
+            2000,
+            SuiteKind::TlsRsa,
+        ));
+        let r16 = quick(SimConfig::handshake(
+            SimProfile::QatA { poll_interval_ns: 10_000 },
+            16,
+            2000,
+            SuiteKind::TlsRsa,
+        ));
+        assert!(
+            r24.cps > r16.cps * 1.1,
+            "adding workers must keep helping: 16HT={} 24HT={}",
+            r16.cps,
+            r24.cps
+        );
+    }
+
+    #[test]
+    fn blocking_profile_counts_wait_as_busy() {
+        // QAT+S busy-waits: the worker must look saturated even though
+        // the card is nearly idle (§2.4's "CPU cycles spent waiting").
+        let r = quick(SimConfig::handshake(
+            SimProfile::QatS { poll_interval_ns: 10_000 },
+            8,
+            2000,
+            SuiteKind::TlsRsa,
+        ));
+        assert!(r.worker_util > 0.95, "worker_util={}", r.worker_util);
+        assert!(r.qat_util < 0.3, "qat_util={}", r.qat_util);
+    }
+
+    #[test]
+    fn qat_card_capacity_limits_cps() {
+        // With many workers, QTLS saturates the card at ~100K CPS.
+        let r = quick(SimConfig::handshake(SimProfile::Qtls, 32, 4000, SuiteKind::TlsRsa));
+        assert!(
+            (80_000.0..115_000.0).contains(&r.cps),
+            "cps={} (expected card limit ~100K)",
+            r.cps
+        );
+        assert!(r.qat_util > 0.8, "card should be nearly saturated");
+    }
+}

@@ -1,0 +1,265 @@
+//! Workload descriptions: which crypto operations and processing costs
+//! make up each server-side "flight" of a handshake or request, per
+//! suite/version/resumption — the Table 1 structure expressed as cost
+//! segments.
+
+use crate::cost::CostModel;
+use qtls_crypto::ecc::NamedCurve;
+
+/// The suite/version axis of the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuiteKind {
+    /// TLS 1.2 TLS-RSA (2048-bit).
+    TlsRsa,
+    /// TLS 1.2 ECDHE-RSA (2048-bit) on a curve.
+    EcdheRsa(NamedCurve),
+    /// TLS 1.2 ECDHE-ECDSA on a curve.
+    EcdheEcdsa(NamedCurve),
+    /// TLS 1.3 ECDHE-RSA on a curve (HKDF on CPU).
+    Tls13EcdheRsa(NamedCurve),
+}
+
+impl SuiteKind {
+    /// Paper-style display name.
+    pub fn name(&self) -> String {
+        match self {
+            SuiteKind::TlsRsa => "TLS-RSA(2048)".into(),
+            SuiteKind::EcdheRsa(c) => format!("ECDHE-RSA(2048,{})", c.name()),
+            SuiteKind::EcdheEcdsa(c) => format!("ECDHE-ECDSA({})", c.name()),
+            SuiteKind::Tls13EcdheRsa(c) => format!("TLS1.3 ECDHE-RSA(2048,{})", c.name()),
+        }
+    }
+
+    /// Is this the one-round-trip TLS 1.3 handshake?
+    pub fn is_tls13(&self) -> bool {
+        matches!(self, SuiteKind::Tls13EcdheRsa(_))
+    }
+}
+
+/// An offloadable crypto operation (cost-model key).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// RSA-2048 private-key operation.
+    RsaPriv,
+    /// ECDSA sign on a curve.
+    EcSign(NamedCurve),
+    /// Ephemeral EC keygen.
+    EcKeygen(NamedCurve),
+    /// ECDH derive.
+    Ecdh(NamedCurve),
+    /// One PRF expansion.
+    Prf,
+    /// One record cipher op over `bytes`.
+    Cipher(u64),
+}
+
+impl OpKind {
+    /// Is this an asymmetric operation (for the heuristic threshold and
+    /// the accelerator's fixed-latency class)?
+    pub fn is_asym(&self) -> bool {
+        matches!(
+            self,
+            OpKind::RsaPriv | OpKind::EcSign(_) | OpKind::EcKeygen(_) | OpKind::Ecdh(_)
+        )
+    }
+
+    /// Software (CPU) cost.
+    pub fn sw_ns(&self, m: &CostModel) -> u64 {
+        match self {
+            OpKind::RsaPriv => m.sw.rsa2048_ns,
+            OpKind::EcSign(c) => m.sw.ec_sign_ns(*c),
+            OpKind::EcKeygen(c) => m.sw.ec_keygen_ns(*c),
+            OpKind::Ecdh(c) => m.sw.ecdh_ns(*c),
+            OpKind::Prf => m.sw.prf_ns,
+            OpKind::Cipher(bytes) => m.sw.cipher_ns(*bytes),
+        }
+    }
+
+    /// Accelerator engine service time.
+    pub fn qat_ns(&self, m: &CostModel) -> u64 {
+        match self {
+            OpKind::RsaPriv => m.qat.rsa2048_ns,
+            OpKind::EcSign(c) | OpKind::EcKeygen(c) | OpKind::Ecdh(c) => m.qat.ecc_ns(*c),
+            OpKind::Prf => m.qat.prf_ns,
+            OpKind::Cipher(bytes) => m.qat.cipher_ns(*bytes as usize),
+        }
+    }
+}
+
+/// One unit of server-side work.
+#[derive(Clone, Copy, Debug)]
+pub enum Seg {
+    /// Plain CPU time.
+    Cpu(u64),
+    /// An offloadable crypto operation.
+    Op(OpKind),
+}
+
+/// Build the server-side flights of a handshake. Each flight is the work
+/// triggered by one client flight's arrival; after the last flight the
+/// handshake is complete.
+pub fn handshake_flights(suite: SuiteKind, abbreviated: bool, m: &CostModel) -> Vec<Vec<Seg>> {
+    let p = &m.proc;
+    if abbreviated {
+        // Abbreviated (§2.1): PRF only — key block + server Finished,
+        // then client Finished verification.
+        return vec![
+            vec![
+                Seg::Cpu(p.accept_ns + p.ch_flight_ns),
+                Seg::Op(OpKind::Prf),
+                Seg::Op(OpKind::Prf),
+            ],
+            vec![Seg::Op(OpKind::Prf), Seg::Cpu(p.finish_ns)],
+        ];
+    }
+    match suite {
+        SuiteKind::TlsRsa => vec![
+            vec![Seg::Cpu(p.accept_ns + p.ch_flight_ns)],
+            vec![
+                Seg::Cpu(p.ckx_flight_ns),
+                Seg::Op(OpKind::RsaPriv),
+                Seg::Op(OpKind::Prf),
+                Seg::Op(OpKind::Prf),
+                Seg::Op(OpKind::Prf),
+                Seg::Op(OpKind::Prf),
+                Seg::Cpu(p.finish_ns),
+            ],
+        ],
+        SuiteKind::EcdheRsa(c) => vec![
+            vec![
+                Seg::Cpu(p.accept_ns + p.ch_flight_ns),
+                Seg::Op(OpKind::EcKeygen(c)),
+                Seg::Op(OpKind::RsaPriv),
+            ],
+            vec![
+                Seg::Cpu(p.ckx_flight_ns),
+                Seg::Op(OpKind::Ecdh(c)),
+                Seg::Op(OpKind::Prf),
+                Seg::Op(OpKind::Prf),
+                Seg::Op(OpKind::Prf),
+                Seg::Op(OpKind::Prf),
+                Seg::Cpu(p.finish_ns),
+            ],
+        ],
+        SuiteKind::EcdheEcdsa(c) => vec![
+            vec![
+                Seg::Cpu(p.accept_ns + p.ch_flight_ns),
+                Seg::Op(OpKind::EcKeygen(c)),
+                Seg::Op(OpKind::EcSign(c)),
+            ],
+            vec![
+                Seg::Cpu(p.ckx_flight_ns),
+                Seg::Op(OpKind::Ecdh(c)),
+                Seg::Op(OpKind::Prf),
+                Seg::Op(OpKind::Prf),
+                Seg::Op(OpKind::Prf),
+                Seg::Op(OpKind::Prf),
+                Seg::Cpu(p.finish_ns),
+            ],
+        ],
+        SuiteKind::Tls13EcdheRsa(c) => vec![
+            // Single server flight: SH + EE + Cert + CertVerify + Fin.
+            // The HKDF schedule (10 ops to handshake keys) runs on the
+            // CPU — not offloadable (§5.2).
+            vec![
+                Seg::Cpu(p.accept_ns + p.ch_flight_ns + p.tls13_extra_ns),
+                Seg::Op(OpKind::EcKeygen(c)),
+                Seg::Op(OpKind::Ecdh(c)),
+                Seg::Cpu(10 * m.sw.hkdf_ns),
+                Seg::Op(OpKind::RsaPriv),
+            ],
+            // Client Finished: verification + application schedule.
+            vec![Seg::Cpu(7 * m.sw.hkdf_ns + p.finish_ns)],
+        ],
+    }
+}
+
+/// Build the server-side work for one HTTP request of `size` bytes:
+/// request parsing + one cipher op per 16 KB record.
+pub fn request_flight(size: u64, m: &CostModel) -> Vec<Seg> {
+    let mut segs = vec![Seg::Cpu(m.proc.http_request_ns)];
+    let mut remaining = size;
+    while remaining > 0 {
+        let chunk = remaining.min(16 * 1024);
+        segs.push(Seg::Op(OpKind::Cipher(chunk)));
+        segs.push(Seg::Cpu(m.proc.per_record_ns));
+        remaining -= chunk;
+    }
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_ops(flights: &[Vec<Seg>]) -> (usize, usize, usize) {
+        let mut rsa = 0;
+        let mut ecc = 0;
+        let mut prf = 0;
+        for seg in flights.iter().flatten() {
+            if let Seg::Op(op) = seg {
+                match op {
+                    OpKind::RsaPriv => rsa += 1,
+                    OpKind::EcSign(_) | OpKind::EcKeygen(_) | OpKind::Ecdh(_) => ecc += 1,
+                    OpKind::Prf => prf += 1,
+                    OpKind::Cipher(_) => {}
+                }
+            }
+        }
+        (rsa, ecc, prf)
+    }
+
+    #[test]
+    fn table1_structure() {
+        let m = CostModel::default();
+        let c = NamedCurve::P256;
+        assert_eq!(
+            count_ops(&handshake_flights(SuiteKind::TlsRsa, false, &m)),
+            (1, 0, 4)
+        );
+        assert_eq!(
+            count_ops(&handshake_flights(SuiteKind::EcdheRsa(c), false, &m)),
+            (1, 2, 4)
+        );
+        assert_eq!(
+            count_ops(&handshake_flights(SuiteKind::EcdheEcdsa(c), false, &m)),
+            (0, 3, 4)
+        );
+        assert_eq!(
+            count_ops(&handshake_flights(SuiteKind::Tls13EcdheRsa(c), false, &m)),
+            (1, 2, 0)
+        );
+    }
+
+    #[test]
+    fn abbreviated_is_prf_only() {
+        let m = CostModel::default();
+        let (rsa, ecc, prf) = count_ops(&handshake_flights(SuiteKind::EcdheRsa(NamedCurve::P256), true, &m));
+        assert_eq!((rsa, ecc), (0, 0));
+        assert_eq!(prf, 3);
+    }
+
+    #[test]
+    fn request_flight_record_count() {
+        let m = CostModel::default();
+        let f = request_flight(128 * 1024, &m);
+        let ciphers = f
+            .iter()
+            .filter(|s| matches!(s, Seg::Op(OpKind::Cipher(_))))
+            .count();
+        assert_eq!(ciphers, 8, "128 KB = 8 records (paper §5.4)");
+        let f = request_flight(100, &m);
+        assert_eq!(
+            f.iter()
+                .filter(|s| matches!(s, Seg::Op(OpKind::Cipher(_))))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn tls13_is_single_round_trip() {
+        assert!(SuiteKind::Tls13EcdheRsa(NamedCurve::P256).is_tls13());
+        assert!(!SuiteKind::EcdheRsa(NamedCurve::P256).is_tls13());
+    }
+}

@@ -1,0 +1,121 @@
+//! A version-erased server session so the event-driven worker can serve
+//! TLS 1.2 and TLS 1.3 through one code path (Nginx's TLS module is
+//! likewise version-agnostic).
+
+use crate::provider::{CryptoProvider, OpCounters};
+use crate::server::{ServerConfig, ServerSession};
+use crate::suite::Version;
+use crate::tls13::Tls13ServerSession;
+use crate::TlsError;
+use std::sync::Arc;
+
+/// A server session of either protocol version.
+pub enum AnyServerSession {
+    /// TLS 1.2.
+    V12(ServerSession),
+    /// TLS 1.3.
+    V13(Tls13ServerSession),
+}
+
+impl AnyServerSession {
+    /// Create a session for `version`.
+    pub fn new(
+        version: Version,
+        config: Arc<ServerConfig>,
+        provider: CryptoProvider,
+        seed: u64,
+    ) -> Self {
+        match version {
+            Version::Tls12 => AnyServerSession::V12(ServerSession::new(config, provider, seed)),
+            Version::Tls13 => {
+                AnyServerSession::V13(Tls13ServerSession::new(config, provider, seed))
+            }
+        }
+    }
+
+    /// Feed raw network bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        match self {
+            AnyServerSession::V12(s) => s.feed(bytes),
+            AnyServerSession::V13(s) => s.feed(bytes),
+        }
+    }
+
+    /// Process buffered input.
+    pub fn process(&mut self) -> Result<(), TlsError> {
+        match self {
+            AnyServerSession::V12(s) => s.process().map(|_| ()),
+            AnyServerSession::V13(s) => s.process(),
+        }
+    }
+
+    /// Drain pending output.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        match self {
+            AnyServerSession::V12(s) => s.take_output(),
+            AnyServerSession::V13(s) => s.take_output(),
+        }
+    }
+
+    /// Handshake complete?
+    pub fn is_established(&self) -> bool {
+        match self {
+            AnyServerSession::V12(s) => s.is_established(),
+            AnyServerSession::V13(s) => s.is_established(),
+        }
+    }
+
+    /// Did this session resume (always false for our TLS 1.3 subset,
+    /// which has no PSK resumption)?
+    pub fn was_resumed(&self) -> bool {
+        match self {
+            AnyServerSession::V12(s) => s.was_resumed(),
+            AnyServerSession::V13(_) => false,
+        }
+    }
+
+    /// Received application data.
+    pub fn read_app_data(&mut self) -> Option<Vec<u8>> {
+        match self {
+            AnyServerSession::V12(s) => s.read_app_data(),
+            AnyServerSession::V13(s) => s.read_app_data(),
+        }
+    }
+
+    /// Send application data.
+    pub fn write_app_data(&mut self, data: &[u8]) -> Result<(), TlsError> {
+        match self {
+            AnyServerSession::V12(s) => s.write_app_data(data),
+            AnyServerSession::V13(s) => s.write_app_data(data),
+        }
+    }
+
+    /// Crypto operation counters.
+    pub fn counters(&self) -> OpCounters {
+        match self {
+            AnyServerSession::V12(s) => s.counters,
+            AnyServerSession::V13(s) => s.counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_both_versions() {
+        let config = ServerConfig::test_default();
+        let v12 = AnyServerSession::new(
+            Version::Tls12,
+            config.clone(),
+            CryptoProvider::Software,
+            1,
+        );
+        let v13 = AnyServerSession::new(Version::Tls13, config, CryptoProvider::Software, 2);
+        assert!(matches!(v12, AnyServerSession::V12(_)));
+        assert!(matches!(v13, AnyServerSession::V13(_)));
+        assert!(!v12.is_established());
+        assert!(!v13.is_established());
+    }
+}

@@ -1,0 +1,139 @@
+//! Minimal binary codec helpers (big-endian, length-prefixed vectors) —
+//! the TLS wire-encoding building blocks.
+
+use crate::error::TlsError;
+
+/// Append a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Append a big-endian `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a big-endian 24-bit length.
+pub fn put_u24(out: &mut Vec<u8>, v: usize) {
+    assert!(v < 1 << 24);
+    out.extend_from_slice(&[(v >> 16) as u8, (v >> 8) as u8, v as u8]);
+}
+
+/// Append a big-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append bytes prefixed with a `u8` length.
+pub fn put_vec8(out: &mut Vec<u8>, v: &[u8]) {
+    assert!(v.len() <= u8::MAX as usize);
+    out.push(v.len() as u8);
+    out.extend_from_slice(v);
+}
+
+/// Append bytes prefixed with a `u16` length.
+pub fn put_vec16(out: &mut Vec<u8>, v: &[u8]) {
+    assert!(v.len() <= u16::MAX as usize);
+    put_u16(out, v.len() as u16);
+    out.extend_from_slice(v);
+}
+
+/// Sequential reader with decode errors.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Have all bytes been consumed?
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], TlsError> {
+        if self.remaining() < n {
+            return Err(TlsError::Decode("truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, TlsError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, TlsError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Read a big-endian 24-bit length.
+    pub fn u24(&mut self) -> Result<usize, TlsError> {
+        let b = self.take(3)?;
+        Ok(((b[0] as usize) << 16) | ((b[1] as usize) << 8) | b[2] as usize)
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, TlsError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().unwrap()))
+    }
+
+    /// Read a `u8`-length-prefixed vector.
+    pub fn vec8(&mut self) -> Result<Vec<u8>, TlsError> {
+        let n = self.u8()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Read a `u16`-length-prefixed vector.
+    pub fn vec16(&mut self) -> Result<Vec<u8>, TlsError> {
+        let n = self.u16()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut out = Vec::new();
+        put_u8(&mut out, 0xab);
+        put_u16(&mut out, 0x1234);
+        put_u24(&mut out, 0x56789a);
+        put_u64(&mut out, 0xdeadbeefcafebabe);
+        put_vec8(&mut out, b"short");
+        put_vec16(&mut out, &vec![7u8; 300]);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u24().unwrap(), 0x56789a);
+        assert_eq!(r.u64().unwrap(), 0xdeadbeefcafebabe);
+        assert_eq!(r.vec8().unwrap(), b"short");
+        assert_eq!(r.vec16().unwrap(), vec![7u8; 300]);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut r = Reader::new(&[0x00, 0x05, 0x01]);
+        assert!(r.vec16().is_err()); // claims 5 bytes, has 1
+        let mut r2 = Reader::new(&[]);
+        assert!(r2.u8().is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! TLS error and status types.
+
+use qtls_crypto::CryptoError;
+use core::fmt;
+
+/// Fatal TLS errors (abort the connection).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TlsError {
+    /// A crypto primitive failed (bad signature, bad MAC, ...).
+    Crypto(CryptoError),
+    /// The peer violated the protocol state machine.
+    UnexpectedMessage {
+        /// What the state machine was waiting for.
+        expected: &'static str,
+        /// What arrived.
+        got: &'static str,
+    },
+    /// Malformed message or record framing.
+    Decode(&'static str),
+    /// No mutually supported parameters.
+    HandshakeFailure(&'static str),
+    /// Finished verify-data mismatch: handshake integrity broken.
+    BadFinished,
+    /// Operation on a connection in the wrong state.
+    InvalidState(&'static str),
+}
+
+impl fmt::Display for TlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TlsError::Crypto(e) => write!(f, "crypto error: {e}"),
+            TlsError::UnexpectedMessage { expected, got } => {
+                write!(f, "unexpected message: expected {expected}, got {got}")
+            }
+            TlsError::Decode(what) => write!(f, "decode error: {what}"),
+            TlsError::HandshakeFailure(why) => write!(f, "handshake failure: {why}"),
+            TlsError::BadFinished => f.write_str("finished verification failed"),
+            TlsError::InvalidState(what) => write!(f, "invalid state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}
+
+impl From<CryptoError> for TlsError {
+    fn from(e: CryptoError) -> Self {
+        TlsError::Crypto(e)
+    }
+}

@@ -1,0 +1,544 @@
+//! Handshake messages and their wire encoding.
+//!
+//! Framing follows real TLS (1-byte handshake type + 24-bit length);
+//! message bodies keep the same field structure as the RFCs but use a
+//! simplified certificate (a bare public key instead of an X.509 chain) —
+//! the reproduction interoperates with its own client, and certificate
+//! parsing is orthogonal to the paper's contribution.
+
+use crate::codec::{put_u16, put_u24, put_u8, put_vec16, put_vec8, Reader};
+use crate::error::TlsError;
+use crate::suite::{sizes, CipherSuite, Version};
+
+/// Handshake message type codes (RFC values where they exist).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum HandshakeType {
+    /// ClientHello.
+    ClientHello = 1,
+    /// ServerHello.
+    ServerHello = 2,
+    /// NewSessionTicket.
+    NewSessionTicket = 4,
+    /// EncryptedExtensions (TLS 1.3).
+    EncryptedExtensions = 8,
+    /// Certificate.
+    Certificate = 11,
+    /// ServerKeyExchange (TLS 1.2).
+    ServerKeyExchange = 12,
+    /// ServerHelloDone (TLS 1.2).
+    ServerHelloDone = 14,
+    /// CertificateVerify (TLS 1.3).
+    CertificateVerify = 15,
+    /// ClientKeyExchange (TLS 1.2).
+    ClientKeyExchange = 16,
+    /// Finished.
+    Finished = 20,
+}
+
+impl HandshakeType {
+    fn from_u8(v: u8) -> Result<Self, TlsError> {
+        Ok(match v {
+            1 => HandshakeType::ClientHello,
+            2 => HandshakeType::ServerHello,
+            4 => HandshakeType::NewSessionTicket,
+            8 => HandshakeType::EncryptedExtensions,
+            11 => HandshakeType::Certificate,
+            12 => HandshakeType::ServerKeyExchange,
+            14 => HandshakeType::ServerHelloDone,
+            15 => HandshakeType::CertificateVerify,
+            16 => HandshakeType::ClientKeyExchange,
+            20 => HandshakeType::Finished,
+            _ => return Err(TlsError::Decode("unknown handshake type")),
+        })
+    }
+}
+
+/// The simplified certificate payload: a bare server public key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertPayload {
+    /// RSA public key `(n, e)` as big-endian bytes.
+    Rsa {
+        /// Modulus.
+        n: Vec<u8>,
+        /// Public exponent.
+        e: Vec<u8>,
+    },
+    /// EC public key.
+    Ecdsa {
+        /// IANA curve id.
+        curve: u16,
+        /// X9.62 uncompressed point.
+        point: Vec<u8>,
+    },
+}
+
+/// ClientHello.
+#[derive(Clone, Debug)]
+pub struct ClientHello {
+    /// Highest supported version.
+    pub version: Version,
+    /// Client random.
+    pub random: [u8; sizes::RANDOM_LEN],
+    /// Session id for ID-based resumption (empty = none).
+    pub session_id: Vec<u8>,
+    /// Offered cipher suites.
+    pub suites: Vec<u16>,
+    /// Offered curves (supported-groups extension).
+    pub curves: Vec<u16>,
+    /// Session ticket for ticket-based resumption.
+    pub ticket: Option<Vec<u8>>,
+    /// TLS 1.3 key share: (curve id, public point).
+    pub key_share: Option<(u16, Vec<u8>)>,
+}
+
+/// ServerHello.
+#[derive(Clone, Debug)]
+pub struct ServerHello {
+    /// Selected version.
+    pub version: Version,
+    /// Server random.
+    pub random: [u8; sizes::RANDOM_LEN],
+    /// Echoed/assigned session id.
+    pub session_id: Vec<u8>,
+    /// Selected suite.
+    pub suite: CipherSuite,
+    /// TLS 1.3 key share.
+    pub key_share: Option<(u16, Vec<u8>)>,
+}
+
+/// ServerKeyExchange (TLS 1.2 ECDHE): curve params + ephemeral public +
+/// signature over (client_random || server_random || params).
+#[derive(Clone, Debug)]
+pub struct ServerKeyExchange {
+    /// IANA curve id.
+    pub curve: u16,
+    /// Ephemeral public point.
+    pub public: Vec<u8>,
+    /// Signature (RSA PKCS#1 or fixed-width ECDSA).
+    pub signature: Vec<u8>,
+}
+
+/// ClientKeyExchange: RSA-encrypted premaster, or the client's ECDHE
+/// public point.
+#[derive(Clone, Debug)]
+pub struct ClientKeyExchange {
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Finished.
+#[derive(Clone, Debug)]
+pub struct Finished {
+    /// PRF/HKDF-derived verify data over the transcript.
+    pub verify_data: Vec<u8>,
+}
+
+/// NewSessionTicket.
+#[derive(Clone, Debug)]
+pub struct NewSessionTicket {
+    /// Opaque (encrypted) ticket.
+    pub ticket: Vec<u8>,
+}
+
+/// CertificateVerify (TLS 1.3): signature over the transcript hash.
+#[derive(Clone, Debug)]
+pub struct CertificateVerify {
+    /// Signature bytes.
+    pub signature: Vec<u8>,
+}
+
+/// Any handshake message.
+#[derive(Clone, Debug)]
+pub enum HandshakeMsg {
+    /// ClientHello.
+    ClientHello(ClientHello),
+    /// ServerHello.
+    ServerHello(ServerHello),
+    /// Certificate.
+    Certificate(CertPayload),
+    /// ServerKeyExchange.
+    ServerKeyExchange(ServerKeyExchange),
+    /// ServerHelloDone.
+    ServerHelloDone,
+    /// ClientKeyExchange.
+    ClientKeyExchange(ClientKeyExchange),
+    /// Finished.
+    Finished(Finished),
+    /// NewSessionTicket.
+    NewSessionTicket(NewSessionTicket),
+    /// EncryptedExtensions (TLS 1.3).
+    EncryptedExtensions,
+    /// CertificateVerify (TLS 1.3).
+    CertificateVerify(CertificateVerify),
+}
+
+impl HandshakeMsg {
+    /// The message's type code.
+    pub fn typ(&self) -> HandshakeType {
+        match self {
+            HandshakeMsg::ClientHello(_) => HandshakeType::ClientHello,
+            HandshakeMsg::ServerHello(_) => HandshakeType::ServerHello,
+            HandshakeMsg::Certificate(_) => HandshakeType::Certificate,
+            HandshakeMsg::ServerKeyExchange(_) => HandshakeType::ServerKeyExchange,
+            HandshakeMsg::ServerHelloDone => HandshakeType::ServerHelloDone,
+            HandshakeMsg::ClientKeyExchange(_) => HandshakeType::ClientKeyExchange,
+            HandshakeMsg::Finished(_) => HandshakeType::Finished,
+            HandshakeMsg::NewSessionTicket(_) => HandshakeType::NewSessionTicket,
+            HandshakeMsg::EncryptedExtensions => HandshakeType::EncryptedExtensions,
+            HandshakeMsg::CertificateVerify(_) => HandshakeType::CertificateVerify,
+        }
+    }
+
+    /// Short name for error reporting.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HandshakeMsg::ClientHello(_) => "ClientHello",
+            HandshakeMsg::ServerHello(_) => "ServerHello",
+            HandshakeMsg::Certificate(_) => "Certificate",
+            HandshakeMsg::ServerKeyExchange(_) => "ServerKeyExchange",
+            HandshakeMsg::ServerHelloDone => "ServerHelloDone",
+            HandshakeMsg::ClientKeyExchange(_) => "ClientKeyExchange",
+            HandshakeMsg::Finished(_) => "Finished",
+            HandshakeMsg::NewSessionTicket(_) => "NewSessionTicket",
+            HandshakeMsg::EncryptedExtensions => "EncryptedExtensions",
+            HandshakeMsg::CertificateVerify(_) => "CertificateVerify",
+        }
+    }
+
+    /// Encode with the 4-byte handshake header (type + u24 length).
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut out = Vec::with_capacity(4 + body.len());
+        put_u8(&mut out, self.typ() as u8);
+        put_u24(&mut out, body.len());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn encode_body(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            HandshakeMsg::ClientHello(ch) => {
+                put_u16(&mut b, ch.version.wire());
+                b.extend_from_slice(&ch.random);
+                put_vec8(&mut b, &ch.session_id);
+                put_u16(&mut b, (ch.suites.len() * 2) as u16);
+                for s in &ch.suites {
+                    put_u16(&mut b, *s);
+                }
+                put_u16(&mut b, (ch.curves.len() * 2) as u16);
+                for c in &ch.curves {
+                    put_u16(&mut b, *c);
+                }
+                match &ch.ticket {
+                    Some(t) => {
+                        put_u8(&mut b, 1);
+                        put_vec16(&mut b, t);
+                    }
+                    None => put_u8(&mut b, 0),
+                }
+                match &ch.key_share {
+                    Some((curve, point)) => {
+                        put_u8(&mut b, 1);
+                        put_u16(&mut b, *curve);
+                        put_vec16(&mut b, point);
+                    }
+                    None => put_u8(&mut b, 0),
+                }
+            }
+            HandshakeMsg::ServerHello(sh) => {
+                put_u16(&mut b, sh.version.wire());
+                b.extend_from_slice(&sh.random);
+                put_vec8(&mut b, &sh.session_id);
+                put_u16(&mut b, sh.suite.wire());
+                match &sh.key_share {
+                    Some((curve, point)) => {
+                        put_u8(&mut b, 1);
+                        put_u16(&mut b, *curve);
+                        put_vec16(&mut b, point);
+                    }
+                    None => put_u8(&mut b, 0),
+                }
+            }
+            HandshakeMsg::Certificate(cert) => match cert {
+                CertPayload::Rsa { n, e } => {
+                    put_u8(&mut b, 0);
+                    put_vec16(&mut b, n);
+                    put_vec16(&mut b, e);
+                }
+                CertPayload::Ecdsa { curve, point } => {
+                    put_u8(&mut b, 1);
+                    put_u16(&mut b, *curve);
+                    put_vec16(&mut b, point);
+                }
+            },
+            HandshakeMsg::ServerKeyExchange(skx) => {
+                put_u16(&mut b, skx.curve);
+                put_vec16(&mut b, &skx.public);
+                put_vec16(&mut b, &skx.signature);
+            }
+            HandshakeMsg::ServerHelloDone | HandshakeMsg::EncryptedExtensions => {}
+            HandshakeMsg::ClientKeyExchange(ckx) => {
+                put_vec16(&mut b, &ckx.payload);
+            }
+            HandshakeMsg::Finished(fin) => {
+                put_vec8(&mut b, &fin.verify_data);
+            }
+            HandshakeMsg::NewSessionTicket(t) => {
+                put_vec16(&mut b, &t.ticket);
+            }
+            HandshakeMsg::CertificateVerify(cv) => {
+                put_vec16(&mut b, &cv.signature);
+            }
+        }
+        b
+    }
+
+    /// Decode one handshake message from `data`, returning it and the
+    /// number of bytes consumed. Returns `Ok(None)` when `data` holds an
+    /// incomplete message.
+    pub fn decode(data: &[u8]) -> Result<Option<(HandshakeMsg, usize)>, TlsError> {
+        if data.len() < 4 {
+            return Ok(None);
+        }
+        let typ = HandshakeType::from_u8(data[0])?;
+        let len = ((data[1] as usize) << 16) | ((data[2] as usize) << 8) | data[3] as usize;
+        if data.len() < 4 + len {
+            return Ok(None);
+        }
+        let mut r = Reader::new(&data[4..4 + len]);
+        let msg = Self::decode_body(typ, &mut r)?;
+        if !r.is_done() {
+            return Err(TlsError::Decode("trailing bytes in handshake message"));
+        }
+        Ok(Some((msg, 4 + len)))
+    }
+
+    fn decode_body(typ: HandshakeType, r: &mut Reader<'_>) -> Result<HandshakeMsg, TlsError> {
+        Ok(match typ {
+            HandshakeType::ClientHello => {
+                let version = Version::from_wire(r.u16()?)
+                    .ok_or(TlsError::Decode("unsupported version"))?;
+                let random: [u8; 32] = r
+                    .take(32)?
+                    .try_into()
+                    .map_err(|_| TlsError::Decode("random"))?;
+                let session_id = r.vec8()?;
+                let n = r.u16()? as usize;
+                if !n.is_multiple_of(2) {
+                    return Err(TlsError::Decode("odd suite list length"));
+                }
+                let mut suites = Vec::with_capacity(n / 2);
+                for _ in 0..n / 2 {
+                    suites.push(r.u16()?);
+                }
+                let n = r.u16()? as usize;
+                if !n.is_multiple_of(2) {
+                    return Err(TlsError::Decode("odd curve list length"));
+                }
+                let mut curves = Vec::with_capacity(n / 2);
+                for _ in 0..n / 2 {
+                    curves.push(r.u16()?);
+                }
+                let ticket = if r.u8()? == 1 { Some(r.vec16()?) } else { None };
+                let key_share = if r.u8()? == 1 {
+                    let curve = r.u16()?;
+                    Some((curve, r.vec16()?))
+                } else {
+                    None
+                };
+                HandshakeMsg::ClientHello(ClientHello {
+                    version,
+                    random,
+                    session_id,
+                    suites,
+                    curves,
+                    ticket,
+                    key_share,
+                })
+            }
+            HandshakeType::ServerHello => {
+                let version = Version::from_wire(r.u16()?)
+                    .ok_or(TlsError::Decode("unsupported version"))?;
+                let random: [u8; 32] = r
+                    .take(32)?
+                    .try_into()
+                    .map_err(|_| TlsError::Decode("random"))?;
+                let session_id = r.vec8()?;
+                let suite = CipherSuite::from_wire(r.u16()?)
+                    .ok_or(TlsError::Decode("unknown suite"))?;
+                let key_share = if r.u8()? == 1 {
+                    let curve = r.u16()?;
+                    Some((curve, r.vec16()?))
+                } else {
+                    None
+                };
+                HandshakeMsg::ServerHello(ServerHello {
+                    version,
+                    random,
+                    session_id,
+                    suite,
+                    key_share,
+                })
+            }
+            HandshakeType::Certificate => {
+                let kind = r.u8()?;
+                match kind {
+                    0 => HandshakeMsg::Certificate(CertPayload::Rsa {
+                        n: r.vec16()?,
+                        e: r.vec16()?,
+                    }),
+                    1 => {
+                        let curve = r.u16()?;
+                        HandshakeMsg::Certificate(CertPayload::Ecdsa {
+                            curve,
+                            point: r.vec16()?,
+                        })
+                    }
+                    _ => return Err(TlsError::Decode("unknown certificate kind")),
+                }
+            }
+            HandshakeType::ServerKeyExchange => {
+                HandshakeMsg::ServerKeyExchange(ServerKeyExchange {
+                    curve: r.u16()?,
+                    public: r.vec16()?,
+                    signature: r.vec16()?,
+                })
+            }
+            HandshakeType::ServerHelloDone => HandshakeMsg::ServerHelloDone,
+            HandshakeType::EncryptedExtensions => HandshakeMsg::EncryptedExtensions,
+            HandshakeType::ClientKeyExchange => HandshakeMsg::ClientKeyExchange(
+                ClientKeyExchange {
+                    payload: r.vec16()?,
+                },
+            ),
+            HandshakeType::Finished => HandshakeMsg::Finished(Finished {
+                verify_data: r.vec8()?,
+            }),
+            HandshakeType::NewSessionTicket => {
+                HandshakeMsg::NewSessionTicket(NewSessionTicket { ticket: r.vec16()? })
+            }
+            HandshakeType::CertificateVerify => {
+                HandshakeMsg::CertificateVerify(CertificateVerify {
+                    signature: r.vec16()?,
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: HandshakeMsg) -> HandshakeMsg {
+        let enc = msg.encode();
+        let (dec, used) = HandshakeMsg::decode(&enc).unwrap().unwrap();
+        assert_eq!(used, enc.len());
+        dec
+    }
+
+    #[test]
+    fn client_hello_roundtrip() {
+        let ch = HandshakeMsg::ClientHello(ClientHello {
+            version: Version::Tls12,
+            random: [7u8; 32],
+            session_id: vec![1, 2, 3],
+            suites: vec![0x002f, 0xc013],
+            curves: vec![23, 24],
+            ticket: Some(vec![9; 40]),
+            key_share: None,
+        });
+        match roundtrip(ch) {
+            HandshakeMsg::ClientHello(d) => {
+                assert_eq!(d.version, Version::Tls12);
+                assert_eq!(d.random, [7u8; 32]);
+                assert_eq!(d.session_id, vec![1, 2, 3]);
+                assert_eq!(d.suites, vec![0x002f, 0xc013]);
+                assert_eq!(d.curves, vec![23, 24]);
+                assert_eq!(d.ticket, Some(vec![9; 40]));
+                assert!(d.key_share.is_none());
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_hello_with_key_share() {
+        let sh = HandshakeMsg::ServerHello(ServerHello {
+            version: Version::Tls13,
+            random: [3u8; 32],
+            session_id: vec![],
+            suite: CipherSuite::EcdheRsa,
+            key_share: Some((23, vec![4; 65])),
+        });
+        match roundtrip(sh) {
+            HandshakeMsg::ServerHello(d) => {
+                assert_eq!(d.version, Version::Tls13);
+                assert_eq!(d.key_share, Some((23, vec![4; 65])));
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_body_messages() {
+        for msg in [HandshakeMsg::ServerHelloDone, HandshakeMsg::EncryptedExtensions] {
+            let enc = msg.encode();
+            assert_eq!(enc.len(), 4);
+            let (dec, _) = HandshakeMsg::decode(&enc).unwrap().unwrap();
+            assert_eq!(dec.typ(), msg.typ());
+        }
+    }
+
+    #[test]
+    fn certificate_variants() {
+        let rsa = HandshakeMsg::Certificate(CertPayload::Rsa {
+            n: vec![1; 256],
+            e: vec![1, 0, 1],
+        });
+        match roundtrip(rsa) {
+            HandshakeMsg::Certificate(CertPayload::Rsa { n, e }) => {
+                assert_eq!(n.len(), 256);
+                assert_eq!(e, vec![1, 0, 1]);
+            }
+            other => panic!("{other:?}"),
+        }
+        let ec = HandshakeMsg::Certificate(CertPayload::Ecdsa {
+            curve: 23,
+            point: vec![4; 65],
+        });
+        match roundtrip(ec) {
+            HandshakeMsg::Certificate(CertPayload::Ecdsa { curve, point }) => {
+                assert_eq!(curve, 23);
+                assert_eq!(point.len(), 65);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_returns_none() {
+        let fin = HandshakeMsg::Finished(Finished {
+            verify_data: vec![0xaa; 12],
+        })
+        .encode();
+        for cut in 0..fin.len() {
+            assert!(HandshakeMsg::decode(&fin[..cut]).unwrap().is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_type_rejected() {
+        assert!(HandshakeMsg::decode(&[99, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut enc = HandshakeMsg::ServerHelloDone.encode();
+        enc[3] = 2; // claim 2 body bytes
+        enc.extend_from_slice(&[0, 0]);
+        assert!(HandshakeMsg::decode(&enc).is_err());
+    }
+}

@@ -1,0 +1,477 @@
+//! The crypto provider: routes TLS crypto operations either to the
+//! software substrate (the paper's `SW` configuration) or to the QAT
+//! engine (blocking or async per [`qtls_core::EngineMode`]).
+//!
+//! Every call is counted per class, which is how the Table 1 operation
+//! counts are verified by test, and which algorithms are offloaded is
+//! configurable — mirroring the artifact's SSL Engine Framework
+//! (`default_algorithm RSA,EC,DH,PKEY_CRYPTO`, `qat_offload_mode`, ...).
+
+use crate::error::TlsError;
+use qtls_core::OffloadEngine;
+use qtls_crypto::bn::Bn;
+use qtls_crypto::ecc::{self, NamedCurve};
+use qtls_crypto::kdf;
+use qtls_crypto::rsa::RsaPrivateKey;
+use qtls_crypto::{aes, hmac::Hmac, sha1::Sha1, CryptoError, TestRng};
+use qtls_qat::{CryptoOp, CryptoOutput};
+use std::sync::Arc;
+
+/// Per-connection crypto operation counters (Table 1 verification).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// RSA private-key operations.
+    pub rsa: u32,
+    /// ECC operations (keygen, derive, sign).
+    pub ecc: u32,
+    /// TLS 1.2 PRF invocations.
+    pub prf: u32,
+    /// HKDF invocations (extract or expand; TLS 1.3).
+    pub hkdf: u32,
+    /// Record cipher operations.
+    pub cipher: u32,
+}
+
+/// Which offloadable classes actually go to the accelerator (the
+/// `default_algorithm` directive of the artifact's engine framework).
+#[derive(Clone, Copy, Debug)]
+pub struct OffloadSelection {
+    /// Offload RSA/ECC.
+    pub asym: bool,
+    /// Offload the TLS 1.2 PRF.
+    pub prf: bool,
+    /// Offload record encryption/decryption.
+    pub cipher: bool,
+}
+
+impl Default for OffloadSelection {
+    fn default() -> Self {
+        OffloadSelection {
+            asym: true,
+            prf: true,
+            cipher: true,
+        }
+    }
+}
+
+/// The provider held by each TLS session.
+#[derive(Clone)]
+pub enum CryptoProvider {
+    /// Compute everything on the CPU (`SW`).
+    Software,
+    /// Offload selected classes through the QAT engine. Whether a call
+    /// blocks (straight offload) or pauses the current job (async) is the
+    /// engine's mode.
+    Offload {
+        /// The per-worker offload engine.
+        engine: Arc<OffloadEngine>,
+        /// Class selection.
+        selection: OffloadSelection,
+    },
+}
+
+impl CryptoProvider {
+    /// An offloading provider with the default selection.
+    pub fn offload(engine: Arc<OffloadEngine>) -> Self {
+        CryptoProvider::Offload {
+            engine,
+            selection: OffloadSelection::default(),
+        }
+    }
+
+    fn engine_for(&self, want: impl Fn(&OffloadSelection) -> bool) -> Option<&Arc<OffloadEngine>> {
+        match self {
+            CryptoProvider::Software => None,
+            CryptoProvider::Offload { engine, selection } => {
+                want(selection).then_some(engine)
+            }
+        }
+    }
+
+    fn run(engine: &OffloadEngine, op: CryptoOp) -> Result<CryptoOutput, TlsError> {
+        engine.offload(op).map_err(TlsError::Crypto)
+    }
+
+    /// RSA PKCS#1 v1.5 signature (SHA-256).
+    pub fn rsa_sign(
+        &self,
+        counters: &mut OpCounters,
+        key: &Arc<RsaPrivateKey>,
+        msg: &[u8],
+    ) -> Result<Vec<u8>, TlsError> {
+        counters.rsa += 1;
+        match self.engine_for(|s| s.asym) {
+            Some(engine) => Ok(Self::run(
+                engine,
+                CryptoOp::RsaSign {
+                    key: Arc::clone(key),
+                    msg: msg.to_vec(),
+                },
+            )?
+            .into_bytes()),
+            None => key.sign_pkcs1_sha256(msg).map_err(TlsError::Crypto),
+        }
+    }
+
+    /// RSA PKCS#1 v1.5 decryption of the premaster secret.
+    pub fn rsa_decrypt(
+        &self,
+        counters: &mut OpCounters,
+        key: &Arc<RsaPrivateKey>,
+        ciphertext: &[u8],
+    ) -> Result<Vec<u8>, TlsError> {
+        counters.rsa += 1;
+        match self.engine_for(|s| s.asym) {
+            Some(engine) => Ok(Self::run(
+                engine,
+                CryptoOp::RsaDecrypt {
+                    key: Arc::clone(key),
+                    ciphertext: ciphertext.to_vec(),
+                },
+            )?
+            .into_bytes()),
+            None => key.decrypt_pkcs1(ciphertext).map_err(TlsError::Crypto),
+        }
+    }
+
+    /// ECDSA signature (SHA-256) with a deterministic nonce seed.
+    pub fn ecdsa_sign(
+        &self,
+        counters: &mut OpCounters,
+        curve: NamedCurve,
+        key: &Arc<Bn>,
+        msg: &[u8],
+        nonce_seed: u64,
+    ) -> Result<Vec<u8>, TlsError> {
+        counters.ecc += 1;
+        match self.engine_for(|s| s.asym) {
+            Some(engine) => Ok(Self::run(
+                engine,
+                CryptoOp::EcdsaSign {
+                    curve,
+                    key: Arc::clone(key),
+                    msg: msg.to_vec(),
+                    nonce_seed,
+                },
+            )?
+            .into_bytes()),
+            None => {
+                let mut rng = TestRng::new(nonce_seed);
+                let sig = ecc::ecdsa_sign(curve, key, msg, &mut rng);
+                Ok(sig.to_bytes(curve))
+            }
+        }
+    }
+
+    /// Ephemeral EC key generation; returns (private scalar, encoded
+    /// public point).
+    pub fn ec_keygen(
+        &self,
+        counters: &mut OpCounters,
+        curve: NamedCurve,
+        seed: u64,
+    ) -> Result<(Bn, Vec<u8>), TlsError> {
+        counters.ecc += 1;
+        match self.engine_for(|s| s.asym) {
+            Some(engine) => {
+                match Self::run(engine, CryptoOp::EcKeygen { curve, seed })? {
+                    CryptoOutput::KeyPair { private, public } => Ok((private, public)),
+                    CryptoOutput::Bytes(_) => Err(TlsError::Crypto(CryptoError::InvalidPoint)),
+                }
+            }
+            None => {
+                let mut rng = TestRng::new(seed);
+                let kp = ecc::generate_keypair(curve, &mut rng);
+                Ok((kp.private, ecc::encode_point(curve, &kp.public)))
+            }
+        }
+    }
+
+    /// ECDH shared-secret derivation.
+    pub fn ecdh(
+        &self,
+        counters: &mut OpCounters,
+        curve: NamedCurve,
+        private: &Bn,
+        peer: &[u8],
+    ) -> Result<Vec<u8>, TlsError> {
+        counters.ecc += 1;
+        match self.engine_for(|s| s.asym) {
+            Some(engine) => Ok(Self::run(
+                engine,
+                CryptoOp::EcdhDerive {
+                    curve,
+                    private: private.clone(),
+                    peer: peer.to_vec(),
+                },
+            )?
+            .into_bytes()),
+            None => {
+                let pt = ecc::decode_point(curve, peer).map_err(TlsError::Crypto)?;
+                ecc::ecdh(curve, private, &pt).map_err(TlsError::Crypto)
+            }
+        }
+    }
+
+    /// TLS 1.2 PRF (offloadable).
+    pub fn prf(
+        &self,
+        counters: &mut OpCounters,
+        secret: &[u8],
+        label: &[u8],
+        seed: &[u8],
+        out_len: usize,
+    ) -> Result<Vec<u8>, TlsError> {
+        counters.prf += 1;
+        match self.engine_for(|s| s.prf) {
+            Some(engine) => Ok(Self::run(
+                engine,
+                CryptoOp::Prf {
+                    secret: secret.to_vec(),
+                    label: label.to_vec(),
+                    seed: seed.to_vec(),
+                    out_len,
+                },
+            )?
+            .into_bytes()),
+            None => Ok(kdf::prf_tls12(secret, label, seed, out_len)),
+        }
+    }
+
+    /// HKDF-Extract — **never offloaded**: "the TLS 1.3 protocol
+    /// introduces a new key derivation function named HKDF, which cannot
+    /// be offloaded through the QAT Engine currently" (§5.2).
+    pub fn hkdf_extract(&self, counters: &mut OpCounters, salt: &[u8], ikm: &[u8]) -> Vec<u8> {
+        counters.hkdf += 1;
+        kdf::hkdf_extract::<qtls_crypto::sha256::Sha256>(salt, ikm)
+    }
+
+    /// HKDF-Expand-Label — never offloaded (see [`Self::hkdf_extract`]).
+    pub fn hkdf_expand_label(
+        &self,
+        counters: &mut OpCounters,
+        secret: &[u8],
+        label: &[u8],
+        context: &[u8],
+        out_len: usize,
+    ) -> Vec<u8> {
+        counters.hkdf += 1;
+        kdf::hkdf_expand_label(secret, label, context, out_len)
+    }
+
+    /// Record protection: MAC-then-encrypt with AES-128-CBC + HMAC-SHA1.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cipher_encrypt(
+        &self,
+        counters: &mut OpCounters,
+        enc_key: [u8; 16],
+        mac_key: &[u8],
+        iv: [u8; 16],
+        plaintext: &[u8],
+        aad: &[u8],
+    ) -> Result<Vec<u8>, TlsError> {
+        counters.cipher += 1;
+        match self.engine_for(|s| s.cipher) {
+            Some(engine) => Ok(Self::run(
+                engine,
+                CryptoOp::CipherEncrypt {
+                    enc_key,
+                    mac_key: mac_key.to_vec(),
+                    iv,
+                    plaintext: plaintext.to_vec(),
+                    aad: aad.to_vec(),
+                },
+            )?
+            .into_bytes()),
+            None => software_encrypt(enc_key, mac_key, iv, plaintext, aad).map_err(TlsError::Crypto),
+        }
+    }
+
+    /// Record decryption + MAC verification.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cipher_decrypt(
+        &self,
+        counters: &mut OpCounters,
+        enc_key: [u8; 16],
+        mac_key: &[u8],
+        iv: [u8; 16],
+        ciphertext: &[u8],
+        aad: &[u8],
+    ) -> Result<Vec<u8>, TlsError> {
+        counters.cipher += 1;
+        match self.engine_for(|s| s.cipher) {
+            Some(engine) => Ok(Self::run(
+                engine,
+                CryptoOp::CipherDecrypt {
+                    enc_key,
+                    mac_key: mac_key.to_vec(),
+                    iv,
+                    ciphertext: ciphertext.to_vec(),
+                    aad: aad.to_vec(),
+                },
+            )?
+            .into_bytes()),
+            None => software_decrypt(enc_key, mac_key, iv, ciphertext, aad).map_err(TlsError::Crypto),
+        }
+    }
+}
+
+/// Software record encryption (shared with the QAT engine's real-compute
+/// implementation — see `qtls_qat::request::execute`).
+pub fn software_encrypt(
+    enc_key: [u8; 16],
+    mac_key: &[u8],
+    iv: [u8; 16],
+    plaintext: &[u8],
+    aad: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    let mut mac = Hmac::<Sha1>::new(mac_key);
+    mac.update(aad);
+    mac.update(plaintext);
+    let tag = mac.finalize();
+    let mut padded = Vec::with_capacity(plaintext.len() + tag.len() + 16);
+    padded.extend_from_slice(plaintext);
+    padded.extend_from_slice(&tag);
+    let pad_len = 16 - (padded.len() % 16);
+    padded.extend(std::iter::repeat_n((pad_len - 1) as u8, pad_len));
+    let cipher = aes::Aes128::new(&enc_key);
+    aes::cbc_encrypt(&cipher, &iv, &padded)
+}
+
+/// Software record decryption + MAC verification.
+pub fn software_decrypt(
+    enc_key: [u8; 16],
+    mac_key: &[u8],
+    iv: [u8; 16],
+    ciphertext: &[u8],
+    aad: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    let cipher = aes::Aes128::new(&enc_key);
+    let padded = aes::cbc_decrypt(&cipher, &iv, ciphertext)?;
+    if padded.is_empty() {
+        return Err(CryptoError::BadPadding);
+    }
+    let pad_len = *padded.last().unwrap() as usize + 1;
+    if pad_len > padded.len()
+        || padded[padded.len() - pad_len..]
+            .iter()
+            .any(|&b| b as usize != pad_len - 1)
+    {
+        return Err(CryptoError::BadPadding);
+    }
+    let content_and_tag = &padded[..padded.len() - pad_len];
+    if content_and_tag.len() < 20 {
+        return Err(CryptoError::BadMac);
+    }
+    let (content, tag) = content_and_tag.split_at(content_and_tag.len() - 20);
+    let mut mac = Hmac::<Sha1>::new(mac_key);
+    mac.update(aad);
+    mac.update(content);
+    if !qtls_crypto::hmac::constant_time_eq(&mac.finalize(), tag) {
+        return Err(CryptoError::BadMac);
+    }
+    Ok(content.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtls_crypto::test_keys::test_rsa_1024;
+
+    #[test]
+    fn software_counts_ops() {
+        let p = CryptoProvider::Software;
+        let mut c = OpCounters::default();
+        let key = Arc::new(test_rsa_1024().clone());
+        p.rsa_sign(&mut c, &key, b"m").unwrap();
+        p.prf(&mut c, b"s", b"l", b"x", 16).unwrap();
+        p.hkdf_extract(&mut c, b"", b"ikm");
+        let (_, _) = p.ec_keygen(&mut c, NamedCurve::P256, 7).unwrap();
+        assert_eq!(
+            c,
+            OpCounters {
+                rsa: 1,
+                ecc: 1,
+                prf: 1,
+                hkdf: 1,
+                cipher: 0
+            }
+        );
+    }
+
+    #[test]
+    fn software_cipher_roundtrip_via_provider() {
+        let p = CryptoProvider::Software;
+        let mut c = OpCounters::default();
+        let ct = p
+            .cipher_encrypt(&mut c, [1; 16], &[2; 20], [3; 16], b"data", b"aad")
+            .unwrap();
+        let pt = p
+            .cipher_decrypt(&mut c, [1; 16], &[2; 20], [3; 16], &ct, b"aad")
+            .unwrap();
+        assert_eq!(pt, b"data");
+        assert_eq!(c.cipher, 2);
+    }
+
+    #[test]
+    fn software_matches_engine_execute() {
+        // The provider's software cipher must be byte-identical to the
+        // QAT real-compute implementation (they protect the same records).
+        let sw = software_encrypt([1; 16], &[2; 20], [3; 16], b"hello world", b"hdr").unwrap();
+        let qat = qtls_qat::request::execute(&CryptoOp::CipherEncrypt {
+            enc_key: [1; 16],
+            mac_key: vec![2; 20],
+            iv: [3; 16],
+            plaintext: b"hello world".to_vec(),
+            aad: b"hdr".to_vec(),
+        })
+        .unwrap()
+        .into_bytes();
+        assert_eq!(sw, qat);
+    }
+
+    #[test]
+    fn ecdh_agreement_via_provider() {
+        let p = CryptoProvider::Software;
+        let mut c = OpCounters::default();
+        let (priv_a, pub_a) = p.ec_keygen(&mut c, NamedCurve::P256, 1).unwrap();
+        let (priv_b, pub_b) = p.ec_keygen(&mut c, NamedCurve::P256, 2).unwrap();
+        let s1 = p.ecdh(&mut c, NamedCurve::P256, &priv_a, &pub_b).unwrap();
+        let s2 = p.ecdh(&mut c, NamedCurve::P256, &priv_b, &pub_a).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(c.ecc, 4);
+    }
+
+    #[test]
+    fn offload_provider_blocking_mode() {
+        use qtls_core::{EngineMode, OffloadEngine};
+        use qtls_qat::{QatConfig, QatDevice};
+        let dev = QatDevice::new(QatConfig::functional_small());
+        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Blocking));
+        let p = CryptoProvider::offload(engine);
+        let mut c = OpCounters::default();
+        let out = p.prf(&mut c, b"s", b"master secret", b"r", 48).unwrap();
+        assert_eq!(out, kdf::prf_tls12(b"s", b"master secret", b"r", 48));
+        assert_eq!(c.prf, 1);
+    }
+
+    #[test]
+    fn selection_keeps_unselected_classes_on_cpu() {
+        use qtls_core::{EngineMode, OffloadEngine};
+        use qtls_qat::{QatConfig, QatDevice};
+        let dev = QatDevice::new(QatConfig::functional_small());
+        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Blocking));
+        let p = CryptoProvider::Offload {
+            engine: Arc::clone(&engine),
+            selection: OffloadSelection {
+                asym: true,
+                prf: false,
+                cipher: false,
+            },
+        };
+        let mut c = OpCounters::default();
+        p.prf(&mut c, b"s", b"l", b"x", 4).unwrap();
+        // PRF stayed on the CPU: nothing went through the device.
+        assert_eq!(dev.fw_counters().total_completed(), 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Session resumption state: the server-side session-ID cache and
+//! self-encrypted session tickets (§2.1 "Session resumption").
+//!
+//! Real deployments restrict the lifetime of IDs/tickets to bound the
+//! forward-secrecy exposure; the cache enforces a configurable lifetime
+//! and capacity.
+
+use crate::suite::CipherSuite;
+use parking_lot::Mutex;
+use qtls_crypto::{aes, hmac::Hmac, sha256::Sha256, EntropySource};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// What resumption restores.
+#[derive(Clone, Debug)]
+pub struct SessionEntry {
+    /// The negotiated master secret.
+    pub master: Vec<u8>,
+    /// The suite of the original session.
+    pub suite: CipherSuite,
+}
+
+struct CacheInner {
+    map: HashMap<Vec<u8>, (SessionEntry, Instant)>,
+    insertion_order: Vec<Vec<u8>>,
+}
+
+/// A bounded, lifetime-limited session-ID cache.
+pub struct SessionCache {
+    inner: Mutex<CacheInner>,
+    lifetime: Duration,
+    capacity: usize,
+}
+
+impl SessionCache {
+    /// Create with `capacity` entries and `lifetime` per entry.
+    pub fn new(capacity: usize, lifetime: Duration) -> Self {
+        SessionCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                insertion_order: Vec::new(),
+            }),
+            lifetime,
+            capacity,
+        }
+    }
+
+    /// Store a session under `id`.
+    pub fn put(&self, id: Vec<u8>, entry: SessionEntry) {
+        let mut inner = self.inner.lock();
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&id) {
+            // Evict oldest.
+            if let Some(oldest) = inner.insertion_order.first().cloned() {
+                inner.map.remove(&oldest);
+                inner.insertion_order.remove(0);
+            }
+        }
+        if inner.map.insert(id.clone(), (entry, Instant::now())).is_none() {
+            inner.insertion_order.push(id);
+        }
+    }
+
+    /// Look up a session (respecting lifetime).
+    pub fn get(&self, id: &[u8]) -> Option<SessionEntry> {
+        let inner = self.inner.lock();
+        let (entry, at) = inner.map.get(id)?;
+        if at.elapsed() > self.lifetime {
+            return None;
+        }
+        Some(entry.clone())
+    }
+
+    /// Number of live entries (including possibly-expired ones).
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SessionCache {
+    fn default() -> Self {
+        // Paper: lifetimes are "generally less than an hour".
+        SessionCache::new(100_000, Duration::from_secs(3600))
+    }
+}
+
+/// Server ticket protection keys (AES-128-CBC + HMAC-SHA256).
+#[derive(Clone)]
+pub struct TicketKeys {
+    enc_key: [u8; 16],
+    mac_key: [u8; 32],
+}
+
+impl TicketKeys {
+    /// Generate fresh random keys.
+    pub fn generate<R: EntropySource>(rng: &mut R) -> Self {
+        let mut enc_key = [0u8; 16];
+        let mut mac_key = [0u8; 32];
+        rng.fill(&mut enc_key);
+        rng.fill(&mut mac_key);
+        TicketKeys { enc_key, mac_key }
+    }
+
+    /// Seal a session into an opaque ticket: `iv || ct || mac`.
+    pub fn seal<R: EntropySource>(&self, entry: &SessionEntry, rng: &mut R) -> Vec<u8> {
+        let mut plaintext = Vec::with_capacity(entry.master.len() + 3);
+        plaintext.extend_from_slice(&entry.suite.wire().to_be_bytes());
+        plaintext.push(entry.master.len() as u8);
+        plaintext.extend_from_slice(&entry.master);
+        // Pad to block size.
+        let pad = 16 - plaintext.len() % 16;
+        plaintext.extend(std::iter::repeat_n(pad as u8, pad));
+        let mut iv = [0u8; 16];
+        rng.fill(&mut iv);
+        let cipher = aes::Aes128::new(&self.enc_key);
+        let ct = aes::cbc_encrypt(&cipher, &iv, &plaintext).expect("padded");
+        let mut out = Vec::with_capacity(16 + ct.len() + 32);
+        out.extend_from_slice(&iv);
+        out.extend_from_slice(&ct);
+        let mac = Hmac::<Sha256>::mac(&self.mac_key, &out);
+        out.extend_from_slice(&mac);
+        out
+    }
+
+    /// Open a ticket, returning the session if authentic.
+    pub fn open(&self, ticket: &[u8]) -> Option<SessionEntry> {
+        if ticket.len() < 16 + 16 + 32 {
+            return None;
+        }
+        let (body, mac) = ticket.split_at(ticket.len() - 32);
+        if !Hmac::<Sha256>::verify(&self.mac_key, body, mac) {
+            return None;
+        }
+        let iv: [u8; 16] = body[..16].try_into().ok()?;
+        let cipher = aes::Aes128::new(&self.enc_key);
+        let pt = aes::cbc_decrypt(&cipher, &iv, &body[16..]).ok()?;
+        let pad = *pt.last()? as usize;
+        if pad == 0 || pad > 16 || pad >= pt.len() {
+            return None;
+        }
+        let pt = &pt[..pt.len() - pad];
+        if pt.len() < 3 {
+            return None;
+        }
+        let suite = CipherSuite::from_wire(u16::from_be_bytes([pt[0], pt[1]]))?;
+        let mlen = pt[2] as usize;
+        if pt.len() != 3 + mlen {
+            return None;
+        }
+        Some(SessionEntry {
+            master: pt[3..].to_vec(),
+            suite,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtls_crypto::TestRng;
+
+    fn entry() -> SessionEntry {
+        SessionEntry {
+            master: vec![0x42; 48],
+            suite: CipherSuite::EcdheRsa,
+        }
+    }
+
+    #[test]
+    fn cache_put_get() {
+        let cache = SessionCache::new(10, Duration::from_secs(60));
+        cache.put(vec![1, 2, 3], entry());
+        let got = cache.get(&[1, 2, 3]).unwrap();
+        assert_eq!(got.master, vec![0x42; 48]);
+        assert!(cache.get(&[9, 9]).is_none());
+    }
+
+    #[test]
+    fn cache_lifetime_expires() {
+        let cache = SessionCache::new(10, Duration::from_millis(5));
+        cache.put(vec![1], entry());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(cache.get(&[1]).is_none());
+    }
+
+    #[test]
+    fn cache_eviction_at_capacity() {
+        let cache = SessionCache::new(2, Duration::from_secs(60));
+        cache.put(vec![1], entry());
+        cache.put(vec![2], entry());
+        cache.put(vec![3], entry());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&[1]).is_none(), "oldest evicted");
+        assert!(cache.get(&[3]).is_some());
+    }
+
+    #[test]
+    fn ticket_seal_open_roundtrip() {
+        let mut rng = TestRng::new(3);
+        let keys = TicketKeys::generate(&mut rng);
+        let ticket = keys.seal(&entry(), &mut rng);
+        let opened = keys.open(&ticket).unwrap();
+        assert_eq!(opened.master, entry().master);
+        assert_eq!(opened.suite, CipherSuite::EcdheRsa);
+    }
+
+    #[test]
+    fn ticket_tamper_rejected() {
+        let mut rng = TestRng::new(4);
+        let keys = TicketKeys::generate(&mut rng);
+        let mut ticket = keys.seal(&entry(), &mut rng);
+        let n = ticket.len();
+        ticket[n / 2] ^= 1;
+        assert!(keys.open(&ticket).is_none());
+        assert!(keys.open(&[]).is_none());
+    }
+
+    #[test]
+    fn ticket_wrong_key_rejected() {
+        let mut rng = TestRng::new(5);
+        let k1 = TicketKeys::generate(&mut rng);
+        let k2 = TicketKeys::generate(&mut rng);
+        let ticket = k1.seal(&entry(), &mut rng);
+        assert!(k2.open(&ticket).is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! Cipher suites and protocol versions covered by the paper's evaluation.
+
+use qtls_crypto::ecc::NamedCurve;
+
+/// Protocol version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Version {
+    /// TLS 1.2 (RFC 5246).
+    Tls12,
+    /// TLS 1.3 (RFC 8446) — simplified 1-RTT handshake.
+    Tls13,
+}
+
+impl Version {
+    /// Wire codepoint.
+    pub fn wire(&self) -> u16 {
+        match self {
+            Version::Tls12 => 0x0303,
+            Version::Tls13 => 0x0304,
+        }
+    }
+
+    /// Parse the wire codepoint.
+    pub fn from_wire(v: u16) -> Option<Self> {
+        match v {
+            0x0303 => Some(Version::Tls12),
+            0x0304 => Some(Version::Tls13),
+            _ => None,
+        }
+    }
+}
+
+/// Key-exchange algorithm of a suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KeyExchange {
+    /// RSA-wrapped premaster (classic TLS-RSA, Fig. 1).
+    Rsa,
+    /// Ephemeral elliptic-curve Diffie–Hellman.
+    Ecdhe,
+}
+
+/// Server authentication algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Auth {
+    /// RSA signature / RSA decryption capability.
+    Rsa,
+    /// ECDSA signature.
+    Ecdsa,
+}
+
+/// The cipher suites of the paper's evaluation (record protection is
+/// AES-128-CBC + HMAC-SHA1 throughout, i.e. the AES128-SHA family).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CipherSuite {
+    /// TLS_RSA_WITH_AES_128_CBC_SHA ("TLS-RSA").
+    TlsRsa,
+    /// TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA ("ECDHE-RSA").
+    EcdheRsa,
+    /// TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA ("ECDHE-ECDSA").
+    EcdheEcdsa,
+}
+
+impl CipherSuite {
+    /// All evaluated suites.
+    pub const ALL: [CipherSuite; 3] = [
+        CipherSuite::TlsRsa,
+        CipherSuite::EcdheRsa,
+        CipherSuite::EcdheEcdsa,
+    ];
+
+    /// Wire codepoint (real IANA values).
+    pub fn wire(&self) -> u16 {
+        match self {
+            CipherSuite::TlsRsa => 0x002f,      // TLS_RSA_WITH_AES_128_CBC_SHA
+            CipherSuite::EcdheRsa => 0xc013,    // TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA
+            CipherSuite::EcdheEcdsa => 0xc009,  // TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA
+        }
+    }
+
+    /// Parse the wire codepoint.
+    pub fn from_wire(v: u16) -> Option<Self> {
+        match v {
+            0x002f => Some(CipherSuite::TlsRsa),
+            0xc013 => Some(CipherSuite::EcdheRsa),
+            0xc009 => Some(CipherSuite::EcdheEcdsa),
+            _ => None,
+        }
+    }
+
+    /// Key exchange algorithm.
+    pub fn key_exchange(&self) -> KeyExchange {
+        match self {
+            CipherSuite::TlsRsa => KeyExchange::Rsa,
+            CipherSuite::EcdheRsa | CipherSuite::EcdheEcdsa => KeyExchange::Ecdhe,
+        }
+    }
+
+    /// Authentication algorithm.
+    pub fn auth(&self) -> Auth {
+        match self {
+            CipherSuite::TlsRsa | CipherSuite::EcdheRsa => Auth::Rsa,
+            CipherSuite::EcdheEcdsa => Auth::Ecdsa,
+        }
+    }
+
+    /// Paper-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CipherSuite::TlsRsa => "TLS-RSA",
+            CipherSuite::EcdheRsa => "ECDHE-RSA",
+            CipherSuite::EcdheEcdsa => "ECDHE-ECDSA",
+        }
+    }
+}
+
+/// Negotiation parameters offered by the client / accepted by the server.
+#[derive(Clone, Debug)]
+pub struct SuiteConfig {
+    /// The suite.
+    pub suite: CipherSuite,
+    /// Curve for ECDHE (ignored for TLS-RSA).
+    pub curve: NamedCurve,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            suite: CipherSuite::EcdheRsa,
+            curve: NamedCurve::P256,
+        }
+    }
+}
+
+/// Key material sizes for AES-128-CBC + HMAC-SHA1.
+pub mod sizes {
+    /// MAC key bytes (HMAC-SHA1).
+    pub const MAC_KEY_LEN: usize = 20;
+    /// Cipher key bytes (AES-128).
+    pub const ENC_KEY_LEN: usize = 16;
+    /// IV / block bytes.
+    pub const IV_LEN: usize = 16;
+    /// Master secret bytes.
+    pub const MASTER_SECRET_LEN: usize = 48;
+    /// Premaster secret bytes (RSA key exchange).
+    pub const PREMASTER_LEN: usize = 48;
+    /// Finished verify-data bytes.
+    pub const VERIFY_DATA_LEN: usize = 12;
+    /// Client/server random bytes.
+    pub const RANDOM_LEN: usize = 32;
+    /// Key block: 2 MAC keys + 2 cipher keys + 2 IVs.
+    pub const KEY_BLOCK_LEN: usize = 2 * (MAC_KEY_LEN + ENC_KEY_LEN + IV_LEN);
+    /// Maximum plaintext fragment per record (§2.1: 16 KB units).
+    pub const MAX_FRAGMENT: usize = 16 * 1024;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip() {
+        for s in CipherSuite::ALL {
+            assert_eq!(CipherSuite::from_wire(s.wire()), Some(s));
+        }
+        assert_eq!(CipherSuite::from_wire(0xffff), None);
+        for v in [Version::Tls12, Version::Tls13] {
+            assert_eq!(Version::from_wire(v.wire()), Some(v));
+        }
+    }
+
+    #[test]
+    fn suite_structure_matches_table1() {
+        // Table 1's structure: TLS-RSA has RSA kx; ECDHE-RSA has ECDHE kx
+        // with RSA auth; ECDHE-ECDSA is all-EC.
+        assert_eq!(CipherSuite::TlsRsa.key_exchange(), KeyExchange::Rsa);
+        assert_eq!(CipherSuite::TlsRsa.auth(), Auth::Rsa);
+        assert_eq!(CipherSuite::EcdheRsa.key_exchange(), KeyExchange::Ecdhe);
+        assert_eq!(CipherSuite::EcdheRsa.auth(), Auth::Rsa);
+        assert_eq!(CipherSuite::EcdheEcdsa.key_exchange(), KeyExchange::Ecdhe);
+        assert_eq!(CipherSuite::EcdheEcdsa.auth(), Auth::Ecdsa);
+    }
+
+    #[test]
+    fn key_block_len() {
+        assert_eq!(sizes::KEY_BLOCK_LEN, 104);
+    }
+}

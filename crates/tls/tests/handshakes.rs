@@ -1,0 +1,345 @@
+//! End-to-end handshake tests: client and server sessions exchanging
+//! real bytes, with genuine crypto throughout, across the paper's whole
+//! evaluation matrix — plus the Table 1 operation-count verification.
+
+use qtls_crypto::ecc::NamedCurve;
+use qtls_tls::client::{ClientSession, ResumeData};
+use qtls_tls::provider::CryptoProvider;
+use qtls_tls::server::{ServerConfig, ServerSession};
+use qtls_tls::suite::CipherSuite;
+use qtls_tls::tls13::{Tls13ClientSession, Tls13ServerSession};
+
+/// Pump bytes between client and server until neither makes progress.
+fn pump(client: &mut ClientSession, server: &mut ServerSession) {
+    for _ in 0..32 {
+        let c_out = client.take_output();
+        let s_out = server.take_output();
+        if c_out.is_empty() && s_out.is_empty() {
+            break;
+        }
+        if !c_out.is_empty() {
+            server.feed(&c_out);
+            server.process().expect("server process");
+        }
+        if !s_out.is_empty() {
+            client.feed(&s_out);
+            client.process().expect("client process");
+        }
+    }
+}
+
+fn full_handshake(
+    suite: CipherSuite,
+    curve: NamedCurve,
+    seed: u64,
+) -> (ClientSession, ServerSession) {
+    let config = ServerConfig::test_default();
+    let mut server = ServerSession::new(config, CryptoProvider::Software, seed);
+    let mut client = ClientSession::new(CryptoProvider::Software, suite, curve, None, seed + 1);
+    client.start().unwrap();
+    pump(&mut client, &mut server);
+    assert!(server.is_established(), "{suite:?}/{curve:?} server");
+    assert!(client.is_established(), "{suite:?}/{curve:?} client");
+    (client, server)
+}
+
+#[test]
+fn tls_rsa_full_handshake() {
+    let (_, server) = full_handshake(CipherSuite::TlsRsa, NamedCurve::P256, 1);
+    assert!(!server.was_resumed());
+}
+
+#[test]
+fn ecdhe_rsa_full_handshake() {
+    full_handshake(CipherSuite::EcdheRsa, NamedCurve::P256, 2);
+}
+
+#[test]
+fn ecdhe_ecdsa_full_handshake_p256() {
+    full_handshake(CipherSuite::EcdheEcdsa, NamedCurve::P256, 3);
+}
+
+#[test]
+fn ecdhe_handshakes_all_six_curves() {
+    // Fig. 7c's curve matrix: P-256, P-384, B-283, B-409, K-283, K-409.
+    for (i, curve) in NamedCurve::ALL.into_iter().enumerate() {
+        full_handshake(CipherSuite::EcdheEcdsa, curve, 100 + i as u64);
+    }
+}
+
+#[test]
+fn table1_opcounts_tls_rsa() {
+    // Table 1: TLS-RSA full handshake = 1 RSA, 0 ECC, 4 PRF.
+    let (_, server) = full_handshake(CipherSuite::TlsRsa, NamedCurve::P256, 10);
+    assert_eq!(server.counters.rsa, 1, "RSA ops");
+    assert_eq!(server.counters.ecc, 0, "ECC ops");
+    assert_eq!(server.counters.prf, 4, "PRF ops");
+    assert_eq!(server.counters.hkdf, 0);
+}
+
+#[test]
+fn table1_opcounts_ecdhe_rsa() {
+    // Table 1: ECDHE-RSA = 1 RSA, 2 ECC, 4 PRF.
+    let (_, server) = full_handshake(CipherSuite::EcdheRsa, NamedCurve::P256, 11);
+    assert_eq!(server.counters.rsa, 1);
+    assert_eq!(server.counters.ecc, 2);
+    assert_eq!(server.counters.prf, 4);
+}
+
+#[test]
+fn table1_opcounts_ecdhe_ecdsa() {
+    // Table 1: ECDHE-ECDSA = 0 RSA, 3 ECC, 4 PRF.
+    let (_, server) = full_handshake(CipherSuite::EcdheEcdsa, NamedCurve::P256, 12);
+    assert_eq!(server.counters.rsa, 0);
+    assert_eq!(server.counters.ecc, 3);
+    assert_eq!(server.counters.prf, 4);
+}
+
+#[test]
+fn app_data_roundtrip_after_handshake() {
+    let (mut client, mut server) = full_handshake(CipherSuite::EcdheRsa, NamedCurve::P256, 20);
+    client.write_app_data(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    server.feed(&client.take_output());
+    server.process().unwrap();
+    assert_eq!(
+        server.read_app_data().unwrap(),
+        b"GET / HTTP/1.1\r\n\r\n"
+    );
+    let body = vec![0x77u8; 100_000]; // > 16KB: multiple records
+    server.write_app_data(&body).unwrap();
+    client.feed(&server.take_output());
+    client.process().unwrap();
+    let mut got = Vec::new();
+    while let Some(chunk) = client.read_app_data() {
+        got.extend_from_slice(&chunk);
+    }
+    assert_eq!(got, body);
+}
+
+#[test]
+fn session_id_resumption() {
+    let config = ServerConfig::test_default();
+    // First: full handshake.
+    let mut server = ServerSession::new(config.clone(), CryptoProvider::Software, 30);
+    let mut client = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        None,
+        31,
+    );
+    client.start().unwrap();
+    pump(&mut client, &mut server);
+    assert!(client.is_established());
+    let mut resume = client.export_resume_data().unwrap();
+    resume.ticket = None; // force the session-ID path
+    // Second: abbreviated handshake.
+    let mut server2 = ServerSession::new(config, CryptoProvider::Software, 32);
+    let mut client2 = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        Some(resume),
+        33,
+    );
+    client2.start().unwrap();
+    pump(&mut client2, &mut server2);
+    assert!(server2.is_established());
+    assert!(server2.was_resumed(), "server should resume by session ID");
+    assert!(client2.was_resumed());
+    // Abbreviated handshake = PRF only (§2.1 / Fig. 9a).
+    assert_eq!(server2.counters.rsa, 0);
+    assert_eq!(server2.counters.ecc, 0);
+    assert_eq!(server2.counters.prf, 3);
+    // Data still flows.
+    client2.write_app_data(b"resumed!").unwrap();
+    server2.feed(&client2.take_output());
+    server2.process().unwrap();
+    assert_eq!(server2.read_app_data().unwrap(), b"resumed!");
+}
+
+#[test]
+fn ticket_resumption() {
+    let config = ServerConfig::test_default();
+    let mut server = ServerSession::new(config.clone(), CryptoProvider::Software, 40);
+    let mut client = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::TlsRsa,
+        NamedCurve::P256,
+        None,
+        41,
+    );
+    client.start().unwrap();
+    pump(&mut client, &mut server);
+    let mut resume = client.export_resume_data().unwrap();
+    assert!(resume.ticket.is_some(), "server must have issued a ticket");
+    resume.session_id = Vec::new(); // force the ticket path
+    let mut server2 = ServerSession::new(config, CryptoProvider::Software, 42);
+    let mut client2 = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::TlsRsa,
+        NamedCurve::P256,
+        Some(resume),
+        43,
+    );
+    client2.start().unwrap();
+    pump(&mut client2, &mut server2);
+    assert!(server2.is_established());
+    assert!(server2.was_resumed(), "server should resume by ticket");
+    assert_eq!(server2.counters.rsa, 0, "no asym ops on resumption");
+}
+
+#[test]
+fn expired_resumption_falls_back_to_full() {
+    let config = ServerConfig::test_default();
+    // Fabricate resumption data the server has never seen.
+    let resume = ResumeData {
+        session_id: vec![9u8; 32],
+        ticket: None,
+        master: vec![1u8; 48],
+        suite: CipherSuite::EcdheRsa,
+    };
+    let mut server = ServerSession::new(config, CryptoProvider::Software, 50);
+    let mut client = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        Some(resume),
+        51,
+    );
+    client.start().unwrap();
+    pump(&mut client, &mut server);
+    assert!(server.is_established());
+    assert!(!server.was_resumed(), "must fall back to full handshake");
+    assert!(client.is_established());
+    assert!(!client.was_resumed());
+    assert_eq!(server.counters.rsa, 1, "full handshake performed");
+}
+
+#[test]
+fn tls13_handshake_ecdhe_rsa() {
+    let config = ServerConfig::test_default();
+    let mut server = Tls13ServerSession::new(config, CryptoProvider::Software, 60);
+    let mut client = Tls13ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        61,
+    );
+    client.start().unwrap();
+    for _ in 0..16 {
+        let c = client.take_output();
+        let s = server.take_output();
+        if c.is_empty() && s.is_empty() {
+            break;
+        }
+        if !c.is_empty() {
+            server.feed(&c);
+            server.process().unwrap();
+        }
+        if !s.is_empty() {
+            client.feed(&s);
+            client.process().unwrap();
+        }
+    }
+    assert!(server.is_established());
+    assert!(client.is_established());
+    // Table 1 (TLS 1.3 ECDHE-RSA row): 1 RSA, 2 ECC, > 4 HKDF — and the
+    // HKDF ops are NOT offloadable (they count as hkdf, not prf).
+    assert_eq!(server.counters.rsa, 1);
+    assert_eq!(server.counters.ecc, 2);
+    assert_eq!(server.counters.prf, 0);
+    assert!(
+        server.counters.hkdf > 4,
+        "TLS 1.3 needs more than 4 key-derivation ops (got {})",
+        server.counters.hkdf
+    );
+    // App data.
+    client.write_app_data(b"hello 1.3").unwrap();
+    server.feed(&client.take_output());
+    server.process().unwrap();
+    assert_eq!(server.read_app_data().unwrap(), b"hello 1.3");
+    server.write_app_data(b"hi back").unwrap();
+    client.feed(&server.take_output());
+    client.process().unwrap();
+    assert_eq!(client.read_app_data().unwrap(), b"hi back");
+}
+
+#[test]
+fn tls13_handshake_ecdhe_ecdsa() {
+    let config = ServerConfig::test_default();
+    let mut server = Tls13ServerSession::new(config, CryptoProvider::Software, 70);
+    let mut client = Tls13ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheEcdsa,
+        NamedCurve::P256,
+        71,
+    );
+    client.start().unwrap();
+    for _ in 0..16 {
+        let c = client.take_output();
+        let s = server.take_output();
+        if c.is_empty() && s.is_empty() {
+            break;
+        }
+        if !c.is_empty() {
+            server.feed(&c);
+            server.process().unwrap();
+        }
+        if !s.is_empty() {
+            client.feed(&s);
+            client.process().unwrap();
+        }
+    }
+    assert!(server.is_established() && client.is_established());
+    assert_eq!(server.counters.rsa, 0);
+    assert_eq!(server.counters.ecc, 3, "keygen + derive + ECDSA sign");
+}
+
+#[test]
+fn handshake_via_offload_engine_blocking() {
+    // The same handshake, but every server crypto op travels through the
+    // QAT device model (straight offload) — results must be identical in
+    // effect: the handshake completes and data flows.
+    use qtls_core::{EngineMode, OffloadEngine};
+    use qtls_qat::{QatConfig, QatDevice};
+    use std::sync::Arc;
+    let dev = QatDevice::new(QatConfig::functional_small());
+    let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Blocking));
+    let provider = CryptoProvider::offload(engine);
+    let config = ServerConfig::test_default();
+    let mut server = ServerSession::new(config, provider, 80);
+    let mut client = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        None,
+        81,
+    );
+    client.start().unwrap();
+    pump(&mut client, &mut server);
+    assert!(server.is_established() && client.is_established());
+    // The device actually performed the server's crypto.
+    assert!(dev.fw_counters().total_completed() > 0);
+    assert!(dev.fw_counters().asym.load(std::sync::atomic::Ordering::Relaxed) >= 3);
+    client.write_app_data(b"offloaded").unwrap();
+    server.feed(&client.take_output());
+    server.process().unwrap();
+    assert_eq!(server.read_app_data().unwrap(), b"offloaded");
+}
+
+#[test]
+fn mismatched_suite_rejected() {
+    let config = ServerConfig::test_with_suites(vec![CipherSuite::TlsRsa]);
+    let mut server = ServerSession::new(config, CryptoProvider::Software, 90);
+    let mut client = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheEcdsa,
+        NamedCurve::P256,
+        None,
+        91,
+    );
+    client.start().unwrap();
+    server.feed(&client.take_output());
+    assert!(server.process().is_err(), "no common suite must fail");
+}

@@ -1,0 +1,238 @@
+//! Adversarial protocol tests: out-of-order messages, downgrades,
+//! replays and tampered handshake content must be rejected with typed
+//! errors.
+
+use qtls_tls::client::ClientSession;
+use qtls_tls::messages::*;
+use qtls_tls::provider::{CryptoProvider, OpCounters};
+use qtls_tls::record::{ContentType, RecordLayer};
+use qtls_tls::server::{ServerConfig, ServerSession};
+use qtls_tls::suite::{CipherSuite, Version};
+use qtls_tls::TlsError;
+use qtls_crypto::ecc::NamedCurve;
+use qtls_crypto::TestRng;
+
+/// Wrap a handshake message in a plaintext record.
+fn record_with(msg: &HandshakeMsg) -> Vec<u8> {
+    let mut layer = RecordLayer::new(Version::Tls12.wire());
+    let mut counters = OpCounters::default();
+    let mut rng = TestRng::new(7);
+    layer
+        .write_record(
+            ContentType::Handshake,
+            &msg.encode(),
+            &CryptoProvider::Software,
+            &mut counters,
+            &mut rng,
+        )
+        .unwrap()
+}
+
+fn fresh_server(seed: u64) -> ServerSession {
+    ServerSession::new(ServerConfig::test_default(), CryptoProvider::Software, seed)
+}
+
+#[test]
+fn server_rejects_ckx_before_hello() {
+    let mut server = fresh_server(1);
+    let ckx = HandshakeMsg::ClientKeyExchange(ClientKeyExchange {
+        payload: vec![0u8; 256],
+    });
+    server.feed(&record_with(&ckx));
+    match server.process() {
+        Err(TlsError::UnexpectedMessage { expected, got }) => {
+            assert_eq!(expected, "ClientHello");
+            assert_eq!(got, "ClientKeyExchange");
+        }
+        other => panic!("expected UnexpectedMessage, got {other:?}"),
+    }
+}
+
+#[test]
+fn server_rejects_duplicate_client_hello() {
+    let mut server = fresh_server(2);
+    let ch = HandshakeMsg::ClientHello(ClientHello {
+        version: Version::Tls12,
+        random: [1u8; 32],
+        session_id: vec![],
+        suites: vec![CipherSuite::TlsRsa.wire()],
+        curves: vec![],
+        ticket: None,
+        key_share: None,
+    });
+    server.feed(&record_with(&ch));
+    server.process().unwrap();
+    server.feed(&record_with(&ch));
+    assert!(matches!(
+        server.process(),
+        Err(TlsError::UnexpectedMessage { .. })
+    ));
+}
+
+#[test]
+fn server_rejects_unknown_suite_offer() {
+    let mut server = fresh_server(3);
+    let ch = HandshakeMsg::ClientHello(ClientHello {
+        version: Version::Tls12,
+        random: [1u8; 32],
+        session_id: vec![],
+        suites: vec![0x1337], // not a real suite
+        curves: vec![],
+        ticket: None,
+        key_share: None,
+    });
+    server.feed(&record_with(&ch));
+    assert!(matches!(
+        server.process(),
+        Err(TlsError::HandshakeFailure(_))
+    ));
+}
+
+#[test]
+fn server_rejects_ecdhe_without_common_curve() {
+    let mut server = fresh_server(4);
+    let ch = HandshakeMsg::ClientHello(ClientHello {
+        version: Version::Tls12,
+        random: [1u8; 32],
+        session_id: vec![],
+        suites: vec![CipherSuite::EcdheRsa.wire()],
+        curves: vec![9999], // unsupported group
+        ticket: None,
+        key_share: None,
+    });
+    server.feed(&record_with(&ch));
+    assert!(matches!(
+        server.process(),
+        Err(TlsError::HandshakeFailure(_))
+    ));
+}
+
+#[test]
+fn server_rejects_app_data_before_handshake() {
+    let mut server = fresh_server(5);
+    let mut layer = RecordLayer::new(Version::Tls12.wire());
+    let mut counters = OpCounters::default();
+    let mut rng = TestRng::new(9);
+    let rec = layer
+        .write_record(
+            ContentType::ApplicationData,
+            b"premature",
+            &CryptoProvider::Software,
+            &mut counters,
+            &mut rng,
+        )
+        .unwrap();
+    server.feed(&rec);
+    assert!(matches!(
+        server.process(),
+        Err(TlsError::UnexpectedMessage { .. })
+    ));
+}
+
+#[test]
+fn server_rejects_wrong_version_hello() {
+    let mut server = fresh_server(6);
+    let ch = HandshakeMsg::ClientHello(ClientHello {
+        version: Version::Tls13, // 1.3 hello at a 1.2 session
+        random: [1u8; 32],
+        session_id: vec![],
+        suites: vec![CipherSuite::TlsRsa.wire()],
+        curves: vec![],
+        ticket: None,
+        key_share: None,
+    });
+    server.feed(&record_with(&ch));
+    assert!(server.process().is_err());
+}
+
+#[test]
+fn client_rejects_unoffered_suite_selection() {
+    // A MITM downgrading the suite must be caught at the ServerHello.
+    let mut client = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheEcdsa,
+        NamedCurve::P256,
+        None,
+        7,
+    );
+    client.start().unwrap();
+    let _ = client.take_output();
+    let sh = HandshakeMsg::ServerHello(ServerHello {
+        version: Version::Tls12,
+        random: [2u8; 32],
+        session_id: vec![3; 32],
+        suite: CipherSuite::TlsRsa, // never offered
+        key_share: None,
+    });
+    client.feed(&record_with(&sh));
+    assert!(matches!(
+        client.process(),
+        Err(TlsError::HandshakeFailure(_))
+    ));
+}
+
+#[test]
+fn client_rejects_forged_server_key_exchange() {
+    // Tampering with the signed ECDHE parameters must fail verification.
+    let config = ServerConfig::test_default();
+    let mut server = ServerSession::new(config, CryptoProvider::Software, 8);
+    let mut client = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        None,
+        9,
+    );
+    client.start().unwrap();
+    server.feed(&client.take_output());
+    server.process().unwrap();
+    // Server flight: SH + Cert + SKX + Done. Flip bytes in the middle of
+    // the flight (the SKX public-key area) and hand it to the client.
+    let mut flight = server.take_output();
+    let mid = flight.len() / 2;
+    for b in &mut flight[mid..mid + 8] {
+        *b ^= 0xff;
+    }
+    client.feed(&flight);
+    assert!(client.process().is_err(), "forged SKX must be rejected");
+}
+
+#[test]
+fn finished_replay_across_sessions_fails() {
+    // Capture a Finished-bearing flight from one session and splice it
+    // into another: the transcript/master mismatch must be fatal.
+    let config = ServerConfig::test_default();
+    // Session A runs fully to capture the client's final flight.
+    let mut server_a = ServerSession::new(config.clone(), CryptoProvider::Software, 10);
+    let mut client_a = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::TlsRsa,
+        NamedCurve::P256,
+        None,
+        11,
+    );
+    client_a.start().unwrap();
+    server_a.feed(&client_a.take_output());
+    server_a.process().unwrap();
+    client_a.feed(&server_a.take_output());
+    client_a.process().unwrap();
+    let client_a_final = client_a.take_output(); // CKX + CCS + Finished
+    // Session B: same client opening, but session A's final flight.
+    let mut server_b = ServerSession::new(config, CryptoProvider::Software, 12);
+    let mut client_b = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::TlsRsa,
+        NamedCurve::P256,
+        None,
+        13,
+    );
+    client_b.start().unwrap();
+    server_b.feed(&client_b.take_output());
+    server_b.process().unwrap();
+    let _ = server_b.take_output();
+    server_b.feed(&client_a_final);
+    assert!(
+        server_b.process().is_err(),
+        "cross-session replay must fail (randoms differ)"
+    );
+}

@@ -1,0 +1,88 @@
+//! Boot a multi-worker server from the artifact appendix's configuration
+//! format (§A.7): the `ssl_engine { qat_engine { ... } }` block selects
+//! the offload mode, polling scheme, notification scheme and thresholds.
+//!
+//! ```text
+//! cargo run --release --example nginx_style_conf
+//! ```
+
+use qtls::server::loadgen::{spawn_clients, ClientConfig, LoadStats};
+use qtls::server::{parse_ssl_engine_conf, Cluster, ContentStore};
+use qtls::tls::server::ServerConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CONF: &str = r#"
+# The paper's example customization (artifact appendix A.7).
+worker_processes 4;
+load_module modules/ngx_ssl_engine_qat_module.so;
+
+ssl_engine {
+    use qat_engine;
+    default_algorithm RSA,EC,DH,PKEY_CRYPTO;
+    qat_engine {
+        qat_offload_mode async;
+        qat_notify_mode poll;
+        qat_poll_mode heuristic;
+        qat_heuristic_poll_asym_threshold 48;
+        qat_heuristic_poll_sym_threshold 24;
+    }
+}
+"#;
+
+fn main() {
+    let directives = parse_ssl_engine_conf(CONF).expect("valid configuration");
+    println!(
+        "parsed configuration: {} workers, profile {}, thresholds {}/{}\n",
+        directives.worker_processes,
+        directives.profile.label(),
+        directives.heuristic.asym_threshold,
+        directives.heuristic.sym_threshold,
+    );
+
+    let cluster = Cluster::start(
+        &directives,
+        ServerConfig::test_default(),
+        Arc::new(ContentStore::new()),
+    );
+
+    // Hammer it with closed-loop clients for a few seconds.
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(LoadStats::default());
+    let clients = spawn_clients(
+        cluster.listener(),
+        ClientConfig {
+            request_path: Some("/16kb".into()),
+            ..ClientConfig::default()
+        },
+        8,
+        Arc::clone(&stop),
+        Arc::clone(&stats),
+    );
+    std::thread::sleep(Duration::from_secs(3));
+    stop.store(true, Ordering::Relaxed);
+    for c in clients {
+        let _ = c.join();
+    }
+    let device_counters = cluster.device().map(|d| d.fw_counters().render());
+    let worker_stats = cluster.shutdown();
+
+    println!("per-worker results:");
+    for (i, (s, switches)) in worker_stats.iter().enumerate() {
+        println!(
+            "  worker {i}: {:>5} handshakes  {:>5} requests  {:>4} job pauses  {} kernel switches",
+            s.handshakes, s.requests, s.async_jobs, switches
+        );
+    }
+    let total: u64 = worker_stats.iter().map(|(s, _)| s.handshakes).sum();
+    println!(
+        "\ntotal: {} handshakes, {} ok client connections, {} errors",
+        total,
+        stats.connections.load(Ordering::Relaxed),
+        stats.errors.load(Ordering::Relaxed),
+    );
+    if let Some(c) = device_counters {
+        println!("\n{c}");
+    }
+}

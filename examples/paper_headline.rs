@@ -1,0 +1,32 @@
+//! Reproduce the paper's headline result on the simulated testbed:
+//! Figure 7a (TLS-RSA full-handshake CPS for the five configurations)
+//! plus the derived speedup table — "up to 9x connections per second".
+//!
+//! ```text
+//! cargo run --release --example paper_headline
+//! ```
+
+use qtls::sim::experiments::{fig7a, table1, Fidelity};
+
+fn main() {
+    println!("== Table 1 (crypto ops per full handshake) ==\n");
+    println!("{}", table1().render());
+
+    println!("== Figure 7a (quick fidelity) ==\n");
+    let fig = fig7a(Fidelity::QUICK);
+    println!("{}", fig.render());
+
+    println!("== Speedup over SW ==\n");
+    let sw: Vec<f64> = fig.series[0].points.iter().map(|(_, v)| *v).collect();
+    for s in &fig.series[1..] {
+        print!("{:>8}:", s.label);
+        for (i, (_, v)) in s.points.iter().enumerate() {
+            print!("  {:>5.1}x", v / sw[i]);
+        }
+        println!();
+    }
+    println!(
+        "\npaper §5.2: \"QTLS provides a 9x CPS improvement over the \
+         software baseline\" (8HT column)."
+    );
+}

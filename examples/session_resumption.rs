@@ -1,0 +1,101 @@
+//! Session resumption walk-through (paper §2.1 / §5.3): a client
+//! performs one full handshake, then resumes by session ID and by
+//! ticket, demonstrating that abbreviated handshakes skip the
+//! asymmetric-key calculations entirely.
+//!
+//! ```text
+//! cargo run --release --example session_resumption
+//! ```
+
+use qtls::crypto::ecc::NamedCurve;
+use qtls::tls::client::ClientSession;
+use qtls::tls::provider::CryptoProvider;
+use qtls::tls::server::{ServerConfig, ServerSession};
+use qtls::tls::CipherSuite;
+use std::time::Instant;
+
+fn pump(client: &mut ClientSession, server: &mut ServerSession) {
+    for _ in 0..32 {
+        let c = client.take_output();
+        let s = server.take_output();
+        if c.is_empty() && s.is_empty() {
+            break;
+        }
+        if !c.is_empty() {
+            server.feed(&c);
+            server.process().expect("server");
+        }
+        if !s.is_empty() {
+            client.feed(&s);
+            client.process().expect("client");
+        }
+    }
+}
+
+fn main() {
+    let config = ServerConfig::test_default();
+    let suite = CipherSuite::EcdheRsa;
+
+    // 1. Full handshake.
+    let t0 = Instant::now();
+    let mut server = ServerSession::new(config.clone(), CryptoProvider::Software, 1);
+    let mut client = ClientSession::new(CryptoProvider::Software, suite, NamedCurve::P256, None, 2);
+    client.start().unwrap();
+    pump(&mut client, &mut server);
+    assert!(server.is_established() && !server.was_resumed());
+    println!(
+        "full handshake      : {:>8.2?}  ops: rsa={} ecc={} prf={}  (Table 1: 1/2/4)",
+        t0.elapsed(),
+        server.counters.rsa,
+        server.counters.ecc,
+        server.counters.prf
+    );
+    let resume = client.export_resume_data().expect("established");
+
+    // 2. Abbreviated handshake via session ID.
+    let mut by_id = resume.clone();
+    by_id.ticket = None;
+    let t0 = Instant::now();
+    let mut server = ServerSession::new(config.clone(), CryptoProvider::Software, 3);
+    let mut client =
+        ClientSession::new(CryptoProvider::Software, suite, NamedCurve::P256, Some(by_id), 4);
+    client.start().unwrap();
+    pump(&mut client, &mut server);
+    assert!(server.was_resumed());
+    println!(
+        "resume by session ID: {:>8.2?}  ops: rsa={} ecc={} prf={}  (PRF only)",
+        t0.elapsed(),
+        server.counters.rsa,
+        server.counters.ecc,
+        server.counters.prf
+    );
+
+    // 3. Abbreviated handshake via ticket (stateless on the server).
+    let mut by_ticket = resume;
+    by_ticket.session_id = Vec::new();
+    let t0 = Instant::now();
+    let mut server = ServerSession::new(config, CryptoProvider::Software, 5);
+    let mut client = ClientSession::new(
+        CryptoProvider::Software,
+        suite,
+        NamedCurve::P256,
+        Some(by_ticket),
+        6,
+    );
+    client.start().unwrap();
+    pump(&mut client, &mut server);
+    assert!(server.was_resumed());
+    println!(
+        "resume by ticket    : {:>8.2?}  ops: rsa={} ecc={} prf={}  (PRF only)",
+        t0.elapsed(),
+        server.counters.rsa,
+        server.counters.ecc,
+        server.counters.prf
+    );
+
+    println!(
+        "\nthe asymmetric ops (RSA sign + 2 ECC) vanish on resumption — \
+         the basis of Fig. 9's 30-40% (all-abbreviated) vs 9x \
+         (all-full) speedup spread."
+    );
+}

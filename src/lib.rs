@@ -1,0 +1,67 @@
+//! # QTLS — a Rust reproduction of the PPoPP'19 QTLS system
+//!
+//! *QTLS: High-Performance TLS Asynchronous Offload Framework with
+//! Intel® QuickAssist Technology* (Hu et al., PPoPP 2019), rebuilt from
+//! scratch in Rust with a software QAT device model in place of the
+//! accelerator card.
+//!
+//! The workspace layers, bottom-up:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`crypto`] | from-scratch crypto substrate (RSA, 6 NIST curves, AES-CBC+HMAC, PRF/HKDF) |
+//! | [`qat`] | QAT device model: endpoints, engines, lock-free ring pairs, fw_counters |
+//! | [`core`] | **the paper's contribution**: fiber async jobs, offload engine, heuristic polling, kernel-bypass notification |
+//! | [`tls`] | TLS 1.2/1.3 stack with async crypto support in every layer |
+//! | [`server`] | event-driven HTTPS worker (mini-nginx) wiring the five configurations |
+//! | [`sim`] | discrete-event testbed simulator regenerating every evaluation figure |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qtls::core::{start_job, EngineMode, OffloadEngine, StartResult};
+//! use qtls::qat::{CryptoOp, QatConfig, QatDevice};
+//! use std::sync::Arc;
+//!
+//! // Bring up a (software-modeled) QAT device and an offload engine.
+//! let device = QatDevice::new(QatConfig::functional_small());
+//! let engine = Arc::new(OffloadEngine::new(device.alloc_instance(), EngineMode::Async));
+//!
+//! // Pre-processing: the job pauses as soon as the request is submitted.
+//! let eng = Arc::clone(&engine);
+//! let job = match start_job(move || {
+//!     eng.offload(CryptoOp::Prf {
+//!         secret: b"master".to_vec(),
+//!         label: b"key expansion".to_vec(),
+//!         seed: b"randoms".to_vec(),
+//!         out_len: 104,
+//!     })
+//! }) {
+//!     StartResult::Paused(job) => job,
+//!     StartResult::Finished(_) => unreachable!("offload always pauses"),
+//! };
+//!
+//! // QAT response retrieval + post-processing.
+//! while engine.inflight().total() > 0 {
+//!     engine.poll_all();
+//!     std::thread::yield_now();
+//! }
+//! match job.resume() {
+//!     StartResult::Finished(result) => {
+//!         assert_eq!(result.unwrap().into_bytes().len(), 104);
+//!     }
+//!     StartResult::Paused(_) => unreachable!(),
+//! }
+//! ```
+//!
+//! See `examples/` for the event-driven HTTPS server and the paper-figure
+//! reproductions, and EXPERIMENTS.md for paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub use qtls_core as core;
+pub use qtls_crypto as crypto;
+pub use qtls_qat as qat;
+pub use qtls_server as server;
+pub use qtls_sim as sim;
+pub use qtls_tls as tls;

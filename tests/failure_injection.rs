@@ -1,0 +1,194 @@
+//! Failure injection: the stack must reject — never panic on — corrupt
+//! or adversarial inputs, half-open connections, and overload.
+
+use proptest::prelude::*;
+use qtls::core::OffloadProfile;
+use qtls::crypto::ecc::NamedCurve;
+use qtls::qat::{QatConfig, QatDevice};
+use qtls::server::{VListener, Worker, WorkerConfig};
+use qtls::tls::client::ClientSession;
+use qtls::tls::provider::CryptoProvider;
+use qtls::tls::server::{ServerConfig, ServerSession};
+use qtls::tls::CipherSuite;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random garbage fed to a fresh server session: must error (or wait
+    /// for more bytes), never panic.
+    #[test]
+    fn server_survives_random_bytes(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let config = ServerConfig::test_default();
+        let mut server = ServerSession::new(config, CryptoProvider::Software, 1);
+        server.feed(&data);
+        let _ = server.process(); // Err is fine; panic is not.
+    }
+
+    /// A random bit flipped anywhere in the client's handshake stream:
+    /// either side must fail cleanly or (if the flip landed in an
+    /// unconsumed tail) the handshake still completes.
+    #[test]
+    fn handshake_survives_bitflips(flip_byte in any::<usize>(), flip_bit in 0u8..8) {
+        let config = ServerConfig::test_default();
+        let mut server = ServerSession::new(config, CryptoProvider::Software, 2);
+        let mut client = ClientSession::new(
+            CryptoProvider::Software,
+            CipherSuite::EcdheRsa,
+            NamedCurve::P256,
+            None,
+            3,
+        );
+        client.start().unwrap();
+        let mut flipped = false;
+        for _ in 0..32 {
+            let mut c = client.take_output();
+            if !c.is_empty() && !flipped {
+                let idx = flip_byte % c.len();
+                c[idx] ^= 1 << flip_bit;
+                flipped = true;
+            }
+            let s = server.take_output();
+            if c.is_empty() && s.is_empty() {
+                break;
+            }
+            if !c.is_empty() {
+                server.feed(&c);
+                if server.process().is_err() {
+                    return Ok(()); // clean rejection
+                }
+            }
+            if !s.is_empty() {
+                client.feed(&s);
+                if client.process().is_err() {
+                    return Ok(()); // clean rejection
+                }
+            }
+        }
+        // No error surfaced: the flip must not have produced a bogus
+        // "established" state on only one side with corrupt keys — if
+        // both established, app data must still flow correctly.
+        if server.is_established() && client.is_established() {
+            client.write_app_data(b"check").unwrap();
+            server.feed(&client.take_output());
+            if server.process().is_ok() {
+                let got = server.read_app_data();
+                prop_assert_eq!(got.as_deref(), Some(&b"check"[..]));
+            }
+        }
+    }
+}
+
+/// Clients that vanish mid-handshake must not wedge or crash the worker.
+#[test]
+fn worker_survives_abrupt_disconnects() {
+    let listener = Arc::new(VListener::new());
+    let device = QatDevice::new(QatConfig::functional_small());
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let l2 = Arc::clone(&listener);
+    let handle = std::thread::spawn(move || {
+        let mut worker = Worker::new(l2, Some(&device), WorkerConfig::new(OffloadProfile::Qtls));
+        let mut deadline: Option<Instant> = None;
+        worker.run_until(|w| {
+            if !stop2.load(Ordering::Relaxed) {
+                return false;
+            }
+            let d = *deadline.get_or_insert_with(|| Instant::now() + Duration::from_secs(5));
+            w.tc_alive() == 0 || Instant::now() > d
+        });
+        worker.stats
+    });
+    // 1. Connect and immediately close.
+    for _ in 0..4 {
+        let sock = listener.connect();
+        sock.close();
+    }
+    // 2. Send a partial ClientHello, then vanish.
+    for i in 0..4u64 {
+        let sock = listener.connect();
+        let mut client = ClientSession::new(
+            CryptoProvider::Software,
+            CipherSuite::EcdheRsa,
+            NamedCurve::P256,
+            None,
+            100 + i,
+        );
+        client.start().unwrap();
+        let hello = client.take_output();
+        sock.write(&hello[..hello.len() / 2]).unwrap();
+        sock.close();
+    }
+    // 3. One normal connection must still succeed afterwards.
+    let cfg = qtls::server::loadgen::ClientConfig::default();
+    qtls::server::loadgen::run_connection(&listener, &cfg, 999, None, Duration::from_secs(60))
+        .expect("healthy connection after disconnect storm");
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::Relaxed);
+    let stats = handle.join().unwrap();
+    assert_eq!(stats.handshakes, 1, "only the healthy client completed");
+    assert!(stats.closed >= 8, "dead connections reaped");
+}
+
+/// A tiny request ring under concurrency: the §3.2 submission-failure
+/// path (pause + retry) must engage and everything still completes.
+#[test]
+fn ring_full_retry_path_under_load() {
+    let listener = Arc::new(VListener::new());
+    let device = QatDevice::new(QatConfig {
+        endpoints: 1,
+        engines_per_endpoint: 1,
+        ring_capacity: 2, // absurdly small: submissions WILL bounce
+        ..QatConfig::functional_small()
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let l2 = Arc::clone(&listener);
+    let handle = std::thread::spawn(move || {
+        let mut worker = Worker::new(l2, Some(&device), WorkerConfig::new(OffloadProfile::Qtls));
+        let mut deadline: Option<Instant> = None;
+        worker.run_until(|w| {
+            if !stop2.load(Ordering::Relaxed) {
+                return false;
+            }
+            let d = *deadline.get_or_insert_with(|| Instant::now() + Duration::from_secs(5));
+            w.tc_alive() == 0 || Instant::now() > d
+        });
+        (
+            worker.stats,
+            device.fw_counters().ring_full.load(Ordering::Relaxed),
+        )
+    });
+    let n = 12u64;
+    let mut clients = Vec::new();
+    for i in 0..n {
+        let listener = Arc::clone(&listener);
+        clients.push(std::thread::spawn(move || {
+            let cfg = qtls::server::loadgen::ClientConfig {
+                request_path: Some("/64kb".into()),
+                ..Default::default()
+            };
+            qtls::server::loadgen::run_connection(
+                &listener,
+                &cfg,
+                2000 + i,
+                None,
+                Duration::from_secs(120),
+            )
+            .expect("completes despite ring-full retries")
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (stats, ring_full) = handle.join().unwrap();
+    assert_eq!(stats.handshakes, n);
+    assert_eq!(stats.errors, 0);
+    assert!(
+        ring_full > 0,
+        "a capacity-2 ring under {n} concurrent connections must bounce submissions"
+    );
+}
