@@ -2,7 +2,8 @@
 //! costs that define the paper's `SW` baseline (and that the cost model
 //! in `qtls-sim` abstracts).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qtls_bench::harness::{Criterion, Throughput};
+use qtls_bench::{criterion_group, criterion_main};
 use qtls_crypto::ecc::{self, NamedCurve};
 use qtls_crypto::kdf;
 use qtls_crypto::sha256::Sha256;

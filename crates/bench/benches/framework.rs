@@ -7,7 +7,8 @@
 //! - ring push/pop (the request/response ring pair);
 //! - heuristic poll decision cost (§4.3).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use qtls_bench::harness::Criterion;
+use qtls_bench::{criterion_group, criterion_main};
 use qtls_core::{
     start_job, AsyncQueue, EngineMode, FdSelector, HeuristicConfig, HeuristicPoller,
     OffloadEngine, StartResult, VirtualFd,

@@ -3,7 +3,8 @@
 //! These measure the *functional* stack (wall clock on this machine),
 //! complementing the simulated-testbed figures.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use qtls_bench::harness::Criterion;
+use qtls_bench::{criterion_group, criterion_main};
 use qtls_crypto::ecc::NamedCurve;
 use qtls_tls::client::ClientSession;
 use qtls_tls::provider::CryptoProvider;

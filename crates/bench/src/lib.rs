@@ -1,8 +1,10 @@
 //! # qtls-bench — benchmark harnesses
 //!
-//! - `benches/crypto.rs`: criterion micro-benchmarks of the software
-//!   crypto substrate (the per-op costs behind the `SW` baseline);
-//! - `benches/framework.rs`: criterion micro-benchmarks of the offload
+//! - `src/harness.rs`: the hermetic std-only micro-benchmark harness
+//!   (criterion-compatible subset) that all benches below run on;
+//! - `benches/crypto.rs`: micro-benchmarks of the software crypto
+//!   substrate (the per-op costs behind the `SW` baseline);
+//! - `benches/framework.rs`: micro-benchmarks of the offload
 //!   framework's moving parts (rings, fibers, notification schemes,
 //!   heuristic poll decision) — the §4.4/§4.1 ablations;
 //! - `benches/handshake.rs`: end-to-end functional handshakes through
@@ -11,3 +13,5 @@
 //!   paper's evaluation on the simulated testbed (see EXPERIMENTS.md).
 
 #![warn(missing_docs)]
+
+pub mod harness;

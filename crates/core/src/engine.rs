@@ -15,7 +15,7 @@
 //!   heuristic polling scheme.
 
 use crate::fiber;
-use parking_lot::{Condvar, Mutex};
+use qtls_sync::{Condvar, Mutex};
 use qtls_crypto::CryptoError;
 use qtls_qat::{make_request, CryptoInstance, CryptoOp, CryptoResult, OpClass, SubmitFull};
 use std::sync::atomic::{AtomicU64, Ordering};

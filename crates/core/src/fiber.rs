@@ -16,7 +16,7 @@
 //! point of the framework.
 
 use crate::wait_ctx::WaitCtx;
-use parking_lot::{Condvar, Mutex};
+use qtls_sync::{Condvar, Mutex};
 use std::sync::Arc;
 
 /// Who may run right now.

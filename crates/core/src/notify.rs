@@ -13,7 +13,7 @@
 //!    handlers, appended to by the response callback and drained at the
 //!    end of the main event loop. No kernel crossings at all.
 
-use parking_lot::{Condvar, Mutex};
+use qtls_sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

@@ -18,7 +18,7 @@
 //! tests and the `framework` ablation bench.
 
 use crate::engine::OffloadEngine;
-use parking_lot::Mutex;
+use qtls_sync::Mutex;
 use qtls_qat::{CryptoOp, CryptoResult, SubmitFull};
 use std::sync::Arc;
 

@@ -4,7 +4,7 @@
 //! stores between pause and resume.
 
 use crate::notify::VirtualFd;
-use parking_lot::Mutex;
+use qtls_sync::Mutex;
 use qtls_qat::CryptoResult;
 use std::sync::Arc;
 

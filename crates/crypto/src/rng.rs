@@ -4,7 +4,7 @@
 //! [`EntropySource`] trait so tests and the discrete-event simulator can
 //! be fully deterministic.
 
-use rand::RngExt;
+use crate::sha256::Sha256;
 
 /// A source of random bytes.
 pub trait EntropySource {
@@ -19,15 +19,87 @@ pub trait EntropySource {
     }
 }
 
-/// The default system entropy source (the `rand` crate's OS-seeded
-/// thread-local CSPRNG).
-pub struct SystemRng(rand::rngs::ThreadRng);
+/// The default system entropy source: an in-repo SHA-256 hash-DRBG
+/// seeded from the operating system.
+///
+/// Seeding reads 32 bytes from `/dev/urandom`. If that fails (exotic
+/// sandbox, non-Unix platform) the default build falls back to mixing
+/// clock, process and address-space entropy — weak, but enough for the
+/// simulator and tests this repo runs. Builds with the `rand-rng`
+/// feature refuse the fallback and panic instead, for deployments where
+/// silently degraded seeding would be unacceptable.
+///
+/// Output block `i` is `SHA256(V || i)` with the working state `V`
+/// ratcheted as `V = SHA256(V || 0xFF)` after every request, so earlier
+/// outputs stay unrecoverable if the state later leaks (backtracking
+/// resistance in the hash-DRBG style; this is not a certified
+/// SP 800-90A implementation).
+pub struct SystemRng {
+    v: [u8; 32],
+    counter: u64,
+}
 
 impl SystemRng {
     /// Create a new OS-seeded RNG handle.
     pub fn new() -> Self {
-        SystemRng(rand::rng())
+        let seed = match os_entropy() {
+            Some(seed) => seed,
+            #[cfg(feature = "rand-rng")]
+            None => panic!("rand-rng: OS entropy (/dev/urandom) unavailable"),
+            #[cfg(not(feature = "rand-rng"))]
+            None => fallback_entropy(),
+        };
+        SystemRng {
+            v: seed,
+            counter: 0,
+        }
     }
+
+    fn next_block(&mut self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&self.v);
+        h.update(&self.counter.to_le_bytes());
+        self.counter += 1;
+        h.finalize_fixed()
+    }
+
+    /// Ratchet the working state forward (one-way).
+    fn reseed_step(&mut self) {
+        let mut h = Sha256::new();
+        h.update(&self.v);
+        h.update(&[0xFF]);
+        self.v = h.finalize_fixed();
+    }
+}
+
+/// 32 bytes from the OS CSPRNG, or `None` if unavailable.
+fn os_entropy() -> Option<[u8; 32]> {
+    use std::io::Read;
+    let mut buf = [0u8; 32];
+    let mut f = std::fs::File::open("/dev/urandom").ok()?;
+    f.read_exact(&mut buf).ok()?;
+    Some(buf)
+}
+
+/// Best-effort seed when the OS CSPRNG is unreachable: clock, monotonic
+/// timer, pid, thread id and ASLR-randomized addresses hashed together.
+/// Unpredictable enough for simulation/test workloads only.
+#[cfg(not(feature = "rand-rng"))]
+fn fallback_entropy() -> [u8; 32] {
+    let mut h = Sha256::new();
+    if let Ok(d) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        h.update(&d.as_nanos().to_le_bytes());
+    }
+    h.update(&std::process::id().to_le_bytes());
+    let tid = format!("{:?}", std::thread::current().id());
+    h.update(tid.as_bytes());
+    let stack_probe = 0u8;
+    h.update(&(&stack_probe as *const u8 as usize).to_le_bytes());
+    h.update(&(os_entropy as fn() -> Option<[u8; 32]> as usize).to_le_bytes());
+    let t0 = std::time::Instant::now();
+    std::thread::yield_now();
+    h.update(&t0.elapsed().as_nanos().to_le_bytes());
+    h.finalize_fixed()
 }
 
 impl Default for SystemRng {
@@ -38,7 +110,16 @@ impl Default for SystemRng {
 
 impl EntropySource for SystemRng {
     fn fill(&mut self, buf: &mut [u8]) {
-        self.0.fill(buf);
+        let mut chunks = buf.chunks_exact_mut(32);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_block());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let block = self.next_block();
+            rest.copy_from_slice(&block[..rest.len()]);
+        }
+        self.reseed_step();
     }
 }
 
@@ -161,5 +242,24 @@ mod tests {
         let mut buf = [0u8; 32];
         r.fill(&mut buf);
         assert_ne!(buf, [0u8; 32]);
+    }
+
+    #[test]
+    fn system_rng_instances_diverge() {
+        let mut a = SystemRng::new();
+        let mut b = SystemRng::new();
+        // Independent OS seeds: 2^-256 collision probability.
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn system_rng_stream_not_repeating() {
+        let mut r = SystemRng::new();
+        let mut a = [0u8; 48];
+        let mut b = [0u8; 48];
+        r.fill(&mut a);
+        r.fill(&mut b);
+        // The post-request ratchet must advance the stream.
+        assert_ne!(a, b);
     }
 }

@@ -12,7 +12,7 @@ use crate::config::{QatConfig, ServiceMode};
 use crate::counters::FwCounters;
 use crate::request::{execute, CryptoRequest, CryptoResponse, ResponseCallback};
 use crate::ring::{Ring, RingFull};
-use parking_lot::{Condvar, Mutex, RwLock};
+use qtls_sync::{Condvar, Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;

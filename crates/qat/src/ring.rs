@@ -8,7 +8,7 @@
 //! submission-failure case §3.2 of the paper handles by pausing the
 //! offload job and retrying later.
 
-use crossbeam::utils::CachePadded;
+use qtls_sync::CachePadded;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -145,6 +145,18 @@ impl<T> Drop for Ring<T> {
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn cursor_padding_layout() {
+        use std::mem::{align_of, size_of};
+        // The producer and consumer cursors must sit on distinct
+        // 64-byte cache lines; checked here rather than assumed so a
+        // change to the local CachePadded cannot silently reintroduce
+        // false sharing between `enqueue_pos` and `dequeue_pos`.
+        assert_eq!(align_of::<CachePadded<AtomicUsize>>(), 64);
+        assert_eq!(size_of::<CachePadded<AtomicUsize>>(), 64);
+        assert!(size_of::<Ring<u64>>() >= 2 * 64, "cursors share a line");
+    }
 
     #[test]
     fn fifo_order_single_thread() {

@@ -2,7 +2,7 @@
 //! content store serving fixed-size objects — the web-server role the
 //! paper configures Nginx into for all experiments.
 
-use parking_lot::RwLock;
+use qtls_sync::RwLock;
 use std::collections::HashMap;
 
 /// A parsed HTTP request.

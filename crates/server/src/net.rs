@@ -3,7 +3,7 @@
 //! readiness, `WouldBlock`, FIN/close) — standing in for the testbed's
 //! TCP over back-to-back 40 GbE NICs.
 
-use parking_lot::Mutex;
+use qtls_sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

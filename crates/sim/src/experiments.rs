@@ -31,7 +31,7 @@ impl Fidelity {
 }
 
 /// One plotted series.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Legend label (configuration name).
     pub label: String,
@@ -40,7 +40,7 @@ pub struct Series {
 }
 
 /// A reproduced figure/table.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Paper identifier, e.g. "Fig 7a".
     pub id: String,

@@ -159,7 +159,7 @@ impl SimConfig {
 }
 
 /// Simulation results.
-#[derive(Clone, Debug, Default, serde::Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SimReport {
     /// Handshakes completed per second (CPS).
     pub cps: f64,

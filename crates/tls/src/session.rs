@@ -6,7 +6,7 @@
 //! and capacity.
 
 use crate::suite::CipherSuite;
-use parking_lot::Mutex;
+use qtls_sync::Mutex;
 use qtls_crypto::{aes, hmac::Hmac, sha256::Sha256, EntropySource};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};

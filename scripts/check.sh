@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Hermetic tier-1 verify: build + test with zero registry access, then
+# assert that no non-workspace dependency has crept into any feature
+# set. Run from anywhere; exits non-zero on the first violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline --workspace =="
+cargo test -q --offline --workspace
+
+echo "== dependency hermeticity =="
+# Workspace path crates render as `name vX.Y.Z (/abs/path)`; anything
+# from a registry has no source path. Check the default feature set and
+# --all-features (the proptest / rand-rng features must stay dep-free).
+check_tree() {
+  local label="$1"; shift
+  local bad
+  bad=$(cargo tree -e normal --offline --prefix none "$@" | sort -u \
+        | grep -v ' (/' | grep -v '^$' || true)
+  if [ -n "$bad" ]; then
+    echo "non-workspace dependencies in $label:" >&2
+    echo "$bad" >&2
+    exit 1
+  fi
+  echo "ok: $label resolves to workspace crates only"
+}
+check_tree "default features"
+check_tree "--all-features" --all-features
+
+echo "check.sh: all green"

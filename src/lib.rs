@@ -9,6 +9,7 @@
 //!
 //! | crate | role |
 //! |---|---|
+//! | `qtls-sync` | hermetic std-only locks (`Mutex`/`RwLock`/`Condvar`) + `CachePadded` |
 //! | [`crypto`] | from-scratch crypto substrate (RSA, 6 NIST curves, AES-CBC+HMAC, PRF/HKDF) |
 //! | [`qat`] | QAT device model: endpoints, engines, lock-free ring pairs, fw_counters |
 //! | [`core`] | **the paper's contribution**: fiber async jobs, offload engine, heuristic polling, kernel-bypass notification |
@@ -58,6 +59,8 @@
 //! reproductions, and EXPERIMENTS.md for paper-vs-measured results.
 
 #![warn(missing_docs)]
+
+pub mod prop;
 
 pub use qtls_core as core;
 pub use qtls_crypto as crypto;

@@ -1,0 +1,181 @@
+//! A minimal, hermetic property-testing harness.
+//!
+//! Replaces the external `proptest` dependency for this workspace's
+//! randomized suites. Cases are generated from a deterministic
+//! [`TestRng`](crate::crypto::TestRng) stream seeded per-property from
+//! the property name and case index, so every run — with or without the
+//! sweep feature — is exactly reproducible and fully offline.
+//!
+//! By default each property runs a small fixed set of cases (fast
+//! enough for tier-1 verify); building the `qtls` crate with
+//! `--features proptest` scales every property up to its full
+//! requested case count.
+//!
+//! On failure the harness reports the property name, case index and
+//! derived seed, so a failing case can be replayed in isolation with
+//! [`replay`].
+
+use crate::crypto::{EntropySource, TestRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Cases run per property without `--features proptest`.
+pub const QUICK_CASES: u32 = 8;
+
+/// Per-case input generator: a thin convenience layer over the
+/// deterministic [`TestRng`].
+pub struct Gen {
+    rng: TestRng,
+}
+
+impl Gen {
+    /// A generator for an explicit seed (used by [`replay`]).
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            rng: TestRng::new(seed),
+        }
+    }
+
+    /// A uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// A uniform `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.rng.next_u64() as u32
+    }
+
+    /// A uniform `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.rng.next_u64() as u8
+    }
+
+    /// A uniform `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// A `u64` in `[lo, hi)`. Uses rejection-free modulo reduction —
+    /// the tiny bias is irrelevant for test-case generation.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.rng.next_u64() % (hi - lo)
+    }
+
+    /// A `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// `len` random bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.rng.fill(&mut v);
+        v
+    }
+
+    /// A byte vector whose length is drawn from `[lo, hi)`.
+    pub fn bytes_in(&mut self, lo: usize, hi: usize) -> Vec<u8> {
+        let len = self.usize_in(lo, hi);
+        self.bytes(len)
+    }
+
+    /// A random fixed-size byte array.
+    pub fn array<const N: usize>(&mut self) -> [u8; N] {
+        let mut a = [0u8; N];
+        self.rng.fill(&mut a);
+        a
+    }
+
+    /// `len` random `u64` words.
+    pub fn words(&mut self, len: usize) -> Vec<u64> {
+        (0..len).map(|_| self.rng.next_u64()).collect()
+    }
+}
+
+/// FNV-1a, used to fold the property name into the seed stream so two
+/// properties with the same case index never see the same inputs.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn case_seed(name: &str, case: u32) -> u64 {
+    // SplitMix64 finalizer over (name, case) for good seed dispersion.
+    let mut z = fnv1a(name) ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Run `property` against `cases` generated inputs (capped at
+/// [`QUICK_CASES`] unless the `proptest` feature is enabled). Panics —
+/// with the replay seed — on the first failing case.
+pub fn check(name: &str, cases: u32, property: impl Fn(&mut Gen)) {
+    let n = if cfg!(feature = "proptest") {
+        cases
+    } else {
+        cases.min(QUICK_CASES)
+    };
+    for case in 0..n {
+        let seed = case_seed(name, case);
+        let mut gen = Gen::from_seed(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| property(&mut gen))) {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic>".into());
+            panic!(
+                "property '{name}' failed on case {case}/{n} (replay seed {seed:#018x}): {msg}"
+            );
+        }
+    }
+}
+
+/// Re-run a single property case from a seed reported by [`check`].
+pub fn replay(seed: u64, property: impl Fn(&mut Gen)) {
+    property(&mut Gen::from_seed(seed));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_name_and_case_separated() {
+        assert_ne!(case_seed("a", 0), case_seed("b", 0));
+        assert_ne!(case_seed("a", 0), case_seed("a", 1));
+        assert_eq!(case_seed("a", 3), case_seed("a", 3));
+    }
+
+    #[test]
+    fn gen_ranges_respected() {
+        let mut g = Gen::from_seed(7);
+        for _ in 0..200 {
+            let v = g.usize_in(3, 9);
+            assert!((3..9).contains(&v));
+            assert!(g.bytes_in(0, 5).len() < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "replay seed")]
+    fn failing_property_reports_seed() {
+        check("always_fails", 4, |g| {
+            let v = g.u64();
+            assert!(v == 0 && v == 1, "impossible");
+        });
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check("counts", 4, |_g| counter.set(counter.get() + 1));
+        assert_eq!(counter.get(), 4);
+    }
+}

@@ -1,66 +1,82 @@
 //! Property-based tests over the crypto substrate: algebraic invariants
 //! of the bignum and finite-field cores, and roundtrip properties of the
 //! record protection and session machinery.
+//!
+//! Runs on the hermetic in-repo harness (`qtls::prop`): a small
+//! deterministic case set by default, the full sweep with
+//! `cargo test --features proptest`.
 
-use proptest::prelude::*;
 use qtls::crypto::bn::Bn;
 use qtls::crypto::gf2m::Gf2m;
 use qtls::crypto::{aes, kdf};
+use qtls::prop;
 
 fn bn_from(bytes: &[u8]) -> Bn {
     Bn::from_bytes_be(bytes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+// ---- bignum ----
 
-    // ---- bignum ----
-
-    #[test]
-    fn bn_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn bn_bytes_roundtrip() {
+    prop::check("bn_bytes_roundtrip", 64, |g| {
+        let bytes = g.bytes_in(0, 64);
         let v = bn_from(&bytes);
         let back = Bn::from_bytes_be(&v.to_bytes_be());
-        prop_assert_eq!(back, v);
-    }
+        assert_eq!(back, v);
+    });
+}
 
-    #[test]
-    fn bn_add_sub_inverse(a in proptest::collection::vec(any::<u8>(), 0..48),
-                          b in proptest::collection::vec(any::<u8>(), 0..48)) {
-        let a = bn_from(&a);
-        let b = bn_from(&b);
+#[test]
+fn bn_add_sub_inverse() {
+    prop::check("bn_add_sub_inverse", 64, |g| {
+        let a = bn_from(&g.bytes_in(0, 48));
+        let b = bn_from(&g.bytes_in(0, 48));
         let s = a.add(&b);
-        prop_assert_eq!(s.sub(&b), a.clone());
-        prop_assert_eq!(s.sub(&a), b);
-    }
+        assert_eq!(s.sub(&b), a);
+        assert_eq!(s.sub(&a), b);
+    });
+}
 
-    #[test]
-    fn bn_mul_commutes_and_matches_u128(x in any::<u64>(), y in any::<u64>()) {
+#[test]
+fn bn_mul_commutes_and_matches_u128() {
+    prop::check("bn_mul_commutes_and_matches_u128", 64, |g| {
+        let (x, y) = (g.u64(), g.u64());
         let a = Bn::from_u64(x);
         let b = Bn::from_u64(y);
         let p = a.mul(&b);
-        prop_assert_eq!(p.clone(), b.mul(&a));
+        assert_eq!(p, b.mul(&a));
         let expect = (x as u128) * (y as u128);
         let got = p.to_bytes_be();
         let mut buf = [0u8; 16];
         buf[16 - got.len()..].copy_from_slice(&got);
-        prop_assert_eq!(u128::from_be_bytes(buf), expect);
-    }
+        assert_eq!(u128::from_be_bytes(buf), expect);
+    });
+}
 
-    #[test]
-    fn bn_div_rem_reconstructs(a in proptest::collection::vec(any::<u8>(), 1..48),
-                               b in proptest::collection::vec(1u8..=255, 1..24)) {
-        let a = bn_from(&a);
-        let b = bn_from(&b);
-        prop_assume!(!b.is_zero());
+#[test]
+fn bn_div_rem_reconstructs() {
+    prop::check("bn_div_rem_reconstructs", 64, |g| {
+        let a = bn_from(&g.bytes_in(1, 48));
+        // Divisor bytes drawn from 1..=255 so it is never zero.
+        let b_bytes: Vec<u8> = (0..g.usize_in(1, 24))
+            .map(|_| g.u64_in(1, 256) as u8)
+            .collect();
+        let b = bn_from(&b_bytes);
+        assert!(!b.is_zero());
         let (q, r) = a.div_rem(&b);
-        prop_assert!(r < b);
-        prop_assert_eq!(q.mul(&b).add(&r), a);
-    }
+        assert!(r < b);
+        assert_eq!(q.mul(&b).add(&r), a);
+    });
+}
 
-    #[test]
-    fn bn_modexp_matches_naive(base in any::<u64>(), exp in 0u64..64, m in 3u64..1_000_000) {
+#[test]
+fn bn_modexp_matches_naive() {
+    prop::check("bn_modexp_matches_naive", 64, |g| {
+        let base = g.u64();
+        let exp = g.u64_in(0, 64);
         // Odd modulus to hit the Montgomery path.
-        let m = m | 1;
+        let m = g.u64_in(3, 1_000_000) | 1;
         let bn_m = Bn::from_u64(m);
         let got = Bn::from_u64(base).mod_exp(&Bn::from_u64(exp), &bn_m);
         // Naive reference with u128.
@@ -68,103 +84,126 @@ proptest! {
         for _ in 0..exp {
             acc = acc * (base as u128 % m as u128) % m as u128;
         }
-        prop_assert_eq!(got, Bn::from_u64(acc as u64));
-    }
+        assert_eq!(got, Bn::from_u64(acc as u64));
+    });
+}
 
-    #[test]
-    fn bn_mod_inv_is_inverse(a in 1u64..u64::MAX, m in 3u64..u64::MAX) {
-        let m = m | 1;
+#[test]
+fn bn_mod_inv_is_inverse() {
+    prop::check("bn_mod_inv_is_inverse", 64, |g| {
+        let a = g.u64_in(1, u64::MAX);
+        let m = g.u64_in(3, u64::MAX) | 1;
         let bn_a = Bn::from_u64(a);
         let bn_m = Bn::from_u64(m);
         if let Some(inv) = bn_a.mod_inv(&bn_m) {
-            prop_assert!(bn_a.mul_mod(&inv, &bn_m).is_one());
+            assert!(bn_a.mul_mod(&inv, &bn_m).is_one());
         } else {
             // No inverse means gcd != 1.
-            prop_assert!(!bn_a.gcd(&bn_m).is_one());
+            assert!(!bn_a.gcd(&bn_m).is_one());
         }
-    }
+    });
+}
 
-    #[test]
-    fn bn_shift_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..32),
-                          shift in 0usize..200) {
-        let v = bn_from(&bytes);
-        prop_assert_eq!(v.shl(shift).shr(shift), v);
-    }
+#[test]
+fn bn_shift_roundtrip() {
+    prop::check("bn_shift_roundtrip", 64, |g| {
+        let v = bn_from(&g.bytes_in(0, 32));
+        let shift = g.usize_in(0, 200);
+        assert_eq!(v.shl(shift).shr(shift), v);
+    });
+}
 
-    // ---- GF(2^m) ----
+// ---- GF(2^m) ----
 
-    #[test]
-    fn gf2m_field_axioms(a in proptest::collection::vec(any::<u64>(), 5),
-                         b in proptest::collection::vec(any::<u64>(), 5)) {
+#[test]
+fn gf2m_field_axioms() {
+    prop::check("gf2m_field_axioms", 64, |g| {
         let f = Gf2m::new(283, &[12, 7, 5, 0]);
         let mask = (1u64 << (283 % 64)) - 1;
-        let mut a = a;
-        let mut b = b;
+        let mut a = g.words(5);
+        let mut b = g.words(5);
         a[4] &= mask;
         b[4] &= mask;
         // Commutativity and distributivity.
-        prop_assert_eq!(f.mul(&a, &b), f.mul(&b, &a));
+        assert_eq!(f.mul(&a, &b), f.mul(&b, &a));
         let ab = f.add(&a, &b);
-        prop_assert_eq!(f.sqr(&ab), f.add(&f.sqr(&a), &f.sqr(&b))); // Frobenius
+        assert_eq!(f.sqr(&ab), f.add(&f.sqr(&a), &f.sqr(&b))); // Frobenius
         // Inverse (nonzero a).
         if !f.is_zero(&a) {
             let inv = f.inv(&a);
-            prop_assert_eq!(f.mul(&a, &inv), f.one());
+            assert_eq!(f.mul(&a, &inv), f.one());
         }
-    }
+    });
+}
 
-    // ---- symmetric / record layer ----
+// ---- symmetric / record layer ----
 
-    #[test]
-    fn aes_cbc_roundtrip(key in any::<[u8; 16]>(), iv in any::<[u8; 16]>(),
-                         blocks in 1usize..32) {
+#[test]
+fn aes_cbc_roundtrip() {
+    prop::check("aes_cbc_roundtrip", 64, |g| {
+        let key: [u8; 16] = g.array();
+        let iv: [u8; 16] = g.array();
+        let blocks = g.usize_in(1, 32);
         let pt: Vec<u8> = (0..blocks * 16).map(|i| i as u8).collect();
         let cipher = aes::Aes128::new(&key);
         let ct = aes::cbc_encrypt(&cipher, &iv, &pt).unwrap();
-        prop_assert_eq!(aes::cbc_decrypt(&cipher, &iv, &ct).unwrap(), pt);
-    }
+        assert_eq!(aes::cbc_decrypt(&cipher, &iv, &ct).unwrap(), pt);
+    });
+}
 
-    #[test]
-    fn record_protection_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..2048),
-                                   enc_key in any::<[u8; 16]>(),
-                                   iv in any::<[u8; 16]>()) {
+#[test]
+fn record_protection_roundtrip() {
+    prop::check("record_protection_roundtrip", 64, |g| {
+        let payload = g.bytes_in(0, 2048);
+        let enc_key: [u8; 16] = g.array();
+        let iv: [u8; 16] = g.array();
         let mac_key = [7u8; 20];
         let ct = qtls::tls::provider::software_encrypt(enc_key, &mac_key, iv, &payload, b"aad")
             .unwrap();
-        let pt = qtls::tls::provider::software_decrypt(enc_key, &mac_key, iv, &ct, b"aad")
-            .unwrap();
-        prop_assert_eq!(pt, payload);
-    }
+        let pt =
+            qtls::tls::provider::software_decrypt(enc_key, &mac_key, iv, &ct, b"aad").unwrap();
+        assert_eq!(pt, payload);
+    });
+}
 
-    #[test]
-    fn record_protection_rejects_bitflips(payload in proptest::collection::vec(any::<u8>(), 1..256),
-                                          flip_byte in any::<usize>(),
-                                          flip_bit in 0u8..8) {
+#[test]
+fn record_protection_rejects_bitflips() {
+    prop::check("record_protection_rejects_bitflips", 64, |g| {
+        let payload = g.bytes_in(1, 256);
+        let flip_byte = g.usize_in(0, usize::MAX);
+        let flip_bit = g.u64_in(0, 8) as u8;
         let ct = qtls::tls::provider::software_encrypt([1; 16], &[2; 20], [3; 16], &payload, b"a")
             .unwrap();
         let mut bad = ct.clone();
         let idx = flip_byte % bad.len();
         bad[idx] ^= 1 << flip_bit;
-        prop_assert!(
+        assert!(
             qtls::tls::provider::software_decrypt([1; 16], &[2; 20], [3; 16], &bad, b"a").is_err()
         );
-    }
+    });
+}
 
-    #[test]
-    fn prf_is_prefix_consistent(len_a in 1usize..80, len_b in 1usize..80,
-                                secret in proptest::collection::vec(any::<u8>(), 1..32)) {
+#[test]
+fn prf_is_prefix_consistent() {
+    prop::check("prf_is_prefix_consistent", 64, |g| {
+        let len_a = g.usize_in(1, 80);
+        let len_b = g.usize_in(1, 80);
+        let secret = g.bytes_in(1, 32);
         let short = len_a.min(len_b);
         let a = kdf::prf_tls12(&secret, b"label", b"seed", len_a);
         let b = kdf::prf_tls12(&secret, b"label", b"seed", len_b);
-        prop_assert_eq!(&a[..short], &b[..short]);
-    }
+        assert_eq!(&a[..short], &b[..short]);
+    });
+}
 
-    // ---- session tickets ----
+// ---- session tickets ----
 
-    #[test]
-    fn ticket_roundtrip_random_master(master in proptest::collection::vec(any::<u8>(), 1..64)) {
-        use qtls::tls::session::{SessionEntry, TicketKeys};
+#[test]
+fn ticket_roundtrip_random_master() {
+    prop::check("ticket_roundtrip_random_master", 64, |g| {
         use qtls::crypto::TestRng;
+        use qtls::tls::session::{SessionEntry, TicketKeys};
+        let master = g.bytes_in(1, 64);
         let mut rng = TestRng::new(42);
         let keys = TicketKeys::generate(&mut rng);
         let entry = SessionEntry {
@@ -173,6 +212,6 @@ proptest! {
         };
         let ticket = keys.seal(&entry, &mut rng);
         let opened = keys.open(&ticket).unwrap();
-        prop_assert_eq!(opened.master, master);
-    }
+        assert_eq!(opened.master, master);
+    });
 }

@@ -1,9 +1,13 @@
 //! Property-based tests of the offload-framework data structures: the
 //! lock-free ring against a reference queue model, and the notification
 //! primitives.
+//!
+//! Runs on the hermetic in-repo harness (`qtls::prop`): a small
+//! deterministic case set by default, the full sweep with
+//! `cargo test --features proptest`.
 
-use proptest::prelude::*;
 use qtls::core::AsyncQueue;
+use qtls::prop;
 use qtls::qat::ring::Ring;
 use std::collections::VecDeque;
 
@@ -14,19 +18,19 @@ enum Op {
     Pop,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<u32>().prop_map(Op::Push),
-        Just(Op::Pop),
-    ]
+fn gen_op(g: &mut prop::Gen) -> Op {
+    if g.bool() {
+        Op::Push(g.u32())
+    } else {
+        Op::Pop
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn ring_matches_reference_queue(cap in 1usize..64,
-                                    ops in proptest::collection::vec(op_strategy(), 0..200)) {
+#[test]
+fn ring_matches_reference_queue() {
+    prop::check("ring_matches_reference_queue", 128, |g| {
+        let cap = g.usize_in(1, 64);
+        let ops: Vec<Op> = (0..g.usize_in(0, 200)).map(|_| gen_op(g)).collect();
         let ring = Ring::new(cap);
         let real_cap = ring.capacity();
         let mut model: VecDeque<u32> = VecDeque::new();
@@ -35,36 +39,43 @@ proptest! {
                 Op::Push(v) => {
                     let ring_ok = ring.push(v).is_ok();
                     let model_ok = model.len() < real_cap;
-                    prop_assert_eq!(ring_ok, model_ok, "push accept/reject must match");
+                    assert_eq!(ring_ok, model_ok, "push accept/reject must match");
                     if model_ok {
                         model.push_back(v);
                     }
                 }
                 Op::Pop => {
-                    prop_assert_eq!(ring.pop(), model.pop_front());
+                    assert_eq!(ring.pop(), model.pop_front());
                 }
             }
-            prop_assert_eq!(ring.len(), model.len());
+            assert_eq!(ring.len(), model.len());
         }
         // Drain and compare the tail.
         while let Some(expect) = model.pop_front() {
-            prop_assert_eq!(ring.pop(), Some(expect));
+            assert_eq!(ring.pop(), Some(expect));
         }
-        prop_assert_eq!(ring.pop(), None);
-    }
+        assert_eq!(ring.pop(), None);
+    });
+}
 
-    #[test]
-    fn async_queue_preserves_order(values in proptest::collection::vec(any::<u64>(), 0..100)) {
+#[test]
+fn async_queue_preserves_order() {
+    prop::check("async_queue_preserves_order", 128, |g| {
+        let values: Vec<u64> = (0..g.usize_in(0, 100)).map(|_| g.u64()).collect();
         let q = AsyncQueue::new();
         for &v in &values {
             q.push(v);
         }
-        prop_assert_eq!(q.drain(), values);
-        prop_assert!(q.is_empty());
-    }
+        assert_eq!(q.drain(), values);
+        assert!(q.is_empty());
+    });
+}
 
-    #[test]
-    fn heuristic_thresholds_monotone(total in 0u64..200, active in 0u64..200) {
+#[test]
+fn heuristic_thresholds_monotone() {
+    prop::check("heuristic_thresholds_monotone", 128, |g| {
+        let total = g.u64_in(0, 200);
+        let active = g.u64_in(0, 200);
         // A pure re-statement of §4.3's decision rule: polling is
         // triggered iff inflight work exists AND (everyone is waiting OR
         // the coalescing threshold is reached). Guards the rule against
@@ -76,13 +87,13 @@ proptest! {
         let fires = decide(total, active);
         // Monotone in total:
         if fires {
-            prop_assert!(decide(total + 1, active));
+            assert!(decide(total + 1, active));
         }
         // Anti-monotone in active (more active conns never force a poll):
         if !fires {
-            prop_assert!(!decide(total, active + 1));
+            assert!(!decide(total, active + 1));
         }
-    }
+    });
 }
 
 #[test]
