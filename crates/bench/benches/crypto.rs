@@ -17,18 +17,22 @@ fn bench_rsa(c: &mut Criterion) {
     let mut group = c.benchmark_group("rsa2048");
     group.sample_size(20);
     group.bench_function("sign_pkcs1_sha256", |b| {
-        b.iter(|| key.sign_pkcs1_sha256(black_box(b"server key exchange")).unwrap())
+        b.iter(|| {
+            key.sign_pkcs1_sha256(black_box(b"server key exchange"))
+                .unwrap()
+        })
     });
-    let ct = key
-        .public()
-        .encrypt_pkcs1(&[7u8; 48], &mut rng)
-        .unwrap();
+    let ct = key.public().encrypt_pkcs1(&[7u8; 48], &mut rng).unwrap();
     group.bench_function("decrypt_premaster", |b| {
         b.iter(|| key.decrypt_pkcs1(black_box(&ct)).unwrap())
     });
     let sig = key.sign_pkcs1_sha256(b"msg").unwrap();
     group.bench_function("verify", |b| {
-        b.iter(|| key.public().verify_pkcs1_sha256(black_box(b"msg"), &sig).unwrap())
+        b.iter(|| {
+            key.public()
+                .verify_pkcs1_sha256(black_box(b"msg"), &sig)
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -36,7 +40,12 @@ fn bench_rsa(c: &mut Criterion) {
 fn bench_ecc(c: &mut Criterion) {
     let mut group = c.benchmark_group("ecdsa_sign");
     group.sample_size(10);
-    for curve in [NamedCurve::P256, NamedCurve::P384, NamedCurve::B283, NamedCurve::K283] {
+    for curve in [
+        NamedCurve::P256,
+        NamedCurve::P384,
+        NamedCurve::B283,
+        NamedCurve::K283,
+    ] {
         let mut rng = TestRng::new(2);
         let kp = ecc::generate_keypair(curve, &mut rng);
         group.bench_function(curve.name(), |b| {
@@ -90,7 +99,9 @@ fn bench_symmetric(c: &mut Criterion) {
     let mut group = c.benchmark_group("hash");
     let data = vec![0u8; 16 * 1024];
     group.throughput(Throughput::Bytes(data.len() as u64));
-    group.bench_function("sha256_16kb", |b| b.iter(|| Sha256::digest(black_box(&data))));
+    group.bench_function("sha256_16kb", |b| {
+        b.iter(|| Sha256::digest(black_box(&data)))
+    });
     group.finish();
 }
 

@@ -19,7 +19,11 @@ fn main() {
         .map(|s| s.as_str())
         .filter(|s| !s.starts_with("--"))
         .collect();
-    let f = if full { Fidelity::FULL } else { Fidelity::QUICK };
+    let f = if full {
+        Fidelity::FULL
+    } else {
+        Fidelity::QUICK
+    };
     let all: Vec<FigureRunner> = vec![
         ("table1", Box::new(experiments::table1)),
         ("fig7a", Box::new(move || experiments::fig7a(f))),
@@ -33,7 +37,14 @@ fn main() {
         ("fig12a", Box::new(move || experiments::fig12a(f))),
         ("fig12b", Box::new(move || experiments::fig12b(f))),
         ("fig12c", Box::new(move || experiments::fig12c(f))),
-        ("thresholds", Box::new(move || experiments::threshold_sweep(f))),
+        (
+            "thresholds",
+            Box::new(move || experiments::threshold_sweep(f)),
+        ),
+        (
+            "batching",
+            Box::new(move || experiments::batching_ablation(f)),
+        ),
     ];
     for (name, runner) in all {
         if !wanted.is_empty() && !wanted.contains(&name) {

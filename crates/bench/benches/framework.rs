@@ -10,8 +10,8 @@
 use qtls_bench::harness::Criterion;
 use qtls_bench::{criterion_group, criterion_main};
 use qtls_core::{
-    start_job, AsyncQueue, EngineMode, FdSelector, HeuristicConfig, HeuristicPoller,
-    OffloadEngine, StartResult, VirtualFd,
+    start_job, AsyncQueue, EngineMode, FdSelector, HeuristicConfig, HeuristicPoller, OffloadEngine,
+    StartResult, VirtualFd,
 };
 use qtls_qat::ring::Ring;
 use qtls_qat::{CryptoOp, QatConfig, QatDevice};
@@ -99,6 +99,52 @@ fn bench_heuristic(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_submission(c: &mut Criterion) {
+    // Per-request doorbells vs one batched ring publish (the sweep-
+    // boundary flush). Engines are disabled so the measurement isolates
+    // the submission path; each iteration drains the request ring.
+    use qtls_bench::harness::Throughput;
+    use qtls_qat::make_request;
+    use std::collections::VecDeque;
+    let dev = QatDevice::new(QatConfig {
+        endpoints: 1,
+        engines_per_endpoint: 0,
+        ring_capacity: 1024,
+        ..QatConfig::functional_small()
+    });
+    let inst = dev.alloc_instance();
+    let op = || CryptoOp::Prf {
+        secret: Vec::new(),
+        label: Vec::new(),
+        seed: Vec::new(),
+        out_len: 16,
+    };
+    let mut group = c.benchmark_group("submission");
+    for depth in [1u64, 4, 16] {
+        group.throughput(Throughput::Elements(depth));
+        group.bench_function(format!("per_op_depth{depth}"), |b| {
+            b.iter(|| {
+                for i in 0..depth {
+                    inst.submit(make_request(i, op(), Box::new(|_| {})))
+                        .unwrap();
+                }
+                inst.discard_requests(usize::MAX)
+            })
+        });
+        group.bench_function(format!("batched_depth{depth}"), |b| {
+            b.iter(|| {
+                let mut batch: VecDeque<_> = (0..depth)
+                    .map(|i| make_request(i, op(), Box::new(|_| {})))
+                    .collect();
+                let n = inst.submit_batch(&mut batch);
+                inst.discard_requests(usize::MAX);
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_offload_roundtrip(c: &mut Criterion) {
     // Full blocking offload of a PRF through the threaded device model:
     // submit → engine thread computes → poll → callback.
@@ -180,6 +226,7 @@ criterion_group!(
     bench_fiber,
     bench_notification,
     bench_ring,
+    bench_submission,
     bench_heuristic,
     bench_offload_roundtrip,
     bench_fiber_vs_stack

@@ -14,6 +14,8 @@ fn main() {
     // RSA
     let key = qtls_crypto::test_keys::test_rsa_2048();
     let t0 = std::time::Instant::now();
-    for _ in 0..10 { let _ = key.sign_pkcs1_sha256(b"m"); }
+    for _ in 0..10 {
+        let _ = key.sign_pkcs1_sha256(b"m");
+    }
     println!("rsa2048 sign: {:?}/op", t0.elapsed() / 10);
 }

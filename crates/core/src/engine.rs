@@ -1,23 +1,34 @@
 //! The QAT Engine layer (paper §3.2, §4.3): the bridge between the TLS
-//! library and the QAT driver.
+//! library and the QAT driver, structured as an explicit pipeline of
+//! three stages that [`OffloadEngine`] merely composes:
 //!
-//! Responsibilities, exactly as in the paper:
+//! - [`SubmitStage`] — cookie allocation, inflight accounting and
+//!   request submission, either immediate (one doorbell per request) or
+//!   staged through an attached [`SubmitQueue`] and flushed in one
+//!   batch at the event-loop sweep boundary. Owns the single shared
+//!   [`Backpressure`] policy every ring-full retry goes through.
+//! - [`RetrieveStage`] — response retrieval (polling) over the same
+//!   ring pair.
+//! - the notify stage — wraps completion delivery (inflight decrement +
+//!   [`crate::wait_ctx::WaitCtx::complete`], which fires the registered
+//!   [`crate::notify::Notifier`]) into the device response callback.
 //!
-//! - submit crypto requests through the driver's non-blocking API and
-//!   register a response callback;
-//! - in async mode, pause the current offload job after submission
-//!   ("crypto pause") and hand the result over at resume time;
-//! - in straight-offload mode (`QAT+S`), block the caller until the
-//!   response arrives — reproducing the offload-I/O blocking pathology
-//!   of §2.4;
-//! - maintain the per-class inflight counters `R_asym`, `R_cipher`,
-//!   `R_prf` and expose their sum "with a new engine command" for the
-//!   heuristic polling scheme.
+//! Mode behaviour, exactly as in the paper: async mode pauses the
+//! current offload job after submission ("crypto pause") and hands the
+//! result over at resume; straight-offload mode (`QAT+S`) blocks the
+//! caller until the response arrives — reproducing the offload-I/O
+//! blocking pathology of §2.4. The per-class inflight counters
+//! `R_asym`, `R_cipher`, `R_prf` are maintained "with a new engine
+//! command" for the heuristic polling scheme.
 
 use crate::fiber;
-use qtls_sync::{Condvar, Mutex};
+use crate::pipeline::{Backpressure, FlushReport, FullAction, SubmitContext, SubmitQueue};
 use qtls_crypto::CryptoError;
-use qtls_qat::{make_request, CryptoInstance, CryptoOp, CryptoResult, OpClass, SubmitFull};
+use qtls_qat::{
+    make_request, CryptoInstance, CryptoOp, CryptoRequest, CryptoResult, OpClass, ResponseCallback,
+    SubmitFull,
+};
+use qtls_sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -68,14 +79,124 @@ pub enum EngineMode {
     Async,
 }
 
-/// The offload engine bound to one crypto instance (one per worker).
-pub struct OffloadEngine {
+/// The submission stage of the offload pipeline: cookies, inflight
+/// accounting, immediate or queued (batched) submission, and the shared
+/// ring-full [`Backpressure`] policy.
+pub struct SubmitStage {
     instance: CryptoInstance,
-    mode: EngineMode,
     counters: Arc<InflightCounters>,
     next_cookie: AtomicU64,
+    backpressure: Backpressure,
+    /// When attached, async submissions are staged here and published
+    /// in one batch by `flush` at the sweep boundary.
+    queue: Mutex<Option<Arc<SubmitQueue>>>,
     /// Total submission retries due to a full request ring.
-    pub ring_full_retries: AtomicU64,
+    ring_full_retries: AtomicU64,
+}
+
+impl SubmitStage {
+    fn new(instance: CryptoInstance, counters: Arc<InflightCounters>) -> Self {
+        SubmitStage {
+            instance,
+            counters,
+            next_cookie: AtomicU64::new(1),
+            backpressure: Backpressure::default(),
+            queue: Mutex::new(None),
+            ring_full_retries: AtomicU64::new(0),
+        }
+    }
+
+    fn next_cookie(&self) -> u64 {
+        self.next_cookie.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Account a request as inflight the moment it enters the pipeline.
+    fn begin(&self, class: OpClass) {
+        self.counters.counter(class).fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Undo [`Self::begin`] for a request handed back by a full ring.
+    fn abort(&self, class: OpClass) {
+        self.counters.counter(class).fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn attached_queue(&self) -> Option<Arc<SubmitQueue>> {
+        self.queue.lock().clone()
+    }
+
+    /// Submit immediately (one doorbell); on a full ring count the
+    /// retry and hand the request back to the caller's policy.
+    fn submit_now(&self, request: CryptoRequest) -> Result<(), SubmitFull> {
+        match self.instance.submit(request) {
+            Ok(()) => Ok(()),
+            Err(full) => {
+                self.ring_full_retries.fetch_add(1, Ordering::Relaxed);
+                Err(full)
+            }
+        }
+    }
+
+    /// Publish everything staged on the attached queue in one batch.
+    fn flush(&self) -> FlushReport {
+        match self.attached_queue() {
+            Some(queue) => queue.flush(&self.instance),
+            None => FlushReport::default(),
+        }
+    }
+}
+
+/// The retrieval stage of the offload pipeline: response polling over
+/// the instance's response ring (callbacks run inline).
+pub struct RetrieveStage {
+    instance: CryptoInstance,
+}
+
+impl RetrieveStage {
+    /// Retrieve up to `max` responses; returns the number retrieved.
+    pub fn poll(&self, max: usize) -> usize {
+        self.instance.poll(max)
+    }
+
+    /// Drain all available responses.
+    pub fn poll_all(&self) -> usize {
+        self.instance.poll_all()
+    }
+}
+
+/// The notify stage of the offload pipeline: builds the device response
+/// callback that pairs the inflight decrement with completion delivery
+/// (parking the result and firing the registered notifier).
+struct NotifyStage {
+    counters: Arc<InflightCounters>,
+}
+
+impl NotifyStage {
+    /// Response callback for a fiber job: complete its wait context.
+    fn job_completion(&self, ctx: fiber::CurrentWaitCtx, class: OpClass) -> ResponseCallback {
+        let counters = Arc::clone(&self.counters);
+        Box::new(move |result| {
+            counters.counter(class).fetch_sub(1, Ordering::Relaxed);
+            ctx.complete(result);
+        })
+    }
+
+    /// Response callback for a blocking caller: fill its one-shot slot.
+    fn slot_completion(&self, slot: Arc<BlockSlot>, class: OpClass) -> ResponseCallback {
+        let counters = Arc::clone(&self.counters);
+        Box::new(move |result| {
+            counters.counter(class).fetch_sub(1, Ordering::Relaxed);
+            slot.fill(result);
+        })
+    }
+}
+
+/// The offload engine bound to one crypto instance (one per worker): a
+/// thin composition of the submit, retrieve and notify stages.
+pub struct OffloadEngine {
+    submit: SubmitStage,
+    retrieve: RetrieveStage,
+    notify: NotifyStage,
+    mode: EngineMode,
     /// Whether a dedicated polling thread retrieves responses (affects
     /// only the blocking path's self-polling decision).
     has_external_poller: AtomicU64,
@@ -84,12 +205,12 @@ pub struct OffloadEngine {
 impl OffloadEngine {
     /// Create an engine over `instance` in the given mode.
     pub fn new(instance: CryptoInstance, mode: EngineMode) -> Self {
+        let counters = Arc::new(InflightCounters::default());
         OffloadEngine {
-            instance,
+            submit: SubmitStage::new(instance.clone(), Arc::clone(&counters)),
+            retrieve: RetrieveStage { instance },
+            notify: NotifyStage { counters },
             mode,
-            counters: Arc::new(InflightCounters::default()),
-            next_cookie: AtomicU64::new(1),
-            ring_full_retries: AtomicU64::new(0),
             has_external_poller: AtomicU64::new(0),
         }
     }
@@ -103,7 +224,7 @@ impl OffloadEngine {
 
     /// The underlying crypto instance (for pollers).
     pub fn instance(&self) -> &CryptoInstance {
-        &self.instance
+        &self.submit.instance
     }
 
     /// Engine mode.
@@ -113,18 +234,48 @@ impl OffloadEngine {
 
     /// The inflight counters ("new engine command" of §4.3).
     pub fn inflight(&self) -> &InflightCounters {
-        &self.counters
+        &self.notify.counters
+    }
+
+    /// Total submission retries due to a full request ring.
+    pub fn ring_full_retries(&self) -> u64 {
+        self.submit.ring_full_retries.load(Ordering::Relaxed)
+    }
+
+    /// The retrieval stage (for pollers that want it by name).
+    pub fn retrieve_stage(&self) -> &RetrieveStage {
+        &self.retrieve
+    }
+
+    /// Attach a per-worker submit queue: async submissions are staged
+    /// on it and published in one batch by [`Self::flush_submissions`]
+    /// at the event-loop sweep boundary. Blocking offloads keep
+    /// submitting immediately — a blocked caller cannot also be the
+    /// flusher.
+    pub fn attach_submit_queue(&self, queue: Arc<SubmitQueue>) {
+        *self.submit.queue.lock() = Some(queue);
+    }
+
+    /// The attached submit queue, if any.
+    pub fn submit_queue(&self) -> Option<Arc<SubmitQueue>> {
+        self.submit.attached_queue()
+    }
+
+    /// Flush the attached submit queue (no-op without one). Called by
+    /// the worker at the end of each event-loop iteration.
+    pub fn flush_submissions(&self) -> FlushReport {
+        self.submit.flush()
     }
 
     /// Poll the instance, retrieving up to `max` responses (callbacks run
     /// inline). Returns the number retrieved.
     pub fn poll(&self, max: usize) -> usize {
-        self.instance.poll(max)
+        self.retrieve.poll(max)
     }
 
     /// Drain all available responses.
     pub fn poll_all(&self) -> usize {
-        self.instance.poll_all()
+        self.retrieve.poll_all()
     }
 
     /// Offload one crypto operation according to the engine mode.
@@ -147,79 +298,105 @@ impl OffloadEngine {
     }
 
     /// The async path: non-blocking submit + crypto pause (§3.2).
+    ///
+    /// With a submit queue attached the request is staged and the job
+    /// pauses at once; the batch is published at the sweep boundary by
+    /// [`Self::flush_submissions`], and ring-full shows up as deferral
+    /// inside the queue rather than as a submission failure here.
+    /// Without a queue the request is submitted immediately and a full
+    /// ring follows the event-loop backpressure policy: mark retry,
+    /// pause, let the application reschedule.
     fn offload_async(&self, mut op: CryptoOp) -> CryptoResult {
         let ctx_handle = fiber::current_wait_ctx().expect("offload_async requires a job");
         let class = op.class();
-        loop {
-            let cookie = self.next_cookie.fetch_add(1, Ordering::Relaxed);
-            let completion = ctx_handle.clone();
-            let counters = Arc::clone(&self.counters);
-            self.counters.counter(class).fetch_add(1, Ordering::Relaxed);
+        if let Some(queue) = self.submit.attached_queue() {
+            self.submit.begin(class);
             let request = make_request(
-                cookie,
+                self.submit.next_cookie(),
                 op,
-                Box::new(move |result| {
-                    // Response callback (runs at poll time): bookkeeping,
-                    // park the result, fire the async event notification.
-                    counters.counter(class).fetch_sub(1, Ordering::Relaxed);
-                    completion.complete(result);
-                }),
+                self.notify.job_completion(ctx_handle.clone(), class),
             );
-            match self.instance.submit(request) {
-                Ok(()) => {
-                    // Crypto pause: return control to the application.
-                    fiber::pause_job();
-                    // Post-processing: the QAT response has been
-                    // retrieved and parked; consume it. A spurious resume
-                    // (event disorder, §4.2) just pauses again.
-                    loop {
-                        if let Some(result) = ctx_handle.get().take_result() {
-                            return result;
-                        }
-                        fiber::pause_job();
-                    }
-                }
+            queue.enqueue(request);
+            return self.consume_parked_result(&ctx_handle);
+        }
+        let mut attempt = 0u32;
+        loop {
+            self.submit.begin(class);
+            let request = make_request(
+                self.submit.next_cookie(),
+                op,
+                self.notify.job_completion(ctx_handle.clone(), class),
+            );
+            match self.submit.submit_now(request) {
+                Ok(()) => return self.consume_parked_result(&ctx_handle),
                 Err(SubmitFull(back)) => {
-                    // Submission failure (§3.2): undo the counter, mark
-                    // retry, pause; the application reschedules the job
-                    // and we retry the submission.
-                    self.counters.counter(class).fetch_sub(1, Ordering::Relaxed);
-                    self.ring_full_retries.fetch_add(1, Ordering::Relaxed);
+                    // Submission failure (§3.2): undo the counter, then
+                    // do what the policy says (always pause/reschedule
+                    // on the event loop).
+                    self.submit.abort(class);
                     op = back.op;
-                    ctx_handle.get().set_retry();
-                    fiber::pause_job();
+                    match self
+                        .submit
+                        .backpressure
+                        .action(attempt, SubmitContext::EventLoop)
+                    {
+                        FullAction::Reschedule => {
+                            ctx_handle.get().set_retry();
+                            fiber::pause_job();
+                        }
+                        other => unreachable!("event-loop policy yielded {other:?}"),
+                    }
+                    attempt += 1;
                 }
             }
         }
     }
 
-    /// The blocking path (straight offload / no-job fallback).
+    /// Crypto pause + post-processing: return control to the
+    /// application, then consume the parked result after resume. A
+    /// spurious resume (event disorder, §4.2) just pauses again.
+    fn consume_parked_result(&self, ctx_handle: &fiber::CurrentWaitCtx) -> CryptoResult {
+        fiber::pause_job();
+        loop {
+            if let Some(result) = ctx_handle.get().take_result() {
+                return result;
+            }
+            fiber::pause_job();
+        }
+    }
+
+    /// The blocking path (straight offload / no-job fallback). Always
+    /// submits immediately — a blocked caller cannot be the flusher of
+    /// a submit queue — and rides the shared backpressure policy on a
+    /// full ring: self-polling callers yield (each retry drains
+    /// responses), externally-polled callers spin briefly then park so
+    /// the poller thread gets cycles.
     fn offload_blocking(&self, op: CryptoOp, self_poll: bool) -> CryptoResult {
         let class = op.class();
         let slot = Arc::new(BlockSlot::default());
-        let slot_cb = Arc::clone(&slot);
-        let counters = Arc::clone(&self.counters);
-        self.counters.counter(class).fetch_add(1, Ordering::Relaxed);
-        let cookie = self.next_cookie.fetch_add(1, Ordering::Relaxed);
+        self.submit.begin(class);
         let mut request = make_request(
-            cookie,
+            self.submit.next_cookie(),
             op,
-            Box::new(move |result| {
-                counters.counter(class).fetch_sub(1, Ordering::Relaxed);
-                slot_cb.fill(result);
-            }),
+            self.notify.slot_completion(Arc::clone(&slot), class),
         );
+        let ctx = if self_poll {
+            SubmitContext::BlockingSelfPoll
+        } else {
+            SubmitContext::BlockingWait
+        };
         // Straight offload blocks even on submission: retry until queued.
+        let mut attempt = 0u32;
         loop {
-            match self.instance.submit(request) {
+            match self.submit.submit_now(request) {
                 Ok(()) => break,
                 Err(SubmitFull(back)) => {
-                    self.ring_full_retries.fetch_add(1, Ordering::Relaxed);
                     request = back;
                     if self_poll {
-                        self.instance.poll_all();
+                        self.retrieve.poll_all();
                     }
-                    std::thread::yield_now();
+                    self.submit.backpressure.wait(attempt, ctx);
+                    attempt += 1;
                 }
             }
         }
@@ -228,7 +405,7 @@ impl OffloadEngine {
         let deadline = Instant::now() + Duration::from_secs(120);
         loop {
             if self_poll {
-                self.instance.poll_all();
+                self.retrieve.poll_all();
             }
             if let Some(result) = slot.try_take(Duration::from_micros(50)) {
                 return result;
@@ -392,7 +569,133 @@ mod tests {
             _ => panic!(),
         };
         assert!(third.wait_ctx().take_retry(), "retry flag expected");
-        assert_eq!(engine.ring_full_retries.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.ring_full_retries(), 1);
+    }
+
+    #[test]
+    fn queued_submissions_flush_in_one_batch() {
+        use crate::pipeline::SubmitQueue;
+        let dev = device();
+        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Async));
+        let queue = Arc::new(SubmitQueue::new());
+        engine.attach_submit_queue(Arc::clone(&queue));
+        let mut jobs = Vec::new();
+        for i in 0..6usize {
+            let eng = Arc::clone(&engine);
+            match start_job(move || eng.offload(prf_op(8 + i))) {
+                StartResult::Paused(j) => jobs.push((i, j)),
+                StartResult::Finished(_) => panic!("must pause"),
+            }
+        }
+        // The sweep staged everything; nothing reached the device yet.
+        assert_eq!(queue.len(), 6);
+        assert_eq!(engine.inflight().total(), 6);
+        assert_eq!(dev.fw_counters().submitted.load(Ordering::Relaxed), 0);
+        // The sweep-boundary flush publishes the batch: one doorbell.
+        let report = engine.flush_submissions();
+        assert_eq!(report.submitted, 6);
+        assert_eq!(report.deferred, 0);
+        assert!(queue.is_empty());
+        assert_eq!(dev.fw_counters().submitted.load(Ordering::Relaxed), 6);
+        assert_eq!(dev.fw_counters().doorbells.load(Ordering::Relaxed), 1);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.inflight().total() > 0 {
+            engine.poll_all();
+            assert!(Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        for (i, job) in jobs {
+            match job.resume() {
+                StartResult::Finished(res) => {
+                    assert_eq!(res.unwrap().into_bytes().len(), 8 + i)
+                }
+                StartResult::Paused(_) => panic!("must finish"),
+            }
+        }
+        assert_eq!(engine.ring_full_retries(), 0);
+    }
+
+    #[test]
+    fn flush_defers_on_full_ring_and_retries_next_sweep() {
+        use crate::pipeline::SubmitQueue;
+        // No engines, tiny ring: the flush can only place 2 of 5.
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 1,
+            engines_per_endpoint: 0,
+            ring_capacity: 2,
+            ..QatConfig::functional_small()
+        });
+        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Async));
+        let queue = Arc::new(SubmitQueue::new());
+        engine.attach_submit_queue(Arc::clone(&queue));
+        let mut jobs = Vec::new();
+        for _ in 0..5 {
+            let eng = Arc::clone(&engine);
+            match start_job(move || eng.offload(prf_op(8))) {
+                StartResult::Paused(j) => jobs.push(j),
+                StartResult::Finished(_) => panic!("must pause"),
+            }
+        }
+        let report = engine.flush_submissions();
+        assert_eq!(report.submitted, 2);
+        assert_eq!(report.deferred, 3);
+        // Deferral is queue-internal backpressure: no per-job retry
+        // pause, no ring_full_retries.
+        assert_eq!(engine.ring_full_retries(), 0);
+        assert_eq!(engine.inflight().total(), 5);
+        // "Engines" consume the ring; later sweeps' flushes drain the
+        // deferred tail two slots at a time.
+        assert_eq!(engine.instance().discard_requests(usize::MAX), 2);
+        let report = engine.flush_submissions();
+        assert_eq!(report.submitted, 2);
+        assert_eq!(report.deferred, 1);
+        assert_eq!(engine.instance().discard_requests(usize::MAX), 2);
+        let report = engine.flush_submissions();
+        assert_eq!(report.submitted, 1);
+        assert_eq!(report.deferred, 0);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn blocking_full_ring_with_external_poller_does_not_hot_spin() {
+        use crate::poller::TimerPoller;
+        // Regression: with an external poller attached (self_poll ==
+        // false) the old SubmitFull retry loop spun hot — one
+        // ring_full_retries increment per yield, tens of thousands per
+        // blocked submission. The shared Backpressure policy bounds the
+        // spin and parks, so the retry count stays small.
+        use qtls_qat::{ServiceMode, ServiceTable};
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 1,
+            engines_per_endpoint: 1,
+            ring_capacity: 2,
+            service_mode: ServiceMode::Timed { time_scale: 1.0 },
+            service_table: ServiceTable {
+                prf_ns: 3_000_000, // 3 ms per op: the ring stays full
+                ..ServiceTable::default()
+            },
+        });
+        let engine = Arc::new(OffloadEngine::new(
+            dev.alloc_instance(),
+            EngineMode::Blocking,
+        ));
+        let poller = TimerPoller::spawn(Arc::clone(&engine), Duration::from_micros(200));
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let eng = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                eng.offload(prf_op(16)).unwrap().into_bytes()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap().len(), 16);
+        }
+        poller.stop();
+        let retries = engine.ring_full_retries();
+        assert!(
+            retries < 5_000,
+            "blocking path hot-spun on a full ring: {retries} retries"
+        );
     }
 
     #[test]

@@ -288,7 +288,9 @@ mod tests {
             ctx.get().set_ready_marker(7);
             pause_job();
         });
-        let StartResult::Paused(job) = r else { panic!() };
+        let StartResult::Paused(job) = r else {
+            panic!()
+        };
         assert_eq!(job.wait_ctx().ready_marker(), Some(7));
         let StartResult::Finished(()) = job.resume() else {
             panic!()

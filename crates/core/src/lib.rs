@@ -4,11 +4,17 @@
 //! the machinery that turns blocking crypto offload into the four-phase
 //! asynchronous pipeline of §3.1:
 //!
-//! 1. **Pre-processing** — [`engine::OffloadEngine`] submits the crypto
+//! 1. **Pre-processing** — [`engine::OffloadEngine`] (a thin
+//!    composition of submit/retrieve/notify stages) submits the crypto
 //!    request through the device's non-blocking ring API and pauses the
 //!    current offload job ([`fiber::pause_job`]), returning control to
-//!    the event loop. [`fiber`] provides OpenSSL-style `ASYNC_JOB`
-//!    semantics (`start_job` / `pause_job` / resume).
+//!    the event loop. With a [`pipeline::SubmitQueue`] attached,
+//!    submissions are staged per event-loop sweep and published in one
+//!    batch (one ring-cursor publish, one doorbell) at the sweep
+//!    boundary; ring-full handling everywhere goes through the single
+//!    [`pipeline::Backpressure`] policy. [`fiber`] provides
+//!    OpenSSL-style `ASYNC_JOB` semantics (`start_job` / `pause_job` /
+//!    resume).
 //! 2. **QAT response retrieval** — [`poller::HeuristicPoller`]
 //!    implements the heuristic scheme (efficiency threshold, timeliness
 //!    rule, failover), with [`poller::TimerPoller`] as the timer-thread
@@ -33,14 +39,19 @@
 pub mod engine;
 pub mod fiber;
 pub mod notify;
+pub mod pipeline;
 pub mod poller;
 pub mod profile;
 pub mod stack;
 pub mod wait_ctx;
 
-pub use engine::{EngineMode, InflightCounters, OffloadEngine};
+pub use engine::{EngineMode, InflightCounters, OffloadEngine, RetrieveStage, SubmitStage};
 pub use fiber::{in_job, pause_job, start_job, AsyncJob, StartResult};
-pub use notify::{AsyncQueue, FdSelector, KernelCostMeter, VirtualFd};
+pub use notify::{AsyncQueue, FdSelector, KernelCostMeter, Notifier, VirtualFd};
+pub use pipeline::{
+    Backpressure, BackpressureConfig, FlushReport, FullAction, SubmitContext, SubmitQueue,
+    SubmitQueueStats,
+};
 pub use poller::{HeuristicConfig, HeuristicPoller, PollTrigger, TimerPoller};
 pub use profile::{NotifyScheme, OffloadProfile, PollingScheme};
 pub use stack::{StackAsyncOp, StackPoll};

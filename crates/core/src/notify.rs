@@ -19,6 +19,32 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// A pluggable completion-delivery mechanism: how "your crypto result
+/// is ready" reaches the event loop. Implemented by the kernel-bypass
+/// [`AsyncQueue`] (append the handler token — pure user space) and by
+/// [`VirtualFd`] (signal the eventfd — a counted kernel crossing), so
+/// the engine and wait context are agnostic of the notification scheme
+/// the profile selected (§3.4 / §4.4).
+pub trait Notifier: Send + Sync {
+    /// Deliver `token` (the async-handler information the application
+    /// registered, e.g. a connection id).
+    fn notify(&self, token: u64);
+}
+
+impl Notifier for AsyncQueue<u64> {
+    fn notify(&self, token: u64) {
+        self.push(token);
+    }
+}
+
+impl Notifier for VirtualFd {
+    fn notify(&self, _token: u64) {
+        // The FD scheme identifies the connection by the FD itself; the
+        // token travels out-of-band (the selector returns ready ids).
+        self.signal();
+    }
+}
+
 /// Global-ish meter of simulated user/kernel mode switches. One meter is
 /// shared per worker so the QAT+A vs QTLS notification cost is directly
 /// measurable.
@@ -293,6 +319,20 @@ mod tests {
         fd.clear(); // 4
         sel.deregister(1); // 5
         assert_eq!(sel.meter().total(), 5);
+    }
+
+    #[test]
+    fn notifier_trait_unifies_queue_and_fd() {
+        // Same trait object type, both delivery schemes.
+        let queue = Arc::new(AsyncQueue::<u64>::new());
+        let fd = Arc::new(VirtualFd::new(4));
+        let notifiers: Vec<Arc<dyn Notifier>> = vec![Arc::clone(&queue) as _, Arc::clone(&fd) as _];
+        for n in &notifiers {
+            n.notify(31);
+        }
+        assert_eq!(queue.drain(), vec![31]);
+        assert!(fd.is_ready());
+        assert_eq!(fd.clear(), 1);
     }
 
     #[test]

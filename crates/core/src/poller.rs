@@ -179,8 +179,7 @@ impl HeuristicPoller {
     /// turn). Polls only if no poll happened during the last failover
     /// interval while requests are inflight.
     pub fn failover_check(&mut self) -> usize {
-        if self.engine.inflight().total() > 0 && self.last_poll.elapsed() >= self.config.failover
-        {
+        if self.engine.inflight().total() > 0 && self.last_poll.elapsed() >= self.config.failover {
             self.poll_now(PollTrigger::Failover)
         } else {
             0
@@ -329,6 +328,85 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         poller.failover_check();
         assert_eq!(poller.stats().failover_polls, 1);
+    }
+
+    #[test]
+    fn failover_never_fires_with_zero_inflight() {
+        // Zero inflight means there is nothing a poll could retrieve:
+        // the failover timer must stay silent no matter how long ago
+        // the last poll happened.
+        let (_dev, engine) = stuck_engine();
+        let mut poller = HeuristicPoller::new(
+            Arc::clone(&engine),
+            HeuristicConfig {
+                failover: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(poller.failover_check(), 0);
+        let stats = poller.stats();
+        assert_eq!(stats.failover_polls, 0);
+        assert_eq!(stats.empty_polls, 0);
+    }
+
+    #[test]
+    fn timeliness_fires_at_zero_active_connections() {
+        // TC_active == 0 with requests inflight is the degenerate
+        // timeliness edge: total >= 0 always holds, so the rule fires
+        // immediately (nothing else could drive the event loop).
+        let (_dev, engine) = stuck_engine();
+        submit_n(&engine, 1);
+        let poller = HeuristicPoller::new(Arc::clone(&engine), HeuristicConfig::default());
+        assert_eq!(poller.check(0), Some(PollTrigger::Timeliness));
+    }
+
+    #[test]
+    fn any_poll_resets_the_failover_timer() {
+        let (_dev, engine) = stuck_engine();
+        submit_n(&engine, 1);
+        let mut poller = HeuristicPoller::new(
+            Arc::clone(&engine),
+            HeuristicConfig {
+                failover: Duration::from_millis(20),
+                ..Default::default()
+            },
+        );
+        std::thread::sleep(Duration::from_millis(25));
+        // A timeliness poll lands first and resets last_poll...
+        assert_eq!(poller.maybe_poll(1), 0);
+        assert_eq!(poller.stats().timeliness_polls, 1);
+        // ...so the immediately-following failover check stays quiet
+        // even though more than `failover` elapsed since construction.
+        assert_eq!(poller.failover_check(), 0);
+        assert_eq!(poller.stats().failover_polls, 0);
+        // Once the interval elapses again with no other poll, it fires.
+        std::thread::sleep(Duration::from_millis(25));
+        poller.failover_check();
+        assert_eq!(poller.stats().failover_polls, 1);
+    }
+
+    #[test]
+    fn empty_polls_are_accounted() {
+        // A stuck engine never produces responses, so every fired poll
+        // is an empty one — the §5.6 "wasted polls" accounting.
+        let (_dev, engine) = stuck_engine();
+        submit_n(&engine, 2);
+        let mut poller = HeuristicPoller::new(
+            Arc::clone(&engine),
+            HeuristicConfig {
+                failover: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        assert_eq!(poller.maybe_poll(2), 0); // timeliness, retrieves nothing
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(poller.failover_check(), 0); // failover, retrieves nothing
+        let stats = poller.stats();
+        assert_eq!(stats.timeliness_polls, 1);
+        assert_eq!(stats.failover_polls, 1);
+        assert_eq!(stats.empty_polls, 2);
+        assert_eq!(stats.responses, 0);
     }
 
     #[test]

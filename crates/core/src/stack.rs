@@ -18,8 +18,8 @@
 //! tests and the `framework` ablation bench.
 
 use crate::engine::OffloadEngine;
-use qtls_sync::Mutex;
 use qtls_qat::{CryptoOp, CryptoResult, SubmitFull};
+use qtls_sync::Mutex;
 use std::sync::Arc;
 
 /// The state flag of Fig. 5.
@@ -75,11 +75,7 @@ impl StackAsyncOp {
     /// Drive the operation one step — the re-enterable crypto API of
     /// Fig. 5. `make_op` is only invoked when a fresh submission is
     /// needed (first call, or after `Ready` reset the state).
-    pub fn drive(
-        &self,
-        engine: &OffloadEngine,
-        make_op: impl FnOnce() -> CryptoOp,
-    ) -> StackPoll {
+    pub fn drive(&self, engine: &OffloadEngine, make_op: impl FnOnce() -> CryptoOp) -> StackPoll {
         // Fast path decisions under the lock; submission outside it.
         let op = {
             let mut flag = self.flag.lock();

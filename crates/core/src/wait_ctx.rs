@@ -2,16 +2,32 @@
 //! extended with the paper's two new members, `callback` and
 //! `callback_arg` (§4.4), plus the parked crypto result that the engine
 //! stores between pause and resume.
+//!
+//! Completion delivery goes through one pluggable
+//! [`Notifier`](crate::notify::Notifier) slot: `set_callback` (the
+//! `SSL_set_async_callback` analogue) and `set_fd` are adapters over
+//! the same slot, so the context is agnostic of the notification scheme
+//! and the last-registered mechanism wins.
 
-use crate::notify::VirtualFd;
-use qtls_sync::Mutex;
+use crate::notify::{Notifier, VirtualFd};
 use qtls_qat::CryptoResult;
+use qtls_sync::Mutex;
 use std::sync::Arc;
 
 /// The application-level notification callback (paper §4.4): invoked by
 /// the QAT response callback with `callback_arg` to enqueue the async
 /// handler without touching the kernel.
 pub type AsyncCallback = Arc<dyn Fn(u64) + Send + Sync>;
+
+/// Adapter presenting the paper's `(callback, callback_arg)` pair as a
+/// [`Notifier`].
+struct CallbackNotifier(AsyncCallback);
+
+impl Notifier for CallbackNotifier {
+    fn notify(&self, token: u64) {
+        (self.0)(token)
+    }
+}
 
 #[derive(Default)]
 struct Inner {
@@ -21,10 +37,8 @@ struct Inner {
     /// must reschedule the job to retry (§3.2 "failure of crypto
     /// submission").
     needs_retry: bool,
-    /// Kernel-bypass notification: `(callback, callback_arg)`.
-    callback: Option<(AsyncCallback, u64)>,
-    /// FD-based notification: the eventfd-like virtual FD.
-    fd: Option<Arc<VirtualFd>>,
+    /// Completion delivery: the registered notifier and its token.
+    notifier: Option<(Arc<dyn Notifier>, u64)>,
     /// Free-form user tag (diagnostics/tests).
     tag: Option<u64>,
 }
@@ -44,43 +58,39 @@ impl WaitCtx {
     /// `SSL_set_async_callback` equivalent: register the kernel-bypass
     /// callback and its argument (the async-handler information).
     pub fn set_callback(&self, cb: AsyncCallback, arg: u64) {
-        self.inner.lock().callback = Some((cb, arg));
+        self.set_notifier(Arc::new(CallbackNotifier(cb)), arg);
     }
 
-    /// `ASYNC_WAIT_CTX_get_callback` equivalent.
-    pub fn callback(&self) -> Option<(AsyncCallback, u64)> {
-        self.inner.lock().callback.clone()
-    }
-
-    /// Set-FD API: associate an eventfd-like FD for FD-based notification.
+    /// Set-FD API: associate an eventfd-like FD for FD-based
+    /// notification (the FD itself is the [`Notifier`]).
     pub fn set_fd(&self, fd: Arc<VirtualFd>) {
-        self.inner.lock().fd = Some(fd);
+        let token = fd.id;
+        self.set_notifier(fd, token);
     }
 
-    /// Get-FD API.
-    pub fn fd(&self) -> Option<Arc<VirtualFd>> {
-        self.inner.lock().fd.clone()
+    /// Register the completion-delivery mechanism directly. Replaces
+    /// whatever was registered before (last one wins).
+    pub fn set_notifier(&self, notifier: Arc<dyn Notifier>, token: u64) {
+        self.inner.lock().notifier = Some((notifier, token));
+    }
+
+    /// Is a completion-delivery mechanism registered?
+    pub fn has_notifier(&self) -> bool {
+        self.inner.lock().notifier.is_some()
     }
 
     /// Park a crypto result (called by the QAT response callback) and
-    /// fire whichever notification mechanism is registered: the
-    /// application callback if set (kernel-bypass path), otherwise the
-    /// FD (writes the event "into the kernel").
+    /// fire the registered notifier, if any. The notifier is chosen
+    /// under the lock but fired outside it, so a notification handler
+    /// may re-enter the context.
     pub fn complete(&self, result: CryptoResult) {
         let notification = {
             let mut inner = self.inner.lock();
             inner.result = Some(result);
-            // Decide the notification under the lock; fire outside it.
-            if let Some((cb, arg)) = inner.callback.clone() {
-                Some(Notification::Callback(cb, arg))
-            } else {
-                inner.fd.clone().map(Notification::Fd)
-            }
+            inner.notifier.clone()
         };
-        match notification {
-            Some(Notification::Callback(cb, arg)) => cb(arg),
-            Some(Notification::Fd(fd)) => fd.signal(),
-            None => {}
+        if let Some((notifier, token)) = notification {
+            notifier.notify(token);
         }
     }
 
@@ -113,11 +123,6 @@ impl WaitCtx {
     pub fn ready_marker(&self) -> Option<u64> {
         self.inner.lock().tag
     }
-}
-
-enum Notification {
-    Callback(AsyncCallback, u64),
-    Fd(Arc<VirtualFd>),
 }
 
 #[cfg(test)]
@@ -163,6 +168,19 @@ mod tests {
         ctx.complete(Ok(CryptoOutput::Bytes(vec![])));
         assert_eq!(hit.load(Ordering::SeqCst), 1);
         assert!(!fd.is_ready(), "FD path must be bypassed");
+    }
+
+    #[test]
+    fn notifier_slot_delivers_token_through_queue() {
+        use crate::notify::AsyncQueue;
+        let ctx = WaitCtx::new();
+        assert!(!ctx.has_notifier());
+        let queue = Arc::new(AsyncQueue::<u64>::new());
+        ctx.set_notifier(Arc::clone(&queue) as _, 91);
+        assert!(ctx.has_notifier());
+        ctx.complete(Ok(CryptoOutput::Bytes(vec![])));
+        assert_eq!(queue.drain(), vec![91]);
+        assert!(ctx.has_result());
     }
 
     #[test]

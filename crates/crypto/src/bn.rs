@@ -545,8 +545,8 @@ impl Bn {
 /// Signed subtraction on (magnitude, is_negative) pairs: `a - b`.
 fn signed_sub(a: &(Bn, bool), b: &(Bn, bool)) -> (Bn, bool) {
     match (a.1, b.1) {
-        (false, true) => (a.0.add(&b.0), false),  // a - (-b) = a + b
-        (true, false) => (a.0.add(&b.0), true),   // -a - b = -(a + b)
+        (false, true) => (a.0.add(&b.0), false), // a - (-b) = a + b
+        (true, false) => (a.0.add(&b.0), true),  // -a - b = -(a + b)
         (false, false) => {
             if a.0 >= b.0 {
                 (a.0.sub(&b.0), false)
@@ -606,7 +606,13 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
             assert_eq!(bn(s).to_hex(), s);
         }
     }

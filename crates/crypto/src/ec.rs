@@ -87,7 +87,10 @@ impl<const N: usize> PrimeCurve<N> {
 
     /// The base point G in affine coordinates.
     pub fn generator(&self) -> AffinePoint {
-        AffinePoint::new(self.field.from_mont(&self.gx), self.field.from_mont(&self.gy))
+        AffinePoint::new(
+            self.field.from_mont(&self.gx),
+            self.field.from_mont(&self.gy),
+        )
     }
 
     /// Is `pt` on the curve (and not infinity)?
@@ -138,7 +141,10 @@ impl<const N: usize> PrimeCurve<N> {
         let zi = f.inv(&p.z);
         let zi2 = f.sqr(&zi);
         let zi3 = f.mul(&zi2, &zi);
-        AffinePoint::new(f.from_mont(&f.mul(&p.x, &zi2)), f.from_mont(&f.mul(&p.y, &zi3)))
+        AffinePoint::new(
+            f.from_mont(&f.mul(&p.x, &zi2)),
+            f.from_mont(&f.mul(&p.y, &zi3)),
+        )
     }
 
     /// Jacobian point doubling (general `a`).
@@ -170,7 +176,11 @@ impl<const N: usize> PrimeCurve<N> {
         // Z' = 2 Y Z
         let yz = f.mul(&p.y, &p.z);
         let z3 = f.add(&yz, &yz);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Jacobian point addition.
@@ -205,7 +215,11 @@ impl<const N: usize> PrimeCurve<N> {
         let y3 = f.sub(&f.mul(&r, &f.sub(&u1h2, &x3)), &f.mul(&s1, &h3));
         // Z3 = Z1 Z2 H
         let z3 = f.mul(&f.mul(&p.z, &q.z), &h);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Scalar multiplication `k * pt` with a 4-bit fixed window.
@@ -246,7 +260,10 @@ impl<const N: usize> PrimeCurve<N> {
 
     /// `k * G`.
     pub fn scalar_mul_base(&self, k: &Bn) -> AffinePoint {
-        let g = AffinePoint::new(self.field.from_mont(&self.gx), self.field.from_mont(&self.gy));
+        let g = AffinePoint::new(
+            self.field.from_mont(&self.gx),
+            self.field.from_mont(&self.gy),
+        );
         self.scalar_mul(&g, k)
     }
 

@@ -100,10 +100,7 @@ impl BinaryCurve {
         let dx = f.add(&x1, &x2);
         let lambda = f.mul(&f.add(&y1, &y2), &f.inv(&dx));
         // x3 = lambda^2 + lambda + x1 + x2 + a
-        let x3 = f.add(
-            &f.add(&f.add(&f.sqr(&lambda), &lambda), &dx),
-            &self.a,
-        );
+        let x3 = f.add(&f.add(&f.add(&f.sqr(&lambda), &lambda), &dx), &self.a);
         // y3 = lambda (x1 + x3) + x3 + y1
         let y3 = f.add(&f.add(&f.mul(&lambda, &f.add(&x1, &x3)), &x3), &y1);
         AffinePoint::new(f.to_bn(&x3), f.to_bn(&y3))

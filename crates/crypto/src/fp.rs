@@ -233,7 +233,13 @@ mod tests {
     #[test]
     fn roundtrip_mont() {
         let f = p256();
-        for hx in ["0", "1", "2", "deadbeef", "ffffffff00000001000000000000000000000000fffffffffffffffffffffffe"] {
+        for hx in [
+            "0",
+            "1",
+            "2",
+            "deadbeef",
+            "ffffffff00000001000000000000000000000000fffffffffffffffffffffffe",
+        ] {
             let v = Bn::from_hex(hx).unwrap();
             let m = f.to_mont(&v);
             assert_eq!(f.from_mont(&m), v, "hx={hx}");

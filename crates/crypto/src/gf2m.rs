@@ -337,8 +337,10 @@ mod tests {
     #[test]
     fn add_is_xor_and_self_inverse() {
         let f = f283();
-        let a = f.from_hex("5f939258db7dd90e1934f8c70b0dfec2eed25b8557eac9c80e2e198f8cdbecd86b12053");
-        let b = f.from_hex("27b680ac8b8596da5a4af8a19a0303fca97fd7645309fa2a581485af6263e313b79a2f5");
+        let a =
+            f.from_hex("5f939258db7dd90e1934f8c70b0dfec2eed25b8557eac9c80e2e198f8cdbecd86b12053");
+        let b =
+            f.from_hex("27b680ac8b8596da5a4af8a19a0303fca97fd7645309fa2a581485af6263e313b79a2f5");
         assert_eq!(f.add(&a, &a), f.zero());
         assert_eq!(f.add(&f.add(&a, &b), &b), a);
     }
@@ -354,9 +356,12 @@ mod tests {
     #[test]
     fn mul_commutative_associative_283() {
         let f = f283();
-        let a = f.from_hex("5f939258db7dd90e1934f8c70b0dfec2eed25b8557eac9c80e2e198f8cdbecd86b12053");
-        let b = f.from_hex("27b680ac8b8596da5a4af8a19a0303fca97fd7645309fa2a581485af6263e313b79a2f5");
-        let c = f.from_hex("3676854fe24141cb98fe6d4b20d02b4516ff702350eddb0826779c813f0df45be8112f4");
+        let a =
+            f.from_hex("5f939258db7dd90e1934f8c70b0dfec2eed25b8557eac9c80e2e198f8cdbecd86b12053");
+        let b =
+            f.from_hex("27b680ac8b8596da5a4af8a19a0303fca97fd7645309fa2a581485af6263e313b79a2f5");
+        let c =
+            f.from_hex("3676854fe24141cb98fe6d4b20d02b4516ff702350eddb0826779c813f0df45be8112f4");
         assert_eq!(f.mul(&a, &b), f.mul(&b, &a));
         assert_eq!(f.mul(&f.mul(&a, &b), &c), f.mul(&a, &f.mul(&b, &c)));
         // Distributivity.
@@ -369,7 +374,9 @@ mod tests {
     #[test]
     fn sqr_matches_mul() {
         for f in [f283(), f409()] {
-            let a = f.from_hex("1ccda380f1c9e318d90f95d07e5426fe87e45c0e8184698e45962364e34116177dd2259");
+            let a = f.from_hex(
+                "1ccda380f1c9e318d90f95d07e5426fe87e45c0e8184698e45962364e34116177dd2259",
+            );
             assert_eq!(f.sqr(&a), f.mul(&a, &a));
             let one = f.one();
             assert_eq!(f.sqr(&one), one);
@@ -379,7 +386,8 @@ mod tests {
     #[test]
     fn inv_roundtrip_283() {
         let f = f283();
-        let a = f.from_hex("5f939258db7dd90e1934f8c70b0dfec2eed25b8557eac9c80e2e198f8cdbecd86b12053");
+        let a =
+            f.from_hex("5f939258db7dd90e1934f8c70b0dfec2eed25b8557eac9c80e2e198f8cdbecd86b12053");
         let ai = f.inv(&a);
         assert_eq!(f.mul(&a, &ai), f.one());
         assert_eq!(f.inv(&f.one()), f.one());

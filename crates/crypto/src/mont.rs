@@ -43,7 +43,12 @@ impl MontCtx {
         let rr_bn = Bn::one().shl(128 * k).rem(&n_bn);
         let mut rr = rr_bn.limbs().to_vec();
         rr.resize(k, 0);
-        MontCtx { n, n0_inv, rr, n_bn }
+        MontCtx {
+            n,
+            n0_inv,
+            rr,
+            n_bn,
+        }
     }
 
     /// The modulus.

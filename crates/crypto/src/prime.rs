@@ -6,8 +6,8 @@ use crate::rng::EntropySource;
 /// Small primes used for cheap trial division before Miller–Rabin.
 const SMALL_PRIMES: &[u64] = &[
     3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
-    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Miller–Rabin primality test with `rounds` random bases.
@@ -62,7 +62,13 @@ pub fn gen_prime<R: EntropySource>(bits: usize, rng: &mut R) -> Bn {
     assert!(bits >= 8, "prime too small");
     // Rounds per FIPS 186-4 style guidance, scaled down for small test
     // primes and up for production-size primes.
-    let rounds = if bits >= 1024 { 5 } else if bits >= 256 { 10 } else { 20 };
+    let rounds = if bits >= 1024 {
+        5
+    } else if bits >= 256 {
+        10
+    } else {
+        20
+    };
     loop {
         let mut candidate = Bn::random_bits(rng, bits);
         if candidate.is_even() {
@@ -96,7 +102,9 @@ mod tests {
     fn known_composites() {
         let mut rng = TestRng::new(7);
         // Includes Carmichael numbers 561, 1105, 1729, 294409.
-        for c in [1u64, 4, 6, 9, 15, 561, 1105, 1729, 294409, 65536, 4294967297] {
+        for c in [
+            1u64, 4, 6, 9, 15, 561, 1105, 1729, 294409, 65536, 4294967297,
+        ] {
             assert!(
                 !is_probable_prime(&Bn::from_u64(c), 20, &mut rng),
                 "{c} should be composite"

@@ -116,7 +116,10 @@ impl RsaPublicKey {
 impl RsaPrivateKey {
     /// Generate a fresh key with modulus size `bits` and `e = 65537`.
     pub fn generate<R: EntropySource>(bits: usize, rng: &mut R) -> Self {
-        assert!(bits >= 128 && bits.is_multiple_of(2), "unsupported key size");
+        assert!(
+            bits >= 128 && bits.is_multiple_of(2),
+            "unsupported key size"
+        );
         let e = Bn::from_u64(65537);
         loop {
             let p = gen_prime(bits / 2, rng);
@@ -228,8 +231,8 @@ fn q_mul(q: &Bn, h: &Bn) -> Bn {
 
 /// DER prefix of the SHA-256 `DigestInfo` structure (RFC 8017 §9.2).
 const SHA256_DIGEST_INFO: &[u8] = &[
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// EMSA-PKCS1-v1_5 encoding of a SHA-256 digest into `k` bytes.

@@ -159,9 +159,11 @@ mod tests {
     fn default_card_capacity_anchor() {
         // 36 engines / 380µs ≈ 94.7K RSA ops/s — the paper's ~100K limit.
         let cfg = QatConfig::default();
-        let ops_per_sec =
-            cfg.total_engines() as f64 / (cfg.service_table.rsa2048_ns as f64 / 1e9);
-        assert!((90_000.0..110_000.0).contains(&ops_per_sec), "{ops_per_sec}");
+        let ops_per_sec = cfg.total_engines() as f64 / (cfg.service_table.rsa2048_ns as f64 / 1e9);
+        assert!(
+            (90_000.0..110_000.0).contains(&ops_per_sec),
+            "{ops_per_sec}"
+        );
     }
 
     #[test]

@@ -12,6 +12,10 @@ pub struct FwCounters {
     pub submitted: AtomicU64,
     /// Submissions rejected because the request ring was full.
     pub ring_full: AtomicU64,
+    /// Ring-cursor publishes (one per `submit`, one per `submit_batch`
+    /// regardless of batch size) — the per-doorbell cost batching
+    /// amortizes. `submitted / doorbells` is the mean batch depth.
+    pub doorbells: AtomicU64,
     /// Completed asymmetric operations.
     pub asym: AtomicU64,
     /// Completed cipher operations.
@@ -50,6 +54,7 @@ impl FwCounters {
              +------------------------------------------------+\n\
              | Requests submitted : {:>10}                |\n\
              | Ring-full rejects  : {:>10}                |\n\
+             | Doorbell writes    : {:>10}                |\n\
              | Asym completed     : {:>10}                |\n\
              | Cipher completed   : {:>10}                |\n\
              | PRF completed      : {:>10}                |\n\
@@ -57,6 +62,7 @@ impl FwCounters {
              +------------------------------------------------+",
             self.submitted.load(Ordering::Relaxed),
             self.ring_full.load(Ordering::Relaxed),
+            self.doorbells.load(Ordering::Relaxed),
             self.asym.load(Ordering::Relaxed),
             self.cipher.load(Ordering::Relaxed),
             self.prf.load(Ordering::Relaxed),
@@ -86,6 +92,10 @@ mod tests {
     fn render_contains_counts() {
         let c = FwCounters::default();
         c.submitted.store(42, Ordering::Relaxed);
-        assert!(c.render().contains("42"));
+        c.doorbells.store(17, Ordering::Relaxed);
+        let page = c.render();
+        assert!(page.contains("42"));
+        assert!(page.contains("Doorbell writes"));
+        assert!(page.contains("17"));
     }
 }

@@ -34,4 +34,6 @@ pub mod ring;
 
 pub use config::{QatConfig, ServiceMode, ServiceTable};
 pub use device::{make_request, CryptoInstance, QatDevice, SubmitFull};
-pub use request::{CryptoOp, CryptoOutput, CryptoRequest, CryptoResponse, CryptoResult, OpClass};
+pub use request::{
+    CryptoOp, CryptoOutput, CryptoRequest, CryptoResponse, CryptoResult, OpClass, ResponseCallback,
+};

@@ -180,9 +180,7 @@ pub struct CryptoResponse {
 pub fn execute(op: &CryptoOp) -> CryptoResult {
     use qtls_crypto::{aes, ecc, hmac::Hmac, kdf, sha1::Sha1, TestRng};
     match op {
-        CryptoOp::RsaSign { key, msg } => {
-            key.sign_pkcs1_sha256(msg).map(CryptoOutput::Bytes)
-        }
+        CryptoOp::RsaSign { key, msg } => key.sign_pkcs1_sha256(msg).map(CryptoOutput::Bytes),
         CryptoOp::RsaDecrypt { key, ciphertext } => {
             key.decrypt_pkcs1(ciphertext).map(CryptoOutput::Bytes)
         }
@@ -390,13 +388,17 @@ mod tests {
             seed: 2,
         })
         .unwrap();
-        let (CryptoOutput::KeyPair {
-            private: pa,
-            public: qa,
-        }, CryptoOutput::KeyPair {
-            private: pb,
-            public: qb,
-        }) = (a, b) else {
+        let (
+            CryptoOutput::KeyPair {
+                private: pa,
+                public: qa,
+            },
+            CryptoOutput::KeyPair {
+                private: pb,
+                public: qb,
+            },
+        ) = (a, b)
+        else {
             panic!("expected key pairs")
         };
         let s1 = execute(&CryptoOp::EcdhDerive {

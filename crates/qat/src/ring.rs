@@ -10,6 +10,7 @@
 
 use qtls_sync::CachePadded;
 use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -100,6 +101,61 @@ impl<T> Ring<T> {
                 // Another producer claimed `pos`; reload.
                 pos = self.enqueue_pos.load(Ordering::Relaxed);
             }
+        }
+    }
+
+    /// Push values from the front of `items` under ONE cursor publish:
+    /// the batch claims as many contiguous free slots as are available
+    /// (up to `items.len()`) with a single CAS on the enqueue cursor —
+    /// the software analogue of writing the ring's tail register once
+    /// per batch instead of once per request — then fills the slots and
+    /// releases their sequence numbers in order.
+    ///
+    /// Returns the number of values pushed; values that did not fit
+    /// remain in `items`. A return of `0` means the ring was full.
+    pub fn push_batch(&self, items: &mut VecDeque<T>) -> usize {
+        if items.is_empty() {
+            return 0;
+        }
+        loop {
+            let pos = self.enqueue_pos.load(Ordering::Relaxed);
+            // Count contiguous producer-ready slots starting at `pos`.
+            // The scan self-limits at `capacity`: slot `pos + cap` is
+            // slot `pos` again, whose sequence cannot match both.
+            let mut n = 0usize;
+            while n < items.len() {
+                let slot = &self.buf[(pos + n) & self.mask];
+                if slot.seq.load(Ordering::Acquire) != pos + n {
+                    break;
+                }
+                n += 1;
+            }
+            if n == 0 {
+                let seq = self.buf[pos & self.mask].seq.load(Ordering::Acquire);
+                if (seq as isize) < pos as isize {
+                    // Head slot still holds an unconsumed value from a
+                    // lap ago: the ring is full.
+                    return 0;
+                }
+                // Another producer claimed `pos` between loads; retry.
+                continue;
+            }
+            if self
+                .enqueue_pos
+                .compare_exchange_weak(pos, pos + n, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            // Slots [pos, pos + n) are ours; fill and publish in order
+            // so consumers see a contiguous run.
+            for i in 0..n {
+                let slot = &self.buf[(pos + i) & self.mask];
+                let value = items.pop_front().expect("counted above");
+                unsafe { (*slot.val.get()).write(value) };
+                slot.seq.store(pos + i + 1, Ordering::Release);
+            }
+            return n;
         }
     }
 
@@ -209,6 +265,127 @@ mod tests {
         assert_eq!(Arc::strong_count(&counter), 6);
         drop(r);
         assert_eq!(Arc::strong_count(&counter), 1);
+    }
+
+    #[test]
+    fn batch_push_preserves_fifo() {
+        let r = Ring::new(8);
+        let mut items: VecDeque<i32> = (0..6).collect();
+        assert_eq!(r.push_batch(&mut items), 6);
+        assert!(items.is_empty());
+        for i in 0..6 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn batch_partial_accept_on_nearly_full_ring() {
+        let r = Ring::new(4);
+        r.push(100).unwrap();
+        r.push(101).unwrap();
+        let mut items: VecDeque<i32> = (0..5).collect();
+        // Only 2 free slots: the batch accepts exactly those.
+        assert_eq!(r.push_batch(&mut items), 2);
+        assert_eq!(items, VecDeque::from(vec![2, 3, 4]));
+        // Full ring accepts nothing; leftovers stay put.
+        assert_eq!(r.push_batch(&mut items), 0);
+        assert_eq!(items.len(), 3);
+        assert_eq!(r.pop(), Some(100));
+        assert_eq!(r.pop(), Some(101));
+        assert_eq!(r.pop(), Some(0));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn batch_push_empty_is_noop() {
+        let r: Ring<u8> = Ring::new(4);
+        let mut items = VecDeque::new();
+        assert_eq!(r.push_batch(&mut items), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn batch_push_across_wraparound() {
+        let r = Ring::new(4);
+        // Advance the cursors so the batch straddles the wrap point.
+        for lap in 0..7 {
+            r.push(lap).unwrap();
+            assert_eq!(r.pop(), Some(lap));
+        }
+        let mut items: VecDeque<i32> = (0..4).collect();
+        assert_eq!(r.push_batch(&mut items), 4);
+        for i in 0..4 {
+            assert_eq!(r.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn batch_and_single_producers_interleave() {
+        let r = Arc::new(Ring::new(32));
+        let total: u64 = 3 * 8_000;
+        let mut handles = Vec::new();
+        // Two batch producers and one single-push producer race.
+        for p in 0..2u64 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                let mut batch: VecDeque<u64> = VecDeque::new();
+                for chunk in 0..1_000u64 {
+                    for i in 0..8 {
+                        batch.push_back(p << 32 | (chunk * 8 + i));
+                    }
+                    while !batch.is_empty() {
+                        if r.push_batch(&mut batch) == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }));
+        }
+        {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..8_000u64 {
+                    let mut item = 2u64 << 32 | i;
+                    loop {
+                        match r.push(item) {
+                            Ok(()) => break,
+                            Err(RingFull(back)) => {
+                                item = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        let sum = Arc::new(AtomicUsize::new(0));
+        let popped = Arc::new(AtomicUsize::new(0));
+        let mut chandles = Vec::new();
+        for _ in 0..2 {
+            let r = Arc::clone(&r);
+            let sum = Arc::clone(&sum);
+            let popped = Arc::clone(&popped);
+            chandles.push(std::thread::spawn(move || {
+                while popped.load(Ordering::Relaxed) < total as usize {
+                    if let Some(v) = r.pop() {
+                        sum.fetch_add((v & 0xffff_ffff) as usize, Ordering::Relaxed);
+                        popped.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for h in chandles {
+            h.join().unwrap();
+        }
+        let expect: usize = 3 * (0..8_000u64).sum::<u64>() as usize;
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
     }
 
     #[test]

@@ -132,7 +132,9 @@ pub fn parse_ssl_engine_conf(input: &str) -> Result<EngineDirectives, ConfError>
             _ => {}
         }
         let mut parts = token.split_whitespace();
-        let name = parts.next().ok_or_else(|| ConfError::BadDirective(token.clone()))?;
+        let name = parts
+            .next()
+            .ok_or_else(|| ConfError::BadDirective(token.clone()))?;
         let value = parts.collect::<Vec<_>>().join(" ");
         let parse_u64 = |v: &str| {
             v.parse::<u64>()
@@ -145,8 +147,15 @@ pub fn parse_ssl_engine_conf(input: &str) -> Result<EngineDirectives, ConfError>
                     return Err(ConfError::BadValue(token.clone()));
                 }
             }
-            "load_module" | "events" | "http" | "server" | "listen" | "ssl_certificate"
-            | "ssl_certificate_key" | "keepalive_timeout" | "ssl_session_cache"
+            "load_module"
+            | "events"
+            | "http"
+            | "server"
+            | "listen"
+            | "ssl_certificate"
+            | "ssl_certificate_key"
+            | "keepalive_timeout"
+            | "ssl_session_cache"
             | "ssl_session_tickets" => {
                 // Recognized-but-ignored standard directives.
             }

@@ -111,7 +111,10 @@ impl ContentStore {
     pub fn new() -> Self {
         let mut entries = HashMap::new();
         // The "small-size page (less than 100 bytes)" of §5.5.
-        entries.insert("/".to_string(), b"<html>QTLS reproduction index</html>".to_vec());
+        entries.insert(
+            "/".to_string(),
+            b"<html>QTLS reproduction index</html>".to_vec(),
+        );
         ContentStore {
             entries: RwLock::new(entries),
         }

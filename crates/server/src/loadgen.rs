@@ -4,9 +4,9 @@
 use crate::net::{SockError, VListener, VSocket};
 use qtls_crypto::ecc::NamedCurve;
 use qtls_tls::client::{ClientSession, ResumeData};
-use qtls_tls::tls13::Tls13ClientSession;
 use qtls_tls::provider::CryptoProvider;
 use qtls_tls::suite::CipherSuite;
+use qtls_tls::tls13::Tls13ClientSession;
 use qtls_tls::TlsError;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -146,15 +146,10 @@ pub fn run_connection_tls13(
 ) -> Result<(u64, u64), ClientError> {
     let deadline = Instant::now() + timeout;
     let sock = listener.connect();
-    let mut session = Tls13ClientSession::new(
-        CryptoProvider::Software,
-        cfg.suite,
-        cfg.curve,
-        seed,
-    );
+    let mut session = Tls13ClientSession::new(CryptoProvider::Software, cfg.suite, cfg.curve, seed);
     session.start()?;
     let pump13 = |session: &mut Tls13ClientSession,
-                      done: &mut dyn FnMut(&mut Tls13ClientSession) -> bool|
+                  done: &mut dyn FnMut(&mut Tls13ClientSession) -> bool|
      -> Result<(), ClientError> {
         loop {
             let out = session.take_output();
@@ -220,13 +215,8 @@ pub fn run_connection(
 ) -> Result<(Option<ResumeData>, bool, u64, u64), ClientError> {
     let deadline = Instant::now() + timeout;
     let sock = listener.connect();
-    let mut session = ClientSession::new(
-        CryptoProvider::Software,
-        cfg.suite,
-        cfg.curve,
-        resume,
-        seed,
-    );
+    let mut session =
+        ClientSession::new(CryptoProvider::Software, cfg.suite, cfg.curve, resume, seed);
     session.start()?;
     pump_until(&mut session, &sock, deadline, |s| s.is_established())?;
     let resumed = session.was_resumed();

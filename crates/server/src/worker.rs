@@ -18,11 +18,11 @@ use crate::http::{self, ContentStore, ParseOutcome};
 use crate::net::{SockError, VListener, VSocket};
 use qtls_core::{
     fiber, AsyncQueue, EngineMode, FdSelector, HeuristicConfig, HeuristicPoller, NotifyScheme,
-    OffloadEngine, OffloadProfile, PollingScheme, StartResult, TimerPoller, VirtualFd,
+    OffloadEngine, OffloadProfile, PollingScheme, StartResult, SubmitQueue, TimerPoller, VirtualFd,
 };
 use qtls_qat::QatDevice;
-use qtls_tls::provider::{CryptoProvider, OffloadSelection};
 use qtls_tls::any_session::AnyServerSession;
+use qtls_tls::provider::{CryptoProvider, OffloadSelection};
 use qtls_tls::server::ServerConfig;
 use qtls_tls::suite::Version;
 use qtls_tls::TlsError;
@@ -99,6 +99,14 @@ pub struct WorkerStats {
     pub closed: u64,
     /// TLS protocol errors.
     pub errors: u64,
+    /// Sweep-boundary submit flushes that published at least one request.
+    pub flushes: u64,
+    /// Crypto requests published through batched flushes.
+    pub flushed_requests: u64,
+    /// Deepest submit batch published by one flush.
+    pub max_flush_depth: u64,
+    /// Requests a flush had to defer to the next sweep (ring full).
+    pub deferred_submits: u64,
 }
 
 /// The bundle that travels in and out of fiber jobs: the TLS session plus
@@ -257,6 +265,13 @@ impl Worker {
             Some(NotifyScheme::Fd) => Some(FdSelector::new()),
             _ => None,
         };
+        // Async profiles batch submissions per event-loop sweep; the
+        // blocking profile (QAT+S) submits in place and needs no queue.
+        if let Some(engine) = &engine {
+            if profile.uses_async() {
+                engine.attach_submit_queue(Arc::new(SubmitQueue::new()));
+            }
+        }
         Worker {
             cfg,
             listener,
@@ -280,7 +295,10 @@ impl Worker {
     /// Simulated user/kernel mode switches spent on async notification
     /// (0 under the kernel-bypass scheme).
     pub fn kernel_switches(&self) -> u64 {
-        self.selector.as_ref().map(|s| s.meter().total()).unwrap_or(0)
+        self.selector
+            .as_ref()
+            .map(|s| s.meter().total())
+            .unwrap_or(0)
     }
 
     /// `TC_alive`: currently-open connections.
@@ -299,7 +317,8 @@ impl Worker {
         format!(
             "Active connections: {}\n\
              server accepts handled requests\n {} {} {}\n\
-             TLS: alive {} idle {} active {} async-jobs {} resumptions {}\n",
+             TLS: alive {} idle {} active {} async-jobs {} resumptions {}\n\
+             submit: flushes {} flushed {} max-depth {} deferred {}\n",
             self.tc_alive(),
             self.stats.handshakes + self.stats.errors,
             self.stats.handshakes,
@@ -309,6 +328,10 @@ impl Worker {
             self.tc_active(),
             self.stats.async_jobs,
             self.stats.resumptions,
+            self.stats.flushes,
+            self.stats.flushed_requests,
+            self.stats.max_flush_depth,
+            self.stats.deferred_submits,
         )
     }
 
@@ -318,9 +341,7 @@ impl Worker {
         self.conns
             .values()
             .filter(|c| {
-                !c.established
-                    || matches!(c.driver, Driver::Awaiting { .. })
-                    || c.sock.readable()
+                !c.established || matches!(c.driver, Driver::Awaiting { .. }) || c.sock.readable()
             })
             .count() as u64
     }
@@ -438,6 +459,21 @@ impl Worker {
             self.stats.retries += 1;
             self.resume(id);
         }
+        // 6. Sweep boundary: publish everything staged during this
+        // iteration in one batch (one cursor publish, one doorbell).
+        if let Some(engine) = &self.engine {
+            let report = engine.flush_submissions();
+            if report.submitted > 0 {
+                self.stats.flushes += 1;
+                self.stats.flushed_requests += report.submitted as u64;
+                self.stats.max_flush_depth = self
+                    .stats
+                    .max_flush_depth
+                    .max((report.submitted + report.deferred) as u64);
+                events += report.submitted;
+            }
+            self.stats.deferred_submits += report.deferred as u64;
+        }
         events
     }
 
@@ -493,15 +529,12 @@ impl Worker {
         let retry = job.wait_ctx().take_retry();
         match self.cfg.profile.notification() {
             Some(NotifyScheme::KernelBypass) => {
-                // SSL_set_async_callback: the response callback pushes the
-                // async handler (here: the connection id) onto the queue.
-                let queue = Arc::clone(&self.async_queue);
-                job.wait_ctx().set_callback(
-                    Arc::new(move |arg| {
-                        queue.push(arg);
-                    }),
-                    id,
-                );
+                // SSL_set_async_callback equivalent: the async queue IS
+                // the notifier — the response callback delivers the
+                // async-handler token (the connection id) straight onto
+                // it, no closure indirection.
+                let queue: Arc<AsyncQueue<u64>> = Arc::clone(&self.async_queue);
+                job.wait_ctx().set_notifier(queue, id);
                 // Race repair: a dedicated poller may have retrieved the
                 // response between submission and this registration — the
                 // parked result would otherwise never be announced.
@@ -520,7 +553,8 @@ impl Worker {
                     }
                     fd
                 });
-                job.wait_ctx().set_fd(Arc::clone(fd));
+                let fd_notifier: Arc<VirtualFd> = Arc::clone(fd);
+                job.wait_ctx().set_notifier(fd_notifier, id);
                 if job.wait_ctx().has_result() {
                     fd.signal();
                 }

@@ -3,21 +3,18 @@
 //! crypto both in software and through the QAT device model.
 
 use qtls_core::OffloadProfile;
+use qtls_crypto::ecc::NamedCurve;
 use qtls_qat::{QatConfig, QatDevice};
 use qtls_server::loadgen::{run_connection, ClientConfig};
 use qtls_server::{VListener, Worker, WorkerConfig};
 use qtls_tls::suite::CipherSuite;
-use qtls_crypto::ecc::NamedCurve;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Run a worker on its own thread until stopped; return its final stats
 /// and kernel-switch count.
-fn with_worker<F>(
-    profile: OffloadProfile,
-    body: F,
-) -> (qtls_server::WorkerStats, u64)
+fn with_worker<F>(profile: OffloadProfile, body: F) -> (qtls_server::WorkerStats, u64)
 where
     F: FnOnce(&Arc<VListener>),
 {
@@ -264,7 +261,10 @@ fn tls13_through_qtls_worker() {
             let d = *deadline.get_or_insert_with(|| Instant::now() + Duration::from_secs(5));
             w.tc_alive() == 0 || Instant::now() > d
         });
-        (worker.stats, device.fw_counters().asym.load(Ordering::Relaxed))
+        (
+            worker.stats,
+            device.fw_counters().asym.load(Ordering::Relaxed),
+        )
     });
     for i in 0..2u64 {
         let cfg = ClientConfig {
@@ -283,6 +283,147 @@ fn tls13_through_qtls_worker() {
     assert_eq!(stats.errors, 0);
     // 2 handshakes x (keygen + ecdh + RSA sign) through the accelerator.
     assert_eq!(asym_ops, 6);
+}
+
+/// Drive one keepalive connection to established by hand, interleaving
+/// client flights with worker iterations on the calling thread.
+fn hand_establish(
+    worker: &mut Worker,
+    listener: &Arc<VListener>,
+    seed: u64,
+) -> (qtls_server::VSocket, qtls_tls::client::ClientSession) {
+    let sock = listener.connect();
+    let mut client = qtls_tls::client::ClientSession::new(
+        qtls_tls::provider::CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        None,
+        seed,
+    );
+    client.start().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !client.is_established() {
+        let out = client.take_output();
+        if !out.is_empty() {
+            sock.write(&out).unwrap();
+        }
+        worker.run_iteration();
+        if let Ok(bytes) = sock.read_all() {
+            client.feed(&bytes);
+            client.process().unwrap();
+        }
+        assert!(Instant::now() < deadline);
+    }
+    (sock, client)
+}
+
+#[test]
+fn stub_status_formats_every_field() {
+    // Exact zero-state rendering: every counter line the heuristic
+    // scheme scrapes must be present even before the first accept.
+    let listener = Arc::new(VListener::new());
+    let worker = Worker::new(listener, None, WorkerConfig::new(OffloadProfile::Sw));
+    assert_eq!(
+        worker.stub_status(),
+        "Active connections: 0\n\
+         server accepts handled requests\n 0 0 0\n\
+         TLS: alive 0 idle 0 active 0 async-jobs 0 resumptions 0\n\
+         submit: flushes 0 flushed 0 max-depth 0 deferred 0\n"
+    );
+}
+
+#[test]
+fn tc_accounting_under_keepalive_requests() {
+    let listener = Arc::new(VListener::new());
+    let mut worker = Worker::new(
+        Arc::clone(&listener),
+        None,
+        WorkerConfig::new(OffloadProfile::Sw),
+    );
+    let (_sock_a, _client_a) = hand_establish(&mut worker, &listener, 501);
+    let (sock_b, mut client_b) = hand_establish(&mut worker, &listener, 502);
+    for _ in 0..100 {
+        worker.run_iteration();
+    }
+    assert_eq!(worker.tc_alive(), 2);
+    assert_eq!(worker.tc_idle(), 2, "both established, nothing pending");
+    assert_eq!(worker.tc_active(), 0);
+    let page = worker.stub_status();
+    assert!(page.contains("Active connections: 2"), "{page}");
+    assert!(
+        page.contains("server accepts handled requests\n 2 2 0\n"),
+        "{page}"
+    );
+    assert!(page.contains("alive 2 idle 2 active 0"), "{page}");
+
+    // A request lands on B but has not been read yet: B turns active
+    // while A stays idle — TC_active = TC_alive - TC_idle (§4.3).
+    client_b
+        .write_app_data(b"GET / HTTP/1.1\r\nHost: qtls\r\nConnection: keep-alive\r\n\r\n")
+        .unwrap();
+    sock_b.write(&client_b.take_output()).unwrap();
+    assert_eq!(worker.tc_alive(), 2);
+    assert_eq!(worker.tc_active(), 1, "unread request data counts active");
+    assert_eq!(worker.tc_idle(), 1);
+    assert!(worker.stub_status().contains("alive 2 idle 1 active 1"));
+
+    // Serve it; keepalive returns the connection to idle and bumps the
+    // handled-requests column.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut got = Vec::new();
+    while !got.windows(4).any(|w| w == b"\r\n\r\n") {
+        worker.run_iteration();
+        if let Ok(bytes) = sock_b.read_all() {
+            client_b.feed(&bytes);
+            client_b.process().unwrap();
+            while let Some(chunk) = client_b.read_app_data() {
+                got.extend_from_slice(&chunk);
+            }
+        }
+        assert!(Instant::now() < deadline);
+    }
+    for _ in 0..50 {
+        worker.run_iteration();
+    }
+    assert_eq!(worker.stats.requests, 1);
+    assert_eq!(worker.tc_alive(), 2, "keepalive: connection survives");
+    assert_eq!(worker.tc_idle(), 2);
+    let page = worker.stub_status();
+    assert!(
+        page.contains("server accepts handled requests\n 2 2 1\n"),
+        "{page}"
+    );
+}
+
+#[test]
+fn qtls_stub_status_reports_batched_submissions() {
+    // Async profiles stage submissions on the per-worker SubmitQueue and
+    // publish them at the sweep boundary; the stub page exposes the
+    // flush/batch-depth accounting.
+    let listener = Arc::new(VListener::new());
+    let device = QatDevice::new(QatConfig::functional_small());
+    let mut worker = Worker::new(
+        Arc::clone(&listener),
+        Some(&device),
+        WorkerConfig::new(OffloadProfile::Qtls),
+    );
+    let (_sock, _client) = hand_establish(&mut worker, &listener, 503);
+    for _ in 0..100 {
+        worker.run_iteration();
+    }
+    assert!(worker.stats.async_jobs > 0);
+    assert!(worker.stats.flushes > 0, "handshake ops must flush");
+    assert!(worker.stats.flushed_requests >= worker.stats.flushes);
+    assert!(worker.stats.max_flush_depth >= 1);
+    assert_eq!(worker.stats.deferred_submits, 0, "ring never filled");
+    let page = worker.stub_status();
+    assert!(
+        page.contains(&format!(
+            "submit: flushes {} flushed {} max-depth {} deferred 0\n",
+            worker.stats.flushes, worker.stats.flushed_requests, worker.stats.max_flush_depth
+        )),
+        "{page}"
+    );
 }
 
 #[test]

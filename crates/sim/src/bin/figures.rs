@@ -16,7 +16,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
     let json = args.iter().any(|a| a == "json");
-    let f = if quick { Fidelity::QUICK } else { Fidelity::FULL };
+    let f = if quick {
+        Fidelity::QUICK
+    } else {
+        Fidelity::FULL
+    };
     let wanted: Vec<&str> = args
         .iter()
         .map(|s| s.as_str())
@@ -35,7 +39,14 @@ fn main() {
         ("fig12a", Box::new(move || experiments::fig12a(f))),
         ("fig12b", Box::new(move || experiments::fig12b(f))),
         ("fig12c", Box::new(move || experiments::fig12c(f))),
-        ("thresholds", Box::new(move || experiments::threshold_sweep(f))),
+        (
+            "thresholds",
+            Box::new(move || experiments::threshold_sweep(f)),
+        ),
+        (
+            "batching",
+            Box::new(move || experiments::batching_ablation(f)),
+        ),
     ];
     for (name, runner) in all {
         if !wanted.is_empty() && !wanted.contains(&name) {

@@ -144,8 +144,12 @@ impl Default for ProcCosts {
 /// Costs of the offload machinery itself.
 #[derive(Clone, Debug)]
 pub struct OffloadCosts {
-    /// Building + submitting one request onto the ring (driver path).
-    pub submit_ns: u64,
+    /// Per-submission fixed cost: ring-cursor publish + doorbell (MMIO)
+    /// write. Batched submission amortizes this over the batch.
+    pub submit_doorbell_ns: u64,
+    /// Per-request submission cost: building the descriptor and writing
+    /// the ring slot. Paid for every request, batched or not.
+    pub submit_per_req_ns: u64,
     /// Fiber pause + resume pair (the "slight performance penalty" of
     /// fiber async, §4.1).
     pub pause_resume_ns: u64,
@@ -178,7 +182,8 @@ pub struct OffloadCosts {
 impl Default for OffloadCosts {
     fn default() -> Self {
         OffloadCosts {
-            submit_ns: 5_000,
+            submit_doorbell_ns: 3_500,
+            submit_per_req_ns: 1_500,
             pause_resume_ns: 4_000,
             poll_ns: 1_000,
             per_response_ns: 700,

@@ -96,7 +96,10 @@ impl Figure {
             esc(&self.unit)
         ));
         for (i, s) in self.series.iter().enumerate() {
-            out.push_str(&format!("    {{\"label\": \"{}\", \"points\": [", esc(&s.label)));
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"points\": [",
+                esc(&s.label)
+            ));
             for (j, (x, y)) in s.points.iter().enumerate() {
                 out.push_str(&format!("[\"{}\", {}]", esc(x), y));
                 if j + 1 < s.points.len() {
@@ -104,7 +107,11 @@ impl Figure {
                 }
             }
             out.push_str("]}");
-            out.push_str(if i + 1 < self.series.len() { ",\n" } else { "\n" });
+            out.push_str(if i + 1 < self.series.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         out.push_str("  ]\n}");
         out
@@ -446,15 +453,47 @@ pub fn threshold_sweep(f: Fidelity) -> Figure {
         cfg.heuristic_sym_threshold = t / 2;
         let r = run(cfg);
         cps.points.push((format!("{t}"), r.cps / 1000.0));
-        polls_per_k
-            .points
-            .push((format!("{t}"), r.polls as f64 / (r.handshakes as f64 / 1000.0)));
+        polls_per_k.points.push((
+            format!("{t}"),
+            r.polls as f64 / (r.handshakes as f64 / 1000.0),
+        ));
     }
     Figure {
         id: "Ablation".into(),
         title: "Heuristic asym-threshold sweep (sym = asym/2), TLS-RSA, 8 workers".into(),
         unit: "see series".into(),
         series: vec![cps, polls_per_k],
+    }
+}
+
+/// Ablation (DESIGN.md §7): sweep the sweep-boundary submission flush
+/// depth under QTLS. Depth 1 is the per-request-doorbell baseline; as
+/// the mean batch grows, the doorbell (ring publish + MMIO) cost
+/// amortizes and only the per-request descriptor cost remains.
+pub fn batching_ablation(f: Fidelity) -> Figure {
+    let depths = [1u64, 2, 4, 8, 16];
+    let off = crate::cost::CostModel::default().offload;
+    let mut cps = Series {
+        label: "K CPS".into(),
+        points: vec![],
+    };
+    let mut submit_ns = Series {
+        label: "submit ns/req".into(),
+        points: vec![],
+    };
+    for &d in &depths {
+        let mut cfg = handshake_cfg(SimProfile::Qtls, 8, 2000, SuiteKind::TlsRsa, f);
+        cfg.submit_flush_depth = d;
+        let r = run(cfg);
+        cps.points.push((format!("{d}"), r.cps / 1000.0));
+        let per_req = off.submit_per_req_ns + off.submit_doorbell_ns.div_ceil(d);
+        submit_ns.points.push((format!("{d}"), per_req as f64));
+    }
+    Figure {
+        id: "Batching".into(),
+        title: "Submission flush-depth sweep (QTLS), TLS-RSA, 8 workers".into(),
+        unit: "see series".into(),
+        series: vec![cps, submit_ns],
     }
 }
 
@@ -557,6 +596,23 @@ mod tests {
     }
 
     #[test]
+    fn batching_ablation_amortizes_doorbell() {
+        let fig = batching_ablation(Fidelity::QUICK);
+        // Cost model: depth 1 pays the full 5 µs submit; deeper batches
+        // amortize the 3.5 µs doorbell share across the batch.
+        assert_eq!(fig.value("submit ns/req", "1"), Some(5000.0));
+        assert_eq!(fig.value("submit ns/req", "4"), Some(2375.0));
+        assert_eq!(fig.value("submit ns/req", "16"), Some(1719.0));
+        let c1 = fig.value("K CPS", "1").unwrap();
+        let c16 = fig.value("K CPS", "16").unwrap();
+        assert!(c1 > 0.0);
+        assert!(
+            c16 >= c1,
+            "deeper batches must not lose CPS: {c1}K -> {c16}K"
+        );
+    }
+
+    #[test]
     fn fig7a_quick_shape() {
         // The headline claims: SW anchor, monotone config ordering,
         // QTLS ≈ 9x SW at 8HT, card limit ~100K at 32HT.
@@ -568,13 +624,22 @@ mod tests {
         let qtls8 = fig.value("QTLS", "8HT").unwrap();
         assert!((3.5..5.2).contains(&sw8), "SW 8HT = {sw8}K (paper 4.3K)");
         let s_ratio = qats8 / sw8;
-        assert!((1.4..3.5).contains(&s_ratio), "QAT+S/SW = {s_ratio} (paper ~2x)");
+        assert!(
+            (1.4..3.5).contains(&s_ratio),
+            "QAT+S/SW = {s_ratio} (paper ~2x)"
+        );
         assert!(qata8 > qats8 * 2.0, "async >> straight");
         assert!(qatah8 > qata8, "heuristic helps");
         assert!(qtls8 > qatah8, "kernel bypass helps");
         let ratio = qtls8 / sw8;
-        assert!((6.0..12.0).contains(&ratio), "QTLS/SW at 8HT = {ratio} (paper ~9x)");
+        assert!(
+            (6.0..12.0).contains(&ratio),
+            "QTLS/SW at 8HT = {ratio} (paper ~9x)"
+        );
         let qtls32 = fig.value("QTLS", "32HT").unwrap();
-        assert!((80.0..115.0).contains(&qtls32), "card limit ~100K: {qtls32}K");
+        assert!(
+            (80.0..115.0).contains(&qtls32),
+            "card limit ~100K: {qtls32}K"
+        );
     }
 }

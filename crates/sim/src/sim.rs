@@ -46,9 +46,7 @@ impl SimProfile {
         match self {
             SimProfile::Sw => "SW".into(),
             SimProfile::QatS { .. } => "QAT+S".into(),
-            SimProfile::QatA { poll_interval_ns } if *poll_interval_ns == 10_000 => {
-                "QAT+A".into()
-            }
+            SimProfile::QatA { poll_interval_ns } if *poll_interval_ns == 10_000 => "QAT+A".into(),
             SimProfile::QatA { poll_interval_ns } => {
                 format!("QAT+A({}us)", poll_interval_ns / 1000)
             }
@@ -134,11 +132,20 @@ pub struct SimConfig {
     /// Heuristic efficiency threshold without asymmetric requests
     /// (§4.3 default 24).
     pub heuristic_sym_threshold: u64,
+    /// Mean submission batch depth for async profiles: the doorbell
+    /// cost is amortized over this many requests per ring publish
+    /// (1 = per-request doorbells, the unbatched baseline).
+    pub submit_flush_depth: u64,
 }
 
 impl SimConfig {
     /// A handshake-benchmark config (s_time style).
-    pub fn handshake(profile: SimProfile, workers: usize, clients: usize, suite: SuiteKind) -> Self {
+    pub fn handshake(
+        profile: SimProfile,
+        workers: usize,
+        clients: usize,
+        suite: SuiteKind,
+    ) -> Self {
         SimConfig {
             profile,
             workers,
@@ -154,6 +161,7 @@ impl SimConfig {
             qat_engines: crate::cost::QAT_ENGINES,
             heuristic_asym_threshold: 48,
             heuristic_sym_threshold: 24,
+            submit_flush_depth: 1,
         }
     }
 }
@@ -221,8 +229,12 @@ enum Outcome {
     /// Async offload: job paused after submission.
     OpSubmitted,
     /// Straight offload: the worker blocks until the response returns.
-    OpSubmittedBlocking { conn: u32 },
-    FlightDone { conn: u32 },
+    OpSubmittedBlocking {
+        conn: u32,
+    },
+    FlightDone {
+        conn: u32,
+    },
     PollDone,
 }
 
@@ -389,7 +401,11 @@ impl Sim {
         let mut s = self;
         let report = s.run_inner();
         let n = s.dbg_ops.max(1) as f64;
-        (report, s.dbg_card_ns as f64 / n / 1000.0, s.dbg_retrieve_ns as f64 / n / 1000.0)
+        (
+            report,
+            s.dbg_card_ns as f64 / n / 1000.0,
+            s.dbg_retrieve_ns as f64 / n / 1000.0,
+        )
     }
 
     /// Run to completion and report.
@@ -399,7 +415,11 @@ impl Sim {
     }
 
     fn run_inner(&mut self) -> SimReport {
-        let mut next_sample = if self.trace_every > 0 { self.cfg.warmup_ns } else { u64::MAX };
+        let mut next_sample = if self.trace_every > 0 {
+            self.cfg.warmup_ns
+        } else {
+            u64::MAX
+        };
         while let Some(Reverse((t, _, id))) = self.heap.pop() {
             if t > self.end {
                 break;
@@ -411,7 +431,8 @@ impl Sim {
                 let busy_workers = self.workers.iter().filter(|w| w.running.is_some()).count();
                 let queued: usize = self.workers.iter().map(|w| w.queue.len()).sum();
                 let ready: usize = self.workers.iter().map(|w| w.ready.len()).sum();
-                self.trace.push((t, busy_engines, busy_workers, queued, ready));
+                self.trace
+                    .push((t, busy_engines, busy_workers, queued, ready));
             }
             let ev = self.events[id as usize];
             self.dispatch(ev);
@@ -602,7 +623,13 @@ impl Sim {
             self.card_busy += 1;
             let service = self.conns[nc as usize].pending_service_ns;
             let at = self.now + service;
-            self.schedule(at, Ev::QatDone { worker: nw, conn: nc });
+            self.schedule(
+                at,
+                Ev::QatDone {
+                    worker: nw,
+                    conn: nc,
+                },
+            );
         }
         // Response retrieval: tick-aligned for timer pollers; immediate
         // availability for the heuristic scheme.
@@ -711,8 +738,8 @@ impl Sim {
         // the same core) steals a fixed fraction of cycles.
         let inflation = match self.cfg.profile.timer_interval() {
             Some(interval) => {
-                let per_tick = 2 * self.cfg.cost.offload.ctx_switch_ns
-                    + self.cfg.cost.offload.poll_ns;
+                let per_tick =
+                    2 * self.cfg.cost.offload.ctx_switch_ns + self.cfg.cost.offload.poll_ns;
                 1.0 + per_tick as f64 / interval as f64
             }
             None => 1.0,
@@ -810,8 +837,16 @@ impl Sim {
                         continue;
                     }
                     // Submit through the driver: the request reaches the
-                    // card after a fixed DMA/firmware latency.
-                    cpu += off.submit_ns;
+                    // card after a fixed DMA/firmware latency. Async
+                    // profiles amortize the doorbell over the configured
+                    // flush depth (sweep-boundary batching); the blocking
+                    // profile rings per request.
+                    let depth = if profile.uses_async() {
+                        self.cfg.submit_flush_depth.max(1)
+                    } else {
+                        1
+                    };
+                    cpu += off.submit_per_req_ns + off.submit_doorbell_ns.div_ceil(depth);
                     let fixed = self.noisy(if op.is_asym() {
                         off.fixed_latency_asym_ns
                     } else {
@@ -994,22 +1029,36 @@ mod tests {
 
     #[test]
     fn sw_tls_rsa_matches_anchor() {
-        let r = quick(SimConfig::handshake(SimProfile::Sw, 8, 400, SuiteKind::TlsRsa));
+        let r = quick(SimConfig::handshake(
+            SimProfile::Sw,
+            8,
+            400,
+            SuiteKind::TlsRsa,
+        ));
         // Paper Fig. 7a: SW at 8HT ≈ 4.3K CPS.
         assert!((3500.0..5200.0).contains(&r.cps), "cps={}", r.cps);
-        assert!(r.worker_util > 0.9, "SW must be CPU-bound: {}", r.worker_util);
+        assert!(
+            r.worker_util > 0.9,
+            "SW must be CPU-bound: {}",
+            r.worker_util
+        );
     }
 
     #[test]
     fn qtls_beats_sw_handshakes() {
-        let sw = quick(SimConfig::handshake(SimProfile::Sw, 8, 2000, SuiteKind::TlsRsa));
-        let qtls = quick(SimConfig::handshake(SimProfile::Qtls, 8, 2000, SuiteKind::TlsRsa));
-        assert!(
-            qtls.cps > 5.0 * sw.cps,
-            "QTLS={} SW={}",
-            qtls.cps,
-            sw.cps
-        );
+        let sw = quick(SimConfig::handshake(
+            SimProfile::Sw,
+            8,
+            2000,
+            SuiteKind::TlsRsa,
+        ));
+        let qtls = quick(SimConfig::handshake(
+            SimProfile::Qtls,
+            8,
+            2000,
+            SuiteKind::TlsRsa,
+        ));
+        assert!(qtls.cps > 5.0 * sw.cps, "QTLS={} SW={}", qtls.cps, sw.cps);
     }
 
     #[test]
@@ -1031,15 +1080,30 @@ mod tests {
 
     #[test]
     fn kernel_bypass_eliminates_switches() {
-        let ah = quick(SimConfig::handshake(SimProfile::QatAH, 4, 500, SuiteKind::TlsRsa));
-        let qtls = quick(SimConfig::handshake(SimProfile::Qtls, 4, 500, SuiteKind::TlsRsa));
+        let ah = quick(SimConfig::handshake(
+            SimProfile::QatAH,
+            4,
+            500,
+            SuiteKind::TlsRsa,
+        ));
+        let qtls = quick(SimConfig::handshake(
+            SimProfile::Qtls,
+            4,
+            500,
+            SuiteKind::TlsRsa,
+        ));
         assert!(ah.kernel_switches > 0);
         assert_eq!(qtls.kernel_switches, 0);
     }
 
     #[test]
     fn abbreviated_handshakes_count() {
-        let mut cfg = SimConfig::handshake(SimProfile::Sw, 4, 200, SuiteKind::EcdheRsa(NamedCurve::P256));
+        let mut cfg = SimConfig::handshake(
+            SimProfile::Sw,
+            4,
+            200,
+            SuiteKind::EcdheRsa(NamedCurve::P256),
+        );
         cfg.resumes_per_full = u32::MAX;
         let r = quick(cfg);
         assert!(r.handshakes > 0);
@@ -1060,14 +1124,29 @@ mod tests {
 
     #[test]
     fn latency_increases_with_concurrency() {
-        let small = quick(SimConfig::handshake(SimProfile::Sw, 1, 1, SuiteKind::TlsRsa));
-        let big = quick(SimConfig::handshake(SimProfile::Sw, 1, 64, SuiteKind::TlsRsa));
+        let small = quick(SimConfig::handshake(
+            SimProfile::Sw,
+            1,
+            1,
+            SuiteKind::TlsRsa,
+        ));
+        let big = quick(SimConfig::handshake(
+            SimProfile::Sw,
+            1,
+            64,
+            SuiteKind::TlsRsa,
+        ));
         assert!(big.avg_latency_ms > small.avg_latency_ms * 5.0);
     }
 
     #[test]
     fn latency_percentiles_are_ordered() {
-        let r = quick(SimConfig::handshake(SimProfile::Qtls, 2, 100, SuiteKind::TlsRsa));
+        let r = quick(SimConfig::handshake(
+            SimProfile::Qtls,
+            2,
+            100,
+            SuiteKind::TlsRsa,
+        ));
         assert!(r.p50_latency_ms > 0.0);
         assert!(r.p50_latency_ms <= r.p99_latency_ms);
         // The mean sits between the median and the tail for these
@@ -1084,13 +1163,17 @@ mod tests {
         // RSA queue and worker+card utilization collapse in antiphase
         // (observed as a hard CPS plateau past ~17 workers).
         let r24 = quick(SimConfig::handshake(
-            SimProfile::QatA { poll_interval_ns: 10_000 },
+            SimProfile::QatA {
+                poll_interval_ns: 10_000,
+            },
             24,
             2000,
             SuiteKind::TlsRsa,
         ));
         let r16 = quick(SimConfig::handshake(
-            SimProfile::QatA { poll_interval_ns: 10_000 },
+            SimProfile::QatA {
+                poll_interval_ns: 10_000,
+            },
             16,
             2000,
             SuiteKind::TlsRsa,
@@ -1108,7 +1191,9 @@ mod tests {
         // QAT+S busy-waits: the worker must look saturated even though
         // the card is nearly idle (§2.4's "CPU cycles spent waiting").
         let r = quick(SimConfig::handshake(
-            SimProfile::QatS { poll_interval_ns: 10_000 },
+            SimProfile::QatS {
+                poll_interval_ns: 10_000,
+            },
             8,
             2000,
             SuiteKind::TlsRsa,
@@ -1120,7 +1205,12 @@ mod tests {
     #[test]
     fn qat_card_capacity_limits_cps() {
         // With many workers, QTLS saturates the card at ~100K CPS.
-        let r = quick(SimConfig::handshake(SimProfile::Qtls, 32, 4000, SuiteKind::TlsRsa));
+        let r = quick(SimConfig::handshake(
+            SimProfile::Qtls,
+            32,
+            4000,
+            SuiteKind::TlsRsa,
+        ));
         assert!(
             (80_000.0..115_000.0).contains(&r.cps),
             "cps={} (expected card limit ~100K)",

@@ -234,7 +234,11 @@ mod tests {
     #[test]
     fn abbreviated_is_prf_only() {
         let m = CostModel::default();
-        let (rsa, ecc, prf) = count_ops(&handshake_flights(SuiteKind::EcdheRsa(NamedCurve::P256), true, &m));
+        let (rsa, ecc, prf) = count_ops(&handshake_flights(
+            SuiteKind::EcdheRsa(NamedCurve::P256),
+            true,
+            &m,
+        ));
         assert_eq!((rsa, ecc), (0, 0));
         assert_eq!(prf, 3);
     }

@@ -49,9 +49,7 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(Some(
-            self.0.lock().unwrap_or_else(PoisonError::into_inner),
-        ))
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
     }
 
     /// Acquire the lock only if it is free right now.
@@ -98,7 +96,9 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.0.as_deref_mut().expect("guard present outside of wait")
+        self.0
+            .as_deref_mut()
+            .expect("guard present outside of wait")
     }
 }
 

@@ -106,12 +106,8 @@ mod tests {
     #[test]
     fn constructs_both_versions() {
         let config = ServerConfig::test_default();
-        let v12 = AnyServerSession::new(
-            Version::Tls12,
-            config.clone(),
-            CryptoProvider::Software,
-            1,
-        );
+        let v12 =
+            AnyServerSession::new(Version::Tls12, config.clone(), CryptoProvider::Software, 1);
         let v13 = AnyServerSession::new(Version::Tls13, config, CryptoProvider::Software, 2);
         assert!(matches!(v12, AnyServerSession::V12(_)));
         assert!(matches!(v13, AnyServerSession::V13(_)));

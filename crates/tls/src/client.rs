@@ -191,8 +191,9 @@ impl ClientSession {
     /// Process everything currently buffered.
     pub fn process(&mut self) -> Result<(), TlsError> {
         loop {
-            let Some((typ, payload)) =
-                self.records.next_record(&self.provider, &mut self.counters)?
+            let Some((typ, payload)) = self
+                .records
+                .next_record(&self.provider, &mut self.counters)?
             else {
                 return Ok(());
             };
@@ -453,11 +454,10 @@ impl ClientSession {
                 let curve = NamedCurve::from_iana_id(skx.curve)
                     .ok_or(TlsError::HandshakeFailure("unknown curve"))?;
                 let seed = self.rng.next_u64();
-                let (private, public) =
-                    self.provider.ec_keygen(&mut self.counters, curve, seed)?;
-                premaster =
-                    self.provider
-                        .ecdh(&mut self.counters, curve, &private, &skx.public)?;
+                let (private, public) = self.provider.ec_keygen(&mut self.counters, curve, seed)?;
+                premaster = self
+                    .provider
+                    .ecdh(&mut self.counters, curve, &private, &skx.public)?;
                 ckx_payload = public;
             }
         }

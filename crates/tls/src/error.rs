@@ -1,7 +1,7 @@
 //! TLS error and status types.
 
-use qtls_crypto::CryptoError;
 use core::fmt;
+use qtls_crypto::CryptoError;
 
 /// Fatal TLS errors (abort the connection).
 #[derive(Clone, Debug, PartialEq, Eq)]

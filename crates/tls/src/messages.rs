@@ -318,8 +318,8 @@ impl HandshakeMsg {
     fn decode_body(typ: HandshakeType, r: &mut Reader<'_>) -> Result<HandshakeMsg, TlsError> {
         Ok(match typ {
             HandshakeType::ClientHello => {
-                let version = Version::from_wire(r.u16()?)
-                    .ok_or(TlsError::Decode("unsupported version"))?;
+                let version =
+                    Version::from_wire(r.u16()?).ok_or(TlsError::Decode("unsupported version"))?;
                 let random: [u8; 32] = r
                     .take(32)?
                     .try_into()
@@ -359,15 +359,15 @@ impl HandshakeMsg {
                 })
             }
             HandshakeType::ServerHello => {
-                let version = Version::from_wire(r.u16()?)
-                    .ok_or(TlsError::Decode("unsupported version"))?;
+                let version =
+                    Version::from_wire(r.u16()?).ok_or(TlsError::Decode("unsupported version"))?;
                 let random: [u8; 32] = r
                     .take(32)?
                     .try_into()
                     .map_err(|_| TlsError::Decode("random"))?;
                 let session_id = r.vec8()?;
-                let suite = CipherSuite::from_wire(r.u16()?)
-                    .ok_or(TlsError::Decode("unknown suite"))?;
+                let suite =
+                    CipherSuite::from_wire(r.u16()?).ok_or(TlsError::Decode("unknown suite"))?;
                 let key_share = if r.u8()? == 1 {
                     let curve = r.u16()?;
                     Some((curve, r.vec16()?))
@@ -408,11 +408,11 @@ impl HandshakeMsg {
             }
             HandshakeType::ServerHelloDone => HandshakeMsg::ServerHelloDone,
             HandshakeType::EncryptedExtensions => HandshakeMsg::EncryptedExtensions,
-            HandshakeType::ClientKeyExchange => HandshakeMsg::ClientKeyExchange(
-                ClientKeyExchange {
+            HandshakeType::ClientKeyExchange => {
+                HandshakeMsg::ClientKeyExchange(ClientKeyExchange {
                     payload: r.vec16()?,
-                },
-            ),
+                })
+            }
             HandshakeType::Finished => HandshakeMsg::Finished(Finished {
                 verify_data: r.vec8()?,
             }),
@@ -484,7 +484,10 @@ mod tests {
 
     #[test]
     fn empty_body_messages() {
-        for msg in [HandshakeMsg::ServerHelloDone, HandshakeMsg::EncryptedExtensions] {
+        for msg in [
+            HandshakeMsg::ServerHelloDone,
+            HandshakeMsg::EncryptedExtensions,
+        ] {
             let enc = msg.encode();
             assert_eq!(enc.len(), 4);
             let (dec, _) = HandshakeMsg::decode(&enc).unwrap().unwrap();
@@ -525,7 +528,10 @@ mod tests {
         })
         .encode();
         for cut in 0..fin.len() {
-            assert!(HandshakeMsg::decode(&fin[..cut]).unwrap().is_none(), "cut={cut}");
+            assert!(
+                HandshakeMsg::decode(&fin[..cut]).unwrap().is_none(),
+                "cut={cut}"
+            );
         }
     }
 

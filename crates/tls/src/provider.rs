@@ -82,9 +82,7 @@ impl CryptoProvider {
     fn engine_for(&self, want: impl Fn(&OffloadSelection) -> bool) -> Option<&Arc<OffloadEngine>> {
         match self {
             CryptoProvider::Software => None,
-            CryptoProvider::Offload { engine, selection } => {
-                want(selection).then_some(engine)
-            }
+            CryptoProvider::Offload { engine, selection } => want(selection).then_some(engine),
         }
     }
 
@@ -173,12 +171,10 @@ impl CryptoProvider {
     ) -> Result<(Bn, Vec<u8>), TlsError> {
         counters.ecc += 1;
         match self.engine_for(|s| s.asym) {
-            Some(engine) => {
-                match Self::run(engine, CryptoOp::EcKeygen { curve, seed })? {
-                    CryptoOutput::KeyPair { private, public } => Ok((private, public)),
-                    CryptoOutput::Bytes(_) => Err(TlsError::Crypto(CryptoError::InvalidPoint)),
-                }
-            }
+            Some(engine) => match Self::run(engine, CryptoOp::EcKeygen { curve, seed })? {
+                CryptoOutput::KeyPair { private, public } => Ok((private, public)),
+                CryptoOutput::Bytes(_) => Err(TlsError::Crypto(CryptoError::InvalidPoint)),
+            },
             None => {
                 let mut rng = TestRng::new(seed);
                 let kp = ecc::generate_keypair(curve, &mut rng);
@@ -283,7 +279,9 @@ impl CryptoProvider {
                 },
             )?
             .into_bytes()),
-            None => software_encrypt(enc_key, mac_key, iv, plaintext, aad).map_err(TlsError::Crypto),
+            None => {
+                software_encrypt(enc_key, mac_key, iv, plaintext, aad).map_err(TlsError::Crypto)
+            }
         }
     }
 
@@ -311,7 +309,9 @@ impl CryptoProvider {
                 },
             )?
             .into_bytes()),
-            None => software_decrypt(enc_key, mac_key, iv, ciphertext, aad).map_err(TlsError::Crypto),
+            None => {
+                software_decrypt(enc_key, mac_key, iv, ciphertext, aad).map_err(TlsError::Crypto)
+            }
         }
     }
 }
@@ -447,7 +447,10 @@ mod tests {
         use qtls_core::{EngineMode, OffloadEngine};
         use qtls_qat::{QatConfig, QatDevice};
         let dev = QatDevice::new(QatConfig::functional_small());
-        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Blocking));
+        let engine = Arc::new(OffloadEngine::new(
+            dev.alloc_instance(),
+            EngineMode::Blocking,
+        ));
         let p = CryptoProvider::offload(engine);
         let mut c = OpCounters::default();
         let out = p.prf(&mut c, b"s", b"master secret", b"r", 48).unwrap();
@@ -460,7 +463,10 @@ mod tests {
         use qtls_core::{EngineMode, OffloadEngine};
         use qtls_qat::{QatConfig, QatDevice};
         let dev = QatDevice::new(QatConfig::functional_small());
-        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Blocking));
+        let engine = Arc::new(OffloadEngine::new(
+            dev.alloc_instance(),
+            EngineMode::Blocking,
+        ));
         let p = CryptoProvider::Offload {
             engine: Arc::clone(&engine),
             selection: OffloadSelection {

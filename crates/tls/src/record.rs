@@ -230,7 +230,13 @@ mod tests {
         }
     }
 
-    fn pipe() -> (RecordLayer, RecordLayer, CryptoProvider, OpCounters, TestRng) {
+    fn pipe() -> (
+        RecordLayer,
+        RecordLayer,
+        CryptoProvider,
+        OpCounters,
+        TestRng,
+    ) {
         (
             RecordLayer::new(0x0303),
             RecordLayer::new(0x0303),
@@ -259,9 +265,18 @@ mod tests {
         tx.set_write_keys(keys(5));
         rx.set_read_keys(keys(5));
         let rec = tx
-            .write_record(ContentType::ApplicationData, b"secret data", &p, &mut c, &mut rng)
+            .write_record(
+                ContentType::ApplicationData,
+                b"secret data",
+                &p,
+                &mut c,
+                &mut rng,
+            )
             .unwrap();
-        assert!(!rec.windows(11).any(|w| w == b"secret data"), "must be encrypted");
+        assert!(
+            !rec.windows(11).any(|w| w == b"secret data"),
+            "must be encrypted"
+        );
         rx.feed(&rec);
         let (typ, payload) = rx.next_record(&p, &mut c).unwrap().unwrap();
         assert_eq!(typ, ContentType::ApplicationData);
@@ -323,7 +338,13 @@ mod tests {
         tx.set_write_keys(keys(5));
         rx.set_read_keys(keys(5));
         let mut rec = tx
-            .write_record(ContentType::ApplicationData, b"payload!", &p, &mut c, &mut rng)
+            .write_record(
+                ContentType::ApplicationData,
+                b"payload!",
+                &p,
+                &mut c,
+                &mut rng,
+            )
             .unwrap();
         let n = rec.len();
         rec[n - 1] ^= 0x01;

@@ -241,8 +241,9 @@ impl ServerSession {
     pub fn process(&mut self) -> Result<ProcessOutcome, TlsError> {
         let was_established = self.is_established();
         let mut progressed = false;
-        while let Some((typ, payload)) =
-            self.records.next_record(&self.provider, &mut self.counters)?
+        while let Some((typ, payload)) = self
+            .records
+            .next_record(&self.provider, &mut self.counters)?
         {
             progressed = true;
             match typ {
@@ -419,7 +420,11 @@ impl ServerSession {
     }
 
     /// Abbreviated handshake: SH, CCS, Finished (PRF only — §2.1).
-    fn start_abbreviated(&mut self, session_id: Vec<u8>, entry: SessionEntry) -> Result<(), TlsError> {
+    fn start_abbreviated(
+        &mut self,
+        session_id: Vec<u8>,
+        entry: SessionEntry,
+    ) -> Result<(), TlsError> {
         self.resumed = true;
         self.session_id = session_id;
         self.master = entry.master;
@@ -491,7 +496,9 @@ impl ServerSession {
         // ServerKeyExchange for ECDHE: ephemeral keygen + signature.
         if self.suite.key_exchange() == KeyExchange::Ecdhe {
             let seed = self.rng.next_u64();
-            let (private, public) = self.provider.ec_keygen(&mut self.counters, self.curve, seed)?;
+            let (private, public) =
+                self.provider
+                    .ec_keygen(&mut self.counters, self.curve, seed)?;
             self.ecdhe_private = Some(private);
             let content = skx_signed_content(
                 &self.client_random,
@@ -588,9 +595,7 @@ impl ServerSession {
                 suite: self.suite,
             };
             let ticket = self.config.ticket_keys.seal(&entry, &mut self.rng);
-            self.send_handshake(&HandshakeMsg::NewSessionTicket(NewSessionTicket {
-                ticket,
-            }))?;
+            self.send_handshake(&HandshakeMsg::NewSessionTicket(NewSessionTicket { ticket }))?;
         }
         // Cache for session-ID resumption.
         self.config.session_cache.put(

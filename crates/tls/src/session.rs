@@ -6,8 +6,8 @@
 //! and capacity.
 
 use crate::suite::CipherSuite;
-use qtls_sync::Mutex;
 use qtls_crypto::{aes, hmac::Hmac, sha256::Sha256, EntropySource};
+use qtls_sync::Mutex;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -55,7 +55,11 @@ impl SessionCache {
                 inner.insertion_order.remove(0);
             }
         }
-        if inner.map.insert(id.clone(), (entry, Instant::now())).is_none() {
+        if inner
+            .map
+            .insert(id.clone(), (entry, Instant::now()))
+            .is_none()
+        {
             inner.insertion_order.push(id);
         }
     }

@@ -71,9 +71,9 @@ impl CipherSuite {
     /// Wire codepoint (real IANA values).
     pub fn wire(&self) -> u16 {
         match self {
-            CipherSuite::TlsRsa => 0x002f,      // TLS_RSA_WITH_AES_128_CBC_SHA
-            CipherSuite::EcdheRsa => 0xc013,    // TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA
-            CipherSuite::EcdheEcdsa => 0xc009,  // TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA
+            CipherSuite::TlsRsa => 0x002f,     // TLS_RSA_WITH_AES_128_CBC_SHA
+            CipherSuite::EcdheRsa => 0xc013,   // TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA
+            CipherSuite::EcdheEcdsa => 0xc009, // TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA
         }
     }
 

@@ -60,10 +60,8 @@ impl Schedule {
         let early = provider.hkdf_extract(counters, &[], &zeros);
         let derived = provider.hkdf_expand_label(counters, &early, b"derived", &empty_hash, 32);
         let hs = provider.hkdf_extract(counters, &derived, shared_secret);
-        let c_hs =
-            provider.hkdf_expand_label(counters, &hs, b"c hs traffic", hello_hash, 32);
-        let s_hs =
-            provider.hkdf_expand_label(counters, &hs, b"s hs traffic", hello_hash, 32);
+        let c_hs = provider.hkdf_expand_label(counters, &hs, b"c hs traffic", hello_hash, 32);
+        let s_hs = provider.hkdf_expand_label(counters, &hs, b"s hs traffic", hello_hash, 32);
         Schedule {
             handshake_secret: hs,
             client_hs_traffic: c_hs,
@@ -195,8 +193,9 @@ impl Tls13ServerSession {
     /// Process buffered input.
     pub fn process(&mut self) -> Result<(), TlsError> {
         loop {
-            let Some((typ, payload)) =
-                self.records.next_record(&self.provider, &mut self.counters)?
+            let Some((typ, payload)) = self
+                .records
+                .next_record(&self.provider, &mut self.counters)?
             else {
                 return Ok(());
             };
@@ -268,7 +267,10 @@ impl Tls13ServerSession {
             .suites
             .iter()
             .copied()
-            .find(|s| ch.suites.contains(&s.wire()) && s.key_exchange() == crate::suite::KeyExchange::Ecdhe)
+            .find(|s| {
+                ch.suites.contains(&s.wire())
+                    && s.key_exchange() == crate::suite::KeyExchange::Ecdhe
+            })
             .ok_or(TlsError::HandshakeFailure("no common suite"))?;
         // Server ECDHE share (offloadable asym ops).
         let seed = self.rng.next_u64();
@@ -287,10 +289,19 @@ impl Tls13ServerSession {
         }))?;
         // Key schedule to handshake-traffic (CPU-only HKDF).
         let hello_hash = self.transcript_hash();
-        let schedule = Schedule::handshake(&self.provider, &mut self.counters, &shared, &hello_hash);
+        let schedule =
+            Schedule::handshake(&self.provider, &mut self.counters, &shared, &hello_hash);
         // Switch the record layer to handshake keys.
-        let server_keys = traffic_keys(&self.provider, &mut self.counters, &schedule.server_hs_traffic);
-        let client_keys = traffic_keys(&self.provider, &mut self.counters, &schedule.client_hs_traffic);
+        let server_keys = traffic_keys(
+            &self.provider,
+            &mut self.counters,
+            &schedule.server_hs_traffic,
+        );
+        let client_keys = traffic_keys(
+            &self.provider,
+            &mut self.counters,
+            &schedule.client_hs_traffic,
+        );
         self.records.set_write_keys(server_keys);
         self.records.set_read_keys(client_keys);
         // Encrypted flight: EE, Certificate, CertificateVerify, Finished.
@@ -317,9 +328,10 @@ impl Tls13ServerSession {
         let mut content = SERVER_CV_CONTEXT.to_vec();
         content.extend_from_slice(&self.transcript_hash());
         let signature = match self.suite.auth() {
-            Auth::Rsa => self
-                .provider
-                .rsa_sign(&mut self.counters, &self.config.rsa_key, &content)?,
+            Auth::Rsa => {
+                self.provider
+                    .rsa_sign(&mut self.counters, &self.config.rsa_key, &content)?
+            }
             Auth::Ecdsa => {
                 let key = self.config.ecdsa_keys.get(&curve).expect("checked");
                 let nonce_seed = self.rng.next_u64();
@@ -435,7 +447,9 @@ impl Tls13ClientSession {
     pub fn start(&mut self) -> Result<(), TlsError> {
         assert_eq!(self.state, ClientState::Start);
         let seed = self.rng.next_u64();
-        let (private, public) = self.provider.ec_keygen(&mut self.counters, self.curve, seed)?;
+        let (private, public) = self
+            .provider
+            .ec_keygen(&mut self.counters, self.curve, seed)?;
         self.ecdhe_private = Some(private);
         let mut random = [0u8; 32];
         self.rng.fill(&mut random);
@@ -491,8 +505,9 @@ impl Tls13ClientSession {
     /// Process buffered input.
     pub fn process(&mut self) -> Result<(), TlsError> {
         loop {
-            let Some((typ, payload)) =
-                self.records.next_record(&self.provider, &mut self.counters)?
+            let Some((typ, payload)) = self
+                .records
+                .next_record(&self.provider, &mut self.counters)?
             else {
                 return Ok(());
             };
@@ -595,9 +610,18 @@ impl Tls13ClientSession {
             .provider
             .ecdh(&mut self.counters, self.curve, &private, &server_share)?;
         let hello_hash = self.transcript_hash();
-        let schedule = Schedule::handshake(&self.provider, &mut self.counters, &shared, &hello_hash);
-        let server_keys = traffic_keys(&self.provider, &mut self.counters, &schedule.server_hs_traffic);
-        let client_keys = traffic_keys(&self.provider, &mut self.counters, &schedule.client_hs_traffic);
+        let schedule =
+            Schedule::handshake(&self.provider, &mut self.counters, &shared, &hello_hash);
+        let server_keys = traffic_keys(
+            &self.provider,
+            &mut self.counters,
+            &schedule.server_hs_traffic,
+        );
+        let client_keys = traffic_keys(
+            &self.provider,
+            &mut self.counters,
+            &schedule.client_hs_traffic,
+        );
         self.records.set_read_keys(server_keys);
         self.records.set_write_keys(client_keys);
         self.schedule = Some(schedule);
@@ -648,8 +672,7 @@ impl Tls13ClientSession {
         // Application keys: both sides use the transcript hash THROUGH
         // the server Finished (= `th_client` here; the server computes it
         // as the hash before the client's Finished arrives).
-        let (c_app, s_app) =
-            schedule.application(&self.provider, &mut self.counters, &th_client);
+        let (c_app, s_app) = schedule.application(&self.provider, &mut self.counters, &th_client);
         let server_keys = traffic_keys(&self.provider, &mut self.counters, &s_app);
         let client_keys = traffic_keys(&self.provider, &mut self.counters, &c_app);
         self.records.set_read_keys(server_keys);

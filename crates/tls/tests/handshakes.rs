@@ -101,10 +101,7 @@ fn app_data_roundtrip_after_handshake() {
     client.write_app_data(b"GET / HTTP/1.1\r\n\r\n").unwrap();
     server.feed(&client.take_output());
     server.process().unwrap();
-    assert_eq!(
-        server.read_app_data().unwrap(),
-        b"GET / HTTP/1.1\r\n\r\n"
-    );
+    assert_eq!(server.read_app_data().unwrap(), b"GET / HTTP/1.1\r\n\r\n");
     let body = vec![0x77u8; 100_000]; // > 16KB: multiple records
     server.write_app_data(&body).unwrap();
     client.feed(&server.take_output());
@@ -133,7 +130,7 @@ fn session_id_resumption() {
     assert!(client.is_established());
     let mut resume = client.export_resume_data().unwrap();
     resume.ticket = None; // force the session-ID path
-    // Second: abbreviated handshake.
+                          // Second: abbreviated handshake.
     let mut server2 = ServerSession::new(config, CryptoProvider::Software, 32);
     let mut client2 = ClientSession::new(
         CryptoProvider::Software,
@@ -305,7 +302,10 @@ fn handshake_via_offload_engine_blocking() {
     use qtls_qat::{QatConfig, QatDevice};
     use std::sync::Arc;
     let dev = QatDevice::new(QatConfig::functional_small());
-    let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Blocking));
+    let engine = Arc::new(OffloadEngine::new(
+        dev.alloc_instance(),
+        EngineMode::Blocking,
+    ));
     let provider = CryptoProvider::offload(engine);
     let config = ServerConfig::test_default();
     let mut server = ServerSession::new(config, provider, 80);
@@ -321,7 +321,12 @@ fn handshake_via_offload_engine_blocking() {
     assert!(server.is_established() && client.is_established());
     // The device actually performed the server's crypto.
     assert!(dev.fw_counters().total_completed() > 0);
-    assert!(dev.fw_counters().asym.load(std::sync::atomic::Ordering::Relaxed) >= 3);
+    assert!(
+        dev.fw_counters()
+            .asym
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 3
+    );
     client.write_app_data(b"offloaded").unwrap();
     server.feed(&client.take_output());
     server.process().unwrap();

@@ -2,6 +2,8 @@
 //! replays and tampered handshake content must be rejected with typed
 //! errors.
 
+use qtls_crypto::ecc::NamedCurve;
+use qtls_crypto::TestRng;
 use qtls_tls::client::ClientSession;
 use qtls_tls::messages::*;
 use qtls_tls::provider::{CryptoProvider, OpCounters};
@@ -9,8 +11,6 @@ use qtls_tls::record::{ContentType, RecordLayer};
 use qtls_tls::server::{ServerConfig, ServerSession};
 use qtls_tls::suite::{CipherSuite, Version};
 use qtls_tls::TlsError;
-use qtls_crypto::ecc::NamedCurve;
-use qtls_crypto::TestRng;
 
 /// Wrap a handshake message in a plaintext record.
 fn record_with(msg: &HandshakeMsg) -> Vec<u8> {
@@ -217,7 +217,7 @@ fn finished_replay_across_sessions_fails() {
     client_a.feed(&server_a.take_output());
     client_a.process().unwrap();
     let client_a_final = client_a.take_output(); // CKX + CCS + Finished
-    // Session B: same client opening, but session A's final flight.
+                                                 // Session B: same client opening, but session A's final flight.
     let mut server_b = ServerSession::new(config, CryptoProvider::Software, 12);
     let mut client_b = ClientSession::new(
         CryptoProvider::Software,

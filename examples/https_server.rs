@@ -34,8 +34,7 @@ fn run_profile(profile: OffloadProfile, seconds: u64) {
             if !stop_w.load(Ordering::Relaxed) {
                 return false;
             }
-            let d = *drain_deadline
-                .get_or_insert_with(|| Instant::now() + Duration::from_secs(2));
+            let d = *drain_deadline.get_or_insert_with(|| Instant::now() + Duration::from_secs(2));
             w.tc_alive() == 0 || Instant::now() > d
         });
         let counters = device.map(|d| d.fw_counters().render());

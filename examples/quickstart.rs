@@ -21,7 +21,10 @@ fn main() {
         engines_per_endpoint: 4,
         ..QatConfig::functional_small()
     });
-    let engine = Arc::new(OffloadEngine::new(device.alloc_instance(), EngineMode::Async));
+    let engine = Arc::new(OffloadEngine::new(
+        device.alloc_instance(),
+        EngineMode::Async,
+    ));
     let key = Arc::new(test_rsa_2048().clone());
 
     // --- Phase 1: pre-processing ------------------------------------

@@ -57,8 +57,13 @@ fn main() {
     by_id.ticket = None;
     let t0 = Instant::now();
     let mut server = ServerSession::new(config.clone(), CryptoProvider::Software, 3);
-    let mut client =
-        ClientSession::new(CryptoProvider::Software, suite, NamedCurve::P256, Some(by_id), 4);
+    let mut client = ClientSession::new(
+        CryptoProvider::Software,
+        suite,
+        NamedCurve::P256,
+        Some(by_id),
+        4,
+    );
     client.start().unwrap();
     pump(&mut client, &mut server);
     assert!(server.was_resumed());

@@ -5,11 +5,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== cargo fmt --check =="
+cargo fmt --check
+
 echo "== cargo build --release --offline =="
 cargo build --release --offline
 
 echo "== cargo test -q --offline --workspace =="
 cargo test -q --offline --workspace
+
+echo "== property sweeps (--features proptest) =="
+# The in-repo prop harness scales every property to its full case
+# count under this feature; still offline and deterministic.
+cargo test -q --offline --features proptest \
+  --test proptest_crypto --test proptest_framework
 
 echo "== dependency hermeticity =="
 # Workspace path crates render as `name vX.Y.Z (/abs/path)`; anything

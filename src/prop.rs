@@ -130,9 +130,7 @@ pub fn check(name: &str, cases: u32, property: impl Fn(&mut Gen)) {
                 .map(|s| s.to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "<non-string panic>".into());
-            panic!(
-                "property '{name}' failed on case {case}/{n} (replay seed {seed:#018x}): {msg}"
-            );
+            panic!("property '{name}' failed on case {case}/{n} (replay seed {seed:#018x}): {msg}");
         }
     }
 }

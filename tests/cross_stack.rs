@@ -54,8 +54,13 @@ fn sim_counts(suite: SuiteKind) -> (u32, u32, u32) {
 fn functional_counts(suite: CipherSuite, seed: u64) -> (u32, u32, u32) {
     let config = ServerConfig::test_default();
     let mut server = ServerSession::new(config, CryptoProvider::Software, seed);
-    let mut client =
-        ClientSession::new(CryptoProvider::Software, suite, NamedCurve::P256, None, seed + 1);
+    let mut client = ClientSession::new(
+        CryptoProvider::Software,
+        suite,
+        NamedCurve::P256,
+        None,
+        seed + 1,
+    );
     client.start().unwrap();
     pump(&mut client, &mut server);
     assert!(server.is_established());
@@ -92,7 +97,10 @@ fn offloaded_handshake_ops_reach_the_device() {
     // through the device model when fully offloaded: 1 RSA + 2 ECC asym,
     // 4 PRF (the record ops during the handshake are cipher class).
     let dev = QatDevice::new(QatConfig::functional_small());
-    let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Blocking));
+    let engine = Arc::new(OffloadEngine::new(
+        dev.alloc_instance(),
+        EngineMode::Blocking,
+    ));
     let config = ServerConfig::test_default();
     let mut server = ServerSession::new(config, CryptoProvider::offload(engine), 300);
     let mut client = ClientSession::new(

@@ -2,8 +2,8 @@
 //! or adversarial inputs, half-open connections, and overload.
 
 use qtls::core::OffloadProfile;
-use qtls::prop;
 use qtls::crypto::ecc::NamedCurve;
+use qtls::prop;
 use qtls::qat::{QatConfig, QatDevice};
 use qtls::server::{VListener, Worker, WorkerConfig};
 use qtls::tls::client::ClientSession;

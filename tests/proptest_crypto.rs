@@ -128,7 +128,7 @@ fn gf2m_field_axioms() {
         assert_eq!(f.mul(&a, &b), f.mul(&b, &a));
         let ab = f.add(&a, &b);
         assert_eq!(f.sqr(&ab), f.add(&f.sqr(&a), &f.sqr(&b))); // Frobenius
-        // Inverse (nonzero a).
+                                                               // Inverse (nonzero a).
         if !f.is_zero(&a) {
             let inv = f.inv(&a);
             assert_eq!(f.mul(&a, &inv), f.one());
@@ -158,10 +158,9 @@ fn record_protection_roundtrip() {
         let enc_key: [u8; 16] = g.array();
         let iv: [u8; 16] = g.array();
         let mac_key = [7u8; 20];
-        let ct = qtls::tls::provider::software_encrypt(enc_key, &mac_key, iv, &payload, b"aad")
-            .unwrap();
-        let pt =
-            qtls::tls::provider::software_decrypt(enc_key, &mac_key, iv, &ct, b"aad").unwrap();
+        let ct =
+            qtls::tls::provider::software_encrypt(enc_key, &mac_key, iv, &payload, b"aad").unwrap();
+        let pt = qtls::tls::provider::software_decrypt(enc_key, &mac_key, iv, &ct, b"aad").unwrap();
         assert_eq!(pt, payload);
     });
 }

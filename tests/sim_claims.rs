@@ -110,15 +110,24 @@ fn claim_response_time() {
     let qtls = quick(mk(QTLS, 64)).avg_latency_ms;
     let red_a = 1.0 - qat_a / sw;
     let red_q = 1.0 - qtls / sw;
-    assert!((0.65..0.90).contains(&red_a), "QAT+A reduction {red_a} (paper ~0.75)");
-    assert!((0.78..0.92).contains(&red_q), "QTLS reduction {red_q} (paper ~0.85)");
+    assert!(
+        (0.65..0.90).contains(&red_a),
+        "QAT+A reduction {red_a} (paper ~0.75)"
+    );
+    assert!(
+        (0.78..0.92).contains(&red_q),
+        "QTLS reduction {red_q} (paper ~0.85)"
+    );
     assert!(qtls < qat_a, "QTLS below QAT+A at high concurrency");
     // Concurrency 1 ordering: QAT+S < QTLS < QAT+A < SW.
     let sw1 = quick(mk(SW, 1)).avg_latency_ms;
     let s1 = quick(mk(QAT_S, 1)).avg_latency_ms;
     let a1 = quick(mk(QAT_A, 1)).avg_latency_ms;
     let q1 = quick(mk(QTLS, 1)).avg_latency_ms;
-    assert!(s1 < q1, "QAT+S ({s1}) lowest at concurrency 1 vs QTLS ({q1})");
+    assert!(
+        s1 < q1,
+        "QAT+S ({s1}) lowest at concurrency 1 vs QTLS ({q1})"
+    );
     assert!(q1 < a1, "QTLS ({q1}) below QAT+A ({a1}) at concurrency 1");
     assert!(a1 < sw1, "QAT+A ({a1}) below SW ({sw1}) at concurrency 1");
 }
@@ -129,7 +138,9 @@ fn claim_response_time() {
 fn claim_polling_schemes() {
     // (a) handshake CPS at 8 workers.
     let cps_10us = quick(SimConfig::handshake(
-        SimProfile::QatA { poll_interval_ns: 10_000 },
+        SimProfile::QatA {
+            poll_interval_ns: 10_000,
+        },
         8,
         2000,
         SuiteKind::TlsRsa,
@@ -143,7 +154,10 @@ fn claim_polling_schemes() {
     ))
     .cps;
     let gap = 1.0 - cps_10us / cps_heur;
-    assert!((0.10..0.30).contains(&gap), "10us gap = {gap} (paper ~0.20)");
+    assert!(
+        (0.10..0.30).contains(&gap),
+        "10us gap = {gap} (paper ~0.20)"
+    );
     // (b) 64 KB transfer at 16 clients: 1 ms poller collapses.
     let mk = |p| {
         let mut cfg = SimConfig::handshake(p, 8, 16, SuiteKind::TlsRsa);
