@@ -145,6 +145,94 @@ fn bench_submission(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_flush_policy(c: &mut Criterion) {
+    // The adaptive flush policy's two promises (DESIGN.md §9): under
+    // light load a submission clears the staging queue as fast as the
+    // eager depth-1 policy (no hold tax — compare p99 against the
+    // hold-to-16 policy, which eats extra sweeps per request); under
+    // saturation a staged batch of 64 publishes with one doorbell,
+    // matching the deep-fixed policy's per-request cost. Engines are
+    // disabled so the measurement isolates the submission path.
+    use qtls_bench::harness::Throughput;
+    use qtls_core::{FlushMode, FlushPolicyConfig, SubmitQueue};
+    use qtls_qat::make_request;
+    use std::time::Duration;
+    let dev = QatDevice::new(QatConfig {
+        endpoints: 1,
+        engines_per_endpoint: 0,
+        ring_capacity: 1024,
+        ..QatConfig::functional_small()
+    });
+    let inst = dev.alloc_instance();
+    let op = || CryptoOp::Prf {
+        secret: Vec::new(),
+        label: Vec::new(),
+        seed: Vec::new(),
+        out_len: 16,
+    };
+    // A fixed-depth-16 policy that always holds shallow batches: light
+    // fast path disabled, generous wall cap so the sweep bound governs.
+    let hold16 = FlushPolicyConfig {
+        mode: FlushMode::Adaptive,
+        target_depth: 16,
+        light_inflight: 0,
+        light_ewma_depth_milli: 0,
+        max_hold_sweeps: 3,
+        max_hold: Duration::from_secs(1),
+        bypass: false,
+    };
+    let policies: [(&str, SubmitQueue); 3] = [
+        ("eager_depth1", SubmitQueue::new()),
+        (
+            "adaptive",
+            SubmitQueue::with_policy(FlushPolicyConfig::adaptive()),
+        ),
+        ("hold_to_16", SubmitQueue::with_policy(hold16)),
+    ];
+    let mut group = c.benchmark_group("flush_policy");
+    // Light load: one request staged per sweep, inflight 1 (just this
+    // request). The p99 column is the staging delay comparison.
+    for (name, queue) in &policies {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("light_submit_cycle/{name}"), |b| {
+            b.iter(|| {
+                queue.enqueue(make_request(0, op(), Box::new(|_| {})));
+                let mut sweeps = 0u32;
+                while queue.sweep(&inst, 1).submitted == 0 {
+                    sweeps += 1;
+                    assert!(sweeps < 100, "policy must not starve");
+                }
+                inst.discard_requests(usize::MAX)
+            })
+        });
+    }
+    // Saturation: 64 requests staged in one sweep (inflight 64). The
+    // adaptive policy publishes the whole batch with one doorbell; the
+    // per-request-doorbell baseline rings 64 times.
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("saturated_64/per_req_doorbell", |b| {
+        b.iter(|| {
+            for i in 0..64 {
+                inst.submit(make_request(i, op(), Box::new(|_| {})))
+                    .unwrap();
+            }
+            inst.discard_requests(usize::MAX)
+        })
+    });
+    let adaptive = SubmitQueue::with_policy(FlushPolicyConfig::adaptive());
+    group.bench_function("saturated_64/adaptive_batch", |b| {
+        b.iter(|| {
+            for i in 0..64 {
+                adaptive.enqueue(make_request(i, op(), Box::new(|_| {})));
+            }
+            let report = adaptive.sweep(&inst, 64);
+            assert_eq!(report.submitted, 64, "target depth reached: flush");
+            inst.discard_requests(usize::MAX)
+        })
+    });
+    group.finish();
+}
+
 fn bench_offload_roundtrip(c: &mut Criterion) {
     // Full blocking offload of a PRF through the threaded device model:
     // submit → engine thread computes → poll → callback.
@@ -227,6 +315,7 @@ criterion_group!(
     bench_notification,
     bench_ring,
     bench_submission,
+    bench_flush_policy,
     bench_heuristic,
     bench_offload_roundtrip,
     bench_fiber_vs_stack

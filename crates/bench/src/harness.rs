@@ -150,11 +150,13 @@ impl Bencher {
         let min = per_iter[0];
         let median = per_iter[per_iter.len() / 2];
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let p99 = per_iter[(per_iter.len() * 99).div_ceil(100).saturating_sub(1)];
         let mut line = format!(
-            "{id:<44} time: [min {} | median {} | mean {}]",
+            "{id:<44} time: [min {} | median {} | mean {} | p99 {}]",
             fmt_time(min),
             fmt_time(median),
-            fmt_time(mean)
+            fmt_time(mean),
+            fmt_time(p99)
         );
         match throughput {
             Some(Throughput::Bytes(n)) => {

@@ -22,7 +22,9 @@
 //! command" for the heuristic polling scheme.
 
 use crate::fiber;
-use crate::pipeline::{Backpressure, FlushReport, FullAction, SubmitContext, SubmitQueue};
+use crate::pipeline::{
+    Backpressure, DrainReport, FlushReport, FullAction, SubmitContext, SubmitQueue,
+};
 use qtls_crypto::CryptoError;
 use qtls_qat::{
     make_request, CryptoInstance, CryptoOp, CryptoRequest, CryptoResult, OpClass, ResponseCallback,
@@ -136,10 +138,12 @@ impl SubmitStage {
         }
     }
 
-    /// Publish everything staged on the attached queue in one batch.
+    /// Sweep-boundary flush of the attached queue: the queue's flush
+    /// policy decides — from the staged depth and total inflight —
+    /// whether to publish now or hold the batch to deepen.
     fn flush(&self) -> FlushReport {
         match self.attached_queue() {
-            Some(queue) => queue.flush(&self.instance),
+            Some(queue) => queue.sweep(&self.instance, self.counters.total()),
             None => FlushReport::default(),
         }
     }
@@ -261,10 +265,28 @@ impl OffloadEngine {
         self.submit.attached_queue()
     }
 
-    /// Flush the attached submit queue (no-op without one). Called by
-    /// the worker at the end of each event-loop iteration.
+    /// Sweep-boundary flush of the attached submit queue (no-op without
+    /// one). Called by the worker at the end of each event-loop
+    /// iteration; the queue's [`crate::pipeline::FlushPolicyConfig`]
+    /// decides whether this sweep publishes or holds.
     pub fn flush_submissions(&self) -> FlushReport {
         self.submit.flush()
+    }
+
+    /// Shutdown drain of the attached submit queue: publish what the
+    /// ring will take, then fail everything still staged with
+    /// [`CryptoError::Cancelled`] so no waiter is silently dropped
+    /// mid-sweep. No-op without a queue; idempotent.
+    pub fn drain_submit_queue(&self) -> DrainReport {
+        let Some(queue) = self.submit.attached_queue() else {
+            return DrainReport::default();
+        };
+        let report = queue.flush(&self.submit.instance);
+        let cancelled = queue.drain_failing(CryptoError::Cancelled);
+        DrainReport {
+            flushed: report.submitted,
+            cancelled,
+        }
     }
 
     /// Poll the instance, retrieving up to `max` responses (callbacks run
@@ -310,13 +332,26 @@ impl OffloadEngine {
         let ctx_handle = fiber::current_wait_ctx().expect("offload_async requires a job");
         let class = op.class();
         if let Some(queue) = self.submit.attached_queue() {
+            // Light-load fast path: the policy may skip staging and ring
+            // the doorbell in place, trading one unamortized doorbell
+            // for a sweep less of staging latency.
+            let bypass = queue.should_bypass(self.notify.counters.total());
             self.submit.begin(class);
             let request = make_request(
                 self.submit.next_cookie(),
                 op,
                 self.notify.job_completion(ctx_handle.clone(), class),
             );
-            queue.enqueue(request);
+            if bypass {
+                match self.submit.instance.submit(request) {
+                    Ok(()) => queue.note_bypass(),
+                    // Full ring despite "light" load: fall back to
+                    // staging; the sweep flush retries as deferral.
+                    Err(SubmitFull(back)) => queue.enqueue(back),
+                }
+            } else {
+                queue.enqueue(request);
+            }
             return self.consume_parked_result(&ctx_handle);
         }
         let mut attempt = 0u32;
@@ -654,6 +689,141 @@ mod tests {
         assert_eq!(report.submitted, 1);
         assert_eq!(report.deferred, 0);
         assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn adaptive_bypass_submits_in_place_under_light_load() {
+        use crate::pipeline::{FlushPolicyConfig, SubmitQueue};
+        let dev = device();
+        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Async));
+        let queue = Arc::new(SubmitQueue::with_policy(FlushPolicyConfig {
+            bypass: true,
+            ..FlushPolicyConfig::adaptive()
+        }));
+        engine.attach_submit_queue(Arc::clone(&queue));
+        let eng = Arc::clone(&engine);
+        let job = match start_job(move || eng.offload(prf_op(8))) {
+            StartResult::Paused(j) => j,
+            StartResult::Finished(_) => panic!("must pause"),
+        };
+        // Light load: the request skipped staging and is already on the
+        // device — no flush needed.
+        assert!(queue.is_empty());
+        assert_eq!(dev.fw_counters().submitted.load(Ordering::Relaxed), 1);
+        assert_eq!(queue.stats().bypasses.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.flush_submissions(), FlushReport::default());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.inflight().total() > 0 {
+            engine.poll_all();
+            assert!(Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        match job.resume() {
+            StartResult::Finished(res) => assert_eq!(res.unwrap().into_bytes().len(), 8),
+            StartResult::Paused(_) => panic!("must finish"),
+        }
+    }
+
+    #[test]
+    fn adaptive_sweep_holds_then_starvation_cap_flushes() {
+        use crate::pipeline::{FlushMode, FlushPolicyConfig, SubmitQueue};
+        let dev = device();
+        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Async));
+        // Never light (light_inflight 0 and jobs keep inflight > 0),
+        // hold bound of 2 sweeps, wall-clock cap effectively off.
+        let queue = Arc::new(SubmitQueue::with_policy(FlushPolicyConfig {
+            mode: FlushMode::Adaptive,
+            target_depth: 16,
+            light_inflight: 0,
+            light_ewma_depth_milli: u64::MAX,
+            max_hold_sweeps: 2,
+            max_hold: Duration::from_secs(3600),
+            bypass: false,
+        }));
+        engine.attach_submit_queue(Arc::clone(&queue));
+        let mut jobs = Vec::new();
+        for _ in 0..3 {
+            let eng = Arc::clone(&engine);
+            match start_job(move || eng.offload(prf_op(8))) {
+                StartResult::Paused(j) => jobs.push(j),
+                StartResult::Finished(_) => panic!("must pause"),
+            }
+        }
+        // Two sweeps hold the shallow batch...
+        assert_eq!(engine.flush_submissions(), FlushReport::default());
+        assert_eq!(engine.flush_submissions(), FlushReport::default());
+        assert_eq!(queue.len(), 3);
+        // ...the third hits the starvation cap and force-flushes.
+        let report = engine.flush_submissions();
+        assert_eq!(report.submitted, 3);
+        assert_eq!(queue.stats().holds.load(Ordering::Relaxed), 2);
+        assert_eq!(queue.stats().forced_flushes.load(Ordering::Relaxed), 1);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.inflight().total() > 0 {
+            engine.poll_all();
+            assert!(Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        for job in jobs {
+            match job.resume() {
+                StartResult::Finished(res) => assert_eq!(res.unwrap().into_bytes().len(), 8),
+                StartResult::Paused(_) => panic!("must finish"),
+            }
+        }
+    }
+
+    #[test]
+    fn drain_cancels_staged_requests_with_definite_error() {
+        // Regression (PR 3): requests staged in the SubmitQueue but not
+        // yet flushed were silently dropped on worker shutdown — the
+        // paused jobs' waiters never saw a result and the inflight
+        // counters never came back down.
+        use crate::pipeline::SubmitQueue;
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 1,
+            engines_per_endpoint: 0,
+            ring_capacity: 2,
+            ..QatConfig::functional_small()
+        });
+        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Async));
+        let queue = Arc::new(SubmitQueue::new());
+        engine.attach_submit_queue(Arc::clone(&queue));
+        let mut jobs = Vec::new();
+        for _ in 0..5 {
+            let eng = Arc::clone(&engine);
+            match start_job(move || eng.offload(prf_op(8))) {
+                StartResult::Paused(j) => jobs.push(j),
+                StartResult::Finished(_) => panic!("must pause"),
+            }
+        }
+        assert_eq!(engine.inflight().total(), 5);
+        // Shutdown mid-sweep: the ring takes two, the other three must
+        // be failed — not dropped.
+        let drained = engine.drain_submit_queue();
+        assert_eq!(drained.flushed, 2);
+        assert_eq!(drained.cancelled, 3);
+        assert!(queue.is_empty());
+        // Cancelled requests released their inflight accounting.
+        assert_eq!(engine.inflight().total(), 2);
+        // Their waiters observe the definite error on resume.
+        let mut cancelled = 0;
+        for job in jobs {
+            match job.resume() {
+                StartResult::Finished(Err(CryptoError::Cancelled)) => cancelled += 1,
+                StartResult::Finished(other) => panic!("unexpected result: {other:?}"),
+                StartResult::Paused(j) => {
+                    // The two that reached the ring have no response (no
+                    // engines); they stay parked. Keep them alive to drop.
+                    drop(j);
+                }
+            }
+        }
+        assert_eq!(cancelled, 3);
+        // Second drain is a no-op.
+        assert_eq!(
+            engine.drain_submit_queue(),
+            crate::pipeline::DrainReport::default()
+        );
     }
 
     #[test]

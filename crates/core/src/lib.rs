@@ -49,8 +49,8 @@ pub use engine::{EngineMode, InflightCounters, OffloadEngine, RetrieveStage, Sub
 pub use fiber::{in_job, pause_job, start_job, AsyncJob, StartResult};
 pub use notify::{AsyncQueue, FdSelector, KernelCostMeter, Notifier, VirtualFd};
 pub use pipeline::{
-    Backpressure, BackpressureConfig, FlushReport, FullAction, SubmitContext, SubmitQueue,
-    SubmitQueueStats,
+    Backpressure, BackpressureConfig, DrainReport, FlushMode, FlushPolicyConfig, FlushReport,
+    FullAction, SubmitContext, SubmitQueue, SubmitSnapshot, SubmitStats,
 };
 pub use poller::{HeuristicConfig, HeuristicPoller, PollTrigger, TimerPoller};
 pub use profile::{NotifyScheme, OffloadProfile, PollingScheme};

@@ -23,6 +23,9 @@ pub enum CryptoError {
     BadMac,
     /// Malformed padding (CBC).
     BadPadding,
+    /// The request was cancelled before the device saw it (e.g. staged
+    /// in a submit queue when its worker shut down).
+    Cancelled,
 }
 
 impl fmt::Display for CryptoError {
@@ -37,6 +40,7 @@ impl fmt::Display for CryptoError {
             CryptoError::InvalidLength => "invalid input length",
             CryptoError::BadMac => "MAC verification failed",
             CryptoError::BadPadding => "bad padding",
+            CryptoError::Cancelled => "request cancelled before submission",
         };
         f.write_str(s)
     }

@@ -21,7 +21,7 @@
 //! bundle (profile, offload selection, thresholds, worker count) that
 //! maps directly onto [`crate::worker::WorkerConfig`].
 
-use qtls_core::{HeuristicConfig, OffloadProfile};
+use qtls_core::{FlushMode, FlushPolicyConfig, HeuristicConfig, OffloadProfile};
 use qtls_tls::provider::OffloadSelection;
 use std::time::Duration;
 
@@ -38,6 +38,8 @@ pub struct EngineDirectives {
     pub heuristic: HeuristicConfig,
     /// Timer poll interval (`qat_poll_interval_us`, for timer mode).
     pub timer_interval: Option<Duration>,
+    /// Submit flush policy (`qat_submit_flush_*`).
+    pub flush: FlushPolicyConfig,
 }
 
 impl Default for EngineDirectives {
@@ -48,6 +50,7 @@ impl Default for EngineDirectives {
             selection: OffloadSelection::default(),
             heuristic: HeuristicConfig::default(),
             timer_interval: None,
+            flush: FlushPolicyConfig::adaptive(),
         }
     }
 }
@@ -217,6 +220,32 @@ pub fn parse_ssl_engine_conf(input: &str) -> Result<EngineDirectives, ConfError>
             "qat_heuristic_poll_sym_threshold" => {
                 out.heuristic.sym_threshold = parse_u64(&value)?;
             }
+            "qat_submit_flush_mode" => match value.as_str() {
+                "adaptive" => out.flush.mode = FlushMode::Adaptive,
+                "eager" => out.flush = FlushPolicyConfig::eager(),
+                _ => return Err(ConfError::BadValue(token.clone())),
+            },
+            "qat_submit_flush_target_depth" => {
+                let depth = parse_u64(&value)? as usize;
+                if depth == 0 {
+                    return Err(ConfError::BadValue(token.clone()));
+                }
+                out.flush.target_depth = depth;
+            }
+            "qat_submit_flush_max_hold_sweeps" => {
+                out.flush.max_hold_sweeps = parse_u64(&value)? as u32;
+            }
+            "qat_submit_flush_max_hold_us" => {
+                out.flush.max_hold = Duration::from_micros(parse_u64(&value)?);
+            }
+            "qat_submit_flush_light_inflight" => {
+                out.flush.light_inflight = parse_u64(&value)?;
+            }
+            "qat_submit_flush_bypass" => match value.as_str() {
+                "on" => out.flush.bypass = true,
+                "off" => out.flush.bypass = false,
+                _ => return Err(ConfError::BadValue(token.clone())),
+            },
             _ => return Err(ConfError::BadDirective(token.clone())),
         }
     }
@@ -346,6 +375,61 @@ ssl_engine {
             parse_ssl_engine_conf("ssl_engine { use openssl_default; }"),
             Err(ConfError::BadValue(_))
         ));
+    }
+
+    #[test]
+    fn submit_flush_directives_parse() {
+        let conf = r#"
+ssl_engine {
+    use qat_engine;
+    qat_engine {
+        qat_offload_mode async;
+        qat_submit_flush_mode adaptive;
+        qat_submit_flush_target_depth 32;
+        qat_submit_flush_max_hold_sweeps 5;
+        qat_submit_flush_max_hold_us 150;
+        qat_submit_flush_light_inflight 8;
+        qat_submit_flush_bypass on;
+    }
+}
+"#;
+        let d = parse_ssl_engine_conf(conf).unwrap();
+        assert_eq!(d.flush.mode, FlushMode::Adaptive);
+        assert_eq!(d.flush.target_depth, 32);
+        assert_eq!(d.flush.max_hold_sweeps, 5);
+        assert_eq!(d.flush.max_hold, Duration::from_micros(150));
+        assert_eq!(d.flush.light_inflight, 8);
+        assert!(d.flush.bypass);
+    }
+
+    #[test]
+    fn submit_flush_eager_mode_resets_policy() {
+        let conf = r#"
+ssl_engine {
+    use qat_engine;
+    qat_engine {
+        qat_offload_mode async;
+        qat_submit_flush_mode eager;
+    }
+}
+"#;
+        let d = parse_ssl_engine_conf(conf).unwrap();
+        assert_eq!(d.flush.mode, FlushMode::Eager);
+        assert_eq!(d.flush, FlushPolicyConfig::eager());
+    }
+
+    #[test]
+    fn submit_flush_rejects_bad_values() {
+        for bad in [
+            "ssl_engine { use qat_engine; qat_engine { qat_submit_flush_mode sometimes; } }",
+            "ssl_engine { use qat_engine; qat_engine { qat_submit_flush_target_depth 0; } }",
+            "ssl_engine { use qat_engine; qat_engine { qat_submit_flush_bypass maybe; } }",
+        ] {
+            assert!(
+                matches!(parse_ssl_engine_conf(bad), Err(ConfError::BadValue(_))),
+                "should reject: {bad}"
+            );
+        }
     }
 
     #[test]

@@ -122,18 +122,53 @@ fn pump_until(
     }
 }
 
-/// Extract the Content-Length of a response, if headers are complete.
-fn response_content_len(buf: &[u8]) -> Option<(usize, usize)> {
-    let end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
-    let head = std::str::from_utf8(&buf[..end]).ok()?;
+/// Incremental view of the HTTP response accumulating in the receive
+/// buffer. Distinguishes "headers not complete yet, keep reading" from
+/// "headers can never parse" — collapsing both into `None` made the
+/// client spin on a malformed response until the 30 s timeout, and the
+/// downstream `unwrap()` re-parse panicked on buffers that were drained
+/// between reads.
+enum ResponseProgress {
+    /// Header terminator not seen yet — accumulate more bytes.
+    Incomplete,
+    /// Headers parsed; the full response spans `total_len` bytes of
+    /// which the first `header_len` are headers.
+    Complete {
+        /// Byte length of the status line + headers + terminator.
+        header_len: usize,
+        /// `header_len` + Content-Length.
+        total_len: usize,
+    },
+    /// Headers are complete but unparsable; reading more cannot help.
+    Malformed(&'static str),
+}
+
+/// Parse as much of a response as the buffer holds.
+fn response_progress(buf: &[u8]) -> ResponseProgress {
+    let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return ResponseProgress::Incomplete;
+    };
+    let end = pos + 4;
+    let Ok(head) = std::str::from_utf8(&buf[..end]) else {
+        return ResponseProgress::Malformed("response headers are not UTF-8");
+    };
     for line in head.split("\r\n").skip(1) {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                return Some((end, value.trim().parse().ok()?));
+                return match value.trim().parse::<usize>() {
+                    Ok(len) => ResponseProgress::Complete {
+                        header_len: end,
+                        total_len: end + len,
+                    },
+                    Err(_) => ResponseProgress::Malformed("unparsable Content-Length"),
+                };
             }
         }
     }
-    Some((end, 0))
+    ResponseProgress::Complete {
+        header_len: end,
+        total_len: end,
+    }
 }
 
 /// Run one TLS 1.3 connection: handshake, optional single request,
@@ -184,20 +219,33 @@ pub fn run_connection_tls13(
         let req = format!("GET {path} HTTP/1.1\r\nHost: qtls\r\nConnection: close\r\n\r\n");
         session.write_app_data(req.as_bytes())?;
         let mut resp_buf: Vec<u8> = Vec::new();
-        let mut needed: Option<usize> = None;
+        let mut needed: Option<(usize, usize)> = None; // (total, header)
+        let mut malformed: Option<&'static str> = None;
         pump13(&mut session, &mut |s| {
             while let Some(chunk) = s.read_app_data() {
                 resp_buf.extend_from_slice(&chunk);
             }
             if needed.is_none() {
-                if let Some((hdr, len)) = response_content_len(&resp_buf) {
-                    needed = Some(hdr + len);
+                match response_progress(&resp_buf) {
+                    ResponseProgress::Incomplete => {}
+                    ResponseProgress::Complete {
+                        header_len,
+                        total_len,
+                    } => needed = Some((total_len, header_len)),
+                    ResponseProgress::Malformed(why) => {
+                        malformed = Some(why);
+                        return true;
+                    }
                 }
             }
-            needed.is_some_and(|n| resp_buf.len() >= n)
+            needed.is_some_and(|(total, _)| resp_buf.len() >= total)
         })?;
-        let n = needed.expect("set by closure");
-        body_bytes += (n - response_content_len(&resp_buf).unwrap().0) as u64;
+        if let Some(why) = malformed {
+            return Err(ClientError::BadResponse(why));
+        }
+        let (total, header_len) =
+            needed.ok_or(ClientError::BadResponse("response never completed"))?;
+        body_bytes += (total - header_len) as u64;
         responses += 1;
     }
     sock.close();
@@ -232,21 +280,34 @@ pub fn run_connection(
             );
             session.write_app_data(req.as_bytes())?;
             // Read until a complete response is buffered.
-            let mut needed: Option<usize> = None;
+            let mut needed: Option<(usize, usize)> = None; // (total, header)
+            let mut malformed: Option<&'static str> = None;
             pump_until(&mut session, &sock, deadline, |s| {
                 while let Some(chunk) = s.read_app_data() {
                     resp_buf.extend_from_slice(&chunk);
                 }
                 if needed.is_none() {
-                    if let Some((hdr, len)) = response_content_len(&resp_buf) {
-                        needed = Some(hdr + len);
+                    match response_progress(&resp_buf) {
+                        ResponseProgress::Incomplete => {}
+                        ResponseProgress::Complete {
+                            header_len,
+                            total_len,
+                        } => needed = Some((total_len, header_len)),
+                        ResponseProgress::Malformed(why) => {
+                            malformed = Some(why);
+                            return true;
+                        }
                     }
                 }
-                needed.is_some_and(|n| resp_buf.len() >= n)
+                needed.is_some_and(|(total, _)| resp_buf.len() >= total)
             })?;
-            let n = needed.expect("set by closure");
-            body_bytes += (n - response_content_len(&resp_buf).unwrap().0) as u64;
-            resp_buf.drain(..n);
+            if let Some(why) = malformed {
+                return Err(ClientError::BadResponse(why));
+            }
+            let (total, header_len) =
+                needed.ok_or(ClientError::BadResponse("response never completed"))?;
+            body_bytes += (total - header_len) as u64;
+            resp_buf.drain(..total);
             responses += 1;
         }
     }
@@ -324,4 +385,73 @@ pub fn spawn_clients(
                 .expect("spawn client")
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_headers_keep_accumulating() {
+        // A read boundary can land anywhere — mid status line, mid
+        // header name, one byte short of the terminator. All of these
+        // must report Incomplete, never panic or error.
+        let full = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbody";
+        for cut in 0..full.len() - 5 {
+            assert!(
+                matches!(
+                    response_progress(&full[..cut]),
+                    ResponseProgress::Incomplete
+                ),
+                "cut at {cut} must be Incomplete"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_headers_give_total_and_header_len() {
+        let buf = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbo";
+        match response_progress(buf) {
+            ResponseProgress::Complete {
+                header_len,
+                total_len,
+            } => {
+                assert_eq!(header_len, buf.len() - 2);
+                assert_eq!(total_len, header_len + 4);
+            }
+            _ => panic!("headers are complete"),
+        }
+    }
+
+    #[test]
+    fn missing_content_length_means_headers_only() {
+        let buf = b"HTTP/1.1 204 No Content\r\n\r\n";
+        match response_progress(buf) {
+            ResponseProgress::Complete {
+                header_len,
+                total_len,
+            } => {
+                assert_eq!(header_len, buf.len());
+                assert_eq!(total_len, buf.len());
+            }
+            _ => panic!("headers are complete"),
+        }
+    }
+
+    #[test]
+    fn malformed_responses_are_definite_errors_not_silence() {
+        // Regression: these used to parse to `None`, indistinguishable
+        // from "keep reading" — the client spun until the 30 s timeout.
+        assert!(matches!(
+            response_progress(b"HTTP/1.1 200 OK\r\nContent-Length: banana\r\n\r\n"),
+            ResponseProgress::Malformed(_)
+        ));
+        let mut bad_utf8 = b"HTTP/1.1 200 OK\r\nX-Junk: ".to_vec();
+        bad_utf8.extend_from_slice(&[0xff, 0xfe]);
+        bad_utf8.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(
+            response_progress(&bad_utf8),
+            ResponseProgress::Malformed(_)
+        ));
+    }
 }

@@ -17,8 +17,9 @@
 use crate::http::{self, ContentStore, ParseOutcome};
 use crate::net::{SockError, VListener, VSocket};
 use qtls_core::{
-    fiber, AsyncQueue, EngineMode, FdSelector, HeuristicConfig, HeuristicPoller, NotifyScheme,
-    OffloadEngine, OffloadProfile, PollingScheme, StartResult, SubmitQueue, TimerPoller, VirtualFd,
+    fiber, AsyncQueue, EngineMode, FdSelector, FlushPolicyConfig, HeuristicConfig, HeuristicPoller,
+    NotifyScheme, OffloadEngine, OffloadProfile, PollingScheme, StartResult, SubmitQueue,
+    TimerPoller, VirtualFd,
 };
 use qtls_qat::QatDevice;
 use qtls_tls::any_session::AnyServerSession;
@@ -48,6 +49,9 @@ pub struct WorkerConfig {
     /// Protocol version served (the worker terminates one protocol, as
     /// in the paper's per-experiment Nginx configurations).
     pub version: Version,
+    /// Sweep-boundary flush policy for the submit pipeline (the
+    /// `qat_submit_flush_*` directive family).
+    pub flush: FlushPolicyConfig,
 }
 
 impl WorkerConfig {
@@ -61,6 +65,7 @@ impl WorkerConfig {
             timer_interval: None,
             selection: OffloadSelection::default(),
             version: Version::Tls12,
+            flush: FlushPolicyConfig::adaptive(),
         }
     }
 
@@ -74,6 +79,7 @@ impl WorkerConfig {
             timer_interval: d.timer_interval,
             selection: d.selection,
             version: Version::Tls12,
+            flush: d.flush,
         }
     }
 }
@@ -107,6 +113,16 @@ pub struct WorkerStats {
     pub max_flush_depth: u64,
     /// Requests a flush had to defer to the next sweep (ring full).
     pub deferred_submits: u64,
+    /// Sweeps where the adaptive policy held a shallow batch back.
+    pub submit_holds: u64,
+    /// Held batches published because the hold bound expired.
+    pub forced_flushes: u64,
+    /// Requests that bypassed staging under light load.
+    pub bypassed_submits: u64,
+    /// EWMA of published flush depth, in milli-requests.
+    pub ewma_flush_depth_milli: u64,
+    /// Staged requests cancelled at worker shutdown.
+    pub cancelled_submits: u64,
 }
 
 /// The bundle that travels in and out of fiber jobs: the TLS session plus
@@ -269,7 +285,7 @@ impl Worker {
         // blocking profile (QAT+S) submits in place and needs no queue.
         if let Some(engine) = &engine {
             if profile.uses_async() {
-                engine.attach_submit_queue(Arc::new(SubmitQueue::new()));
+                engine.attach_submit_queue(Arc::new(SubmitQueue::with_policy(cfg.flush)));
             }
         }
         Worker {
@@ -318,7 +334,8 @@ impl Worker {
             "Active connections: {}\n\
              server accepts handled requests\n {} {} {}\n\
              TLS: alive {} idle {} active {} async-jobs {} resumptions {}\n\
-             submit: flushes {} flushed {} max-depth {} deferred {}\n",
+             submit: flushes {} flushed {} max-depth {} deferred {} \
+             holds {} forced {} bypassed {} ewma-depth {}.{:03}\n",
             self.tc_alive(),
             self.stats.handshakes + self.stats.errors,
             self.stats.handshakes,
@@ -332,6 +349,11 @@ impl Worker {
             self.stats.flushed_requests,
             self.stats.max_flush_depth,
             self.stats.deferred_submits,
+            self.stats.submit_holds,
+            self.stats.forced_flushes,
+            self.stats.bypassed_submits,
+            self.stats.ewma_flush_depth_milli / 1000,
+            self.stats.ewma_flush_depth_milli % 1000,
         )
     }
 
@@ -459,22 +481,44 @@ impl Worker {
             self.stats.retries += 1;
             self.resume(id);
         }
-        // 6. Sweep boundary: publish everything staged during this
-        // iteration in one batch (one cursor publish, one doorbell).
+        // 6. Sweep boundary: let the flush policy decide whether the
+        // staged batch publishes now (one cursor publish, one doorbell)
+        // or holds for a deeper batch. All submit counters come from the
+        // queue's own stats — folding them from per-sweep reports lost
+        // `deferred` whenever the report was otherwise empty.
         if let Some(engine) = &self.engine {
             let report = engine.flush_submissions();
-            if report.submitted > 0 {
-                self.stats.flushes += 1;
-                self.stats.flushed_requests += report.submitted as u64;
-                self.stats.max_flush_depth = self
-                    .stats
-                    .max_flush_depth
-                    .max((report.submitted + report.deferred) as u64);
-                events += report.submitted;
+            events += report.submitted;
+            if let Some(queue) = engine.submit_queue() {
+                let snap = queue.stats().snapshot();
+                self.stats.flushes = snap.flushes;
+                self.stats.flushed_requests = snap.flushed_requests;
+                self.stats.max_flush_depth = snap.max_depth;
+                self.stats.deferred_submits = snap.deferred;
+                self.stats.submit_holds = snap.holds;
+                self.stats.forced_flushes = snap.forced_flushes;
+                self.stats.bypassed_submits = snap.bypasses;
+                self.stats.ewma_flush_depth_milli = snap.ewma_depth_milli;
             }
-            self.stats.deferred_submits += report.deferred as u64;
         }
         events
+    }
+
+    /// Drain the submit pipeline for shutdown: publish what the ring can
+    /// take, then fail every still-staged request with a definite
+    /// `Cancelled` error so no waiter is silently dropped mid-sweep.
+    pub fn shutdown(&mut self) {
+        if let Some(engine) = &self.engine {
+            let drained = engine.drain_submit_queue();
+            self.stats.cancelled_submits += drained.cancelled as u64;
+            if let Some(queue) = engine.submit_queue() {
+                let snap = queue.stats().snapshot();
+                self.stats.flushes = snap.flushes;
+                self.stats.flushed_requests = snap.flushed_requests;
+                self.stats.max_flush_depth = snap.max_depth;
+                self.stats.deferred_submits = snap.deferred;
+            }
+        }
     }
 
     /// Run the loop until `stop` returns true, yielding when idle.
@@ -639,5 +683,13 @@ impl Worker {
             conn.sock.close();
             self.stats.closed += 1;
         }
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        // Idempotent: a second drain on an empty queue is a no-op, so an
+        // explicit `shutdown()` followed by drop is fine.
+        self.shutdown();
     }
 }

@@ -328,7 +328,8 @@ fn stub_status_formats_every_field() {
         "Active connections: 0\n\
          server accepts handled requests\n 0 0 0\n\
          TLS: alive 0 idle 0 active 0 async-jobs 0 resumptions 0\n\
-         submit: flushes 0 flushed 0 max-depth 0 deferred 0\n"
+         submit: flushes 0 flushed 0 max-depth 0 deferred 0 \
+         holds 0 forced 0 bypassed 0 ewma-depth 0.000\n"
     );
 }
 
@@ -419,11 +420,143 @@ fn qtls_stub_status_reports_batched_submissions() {
     let page = worker.stub_status();
     assert!(
         page.contains(&format!(
-            "submit: flushes {} flushed {} max-depth {} deferred 0\n",
+            "submit: flushes {} flushed {} max-depth {} deferred 0",
             worker.stats.flushes, worker.stats.flushed_requests, worker.stats.max_flush_depth
         )),
         "{page}"
     );
+    // All submit counters must agree with the queue's own accounting —
+    // they are now copied from one SubmitStats snapshot, not folded from
+    // per-sweep reports (which lost deferrals on otherwise-empty sweeps).
+    let snap = worker
+        .engine()
+        .expect("qtls has an engine")
+        .submit_queue()
+        .expect("async profile attaches a queue")
+        .stats()
+        .snapshot();
+    assert_eq!(worker.stats.flushes, snap.flushes);
+    assert_eq!(worker.stats.flushed_requests, snap.flushed_requests);
+    assert_eq!(worker.stats.max_flush_depth, snap.max_depth);
+    assert_eq!(worker.stats.deferred_submits, snap.deferred);
+    assert_eq!(worker.stats.submit_holds, snap.holds);
+    assert_eq!(worker.stats.forced_flushes, snap.forced_flushes);
+    assert_eq!(worker.stats.bypassed_submits, snap.bypasses);
+    assert_eq!(worker.stats.ewma_flush_depth_milli, snap.ewma_depth_milli);
+}
+
+/// A raw crypto request whose callback records what happened to it.
+fn counting_request(
+    cookie: u64,
+    cancelled: &Arc<std::sync::atomic::AtomicU64>,
+) -> qtls_qat::CryptoRequest {
+    use qtls_crypto::CryptoError;
+    let cancelled = Arc::clone(cancelled);
+    qtls_qat::CryptoRequest {
+        cookie,
+        op: qtls_qat::CryptoOp::Prf {
+            secret: b"secret".to_vec(),
+            label: b"label".to_vec(),
+            seed: b"seed".to_vec(),
+            out_len: 8,
+        },
+        callback: Box::new(move |result| {
+            if matches!(result, Err(CryptoError::Cancelled)) {
+                cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+        }),
+    }
+}
+
+#[test]
+fn worker_stats_track_deferred_submits_from_ring_full_sweeps() {
+    // Regression (stub_status undercounting): stage more requests than
+    // the ring can take in one sweep. The flush publishes ring-capacity
+    // requests and defers the rest; the worker's stub counters must
+    // match the queue exactly — in particular flushes against a full
+    // ring (report.submitted == 0) must still be counted, and deferred
+    // must be visible even on sweeps whose report is otherwise empty.
+    use std::sync::atomic::AtomicU64;
+    let listener = Arc::new(VListener::new());
+    let device = QatDevice::new(QatConfig {
+        endpoints: 1,
+        engines_per_endpoint: 0, // nothing completes; counters only
+        ring_capacity: 2,
+        ..QatConfig::functional_small()
+    });
+    let mut worker = Worker::new(
+        Arc::clone(&listener),
+        Some(&device),
+        WorkerConfig::new(OffloadProfile::Qtls),
+    );
+    let queue = worker
+        .engine()
+        .expect("engine")
+        .submit_queue()
+        .expect("queue");
+    let cancelled = Arc::new(AtomicU64::new(0));
+    for i in 0..5 {
+        queue.enqueue(counting_request(i, &cancelled));
+    }
+    // Staged depth 5 >= adaptive target? No (target 16) — but a full
+    // ring forces deferral regardless once the flush happens; run enough
+    // sweeps to pass any hold bound.
+    for _ in 0..10 {
+        worker.run_iteration();
+    }
+    let snap = queue.stats().snapshot();
+    assert!(snap.deferred > 0, "ring of 2 must defer from a batch of 5");
+    assert_eq!(worker.stats.deferred_submits, snap.deferred);
+    assert_eq!(worker.stats.flushes, snap.flushes);
+    assert_eq!(worker.stats.flushed_requests, snap.flushed_requests);
+    assert_eq!(worker.stats.max_flush_depth, snap.max_depth);
+    assert_eq!(worker.stats.max_flush_depth, 5, "deepest staged batch");
+    assert!(
+        snap.flushes >= 2,
+        "full-ring flushes that published nothing must still count: {snap:?}"
+    );
+    let page = worker.stub_status();
+    assert!(
+        page.contains(&format!("deferred {}", snap.deferred)),
+        "{page}"
+    );
+}
+
+#[test]
+fn worker_shutdown_drains_staged_submissions() {
+    // Regression (silent drop): requests staged but not yet flushed when
+    // the worker goes away must be failed with a definite error, not
+    // leaked. Ring capacity 2 (no engines): shutdown flushes 2 into the
+    // ring and cancels the other 3.
+    use std::sync::atomic::AtomicU64;
+    let listener = Arc::new(VListener::new());
+    let device = QatDevice::new(QatConfig {
+        endpoints: 1,
+        engines_per_endpoint: 0,
+        ring_capacity: 2,
+        ..QatConfig::functional_small()
+    });
+    let mut worker = Worker::new(
+        Arc::clone(&listener),
+        Some(&device),
+        WorkerConfig::new(OffloadProfile::Qtls),
+    );
+    let queue = worker
+        .engine()
+        .expect("engine")
+        .submit_queue()
+        .expect("queue");
+    let cancelled = Arc::new(AtomicU64::new(0));
+    for i in 0..5 {
+        queue.enqueue(counting_request(i, &cancelled));
+    }
+    worker.shutdown();
+    assert!(queue.is_empty(), "shutdown must leave nothing staged");
+    assert_eq!(cancelled.load(Ordering::Relaxed), 3);
+    assert_eq!(worker.stats.cancelled_submits, 3);
+    // Dropping the worker re-drains; the second drain is a no-op.
+    drop(worker);
+    assert_eq!(cancelled.load(Ordering::Relaxed), 3);
 }
 
 #[test]

@@ -4,6 +4,7 @@
 //! cargo run --release -p qtls-sim --bin figures            # everything
 //! cargo run --release -p qtls-sim --bin figures -- fig7a   # one figure
 //! cargo run --release -p qtls-sim --bin figures -- quick   # fast, noisier
+//! cargo run --release -p qtls-sim --bin figures -- smoke   # CI smoke run
 //! cargo run --release -p qtls-sim --bin figures -- json fig7a  # JSON out
 //! ```
 
@@ -15,8 +16,11 @@ type FigureRunner = (&'static str, Box<dyn Fn() -> Figure>);
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
+    let smoke = args.iter().any(|a| a == "smoke");
     let json = args.iter().any(|a| a == "json");
-    let f = if quick {
+    let f = if smoke {
+        Fidelity::SMOKE
+    } else if quick {
         Fidelity::QUICK
     } else {
         Fidelity::FULL
@@ -24,7 +28,7 @@ fn main() {
     let wanted: Vec<&str> = args
         .iter()
         .map(|s| s.as_str())
-        .filter(|s| *s != "quick" && *s != "json")
+        .filter(|s| *s != "quick" && *s != "smoke" && *s != "json")
         .collect();
     let all: Vec<FigureRunner> = vec![
         ("table1", Box::new(experiments::table1)),
@@ -46,6 +50,10 @@ fn main() {
         (
             "batching",
             Box::new(move || experiments::batching_ablation(f)),
+        ),
+        (
+            "adaptive",
+            Box::new(move || experiments::adaptive_flush_ablation(f)),
         ),
     ];
     for (name, runner) in all {

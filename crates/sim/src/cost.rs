@@ -198,6 +198,78 @@ impl Default for OffloadCosts {
     }
 }
 
+/// How the simulated worker amortizes the submission doorbell — the
+/// analytic mirror of the functional pipeline's `FlushPolicyConfig`.
+///
+/// The simulator does not replay individual sweeps; instead each policy
+/// maps the instantaneous submission concurrency (`avail`: how many
+/// requests the worker realistically has to batch with this one, i.e.
+/// its async inflight count plus the request being submitted) to an
+/// effective batch depth and an added staging delay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimFlushPolicy {
+    /// Legacy knob: assume a fixed mean batch depth regardless of load
+    /// (the PR 2 `submit_flush_depth` semantics; 1 = per-request
+    /// doorbells).
+    AssumedDepth(u64),
+    /// Fixed-depth batching with holds: the worker waits until `depth`
+    /// requests are staged before ringing. Under light load the batch
+    /// cannot fill and a held request pays the hold cap as extra
+    /// latency; cost amortization is bounded by what is actually
+    /// available.
+    FixedHold {
+        /// Target batch depth.
+        depth: u64,
+    },
+    /// The adaptive policy: flush immediately when load is light (depth
+    /// = what is available, no hold delay), deepen batches up to
+    /// `max_depth` under saturation.
+    Adaptive {
+        /// Depth cap under saturation.
+        max_depth: u64,
+    },
+}
+
+impl Default for SimFlushPolicy {
+    fn default() -> Self {
+        SimFlushPolicy::AssumedDepth(1)
+    }
+}
+
+impl SimFlushPolicy {
+    /// Effective batch depth the doorbell is amortized over, given
+    /// `avail` requests realistically available to batch.
+    pub fn effective_depth(&self, avail: u64) -> u64 {
+        match *self {
+            SimFlushPolicy::AssumedDepth(d) => d.max(1),
+            SimFlushPolicy::FixedHold { depth } => depth.min(avail).max(1),
+            SimFlushPolicy::Adaptive { max_depth } => max_depth.min(avail).max(1),
+        }
+    }
+
+    /// Staging delay added to the request's latency before it reaches
+    /// the device: a fixed-depth policy holds a request that cannot fill
+    /// its batch until the starvation cap expires; the adaptive policy
+    /// (and the legacy assumed-depth model) never hold.
+    pub fn hold_ns(&self, avail: u64, hold_cap_ns: u64) -> u64 {
+        match *self {
+            SimFlushPolicy::AssumedDepth(_) | SimFlushPolicy::Adaptive { .. } => 0,
+            SimFlushPolicy::FixedHold { depth } => {
+                if avail < depth {
+                    hold_cap_ns
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// CPU cost of submitting one request under this policy.
+    pub fn submit_cost_ns(&self, off: &OffloadCosts, avail: u64) -> u64 {
+        off.submit_per_req_ns + off.submit_doorbell_ns.div_ceil(self.effective_depth(avail))
+    }
+}
+
 /// Network model: back-to-back 40 GbE links to two client machines.
 #[derive(Clone, Debug)]
 pub struct NetCosts {
@@ -277,6 +349,49 @@ mod tests {
         let m = CostModel::default();
         let mbps = (16.0 * 1024.0) / (m.sw.cipher_16kb_ns as f64 / 1e9) / 1e6;
         assert!((250.0..450.0).contains(&mbps), "{mbps}");
+    }
+
+    #[test]
+    fn flush_policy_cost_parity_at_both_ends() {
+        // The adaptive policy must match the best fixed policy at each
+        // end of the load curve. Saturation (64 inflight): adaptive@16
+        // amortizes exactly like FixedHold@16 — identical per-request
+        // cost, and both hold nothing because the batch fills. Light
+        // load (nothing else inflight): adaptive flushes depth-1 like
+        // FixedHold@1 — identical cost and zero staging delay, while
+        // FixedHold@16 pays the full hold cap in latency.
+        let off = OffloadCosts::default();
+        let adaptive = SimFlushPolicy::Adaptive { max_depth: 16 };
+        let fixed1 = SimFlushPolicy::FixedHold { depth: 1 };
+        let fixed16 = SimFlushPolicy::FixedHold { depth: 16 };
+        let cap = 50_000;
+
+        // Saturation: avail = 64.
+        assert_eq!(
+            adaptive.submit_cost_ns(&off, 64),
+            fixed16.submit_cost_ns(&off, 64)
+        );
+        assert_eq!(
+            adaptive.submit_cost_ns(&off, 64),
+            1_500 + 3_500_u64.div_ceil(16)
+        );
+        assert_eq!(adaptive.hold_ns(64, cap), 0);
+        assert_eq!(fixed16.hold_ns(64, cap), 0);
+
+        // Light load: avail = 1.
+        assert_eq!(
+            adaptive.submit_cost_ns(&off, 1),
+            fixed1.submit_cost_ns(&off, 1)
+        );
+        assert_eq!(adaptive.submit_cost_ns(&off, 1), 1_500 + 3_500);
+        assert_eq!(adaptive.hold_ns(1, cap), 0);
+        assert_eq!(fixed16.hold_ns(1, cap), cap, "shallow batch pays the cap");
+
+        // Legacy assumed-depth semantics: depth independent of avail.
+        assert_eq!(
+            SimFlushPolicy::AssumedDepth(16).submit_cost_ns(&off, 1),
+            1_500 + 3_500_u64.div_ceil(16)
+        );
     }
 
     #[test]

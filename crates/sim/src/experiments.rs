@@ -28,6 +28,13 @@ impl Fidelity {
         warmup_ns: 6_000_000_000,
         measure_ns: 4_000_000_000,
     };
+    /// Smoke runs for CI: just enough simulated time to exercise every
+    /// figure-generating code path; the numbers are noisy and must not
+    /// be quoted.
+    pub const SMOKE: Fidelity = Fidelity {
+        warmup_ns: 300_000_000,
+        measure_ns: 200_000_000,
+    };
 }
 
 /// One plotted series.
@@ -483,7 +490,7 @@ pub fn batching_ablation(f: Fidelity) -> Figure {
     };
     for &d in &depths {
         let mut cfg = handshake_cfg(SimProfile::Qtls, 8, 2000, SuiteKind::TlsRsa, f);
-        cfg.submit_flush_depth = d;
+        cfg.submit_flush = crate::cost::SimFlushPolicy::AssumedDepth(d);
         let r = run(cfg);
         cps.points.push((format!("{d}"), r.cps / 1000.0));
         let per_req = off.submit_per_req_ns + off.submit_doorbell_ns.div_ceil(d);
@@ -494,6 +501,47 @@ pub fn batching_ablation(f: Fidelity) -> Figure {
         title: "Submission flush-depth sweep (QTLS), TLS-RSA, 8 workers".into(),
         unit: "see series".into(),
         series: vec![cps, submit_ns],
+    }
+}
+
+/// Ablation (DESIGN.md §9): adaptive flush policy vs fixed depth 1 and
+/// fixed depth 16 across the load sweep. Fixed depth 1 never amortizes
+/// the doorbell; fixed depth 16 amortizes fully under saturation but
+/// strands shallow batches behind the hold cap under light load; the
+/// adaptive policy tracks the better of the two at each end.
+pub fn adaptive_flush_ablation(f: Fidelity) -> Figure {
+    use crate::cost::SimFlushPolicy;
+    let loads = [20usize, 100, 500, 2000, 4000];
+    let policies: [(&str, SimFlushPolicy); 3] = [
+        ("fixed-1", SimFlushPolicy::FixedHold { depth: 1 }),
+        ("fixed-16", SimFlushPolicy::FixedHold { depth: 16 }),
+        ("adaptive", SimFlushPolicy::Adaptive { max_depth: 16 }),
+    ];
+    let mut series = Vec::new();
+    for (name, policy) in policies {
+        let mut cps = Series {
+            label: format!("{name} K CPS"),
+            points: vec![],
+        };
+        let mut p99 = Series {
+            label: format!("{name} p99 ms"),
+            points: vec![],
+        };
+        for &clients in &loads {
+            let mut cfg = handshake_cfg(SimProfile::Qtls, 8, clients, SuiteKind::TlsRsa, f);
+            cfg.submit_flush = policy;
+            let r = run(cfg);
+            cps.points.push((format!("{clients}"), r.cps / 1000.0));
+            p99.points.push((format!("{clients}"), r.p99_latency_ms));
+        }
+        series.push(cps);
+        series.push(p99);
+    }
+    Figure {
+        id: "Adaptive".into(),
+        title: "Adaptive vs fixed flush depth across load (QTLS), TLS-RSA, 8 workers".into(),
+        unit: "see series".into(),
+        series,
     }
 }
 
@@ -609,6 +657,39 @@ mod tests {
         assert!(
             c16 >= c1,
             "deeper batches must not lose CPS: {c1}K -> {c16}K"
+        );
+    }
+
+    #[test]
+    fn adaptive_flush_wins_both_ends() {
+        let fig = adaptive_flush_ablation(Fidelity::QUICK);
+        // Light load (20 closed-loop clients, ~2-3 inflight per worker):
+        // fixed-16 strands every submission behind the 50 µs hold cap;
+        // the adaptive policy must stay near fixed-1's p99 and clearly
+        // beat fixed-16's.
+        let a_p99 = fig.value("adaptive p99 ms", "20").unwrap();
+        let f1_p99 = fig.value("fixed-1 p99 ms", "20").unwrap();
+        let f16_p99 = fig.value("fixed-16 p99 ms", "20").unwrap();
+        assert!(
+            a_p99 <= f1_p99 * 1.10,
+            "light-load p99: adaptive {a_p99} ms vs fixed-1 {f1_p99} ms"
+        );
+        assert!(
+            f16_p99 > a_p99,
+            "fixed-16 must pay the hold cap: {f16_p99} vs {a_p99}"
+        );
+        // Saturation (4000 clients): the adaptive policy amortizes like
+        // fixed-16 and must not fall behind fixed-1's throughput.
+        let a_cps = fig.value("adaptive K CPS", "4000").unwrap();
+        let f1_cps = fig.value("fixed-1 K CPS", "4000").unwrap();
+        let f16_cps = fig.value("fixed-16 K CPS", "4000").unwrap();
+        assert!(
+            a_cps >= f1_cps * 0.97,
+            "saturation CPS: adaptive {a_cps}K vs fixed-1 {f1_cps}K"
+        );
+        assert!(
+            a_cps >= f16_cps * 0.90,
+            "adaptive within 10% of fixed-16 under saturation: {a_cps}K vs {f16_cps}K"
         );
     }
 

@@ -132,10 +132,14 @@ pub struct SimConfig {
     /// Heuristic efficiency threshold without asymmetric requests
     /// (§4.3 default 24).
     pub heuristic_sym_threshold: u64,
-    /// Mean submission batch depth for async profiles: the doorbell
-    /// cost is amortized over this many requests per ring publish
-    /// (1 = per-request doorbells, the unbatched baseline).
-    pub submit_flush_depth: u64,
+    /// Submission flush policy for async profiles: how the doorbell is
+    /// amortized and what staging delay a held request pays (the
+    /// analytic mirror of the pipeline's `FlushPolicyConfig`).
+    pub submit_flush: crate::cost::SimFlushPolicy,
+    /// Starvation cap for held submissions (the `qat_submit_flush_max_
+    /// hold_us` analogue): latency a request stranded in a batch that
+    /// cannot fill pays before the forced flush.
+    pub submit_hold_cap_ns: u64,
 }
 
 impl SimConfig {
@@ -161,7 +165,8 @@ impl SimConfig {
             qat_engines: crate::cost::QAT_ENGINES,
             heuristic_asym_threshold: 48,
             heuristic_sym_threshold: 24,
-            submit_flush_depth: 1,
+            submit_flush: crate::cost::SimFlushPolicy::default(),
+            submit_hold_cap_ns: 50_000,
         }
     }
 }
@@ -838,20 +843,29 @@ impl Sim {
                     }
                     // Submit through the driver: the request reaches the
                     // card after a fixed DMA/firmware latency. Async
-                    // profiles amortize the doorbell over the configured
-                    // flush depth (sweep-boundary batching); the blocking
-                    // profile rings per request.
-                    let depth = if profile.uses_async() {
-                        self.cfg.submit_flush_depth.max(1)
+                    // profiles amortize the doorbell per the flush
+                    // policy (sweep-boundary batching) and may pay a
+                    // staging hold; the blocking profile rings per
+                    // request.
+                    let (submit_ns, hold_ns) = if profile.uses_async() {
+                        // What this worker realistically has available to
+                        // batch with: its inflight requests plus this one.
+                        let avail = self.workers[worker as usize].inflight_total as u64 + 1;
+                        (
+                            self.cfg.submit_flush.submit_cost_ns(&off, avail),
+                            self.cfg
+                                .submit_flush
+                                .hold_ns(avail, self.cfg.submit_hold_cap_ns),
+                        )
                     } else {
-                        1
+                        (off.submit_per_req_ns + off.submit_doorbell_ns, 0)
                     };
-                    cpu += off.submit_per_req_ns + off.submit_doorbell_ns.div_ceil(depth);
+                    cpu += submit_ns;
                     let fixed = self.noisy(if op.is_asym() {
                         off.fixed_latency_asym_ns
                     } else {
                         off.fixed_latency_sym_ns
-                    });
+                    }) + hold_ns;
                     let submit_at = self.now + cpu;
                     let service = self.noisy(op.qat_ns(&self.cfg.cost));
                     {

@@ -20,6 +20,22 @@ echo "== property sweeps (--features proptest) =="
 cargo test -q --offline --features proptest \
   --test proptest_crypto --test proptest_framework
 
+echo "== figures smoke run =="
+# Every figure generator must still run end to end (tiny simulated
+# window; the numbers are noise, the exercise is the point).
+cargo run --release --offline -p qtls-sim --bin figures -- smoke > /dev/null
+
+echo "== loadgen unwrap guard =="
+# The load generator must never panic on a malformed or partial
+# response: no unwrap() in its non-test code (the test module starts at
+# the #[cfg(test)] marker).
+loadgen=crates/server/src/loadgen.rs
+if sed '/#\[cfg(test)\]/,$d' "$loadgen" | grep -nF '.unwrap()' ; then
+  echo "unwrap() in non-test $loadgen (see above)" >&2
+  exit 1
+fi
+echo "ok: no unwrap() in non-test $loadgen"
+
 echo "== dependency hermeticity =="
 # Workspace path crates render as `name vX.Y.Z (/abs/path)`; anything
 # from a registry has no source path. Check the default feature set and

@@ -59,6 +59,68 @@ fn ring_matches_reference_queue() {
 }
 
 #[test]
+fn ring_push_batch_matches_single_pushes_at_wrap_around() {
+    // The batched path claims slots with one cursor CAS; its observable
+    // behaviour must be identical to N single `push` calls, in the three
+    // awkward geometries: the batch straddles the end of the buffer, the
+    // batch exactly equals the remaining capacity, and the batch exceeds
+    // capacity (partial accept, leftovers stay in the caller's queue).
+    prop::check("ring_push_batch_wrap_around", 128, |g| {
+        let cap_req = g.usize_in(1, 32);
+        let ring: Ring<u32> = Ring::new(cap_req);
+        let shadow: Ring<u32> = Ring::new(cap_req);
+        let cap = ring.capacity();
+        // Advance both cursors an arbitrary number of laps so the batch
+        // lands near (often across) the physical end of the buffer.
+        let advance = g.usize_in(0, 4 * cap);
+        for i in 0..advance {
+            ring.push(i as u32).unwrap();
+            shadow.push(i as u32).unwrap();
+            assert_eq!(ring.pop(), Some(i as u32));
+            assert_eq!(shadow.pop(), Some(i as u32));
+        }
+        // Partially fill, leaving `room` free slots.
+        let occupied = g.usize_in(0, cap);
+        for i in 0..occupied {
+            ring.push(1000 + i as u32).unwrap();
+            shadow.push(1000 + i as u32).unwrap();
+        }
+        let room = cap - occupied;
+        // Batch size: pick the geometry — short of room, exactly room,
+        // or larger than the whole capacity.
+        let batch_len = match g.u8() % 3 {
+            0 => g.usize_in(0, room),
+            1 => room,
+            _ => g.usize_in(cap + 1, 2 * cap + 1),
+        };
+        let values: Vec<u32> = (0..batch_len as u32).map(|v| 2000 + v).collect();
+        let mut batch: VecDeque<u32> = values.iter().copied().collect();
+        let pushed = ring.push_batch(&mut batch);
+        // Model: N single pushes accept exactly min(batch, room).
+        let mut shadow_pushed = 0usize;
+        for &v in &values {
+            if shadow.push(v).is_ok() {
+                shadow_pushed += 1;
+            } else {
+                break;
+            }
+        }
+        assert_eq!(pushed, shadow_pushed, "batch must accept like N pushes");
+        assert_eq!(pushed, batch_len.min(room));
+        assert_eq!(batch.len(), batch_len - pushed, "leftovers stay queued");
+        assert_eq!(ring.len(), shadow.len());
+        // The consumer observes identical contents and order.
+        loop {
+            let (a, b) = (ring.pop(), shadow.pop());
+            assert_eq!(a, b, "consumer-observed order must match");
+            if a.is_none() {
+                break;
+            }
+        }
+    });
+}
+
+#[test]
 fn async_queue_preserves_order() {
     prop::check("async_queue_preserves_order", 128, |g| {
         let values: Vec<u64> = (0..g.usize_in(0, 100)).map(|_| g.u64()).collect();
