@@ -233,6 +233,104 @@ fn bench_flush_policy(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sharding(c: &mut Criterion) {
+    // Multi-instance sharding (DESIGN.md §10): the same saturated batch
+    // of 64 PRFs driven through 1, 2 and 4 shards, each shard owning its
+    // own staging queue and ring pair on a distinct endpoint. Devices
+    // run in Timed mode so engine threads sleep the calibrated service
+    // time and release the CPU — wall-clock scaling here reflects real
+    // endpoint parallelism even on a single-core host, not spin timing.
+    use qtls_bench::harness::Throughput;
+    use qtls_core::{FlushPolicyConfig, SubmitQueue};
+    use qtls_qat::{make_request, ServiceMode};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    const TOTAL: u64 = 64;
+    let op = || CryptoOp::Prf {
+        secret: Vec::new(),
+        label: Vec::new(),
+        seed: Vec::new(),
+        out_len: 16,
+    };
+    let mut group = c.benchmark_group("sharding");
+    // Submission-path parity anchor: identical body to the PR-3
+    // flush_policy/saturated_64/adaptive_batch case, so a one-shard
+    // engine can be checked against that baseline within noise.
+    {
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 1,
+            engines_per_endpoint: 0,
+            ring_capacity: 1024,
+            ..QatConfig::functional_small()
+        });
+        let inst = dev.alloc_instance();
+        let adaptive = SubmitQueue::with_policy(FlushPolicyConfig::adaptive());
+        group.throughput(Throughput::Elements(TOTAL));
+        group.bench_function("submit_only_64/shards1", |b| {
+            b.iter(|| {
+                for i in 0..TOTAL {
+                    adaptive.enqueue(make_request(i, op(), Box::new(|_| {})));
+                }
+                let report = adaptive.sweep(&inst, TOTAL);
+                assert_eq!(
+                    report.submitted as u64, TOTAL,
+                    "target depth reached: flush"
+                );
+                inst.discard_requests(usize::MAX)
+            })
+        });
+    }
+    // Saturated submit+retrieve roundtrip: each shard gets TOTAL/N of
+    // the batch (one doorbell per shard), then the caller polls every
+    // shard until all callbacks fire. Each endpoint contributes two
+    // sleeping engines, so N shards service the batch N times as wide.
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        let dev = QatDevice::new(QatConfig {
+            endpoints: shards,
+            engines_per_endpoint: 2,
+            ring_capacity: 1024,
+            service_mode: ServiceMode::Timed { time_scale: 25.0 },
+            ..QatConfig::functional_small()
+        });
+        let insts = dev.alloc_instances(shards);
+        let queues: Vec<SubmitQueue> = (0..shards)
+            .map(|_| SubmitQueue::with_policy(FlushPolicyConfig::adaptive()))
+            .collect();
+        let done = Arc::new(AtomicU64::new(0));
+        group.throughput(Throughput::Elements(TOTAL));
+        group.bench_function(format!("saturated_roundtrip_64/shards{shards}"), |b| {
+            b.iter(|| {
+                done.store(0, Ordering::SeqCst);
+                for i in 0..TOTAL {
+                    let d = Arc::clone(&done);
+                    queues[i as usize % shards].enqueue(make_request(
+                        i,
+                        op(),
+                        Box::new(move |_| {
+                            d.fetch_add(1, Ordering::SeqCst);
+                        }),
+                    ));
+                }
+                let per_shard = TOTAL / shards as u64;
+                for (queue, inst) in queues.iter().zip(&insts) {
+                    let report = queue.sweep(inst, per_shard);
+                    assert_eq!(
+                        report.submitted as u64, per_shard,
+                        "whole shard batch publishes"
+                    );
+                }
+                while done.load(Ordering::SeqCst) < TOTAL {
+                    for inst in &insts {
+                        inst.poll(usize::MAX);
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_offload_roundtrip(c: &mut Criterion) {
     // Full blocking offload of a PRF through the threaded device model:
     // submit → engine thread computes → poll → callback.
@@ -316,6 +414,7 @@ criterion_group!(
     bench_ring,
     bench_submission,
     bench_flush_policy,
+    bench_sharding,
     bench_heuristic,
     bench_offload_roundtrip,
     bench_fiber_vs_stack

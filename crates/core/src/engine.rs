@@ -1,6 +1,6 @@
 //! The QAT Engine layer (paper §3.2, §4.3): the bridge between the TLS
 //! library and the QAT driver, structured as an explicit pipeline of
-//! three stages that [`OffloadEngine`] merely composes:
+//! three stages composed per shard by [`OffloadEngine`]:
 //!
 //! - [`SubmitStage`] — cookie allocation, inflight accounting and
 //!   request submission, either immediate (one doorbell per request) or
@@ -13,18 +13,30 @@
 //!   [`crate::wait_ctx::WaitCtx::complete`], which fires the registered
 //!   [`crate::notify::Notifier`]) into the device response callback.
 //!
+//! An engine is a *set of shards*: each shard owns one
+//! [`CryptoInstance`] (one ring pair, ideally on its own endpoint) plus
+//! its own submit/retrieve/notify stages and optional submit queue, and
+//! a [`ShardRouter`] places every offload on one shard. A
+//! single-instance engine ([`OffloadEngine::new`]) is simply the
+//! one-shard special case and behaves exactly as before; multi-shard
+//! engines ([`OffloadEngine::sharded`]) scale a worker's offload path
+//! past one ring pair.
+//!
 //! Mode behaviour, exactly as in the paper: async mode pauses the
 //! current offload job after submission ("crypto pause") and hands the
 //! result over at resume; straight-offload mode (`QAT+S`) blocks the
 //! caller until the response arrives — reproducing the offload-I/O
 //! blocking pathology of §2.4. The per-class inflight counters
 //! `R_asym`, `R_cipher`, `R_prf` are maintained "with a new engine
-//! command" for the heuristic polling scheme.
+//! command" for the heuristic polling scheme; sharded engines keep the
+//! engine-wide aggregate *and* a per-shard total so routing and
+//! shard-aware polling see each ring's own load.
 
 use crate::fiber;
 use crate::pipeline::{
     Backpressure, DrainReport, FlushReport, FullAction, SubmitContext, SubmitQueue,
 };
+use crate::shard::{ShardPolicy, ShardRouter};
 use qtls_crypto::CryptoError;
 use qtls_qat::{
     make_request, CryptoInstance, CryptoOp, CryptoRequest, CryptoResult, OpClass, ResponseCallback,
@@ -36,7 +48,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Inflight request counters (paper §4.3: collected in the QAT Engine
-/// layer "for accuracy").
+/// layer "for accuracy"). On a sharded engine this is the engine-wide
+/// aggregate; per-shard totals live in the shards themselves.
 #[derive(Debug, Default)]
 pub struct InflightCounters {
     /// Inflight asymmetric requests.
@@ -69,6 +82,38 @@ impl InflightCounters {
     }
 }
 
+/// Per-shard inflight tallies: the router's placement signal and the
+/// shard-aware poller's "does this ring have pending work" test.
+#[derive(Debug, Default)]
+struct ShardInflight {
+    total: AtomicU64,
+    asym: AtomicU64,
+}
+
+impl ShardInflight {
+    fn inc(&self, class: OpClass) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if class == OpClass::Asym {
+            self.asym.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn dec(&self, class: OpClass) {
+        self.total.fetch_sub(1, Ordering::Relaxed);
+        if class == OpClass::Asym {
+            self.asym.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    fn asym(&self) -> u64 {
+        self.asym.load(Ordering::Relaxed)
+    }
+}
+
 /// How `offload` behaves for the submitting caller.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineMode {
@@ -81,13 +126,17 @@ pub enum EngineMode {
     Async,
 }
 
-/// The submission stage of the offload pipeline: cookies, inflight
-/// accounting, immediate or queued (batched) submission, and the shared
-/// ring-full [`Backpressure`] policy.
+/// The submission stage of one shard of the offload pipeline: cookies,
+/// inflight accounting, immediate or queued (batched) submission, and
+/// the shared ring-full [`Backpressure`] policy.
 pub struct SubmitStage {
     instance: CryptoInstance,
+    /// Engine-wide aggregate counters (shared by every shard).
     counters: Arc<InflightCounters>,
-    next_cookie: AtomicU64,
+    /// This shard's own tallies.
+    shard: Arc<ShardInflight>,
+    /// Engine-wide cookie allocator: cookies stay unique across shards.
+    next_cookie: Arc<AtomicU64>,
     backpressure: Backpressure,
     /// When attached, async submissions are staged here and published
     /// in one batch by `flush` at the sweep boundary.
@@ -97,11 +146,17 @@ pub struct SubmitStage {
 }
 
 impl SubmitStage {
-    fn new(instance: CryptoInstance, counters: Arc<InflightCounters>) -> Self {
+    fn new(
+        instance: CryptoInstance,
+        counters: Arc<InflightCounters>,
+        shard: Arc<ShardInflight>,
+        next_cookie: Arc<AtomicU64>,
+    ) -> Self {
         SubmitStage {
             instance,
             counters,
-            next_cookie: AtomicU64::new(1),
+            shard,
+            next_cookie,
             backpressure: Backpressure::default(),
             queue: Mutex::new(None),
             ring_full_retries: AtomicU64::new(0),
@@ -115,11 +170,13 @@ impl SubmitStage {
     /// Account a request as inflight the moment it enters the pipeline.
     fn begin(&self, class: OpClass) {
         self.counters.counter(class).fetch_add(1, Ordering::Relaxed);
+        self.shard.inc(class);
     }
 
     /// Undo [`Self::begin`] for a request handed back by a full ring.
     fn abort(&self, class: OpClass) {
         self.counters.counter(class).fetch_sub(1, Ordering::Relaxed);
+        self.shard.dec(class);
     }
 
     fn attached_queue(&self) -> Option<Arc<SubmitQueue>> {
@@ -139,18 +196,19 @@ impl SubmitStage {
     }
 
     /// Sweep-boundary flush of the attached queue: the queue's flush
-    /// policy decides — from the staged depth and total inflight —
-    /// whether to publish now or hold the batch to deepen.
+    /// policy decides — from the staged depth and this shard's inflight
+    /// total (the load actually queued on this ring pair) — whether to
+    /// publish now or hold the batch to deepen.
     fn flush(&self) -> FlushReport {
         match self.attached_queue() {
-            Some(queue) => queue.sweep(&self.instance, self.counters.total()),
+            Some(queue) => queue.sweep(&self.instance, self.shard.total()),
             None => FlushReport::default(),
         }
     }
 }
 
-/// The retrieval stage of the offload pipeline: response polling over
-/// the instance's response ring (callbacks run inline).
+/// The retrieval stage of one shard of the offload pipeline: response
+/// polling over the instance's response ring (callbacks run inline).
 pub struct RetrieveStage {
     instance: CryptoInstance,
 }
@@ -167,19 +225,23 @@ impl RetrieveStage {
     }
 }
 
-/// The notify stage of the offload pipeline: builds the device response
-/// callback that pairs the inflight decrement with completion delivery
-/// (parking the result and firing the registered notifier).
+/// The notify stage of one shard of the offload pipeline: builds the
+/// device response callback that pairs the inflight decrements
+/// (aggregate + shard) with completion delivery (parking the result and
+/// firing the registered notifier).
 struct NotifyStage {
     counters: Arc<InflightCounters>,
+    shard: Arc<ShardInflight>,
 }
 
 impl NotifyStage {
     /// Response callback for a fiber job: complete its wait context.
     fn job_completion(&self, ctx: fiber::CurrentWaitCtx, class: OpClass) -> ResponseCallback {
         let counters = Arc::clone(&self.counters);
+        let shard = Arc::clone(&self.shard);
         Box::new(move |result| {
             counters.counter(class).fetch_sub(1, Ordering::Relaxed);
+            shard.dec(class);
             ctx.complete(result);
         })
     }
@@ -187,19 +249,30 @@ impl NotifyStage {
     /// Response callback for a blocking caller: fill its one-shot slot.
     fn slot_completion(&self, slot: Arc<BlockSlot>, class: OpClass) -> ResponseCallback {
         let counters = Arc::clone(&self.counters);
+        let shard = Arc::clone(&self.shard);
         Box::new(move |result| {
             counters.counter(class).fetch_sub(1, Ordering::Relaxed);
+            shard.dec(class);
             slot.fill(result);
         })
     }
 }
 
-/// The offload engine bound to one crypto instance (one per worker): a
-/// thin composition of the submit, retrieve and notify stages.
-pub struct OffloadEngine {
+/// One shard: a crypto instance plus its pipeline stages.
+struct Shard {
     submit: SubmitStage,
     retrieve: RetrieveStage,
     notify: NotifyStage,
+    inflight: Arc<ShardInflight>,
+}
+
+/// The offload engine of one worker: a router over one or more shards,
+/// each a thin composition of the submit, retrieve and notify stages
+/// bound to its own crypto instance.
+pub struct OffloadEngine {
+    shards: Vec<Shard>,
+    router: ShardRouter,
+    counters: Arc<InflightCounters>,
     mode: EngineMode,
     /// Whether a dedicated polling thread retrieves responses (affects
     /// only the blocking path's self-polling decision).
@@ -207,16 +280,57 @@ pub struct OffloadEngine {
 }
 
 impl OffloadEngine {
-    /// Create an engine over `instance` in the given mode.
+    /// Create a single-shard engine over `instance` in the given mode.
     pub fn new(instance: CryptoInstance, mode: EngineMode) -> Self {
+        Self::sharded(vec![instance], mode, ShardPolicy::RoundRobin)
+    }
+
+    /// Create an engine sharded over `instances` (one shard per
+    /// instance), placing requests with `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is empty.
+    pub fn sharded(instances: Vec<CryptoInstance>, mode: EngineMode, policy: ShardPolicy) -> Self {
+        assert!(!instances.is_empty(), "engine needs at least one instance");
         let counters = Arc::new(InflightCounters::default());
+        let next_cookie = Arc::new(AtomicU64::new(1));
+        let shards = instances
+            .into_iter()
+            .map(|instance| {
+                let inflight = Arc::new(ShardInflight::default());
+                Shard {
+                    submit: SubmitStage::new(
+                        instance.clone(),
+                        Arc::clone(&counters),
+                        Arc::clone(&inflight),
+                        Arc::clone(&next_cookie),
+                    ),
+                    retrieve: RetrieveStage { instance },
+                    notify: NotifyStage {
+                        counters: Arc::clone(&counters),
+                        shard: Arc::clone(&inflight),
+                    },
+                    inflight,
+                }
+            })
+            .collect();
         OffloadEngine {
-            submit: SubmitStage::new(instance.clone(), Arc::clone(&counters)),
-            retrieve: RetrieveStage { instance },
-            notify: NotifyStage { counters },
+            shards,
+            router: ShardRouter::new(policy),
+            counters,
             mode,
             has_external_poller: AtomicU64::new(0),
         }
+    }
+
+    /// Pick the shard for an op of `class` (per-shard inflight totals
+    /// feed the router's placement policy).
+    fn route(&self, class: OpClass) -> &Shard {
+        let idx = self.router.route_by(class, self.shards.len(), |i| {
+            self.shards[i].inflight.total()
+        });
+        &self.shards[idx]
     }
 
     /// Declare that an external polling thread is attached (the blocking
@@ -226,9 +340,46 @@ impl OffloadEngine {
             .store(attached as u64, Ordering::Relaxed);
     }
 
-    /// The underlying crypto instance (for pollers).
+    /// Number of shards (crypto instances) backing this engine.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The router's placement policy.
+    pub fn shard_policy(&self) -> ShardPolicy {
+        self.router.policy()
+    }
+
+    /// Shard 0's crypto instance (single-shard engines: *the* instance).
     pub fn instance(&self) -> &CryptoInstance {
-        &self.submit.instance
+        &self.shards[0].submit.instance
+    }
+
+    /// The crypto instance backing shard `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shard_count()`.
+    pub fn shard_instance(&self, i: usize) -> &CryptoInstance {
+        &self.shards[i].submit.instance
+    }
+
+    /// Shard `i`'s inflight request total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shard_count()`.
+    pub fn shard_inflight(&self, i: usize) -> u64 {
+        self.shards[i].inflight.total()
+    }
+
+    /// Shard `i`'s inflight asymmetric-request count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shard_count()`.
+    pub fn shard_asym_inflight(&self, i: usize) -> u64 {
+        self.shards[i].inflight.asym()
     }
 
     /// Engine mode.
@@ -236,71 +387,122 @@ impl OffloadEngine {
         self.mode
     }
 
-    /// The inflight counters ("new engine command" of §4.3).
+    /// The aggregate inflight counters ("new engine command" of §4.3).
     pub fn inflight(&self) -> &InflightCounters {
-        &self.notify.counters
+        &self.counters
     }
 
-    /// Total submission retries due to a full request ring.
+    /// Total submission retries due to a full request ring, summed over
+    /// shards.
     pub fn ring_full_retries(&self) -> u64 {
-        self.submit.ring_full_retries.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.submit.ring_full_retries.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// The retrieval stage (for pollers that want it by name).
+    /// Shard 0's retrieval stage (for pollers that want it by name).
     pub fn retrieve_stage(&self) -> &RetrieveStage {
-        &self.retrieve
+        &self.shards[0].retrieve
     }
 
-    /// Attach a per-worker submit queue: async submissions are staged
-    /// on it and published in one batch by [`Self::flush_submissions`]
-    /// at the event-loop sweep boundary. Blocking offloads keep
-    /// submitting immediately — a blocked caller cannot also be the
-    /// flusher.
+    /// Attach a per-worker submit queue to shard 0: async submissions
+    /// placed on that shard are staged on it and published in one batch
+    /// by [`Self::flush_submissions`] at the event-loop sweep boundary.
+    /// Blocking offloads keep submitting immediately — a blocked caller
+    /// cannot also be the flusher. Multi-shard engines attach one queue
+    /// per shard via [`Self::attach_shard_submit_queue`].
     pub fn attach_submit_queue(&self, queue: Arc<SubmitQueue>) {
-        *self.submit.queue.lock() = Some(queue);
+        self.attach_shard_submit_queue(0, queue);
     }
 
-    /// The attached submit queue, if any.
+    /// Attach a submit queue to shard `i` (each shard stages and
+    /// flushes independently, so the flush policy applies per ring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shard_count()`.
+    pub fn attach_shard_submit_queue(&self, i: usize, queue: Arc<SubmitQueue>) {
+        *self.shards[i].submit.queue.lock() = Some(queue);
+    }
+
+    /// Shard 0's attached submit queue, if any.
     pub fn submit_queue(&self) -> Option<Arc<SubmitQueue>> {
-        self.submit.attached_queue()
+        self.shards[0].submit.attached_queue()
     }
 
-    /// Sweep-boundary flush of the attached submit queue (no-op without
-    /// one). Called by the worker at the end of each event-loop
-    /// iteration; the queue's [`crate::pipeline::FlushPolicyConfig`]
-    /// decides whether this sweep publishes or holds.
+    /// Shard `i`'s attached submit queue, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shard_count()`.
+    pub fn shard_submit_queue(&self, i: usize) -> Option<Arc<SubmitQueue>> {
+        self.shards[i].submit.attached_queue()
+    }
+
+    /// Sweep-boundary flush of every shard's attached submit queue
+    /// (no-op for shards without one). Called by the worker at the end
+    /// of each event-loop iteration; each queue's
+    /// [`crate::pipeline::FlushPolicyConfig`] decides from its own
+    /// shard's load whether this sweep publishes or holds.
     pub fn flush_submissions(&self) -> FlushReport {
-        self.submit.flush()
-    }
-
-    /// Shutdown drain of the attached submit queue: publish what the
-    /// ring will take, then fail everything still staged with
-    /// [`CryptoError::Cancelled`] so no waiter is silently dropped
-    /// mid-sweep. No-op without a queue; idempotent.
-    pub fn drain_submit_queue(&self) -> DrainReport {
-        let Some(queue) = self.submit.attached_queue() else {
-            return DrainReport::default();
-        };
-        let report = queue.flush(&self.submit.instance);
-        let cancelled = queue.drain_failing(CryptoError::Cancelled);
-        DrainReport {
-            flushed: report.submitted,
-            cancelled,
+        let mut total = FlushReport::default();
+        for shard in &self.shards {
+            let report = shard.submit.flush();
+            total.submitted += report.submitted;
+            total.deferred += report.deferred;
         }
+        total
     }
 
-    /// Poll the instance, retrieving up to `max` responses (callbacks run
-    /// inline). Returns the number retrieved.
+    /// Shutdown drain of every shard's attached submit queue: publish
+    /// what each ring will take, then fail everything still staged with
+    /// [`CryptoError::Cancelled`] so no waiter is silently dropped
+    /// mid-sweep. No-op for shards without a queue; idempotent.
+    pub fn drain_submit_queue(&self) -> DrainReport {
+        let mut total = DrainReport::default();
+        for shard in &self.shards {
+            let Some(queue) = shard.submit.attached_queue() else {
+                continue;
+            };
+            let report = queue.flush(&shard.submit.instance);
+            let cancelled = queue.drain_failing(CryptoError::Cancelled);
+            total.flushed += report.submitted;
+            total.cancelled += cancelled;
+        }
+        total
+    }
+
+    /// Poll the shards in order, retrieving up to `max` responses in
+    /// total (callbacks run inline). Returns the number retrieved.
     pub fn poll(&self, max: usize) -> usize {
-        self.retrieve.poll(max)
+        let mut total = 0;
+        for shard in &self.shards {
+            if total >= max {
+                break;
+            }
+            total += shard.retrieve.poll(max - total);
+        }
+        total
     }
 
-    /// Drain all available responses.
+    /// Drain all available responses from every shard.
     pub fn poll_all(&self) -> usize {
-        self.retrieve.poll_all()
+        self.shards.iter().map(|s| s.retrieve.poll_all()).sum()
     }
 
-    /// Offload one crypto operation according to the engine mode.
+    /// Drain all available responses from shard `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shard_count()`.
+    pub fn poll_shard(&self, i: usize) -> usize {
+        self.shards[i].retrieve.poll_all()
+    }
+
+    /// Offload one crypto operation according to the engine mode. The
+    /// router places the request on one shard first; the mode then
+    /// decides how the caller waits.
     ///
     /// - `Async` + inside a fiber job: submit, pause, return the result
     ///   after resume (possibly pausing multiple times on ring-full).
@@ -309,12 +511,13 @@ impl OffloadEngine {
     ///   (mirrors OpenSSL running synchronously when no `ASYNC_JOB` is
     ///   active).
     pub fn offload(&self, op: CryptoOp) -> CryptoResult {
+        let shard = self.route(op.class());
         match self.mode {
-            EngineMode::Async if fiber::in_job() => self.offload_async(op),
-            EngineMode::Async => self.offload_blocking(op, true),
+            EngineMode::Async if fiber::in_job() => self.offload_async(shard, op),
+            EngineMode::Async => self.offload_blocking(shard, op, true),
             EngineMode::Blocking => {
                 let self_poll = self.has_external_poller.load(Ordering::Relaxed) == 0;
-                self.offload_blocking(op, self_poll)
+                self.offload_blocking(shard, op, self_poll)
             }
         }
     }
@@ -327,23 +530,25 @@ impl OffloadEngine {
     /// inside the queue rather than as a submission failure here.
     /// Without a queue the request is submitted immediately and a full
     /// ring follows the event-loop backpressure policy: mark retry,
-    /// pause, let the application reschedule.
-    fn offload_async(&self, mut op: CryptoOp) -> CryptoResult {
+    /// pause, let the application reschedule. Retries stay on the shard
+    /// the router picked — re-routing a bounced request would reorder
+    /// it behind later submissions on another ring.
+    fn offload_async(&self, shard: &Shard, mut op: CryptoOp) -> CryptoResult {
         let ctx_handle = fiber::current_wait_ctx().expect("offload_async requires a job");
         let class = op.class();
-        if let Some(queue) = self.submit.attached_queue() {
+        if let Some(queue) = shard.submit.attached_queue() {
             // Light-load fast path: the policy may skip staging and ring
             // the doorbell in place, trading one unamortized doorbell
             // for a sweep less of staging latency.
-            let bypass = queue.should_bypass(self.notify.counters.total());
-            self.submit.begin(class);
+            let bypass = queue.should_bypass(shard.inflight.total());
+            shard.submit.begin(class);
             let request = make_request(
-                self.submit.next_cookie(),
+                shard.submit.next_cookie(),
                 op,
-                self.notify.job_completion(ctx_handle.clone(), class),
+                shard.notify.job_completion(ctx_handle.clone(), class),
             );
             if bypass {
-                match self.submit.instance.submit(request) {
+                match shard.submit.instance.submit(request) {
                     Ok(()) => queue.note_bypass(),
                     // Full ring despite "light" load: fall back to
                     // staging; the sweep flush retries as deferral.
@@ -356,21 +561,21 @@ impl OffloadEngine {
         }
         let mut attempt = 0u32;
         loop {
-            self.submit.begin(class);
+            shard.submit.begin(class);
             let request = make_request(
-                self.submit.next_cookie(),
+                shard.submit.next_cookie(),
                 op,
-                self.notify.job_completion(ctx_handle.clone(), class),
+                shard.notify.job_completion(ctx_handle.clone(), class),
             );
-            match self.submit.submit_now(request) {
+            match shard.submit.submit_now(request) {
                 Ok(()) => return self.consume_parked_result(&ctx_handle),
                 Err(SubmitFull(back)) => {
                     // Submission failure (§3.2): undo the counter, then
                     // do what the policy says (always pause/reschedule
                     // on the event loop).
-                    self.submit.abort(class);
+                    shard.submit.abort(class);
                     op = back.op;
-                    match self
+                    match shard
                         .submit
                         .backpressure
                         .action(attempt, SubmitContext::EventLoop)
@@ -403,17 +608,17 @@ impl OffloadEngine {
     /// The blocking path (straight offload / no-job fallback). Always
     /// submits immediately — a blocked caller cannot be the flusher of
     /// a submit queue — and rides the shared backpressure policy on a
-    /// full ring: self-polling callers yield (each retry drains
-    /// responses), externally-polled callers spin briefly then park so
-    /// the poller thread gets cycles.
-    fn offload_blocking(&self, op: CryptoOp, self_poll: bool) -> CryptoResult {
+    /// full ring: self-polling callers yield (each retry drains the
+    /// shard's responses), externally-polled callers spin briefly then
+    /// park so the poller thread gets cycles.
+    fn offload_blocking(&self, shard: &Shard, op: CryptoOp, self_poll: bool) -> CryptoResult {
         let class = op.class();
         let slot = Arc::new(BlockSlot::default());
-        self.submit.begin(class);
+        shard.submit.begin(class);
         let mut request = make_request(
-            self.submit.next_cookie(),
+            shard.submit.next_cookie(),
             op,
-            self.notify.slot_completion(Arc::clone(&slot), class),
+            shard.notify.slot_completion(Arc::clone(&slot), class),
         );
         let ctx = if self_poll {
             SubmitContext::BlockingSelfPoll
@@ -423,14 +628,14 @@ impl OffloadEngine {
         // Straight offload blocks even on submission: retry until queued.
         let mut attempt = 0u32;
         loop {
-            match self.submit.submit_now(request) {
+            match shard.submit.submit_now(request) {
                 Ok(()) => break,
                 Err(SubmitFull(back)) => {
                     request = back;
                     if self_poll {
-                        self.retrieve.poll_all();
+                        shard.retrieve.poll_all();
                     }
-                    self.submit.backpressure.wait(attempt, ctx);
+                    shard.submit.backpressure.wait(attempt, ctx);
                     attempt += 1;
                 }
             }
@@ -440,7 +645,7 @@ impl OffloadEngine {
         let deadline = Instant::now() + Duration::from_secs(120);
         loop {
             if self_poll {
-                self.retrieve.poll_all();
+                shard.retrieve.poll_all();
             }
             if let Some(result) = slot.try_take(Duration::from_micros(50)) {
                 return result;
@@ -900,5 +1105,151 @@ mod tests {
             StartResult::Finished(r) => assert_eq!(r.unwrap().into_bytes().len(), 4),
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn sharded_engine_spreads_requests_round_robin() {
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 2,
+            engines_per_endpoint: 0,
+            ring_capacity: 32,
+            ..QatConfig::functional_small()
+        });
+        let engine = Arc::new(OffloadEngine::sharded(
+            dev.alloc_instances(2),
+            EngineMode::Async,
+            ShardPolicy::RoundRobin,
+        ));
+        assert_eq!(engine.shard_count(), 2);
+        // Distinct endpoints back the two shards.
+        assert_ne!(
+            engine.shard_instance(0).endpoint_index,
+            engine.shard_instance(1).endpoint_index
+        );
+        for _ in 0..4 {
+            let eng = Arc::clone(&engine);
+            match start_job(move || eng.offload(prf_op(8))) {
+                StartResult::Paused(j) => std::mem::forget(j),
+                _ => panic!("must pause"),
+            }
+        }
+        // Aggregate and per-shard accounting agree: 2 + 2.
+        assert_eq!(engine.inflight().total(), 4);
+        assert_eq!(engine.shard_inflight(0), 2);
+        assert_eq!(engine.shard_inflight(1), 2);
+        assert_eq!(engine.shard_instance(0).queued_requests(), 2);
+        assert_eq!(engine.shard_instance(1).queued_requests(), 2);
+    }
+
+    #[test]
+    fn op_affinity_keeps_asym_off_the_symmetric_shard() {
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 2,
+            engines_per_endpoint: 0,
+            ring_capacity: 32,
+            ..QatConfig::functional_small()
+        });
+        let engine = Arc::new(OffloadEngine::sharded(
+            dev.alloc_instances(2),
+            EngineMode::Async,
+            ShardPolicy::OpAffinity,
+        ));
+        for _ in 0..3 {
+            let eng = Arc::clone(&engine);
+            match start_job(move || eng.offload(prf_op(8))) {
+                StartResult::Paused(j) => std::mem::forget(j),
+                _ => panic!("must pause"),
+            }
+        }
+        // PRF ops all landed on the symmetric shard (1)...
+        assert_eq!(engine.shard_inflight(0), 0);
+        assert_eq!(engine.shard_inflight(1), 3);
+        // ...and an asym op goes to shard 0, away from them.
+        let eng = Arc::clone(&engine);
+        match start_job(move || {
+            eng.offload(CryptoOp::EcKeygen {
+                curve: qtls_crypto::ecc::NamedCurve::P256,
+                seed: 1,
+            })
+        }) {
+            StartResult::Paused(j) => std::mem::forget(j),
+            _ => panic!("must pause"),
+        }
+        assert_eq!(engine.shard_inflight(0), 1);
+        assert_eq!(engine.shard_asym_inflight(0), 1);
+        assert_eq!(engine.shard_asym_inflight(1), 0);
+        assert_eq!(engine.inflight().asym_inflight(), 1);
+    }
+
+    #[test]
+    fn sharded_drain_cancels_staged_requests_on_every_shard() {
+        // The PR-3 drain fix, extended to N queues: shutdown must
+        // publish what each shard's ring takes and fail the rest — on
+        // every shard, not just shard 0.
+        use crate::pipeline::SubmitQueue;
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 2,
+            engines_per_endpoint: 0,
+            ring_capacity: 2,
+            ..QatConfig::functional_small()
+        });
+        let engine = Arc::new(OffloadEngine::sharded(
+            dev.alloc_instances(2),
+            EngineMode::Async,
+            ShardPolicy::RoundRobin,
+        ));
+        for i in 0..engine.shard_count() {
+            engine.attach_shard_submit_queue(i, Arc::new(SubmitQueue::new()));
+        }
+        let mut jobs = Vec::new();
+        for _ in 0..10 {
+            let eng = Arc::clone(&engine);
+            match start_job(move || eng.offload(prf_op(8))) {
+                StartResult::Paused(j) => jobs.push(j),
+                StartResult::Finished(_) => panic!("must pause"),
+            }
+        }
+        // 5 staged per shard; each ring takes 2, each queue cancels 3.
+        let drained = engine.drain_submit_queue();
+        assert_eq!(drained.flushed, 4);
+        assert_eq!(drained.cancelled, 6);
+        assert_eq!(engine.inflight().total(), 4);
+        assert_eq!(engine.shard_inflight(0), 2);
+        assert_eq!(engine.shard_inflight(1), 2);
+        let mut cancelled = 0;
+        for job in jobs {
+            match job.resume() {
+                StartResult::Finished(Err(CryptoError::Cancelled)) => cancelled += 1,
+                StartResult::Finished(other) => panic!("unexpected result: {other:?}"),
+                StartResult::Paused(j) => drop(j),
+            }
+        }
+        assert_eq!(cancelled, 6);
+        // Second drain is a no-op.
+        assert_eq!(engine.drain_submit_queue(), DrainReport::default());
+    }
+
+    #[test]
+    fn sharded_blocking_offloads_complete_on_every_shard() {
+        // End-to-end through real engines: round-robin placement across
+        // two shards still delivers every result.
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 2,
+            engines_per_endpoint: 1,
+            ring_capacity: 32,
+            ..QatConfig::functional_small()
+        });
+        let engine = OffloadEngine::sharded(
+            dev.alloc_instances(2),
+            EngineMode::Blocking,
+            ShardPolicy::RoundRobin,
+        );
+        for i in 1..=6 {
+            let out = engine.offload(prf_op(i)).unwrap().into_bytes();
+            assert_eq!(out.len(), i);
+        }
+        assert_eq!(engine.inflight().total(), 0);
+        assert_eq!(engine.shard_inflight(0), 0);
+        assert_eq!(engine.shard_inflight(1), 0);
     }
 }

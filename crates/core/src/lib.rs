@@ -42,6 +42,7 @@ pub mod notify;
 pub mod pipeline;
 pub mod poller;
 pub mod profile;
+pub mod shard;
 pub mod stack;
 pub mod wait_ctx;
 
@@ -54,5 +55,6 @@ pub use pipeline::{
 };
 pub use poller::{HeuristicConfig, HeuristicPoller, PollTrigger, TimerPoller};
 pub use profile::{NotifyScheme, OffloadProfile, PollingScheme};
+pub use shard::{ShardPolicy, ShardRouter};
 pub use stack::{StackAsyncOp, StackPoll};
 pub use wait_ctx::{AsyncCallback, WaitCtx};

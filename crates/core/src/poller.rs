@@ -14,6 +14,13 @@
 //!     accelerator, so the process would otherwise stall;
 //!   * **failover**: a coarse timer forces a poll if none was triggered
 //!     during the last interval while requests are inflight.
+//!
+//! On a sharded engine the heuristic is shard-aware: the efficiency
+//! rule evaluates each shard against its own threshold (a ring's
+//! responses can only coalesce on that ring), and a fired poll sweeps
+//! only the shards that actually have inflight work — preserving the
+//! paper's "poll only when the app knows responses are pending"
+//! property at N rings.
 
 use crate::engine::OffloadEngine;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -119,6 +126,9 @@ pub struct HeuristicStats {
     pub empty_polls: u64,
     /// Responses retrieved in total.
     pub responses: u64,
+    /// Shards swept across all fired polls (idle shards are skipped, so
+    /// on a sharded engine this is <= polls * shard_count).
+    pub shards_swept: u64,
 }
 
 /// The heuristic polling scheme, owned by the worker's event loop (no
@@ -150,17 +160,23 @@ impl HeuristicPoller {
             return None;
         }
         // Timeliness: every active connection is waiting on the QAT.
+        // The process stalls as a whole, so this rule stays aggregate.
         if total >= tc_active {
             return Some(PollTrigger::Timeliness);
         }
-        // Efficiency: enough responses to coalesce.
-        let threshold = if self.engine.inflight().asym_inflight() > 0 {
-            self.config.asym_threshold
-        } else {
-            self.config.sym_threshold
-        };
-        if total >= threshold {
-            return Some(PollTrigger::Efficiency);
+        // Efficiency: enough responses to coalesce. Responses coalesce
+        // per ring, so each shard is held to its own threshold (with
+        // the asym threshold applying only where asym ops are inflight);
+        // at one shard this degenerates to the aggregate rule.
+        for i in 0..self.engine.shard_count() {
+            let threshold = if self.engine.shard_asym_inflight(i) > 0 {
+                self.config.asym_threshold
+            } else {
+                self.config.sym_threshold
+            };
+            if self.engine.shard_inflight(i) >= threshold {
+                return Some(PollTrigger::Efficiency);
+            }
         }
         None
     }
@@ -187,7 +203,15 @@ impl HeuristicPoller {
     }
 
     fn poll_now(&mut self, trigger: PollTrigger) -> usize {
-        let n = self.engine.poll_all();
+        // Sweep only shards with inflight work: an idle ring cannot have
+        // responses pending, so touching it is a pure cache miss.
+        let mut n = 0;
+        for i in 0..self.engine.shard_count() {
+            if self.engine.shard_inflight(i) > 0 {
+                n += self.engine.poll_shard(i);
+                self.stats.shards_swept += 1;
+            }
+        }
         self.last_poll = Instant::now();
         match trigger {
             PollTrigger::Efficiency => self.stats.efficiency_polls += 1,
@@ -407,6 +431,94 @@ mod tests {
         assert_eq!(stats.failover_polls, 1);
         assert_eq!(stats.empty_polls, 2);
         assert_eq!(stats.responses, 0);
+    }
+
+    #[test]
+    fn sharded_poll_sweeps_only_shards_with_inflight() {
+        use crate::shard::ShardPolicy;
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 2,
+            engines_per_endpoint: 0,
+            ring_capacity: 128,
+            ..QatConfig::functional_small()
+        });
+        let engine = Arc::new(OffloadEngine::sharded(
+            dev.alloc_instances(2),
+            EngineMode::Async,
+            ShardPolicy::OpAffinity,
+        ));
+        // PRF ops pin to the symmetric shard; the asym shard stays idle.
+        submit_n(&engine, 2);
+        assert_eq!(engine.shard_inflight(0), 0);
+        assert_eq!(engine.shard_inflight(1), 2);
+        let mut poller = HeuristicPoller::new(Arc::clone(&engine), HeuristicConfig::default());
+        // Timeliness fires (2 inflight >= 2 active) but the sweep only
+        // touches the shard with pending work.
+        assert_eq!(poller.maybe_poll(2), 0);
+        let stats = poller.stats();
+        assert_eq!(stats.timeliness_polls, 1);
+        assert_eq!(stats.shards_swept, 1);
+    }
+
+    #[test]
+    fn efficiency_evaluates_each_shard_against_its_own_threshold() {
+        use crate::shard::ShardPolicy;
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 2,
+            engines_per_endpoint: 0,
+            ring_capacity: 128,
+            ..QatConfig::functional_small()
+        });
+        let engine = Arc::new(OffloadEngine::sharded(
+            dev.alloc_instances(2),
+            EngineMode::Async,
+            ShardPolicy::RoundRobin,
+        ));
+        // 30 PRFs round-robin to 15 per shard: the aggregate (30) passes
+        // the sym threshold (24) but no single ring can coalesce that
+        // many responses — no efficiency poll.
+        submit_n(&engine, 30);
+        assert_eq!(engine.shard_inflight(0), 15);
+        assert_eq!(engine.shard_inflight(1), 15);
+        let poller = HeuristicPoller::new(Arc::clone(&engine), HeuristicConfig::default());
+        assert_eq!(poller.check(1000), None, "no shard at its threshold");
+        // 18 more (24 per shard): a ring reaches its threshold.
+        submit_n(&engine, 18);
+        assert_eq!(poller.check(1000), Some(PollTrigger::Efficiency));
+    }
+
+    #[test]
+    fn asym_threshold_applies_only_to_the_asym_shard() {
+        use crate::shard::ShardPolicy;
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 2,
+            engines_per_endpoint: 0,
+            ring_capacity: 128,
+            ..QatConfig::functional_small()
+        });
+        let engine = Arc::new(OffloadEngine::sharded(
+            dev.alloc_instances(2),
+            EngineMode::Async,
+            ShardPolicy::OpAffinity,
+        ));
+        // One asym op on shard 0, 24 PRFs on shard 1. The old aggregate
+        // rule would hold everything to the asym threshold (48); per
+        // shard, the pure-sym ring fires at 24.
+        let eng = Arc::clone(&engine);
+        match start_job(move || {
+            eng.offload(CryptoOp::EcKeygen {
+                curve: qtls_crypto::ecc::NamedCurve::P256,
+                seed: 7,
+            })
+        }) {
+            StartResult::Paused(j) => std::mem::forget(j),
+            _ => panic!(),
+        }
+        submit_n(&engine, 24);
+        assert_eq!(engine.shard_asym_inflight(0), 1);
+        assert_eq!(engine.shard_inflight(1), 24);
+        let poller = HeuristicPoller::new(Arc::clone(&engine), HeuristicConfig::default());
+        assert_eq!(poller.check(1000), Some(PollTrigger::Efficiency));
     }
 
     #[test]

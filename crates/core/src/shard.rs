@@ -1,0 +1,181 @@
+//! Shard placement for a multi-instance [`crate::engine::OffloadEngine`].
+//!
+//! The paper's card exposes several endpoints, each with parallel
+//! computation engines, but one ring pair caps a worker's offload
+//! throughput at a single submission/retrieval stream. Sharding gives a
+//! worker N crypto instances (ideally on N distinct endpoints) and a
+//! [`ShardRouter`] that places every request on one of them:
+//!
+//! - [`ShardPolicy::RoundRobin`] — cheapest, spreads uniformly;
+//! - [`ShardPolicy::LeastInflight`] — argmin over per-shard inflight,
+//!   adapting to uneven service times;
+//! - [`ShardPolicy::OpAffinity`] — pins asymmetric ops to shard 0 and
+//!   symmetric/PRF ops to the remaining shards, so a burst of expensive
+//!   RSA/ECDHE ops cannot head-of-line-block cheap ones on the same
+//!   ring.
+
+use qtls_qat::OpClass;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Placement policy of a [`ShardRouter`] (the `qat_shard_policy`
+/// directive).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Place requests on shards in rotation.
+    #[default]
+    RoundRobin,
+    /// Place each request on the shard with the fewest inflight
+    /// requests (ties break to the lowest index).
+    LeastInflight,
+    /// Pin each op class to a fixed shard: asymmetric ops own shard 0,
+    /// cipher/PRF ops are spread over the remaining shards. Isolation,
+    /// not balance: cheap ops never queue behind a burst of expensive
+    /// ones.
+    OpAffinity,
+}
+
+impl ShardPolicy {
+    /// Parse a `qat_shard_policy` directive value.
+    pub fn from_name(name: &str) -> Option<ShardPolicy> {
+        match name {
+            "round_robin" => Some(ShardPolicy::RoundRobin),
+            "least_inflight" => Some(ShardPolicy::LeastInflight),
+            "op_affinity" => Some(ShardPolicy::OpAffinity),
+            _ => None,
+        }
+    }
+
+    /// The directive-value spelling of this policy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardPolicy::RoundRobin => "round_robin",
+            ShardPolicy::LeastInflight => "least_inflight",
+            ShardPolicy::OpAffinity => "op_affinity",
+        }
+    }
+}
+
+/// Routes each submission to a shard index according to a
+/// [`ShardPolicy`]. Pure apart from the round-robin cursor, so routing
+/// invariants are directly property-testable.
+pub struct ShardRouter {
+    policy: ShardPolicy,
+    next: AtomicU64,
+}
+
+impl ShardRouter {
+    /// Build a router with `policy`.
+    pub fn new(policy: ShardPolicy) -> Self {
+        ShardRouter {
+            policy,
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// Pick a shard for an op of `class` among `n` shards, reading each
+    /// shard's inflight total through `inflight_of`. `n` must be > 0.
+    pub fn route_by(&self, class: OpClass, n: usize, inflight_of: impl Fn(usize) -> u64) -> usize {
+        debug_assert!(n > 0, "router needs at least one shard");
+        if n <= 1 {
+            return 0;
+        }
+        match self.policy {
+            ShardPolicy::RoundRobin => {
+                (self.next.fetch_add(1, Ordering::Relaxed) % n as u64) as usize
+            }
+            ShardPolicy::LeastInflight => {
+                let mut best = 0;
+                let mut best_load = inflight_of(0);
+                for i in 1..n {
+                    let load = inflight_of(i);
+                    if load < best_load {
+                        best = i;
+                        best_load = load;
+                    }
+                }
+                best
+            }
+            ShardPolicy::OpAffinity => match class {
+                OpClass::Asym => 0,
+                // Symmetric classes share the remaining shards, each
+                // class on one fixed shard.
+                OpClass::Cipher => 1,
+                OpClass::Prf => 1 + 1 % (n - 1),
+            },
+        }
+    }
+
+    /// Convenience form of [`Self::route_by`] over a slice of per-shard
+    /// inflight totals (`inflight.len()` is the shard count).
+    pub fn route(&self, class: OpClass, inflight: &[u64]) -> usize {
+        self.route_by(class, inflight.len(), |i| inflight[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_all_shards() {
+        let router = ShardRouter::new(ShardPolicy::RoundRobin);
+        let picks: Vec<usize> = (0..8)
+            .map(|_| router.route(OpClass::Prf, &[0; 4]))
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn least_inflight_takes_argmin_lowest_index_on_ties() {
+        let router = ShardRouter::new(ShardPolicy::LeastInflight);
+        assert_eq!(router.route(OpClass::Prf, &[5, 2, 9]), 1);
+        assert_eq!(router.route(OpClass::Prf, &[3, 1, 1, 7]), 1);
+        assert_eq!(router.route(OpClass::Asym, &[0, 0]), 0);
+    }
+
+    #[test]
+    fn op_affinity_isolates_asym_from_symmetric_classes() {
+        for n in 2..=6usize {
+            let router = ShardRouter::new(ShardPolicy::OpAffinity);
+            let inflight = vec![0u64; n];
+            let asym = router.route(OpClass::Asym, &inflight);
+            assert_eq!(asym, 0, "asym owns shard 0 at n={n}");
+            for class in [OpClass::Cipher, OpClass::Prf] {
+                let idx = router.route(class, &inflight);
+                assert_ne!(idx, asym, "{class:?} must avoid the asym shard at n={n}");
+                assert!(idx < n);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_short_circuits_every_policy() {
+        for policy in [
+            ShardPolicy::RoundRobin,
+            ShardPolicy::LeastInflight,
+            ShardPolicy::OpAffinity,
+        ] {
+            let router = ShardRouter::new(policy);
+            for class in [OpClass::Asym, OpClass::Cipher, OpClass::Prf] {
+                assert_eq!(router.route(class, &[42]), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for policy in [
+            ShardPolicy::RoundRobin,
+            ShardPolicy::LeastInflight,
+            ShardPolicy::OpAffinity,
+        ] {
+            assert_eq!(ShardPolicy::from_name(policy.name()), Some(policy));
+        }
+        assert_eq!(ShardPolicy::from_name("random"), None);
+    }
+}

@@ -181,8 +181,6 @@ pub struct QatDevice {
     endpoints: Vec<Arc<EndpointShared>>,
     counters: Arc<FwCounters>,
     engine_handles: Vec<std::thread::JoinHandle<()>>,
-    /// Round-robin endpoint allocation for instances.
-    next_endpoint: AtomicUsize,
 }
 
 impl QatDevice {
@@ -218,7 +216,6 @@ impl QatDevice {
             endpoints,
             counters,
             engine_handles,
-            next_endpoint: AtomicUsize::new(0),
         }
     }
 
@@ -228,11 +225,48 @@ impl QatDevice {
         Self::new(QatConfig::default())
     }
 
-    /// Allocate a crypto instance; instances are distributed round-robin
-    /// across endpoints (the paper distributes Nginx workers' instances
-    /// "evenly from the three QAT endpoints").
+    /// Allocate a crypto instance on the least-loaded endpoint — the one
+    /// with the fewest instances already assigned, ties to the lowest
+    /// index (the paper distributes Nginx workers' instances "evenly
+    /// from the three QAT endpoints"). Unlike a sequential cursor this
+    /// stays even when co-tenant workers allocate in arbitrary
+    /// interleavings.
     pub fn alloc_instance(&self) -> CryptoInstance {
-        let idx = self.next_endpoint.fetch_add(1, Ordering::Relaxed) % self.endpoints.len();
+        let idx = self.least_loaded_endpoint();
+        self.alloc_on(idx)
+    }
+
+    /// Allocate `n` instances spread over *distinct* endpoints when the
+    /// device has that many: each pick is restricted to the endpoints
+    /// least used by this batch, and among those takes the least-loaded
+    /// one device-wide (so a worker asking for N shards gets N different
+    /// ring banks whenever `n <= endpoints`, regardless of what other
+    /// workers already allocated).
+    pub fn alloc_instances(&self, n: usize) -> Vec<CryptoInstance> {
+        let eps = self.endpoints.len();
+        let mut picked = vec![0usize; eps];
+        (0..n)
+            .map(|_| {
+                let min_picked = *picked.iter().min().expect("device has endpoints");
+                let idx = (0..eps)
+                    .filter(|&i| picked[i] == min_picked)
+                    .min_by_key(|&i| self.endpoints[i].pairs.read().len())
+                    .expect("device has endpoints");
+                picked[idx] += 1;
+                self.alloc_on(idx)
+            })
+            .collect()
+    }
+
+    /// Endpoint with the fewest assigned instances (lowest index wins
+    /// ties).
+    fn least_loaded_endpoint(&self) -> usize {
+        (0..self.endpoints.len())
+            .min_by_key(|&i| self.endpoints[i].pairs.read().len())
+            .expect("device has endpoints")
+    }
+
+    fn alloc_on(&self, idx: usize) -> CryptoInstance {
         let endpoint = Arc::clone(&self.endpoints[idx]);
         let pair = Arc::new(RingPair {
             req: Ring::new(self.config.ring_capacity),
@@ -598,6 +632,52 @@ mod tests {
             .map(|_| dev.alloc_instance().endpoint_index)
             .collect();
         assert_eq!(idx, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn batch_alloc_spreads_over_distinct_endpoints() {
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 3,
+            engines_per_endpoint: 0,
+            ..QatConfig::functional_small()
+        });
+        // n <= endpoints: all endpoints distinct.
+        let batch = dev.alloc_instances(3);
+        let mut eps: Vec<usize> = batch.iter().map(|i| i.endpoint_index).collect();
+        eps.sort_unstable();
+        assert_eq!(eps, vec![0, 1, 2]);
+        // n > endpoints: as even as possible (counts differ by <= 1).
+        let batch = dev.alloc_instances(5);
+        let mut counts = [0usize; 3];
+        for inst in &batch {
+            counts[inst.endpoint_index] += 1;
+        }
+        assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn alloc_prefers_least_loaded_endpoint() {
+        // A co-tenant worker already crowded endpoint 0; the next single
+        // allocation must avoid it — the old sequential cursor could
+        // land right back on the crowded endpoint.
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 2,
+            engines_per_endpoint: 0,
+            ..QatConfig::functional_small()
+        });
+        let a = dev.alloc_instance();
+        assert_eq!(a.endpoint_index, 0);
+        let b = dev.alloc_instance();
+        assert_eq!(b.endpoint_index, 1);
+        let c = dev.alloc_instance();
+        assert_eq!(c.endpoint_index, 0);
+        // Endpoint 0 now holds 2 instances, endpoint 1 holds 1.
+        assert_eq!(dev.alloc_instance().endpoint_index, 1);
+        // Batch allocation stays distinct even with the uneven history.
+        let batch = dev.alloc_instances(2);
+        let mut eps: Vec<usize> = batch.iter().map(|i| i.endpoint_index).collect();
+        eps.sort_unstable();
+        assert_eq!(eps, vec![0, 1]);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! bundle (profile, offload selection, thresholds, worker count) that
 //! maps directly onto [`crate::worker::WorkerConfig`].
 
-use qtls_core::{FlushMode, FlushPolicyConfig, HeuristicConfig, OffloadProfile};
+use qtls_core::{FlushMode, FlushPolicyConfig, HeuristicConfig, OffloadProfile, ShardPolicy};
 use qtls_tls::provider::OffloadSelection;
 use std::time::Duration;
 
@@ -38,8 +38,13 @@ pub struct EngineDirectives {
     pub heuristic: HeuristicConfig,
     /// Timer poll interval (`qat_poll_interval_us`, for timer mode).
     pub timer_interval: Option<Duration>,
-    /// Submit flush policy (`qat_submit_flush_*`).
+    /// Submit flush policy (`qat_submit_flush_*`); applies per shard.
     pub flush: FlushPolicyConfig,
+    /// Offload shards per worker (`qat_worker_shards N`); 0 = one per
+    /// device endpoint.
+    pub worker_shards: usize,
+    /// Shard placement policy (`qat_shard_policy`).
+    pub shard_policy: ShardPolicy,
 }
 
 impl Default for EngineDirectives {
@@ -51,6 +56,8 @@ impl Default for EngineDirectives {
             heuristic: HeuristicConfig::default(),
             timer_interval: None,
             flush: FlushPolicyConfig::adaptive(),
+            worker_shards: 0,
+            shard_policy: ShardPolicy::default(),
         }
     }
 }
@@ -246,6 +253,14 @@ pub fn parse_ssl_engine_conf(input: &str) -> Result<EngineDirectives, ConfError>
                 "off" => out.flush.bypass = false,
                 _ => return Err(ConfError::BadValue(token.clone())),
             },
+            "qat_worker_shards" => {
+                // 0 is the "auto" spelling: one shard per device endpoint.
+                out.worker_shards = parse_u64(&value)? as usize;
+            }
+            "qat_shard_policy" => {
+                out.shard_policy = ShardPolicy::from_name(&value)
+                    .ok_or_else(|| ConfError::BadValue(token.clone()))?;
+            }
             _ => return Err(ConfError::BadDirective(token.clone())),
         }
     }
@@ -430,6 +445,41 @@ ssl_engine {
                 "should reject: {bad}"
             );
         }
+    }
+
+    #[test]
+    fn sharding_directives_parse() {
+        let conf = r#"
+ssl_engine {
+    use qat_engine;
+    qat_engine {
+        qat_offload_mode async;
+        qat_worker_shards 4;
+        qat_shard_policy least_inflight;
+    }
+}
+"#;
+        let d = parse_ssl_engine_conf(conf).unwrap();
+        assert_eq!(d.worker_shards, 4);
+        assert_eq!(d.shard_policy, ShardPolicy::LeastInflight);
+        // Defaults: auto shard count, round-robin placement.
+        let d = parse_ssl_engine_conf(APPENDIX_EXAMPLE).unwrap();
+        assert_eq!(d.worker_shards, 0);
+        assert_eq!(d.shard_policy, ShardPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn sharding_rejects_bad_policy() {
+        let bad = "ssl_engine { use qat_engine; qat_engine { qat_shard_policy fastest_first; } }";
+        assert!(matches!(
+            parse_ssl_engine_conf(bad),
+            Err(ConfError::BadValue(_))
+        ));
+        let bad = "ssl_engine { use qat_engine; qat_engine { qat_worker_shards lots; } }";
+        assert!(matches!(
+            parse_ssl_engine_conf(bad),
+            Err(ConfError::BadValue(_))
+        ));
     }
 
     #[test]

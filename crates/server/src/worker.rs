@@ -18,8 +18,8 @@ use crate::http::{self, ContentStore, ParseOutcome};
 use crate::net::{SockError, VListener, VSocket};
 use qtls_core::{
     fiber, AsyncQueue, EngineMode, FdSelector, FlushPolicyConfig, HeuristicConfig, HeuristicPoller,
-    NotifyScheme, OffloadEngine, OffloadProfile, PollingScheme, StartResult, SubmitQueue,
-    TimerPoller, VirtualFd,
+    NotifyScheme, OffloadEngine, OffloadProfile, PollingScheme, ShardPolicy, StartResult,
+    SubmitQueue, TimerPoller, VirtualFd,
 };
 use qtls_qat::QatDevice;
 use qtls_tls::any_session::AnyServerSession;
@@ -50,8 +50,14 @@ pub struct WorkerConfig {
     /// in the paper's per-experiment Nginx configurations).
     pub version: Version,
     /// Sweep-boundary flush policy for the submit pipeline (the
-    /// `qat_submit_flush_*` directive family).
+    /// `qat_submit_flush_*` directive family). Applies per shard.
     pub flush: FlushPolicyConfig,
+    /// Number of offload shards (crypto instances) this worker spreads
+    /// its submissions over; 0 means one per device endpoint (the
+    /// `qat_worker_shards` directive).
+    pub shards: usize,
+    /// Shard placement policy (the `qat_shard_policy` directive).
+    pub shard_policy: ShardPolicy,
 }
 
 impl WorkerConfig {
@@ -66,6 +72,8 @@ impl WorkerConfig {
             selection: OffloadSelection::default(),
             version: Version::Tls12,
             flush: FlushPolicyConfig::adaptive(),
+            shards: 0,
+            shard_policy: ShardPolicy::default(),
         }
     }
 
@@ -80,6 +88,8 @@ impl WorkerConfig {
             selection: d.selection,
             version: Version::Tls12,
             flush: d.flush,
+            shards: d.worker_shards,
+            shard_policy: d.shard_policy,
         }
     }
 }
@@ -123,6 +133,46 @@ pub struct WorkerStats {
     pub ewma_flush_depth_milli: u64,
     /// Staged requests cancelled at worker shutdown.
     pub cancelled_submits: u64,
+}
+
+/// Submit-pipeline counters folded over every shard's queue: counters
+/// sum, the depth high-water mark takes the max, the EWMA takes the
+/// mean — at one shard every field is an exact copy of that queue's
+/// snapshot, keeping the single-instance `stub_status` fields stable.
+#[derive(Default)]
+struct FoldedSubmit {
+    flushes: u64,
+    flushed_requests: u64,
+    max_depth: u64,
+    deferred: u64,
+    holds: u64,
+    forced_flushes: u64,
+    bypasses: u64,
+    ewma_depth_milli: u64,
+}
+
+fn folded_submit_stats(engine: &OffloadEngine) -> Option<FoldedSubmit> {
+    let mut folded = FoldedSubmit::default();
+    let mut queues = 0u64;
+    for i in 0..engine.shard_count() {
+        if let Some(queue) = engine.shard_submit_queue(i) {
+            let snap = queue.stats().snapshot();
+            queues += 1;
+            folded.flushes += snap.flushes;
+            folded.flushed_requests += snap.flushed_requests;
+            folded.max_depth = folded.max_depth.max(snap.max_depth);
+            folded.deferred += snap.deferred;
+            folded.holds += snap.holds;
+            folded.forced_flushes += snap.forced_flushes;
+            folded.bypasses += snap.bypasses;
+            folded.ewma_depth_milli += snap.ewma_depth_milli;
+        }
+    }
+    if queues == 0 {
+        return None;
+    }
+    folded.ewma_depth_milli /= queues;
+    Some(folded)
 }
 
 /// The bundle that travels in and out of fiber jobs: the TLS session plus
@@ -249,8 +299,10 @@ pub struct Worker {
 }
 
 impl Worker {
-    /// Build a worker for `cfg.profile`, allocating a QAT instance from
-    /// `device` for the offloading profiles.
+    /// Build a worker for `cfg.profile`, allocating the configured number
+    /// of QAT instances (shards) from `device` for the offloading
+    /// profiles — by default one per device endpoint, spread over
+    /// distinct endpoints.
     pub fn new(listener: Arc<VListener>, device: Option<&QatDevice>, cfg: WorkerConfig) -> Self {
         let profile = cfg.profile;
         let engine = if profile.uses_qat() {
@@ -260,7 +312,16 @@ impl Worker {
             } else {
                 EngineMode::Blocking
             };
-            Some(Arc::new(OffloadEngine::new(device.alloc_instance(), mode)))
+            let shard_count = if cfg.shards == 0 {
+                device.config().endpoints.max(1)
+            } else {
+                cfg.shards
+            };
+            Some(Arc::new(OffloadEngine::sharded(
+                device.alloc_instances(shard_count),
+                mode,
+                cfg.shard_policy,
+            )))
         } else {
             None
         };
@@ -281,11 +342,17 @@ impl Worker {
             Some(NotifyScheme::Fd) => Some(FdSelector::new()),
             _ => None,
         };
-        // Async profiles batch submissions per event-loop sweep; the
+        // Async profiles batch submissions per event-loop sweep — one
+        // queue per shard, so the flush policy applies per ring pair; the
         // blocking profile (QAT+S) submits in place and needs no queue.
         if let Some(engine) = &engine {
             if profile.uses_async() {
-                engine.attach_submit_queue(Arc::new(SubmitQueue::with_policy(cfg.flush)));
+                for i in 0..engine.shard_count() {
+                    engine.attach_shard_submit_queue(
+                        i,
+                        Arc::new(SubmitQueue::with_policy(cfg.flush)),
+                    );
+                }
             }
         }
         Worker {
@@ -328,9 +395,12 @@ impl Worker {
     }
 
     /// Render the `stub_status`-style page the heuristic scheme builds
-    /// on (§4.3 extends this very module's accounting).
+    /// on (§4.3 extends this very module's accounting). The original
+    /// single-instance lines keep their exact shape; workers whose
+    /// engine stages submissions per shard append one aggregate
+    /// `shards:` line plus a row per shard.
     pub fn stub_status(&self) -> String {
-        format!(
+        let mut page = format!(
             "Active connections: {}\n\
              server accepts handled requests\n {} {} {}\n\
              TLS: alive {} idle {} active {} async-jobs {} resumptions {}\n\
@@ -354,7 +424,45 @@ impl Worker {
             self.stats.bypassed_submits,
             self.stats.ewma_flush_depth_milli / 1000,
             self.stats.ewma_flush_depth_milli % 1000,
-        )
+        );
+        if let Some(engine) = &self.engine {
+            use std::fmt::Write as _;
+            let queues: Vec<(usize, Arc<SubmitQueue>)> = (0..engine.shard_count())
+                .filter_map(|i| engine.shard_submit_queue(i).map(|q| (i, q)))
+                .collect();
+            if !queues.is_empty() {
+                let mut rows = String::new();
+                let mut holds = 0u64;
+                let mut forced = 0u64;
+                for (i, queue) in &queues {
+                    let snap = queue.stats().snapshot();
+                    holds += snap.holds;
+                    forced += snap.forced_flushes;
+                    let _ = writeln!(
+                        rows,
+                        "shard {}: inflight {} ewma-depth {}.{:03} holds {} forced {}",
+                        i,
+                        engine.shard_inflight(*i),
+                        snap.ewma_depth_milli / 1000,
+                        snap.ewma_depth_milli % 1000,
+                        snap.holds,
+                        snap.forced_flushes,
+                    );
+                }
+                // The aggregate line is computed from the same sources
+                // the per-shard rows read, so their totals always match.
+                let _ = writeln!(
+                    page,
+                    "shards: count {} inflight {} holds {} forced {}",
+                    queues.len(),
+                    engine.inflight().total(),
+                    holds,
+                    forced,
+                );
+                page.push_str(&rows);
+            }
+        }
+        page
     }
 
     /// `TC_active = TC_alive - TC_idle` (§4.3): connections that are
@@ -489,16 +597,15 @@ impl Worker {
         if let Some(engine) = &self.engine {
             let report = engine.flush_submissions();
             events += report.submitted;
-            if let Some(queue) = engine.submit_queue() {
-                let snap = queue.stats().snapshot();
-                self.stats.flushes = snap.flushes;
-                self.stats.flushed_requests = snap.flushed_requests;
-                self.stats.max_flush_depth = snap.max_depth;
-                self.stats.deferred_submits = snap.deferred;
-                self.stats.submit_holds = snap.holds;
-                self.stats.forced_flushes = snap.forced_flushes;
-                self.stats.bypassed_submits = snap.bypasses;
-                self.stats.ewma_flush_depth_milli = snap.ewma_depth_milli;
+            if let Some(folded) = folded_submit_stats(engine) {
+                self.stats.flushes = folded.flushes;
+                self.stats.flushed_requests = folded.flushed_requests;
+                self.stats.max_flush_depth = folded.max_depth;
+                self.stats.deferred_submits = folded.deferred;
+                self.stats.submit_holds = folded.holds;
+                self.stats.forced_flushes = folded.forced_flushes;
+                self.stats.bypassed_submits = folded.bypasses;
+                self.stats.ewma_flush_depth_milli = folded.ewma_depth_milli;
             }
         }
         events
@@ -511,12 +618,11 @@ impl Worker {
         if let Some(engine) = &self.engine {
             let drained = engine.drain_submit_queue();
             self.stats.cancelled_submits += drained.cancelled as u64;
-            if let Some(queue) = engine.submit_queue() {
-                let snap = queue.stats().snapshot();
-                self.stats.flushes = snap.flushes;
-                self.stats.flushed_requests = snap.flushed_requests;
-                self.stats.max_flush_depth = snap.max_depth;
-                self.stats.deferred_submits = snap.deferred;
+            if let Some(folded) = folded_submit_stats(engine) {
+                self.stats.flushes = folded.flushes;
+                self.stats.flushed_requests = folded.flushed_requests;
+                self.stats.max_flush_depth = folded.max_depth;
+                self.stats.deferred_submits = folded.deferred;
             }
         }
     }

@@ -560,6 +560,104 @@ fn worker_shutdown_drains_staged_submissions() {
 }
 
 #[test]
+fn stub_status_per_shard_totals_match_aggregate() {
+    // The shard section invariant: the `shards:` aggregate line must
+    // equal the column-wise totals of the per-shard rows (and the
+    // worker's folded stats), whatever traffic ran.
+    let listener = Arc::new(VListener::new());
+    let device = QatDevice::new(QatConfig {
+        endpoints: 2,
+        engines_per_endpoint: 2,
+        ..QatConfig::functional_small()
+    });
+    let mut worker = Worker::new(
+        Arc::clone(&listener),
+        Some(&device),
+        WorkerConfig::new(OffloadProfile::Qtls),
+    );
+    let engine = Arc::clone(worker.engine().expect("engine"));
+    assert_eq!(engine.shard_count(), 2, "auto-shards: one per endpoint");
+    let (_sock, _client) = hand_establish(&mut worker, &listener, 504);
+    for _ in 0..50 {
+        worker.run_iteration();
+    }
+    let page = worker.stub_status();
+    // Parse "shards: count C inflight I holds H forced F" and each
+    // "shard i: inflight x ewma-depth e holds h forced f" row.
+    let mut agg: Option<(u64, u64, u64, u64)> = None;
+    let mut row_inflight = 0u64;
+    let mut row_holds = 0u64;
+    let mut row_forced = 0u64;
+    let mut rows = 0usize;
+    for line in page.lines() {
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if line.starts_with("shards: ") {
+            agg = Some((
+                f[2].parse().unwrap(),
+                f[4].parse().unwrap(),
+                f[6].parse().unwrap(),
+                f[8].parse().unwrap(),
+            ));
+        } else if line.starts_with("shard ") {
+            rows += 1;
+            row_inflight += f[3].parse::<u64>().unwrap();
+            row_holds += f[7].parse::<u64>().unwrap();
+            row_forced += f[9].parse::<u64>().unwrap();
+        }
+    }
+    let (count, inflight, holds, forced) = agg.expect("aggregate shard line present: {page}");
+    assert_eq!(count, 2, "{page}");
+    assert_eq!(rows, 2, "{page}");
+    assert_eq!(inflight, row_inflight, "{page}");
+    assert_eq!(holds, row_holds, "{page}");
+    assert_eq!(forced, row_forced, "{page}");
+    // The folded worker stats agree with the aggregate line.
+    assert_eq!(worker.stats.submit_holds, holds);
+    assert_eq!(worker.stats.forced_flushes, forced);
+    assert_eq!(engine.inflight().total(), inflight);
+}
+
+#[test]
+fn multi_shard_shutdown_drains_every_shard() {
+    // The PR-3 drain regression extended to N queues: shutdown must
+    // flush what each shard's ring accepts and cancel the rest on every
+    // shard — not just shard 0.
+    use std::sync::atomic::AtomicU64;
+    let listener = Arc::new(VListener::new());
+    let device = QatDevice::new(QatConfig {
+        endpoints: 2,
+        engines_per_endpoint: 0,
+        ring_capacity: 2,
+        ..QatConfig::functional_small()
+    });
+    let mut worker = Worker::new(
+        Arc::clone(&listener),
+        Some(&device),
+        WorkerConfig::new(OffloadProfile::Qtls),
+    );
+    let engine = Arc::clone(worker.engine().expect("engine"));
+    assert_eq!(engine.shard_count(), 2);
+    let cancelled = Arc::new(AtomicU64::new(0));
+    for i in 0..engine.shard_count() {
+        let queue = engine.shard_submit_queue(i).expect("per-shard queue");
+        for j in 0..5 {
+            queue.enqueue(counting_request((i * 10 + j) as u64, &cancelled));
+        }
+    }
+    worker.shutdown();
+    // Each ring of 2 took 2; each queue cancelled its other 3.
+    assert_eq!(cancelled.load(Ordering::Relaxed), 6);
+    assert_eq!(worker.stats.cancelled_submits, 6);
+    for i in 0..engine.shard_count() {
+        assert!(engine.shard_submit_queue(i).unwrap().is_empty());
+        assert_eq!(engine.shard_instance(i).queued_requests(), 2);
+    }
+    // Dropping the worker re-drains; the second drain is a no-op.
+    drop(worker);
+    assert_eq!(cancelled.load(Ordering::Relaxed), 6);
+}
+
+#[test]
 fn stub_status_accounting() {
     let listener = Arc::new(VListener::new());
     let mut worker = Worker::new(

@@ -55,6 +55,10 @@ fn main() {
             "adaptive",
             Box::new(move || experiments::adaptive_flush_ablation(f)),
         ),
+        (
+            "sharding",
+            Box::new(move || experiments::sharding_ablation(f)),
+        ),
     ];
     for (name, runner) in all {
         if !wanted.is_empty() && !wanted.contains(&name) {

@@ -140,6 +140,16 @@ pub struct SimConfig {
     /// hold_us` analogue): latency a request stranded in a batch that
     /// cannot fill pays before the forced flush.
     pub submit_hold_cap_ns: u64,
+    /// Offload shards per worker (the `qat_worker_shards` analogue):
+    /// the worker's inflight is split across this many submit queues,
+    /// so each flush batches only its shard's share — but each shard
+    /// also owns its own ring pair, lifting the single-ring cap.
+    pub worker_shards: u64,
+    /// Request-ring capacity of one shard. `u64::MAX` (the default)
+    /// models an unconstrained ring; a finite value makes a worker whose
+    /// per-shard inflight exceeds it pay deferral retries, which is what
+    /// sharding removes at saturation.
+    pub shard_ring_capacity: u64,
 }
 
 impl SimConfig {
@@ -167,6 +177,8 @@ impl SimConfig {
             heuristic_sym_threshold: 24,
             submit_flush: crate::cost::SimFlushPolicy::default(),
             submit_hold_cap_ns: 50_000,
+            worker_shards: 1,
+            shard_ring_capacity: u64::MAX,
         }
     }
 }
@@ -849,14 +861,29 @@ impl Sim {
                     // request.
                     let (submit_ns, hold_ns) = if profile.uses_async() {
                         // What this worker realistically has available to
-                        // batch with: its inflight requests plus this one.
-                        let avail = self.workers[worker as usize].inflight_total as u64 + 1;
-                        (
-                            self.cfg.submit_flush.submit_cost_ns(&off, avail),
-                            self.cfg
-                                .submit_flush
-                                .hold_ns(avail, self.cfg.submit_hold_cap_ns),
-                        )
+                        // batch with on the shard this request lands on:
+                        // sharding splits the worker's inflight over N
+                        // queues, so one flush sees 1/N of the depth.
+                        let shards = self.cfg.worker_shards.max(1);
+                        let per_shard =
+                            self.workers[worker as usize].inflight_total as u64 / shards;
+                        let avail = per_shard + 1;
+                        let mut submit = self.cfg.submit_flush.submit_cost_ns(&off, avail);
+                        let mut hold = self
+                            .cfg
+                            .submit_flush
+                            .hold_ns(avail, self.cfg.submit_hold_cap_ns);
+                        // A finite ring caps a shard's inflight share:
+                        // past capacity each flush defers the overflow,
+                        // paying another doorbell and another sweep of
+                        // staging delay per retry round — the single-ring
+                        // bottleneck that extra shards remove.
+                        if per_shard >= self.cfg.shard_ring_capacity {
+                            let retries = (per_shard / self.cfg.shard_ring_capacity).min(4);
+                            submit += retries * off.submit_doorbell_ns;
+                            hold += retries * self.cfg.submit_hold_cap_ns;
+                        }
+                        (submit, hold)
                     } else {
                         (off.submit_per_req_ns + off.submit_doorbell_ns, 0)
                     };

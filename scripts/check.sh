@@ -25,6 +25,29 @@ echo "== figures smoke run =="
 # window; the numbers are noise, the exercise is the point).
 cargo run --release --offline -p qtls-sim --bin figures -- smoke > /dev/null
 
+echo "== sharding figure + bench smoke =="
+# The sharding ablation must produce all three shard-count series in
+# SMOKE fidelity, and the bench group must emit a parseable throughput
+# row for every shard count (the >=1.7x scaling claim itself is
+# verified at full fidelity and recorded in EXPERIMENTS.md).
+sharding_fig=$(cargo run --release --offline -p qtls-sim --bin figures -- smoke sharding)
+for series in "1-shard K CPS" "2-shard K CPS" "4-shard K CPS"; do
+  if ! grep -qF "$series" <<< "$sharding_fig"; then
+    echo "sharding figure missing series: $series" >&2
+    exit 1
+  fi
+done
+echo "ok: sharding figure emits all shard-count series"
+sharding_bench=$(cargo bench --offline -p qtls-bench --bench framework -- sharding)
+for case in submit_only_64/shards1 saturated_roundtrip_64/shards1 \
+            saturated_roundtrip_64/shards2 saturated_roundtrip_64/shards4; do
+  if ! grep -F "sharding/$case" <<< "$sharding_bench" | grep -q 'elem/s'; then
+    echo "bench sharding/$case missing or lacks an elem/s throughput row" >&2
+    exit 1
+  fi
+done
+echo "ok: bench sharding rows parse with elem/s throughput"
+
 echo "== loadgen unwrap guard =="
 # The load generator must never panic on a malformed or partial
 # response: no unwrap() in its non-test code (the test module starts at

@@ -159,6 +159,76 @@ fn heuristic_thresholds_monotone() {
 }
 
 #[test]
+fn least_inflight_routing_is_argmin() {
+    use qtls::core::{ShardPolicy, ShardRouter};
+    use qtls::qat::OpClass;
+    // Over an arbitrary interleaving of placements and completions, the
+    // least-inflight policy must never place a request on a shard whose
+    // inflight count exceeds the minimum — the router IS the argmin.
+    prop::check("least_inflight_routing_is_argmin", 128, |g| {
+        let n = g.usize_in(1, 8);
+        let router = ShardRouter::new(ShardPolicy::LeastInflight);
+        let mut inflight = vec![0u64; n];
+        // Seed with an arbitrary pre-existing imbalance.
+        for load in inflight.iter_mut() {
+            *load = g.u64_in(0, 12);
+        }
+        for _ in 0..g.usize_in(0, 200) {
+            if g.bool() {
+                let idx = router.route(OpClass::Prf, &inflight);
+                let min = *inflight.iter().min().unwrap();
+                assert_eq!(
+                    inflight[idx], min,
+                    "routed shard {idx} holds {} inflight, min is {min}: {inflight:?}",
+                    inflight[idx]
+                );
+                inflight[idx] += 1;
+            } else {
+                // A random shard completes one request.
+                let idx = g.u64() as usize % n;
+                inflight[idx] = inflight[idx].saturating_sub(1);
+            }
+        }
+    });
+}
+
+#[test]
+fn op_affinity_is_sticky_and_isolates_asym() {
+    use qtls::core::{ShardPolicy, ShardRouter};
+    use qtls::qat::OpClass;
+    // Affinity routing must be a pure function of the op class: each
+    // class lands on one fixed shard for the whole sweep regardless of
+    // inflight churn, and at n >= 2 no symmetric class ever shares the
+    // asym shard (so RSA/ECDHE bursts cannot head-of-line-block PRF or
+    // cipher work).
+    prop::check("op_affinity_is_sticky_and_isolates_asym", 128, |g| {
+        let n = g.usize_in(2, 8);
+        let router = ShardRouter::new(ShardPolicy::OpAffinity);
+        let classes = [OpClass::Asym, OpClass::Cipher, OpClass::Prf];
+        let mut home = [usize::MAX; 3];
+        for _ in 0..g.usize_in(1, 100) {
+            // Random inflight churn must not move any class off its shard.
+            let inflight: Vec<u64> = (0..n).map(|_| g.u64_in(0, 100)).collect();
+            for (slot, &class) in classes.iter().enumerate() {
+                let idx = router.route(class, &inflight);
+                assert!(idx < n, "route in range");
+                if home[slot] == usize::MAX {
+                    home[slot] = idx;
+                }
+                assert_eq!(
+                    idx, home[slot],
+                    "{class:?} moved from shard {} to {idx}",
+                    home[slot]
+                );
+            }
+        }
+        let asym = home[0];
+        assert_ne!(home[1], asym, "cipher shares the asym shard");
+        assert_ne!(home[2], asym, "prf shares the asym shard");
+    });
+}
+
+#[test]
 fn ring_concurrent_no_loss() {
     // Heavier multi-threaded check than the unit test: values pushed by
     // 8 producers all come out exactly once.
