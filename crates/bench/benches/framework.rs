@@ -293,6 +293,15 @@ fn bench_sharding(c: &mut Criterion) {
             ..QatConfig::functional_small()
         });
         let insts = dev.alloc_instances(shards);
+        // Measure (not simulate) the device-side phase tail for the
+        // EXPERIMENTS.md measured-vs-sim comparison: per-shard phase
+        // histograms via the retrieve hook, merged p99 printed below.
+        let obs = qtls_core::obs::EngineObs::new(shards);
+        obs.set_enabled(true);
+        qtls_qat::trace::set_tracing(true);
+        for (i, inst) in insts.iter().enumerate() {
+            inst.set_retrieve_hook(Arc::clone(obs.shard(i)) as Arc<dyn qtls_qat::RetrieveHook>);
+        }
         let queues: Vec<SubmitQueue> = (0..shards)
             .map(|_| SubmitQueue::with_policy(FlushPolicyConfig::adaptive()))
             .collect();
@@ -327,8 +336,127 @@ fn bench_sharding(c: &mut Criterion) {
                 }
             })
         });
+        let pre = obs.merged(qtls_core::obs::Phase::Pre, qtls_qat::OpClass::Prf);
+        let ret = obs.merged(qtls_core::obs::Phase::Retrieve, qtls_qat::OpClass::Prf);
+        if ret.count() > 0 {
+            println!(
+                "sharding/measured/shards{shards}: pre_p99_us {} retrieval_p99_us {} \
+                 retrieval_p50_us {} samples {}",
+                pre.quantile(0.99) / 1_000,
+                ret.quantile(0.99) / 1_000,
+                ret.quantile(0.5) / 1_000,
+                ret.count()
+            );
+        }
+        qtls_qat::trace::set_tracing(false);
     }
     group.finish();
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    // The <2% guard for the observability plane: the same fiber
+    // submit→resume roundtrip with the metrics plane off and on. The
+    // record path is a handful of relaxed atomics, so toggling the two
+    // gates (global trace flag + per-engine enable) must not move the
+    // roundtrip. A paired interleaved A/B measurement prints a
+    // greppable verdict and enforces the budget.
+    use std::time::Instant;
+    // The paired A/B below runs outside `bench_function`, so honour the
+    // CLI substring filter the same way the harness does.
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    if !filters.is_empty() && !filters.iter().any(|f| "obs_overhead".contains(f.as_str())) {
+        return;
+    }
+    let dev = QatDevice::new(QatConfig::functional_small());
+    let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Async));
+    engine.enable_metrics(); // install hooks once; the gates toggle below
+    let op = || CryptoOp::Prf {
+        secret: b"s".to_vec(),
+        label: b"l".to_vec(),
+        seed: b"x".to_vec(),
+        out_len: 16,
+    };
+    let roundtrip = |eng: &Arc<OffloadEngine>| {
+        let e2 = Arc::clone(eng);
+        let mut job = match start_job(move || e2.offload(op())) {
+            StartResult::Paused(j) => j,
+            StartResult::Finished(_) => unreachable!(),
+        };
+        loop {
+            eng.poll_all();
+            match job.resume() {
+                StartResult::Finished(r) => break black_box(r.unwrap()),
+                StartResult::Paused(j) => {
+                    job = j;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    };
+    let set = |on: bool| {
+        qtls_qat::trace::set_tracing(on);
+        engine.obs().set_enabled(on);
+    };
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(30);
+    set(false);
+    let eng = Arc::clone(&engine);
+    group.bench_function("fiber_roundtrip/metrics_off", |b| {
+        b.iter(|| roundtrip(&eng))
+    });
+    set(true);
+    let eng = Arc::clone(&engine);
+    group.bench_function("fiber_roundtrip/metrics_on", |b| b.iter(|| roundtrip(&eng)));
+    group.finish();
+
+    // Paired A/B: interleave off/on batches and take the median of the
+    // per-pair on/off ratios — robust to drift, sensitive to a real
+    // per-request cost. Retried to ride out scheduler noise; the budget
+    // itself is never widened.
+    const BATCH: usize = 200;
+    const PAIRS: usize = 15;
+    let mut verdict = f64::MAX;
+    for attempt in 0..3 {
+        let mut ratios = Vec::with_capacity(PAIRS);
+        set(false);
+        for _ in 0..BATCH {
+            roundtrip(&engine);
+        }
+        for _ in 0..PAIRS {
+            set(false);
+            let t = Instant::now();
+            for _ in 0..BATCH {
+                roundtrip(&engine);
+            }
+            let off = t.elapsed().as_secs_f64();
+            set(true);
+            let t = Instant::now();
+            for _ in 0..BATCH {
+                roundtrip(&engine);
+            }
+            let on = t.elapsed().as_secs_f64();
+            ratios.push(on / off);
+        }
+        ratios.sort_by(f64::total_cmp);
+        verdict = ratios[PAIRS / 2];
+        println!(
+            "obs_overhead: attempt {attempt} median on/off ratio {verdict:.4} \
+             (delta {:+.2}%)",
+            (verdict - 1.0) * 100.0
+        );
+        if verdict <= 1.02 {
+            break;
+        }
+    }
+    set(false);
+    assert!(
+        verdict <= 1.02,
+        "obs overhead above the 2% budget: on/off ratio {verdict:.4}"
+    );
+    println!("obs_overhead: PASS enabled-vs-disabled delta under 2%");
 }
 
 fn bench_offload_roundtrip(c: &mut Criterion) {
@@ -417,6 +545,7 @@ criterion_group!(
     bench_sharding,
     bench_heuristic,
     bench_offload_roundtrip,
+    bench_obs_overhead,
     bench_fiber_vs_stack
 );
 criterion_main!(benches);

@@ -33,6 +33,7 @@
 //! shard-aware polling see each ring's own load.
 
 use crate::fiber;
+use crate::obs::{self, EngineObs, EventKind, Phase, ShardObs};
 use crate::pipeline::{
     Backpressure, DrainReport, FlushReport, FullAction, SubmitContext, SubmitQueue,
 };
@@ -232,17 +233,32 @@ impl RetrieveStage {
 struct NotifyStage {
     counters: Arc<InflightCounters>,
     shard: Arc<ShardInflight>,
+    /// This shard's phase histograms (notification phase is measured
+    /// here, inside the response callback).
+    obs: Arc<ShardObs>,
 }
 
 impl NotifyStage {
     /// Response callback for a fiber job: complete its wait context.
+    /// With metrics on, the notification phase (callback entry → result
+    /// parked + notifier fired) is recorded here and the fire time is
+    /// stamped on the wait context for the post-processing phase.
     fn job_completion(&self, ctx: fiber::CurrentWaitCtx, class: OpClass) -> ResponseCallback {
         let counters = Arc::clone(&self.counters);
         let shard = Arc::clone(&self.shard);
+        let obs = Arc::clone(&self.obs);
         Box::new(move |result| {
             counters.counter(class).fetch_sub(1, Ordering::Relaxed);
             shard.dec(class);
-            ctx.complete(result);
+            if obs.enabled() {
+                let t0 = obs::now_ns();
+                ctx.complete(result);
+                let t1 = obs::now_ns();
+                obs.record(Phase::Notify, class, t1 - t0);
+                ctx.get().set_notified_ns(t1);
+            } else {
+                ctx.complete(result);
+            }
         })
     }
 
@@ -250,20 +266,32 @@ impl NotifyStage {
     fn slot_completion(&self, slot: Arc<BlockSlot>, class: OpClass) -> ResponseCallback {
         let counters = Arc::clone(&self.counters);
         let shard = Arc::clone(&self.shard);
+        let obs = Arc::clone(&self.obs);
         Box::new(move |result| {
             counters.counter(class).fetch_sub(1, Ordering::Relaxed);
             shard.dec(class);
-            slot.fill(result);
+            if obs.enabled() {
+                let t0 = obs::now_ns();
+                slot.fill(result);
+                obs.record(Phase::Notify, class, obs::now_ns().saturating_sub(t0));
+            } else {
+                slot.fill(result);
+            }
         })
     }
 }
 
 /// One shard: a crypto instance plus its pipeline stages.
 struct Shard {
+    /// Position within the engine (flight-event labelling).
+    index: u32,
     submit: SubmitStage,
     retrieve: RetrieveStage,
     notify: NotifyStage,
     inflight: Arc<ShardInflight>,
+    /// This shard's phase histograms (shared with the notify stage and
+    /// installed as the device retrieve hook when metrics are enabled).
+    obs: Arc<ShardObs>,
 }
 
 /// The offload engine of one worker: a router over one or more shards,
@@ -277,6 +305,10 @@ pub struct OffloadEngine {
     /// Whether a dedicated polling thread retrieves responses (affects
     /// only the blocking path's self-polling decision).
     has_external_poller: AtomicU64,
+    /// The observability plane: per-shard phase histograms plus the
+    /// flight recorder. Disabled (one relaxed load per touch point)
+    /// until [`Self::enable_metrics`].
+    obs: EngineObs,
 }
 
 impl OffloadEngine {
@@ -295,11 +327,15 @@ impl OffloadEngine {
         assert!(!instances.is_empty(), "engine needs at least one instance");
         let counters = Arc::new(InflightCounters::default());
         let next_cookie = Arc::new(AtomicU64::new(1));
+        let obs = EngineObs::new(instances.len());
         let shards = instances
             .into_iter()
-            .map(|instance| {
+            .enumerate()
+            .map(|(i, instance)| {
                 let inflight = Arc::new(ShardInflight::default());
+                let shard_obs = Arc::clone(obs.shard(i));
                 Shard {
+                    index: i as u32,
                     submit: SubmitStage::new(
                         instance.clone(),
                         Arc::clone(&counters),
@@ -310,8 +346,10 @@ impl OffloadEngine {
                     notify: NotifyStage {
                         counters: Arc::clone(&counters),
                         shard: Arc::clone(&inflight),
+                        obs: Arc::clone(&shard_obs),
                     },
                     inflight,
+                    obs: shard_obs,
                 }
             })
             .collect();
@@ -321,16 +359,51 @@ impl OffloadEngine {
             counters,
             mode,
             has_external_poller: AtomicU64::new(0),
+            obs,
         }
     }
 
     /// Pick the shard for an op of `class` (per-shard inflight totals
-    /// feed the router's placement policy).
+    /// feed the router's placement policy). Multi-shard placements are
+    /// logged to the flight recorder while metrics are enabled.
     fn route(&self, class: OpClass) -> &Shard {
         let idx = self.router.route_by(class, self.shards.len(), |i| {
             self.shards[i].inflight.total()
         });
+        if self.shards.len() > 1 {
+            self.obs.recorder().record(
+                EventKind::RouterDecision,
+                idx as u32,
+                obs::class_index(class) as u64,
+                0,
+            );
+        }
         &self.shards[idx]
+    }
+
+    /// The engine's observability plane.
+    pub fn obs(&self) -> &EngineObs {
+        &self.obs
+    }
+
+    /// Turn the observability plane on: enables device-descriptor
+    /// tracing (process-wide), installs this engine's shard observers
+    /// as the device retrieve hooks, enables the histograms and flight
+    /// recorder, and wires already-attached submit queues to the
+    /// recorder. Queues attached later are wired by
+    /// [`Self::attach_shard_submit_queue`].
+    pub fn enable_metrics(&self) {
+        qtls_qat::trace::set_tracing(true);
+        self.obs.set_enabled(true);
+        for shard in &self.shards {
+            shard
+                .submit
+                .instance
+                .set_retrieve_hook(Arc::clone(&shard.obs) as Arc<dyn qtls_qat::RetrieveHook>);
+            if let Some(queue) = shard.submit.attached_queue() {
+                queue.set_flight_recorder(Arc::clone(self.obs.recorder()), shard.index);
+            }
+        }
     }
 
     /// Declare that an external polling thread is attached (the blocking
@@ -423,6 +496,9 @@ impl OffloadEngine {
     ///
     /// Panics if `i >= shard_count()`.
     pub fn attach_shard_submit_queue(&self, i: usize, queue: Arc<SubmitQueue>) {
+        if self.obs.enabled() {
+            queue.set_flight_recorder(Arc::clone(self.obs.recorder()), i as u32);
+        }
         *self.shards[i].submit.queue.lock() = Some(queue);
     }
 
@@ -557,7 +633,7 @@ impl OffloadEngine {
             } else {
                 queue.enqueue(request);
             }
-            return self.consume_parked_result(&ctx_handle);
+            return self.consume_parked_result(shard, class, &ctx_handle);
         }
         let mut attempt = 0u32;
         loop {
@@ -568,13 +644,19 @@ impl OffloadEngine {
                 shard.notify.job_completion(ctx_handle.clone(), class),
             );
             match shard.submit.submit_now(request) {
-                Ok(()) => return self.consume_parked_result(&ctx_handle),
+                Ok(()) => return self.consume_parked_result(shard, class, &ctx_handle),
                 Err(SubmitFull(back)) => {
                     // Submission failure (§3.2): undo the counter, then
                     // do what the policy says (always pause/reschedule
                     // on the event loop).
                     shard.submit.abort(class);
                     op = back.op;
+                    self.obs.recorder().record(
+                        EventKind::BackpressureRetry,
+                        shard.index,
+                        attempt as u64 + 1,
+                        0,
+                    );
                     match shard
                         .submit
                         .backpressure
@@ -594,11 +676,25 @@ impl OffloadEngine {
 
     /// Crypto pause + post-processing: return control to the
     /// application, then consume the parked result after resume. A
-    /// spurious resume (event disorder, §4.2) just pauses again.
-    fn consume_parked_result(&self, ctx_handle: &fiber::CurrentWaitCtx) -> CryptoResult {
+    /// spurious resume (event disorder, §4.2) just pauses again. With
+    /// metrics on, the post-processing phase (notification fired →
+    /// result consumed here) is recorded against the owning shard.
+    fn consume_parked_result(
+        &self,
+        shard: &Shard,
+        class: OpClass,
+        ctx_handle: &fiber::CurrentWaitCtx,
+    ) -> CryptoResult {
         fiber::pause_job();
         loop {
             if let Some(result) = ctx_handle.get().take_result() {
+                if shard.obs.enabled() {
+                    if let Some(t) = ctx_handle.get().take_notified_ns() {
+                        shard
+                            .obs
+                            .record(Phase::Post, class, obs::now_ns().saturating_sub(t));
+                    }
+                }
                 return result;
             }
             fiber::pause_job();

@@ -26,6 +26,11 @@
 //! 4. **Post-processing** — resuming the paused job consumes the parked
 //!    crypto result from its [`wait_ctx::WaitCtx`].
 //!
+//! The [`obs`] module measures all four phases in the real engine:
+//! per-shard log-linear latency histograms keyed by phase × op class, a
+//! flight recorder of recent pipeline events, and the metric registry
+//! behind the server's `/metrics` endpoint.
+//!
 //! Both §4.1 pause/resume implementations are provided: [`fiber`] (the
 //! one OpenSSL adopted and the evaluation used) and [`stack`] (the
 //! original state-flag design).
@@ -39,6 +44,7 @@
 pub mod engine;
 pub mod fiber;
 pub mod notify;
+pub mod obs;
 pub mod pipeline;
 pub mod poller;
 pub mod profile;
@@ -49,11 +55,14 @@ pub mod wait_ctx;
 pub use engine::{EngineMode, InflightCounters, OffloadEngine, RetrieveStage, SubmitStage};
 pub use fiber::{in_job, pause_job, start_job, AsyncJob, StartResult};
 pub use notify::{AsyncQueue, FdSelector, KernelCostMeter, Notifier, VirtualFd};
+pub use obs::{
+    EngineObs, EventKind, FlightEvent, FlightRecorder, HistSnapshot, Histogram, Phase, ShardObs,
+};
 pub use pipeline::{
     Backpressure, BackpressureConfig, DrainReport, FlushMode, FlushPolicyConfig, FlushReport,
     FullAction, SubmitContext, SubmitQueue, SubmitSnapshot, SubmitStats,
 };
-pub use poller::{HeuristicConfig, HeuristicPoller, PollTrigger, TimerPoller};
+pub use poller::{HeuristicConfig, HeuristicPoller, HeuristicStats, PollTrigger, TimerPoller};
 pub use profile::{NotifyScheme, OffloadProfile, PollingScheme};
 pub use shard::{ShardPolicy, ShardRouter};
 pub use stack::{StackAsyncOp, StackPoll};

@@ -1,0 +1,1106 @@
+//! The observability plane: phase-latency histograms, a flight recorder
+//! of recent pipeline events, and the metric registry backing the
+//! `/metrics` exposition endpoint.
+//!
+//! The paper's argument is entirely about *where time goes* in the four
+//! offload phases (§3.2: pre-processing, response retrieval, async
+//! notification, post-processing) and about polling efficiency (§5.6
+//! wasted polls). This module measures all of it in the real engine:
+//!
+//! - [`Histogram`] — HDR-style log-linear fixed-bucket latency
+//!   histograms (32 sub-buckets per power of two ⇒ ≤ 3.125% relative
+//!   quantile error), recorded with relaxed atomics only: no locks, no
+//!   allocation, no formatting on the hot path. Snapshots are plain
+//!   values and merge across shards by bucket-wise addition.
+//! - [`ShardObs`] — one histogram per phase × op class per shard,
+//!   implementing the device-side [`qtls_qat::trace::RetrieveHook`] for
+//!   the two phases measured at the ring boundary; the engine records
+//!   the notification and post-processing phases directly.
+//! - [`FlightRecorder`] — a fixed-size ring of recent structured events
+//!   (ring-full deferrals, forced flushes, backpressure retries, poller
+//!   misses, shard-router decisions), dumpable on demand or frozen on
+//!   anomaly so post-hoc debugging does not need a re-run.
+//! - [`registry`] — the single authoritative list of every exposed
+//!   metric name, enforced by `scripts/check.sh`.
+//! - [`promtext`] — a renderer + mini-parser for the Prometheus text
+//!   exposition format (std-only; used by the server and the CI smoke
+//!   check).
+//!
+//! Everything is gated on one `Arc<AtomicBool>` shared by an engine's
+//! shards: when metrics are disabled the record paths reduce to a single
+//! relaxed load.
+
+use qtls_qat::trace::RetrieveHook;
+use qtls_qat::OpClass;
+use qtls_sync::Mutex;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub use qtls_qat::trace::now_ns;
+
+/// The four offload phases of paper §3.2, in pipeline order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Descriptor creation → ring publish (request staging + batching).
+    Pre,
+    /// Ring publish → response popped by a poller (device service time
+    /// plus time spent waiting for a poll).
+    Retrieve,
+    /// Response popped → completion parked and notification fired.
+    Notify,
+    /// Notification fired → resumed job consumes the result (event-loop
+    /// scheduling latency; async profiles only).
+    Post,
+}
+
+/// Number of phases.
+pub const PHASES: usize = 4;
+/// Number of op classes.
+pub const CLASSES: usize = 3;
+
+impl Phase {
+    /// All phases, pipeline order.
+    pub const ALL: [Phase; PHASES] = [Phase::Pre, Phase::Retrieve, Phase::Notify, Phase::Post];
+
+    /// Stable index (0-based, pipeline order).
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Pre => 0,
+            Phase::Retrieve => 1,
+            Phase::Notify => 2,
+            Phase::Post => 3,
+        }
+    }
+
+    /// Label value used in the exposition format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Pre => "pre_processing",
+            Phase::Retrieve => "retrieval",
+            Phase::Notify => "notification",
+            Phase::Post => "post_processing",
+        }
+    }
+}
+
+/// All op classes, in counter order.
+pub const CLASS_LIST: [OpClass; CLASSES] = [OpClass::Asym, OpClass::Cipher, OpClass::Prf];
+
+/// Stable index of an op class (matches [`CLASS_LIST`]).
+pub fn class_index(class: OpClass) -> usize {
+    match class {
+        OpClass::Asym => 0,
+        OpClass::Cipher => 1,
+        OpClass::Prf => 2,
+    }
+}
+
+/// Label value of an op class in the exposition format.
+pub fn class_name(class: OpClass) -> &'static str {
+    match class {
+        OpClass::Asym => "asym",
+        OpClass::Cipher => "cipher",
+        OpClass::Prf => "prf",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Log-linear histogram
+// ---------------------------------------------------------------------------
+
+/// log2 of the sub-bucket count: 32 sub-buckets per power of two.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per power of two.
+const SUBBUCKETS: usize = 1 << SUB_BITS;
+/// Values with a most-significant bit at or above this exponent land in
+/// the overflow bucket (2^36 ns ≈ 68.7 s — far beyond any phase).
+const MAX_EXP: u32 = 36;
+/// Total regular buckets: one linear row for values < 32, then one row
+/// of 32 sub-buckets per power of two up to `MAX_EXP`.
+pub const BUCKETS: usize = (MAX_EXP - SUB_BITS + 1) as usize * SUBBUCKETS;
+
+/// Bucket index for a nanosecond value, or `None` for overflow.
+fn bucket_index(v: u64) -> Option<usize> {
+    if v < SUBBUCKETS as u64 {
+        return Some(v as usize);
+    }
+    let msb = 63 - v.leading_zeros();
+    if msb >= MAX_EXP {
+        return None;
+    }
+    let row = (msb - SUB_BITS + 1) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & (SUBBUCKETS as u64 - 1)) as usize;
+    Some(row * SUBBUCKETS + sub)
+}
+
+/// Largest value stored in bucket `idx` (inclusive). Row 0 buckets are
+/// exact; bucket widths double every power of two, bounding the
+/// relative error of reporting a bucket by its upper bound at
+/// `1/SUBBUCKETS` = 3.125%.
+pub fn bucket_upper_bound(idx: usize) -> u64 {
+    let row = idx / SUBBUCKETS;
+    let sub = idx % SUBBUCKETS;
+    if row == 0 {
+        sub as u64
+    } else {
+        (((SUBBUCKETS + sub + 1) as u64) << (row - 1)) - 1
+    }
+}
+
+/// A fixed-bucket log-linear latency histogram in nanoseconds.
+///
+/// `record` is wait-free: one relaxed `fetch_add` on the bucket, one on
+/// the running sum, one `fetch_max`. The total count is *derived from
+/// the bucket sums* rather than kept separately, so a snapshot taken
+/// concurrently with writers is always self-consistent (every counted
+/// sample is in exactly one bucket).
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    overflow: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample of `nanos`. Never allocates or formats.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        match bucket_index(nanos) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Copy the current state into a plain-value snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], mergeable across shards.
+#[derive(Clone, Debug)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (see [`bucket_upper_bound`]).
+    pub buckets: Vec<u64>,
+    /// Samples beyond the largest regular bucket (> ~68.7 s).
+    pub overflow: u64,
+    /// Sum of all recorded values, ns.
+    pub sum: u64,
+    /// Largest recorded value, ns.
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// A snapshot with no samples.
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: vec![0; BUCKETS],
+            overflow: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total sample count (derived from the buckets, so it is always
+    /// consistent with them).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Fold `other` into `self` by bucket-wise addition; count, sum and
+    /// max all merge exactly.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the upper bound of the
+    /// bucket holding the ranked sample, clamped to the recorded max —
+    /// within 3.125% of the true value. Samples in the overflow bucket
+    /// report the recorded max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard and per-engine observers
+// ---------------------------------------------------------------------------
+
+/// Phase × op-class histograms of one engine shard. Implements the
+/// device-side [`RetrieveHook`] for the pre-processing and retrieval
+/// phases; the engine records notification and post-processing.
+pub struct ShardObs {
+    enabled: Arc<AtomicBool>,
+    hists: Vec<Histogram>,
+}
+
+impl ShardObs {
+    fn new(enabled: Arc<AtomicBool>) -> Self {
+        ShardObs {
+            enabled,
+            hists: (0..PHASES * CLASSES).map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    /// Is recording enabled (shared with the owning engine)?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record one phase sample; a no-op while disabled.
+    #[inline]
+    pub fn record(&self, phase: Phase, class: OpClass, nanos: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.hists[phase.index() * CLASSES + class_index(class)].record(nanos);
+    }
+
+    /// Snapshot one phase × class histogram.
+    pub fn snapshot(&self, phase: Phase, class: OpClass) -> HistSnapshot {
+        self.hists[phase.index() * CLASSES + class_index(class)].snapshot()
+    }
+}
+
+impl RetrieveHook for ShardObs {
+    fn on_response(&self, class: OpClass, pre_ns: u64, retrieve_ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.record(Phase::Pre, class, pre_ns);
+        self.record(Phase::Retrieve, class, retrieve_ns);
+    }
+}
+
+/// The observability state owned by one `OffloadEngine`: per-shard
+/// histogram sets sharing one enable gate, plus the flight recorder.
+pub struct EngineObs {
+    enabled: Arc<AtomicBool>,
+    shards: Vec<Arc<ShardObs>>,
+    recorder: Arc<FlightRecorder>,
+}
+
+impl EngineObs {
+    /// Build state for `shards` shards, disabled.
+    pub fn new(shards: usize) -> Self {
+        let enabled = Arc::new(AtomicBool::new(false));
+        EngineObs {
+            shards: (0..shards)
+                .map(|_| Arc::new(ShardObs::new(Arc::clone(&enabled))))
+                .collect(),
+            recorder: Arc::new(FlightRecorder::new(FLIGHT_CAPACITY_DEFAULT)),
+            enabled,
+        }
+    }
+
+    /// Enable or disable recording (histograms and flight recorder).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+        self.recorder.set_enabled(on);
+    }
+
+    /// Is recording enabled?
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// `now_ns()` if recording is enabled, else `None` — the idiom for
+    /// hot paths that must not read the clock while disabled.
+    #[inline]
+    pub fn now_if_enabled(&self) -> Option<u64> {
+        if self.enabled() {
+            Some(now_ns())
+        } else {
+            None
+        }
+    }
+
+    /// Number of shard observers.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The observer of shard `i`.
+    pub fn shard(&self, i: usize) -> &Arc<ShardObs> {
+        &self.shards[i]
+    }
+
+    /// The engine's flight recorder.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Merge one phase × class histogram across every shard.
+    pub fn merged(&self, phase: Phase, class: OpClass) -> HistSnapshot {
+        let mut out = HistSnapshot::empty();
+        for shard in &self.shards {
+            out.merge(&shard.snapshot(phase, class));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// Default event-ring capacity (`qat_metrics_flight_capacity`).
+pub const FLIGHT_CAPACITY_DEFAULT: usize = 256;
+
+/// The structured event kinds the flight recorder captures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A flush left requests behind because the ring was full
+    /// (`a` = deferred count, `b` = accepted count).
+    RingFullDeferral,
+    /// The hold policy force-flushed a light queue
+    /// (`a` = flushed depth, `b` = hold sweeps at the time).
+    ForcedFlush,
+    /// A direct submission hit a full ring and the job rescheduled
+    /// (`a` = retry attempt number).
+    BackpressureRetry,
+    /// A heuristic poll swept a shard with inflight requests and found
+    /// its response ring empty — one §5.6 wasted poll (`a` = trigger:
+    /// 0 efficiency, 1 timeliness, 2 failover).
+    PollerMiss,
+    /// The shard router placed a request (`a` = op-class index); only
+    /// recorded when the engine has more than one shard.
+    RouterDecision,
+    /// A merged phase p99 crossed the configured anomaly threshold
+    /// (`a` = phase index × `CLASSES` + class index, `b` = p99 ns).
+    AnomalyP99,
+}
+
+/// Number of event kinds.
+pub const EVENT_KINDS: usize = 6;
+
+impl EventKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [EventKind; EVENT_KINDS] = [
+        EventKind::RingFullDeferral,
+        EventKind::ForcedFlush,
+        EventKind::BackpressureRetry,
+        EventKind::PollerMiss,
+        EventKind::RouterDecision,
+        EventKind::AnomalyP99,
+    ];
+
+    /// Stable index (matches [`Self::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::RingFullDeferral => 0,
+            EventKind::ForcedFlush => 1,
+            EventKind::BackpressureRetry => 2,
+            EventKind::PollerMiss => 3,
+            EventKind::RouterDecision => 4,
+            EventKind::AnomalyP99 => 5,
+        }
+    }
+
+    /// Label value used in dumps and the exposition format.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::RingFullDeferral => "ring_full_deferral",
+            EventKind::ForcedFlush => "forced_flush",
+            EventKind::BackpressureRetry => "backpressure_retry",
+            EventKind::PollerMiss => "poller_miss",
+            EventKind::RouterDecision => "router_decision",
+            EventKind::AnomalyP99 => "anomaly_p99",
+        }
+    }
+}
+
+/// One recorded event. `a`/`b` are kind-specific operands (see
+/// [`EventKind`]).
+#[derive(Clone, Copy, Debug)]
+pub struct FlightEvent {
+    /// Nanoseconds since the process trace origin.
+    pub at_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Shard the event concerns (0 for engine-wide events).
+    pub shard: u32,
+    /// First kind-specific operand.
+    pub a: u64,
+    /// Second kind-specific operand.
+    pub b: u64,
+}
+
+struct FlightInner {
+    ring: Vec<FlightEvent>,
+    /// Next overwrite position once the ring is full.
+    next: usize,
+}
+
+/// A fixed-size ring of recent [`FlightEvent`]s plus monotonic per-kind
+/// counts. Recording takes one short mutex (events are rare —
+/// per-sweep, per-retry — never per-request on the fast path); when
+/// disabled it is a single relaxed load.
+pub struct FlightRecorder {
+    enabled: AtomicBool,
+    counts: [AtomicU64; EVENT_KINDS],
+    inner: Mutex<FlightInner>,
+    /// Snapshot captured by [`Self::freeze`] on anomaly.
+    frozen: Mutex<Option<Vec<FlightEvent>>>,
+}
+
+impl FlightRecorder {
+    /// A disabled recorder holding up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            enabled: AtomicBool::new(false),
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            inner: Mutex::new(FlightInner {
+                ring: Vec::with_capacity(capacity.max(1)),
+                next: 0,
+            }),
+            frozen: Mutex::new(None),
+        }
+    }
+
+    /// Enable or disable recording.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Is recording enabled?
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Replace the ring with an empty one of `capacity` (setup only;
+    /// drops recorded events).
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.lock();
+        inner.ring = Vec::with_capacity(capacity.max(1));
+        inner.next = 0;
+    }
+
+    /// Record one event; a no-op while disabled. Never allocates after
+    /// the ring has filled once.
+    pub fn record(&self, kind: EventKind, shard: u32, a: u64, b: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+        let ev = FlightEvent {
+            at_ns: now_ns(),
+            kind,
+            shard,
+            a,
+            b,
+        };
+        let mut inner = self.inner.lock();
+        if inner.ring.len() < inner.ring.capacity() {
+            inner.ring.push(ev);
+        } else {
+            let at = inner.next;
+            inner.ring[at] = ev;
+            inner.next = (at + 1) % inner.ring.capacity();
+        }
+    }
+
+    /// Monotonic count of events of `kind` (survives ring overwrites).
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// The retained events, oldest first.
+    pub fn dump(&self) -> Vec<FlightEvent> {
+        let inner = self.inner.lock();
+        if inner.ring.len() < inner.ring.capacity() {
+            inner.ring.clone()
+        } else {
+            let mut out = Vec::with_capacity(inner.ring.len());
+            out.extend_from_slice(&inner.ring[inner.next..]);
+            out.extend_from_slice(&inner.ring[..inner.next]);
+            out
+        }
+    }
+
+    /// Capture the current ring as the frozen anomaly snapshot
+    /// (replacing any previous one) and count an [`EventKind::AnomalyP99`].
+    pub fn freeze(&self, shard: u32, a: u64, b: u64) {
+        self.record(EventKind::AnomalyP99, shard, a, b);
+        *self.frozen.lock() = Some(self.dump());
+    }
+
+    /// The snapshot captured by the most recent [`Self::freeze`].
+    pub fn frozen(&self) -> Option<Vec<FlightEvent>> {
+        self.frozen.lock().clone()
+    }
+
+    /// Render the retained events (and any frozen snapshot) as one
+    /// line-oriented page for the on-demand dump endpoint.
+    pub fn render_dump(&self) -> String {
+        fn lines(out: &mut String, events: &[FlightEvent]) {
+            for ev in events {
+                let _ = writeln!(
+                    out,
+                    "{} {} shard={} a={} b={}",
+                    ev.at_ns,
+                    ev.kind.name(),
+                    ev.shard,
+                    ev.a,
+                    ev.b
+                );
+            }
+        }
+        let mut out = String::new();
+        let recent = self.dump();
+        let _ = writeln!(out, "flight: {} recent events", recent.len());
+        lines(&mut out, &recent);
+        if let Some(frozen) = self.frozen() {
+            let _ = writeln!(out, "frozen: {} events at anomaly", frozen.len());
+            lines(&mut out, &frozen);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metric registry
+// ---------------------------------------------------------------------------
+
+/// The single authoritative list of exposed metric family names.
+/// `scripts/check.sh` greps every `# TYPE` family scraped from
+/// `/metrics` against this constant — a metric absent here fails CI.
+pub mod registry {
+    /// Every metric family name the `/metrics` endpoint may expose.
+    pub const METRIC_NAMES: &[&str] = &[
+        "qtls_phase_latency_ns",
+        "qtls_phase_latency_hist_ns",
+        "qtls_phase_latency_max_ns",
+        "qtls_phase_overflow_total",
+        "qtls_submit_flushes_total",
+        "qtls_submit_flushed_requests_total",
+        "qtls_submit_deferred_total",
+        "qtls_submit_holds_total",
+        "qtls_submit_forced_flushes_total",
+        "qtls_submit_bypassed_total",
+        "qtls_submit_max_depth",
+        "qtls_submit_ewma_depth_milli",
+        "qtls_shard_inflight",
+        "qtls_shard_asym_inflight",
+        "qtls_ring_full_retries_total",
+        "qtls_poll_fired_total",
+        "qtls_poll_wasted_total",
+        "qtls_poll_shards_swept_total",
+        "qtls_poll_responses_total",
+        "qtls_qat_submitted_total",
+        "qtls_qat_ring_full_total",
+        "qtls_qat_doorbells_total",
+        "qtls_qat_polled_total",
+        "qtls_qat_resp_stalls_total",
+        "qtls_qat_completed_total",
+        "qtls_flight_events_total",
+        "qtls_worker_connections_active",
+        "qtls_worker_handshakes_total",
+        "qtls_worker_resumed_handshakes_total",
+        "qtls_worker_requests_total",
+        "qtls_worker_async_jobs_total",
+        "qtls_worker_resumptions_total",
+        "qtls_worker_errors_total",
+        "qtls_worker_kernel_switches_total",
+        "qtls_metrics_enabled",
+    ];
+
+    /// Is `name` a registered family, or a `_bucket`/`_sum`/`_count`
+    /// series of one?
+    pub fn is_registered(name: &str) -> bool {
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        METRIC_NAMES.contains(&base) || METRIC_NAMES.contains(&name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition: renderer and mini-parser
+// ---------------------------------------------------------------------------
+
+/// Renderer and validator for the Prometheus text exposition format
+/// (std-only; the validator backs the CI smoke check).
+pub mod promtext {
+    use super::registry;
+    use std::fmt::Write as _;
+
+    /// Incremental builder of a Prometheus text page. Debug-asserts that
+    /// every family it emits is in [`registry::METRIC_NAMES`].
+    #[derive(Default)]
+    pub struct PromText {
+        out: String,
+    }
+
+    impl PromText {
+        /// An empty page.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Emit the `# HELP` / `# TYPE` header of a family.
+        pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+            debug_assert!(
+                registry::METRIC_NAMES.contains(&name),
+                "unregistered metric {name}"
+            );
+            let _ = writeln!(self.out, "# HELP {name} {help}");
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+
+        /// Emit one sample line with integer value.
+        pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+            self.sample_raw(name, labels, &value.to_string());
+        }
+
+        /// Emit one sample line with a pre-formatted value (e.g. `+Inf`
+        /// bucket bounds or floats).
+        pub fn sample_raw(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+            self.out.push_str(name);
+            if !labels.is_empty() {
+                self.out.push('{');
+                for (i, (k, v)) in labels.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push(',');
+                    }
+                    let _ = write!(self.out, "{k}=\"{v}\"");
+                }
+                self.out.push('}');
+            }
+            let _ = writeln!(self.out, " {value}");
+        }
+
+        /// The finished page.
+        pub fn finish(self) -> String {
+            self.out
+        }
+    }
+
+    fn valid_name(s: &str) -> bool {
+        !s.is_empty()
+            && s.chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    fn valid_value(s: &str) -> bool {
+        matches!(s, "+Inf" | "-Inf" | "NaN") || s.parse::<f64>().is_ok()
+    }
+
+    /// Parse labels of the form `k="v",k2="v2"` (no trailing comma; `\"`
+    /// escapes inside values).
+    fn valid_labels(s: &str) -> bool {
+        let mut rest = s;
+        loop {
+            let Some(eq) = rest.find('=') else {
+                return false;
+            };
+            if !valid_name(&rest[..eq]) {
+                return false;
+            }
+            rest = &rest[eq + 1..];
+            if !rest.starts_with('"') {
+                return false;
+            }
+            rest = &rest[1..];
+            let mut escaped = false;
+            let mut close = None;
+            for (i, c) in rest.char_indices() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    close = Some(i);
+                    break;
+                }
+            }
+            let Some(close) = close else {
+                return false;
+            };
+            rest = &rest[close + 1..];
+            if rest.is_empty() {
+                return true;
+            }
+            let Some(tail) = rest.strip_prefix(',') else {
+                return false;
+            };
+            rest = tail;
+        }
+    }
+
+    /// Validate a Prometheus text page and return the `# TYPE`-declared
+    /// family names in order of declaration. Rejects malformed lines,
+    /// unknown sample families, and samples with no preceding `# TYPE`.
+    pub fn parse(text: &str) -> Result<Vec<String>, String> {
+        const TYPES: [&str; 5] = ["counter", "gauge", "histogram", "summary", "untyped"];
+        let mut families: Vec<(String, String)> = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            let lineno = no + 1;
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                if !valid_name(name) {
+                    return Err(format!("line {lineno}: bad HELP name {name:?}"));
+                }
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let (name, kind) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+                if !valid_name(name) {
+                    return Err(format!("line {lineno}: bad TYPE name {name:?}"));
+                }
+                if !TYPES.contains(&kind) {
+                    return Err(format!("line {lineno}: bad TYPE kind {kind:?}"));
+                }
+                families.push((name.to_string(), kind.to_string()));
+                continue;
+            }
+            if line.starts_with('#') {
+                continue; // free-form comment
+            }
+            // Sample line: name[{labels}] value
+            let (series, rest) = match line.find('{') {
+                Some(open) => {
+                    let close = line
+                        .rfind('}')
+                        .ok_or_else(|| format!("line {lineno}: unclosed label braces"))?;
+                    if close < open {
+                        return Err(format!("line {lineno}: mismatched label braces"));
+                    }
+                    if !valid_labels(&line[open + 1..close]) {
+                        return Err(format!("line {lineno}: bad labels"));
+                    }
+                    (&line[..open], line[close + 1..].trim())
+                }
+                None => {
+                    let sp = line
+                        .find(' ')
+                        .ok_or_else(|| format!("line {lineno}: sample missing value"))?;
+                    (&line[..sp], line[sp + 1..].trim())
+                }
+            };
+            if !valid_name(series) {
+                return Err(format!("line {lineno}: bad sample name {series:?}"));
+            }
+            // Value (timestamps are not emitted by our renderer).
+            let value = rest.split_whitespace().next().unwrap_or("");
+            if !valid_value(value) {
+                return Err(format!("line {lineno}: bad value {value:?}"));
+            }
+            // The series must belong to a previously declared family
+            // (allowing histogram/summary suffix series).
+            let known = families.iter().any(|(name, kind)| {
+                series == name
+                    || (matches!(kind.as_str(), "histogram" | "summary")
+                        && (series == format!("{name}_sum")
+                            || series == format!("{name}_count")
+                            || series == format!("{name}_bucket")))
+            });
+            if !known {
+                return Err(format!("line {lineno}: sample {series:?} has no # TYPE"));
+            }
+        }
+        Ok(families.into_iter().map(|(name, _)| name).collect())
+    }
+}
+
+/// Append a merged phase histogram to a [`promtext::PromText`] page as a
+/// Prometheus `histogram` family plus companion max gauge and overflow
+/// counter samples (shared by the server endpoint and benches).
+pub fn render_phase_histogram(
+    page: &mut promtext::PromText,
+    phase: Phase,
+    class: OpClass,
+    snap: &HistSnapshot,
+) {
+    let labels = [("phase", phase.name()), ("class", class_name(class))];
+    let mut cumulative = 0u64;
+    for (i, &c) in snap.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        let le = bucket_upper_bound(i).to_string();
+        page.sample(
+            "qtls_phase_latency_hist_ns_bucket",
+            &[
+                ("phase", phase.name()),
+                ("class", class_name(class)),
+                ("le", &le),
+            ],
+            cumulative,
+        );
+    }
+    page.sample(
+        "qtls_phase_latency_hist_ns_bucket",
+        &[
+            ("phase", phase.name()),
+            ("class", class_name(class)),
+            ("le", "+Inf"),
+        ],
+        snap.count(),
+    );
+    page.sample("qtls_phase_latency_hist_ns_count", &labels, snap.count());
+    page.sample("qtls_phase_latency_hist_ns_sum", &labels, snap.sum);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotonic_at_row_boundaries() {
+        let mut prev = 0usize;
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            127,
+            128,
+            1 << 20,
+            (1 << 36) - 1,
+        ] {
+            let idx = bucket_index(v).unwrap();
+            assert!(idx >= prev, "index must not decrease at v={v}");
+            assert!(bucket_upper_bound(idx) >= v, "upper bound covers v={v}");
+            prev = idx;
+        }
+        assert_eq!(bucket_index(0), Some(0));
+        assert_eq!(bucket_index(31), Some(31));
+        assert_eq!(bucket_index(32), Some(32));
+        assert_eq!(bucket_index((1 << 36) - 1), Some(BUCKETS - 1));
+        assert_eq!(bucket_index(1 << 36), None);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut v = 1u64;
+        while v < 1 << 36 {
+            for off in [0u64, 1, v / 3] {
+                let x = v + off;
+                if x >= 1 << 36 {
+                    continue;
+                }
+                let ub = bucket_upper_bound(bucket_index(x).unwrap());
+                assert!(ub >= x);
+                let err = (ub - x) as f64 / x.max(1) as f64;
+                assert!(err <= 1.0 / SUBBUCKETS as f64, "err {err} at {x}");
+            }
+            v *= 2;
+        }
+    }
+
+    #[test]
+    fn zero_duration_samples_count() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_samples() {
+        let h = Histogram::new();
+        h.record(1 << 40);
+        h.record(100);
+        let s = h.snapshot();
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max, 1 << 40);
+        // The overflow sample ranks last and reports the recorded max.
+        assert_eq!(s.quantile(1.0), 1 << 40);
+    }
+
+    #[test]
+    fn quantiles_stay_within_error_bound() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        for (q, truth) in [(0.5, 500_000u64), (0.9, 900_000), (0.99, 990_000)] {
+            let got = s.quantile(q);
+            assert!(got >= truth, "q{q}: {got} < {truth}");
+            let err = (got - truth) as f64 / truth as f64;
+            assert!(err <= 1.0 / SUBBUCKETS as f64, "q{q}: err {err}");
+        }
+        assert_eq!(s.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn merge_of_disjoint_histograms_preserves_count_and_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..100u64 {
+            a.record(v); // tiny values
+            b.record(1_000_000 + v * 1_000); // ~1ms values
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 200);
+        assert_eq!(m.sum, a.snapshot().sum + b.snapshot().sum);
+        assert_eq!(m.max, b.snapshot().max);
+        // Low quantiles come from a, high from b.
+        assert!(m.quantile(0.25) < 100);
+        assert!(m.quantile(0.75) >= 1_000_000);
+    }
+
+    #[test]
+    fn flight_ring_wraps_and_keeps_counts() {
+        let rec = FlightRecorder::new(4);
+        rec.set_enabled(true);
+        for i in 0..6u64 {
+            rec.record(EventKind::ForcedFlush, 0, i, 0);
+        }
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 4);
+        // Oldest retained is event 2; order is preserved.
+        let seq: Vec<u64> = dump.iter().map(|e| e.a).collect();
+        assert_eq!(seq, vec![2, 3, 4, 5]);
+        assert_eq!(rec.count(EventKind::ForcedFlush), 6);
+        assert_eq!(rec.count(EventKind::PollerMiss), 0);
+    }
+
+    #[test]
+    fn flight_recorder_disabled_records_nothing() {
+        let rec = FlightRecorder::new(4);
+        rec.record(EventKind::PollerMiss, 1, 0, 0);
+        assert!(rec.dump().is_empty());
+        assert_eq!(rec.count(EventKind::PollerMiss), 0);
+    }
+
+    #[test]
+    fn freeze_captures_anomaly_snapshot() {
+        let rec = FlightRecorder::new(8);
+        rec.set_enabled(true);
+        rec.record(EventKind::RingFullDeferral, 0, 3, 1);
+        rec.freeze(0, 7, 1_000_000);
+        let frozen = rec.frozen().unwrap();
+        assert_eq!(frozen.len(), 2);
+        assert_eq!(frozen[1].kind, EventKind::AnomalyP99);
+        assert!(rec.render_dump().contains("anomaly_p99"));
+    }
+
+    #[test]
+    fn registry_has_no_duplicates() {
+        let mut names: Vec<&str> = registry::METRIC_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry::METRIC_NAMES.len());
+        assert!(registry::is_registered("qtls_phase_latency_hist_ns_bucket"));
+        assert!(registry::is_registered("qtls_qat_polled_total"));
+        assert!(!registry::is_registered("qtls_rogue_metric"));
+    }
+
+    #[test]
+    fn promtext_roundtrip_and_rejections() {
+        let mut page = promtext::PromText::new();
+        page.header("qtls_metrics_enabled", "gauge", "Is the obs plane on");
+        page.sample("qtls_metrics_enabled", &[], 1);
+        page.header("qtls_phase_latency_hist_ns", "histogram", "Phase latency");
+        let h = Histogram::new();
+        h.record(500);
+        h.record(70_000);
+        render_phase_histogram(&mut page, Phase::Retrieve, OpClass::Asym, &h.snapshot());
+        let text = page.finish();
+        let families = promtext::parse(&text).unwrap();
+        assert_eq!(
+            families,
+            vec!["qtls_metrics_enabled", "qtls_phase_latency_hist_ns"]
+        );
+        for fam in &families {
+            assert!(registry::is_registered(fam));
+        }
+        // Rejections: sample without TYPE, bad value, bad labels.
+        assert!(promtext::parse("loose_metric 1").is_err());
+        assert!(promtext::parse("# TYPE x gauge\nx notanumber").is_err());
+        assert!(promtext::parse("# TYPE x gauge\nx{k=} 1").is_err());
+        assert!(promtext::parse("# TYPE x banana\n").is_err());
+    }
+
+    #[test]
+    fn engine_obs_merges_across_shards() {
+        let obs = EngineObs::new(2);
+        obs.set_enabled(true);
+        obs.shard(0).record(Phase::Notify, OpClass::Prf, 1_000);
+        obs.shard(1).record(Phase::Notify, OpClass::Prf, 9_000);
+        let merged = obs.merged(Phase::Notify, OpClass::Prf);
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.max, 9_000);
+        // Other phase/class cells stay empty.
+        assert_eq!(obs.merged(Phase::Post, OpClass::Prf).count(), 0);
+        // Disabled => record is a no-op.
+        obs.set_enabled(false);
+        obs.shard(0).record(Phase::Notify, OpClass::Prf, 1);
+        assert_eq!(obs.merged(Phase::Notify, OpClass::Prf).count(), 2);
+    }
+}

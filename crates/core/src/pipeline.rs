@@ -23,6 +23,7 @@ use qtls_qat::{CryptoInstance, CryptoRequest};
 use qtls_sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Where a full-ring submission failure is being handled, which decides
@@ -305,6 +306,10 @@ pub struct SubmitQueue {
     /// saturated, so the light-load fast paths are disabled until a
     /// flush drains clean.
     recent_deferral: AtomicBool,
+    /// Optional obs-plane flight recorder and the shard index this
+    /// queue feeds (events are per-sweep, so the lock is off the
+    /// per-request path).
+    recorder: Mutex<Option<(Arc<crate::obs::FlightRecorder>, u32)>>,
 }
 
 impl SubmitQueue {
@@ -344,6 +349,19 @@ impl SubmitQueue {
     /// Flush accounting.
     pub fn stats(&self) -> &SubmitStats {
         &self.stats
+    }
+
+    /// Attach the obs-plane flight recorder, labelling this queue's
+    /// events with `shard`.
+    pub fn set_flight_recorder(&self, recorder: Arc<crate::obs::FlightRecorder>, shard: u32) {
+        *self.recorder.lock() = Some((recorder, shard));
+    }
+
+    /// Emit a flight event if a recorder is attached (cold paths only).
+    fn flight(&self, kind: crate::obs::EventKind, a: u64, b: u64) {
+        if let Some((recorder, shard)) = self.recorder.lock().as_ref() {
+            recorder.record(kind, *shard, a, b);
+        }
     }
 
     /// Is the pipeline light enough for the latency-first fast paths?
@@ -421,6 +439,12 @@ impl SubmitQueue {
             FlushDecision::Flush => self.flush(instance),
             FlushDecision::ForcedFlush => {
                 self.stats.forced_flushes.fetch_add(1, Ordering::Relaxed);
+                let sweeps = self.hold.lock().sweeps;
+                self.flight(
+                    crate::obs::EventKind::ForcedFlush,
+                    staged as u64,
+                    sweeps as u64,
+                );
                 self.flush(instance)
             }
             FlushDecision::Hold => {
@@ -454,6 +478,11 @@ impl SubmitQueue {
             self.stats
                 .deferred
                 .fetch_add(deferred as u64, Ordering::Relaxed);
+            self.flight(
+                crate::obs::EventKind::RingFullDeferral,
+                deferred as u64,
+                submitted as u64,
+            );
         }
         self.recent_deferral.store(deferred > 0, Ordering::Relaxed);
         if submitted > 0 {

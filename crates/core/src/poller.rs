@@ -122,13 +122,26 @@ pub struct HeuristicStats {
     pub timeliness_polls: u64,
     /// Polls fired by failover.
     pub failover_polls: u64,
-    /// Poll invocations that retrieved nothing.
+    /// Swept shards that retrieved nothing — the §5.6 "wasted polls"
+    /// metric. Counted per shard, not per sweep: on a sharded engine a
+    /// sweep that drains one ring but touches N-1 empty ones still
+    /// wasted N-1 ring reads, and a per-sweep count would hide them.
     pub empty_polls: u64,
     /// Responses retrieved in total.
     pub responses: u64,
     /// Shards swept across all fired polls (idle shards are skipped, so
     /// on a sharded engine this is <= polls * shard_count).
     pub shards_swept: u64,
+}
+
+/// Flight-recorder encoding of a [`PollTrigger`] (the `a` payload of a
+/// `PollerMiss` event): 0 efficiency, 1 timeliness, 2 failover.
+fn trigger_index(trigger: PollTrigger) -> u64 {
+    match trigger {
+        PollTrigger::Efficiency => 0,
+        PollTrigger::Timeliness => 1,
+        PollTrigger::Failover => 2,
+    }
 }
 
 /// The heuristic polling scheme, owned by the worker's event loop (no
@@ -208,8 +221,19 @@ impl HeuristicPoller {
         let mut n = 0;
         for i in 0..self.engine.shard_count() {
             if self.engine.shard_inflight(i) > 0 {
-                n += self.engine.poll_shard(i);
+                let got = self.engine.poll_shard(i);
                 self.stats.shards_swept += 1;
+                if got == 0 {
+                    // Wasted poll of this ring: swept, nothing there.
+                    self.stats.empty_polls += 1;
+                    self.engine.obs().recorder().record(
+                        crate::obs::EventKind::PollerMiss,
+                        i as u32,
+                        trigger_index(trigger),
+                        0,
+                    );
+                }
+                n += got;
             }
         }
         self.last_poll = Instant::now();
@@ -217,9 +241,6 @@ impl HeuristicPoller {
             PollTrigger::Efficiency => self.stats.efficiency_polls += 1,
             PollTrigger::Timeliness => self.stats.timeliness_polls += 1,
             PollTrigger::Failover => self.stats.failover_polls += 1,
-        }
-        if n == 0 {
-            self.stats.empty_polls += 1;
         }
         self.stats.responses += n as u64;
         n
@@ -519,6 +540,87 @@ mod tests {
         assert_eq!(engine.shard_inflight(1), 24);
         let poller = HeuristicPoller::new(Arc::clone(&engine), HeuristicConfig::default());
         assert_eq!(poller.check(1000), Some(PollTrigger::Efficiency));
+    }
+
+    #[test]
+    fn wasted_polls_count_per_shard_not_per_sweep() {
+        // Regression: on a sharded engine, one sweep over two stuck
+        // shards wastes TWO ring reads. The old per-sweep accounting
+        // (`if n == 0` after the loop) reported a single empty poll and
+        // under-counted the §5.6 wasted-poll metric on every sharded
+        // configuration.
+        use crate::shard::ShardPolicy;
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 2,
+            engines_per_endpoint: 0,
+            ring_capacity: 128,
+            ..QatConfig::functional_small()
+        });
+        let engine = Arc::new(OffloadEngine::sharded(
+            dev.alloc_instances(2),
+            EngineMode::Async,
+            ShardPolicy::RoundRobin,
+        ));
+        submit_n(&engine, 2); // round-robin: one stuck request per shard
+        assert_eq!(engine.shard_inflight(0), 1);
+        assert_eq!(engine.shard_inflight(1), 1);
+        let mut poller = HeuristicPoller::new(Arc::clone(&engine), HeuristicConfig::default());
+        assert_eq!(poller.maybe_poll(2), 0); // timeliness sweep, both empty
+        let stats = poller.stats();
+        assert_eq!(stats.timeliness_polls, 1);
+        assert_eq!(stats.shards_swept, 2);
+        assert_eq!(stats.empty_polls, 2, "one wasted poll per swept shard");
+    }
+
+    #[test]
+    fn productive_sweep_still_counts_empty_shards_as_wasted() {
+        // A sweep that retrieves responses from one shard but finds the
+        // other ring empty has still wasted one ring read. The old
+        // accounting (aggregate n > 0) reported zero empty polls here.
+        use crate::shard::ShardPolicy;
+        use qtls_qat::{ServiceMode, ServiceTable};
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 2,
+            engines_per_endpoint: 1,
+            ring_capacity: 128,
+            service_mode: ServiceMode::Timed { time_scale: 1.0 },
+            service_table: ServiceTable {
+                // Asym stuck for the duration of the test; PRF instant.
+                ecc_p256_ns: 300_000_000,
+                prf_ns: 1,
+                ..ServiceTable::default()
+            },
+            ..QatConfig::functional_small()
+        });
+        let engine = Arc::new(OffloadEngine::sharded(
+            dev.alloc_instances(2),
+            EngineMode::Async,
+            ShardPolicy::OpAffinity,
+        ));
+        // Slow asym op pins to shard 0, fast PRF to shard 1.
+        let eng = Arc::clone(&engine);
+        match start_job(move || {
+            eng.offload(CryptoOp::EcKeygen {
+                curve: qtls_crypto::ecc::NamedCurve::P256,
+                seed: 3,
+            })
+        }) {
+            StartResult::Paused(j) => std::mem::forget(j),
+            _ => panic!(),
+        }
+        submit_n(&engine, 1);
+        // Wait until the PRF response is sitting in shard 1's ring.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.shard_instance(1).pending_responses() == 0 {
+            assert!(Instant::now() < deadline, "PRF never completed");
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        let mut poller = HeuristicPoller::new(Arc::clone(&engine), HeuristicConfig::default());
+        assert_eq!(poller.maybe_poll(2), 1, "PRF response retrieved");
+        let stats = poller.stats();
+        assert_eq!(stats.shards_swept, 2);
+        assert_eq!(stats.responses, 1);
+        assert_eq!(stats.empty_polls, 1, "the asym shard sweep was wasted");
     }
 
     #[test]

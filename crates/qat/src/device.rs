@@ -12,6 +12,7 @@ use crate::config::{QatConfig, ServiceMode};
 use crate::counters::FwCounters;
 use crate::request::{execute, CryptoRequest, CryptoResponse, ResponseCallback};
 use crate::ring::{Ring, RingFull};
+use crate::trace::{self, RetrieveHook};
 use qtls_sync::{Condvar, Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -21,6 +22,9 @@ use std::time::Duration;
 struct RingPair {
     req: Ring<CryptoRequest>,
     resp: Ring<CryptoResponse>,
+    /// Observer for retrieved responses while tracing is on; shared by
+    /// every clone of the owning instance (pollers included).
+    retrieve_hook: RwLock<Option<Arc<dyn RetrieveHook>>>,
 }
 
 /// Shared state of one endpoint.
@@ -70,7 +74,10 @@ impl CryptoInstance {
     /// request is queued for an engine; completion is delivered through
     /// the callback at poll time.
     #[allow(clippy::result_large_err)] // the Err intentionally returns the request
-    pub fn submit(&self, request: CryptoRequest) -> Result<(), SubmitFull> {
+    pub fn submit(&self, mut request: CryptoRequest) -> Result<(), SubmitFull> {
+        if trace::tracing() {
+            request.trace.flush_ns = trace::now_ns();
+        }
         match self.pair.req.push(request) {
             Ok(()) => {
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
@@ -92,6 +99,14 @@ impl CryptoInstance {
     pub fn submit_batch(&self, requests: &mut std::collections::VecDeque<CryptoRequest>) -> usize {
         if requests.is_empty() {
             return 0;
+        }
+        if trace::tracing() {
+            // One clock read per flush; leftovers are re-stamped by the
+            // next attempt, so flush_ns reflects the publish that stuck.
+            let t = trace::now_ns();
+            for req in requests.iter_mut() {
+                req.trace.flush_ns = t;
+            }
         }
         // push_batch claims as many contiguous slots as are free in one
         // CAS; loop in case concurrent producers fragment the claim.
@@ -137,17 +152,45 @@ impl CryptoInstance {
     /// Returns the number of responses retrieved.
     pub fn poll(&self, max: usize) -> usize {
         let mut n = 0;
+        // Read the hook Arc once per poll call, and only when tracing.
+        let hook = if trace::tracing() {
+            self.pair.retrieve_hook.read().clone()
+        } else {
+            None
+        };
         while n < max {
             match self.pair.resp.pop() {
                 Some(resp) => {
                     n += 1;
                     self.counters.polled.fetch_add(1, Ordering::Relaxed);
+                    if let Some(hook) = &hook {
+                        let t = resp.trace;
+                        if t.submit_ns > 0 && t.flush_ns >= t.submit_ns {
+                            let now = trace::now_ns();
+                            hook.on_response(
+                                resp.class,
+                                t.flush_ns - t.submit_ns,
+                                now.saturating_sub(t.flush_ns),
+                            );
+                        }
+                    }
                     (resp.callback)(resp.result);
                 }
                 None => break,
             }
         }
         n
+    }
+
+    /// Install the tracing observer for this instance's response ring
+    /// (shared by all clones; replaces any previous hook).
+    pub fn set_retrieve_hook(&self, hook: Arc<dyn RetrieveHook>) {
+        *self.pair.retrieve_hook.write() = Some(hook);
+    }
+
+    /// The device-wide firmware counters this instance reports into.
+    pub fn fw_counters(&self) -> &Arc<FwCounters> {
+        &self.counters
     }
 
     /// Drain every available response.
@@ -271,6 +314,7 @@ impl QatDevice {
         let pair = Arc::new(RingPair {
             req: Ring::new(self.config.ring_capacity),
             resp: Ring::new(self.config.ring_capacity * 2),
+            retrieve_hook: RwLock::new(None),
         });
         endpoint.pairs.write().push(Arc::clone(&pair));
         CryptoInstance {
@@ -350,6 +394,7 @@ fn engine_loop(
                     class,
                     result,
                     callback: req.callback,
+                    trace: req.trace,
                 };
                 // Response-ring backpressure: hardware stalls until the
                 // host drains responses; model with a yield-retry loop.
@@ -385,10 +430,15 @@ pub fn make_request(
     op: crate::request::CryptoOp,
     callback: ResponseCallback,
 ) -> CryptoRequest {
+    let mut t = trace::ReqTrace::default();
+    if trace::tracing() {
+        t.submit_ns = trace::now_ns();
+    }
     CryptoRequest {
         cookie,
         op,
         callback,
+        trace: t,
     }
 }
 
@@ -729,6 +779,56 @@ mod tests {
             result.unwrap().into_bytes(),
             qtls_crypto::kdf::prf_tls12(b"s", b"l", b"x", 32)
         );
+    }
+
+    #[test]
+    fn tracing_records_device_phases() {
+        use std::sync::atomic::AtomicU64;
+        struct Probe {
+            responses: AtomicU64,
+            pre_ns: AtomicU64,
+            retrieve_ns: AtomicU64,
+        }
+        impl crate::trace::RetrieveHook for Probe {
+            fn on_response(&self, class: crate::request::OpClass, pre: u64, ret: u64) {
+                assert_eq!(class, crate::request::OpClass::Prf);
+                self.responses.fetch_add(1, Ordering::Relaxed);
+                self.pre_ns.fetch_add(pre, Ordering::Relaxed);
+                self.retrieve_ns.fetch_add(ret, Ordering::Relaxed);
+            }
+        }
+        let dev = small_device();
+        let inst = dev.alloc_instance();
+        let probe = Arc::new(Probe {
+            responses: AtomicU64::new(0),
+            pre_ns: AtomicU64::new(0),
+            retrieve_ns: AtomicU64::new(0),
+        });
+        inst.set_retrieve_hook(probe.clone());
+        trace::set_tracing(true);
+        let (tx, rx) = mpsc::channel();
+        inst.submit(make_request(
+            1,
+            CryptoOp::Prf {
+                secret: b"s".to_vec(),
+                label: b"l".to_vec(),
+                seed: b"x".to_vec(),
+                out_len: 16,
+            },
+            Box::new(move |r| tx.send(r).unwrap()),
+        ))
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while rx.try_recv().is_err() {
+            inst.poll_all();
+            assert!(std::time::Instant::now() < deadline, "timed out");
+            std::thread::yield_now();
+        }
+        trace::set_tracing(false);
+        assert_eq!(probe.responses.load(Ordering::Relaxed), 1);
+        // submit -> flush is stamped with two distinct clock reads, and
+        // flush -> retrieval spans the engine's real PRF execution.
+        assert!(probe.retrieve_ns.load(Ordering::Relaxed) > 0);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! - [`request`] — the operation descriptors (RSA, ECDSA/ECDH, PRF,
 //!   chained cipher) actually executed by [`qtls_crypto`] in real-compute
 //!   mode, or timed by the calibrated [`config::ServiceTable`];
-//! - [`counters::FwCounters`] — the `fw_counters` debugfs equivalent.
+//! - [`counters::FwCounters`] — the `fw_counters` debugfs equivalent;
+//! - [`trace`] — optional phase-trace stamps on ring descriptors feeding
+//!   the `qtls-core::obs` latency histograms (off by default, one
+//!   relaxed atomic load per stamp site when disabled).
 //!
 //! Real-compute mode makes end-to-end offload *functionally verifiable*
 //! (the TLS handshake completes with genuine crypto); timed mode and the
@@ -31,9 +34,11 @@ pub mod counters;
 pub mod device;
 pub mod request;
 pub mod ring;
+pub mod trace;
 
 pub use config::{QatConfig, ServiceMode, ServiceTable};
 pub use device::{make_request, CryptoInstance, QatDevice, SubmitFull};
 pub use request::{
     CryptoOp, CryptoOutput, CryptoRequest, CryptoResponse, CryptoResult, OpClass, ResponseCallback,
 };
+pub use trace::{ReqTrace, RetrieveHook};

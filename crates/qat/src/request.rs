@@ -161,6 +161,8 @@ pub struct CryptoRequest {
     pub op: CryptoOp,
     /// Callback to invoke at response-retrieval time.
     pub callback: ResponseCallback,
+    /// Phase-trace stamps (all zero unless [`crate::trace`] is on).
+    pub trace: crate::trace::ReqTrace,
 }
 
 /// A response as read back from a QAT response ring.
@@ -173,6 +175,8 @@ pub struct CryptoResponse {
     pub result: CryptoResult,
     /// Callback registered at submission time.
     pub callback: ResponseCallback,
+    /// Phase-trace stamps copied from the originating request.
+    pub trace: crate::trace::ReqTrace,
 }
 
 /// Execute an operation using the software crypto substrate — this is

@@ -1,0 +1,89 @@
+//! Phase-trace stamps carried on ring descriptors.
+//!
+//! The paper's four offload phases (pre-processing, response retrieval,
+//! async notification, post-processing) all begin or end at the device
+//! boundary, so the device model is where the first stamps have to be
+//! taken: [`crate::make_request`] stamps descriptor creation,
+//! [`crate::CryptoInstance::submit`]/`submit_batch` stamp the ring
+//! publish (the doorbell), and [`crate::CryptoInstance::poll`] observes
+//! retrieval. The deltas are handed to a [`RetrieveHook`] installed by
+//! the offload engine (see `qtls-core::obs`), which folds them into
+//! latency histograms; the remaining two phases are measured on the
+//! engine side where notification and resumption happen.
+//!
+//! Tracing is **off by default** and gated by one process-wide relaxed
+//! atomic: when disabled, the hot path performs exactly one relaxed
+//! load per stamp site and no clock reads, no allocation, and no
+//! formatting.
+
+use crate::request::OpClass;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-wide tracing gate (relaxed; flipped by the engine's
+/// `enable_metrics`).
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Process clock origin; all stamps are nanoseconds since this instant,
+/// so deltas computed anywhere in the process share one clock.
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+/// Turn descriptor tracing on or off process-wide.
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Is descriptor tracing enabled?
+#[inline]
+pub fn tracing() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Monotonic nanoseconds since the process trace origin. Never returns
+/// 0 — stamps use 0 to mean "unset".
+#[inline]
+pub fn now_ns() -> u64 {
+    let origin = *ORIGIN.get_or_init(Instant::now);
+    (Instant::now().duration_since(origin).as_nanos() as u64).max(1)
+}
+
+/// Trace stamps carried on a [`crate::CryptoRequest`] and copied onto
+/// its [`crate::CryptoResponse`]. All zero when tracing is disabled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReqTrace {
+    /// Descriptor creation ([`crate::make_request`]) — start of the
+    /// pre-processing phase.
+    pub submit_ns: u64,
+    /// Ring publish (doorbell) — end of pre-processing, start of
+    /// retrieval. Re-stamped if a deferred descriptor is re-flushed, so
+    /// it always reflects the publish that actually reached the ring.
+    pub flush_ns: u64,
+}
+
+/// Observer invoked by [`crate::CryptoInstance::poll`] for every
+/// retrieved response while tracing is on, with the two device-side
+/// phase durations already computed (`pre_ns` = creation→doorbell,
+/// `retrieve_ns` = doorbell→retrieval). Implemented by the offload
+/// engine's per-shard histogram set.
+pub trait RetrieveHook: Send + Sync {
+    /// Record one retrieved response of `class`.
+    fn on_response(&self, class: OpClass, pre_ns: u64, retrieve_ns: u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_ns_is_monotonic_and_nonzero() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(a >= 1);
+        assert!(b >= a);
+    }
+
+    // NOTE: the TRACING gate is process-global; the only test that flips
+    // it in this binary is `device::tests::tracing_records_device_phases`
+    // so parallel tests cannot race on it.
+}

@@ -21,6 +21,7 @@
 //! bundle (profile, offload selection, thresholds, worker count) that
 //! maps directly onto [`crate::worker::WorkerConfig`].
 
+use crate::metrics::MetricsConfig;
 use qtls_core::{FlushMode, FlushPolicyConfig, HeuristicConfig, OffloadProfile, ShardPolicy};
 use qtls_tls::provider::OffloadSelection;
 use std::time::Duration;
@@ -45,6 +46,8 @@ pub struct EngineDirectives {
     pub worker_shards: usize,
     /// Shard placement policy (`qat_shard_policy`).
     pub shard_policy: ShardPolicy,
+    /// Observability plane (`qat_metrics` directive family).
+    pub metrics: MetricsConfig,
 }
 
 impl Default for EngineDirectives {
@@ -58,6 +61,7 @@ impl Default for EngineDirectives {
             flush: FlushPolicyConfig::adaptive(),
             worker_shards: 0,
             shard_policy: ShardPolicy::default(),
+            metrics: MetricsConfig::default(),
         }
     }
 }
@@ -260,6 +264,21 @@ pub fn parse_ssl_engine_conf(input: &str) -> Result<EngineDirectives, ConfError>
             "qat_shard_policy" => {
                 out.shard_policy = ShardPolicy::from_name(&value)
                     .ok_or_else(|| ConfError::BadValue(token.clone()))?;
+            }
+            "qat_metrics" => match value.as_str() {
+                "on" => out.metrics.enabled = true,
+                "off" => out.metrics.enabled = false,
+                _ => return Err(ConfError::BadValue(token.clone())),
+            },
+            "qat_metrics_anomaly_p99_us" => {
+                out.metrics.anomaly_p99_us = parse_u64(&value)?;
+            }
+            "qat_metrics_flight_capacity" => {
+                let capacity = parse_u64(&value)? as usize;
+                if capacity == 0 {
+                    return Err(ConfError::BadValue(token.clone()));
+                }
+                out.metrics.flight_capacity = capacity;
             }
             _ => return Err(ConfError::BadDirective(token.clone())),
         }
@@ -480,6 +499,47 @@ ssl_engine {
             parse_ssl_engine_conf(bad),
             Err(ConfError::BadValue(_))
         ));
+    }
+
+    #[test]
+    fn metrics_directives_parse() {
+        let conf = r#"
+ssl_engine {
+    use qat_engine;
+    qat_engine {
+        qat_offload_mode async;
+        qat_metrics on;
+        qat_metrics_anomaly_p99_us 5000;
+        qat_metrics_flight_capacity 512;
+    }
+}
+"#;
+        let d = parse_ssl_engine_conf(conf).unwrap();
+        assert!(d.metrics.enabled);
+        assert_eq!(d.metrics.anomaly_p99_us, 5000);
+        assert_eq!(d.metrics.flight_capacity, 512);
+        // Defaults: off, no anomaly threshold, default ring capacity.
+        let d = parse_ssl_engine_conf(APPENDIX_EXAMPLE).unwrap();
+        assert!(!d.metrics.enabled);
+        assert_eq!(d.metrics.anomaly_p99_us, 0);
+        assert_eq!(
+            d.metrics.flight_capacity,
+            qtls_core::obs::FLIGHT_CAPACITY_DEFAULT
+        );
+    }
+
+    #[test]
+    fn metrics_rejects_bad_values() {
+        for bad in [
+            "ssl_engine { use qat_engine; qat_engine { qat_metrics maybe; } }",
+            "ssl_engine { use qat_engine; qat_engine { qat_metrics_flight_capacity 0; } }",
+            "ssl_engine { use qat_engine; qat_engine { qat_metrics_anomaly_p99_us soon; } }",
+        ] {
+            assert!(
+                matches!(parse_ssl_engine_conf(bad), Err(ConfError::BadValue(_))),
+                "should reject: {bad}"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod cluster;
 pub mod config_file;
 pub mod http;
 pub mod loadgen;
+pub mod metrics;
 pub mod net;
 pub mod worker;
 
@@ -20,5 +21,6 @@ pub use cluster::Cluster;
 pub use config_file::{parse_ssl_engine_conf, EngineDirectives};
 pub use http::ContentStore;
 pub use loadgen::{spawn_clients, ClientConfig, LoadStats};
+pub use metrics::{MetricsConfig, MetricsPlane, StatusSnapshot};
 pub use net::{VListener, VSocket};
 pub use worker::{Worker, WorkerConfig, WorkerStats};

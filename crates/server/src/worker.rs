@@ -15,6 +15,7 @@
 //!   kernel crossings are counted.
 
 use crate::http::{self, ContentStore, ParseOutcome};
+use crate::metrics::{self, MetricsConfig, MetricsPlane, StatusSnapshot};
 use crate::net::{SockError, VListener, VSocket};
 use qtls_core::{
     fiber, AsyncQueue, EngineMode, FdSelector, FlushPolicyConfig, HeuristicConfig, HeuristicPoller,
@@ -58,6 +59,8 @@ pub struct WorkerConfig {
     pub shards: usize,
     /// Shard placement policy (the `qat_shard_policy` directive).
     pub shard_policy: ShardPolicy,
+    /// Observability plane (the `qat_metrics` directive family).
+    pub metrics: MetricsConfig,
 }
 
 impl WorkerConfig {
@@ -74,6 +77,7 @@ impl WorkerConfig {
             flush: FlushPolicyConfig::adaptive(),
             shards: 0,
             shard_policy: ShardPolicy::default(),
+            metrics: MetricsConfig::default(),
         }
     }
 
@@ -90,6 +94,7 @@ impl WorkerConfig {
             flush: d.flush,
             shards: d.worker_shards,
             shard_policy: d.shard_policy,
+            metrics: d.metrics,
         }
     }
 }
@@ -195,7 +200,7 @@ struct ServiceReport {
 /// Run the TLS state machine + HTTP layer over whatever input has been
 /// fed. Runs inside a fiber job under the async profiles, so every
 /// crypto call inside may pause the job.
-fn service(ctx: &mut ConnCtx, content: &ContentStore) -> ServiceReport {
+fn service(ctx: &mut ConnCtx, content: &ContentStore, plane: &MetricsPlane) -> ServiceReport {
     let mut report = ServiceReport {
         handshake_done: false,
         resumed: false,
@@ -225,10 +230,18 @@ fn service(ctx: &mut ConnCtx, content: &ContentStore) -> ServiceReport {
         match http::parse_request(&ctx.http_buf) {
             ParseOutcome::Complete(req, used) => {
                 ctx.http_buf.drain(..used);
+                // Observability endpoints take a query string; plain
+                // content paths never carry one.
+                let (path, query) = match req.path.split_once('?') {
+                    Some((p, q)) => (p, q),
+                    None => (req.path.as_str(), ""),
+                };
                 let (status, reason, body) = if req.method != "GET" {
                     (405, "Method Not Allowed", Vec::new())
+                } else if let Some((status, reason, text)) = plane.serve(path, query) {
+                    (status, reason, text.into_bytes())
                 } else {
-                    match content.get(&req.path) {
+                    match content.get(path) {
                         Some(body) => (200, "OK", body),
                         None => (404, "Not Found", Vec::new()),
                     }
@@ -296,6 +309,8 @@ pub struct Worker {
     /// Aggregated statistics.
     pub stats: WorkerStats,
     session_seed: u64,
+    plane: Arc<MetricsPlane>,
+    iterations: u64,
 }
 
 impl Worker {
@@ -355,6 +370,19 @@ impl Worker {
                 }
             }
         }
+        // `qat_metrics on`: size the flight ring, then enable tracing,
+        // histograms and the recorder (queues are attached above, so
+        // `enable_metrics` wires them all).
+        if cfg.metrics.enabled {
+            if let Some(engine) = &engine {
+                engine
+                    .obs()
+                    .recorder()
+                    .set_capacity(cfg.metrics.flight_capacity);
+                engine.enable_metrics();
+            }
+        }
+        let plane = Arc::new(MetricsPlane::new(cfg.metrics, engine.clone()));
         Worker {
             cfg,
             listener,
@@ -367,6 +395,8 @@ impl Worker {
             selector,
             stats: WorkerStats::default(),
             session_seed: 0x9_0000_0000,
+            plane,
+            iterations: 0,
         }
     }
 
@@ -400,69 +430,31 @@ impl Worker {
     /// engine stages submissions per shard append one aggregate
     /// `shards:` line plus a row per shard.
     pub fn stub_status(&self) -> String {
-        let mut page = format!(
-            "Active connections: {}\n\
-             server accepts handled requests\n {} {} {}\n\
-             TLS: alive {} idle {} active {} async-jobs {} resumptions {}\n\
-             submit: flushes {} flushed {} max-depth {} deferred {} \
-             holds {} forced {} bypassed {} ewma-depth {}.{:03}\n",
-            self.tc_alive(),
-            self.stats.handshakes + self.stats.errors,
-            self.stats.handshakes,
-            self.stats.requests,
-            self.tc_alive(),
-            self.tc_idle(),
-            self.tc_active(),
-            self.stats.async_jobs,
-            self.stats.resumptions,
-            self.stats.flushes,
-            self.stats.flushed_requests,
-            self.stats.max_flush_depth,
-            self.stats.deferred_submits,
-            self.stats.submit_holds,
-            self.stats.forced_flushes,
-            self.stats.bypassed_submits,
-            self.stats.ewma_flush_depth_milli / 1000,
-            self.stats.ewma_flush_depth_milli % 1000,
-        );
-        if let Some(engine) = &self.engine {
-            use std::fmt::Write as _;
-            let queues: Vec<(usize, Arc<SubmitQueue>)> = (0..engine.shard_count())
-                .filter_map(|i| engine.shard_submit_queue(i).map(|q| (i, q)))
-                .collect();
-            if !queues.is_empty() {
-                let mut rows = String::new();
-                let mut holds = 0u64;
-                let mut forced = 0u64;
-                for (i, queue) in &queues {
-                    let snap = queue.stats().snapshot();
-                    holds += snap.holds;
-                    forced += snap.forced_flushes;
-                    let _ = writeln!(
-                        rows,
-                        "shard {}: inflight {} ewma-depth {}.{:03} holds {} forced {}",
-                        i,
-                        engine.shard_inflight(*i),
-                        snap.ewma_depth_milli / 1000,
-                        snap.ewma_depth_milli % 1000,
-                        snap.holds,
-                        snap.forced_flushes,
-                    );
-                }
-                // The aggregate line is computed from the same sources
-                // the per-shard rows read, so their totals always match.
-                let _ = writeln!(
-                    page,
-                    "shards: count {} inflight {} holds {} forced {}",
-                    queues.len(),
-                    engine.inflight().total(),
-                    holds,
-                    forced,
-                );
-                page.push_str(&rows);
-            }
+        metrics::render_stub_status(&self.status_snapshot(), self.engine.as_deref())
+    }
+
+    /// The machine-parseable `stub_status?format=kv` variant: one
+    /// `key value` pair per line, keys a superset of the human page's
+    /// numeric fields.
+    pub fn stub_status_kv(&self) -> String {
+        metrics::render_stub_status_kv(&self.status_snapshot(), self.engine.as_deref())
+    }
+
+    /// The worker's metrics plane (shared with in-band HTTP endpoints).
+    pub fn metrics_plane(&self) -> &Arc<MetricsPlane> {
+        &self.plane
+    }
+
+    /// Current worker-level statistics as one snapshot.
+    fn status_snapshot(&self) -> StatusSnapshot {
+        StatusSnapshot {
+            stats: self.stats,
+            tc_alive: self.tc_alive(),
+            tc_idle: self.tc_idle(),
+            tc_active: self.tc_active(),
+            heuristic: self.heuristic.as_ref().map(|h| h.stats()),
+            kernel_switches: self.kernel_switches(),
         }
-        page
     }
 
     /// `TC_active = TC_alive - TC_idle` (§4.3): connections that are
@@ -608,6 +600,13 @@ impl Worker {
                 self.stats.ewma_flush_depth_milli = folded.ewma_depth_milli;
             }
         }
+        // 7. Refresh the metrics plane's worker snapshot and run the
+        // (cheap, periodic) anomaly check against the phase p99s.
+        self.iterations += 1;
+        self.plane.update(self.status_snapshot());
+        if self.iterations % 256 == 0 {
+            self.plane.check_anomaly();
+        }
         events
     }
 
@@ -654,9 +653,10 @@ impl Worker {
         }
         let use_async = self.cfg.profile.uses_async();
         let content = Arc::clone(&self.cfg.content);
+        let plane = Arc::clone(&self.plane);
         if use_async {
             match fiber::start_job(move || {
-                let report = service(&mut ctx, &content);
+                let report = service(&mut ctx, &content, &plane);
                 (ctx, report)
             }) {
                 StartResult::Finished((ctx, report)) => {
@@ -668,7 +668,7 @@ impl Worker {
                 }
             }
         } else {
-            let report = service(&mut ctx, &content);
+            let report = service(&mut ctx, &content, &plane);
             self.finish_service(id, ctx, report);
         }
     }

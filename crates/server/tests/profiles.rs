@@ -453,6 +453,7 @@ fn counting_request(
     use qtls_crypto::CryptoError;
     let cancelled = Arc::clone(cancelled);
     qtls_qat::CryptoRequest {
+        trace: Default::default(),
         cookie,
         op: qtls_qat::CryptoOp::Prf {
             secret: b"secret".to_vec(),
@@ -655,6 +656,237 @@ fn multi_shard_shutdown_drains_every_shard() {
     // Dropping the worker re-drains; the second drain is a no-op.
     drop(worker);
     assert_eq!(cancelled.load(Ordering::Relaxed), 6);
+}
+
+/// Send one keepalive HTTPS GET over an established hand-driven
+/// connection and return (status, body).
+fn https_get(
+    worker: &mut Worker,
+    sock: &qtls_server::VSocket,
+    client: &mut qtls_tls::client::ClientSession,
+    path: &str,
+) -> (u16, String) {
+    let req = format!("GET {path} HTTP/1.1\r\nHost: qtls\r\nConnection: keep-alive\r\n\r\n");
+    client.write_app_data(req.as_bytes()).unwrap();
+    sock.write(&client.take_output()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut got: Vec<u8> = Vec::new();
+    loop {
+        worker.run_iteration();
+        if let Ok(bytes) = sock.read_all() {
+            client.feed(&bytes);
+            client.process().unwrap();
+            while let Some(chunk) = client.read_app_data() {
+                got.extend_from_slice(&chunk);
+            }
+        }
+        if let Some(hdr_end) = got.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&got[..hdr_end]).to_string();
+            let len = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(0);
+            if got.len() >= hdr_end + 4 + len {
+                let status = head
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse::<u16>().ok())
+                    .expect("status line");
+                let body = String::from_utf8(got[hdr_end + 4..hdr_end + 4 + len].to_vec()).unwrap();
+                return (status, body);
+            }
+        }
+        assert!(Instant::now() < deadline, "no response for {path}");
+    }
+}
+
+#[test]
+fn stub_status_kv_is_a_superset_of_the_human_page() {
+    // Invariant: every numeric field of the human stub_status page has a
+    // kv key carrying the same value (the kv page may add more), on a
+    // sharded worker so the shard section is exercised too.
+    let listener = Arc::new(VListener::new());
+    let device = QatDevice::new(QatConfig {
+        endpoints: 2,
+        engines_per_endpoint: 2,
+        ..QatConfig::functional_small()
+    });
+    let mut worker = Worker::new(
+        Arc::clone(&listener),
+        Some(&device),
+        WorkerConfig::new(OffloadProfile::Qtls),
+    );
+    let (_sock, _client) = hand_establish(&mut worker, &listener, 601);
+    for _ in 0..50 {
+        worker.run_iteration();
+    }
+    let human = worker.stub_status();
+    let kv_page = worker.stub_status_kv();
+    let kv: std::collections::HashMap<String, u64> = kv_page
+        .lines()
+        .map(|l| {
+            let (k, v) = l.split_once(' ').expect("key value line");
+            (k.to_string(), v.parse::<u64>().expect("numeric kv value"))
+        })
+        .collect();
+    assert_eq!(kv.len(), kv_page.lines().count(), "kv keys must be unique");
+
+    let mut pairs: Vec<(String, u64)> = Vec::new();
+    let mut ewma_decimals: Vec<(String, String)> = Vec::new();
+    for line in human.lines() {
+        let f: Vec<&str> = line.split_whitespace().collect();
+        if line.starts_with("Active connections:") {
+            pairs.push(("active_connections".into(), f[2].parse().unwrap()));
+        } else if f.len() == 3 && f.iter().all(|t| t.parse::<u64>().is_ok()) {
+            // The accepts/handled/requests row under the header line.
+            pairs.push(("accepts".into(), f[0].parse().unwrap()));
+            pairs.push(("handled".into(), f[1].parse().unwrap()));
+            pairs.push(("requests".into(), f[2].parse().unwrap()));
+        } else if line.starts_with("TLS:") {
+            for (key, idx) in [
+                ("tls_alive", 2),
+                ("tls_idle", 4),
+                ("tls_active", 6),
+                ("async_jobs", 8),
+                ("resumptions", 10),
+            ] {
+                pairs.push((key.into(), f[idx].parse().unwrap()));
+            }
+        } else if line.starts_with("submit:") {
+            for (key, idx) in [
+                ("submit_flushes", 2),
+                ("submit_flushed", 4),
+                ("submit_max_depth", 6),
+                ("submit_deferred", 8),
+                ("submit_holds", 10),
+                ("submit_forced", 12),
+                ("submit_bypassed", 14),
+            ] {
+                pairs.push((key.into(), f[idx].parse().unwrap()));
+            }
+            ewma_decimals.push(("submit_ewma_depth_milli".into(), f[16].to_string()));
+        } else if line.starts_with("shards:") {
+            for (key, idx) in [
+                ("shards_count", 2),
+                ("shards_inflight", 4),
+                ("shards_holds", 6),
+                ("shards_forced", 8),
+            ] {
+                pairs.push((key.into(), f[idx].parse().unwrap()));
+            }
+        } else if line.starts_with("shard ") {
+            let i = f[1].trim_end_matches(':');
+            pairs.push((format!("shard{i}_inflight"), f[3].parse().unwrap()));
+            pairs.push((format!("shard{i}_holds"), f[7].parse().unwrap()));
+            pairs.push((format!("shard{i}_forced"), f[9].parse().unwrap()));
+            ewma_decimals.push((format!("shard{i}_ewma_depth_milli"), f[5].to_string()));
+        }
+    }
+    assert!(
+        pairs.iter().any(|(k, _)| k == "shards_count"),
+        "sharded page must carry the shard section: {human}"
+    );
+    for (key, value) in pairs {
+        assert_eq!(
+            kv.get(&key).copied(),
+            Some(value),
+            "kv missing or mismatching {key}\nhuman:\n{human}\nkv:\n{kv_page}"
+        );
+    }
+    // EWMA fields: the human page prints milli-requests as a decimal.
+    for (key, decimal) in ewma_decimals {
+        let milli = kv.get(&key).copied().expect("ewma kv key");
+        assert_eq!(format!("{}.{:03}", milli / 1000, milli % 1000), decimal);
+    }
+}
+
+#[test]
+fn metrics_and_flight_endpoints_serve_in_band() {
+    // `qat_metrics on`: the worker serves /metrics (valid Prometheus
+    // text, every family registered), the kv stub page and the flight
+    // dump over TLS, and all four offload phases accumulate samples.
+    use qtls_core::obs;
+    let listener = Arc::new(VListener::new());
+    let device = QatDevice::new(QatConfig {
+        endpoints: 2,
+        engines_per_endpoint: 2,
+        ..QatConfig::functional_small()
+    });
+    let mut cfg = WorkerConfig::new(OffloadProfile::Qtls);
+    cfg.metrics.enabled = true;
+    let mut worker = Worker::new(Arc::clone(&listener), Some(&device), cfg);
+    let (sock, mut client) = hand_establish(&mut worker, &listener, 602);
+    for _ in 0..50 {
+        worker.run_iteration();
+    }
+    let (status, body) = https_get(&mut worker, &sock, &mut client, "/metrics");
+    assert_eq!(status, 200);
+    let families = obs::promtext::parse(&body).expect("valid Prometheus text");
+    assert!(!families.is_empty());
+    for family in &families {
+        assert!(
+            obs::registry::is_registered(family),
+            "family {family} not in obs::registry::METRIC_NAMES"
+        );
+    }
+    assert!(body.contains("qtls_metrics_enabled 1"), "{body}");
+    for phase in [
+        "pre_processing",
+        "retrieval",
+        "notification",
+        "post_processing",
+    ] {
+        for shard in ["merged", "0", "1"] {
+            let series = format!(
+                "qtls_phase_latency_ns{{phase=\"{phase}\",class=\"asym\",shard=\"{shard}\",quantile=\"0.99\"}}"
+            );
+            assert!(body.contains(&series), "missing {series}\n{body}");
+        }
+    }
+    // The handshake's asym ops recorded real samples in every phase.
+    let engine = Arc::clone(worker.engine().expect("engine"));
+    for phase in obs::Phase::ALL {
+        let snap = engine.obs().merged(phase, qtls_qat::OpClass::Asym);
+        assert!(snap.count() > 0, "phase {phase:?} recorded no samples");
+        assert!(snap.quantile(0.99) >= snap.quantile(0.5));
+    }
+    let (status, kv) = https_get(&mut worker, &sock, &mut client, "/stub_status?format=kv");
+    assert_eq!(status, 200);
+    assert!(kv.lines().any(|l| l.starts_with("active_connections ")));
+    let (status, human) = https_get(&mut worker, &sock, &mut client, "/stub_status");
+    assert_eq!(status, 200);
+    assert!(human.starts_with("Active connections:"), "{human}");
+    let (status, flight) = https_get(&mut worker, &sock, &mut client, "/flight");
+    assert_eq!(status, 200);
+    assert!(flight.starts_with("flight: "), "{flight}");
+}
+
+#[test]
+fn metrics_endpoints_are_404_when_disabled() {
+    // Default `qat_metrics off`: the scrape endpoints answer 404, the
+    // stub page still serves, and the engine records nothing.
+    let listener = Arc::new(VListener::new());
+    let device = QatDevice::new(QatConfig::functional_small());
+    let mut worker = Worker::new(
+        Arc::clone(&listener),
+        Some(&device),
+        WorkerConfig::new(OffloadProfile::Qtls),
+    );
+    let (sock, mut client) = hand_establish(&mut worker, &listener, 603);
+    let (status, _) = https_get(&mut worker, &sock, &mut client, "/metrics");
+    assert_eq!(status, 404);
+    let (status, _) = https_get(&mut worker, &sock, &mut client, "/flight");
+    assert_eq!(status, 404);
+    let (status, page) = https_get(&mut worker, &sock, &mut client, "/stub_status");
+    assert_eq!(status, 200);
+    assert!(page.starts_with("Active connections:"));
+    let engine = worker.engine().expect("engine");
+    assert!(!engine.obs().enabled());
+    for phase in qtls_core::obs::Phase::ALL {
+        let snap = engine.obs().merged(phase, qtls_qat::OpClass::Asym);
+        assert_eq!(snap.count(), 0, "disabled plane must record nothing");
+    }
 }
 
 #[test]

@@ -566,7 +566,7 @@ pub fn sharding_ablation(f: Fidelity) -> Figure {
             points: vec![],
         };
         let mut p99 = Series {
-            label: format!("{shards}-shard p99 ms"),
+            label: format!("{shards}-shard sim p99 ms"),
             points: vec![],
         };
         for &clients in &loads {
@@ -759,8 +759,8 @@ mod tests {
         );
         // The requeue holds behind a full ring dominate tail latency;
         // sharding must cut the saturated p99 by more than half.
-        let p1 = fig.value("1-shard p99 ms", "2000").unwrap();
-        let p4 = fig.value("4-shard p99 ms", "2000").unwrap();
+        let p1 = fig.value("1-shard sim p99 ms", "2000").unwrap();
+        let p4 = fig.value("4-shard sim p99 ms", "2000").unwrap();
         assert!(
             p4 <= p1 * 0.5,
             "saturation p99: 1-shard {p1} ms vs 4-shard {p4} ms"

@@ -48,6 +48,41 @@ for case in submit_only_64/shards1 saturated_roundtrip_64/shards1 \
 done
 echo "ok: bench sharding rows parse with elem/s throughput"
 
+echo "== metrics plane smoke =="
+# Boot a sharded QTLS worker with qat_metrics on, scrape /metrics over
+# a real in-band TLS connection, and validate the exposition with the
+# in-repo mini-parser (the bin panics on any violation). Every family
+# the scrape declares must appear in the single obs::registry constant
+# list — no drive-by metric names outside the registry.
+metrics_page=$(cargo run --release --offline -p qtls-server --bin metrics_smoke)
+if ! grep -q "metrics_smoke: OK" <<< "$metrics_page"; then
+  echo "metrics_smoke did not reach its OK verdict" >&2
+  exit 1
+fi
+obs_registry=crates/core/src/obs.rs
+scraped=$(grep '^# TYPE ' <<< "$metrics_page" | awk '{print $3}' | sort -u)
+if [ -z "$scraped" ]; then
+  echo "metrics_smoke scraped no # TYPE families" >&2
+  exit 1
+fi
+while read -r fam; do
+  if ! grep -qF "\"$fam\"" "$obs_registry"; then
+    echo "scraped family $fam missing from obs::registry::METRIC_NAMES" >&2
+    exit 1
+  fi
+done <<< "$scraped"
+echo "ok: metrics smoke scrape parses; $(wc -l <<< "$scraped") families all in obs::registry"
+
+echo "== obs overhead guard =="
+# The observability plane must stay under its 2% roundtrip budget; the
+# bench asserts it internally and prints a greppable verdict.
+obs_bench=$(cargo bench --offline -p qtls-bench --bench framework -- obs_overhead)
+if ! grep -q "obs_overhead: PASS" <<< "$obs_bench"; then
+  echo "obs_overhead bench did not print its PASS verdict" >&2
+  exit 1
+fi
+echo "ok: obs overhead under 2% enabled-vs-disabled"
+
 echo "== loadgen unwrap guard =="
 # The load generator must never panic on a malformed or partial
 # response: no unwrap() in its non-test code (the test module starts at

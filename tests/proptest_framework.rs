@@ -229,6 +229,184 @@ fn op_affinity_is_sticky_and_isolates_asym() {
 }
 
 #[test]
+fn histogram_zero_duration_and_error_bound() {
+    use qtls::core::obs::{bucket_upper_bound, Histogram, BUCKETS};
+    prop::check("histogram_zero_duration_and_error_bound", 128, |g| {
+        // Zero-duration samples are legal and exact: they land in the
+        // first linear bucket and report quantiles of exactly 0.
+        let h = Histogram::new();
+        let zeros = g.u64_in(1, 20);
+        for _ in 0..zeros {
+            h.record(0);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), zeros);
+        assert_eq!(snap.buckets[0], zeros);
+        assert_eq!((snap.sum, snap.max, snap.overflow), (0, 0, 0));
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.quantile(1.0), 0);
+
+        // Arbitrary in-range values: the bucket placement agrees with an
+        // independent model (smallest bucket whose upper bound covers the
+        // value — `bucket_upper_bound` is monotone, so binary search),
+        // and the upper bound is within the documented 1/32 relative
+        // error for values past the linear row, exact inside it.
+        let h = Histogram::new();
+        let mut model = vec![0u64; BUCKETS];
+        let n = g.usize_in(1, 64);
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for _ in 0..n {
+            let v = g.u64_in(0, (1u64 << 36) - 1);
+            h.record(v);
+            sum += v;
+            max = max.max(v);
+            let idx = (0..BUCKETS)
+                .collect::<Vec<_>>()
+                .partition_point(|&i| bucket_upper_bound(i) < v);
+            model[idx] += 1;
+            let ub = bucket_upper_bound(idx);
+            assert!(ub >= v);
+            if v < 32 {
+                assert_eq!(ub, v, "linear row is exact");
+            } else {
+                assert!(ub - v <= v / 32, "bucket error beyond 1/32: v={v} ub={ub}");
+            }
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, model, "placement disagrees with model");
+        assert_eq!(snap.count(), n as u64);
+        assert_eq!((snap.sum, snap.max, snap.overflow), (sum, max, 0));
+        assert_eq!(snap.quantile(1.0), max, "p100 clamps to the true max");
+    });
+}
+
+#[test]
+fn histogram_overflow_bucket_counts_and_reports_max() {
+    use qtls::core::obs::Histogram;
+    prop::check("histogram_overflow_bucket", 128, |g| {
+        let h = Histogram::new();
+        let big = g.u64_in(1, 16);
+        let small = g.u64_in(0, 16);
+        let mut max = 0u64;
+        for _ in 0..big {
+            let v = g.u64_in(1u64 << 36, 1u64 << 48);
+            h.record(v);
+            max = max.max(v);
+        }
+        for _ in 0..small {
+            h.record(g.u64_in(0, 1_000_000));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.overflow, big, "values >= 2^36 ns land in overflow");
+        assert_eq!(snap.count(), big + small, "overflow samples stay counted");
+        assert_eq!(snap.max, max);
+        // Overflow-ranked quantiles report the recorded max, not a
+        // fabricated bucket bound.
+        assert_eq!(snap.quantile(1.0), max);
+    });
+}
+
+#[test]
+fn histogram_merge_of_disjoint_shards_preserves_count_and_max() {
+    use qtls::core::obs::{EngineObs, Phase};
+    use qtls::qat::OpClass;
+    prop::check("histogram_merge_disjoint_shards", 128, |g| {
+        // Two shards record disjoint value ranges (plus optional
+        // overflow); the engine-level merge must preserve count, sum,
+        // max and overflow exactly — bucket-wise addition loses nothing.
+        let obs = EngineObs::new(2);
+        obs.set_enabled(true);
+        let phase = Phase::ALL[g.usize_in(0, Phase::ALL.len() - 1)];
+        let (mut count, mut sum, mut max, mut over) = (0u64, 0u64, 0u64, 0u64);
+        let mut record = |shard: usize, v: u64| {
+            obs.shard(shard).record(phase, OpClass::Asym, v);
+            count += 1;
+            sum += v;
+            max = max.max(v);
+            if v >= 1u64 << 36 {
+                over += 1;
+            }
+        };
+        for _ in 0..g.usize_in(1, 40) {
+            record(0, g.u64_in(0, 1 << 18)); // shard 0: short ops
+        }
+        for _ in 0..g.usize_in(1, 40) {
+            record(1, g.u64_in((1 << 18) + 1, 1 << 35)); // shard 1: long ops
+        }
+        for _ in 0..g.usize_in(0, 4) {
+            record(1, g.u64_in(1 << 36, 1 << 40)); // and some overflow
+        }
+        let a = obs.shard(0).snapshot(phase, OpClass::Asym);
+        let b = obs.shard(1).snapshot(phase, OpClass::Asym);
+        let merged = obs.merged(phase, OpClass::Asym);
+        assert_eq!(merged.count(), a.count() + b.count());
+        assert_eq!(merged.count(), count);
+        assert_eq!(merged.sum, sum);
+        assert_eq!(merged.max, max, "merge keeps the global max");
+        assert_eq!(merged.overflow, over);
+        assert_eq!(merged.quantile(1.0), max);
+        // Another class / phase stays untouched.
+        assert_eq!(obs.merged(phase, OpClass::Cipher).count(), 0);
+    });
+}
+
+#[test]
+fn histogram_snapshot_during_record_is_consistent() {
+    // A snapshot taken while a writer is recording must always be
+    // self-consistent: the derived count equals the bucket sums by
+    // construction, never decreases between successive snapshots (each
+    // bucket is monotone under coherence), and quantiles stay ordered
+    // and clamped to max. Finally the joined state is exact.
+    use qtls::core::obs::Histogram;
+    use std::sync::Arc;
+    let h = Arc::new(Histogram::new());
+    let per = 50_000u64;
+    let writer = {
+        let h = Arc::clone(&h);
+        std::thread::spawn(move || {
+            let mut sum = 0u64;
+            let mut max = 0u64;
+            for i in 0..per {
+                // A spread of magnitudes, including zero and overflow.
+                let v = match i % 5 {
+                    0 => 0,
+                    1 => i % 31,
+                    2 => 1_000 + i,
+                    3 => (1 << 20) + i,
+                    _ => (1u64 << 36) + i,
+                };
+                h.record(v);
+                sum += v;
+                max = max.max(v);
+            }
+            (sum, max)
+        })
+    };
+    let mut last_count = 0u64;
+    let mut last_max = 0u64;
+    while last_count < per {
+        let snap = h.snapshot();
+        let count = snap.count();
+        assert!(count >= last_count, "count went backwards mid-record");
+        assert!(snap.max >= last_max, "max went backwards mid-record");
+        assert!(count <= per);
+        let (p50, p99, p100) = (snap.quantile(0.5), snap.quantile(0.99), snap.quantile(1.0));
+        assert!(p50 <= p99 && p99 <= p100, "quantiles must be ordered");
+        assert!(p100 <= snap.max, "quantiles clamp to the recorded max");
+        last_count = count;
+        last_max = snap.max;
+        std::thread::yield_now();
+    }
+    let (sum, max) = writer.join().unwrap();
+    let fin = h.snapshot();
+    assert_eq!(fin.count(), per);
+    assert_eq!(fin.sum, sum);
+    assert_eq!(fin.max, max);
+    assert_eq!(fin.quantile(1.0), max);
+}
+
+#[test]
 fn ring_concurrent_no_loss() {
     // Heavier multi-threaded check than the unit test: values pushed by
     // 8 producers all come out exactly once.
