@@ -45,6 +45,10 @@ fn main() {
             "batching",
             Box::new(move || experiments::batching_ablation(f)),
         ),
+        (
+            "resumption",
+            Box::new(move || experiments::resumption_ablation(f)),
+        ),
     ];
     for (name, runner) in all {
         if !wanted.is_empty() && !wanted.contains(&name) {

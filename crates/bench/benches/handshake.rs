@@ -6,7 +6,7 @@
 use qtls_bench::harness::Criterion;
 use qtls_bench::{criterion_group, criterion_main};
 use qtls_crypto::ecc::NamedCurve;
-use qtls_tls::client::ClientSession;
+use qtls_tls::client::{ClientSession, ResumeData};
 use qtls_tls::provider::CryptoProvider;
 use qtls_tls::server::{ServerConfig, ServerSession};
 use qtls_tls::suite::CipherSuite;
@@ -83,5 +83,88 @@ fn bench_offloaded_handshake(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_handshakes, bench_offloaded_handshake);
+fn resumed_handshake(config: &Arc<ServerConfig>, resume: &ResumeData) {
+    let seed = SEED.fetch_add(2, Ordering::Relaxed);
+    let mut server = ServerSession::new(Arc::clone(config), CryptoProvider::Software, seed);
+    let mut client = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        Some(resume.clone()),
+        seed + 1,
+    );
+    client.start().unwrap();
+    pump(&mut client, &mut server);
+    assert!(client.was_resumed(), "server must honour the resumption");
+}
+
+/// Resumed-vs-full handshake CPS: the abbreviated handshake skips every
+/// asymmetric operation (PRF-only), so its connection rate must be at
+/// least 2x the full handshake's (§2.1's motivation for resumption).
+fn bench_resumption(c: &mut Criterion) {
+    use std::time::Instant;
+    let config = ServerConfig::test_default();
+    // Mint resumption state once; the shared store then serves every
+    // abbreviated handshake in the loop.
+    let seed = SEED.fetch_add(2, Ordering::Relaxed);
+    let mut server = ServerSession::new(Arc::clone(&config), CryptoProvider::Software, seed);
+    let mut client = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        None,
+        seed + 1,
+    );
+    client.start().unwrap();
+    pump(&mut client, &mut server);
+    let resume = client
+        .export_resume_data()
+        .expect("full handshake exports resumption material");
+
+    let mut group = c.benchmark_group("resumption");
+    group.sample_size(10);
+    let cfg = Arc::clone(&config);
+    group.bench_function("full_ECDHE-RSA", |b| {
+        b.iter(|| full_handshake(&cfg, CryptoProvider::Software, CipherSuite::EcdheRsa))
+    });
+    let cfg = Arc::clone(&config);
+    let r = resume.clone();
+    group.bench_function("resumed_ECDHE-RSA", |b| {
+        b.iter(|| resumed_handshake(&cfg, &r))
+    });
+    group.finish();
+
+    // Verdict: paired batches, median full/resumed time ratio = the
+    // resumed-CPS speedup.
+    const BATCH: usize = 20;
+    const PAIRS: usize = 9;
+    let mut ratios = Vec::with_capacity(PAIRS);
+    for _ in 0..PAIRS {
+        let t = Instant::now();
+        for _ in 0..BATCH {
+            full_handshake(&config, CryptoProvider::Software, CipherSuite::EcdheRsa);
+        }
+        let full = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        for _ in 0..BATCH {
+            resumed_handshake(&config, &resume);
+        }
+        let resumed = t.elapsed().as_secs_f64();
+        ratios.push(full / resumed);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let speedup = ratios[PAIRS / 2];
+    assert!(
+        speedup >= 2.0,
+        "resumed CPS must be at least 2x full-handshake CPS, got {speedup:.2}x"
+    );
+    println!("resumption_speedup: PASS ({speedup:.2}x resumed vs full CPS)");
+}
+
+criterion_group!(
+    benches,
+    bench_handshakes,
+    bench_offloaded_handshake,
+    bench_resumption
+);
 criterion_main!(benches);

@@ -649,6 +649,7 @@ pub mod registry {
         "qtls_worker_connections_active",
         "qtls_worker_handshakes_total",
         "qtls_worker_resumed_handshakes_total",
+        "qtls_worker_resume_miss_total",
         "qtls_worker_requests_total",
         "qtls_worker_async_jobs_total",
         "qtls_worker_resumptions_total",

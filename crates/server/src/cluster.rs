@@ -7,8 +7,10 @@ use crate::config_file::EngineDirectives;
 use crate::http::ContentStore;
 use crate::net::VListener;
 use crate::worker::{Worker, WorkerConfig, WorkerStats};
+use qtls_crypto::TestRng;
 use qtls_qat::QatDevice;
 use qtls_tls::server::ServerConfig;
+use qtls_tls::store::{SharedSessionStore, TicketKeyRing};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -20,6 +22,7 @@ pub struct Cluster {
     handles: Vec<std::thread::JoinHandle<(WorkerStats, u64)>>,
     dispatcher: Option<std::thread::JoinHandle<()>>,
     device: Option<Arc<QatDevice>>,
+    session_store: Arc<SharedSessionStore>,
 }
 
 impl Cluster {
@@ -31,6 +34,21 @@ impl Cluster {
         content: Arc<ContentStore>,
     ) -> Self {
         let listener = Arc::new(VListener::new());
+        // Cluster-shared resumption plane: one sharded session/PSK store
+        // and one ticket key ring handed to every worker, so a ticket or
+        // session id minted on worker A resumes on worker B instead of
+        // silently falling back to a full handshake.
+        let session_store = Arc::new(SharedSessionStore::new(
+            directives.session_store_shards,
+            100_000,
+            directives.session_timeout,
+        ));
+        let mut ring_rng = TestRng::new(0x71c7_e75e_ed00_0001);
+        let ticket_keys = Arc::new(TicketKeyRing::new(
+            &mut ring_rng,
+            directives.ticket_rotation,
+        ));
+        let tls = tls.with_resumption_plane(Arc::clone(&session_store), ticket_keys);
         let device = directives
             .profile
             .uses_qat()
@@ -94,6 +112,7 @@ impl Cluster {
             handles,
             dispatcher: Some(dispatcher),
             device,
+            session_store,
         }
     }
 
@@ -105,6 +124,12 @@ impl Cluster {
     /// The shared accelerator, if any.
     pub fn device(&self) -> Option<&Arc<QatDevice>> {
         self.device.as_ref()
+    }
+
+    /// The cluster-shared session/PSK store all workers resolve
+    /// resumption state against.
+    pub fn session_store(&self) -> Arc<SharedSessionStore> {
+        Arc::clone(&self.session_store)
     }
 
     /// Stop all workers (draining in-flight connections) and return the
@@ -177,6 +202,57 @@ ssl_engine {
         assert!(busy_workers >= 2, "round-robin accept should spread load");
         // QTLS profile: no kernel switches anywhere.
         assert!(stats.iter().all(|(_, switches)| *switches == 0));
+    }
+
+    #[test]
+    fn ticket_minted_on_worker_a_resumes_on_worker_b() {
+        // The round-robin dispatcher guarantees consecutive connections
+        // land on different workers of a 2-worker cluster: the full
+        // handshake (and its ticket) goes to worker 0, the reconnect to
+        // worker 1. With the cluster-shared resumption plane the second
+        // handshake must be abbreviated — no silent full-handshake
+        // fallback (resume_miss stays 0 everywhere).
+        let directives = parse_ssl_engine_conf("worker_processes 2;").unwrap();
+        let cluster = Cluster::start(
+            &directives,
+            ServerConfig::test_default(),
+            Arc::new(ContentStore::new()),
+        );
+        let listener = cluster.listener();
+        let cfg = ClientConfig::default();
+        let (resume, resumed, _, _) =
+            run_connection(&listener, &cfg, 70_000, None, Duration::from_secs(60)).unwrap();
+        assert!(!resumed, "first connection is a full handshake");
+        let resume = resume.expect("full handshake exports resumption material");
+        let (_, resumed, _, _) = run_connection(
+            &listener,
+            &cfg,
+            70_001,
+            Some(resume),
+            Duration::from_secs(60),
+        )
+        .unwrap();
+        assert!(resumed, "cross-worker reconnect must resume abbreviated");
+        let store = cluster.session_store();
+        let stats = cluster.shutdown();
+        assert_eq!(stats.len(), 2);
+        // One handshake per worker; the resumed one happened on the
+        // worker that did NOT mint the session.
+        for (s, _) in &stats {
+            assert_eq!(s.handshakes, 1, "dispatcher alternates workers");
+        }
+        assert_eq!(stats.iter().map(|(s, _)| s.resumed).sum::<u64>(), 1);
+        let minted = stats.iter().filter(|(s, _)| s.resumed == 0).count();
+        assert_eq!(minted, 1, "resume happened on the other worker");
+        assert_eq!(
+            stats.iter().map(|(s, _)| s.resume_miss).sum::<u64>(),
+            0,
+            "shared plane: no silent fallback to full handshakes"
+        );
+        assert_eq!(stats.iter().map(|(s, _)| s.errors).sum::<u64>(), 0);
+        // The shared store served the lookup (session-id or ticket path;
+        // the put is recorded either way).
+        assert!(store.stats().inserts >= 1);
     }
 
     #[test]

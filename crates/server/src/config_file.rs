@@ -48,6 +48,14 @@ pub struct EngineDirectives {
     pub shard_policy: ShardPolicy,
     /// Observability plane (`qat_metrics` directive family).
     pub metrics: MetricsConfig,
+    /// Shard count for the cluster-shared session/PSK store
+    /// (`ssl_session_store_shards N`).
+    pub session_store_shards: usize,
+    /// Session/ticket lifetime (`ssl_session_timeout N`, seconds).
+    pub session_timeout: Duration,
+    /// Ticket key rotation interval (`ssl_ticket_key_rotation N`,
+    /// seconds; 0 = never rotate).
+    pub ticket_rotation: Duration,
 }
 
 impl Default for EngineDirectives {
@@ -62,6 +70,9 @@ impl Default for EngineDirectives {
             worker_shards: 0,
             shard_policy: ShardPolicy::default(),
             metrics: MetricsConfig::default(),
+            session_store_shards: 8,
+            session_timeout: Duration::from_secs(3600),
+            ticket_rotation: Duration::ZERO,
         }
     }
 }
@@ -264,6 +275,19 @@ pub fn parse_ssl_engine_conf(input: &str) -> Result<EngineDirectives, ConfError>
             "qat_shard_policy" => {
                 out.shard_policy = ShardPolicy::from_name(&value)
                     .ok_or_else(|| ConfError::BadValue(token.clone()))?;
+            }
+            "ssl_session_store_shards" => {
+                let shards = parse_u64(&value)? as usize;
+                if shards == 0 {
+                    return Err(ConfError::BadValue(token.clone()));
+                }
+                out.session_store_shards = shards;
+            }
+            "ssl_session_timeout" => {
+                out.session_timeout = Duration::from_secs(parse_u64(&value)?);
+            }
+            "ssl_ticket_key_rotation" => {
+                out.ticket_rotation = Duration::from_secs(parse_u64(&value)?);
             }
             "qat_metrics" => match value.as_str() {
                 "on" => out.metrics.enabled = true,
@@ -534,6 +558,40 @@ ssl_engine {
             "ssl_engine { use qat_engine; qat_engine { qat_metrics maybe; } }",
             "ssl_engine { use qat_engine; qat_engine { qat_metrics_flight_capacity 0; } }",
             "ssl_engine { use qat_engine; qat_engine { qat_metrics_anomaly_p99_us soon; } }",
+        ] {
+            assert!(
+                matches!(parse_ssl_engine_conf(bad), Err(ConfError::BadValue(_))),
+                "should reject: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn resumption_directives_parse() {
+        let conf = r#"
+worker_processes 2;
+ssl_session_store_shards 16;
+ssl_session_timeout 300;
+ssl_ticket_key_rotation 86400;
+"#;
+        let d = parse_ssl_engine_conf(conf).unwrap();
+        assert_eq!(d.session_store_shards, 16);
+        assert_eq!(d.session_timeout, Duration::from_secs(300));
+        assert_eq!(d.ticket_rotation, Duration::from_secs(86400));
+        // Defaults: 8 shards, 1h lifetime, no rotation.
+        let d = parse_ssl_engine_conf(APPENDIX_EXAMPLE).unwrap();
+        assert_eq!(d.session_store_shards, 8);
+        assert_eq!(d.session_timeout, Duration::from_secs(3600));
+        assert_eq!(d.ticket_rotation, Duration::ZERO);
+    }
+
+    #[test]
+    fn resumption_rejects_bad_values() {
+        for bad in [
+            "ssl_session_store_shards 0;",
+            "ssl_session_store_shards many;",
+            "ssl_session_timeout forever;",
+            "ssl_ticket_key_rotation weekly;",
         ] {
             assert!(
                 matches!(parse_ssl_engine_conf(bad), Err(ConfError::BadValue(_))),

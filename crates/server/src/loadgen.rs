@@ -5,8 +5,8 @@ use crate::net::{SockError, VListener, VSocket};
 use qtls_crypto::ecc::NamedCurve;
 use qtls_tls::client::{ClientSession, ResumeData};
 use qtls_tls::provider::CryptoProvider;
-use qtls_tls::suite::CipherSuite;
-use qtls_tls::tls13::Tls13ClientSession;
+use qtls_tls::suite::{CipherSuite, Version};
+use qtls_tls::tls13::{Tls13ClientSession, Tls13ResumeData};
 use qtls_tls::TlsError;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -29,6 +29,13 @@ pub struct ClientConfig {
     /// of abbreviated handshakes per full handshake (e.g. 9 for the 1:9
     /// mixture); 0 disables resumption.
     pub resumes_per_full: usize,
+    /// `--resume-fraction`: target fraction of connections that attempt
+    /// resumption (0.0 disables; 0.9 ≈ nine resumes per full). Takes
+    /// precedence over `resumes_per_full` when non-zero; paced with a
+    /// fractional accumulator so the mixture holds at any stream length.
+    pub resume_fraction: f64,
+    /// Protocol version the generated clients speak.
+    pub version: Version,
 }
 
 impl Default for ClientConfig {
@@ -39,6 +46,8 @@ impl Default for ClientConfig {
             request_path: None,
             requests_per_conn: 1,
             resumes_per_full: 0,
+            resume_fraction: 0.0,
+            version: Version::Tls12,
         }
     }
 }
@@ -171,17 +180,27 @@ fn response_progress(buf: &[u8]) -> ResponseProgress {
     }
 }
 
-/// Run one TLS 1.3 connection: handshake, optional single request,
-/// close. Returns `(responses, body_bytes)`.
+/// Run one TLS 1.3 connection: handshake (optionally offering PSK
+/// resumption from a prior connection's exported data), optional single
+/// request, close. Returns `(resume_out, resumed, responses,
+/// body_bytes)` — mirroring [`run_connection`] so mixed-version load
+/// loops can thread resumption state uniformly.
 pub fn run_connection_tls13(
     listener: &VListener,
     cfg: &ClientConfig,
     seed: u64,
+    resume: Option<Tls13ResumeData>,
     timeout: Duration,
-) -> Result<(u64, u64), ClientError> {
+) -> Result<(Option<Tls13ResumeData>, bool, u64, u64), ClientError> {
     let deadline = Instant::now() + timeout;
     let sock = listener.connect();
-    let mut session = Tls13ClientSession::new(CryptoProvider::Software, cfg.suite, cfg.curve, seed);
+    let mut session = Tls13ClientSession::new_resuming(
+        CryptoProvider::Software,
+        cfg.suite,
+        cfg.curve,
+        resume,
+        seed,
+    );
     session.start()?;
     let pump13 = |session: &mut Tls13ClientSession,
                   done: &mut dyn FnMut(&mut Tls13ClientSession) -> bool|
@@ -213,6 +232,7 @@ pub fn run_connection_tls13(
         }
     };
     pump13(&mut session, &mut |s| s.is_established())?;
+    let resumed = session.was_resumed();
     let mut responses = 0u64;
     let mut body_bytes = 0u64;
     if let Some(path) = &cfg.request_path {
@@ -247,9 +267,31 @@ pub fn run_connection_tls13(
             needed.ok_or(ClientError::BadResponse("response never completed"))?;
         body_bytes += (total - header_len) as u64;
         responses += 1;
+    } else if cfg.resumes_per_full > 0 || cfg.resume_fraction > 0.0 {
+        // Handshake-only stream that wants resumption material: give the
+        // server's NewSessionTicket (sent right after its Finished) a
+        // bounded grace period to arrive. A server that never issues
+        // tickets must not stall the stream for the connection timeout.
+        let nst_deadline = Instant::now() + Duration::from_millis(500);
+        while session.export_resume_data().is_none() && Instant::now() < nst_deadline {
+            let out = session.take_output();
+            if !out.is_empty() {
+                sock.write(&out).map_err(ClientError::Sock)?;
+            }
+            match sock.read_all() {
+                Ok(bytes) => {
+                    session.feed(&bytes);
+                    session.process()?;
+                }
+                Err(SockError::WouldBlock) => {}
+                Err(SockError::Closed) => break,
+            }
+            std::thread::yield_now();
+        }
     }
+    let resume_out = session.export_resume_data();
     sock.close();
-    Ok((responses, body_bytes))
+    Ok((resume_out, resumed, responses, body_bytes))
 }
 
 /// Run one connection: handshake, optional requests, close.
@@ -336,27 +378,64 @@ pub fn spawn_clients(
                 .name(format!("loadgen-{client_idx}"))
                 .spawn(move || {
                     let mut seed = 0xc11e_0000_0000 + ((client_idx as u64) << 20);
-                    let mut resume: Option<ResumeData> = None;
+                    let mut resume12: Option<ResumeData> = None;
+                    let mut resume13: Option<Tls13ResumeData> = None;
                     let mut since_full = 0usize;
+                    // `--resume-fraction` pacing: a fractional accumulator
+                    // fires one resumption attempt each time it crosses 1,
+                    // holding the mixture at any stream length.
+                    let mut fraction_acc = 0.0f64;
                     while !stop.load(Ordering::Relaxed) {
                         seed += 1;
                         // Resumption mixture control (Fig. 9b).
-                        let attempt_resume = if cfg.resumes_per_full == 0 {
-                            None
-                        } else if since_full < cfg.resumes_per_full {
-                            resume.clone()
+                        let want_resume = if cfg.resume_fraction > 0.0 {
+                            fraction_acc += cfg.resume_fraction;
+                            if fraction_acc >= 1.0 {
+                                fraction_acc -= 1.0;
+                                true
+                            } else {
+                                false
+                            }
+                        } else if cfg.resumes_per_full > 0 {
+                            since_full < cfg.resumes_per_full
                         } else {
-                            None
+                            false
                         };
                         let t0 = Instant::now();
-                        match run_connection(
-                            &listener,
-                            &cfg,
-                            seed,
-                            attempt_resume,
-                            Duration::from_secs(30),
-                        ) {
-                            Ok((new_resume, resumed, responses, bytes)) => {
+                        let outcome = match cfg.version {
+                            Version::Tls12 => run_connection(
+                                &listener,
+                                &cfg,
+                                seed,
+                                if want_resume { resume12.clone() } else { None },
+                                Duration::from_secs(30),
+                            )
+                            .map(
+                                |(new_resume, resumed, responses, bytes)| {
+                                    if new_resume.is_some() {
+                                        resume12 = new_resume;
+                                    }
+                                    (resumed, responses, bytes)
+                                },
+                            ),
+                            Version::Tls13 => run_connection_tls13(
+                                &listener,
+                                &cfg,
+                                seed,
+                                if want_resume { resume13.clone() } else { None },
+                                Duration::from_secs(30),
+                            )
+                            .map(
+                                |(new_resume, resumed, responses, bytes)| {
+                                    if new_resume.is_some() {
+                                        resume13 = new_resume;
+                                    }
+                                    (resumed, responses, bytes)
+                                },
+                            ),
+                        };
+                        match outcome {
+                            Ok((resumed, responses, bytes)) => {
                                 stats.connections.fetch_add(1, Ordering::Relaxed);
                                 stats
                                     .latency_us_total
@@ -366,9 +445,6 @@ pub fn spawn_clients(
                                     since_full += 1;
                                 } else {
                                     since_full = 0;
-                                }
-                                if new_resume.is_some() {
-                                    resume = new_resume;
                                 }
                                 stats.responses.fetch_add(responses, Ordering::Relaxed);
                                 stats.body_bytes.fetch_add(bytes, Ordering::Relaxed);

@@ -197,7 +197,7 @@ fn render_worker_section(page: &mut PromText, snap: &StatusSnapshot) {
         page.header(name, "gauge", help);
         page.sample(name, &[], value);
     }
-    let counters: [(&str, &str, u64); 7] = [
+    let counters: [(&str, &str, u64); 8] = [
         (
             "qtls_worker_handshakes_total",
             "Completed TLS handshakes.",
@@ -207,6 +207,11 @@ fn render_worker_section(page: &mut PromText, snap: &StatusSnapshot) {
             "qtls_worker_resumed_handshakes_total",
             "Of which abbreviated (session resumption).",
             snap.stats.resumed,
+        ),
+        (
+            "qtls_worker_resume_miss_total",
+            "Handshakes where offered resumption state could not be honoured (fell back to full).",
+            snap.stats.resume_miss,
         ),
         (
             "qtls_worker_requests_total",
@@ -620,6 +625,7 @@ pub fn render_stub_status_kv(snap: &StatusSnapshot, engine: Option<&OffloadEngin
     // Extras the human page does not carry.
     kv("handshakes", snap.stats.handshakes);
     kv("resumed_handshakes", snap.stats.resumed);
+    kv("resume_miss", snap.stats.resume_miss);
     kv("errors", snap.stats.errors);
     kv("closed", snap.stats.closed);
     kv("retries", snap.stats.retries);

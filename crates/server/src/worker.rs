@@ -106,6 +106,9 @@ pub struct WorkerStats {
     pub handshakes: u64,
     /// Of which abbreviated (resumed).
     pub resumed: u64,
+    /// Handshakes where the client offered resumption state this worker
+    /// could not honour (silent fallback to a full handshake).
+    pub resume_miss: u64,
     /// HTTP requests served.
     pub requests: u64,
     /// Application bytes sent.
@@ -191,6 +194,7 @@ struct ConnCtx {
 struct ServiceReport {
     handshake_done: bool,
     resumed: bool,
+    resume_miss: bool,
     requests: u64,
     bytes_sent: u64,
     close: bool,
@@ -204,6 +208,7 @@ fn service(ctx: &mut ConnCtx, content: &ContentStore, plane: &MetricsPlane) -> S
     let mut report = ServiceReport {
         handshake_done: false,
         resumed: false,
+        resume_miss: false,
         requests: 0,
         bytes_sent: 0,
         close: false,
@@ -221,6 +226,7 @@ fn service(ctx: &mut ConnCtx, content: &ContentStore, plane: &MetricsPlane) -> S
     if !was_established && ctx.session.is_established() {
         report.handshake_done = true;
         report.resumed = ctx.session.was_resumed();
+        report.resume_miss = ctx.session.resume_missed();
     }
     // HTTP layer over decrypted application data.
     while let Some(chunk) = ctx.session.read_app_data() {
@@ -767,6 +773,9 @@ impl Worker {
             self.stats.handshakes += 1;
             if report.resumed {
                 self.stats.resumed += 1;
+            }
+            if report.resume_miss {
+                self.stats.resume_miss += 1;
             }
             conn.established = true;
         }

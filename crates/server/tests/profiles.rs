@@ -271,9 +271,10 @@ fn tls13_through_qtls_worker() {
             request_path: Some("/4kb".into()),
             ..ClientConfig::default()
         };
-        let (responses, bytes) =
-            run_connection_tls13(&listener, &cfg, 60_000 + i, Duration::from_secs(60))
+        let (_, resumed, responses, bytes) =
+            run_connection_tls13(&listener, &cfg, 60_000 + i, None, Duration::from_secs(60))
                 .expect("tls13 connection");
+        assert!(!resumed, "no PSK offered");
         assert_eq!(responses, 1);
         assert_eq!(bytes, 4096);
     }

@@ -59,6 +59,10 @@ fn main() {
             "sharding",
             Box::new(move || experiments::sharding_ablation(f)),
         ),
+        (
+            "resumption",
+            Box::new(move || experiments::resumption_ablation(f)),
+        ),
     ];
     for (name, runner) in all {
         if !wanted.is_empty() && !wanted.contains(&name) {

@@ -589,6 +589,56 @@ pub fn sharding_ablation(f: Fidelity) -> Figure {
     }
 }
 
+/// Ablation (DESIGN.md §12): cluster-shared resumption store vs
+/// per-worker caches. A 1:9 full:abbreviated mixture is dispatched
+/// round-robin over a growing worker count; with per-worker caches a
+/// resumption attempt only succeeds when the dispatcher happens to land
+/// the client back on the minting worker (≈1/W of the time), so almost
+/// the whole abbreviated budget silently degrades to full handshakes
+/// and CPS collapses toward the full-handshake curve. The shared store
+/// holds the miss rate at zero regardless of worker count.
+pub fn resumption_ablation(f: Fidelity) -> Figure {
+    let worker_counts = [2usize, 4, 8, 12, 16];
+    let mut series = Vec::new();
+    for (label, shared) in [("shared", true), ("per-worker", false)] {
+        let mut cps = Series {
+            label: format!("{label} K CPS"),
+            points: vec![],
+        };
+        let mut miss_pct = Series {
+            label: format!("{label} miss %"),
+            points: vec![],
+        };
+        for &w in &worker_counts {
+            let mut cfg = handshake_cfg(
+                SimProfile::Qtls,
+                w,
+                2000,
+                SuiteKind::EcdheRsa(NamedCurve::P256),
+                f,
+            );
+            cfg.resumes_per_full = 9;
+            cfg.shared_resumption = shared;
+            let r = run(cfg);
+            cps.points.push((format!("{w}HT"), r.cps / 1000.0));
+            let pct = if r.handshakes > 0 {
+                100.0 * r.resume_misses as f64 / r.handshakes as f64
+            } else {
+                0.0
+            };
+            miss_pct.points.push((format!("{w}HT"), pct));
+        }
+        series.push(cps);
+        series.push(miss_pct);
+    }
+    Figure {
+        id: "Resumption".into(),
+        title: "Shared vs per-worker resumption store (1:9 mixture, ECDHE-RSA, QTLS)".into(),
+        unit: "see series".into(),
+        series,
+    }
+}
+
 /// Table 1: server-side crypto operations per full handshake.
 pub fn table1() -> Figure {
     use crate::workload::{handshake_flights, OpKind, Seg};
@@ -764,6 +814,27 @@ mod tests {
         assert!(
             p4 <= p1 * 0.5,
             "saturation p99: 1-shard {p1} ms vs 4-shard {p4} ms"
+        );
+    }
+
+    #[test]
+    fn resumption_ablation_shared_store_wins() {
+        let fig = resumption_ablation(Fidelity::QUICK);
+        // The shared plane never misses; per-worker caches miss almost
+        // the entire abbreviated budget at 8 workers (≈7/8 of attempts).
+        let shared_miss = fig.value("shared miss %", "8HT").unwrap();
+        let solo_miss = fig.value("per-worker miss %", "8HT").unwrap();
+        assert_eq!(shared_miss, 0.0, "shared store must not miss");
+        assert!(
+            solo_miss > 50.0,
+            "per-worker caches miss most cross-worker resumes: {solo_miss}%"
+        );
+        // Paying full handshakes for missed resumes costs CPS.
+        let shared_cps = fig.value("shared K CPS", "8HT").unwrap();
+        let solo_cps = fig.value("per-worker K CPS", "8HT").unwrap();
+        assert!(
+            shared_cps > solo_cps,
+            "shared {shared_cps}K must beat per-worker {solo_cps}K"
         );
     }
 

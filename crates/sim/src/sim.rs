@@ -116,6 +116,12 @@ pub struct SimConfig {
     /// Abbreviated handshakes per full handshake per client
     /// (0 = all full; `u32::MAX` = all abbreviated).
     pub resumes_per_full: u32,
+    /// Whether resumption state is shared across workers (the
+    /// cluster-shared session/PSK store). When false each worker owns a
+    /// private cache, so a resumption attempt dispatched round-robin to
+    /// a worker other than the minting one silently falls back to a
+    /// full handshake (a resume miss) — the pre-store pathology.
+    pub shared_resumption: bool,
     /// Optional request workload.
     pub request: Option<RequestLoad>,
     /// Warmup (excluded from measurement).
@@ -166,6 +172,7 @@ impl SimConfig {
             clients,
             suite,
             resumes_per_full: 0,
+            shared_resumption: true,
             request: None,
             // Closed-loop equilibrium with thousands of clients takes
             // `clients / CPS` seconds to prime; warm up generously.
@@ -192,6 +199,9 @@ pub struct SimReport {
     pub handshakes: u64,
     /// Of which abbreviated.
     pub abbreviated: u64,
+    /// Resumption attempts that fell back to a full handshake because
+    /// the landing worker could not open the client's state.
+    pub resume_misses: u64,
     /// HTTP responses per second.
     pub rps: f64,
     /// Application throughput in Gbit/s.
@@ -264,6 +274,9 @@ struct ConnSim {
     requests_left: u32,
     handshake_done: bool,
     abbreviated: bool,
+    /// The client attempted resumption but the landing worker could not
+    /// honour it (per-worker caches): counted as a resume miss.
+    resume_missed: bool,
     closed: bool,
     /// Whether the (single) inflight op of this connection is asymmetric.
     inflight_asym_flag: bool,
@@ -290,6 +303,9 @@ struct WorkerSim {
 
 struct ClientSim {
     handshakes_since_full: u32,
+    /// Worker that served this client's previous connection (where its
+    /// resumption state lives under per-worker caches).
+    last_worker: Option<u32>,
 }
 
 /// The simulator.
@@ -318,6 +334,7 @@ pub struct Sim {
     // measurement
     m_handshakes: u64,
     m_abbrev: u64,
+    m_resume_misses: u64,
     m_responses: u64,
     m_bytes: u64,
     m_latency_sum_ns: u64,
@@ -356,6 +373,7 @@ impl Sim {
         let clients = (0..cfg.clients)
             .map(|_| ClientSim {
                 handshakes_since_full: 0,
+                last_worker: None,
             })
             .collect();
         let end = cfg.warmup_ns + cfg.measure_ns;
@@ -379,6 +397,7 @@ impl Sim {
             jitter_state: 0x243F_6A88_85A3_08D3,
             m_handshakes: 0,
             m_abbrev: 0,
+            m_resume_misses: 0,
             m_responses: 0,
             m_bytes: 0,
             m_latency_sum_ns: 0,
@@ -460,6 +479,7 @@ impl Sim {
             cps: self.m_handshakes as f64 / secs,
             handshakes: self.m_handshakes,
             abbreviated: self.m_abbrev,
+            resume_misses: self.m_resume_misses,
             rps: self.m_responses as f64 / secs,
             gbps: (self.m_bytes as f64 * 8.0) / secs / 1e9,
             avg_latency_ms: if self.m_latency_count > 0 {
@@ -537,7 +557,7 @@ impl Sim {
 
     fn on_connect(&mut self, client: u32) {
         // Decide full vs abbreviated for this connection.
-        let abbreviated = {
+        let want_abbreviated = {
             let c = &mut self.clients[client as usize];
             if self.cfg.resumes_per_full == 0 {
                 false
@@ -553,6 +573,19 @@ impl Sim {
         };
         let worker = (self.next_worker % self.cfg.workers) as u32;
         self.next_worker += 1;
+        // Per-worker caches: a resumption attempt only succeeds if the
+        // round-robin dispatcher happens to land the client back on the
+        // worker holding its state; otherwise it silently pays the full
+        // handshake. The shared store removes this failure mode.
+        let (abbreviated, resume_missed) = if want_abbreviated
+            && !self.cfg.shared_resumption
+            && self.clients[client as usize].last_worker != Some(worker)
+        {
+            (false, true)
+        } else {
+            (want_abbreviated, false)
+        };
+        self.clients[client as usize].last_worker = Some(worker);
         let flights = handshake_flights(self.cfg.suite, abbreviated, &self.cfg.cost);
         let conn_id = self.conns.len() as u32;
         self.conns.push(ConnSim {
@@ -564,6 +597,7 @@ impl Sim {
             requests_left: self.cfg.request.map(|r| r.requests_per_conn).unwrap_or(0),
             handshake_done: false,
             abbreviated,
+            resume_missed,
             closed: false,
             inflight_asym_flag: false,
             pending_service_ns: 0,
@@ -971,6 +1005,9 @@ impl Sim {
                 if c.abbreviated {
                     self.m_abbrev += 1;
                 }
+                if c.resume_missed {
+                    self.m_resume_misses += 1;
+                }
             }
             if self.cfg.request.is_some() {
                 // First GET arrives one RTT after our final flight.
@@ -1149,6 +1186,33 @@ mod tests {
         let r = quick(cfg);
         assert!(r.handshakes > 0);
         assert_eq!(r.abbreviated, r.handshakes);
+        assert_eq!(r.resume_misses, 0, "shared store honours every attempt");
+    }
+
+    #[test]
+    fn per_worker_caches_miss_cross_worker_resumes() {
+        // The pre-shared-store pathology: with round-robin dispatch over
+        // several workers, a client resuming on a worker that did not
+        // mint its state downgrades to a full handshake.
+        let mut cfg = SimConfig::handshake(
+            SimProfile::Sw,
+            4,
+            200,
+            SuiteKind::EcdheRsa(NamedCurve::P256),
+        );
+        cfg.resumes_per_full = u32::MAX;
+        cfg.shared_resumption = false;
+        let r = quick(cfg.clone());
+        assert!(r.resume_misses > 0, "cross-worker resumes must miss");
+        assert!(
+            r.abbreviated < r.handshakes,
+            "misses downgrade to full handshakes"
+        );
+        // Restoring the shared plane restores the abbreviated rate.
+        cfg.shared_resumption = true;
+        let shared = quick(cfg);
+        assert_eq!(shared.resume_misses, 0);
+        assert!(shared.cps > r.cps, "misses cost CPS");
     }
 
     #[test]

@@ -65,12 +65,21 @@ impl AnyServerSession {
         }
     }
 
-    /// Did this session resume (always false for our TLS 1.3 subset,
-    /// which has no PSK resumption)?
+    /// Did this session resume (TLS 1.2 abbreviated handshake or
+    /// TLS 1.3 PSK)?
     pub fn was_resumed(&self) -> bool {
         match self {
             AnyServerSession::V12(s) => s.was_resumed(),
-            AnyServerSession::V13(_) => false,
+            AnyServerSession::V13(s) => s.was_resumed(),
+        }
+    }
+
+    /// Did the client offer resumption state this server could not
+    /// honour (silent fallback to a full handshake)?
+    pub fn resume_missed(&self) -> bool {
+        match self {
+            AnyServerSession::V12(s) => s.resume_missed(),
+            AnyServerSession::V13(s) => s.resume_missed(),
         }
     }
 

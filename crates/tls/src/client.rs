@@ -128,6 +128,7 @@ impl ClientSession {
             curves: vec![self.curve.iana_id()],
             ticket,
             key_share: None,
+            psk: None,
         });
         self.send_handshake(&ch)?;
         self.state = State::ExpectServerHello;

@@ -78,6 +78,7 @@ pub mod provider;
 pub mod record;
 pub mod server;
 pub mod session;
+pub mod store;
 pub mod suite;
 pub mod tls13;
 
@@ -86,5 +87,6 @@ pub use client::{ClientSession, ResumeData};
 pub use error::TlsError;
 pub use provider::{CryptoProvider, OffloadSelection, OpCounters};
 pub use server::{ProcessOutcome, ServerConfig, ServerSession};
+pub use store::{SharedSessionStore, StoreStats, TicketKeyRing};
 pub use suite::{CipherSuite, SuiteConfig, Version};
-pub use tls13::{Tls13ClientSession, Tls13ServerSession};
+pub use tls13::{Tls13ClientSession, Tls13ResumeData, Tls13ServerSession};

@@ -73,6 +73,24 @@ pub enum CertPayload {
     },
 }
 
+/// `psk_key_exchange_modes` value: PSK with (EC)DHE key establishment
+/// (RFC 8446 §4.2.9) — the only mode this stack offers.
+pub const PSK_DHE_KE: u8 = 1;
+
+/// TLS 1.3 `pre_shared_key` offer (with `psk_key_exchange_modes`),
+/// carried as a single simplified extension. Per RFC 8446 the binder
+/// is encoded *last* in the ClientHello so the server can verify it
+/// over a transcript with the binder bytes zeroed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PskOffer {
+    /// PSK identity: the NewSessionTicket bytes from a prior session.
+    pub identity: Vec<u8>,
+    /// Offered key-exchange modes bitmask ([`PSK_DHE_KE`]).
+    pub modes: u8,
+    /// HMAC binder over the partial ClientHello transcript.
+    pub binder: Vec<u8>,
+}
+
 /// ClientHello.
 #[derive(Clone, Debug)]
 pub struct ClientHello {
@@ -90,6 +108,8 @@ pub struct ClientHello {
     pub ticket: Option<Vec<u8>>,
     /// TLS 1.3 key share: (curve id, public point).
     pub key_share: Option<(u16, Vec<u8>)>,
+    /// TLS 1.3 `pre_shared_key` offer (resumption PSK).
+    pub psk: Option<PskOffer>,
 }
 
 /// ServerHello.
@@ -105,6 +125,9 @@ pub struct ServerHello {
     pub suite: CipherSuite,
     /// TLS 1.3 key share.
     pub key_share: Option<(u16, Vec<u8>)>,
+    /// TLS 1.3 `pre_shared_key` acceptance: index of the selected PSK
+    /// identity (always 0 — one identity is offered).
+    pub selected_psk: Option<u16>,
 }
 
 /// ServerKeyExchange (TLS 1.2 ECDHE): curve params + ephemeral public +
@@ -246,6 +269,17 @@ impl HandshakeMsg {
                     }
                     None => put_u8(&mut b, 0),
                 }
+                match &ch.psk {
+                    Some(psk) => {
+                        put_u8(&mut b, 1);
+                        put_u8(&mut b, psk.modes);
+                        put_vec16(&mut b, &psk.identity);
+                        // Binder last: the server verifies it over the
+                        // encoding with these trailing bytes zeroed.
+                        put_vec8(&mut b, &psk.binder);
+                    }
+                    None => put_u8(&mut b, 0),
+                }
             }
             HandshakeMsg::ServerHello(sh) => {
                 put_u16(&mut b, sh.version.wire());
@@ -257,6 +291,13 @@ impl HandshakeMsg {
                         put_u8(&mut b, 1);
                         put_u16(&mut b, *curve);
                         put_vec16(&mut b, point);
+                    }
+                    None => put_u8(&mut b, 0),
+                }
+                match &sh.selected_psk {
+                    Some(idx) => {
+                        put_u8(&mut b, 1);
+                        put_u16(&mut b, *idx);
                     }
                     None => put_u8(&mut b, 0),
                 }
@@ -348,6 +389,18 @@ impl HandshakeMsg {
                 } else {
                     None
                 };
+                let psk = if r.u8()? == 1 {
+                    let modes = r.u8()?;
+                    let identity = r.vec16()?;
+                    let binder = r.vec8()?;
+                    Some(PskOffer {
+                        identity,
+                        modes,
+                        binder,
+                    })
+                } else {
+                    None
+                };
                 HandshakeMsg::ClientHello(ClientHello {
                     version,
                     random,
@@ -356,6 +409,7 @@ impl HandshakeMsg {
                     curves,
                     ticket,
                     key_share,
+                    psk,
                 })
             }
             HandshakeType::ServerHello => {
@@ -374,12 +428,14 @@ impl HandshakeMsg {
                 } else {
                     None
                 };
+                let selected_psk = if r.u8()? == 1 { Some(r.u16()?) } else { None };
                 HandshakeMsg::ServerHello(ServerHello {
                     version,
                     random,
                     session_id,
                     suite,
                     key_share,
+                    selected_psk,
                 })
             }
             HandshakeType::Certificate => {
@@ -449,6 +505,7 @@ mod tests {
             curves: vec![23, 24],
             ticket: Some(vec![9; 40]),
             key_share: None,
+            psk: None,
         });
         match roundtrip(ch) {
             HandshakeMsg::ClientHello(d) => {
@@ -459,7 +516,35 @@ mod tests {
                 assert_eq!(d.curves, vec![23, 24]);
                 assert_eq!(d.ticket, Some(vec![9; 40]));
                 assert!(d.key_share.is_none());
+                assert!(d.psk.is_none());
             }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn client_hello_psk_roundtrip_binder_last() {
+        let psk = PskOffer {
+            identity: vec![0xAB; 80],
+            modes: PSK_DHE_KE,
+            binder: vec![0xCD; 32],
+        };
+        let ch = HandshakeMsg::ClientHello(ClientHello {
+            version: Version::Tls13,
+            random: [5u8; 32],
+            session_id: vec![],
+            suites: vec![0xc013],
+            curves: vec![23],
+            ticket: None,
+            key_share: Some((23, vec![4; 65])),
+            psk: Some(psk.clone()),
+        });
+        let enc = ch.encode();
+        // The binder must be the trailing bytes of the encoding, so a
+        // server can zero it to rebuild the binder transcript.
+        assert_eq!(&enc[enc.len() - 32..], &[0xCD; 32][..]);
+        match roundtrip(ch) {
+            HandshakeMsg::ClientHello(d) => assert_eq!(d.psk, Some(psk)),
             other => panic!("wrong decode: {other:?}"),
         }
     }
@@ -472,11 +557,13 @@ mod tests {
             session_id: vec![],
             suite: CipherSuite::EcdheRsa,
             key_share: Some((23, vec![4; 65])),
+            selected_psk: Some(0),
         });
         match roundtrip(sh) {
             HandshakeMsg::ServerHello(d) => {
                 assert_eq!(d.version, Version::Tls13);
                 assert_eq!(d.key_share, Some((23, vec![4; 65])));
+                assert_eq!(d.selected_psk, Some(0));
             }
             other => panic!("wrong decode: {other:?}"),
         }

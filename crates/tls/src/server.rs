@@ -13,7 +13,8 @@ use crate::keys::{self, KeyBlock};
 use crate::messages::*;
 use crate::provider::{CryptoProvider, OpCounters};
 use crate::record::{ContentType, RecordLayer};
-use crate::session::{SessionCache, SessionEntry, TicketKeys};
+use crate::session::SessionEntry;
+use crate::store::{SharedSessionStore, TicketKeyRing};
 use crate::suite::{sizes, Auth, CipherSuite, KeyExchange, Version};
 use qtls_crypto::bn::Bn;
 use qtls_crypto::ecc::NamedCurve;
@@ -43,10 +44,12 @@ pub struct ServerConfig {
     pub suites: Vec<CipherSuite>,
     /// Enabled curves, in preference order.
     pub curves: Vec<NamedCurve>,
-    /// Session-ID resumption cache.
-    pub session_cache: Arc<SessionCache>,
-    /// Ticket protection keys.
-    pub ticket_keys: TicketKeys,
+    /// Shared session/PSK store (session-ID and PSK resumption). In a
+    /// cluster this is the *same* store on every worker.
+    pub session_store: Arc<SharedSessionStore>,
+    /// Rotating ticket protection key ring, likewise cluster-shared so
+    /// any worker can open any worker's ticket.
+    pub ticket_keys: Arc<TicketKeyRing>,
     /// Issue NewSessionTicket after full handshakes.
     pub issue_tickets: bool,
 }
@@ -61,9 +64,29 @@ impl ServerConfig {
             ecdsa_keys: base.ecdsa_keys.clone(),
             suites,
             curves: base.curves.clone(),
-            session_cache: Arc::new(SessionCache::default()),
-            ticket_keys: TicketKeys::generate(&mut rng),
+            session_store: Arc::new(SharedSessionStore::default()),
+            ticket_keys: Arc::new(TicketKeyRing::new(&mut rng, std::time::Duration::ZERO)),
             issue_tickets: true,
+        })
+    }
+
+    /// Re-home this config onto a cluster-shared resumption plane: the
+    /// key material and policy are cloned, but the session store and
+    /// ticket-key ring are the shared instances handed in (so every
+    /// worker built this way resumes every other worker's sessions).
+    pub fn with_resumption_plane(
+        &self,
+        store: Arc<SharedSessionStore>,
+        ring: Arc<TicketKeyRing>,
+    ) -> Arc<Self> {
+        Arc::new(ServerConfig {
+            rsa_key: Arc::clone(&self.rsa_key),
+            ecdsa_keys: self.ecdsa_keys.clone(),
+            suites: self.suites.clone(),
+            curves: self.curves.clone(),
+            session_store: store,
+            ticket_keys: ring,
+            issue_tickets: self.issue_tickets,
         })
     }
 
@@ -87,8 +110,8 @@ impl ServerConfig {
             ecdsa_keys,
             suites: CipherSuite::ALL.to_vec(),
             curves: NamedCurve::ALL.to_vec(),
-            session_cache: Arc::new(SessionCache::default()),
-            ticket_keys: TicketKeys::generate(&mut rng),
+            session_store: Arc::new(SharedSessionStore::default()),
+            ticket_keys: Arc::new(TicketKeyRing::new(&mut rng, std::time::Duration::ZERO)),
             issue_tickets: true,
         })
     }
@@ -141,6 +164,7 @@ pub struct ServerSession {
     key_block: Option<KeyBlock>,
     ecdhe_private: Option<Bn>,
     resumed: bool,
+    resume_offered: bool,
     out: Vec<u8>,
     app_in: VecDeque<Vec<u8>>,
     hs_buf: Vec<u8>,
@@ -180,6 +204,7 @@ impl ServerSession {
             key_block: None,
             ecdhe_private: None,
             resumed: false,
+            resume_offered: false,
             out: Vec::new(),
             app_in: VecDeque::new(),
             hs_buf: Vec::new(),
@@ -209,6 +234,14 @@ impl ServerSession {
     /// Did this session resume (abbreviated handshake)?
     pub fn was_resumed(&self) -> bool {
         self.resumed
+    }
+
+    /// Did the client *offer* resumption state (session id or ticket)
+    /// that this server could not honour — a resume miss? This is the
+    /// silent-fallback pathology the shared store exists to eliminate:
+    /// the client pays a full asym handshake it did not ask for.
+    pub fn resume_missed(&self) -> bool {
+        self.resume_offered && !self.resumed
     }
 
     /// The negotiated suite.
@@ -394,9 +427,10 @@ impl ServerSession {
             self.curve = curve;
         }
         // Resumption lookup: session ID first, then ticket.
+        self.resume_offered = !ch.session_id.is_empty() || ch.ticket.is_some();
         let resumable = if !ch.session_id.is_empty() {
             self.config
-                .session_cache
+                .session_store
                 .get(&ch.session_id)
                 .filter(|e| e.suite == suite)
                 .map(|e| (ch.session_id.clone(), e))
@@ -434,6 +468,7 @@ impl ServerSession {
             session_id: self.session_id.clone(),
             suite: self.suite,
             key_share: None,
+            selected_psk: None,
         }))?;
         let kb = keys::derive_key_block(
             &self.provider,
@@ -473,6 +508,7 @@ impl ServerSession {
             session_id: self.session_id.clone(),
             suite: self.suite,
             key_share: None,
+            selected_psk: None,
         }))?;
         // Certificate: the bare public key of the authentication alg.
         let cert = match self.suite.auth() {
@@ -588,17 +624,20 @@ impl ServerSession {
         if !qtls_crypto::hmac::constant_time_eq(&expect, &fin.verify_data) {
             return Err(TlsError::BadFinished);
         }
-        // Issue a ticket (RFC 5077 flow) before CCS.
+        // Issue a ticket (RFC 5077 flow) before CCS. Seal returns None
+        // only for oversized masters, which a 48-byte TLS 1.2 master
+        // can never be; skipping the NST is the safe degradation.
         if self.config.issue_tickets {
             let entry = SessionEntry {
                 master: self.master.clone(),
                 suite: self.suite,
             };
-            let ticket = self.config.ticket_keys.seal(&entry, &mut self.rng);
-            self.send_handshake(&HandshakeMsg::NewSessionTicket(NewSessionTicket { ticket }))?;
+            if let Some(ticket) = self.config.ticket_keys.seal(&entry, &mut self.rng) {
+                self.send_handshake(&HandshakeMsg::NewSessionTicket(NewSessionTicket { ticket }))?;
+            }
         }
         // Cache for session-ID resumption.
-        self.config.session_cache.put(
+        self.config.session_store.put(
             self.session_id.clone(),
             SessionEntry {
                 master: self.master.clone(),

@@ -4,11 +4,15 @@
 //! Real deployments restrict the lifetime of IDs/tickets to bound the
 //! forward-secrecy exposure; the cache enforces a configurable lifetime
 //! and capacity.
+//!
+//! The LRU bookkeeping lives in [`LruCore`], shared with the sharded
+//! cross-worker store in [`crate::store`], so both enforce the same
+//! recency and expiry semantics.
 
 use crate::suite::CipherSuite;
 use qtls_crypto::{aes, hmac::Hmac, sha256::Sha256, EntropySource};
 use qtls_sync::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 /// What resumption restores.
@@ -20,68 +24,192 @@ pub struct SessionEntry {
     pub suite: CipherSuite,
 }
 
-struct CacheInner {
-    map: HashMap<Vec<u8>, (SessionEntry, Instant)>,
-    insertion_order: Vec<Vec<u8>>,
+struct Slot {
+    entry: SessionEntry,
+    at: Instant,
+    seq: u64,
+}
+
+/// Single-threaded LRU + lifetime core used by both [`SessionCache`]
+/// and the sharded [`crate::store::SharedSessionStore`].
+///
+/// Recency is tracked with a sequence-stamped queue: a re-put assigns a
+/// fresh sequence number and pushes a new queue slot, turning the old
+/// slot into a tombstone that eviction skips. The queue is therefore
+/// always in put-recency order (which is also ascending-timestamp
+/// order), so expired entries form a prefix and can be purged lazily.
+pub(crate) struct LruCore {
+    map: HashMap<Vec<u8>, Slot>,
+    queue: VecDeque<(u64, Vec<u8>)>,
+    next_seq: u64,
+    capacity: usize,
+    lifetime: Duration,
+    evictions: u64,
+    expirations: u64,
+}
+
+impl LruCore {
+    pub(crate) fn new(capacity: usize, lifetime: Duration) -> Self {
+        LruCore {
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            next_seq: 0,
+            capacity: capacity.max(1),
+            lifetime,
+            evictions: 0,
+            expirations: 0,
+        }
+    }
+
+    fn is_expired(&self, at: Instant) -> bool {
+        at.elapsed() > self.lifetime
+    }
+
+    /// Drop expired entries from the front of the recency queue
+    /// (tombstones are dropped on the way; live-but-fresh stops the
+    /// walk since the queue is timestamp-ordered).
+    fn purge_expired(&mut self) {
+        loop {
+            let expired = match self.queue.front() {
+                None => return,
+                Some((seq, id)) => match self.map.get(id) {
+                    // Tombstone: a newer put superseded this slot.
+                    Some(slot) if slot.seq != *seq => false,
+                    Some(slot) if self.is_expired(slot.at) => true,
+                    // Front is live and fresh; everything behind it in
+                    // the queue is newer, so the walk can stop.
+                    Some(_) => return,
+                    None => false,
+                },
+            };
+            let (_, id) = self.queue.pop_front().expect("front was Some");
+            if expired {
+                self.map.remove(&id);
+                self.expirations += 1;
+            }
+        }
+    }
+
+    /// Evict the least-recently-put live entry.
+    fn evict_oldest(&mut self) {
+        while let Some((seq, id)) = self.queue.pop_front() {
+            if let Some(slot) = self.map.get(&id) {
+                if slot.seq == seq {
+                    self.map.remove(&id);
+                    self.evictions += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Rebuild the queue without tombstones once they dominate, so a
+    /// re-put-heavy workload cannot grow the queue unboundedly.
+    fn maybe_compact(&mut self) {
+        if self.queue.len() > 2 * self.map.len() + 16 {
+            let map = &self.map;
+            self.queue
+                .retain(|(seq, id)| map.get(id).is_some_and(|s| s.seq == *seq));
+        }
+    }
+
+    /// Insert or refresh `id`; a re-put moves the entry to the back of
+    /// the recency queue. Returns true if this was a fresh insert.
+    pub(crate) fn put(&mut self, id: Vec<u8>, entry: SessionEntry) -> bool {
+        self.purge_expired();
+        let fresh = !self.map.contains_key(&id);
+        if fresh && self.map.len() >= self.capacity {
+            self.evict_oldest();
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push_back((seq, id.clone()));
+        self.map.insert(
+            id,
+            Slot {
+                entry,
+                at: Instant::now(),
+                seq,
+            },
+        );
+        self.maybe_compact();
+        fresh
+    }
+
+    /// Look up `id`, dropping it if it has expired. Returns the entry
+    /// and whether it was present-but-expired (for miss accounting).
+    pub(crate) fn get(&mut self, id: &[u8]) -> Option<SessionEntry> {
+        let at = self.map.get(id)?.at;
+        if self.is_expired(at) {
+            self.map.remove(id);
+            self.expirations += 1;
+            return None;
+        }
+        Some(self.map.get(id)?.entry.clone())
+    }
+
+    /// Number of live (unexpired) entries.
+    pub(crate) fn len(&mut self) -> usize {
+        self.purge_expired();
+        // purge_expired only walks the timestamp-ordered prefix; count
+        // precisely in case of clock-order anomalies (there are none in
+        // practice, the prefix walk already removed every expired one).
+        self.map.len()
+    }
+
+    /// Counters for the observability plane.
+    pub(crate) fn churn(&self) -> (u64, u64) {
+        (self.evictions, self.expirations)
+    }
+
+    /// Test seam: age every entry by `d` without sleeping.
+    pub(crate) fn age_entries(&mut self, d: Duration) {
+        for slot in self.map.values_mut() {
+            if let Some(at) = slot.at.checked_sub(d) {
+                slot.at = at;
+            }
+        }
+    }
 }
 
 /// A bounded, lifetime-limited session-ID cache.
 pub struct SessionCache {
-    inner: Mutex<CacheInner>,
-    lifetime: Duration,
-    capacity: usize,
+    inner: Mutex<LruCore>,
 }
 
 impl SessionCache {
     /// Create with `capacity` entries and `lifetime` per entry.
     pub fn new(capacity: usize, lifetime: Duration) -> Self {
         SessionCache {
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                insertion_order: Vec::new(),
-            }),
-            lifetime,
-            capacity,
+            inner: Mutex::new(LruCore::new(capacity, lifetime)),
         }
     }
 
-    /// Store a session under `id`.
+    /// Store a session under `id`; a re-put refreshes its recency.
     pub fn put(&self, id: Vec<u8>, entry: SessionEntry) {
-        let mut inner = self.inner.lock();
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(&id) {
-            // Evict oldest.
-            if let Some(oldest) = inner.insertion_order.first().cloned() {
-                inner.map.remove(&oldest);
-                inner.insertion_order.remove(0);
-            }
-        }
-        if inner
-            .map
-            .insert(id.clone(), (entry, Instant::now()))
-            .is_none()
-        {
-            inner.insertion_order.push(id);
-        }
+        self.inner.lock().put(id, entry);
     }
 
-    /// Look up a session (respecting lifetime).
+    /// Look up a session (respecting lifetime; expired entries are
+    /// dropped on access so they cannot hold capacity slots).
     pub fn get(&self, id: &[u8]) -> Option<SessionEntry> {
-        let inner = self.inner.lock();
-        let (entry, at) = inner.map.get(id)?;
-        if at.elapsed() > self.lifetime {
-            return None;
-        }
-        Some(entry.clone())
+        self.inner.lock().get(id)
     }
 
-    /// Number of live entries (including possibly-expired ones).
+    /// Number of live (unexpired) entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.inner.lock().len()
     }
 
     /// Is the cache empty?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Test seam: age every entry by `d` without sleeping.
+    #[doc(hidden)]
+    pub fn age_entries(&self, d: Duration) {
+        self.inner.lock().age_entries(d);
     }
 }
 
@@ -110,10 +238,15 @@ impl TicketKeys {
     }
 
     /// Seal a session into an opaque ticket: `iv || ct || mac`.
-    pub fn seal<R: EntropySource>(&self, entry: &SessionEntry, rng: &mut R) -> Vec<u8> {
-        let mut plaintext = Vec::with_capacity(entry.master.len() + 3);
+    ///
+    /// Returns `None` if the master secret is too large to encode
+    /// (the u16 length field caps it at 65535 bytes) — a ticket must
+    /// never round-trip to a truncated secret.
+    pub fn seal<R: EntropySource>(&self, entry: &SessionEntry, rng: &mut R) -> Option<Vec<u8>> {
+        let mlen = u16::try_from(entry.master.len()).ok()?;
+        let mut plaintext = Vec::with_capacity(entry.master.len() + 4);
         plaintext.extend_from_slice(&entry.suite.wire().to_be_bytes());
-        plaintext.push(entry.master.len() as u8);
+        plaintext.extend_from_slice(&mlen.to_be_bytes());
         plaintext.extend_from_slice(&entry.master);
         // Pad to block size.
         let pad = 16 - plaintext.len() % 16;
@@ -127,7 +260,7 @@ impl TicketKeys {
         out.extend_from_slice(&ct);
         let mac = Hmac::<Sha256>::mac(&self.mac_key, &out);
         out.extend_from_slice(&mac);
-        out
+        Some(out)
     }
 
     /// Open a ticket, returning the session if authentic.
@@ -147,16 +280,16 @@ impl TicketKeys {
             return None;
         }
         let pt = &pt[..pt.len() - pad];
-        if pt.len() < 3 {
+        if pt.len() < 4 {
             return None;
         }
         let suite = CipherSuite::from_wire(u16::from_be_bytes([pt[0], pt[1]]))?;
-        let mlen = pt[2] as usize;
-        if pt.len() != 3 + mlen {
+        let mlen = u16::from_be_bytes([pt[2], pt[3]]) as usize;
+        if pt.len() != 4 + mlen {
             return None;
         }
         Some(SessionEntry {
-            master: pt[3..].to_vec(),
+            master: pt[4..].to_vec(),
             suite,
         })
     }
@@ -203,20 +336,102 @@ mod tests {
     }
 
     #[test]
+    fn cache_re_put_refreshes_recency() {
+        // Re-putting id 1 must move it to the back of the eviction
+        // queue, so inserting a third entry evicts id 2 instead.
+        let cache = SessionCache::new(2, Duration::from_secs(60));
+        cache.put(vec![1], entry());
+        cache.put(vec![2], entry());
+        cache.put(vec![1], entry());
+        cache.put(vec![3], entry());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&[1]).is_some(), "re-put entry survives");
+        assert!(cache.get(&[2]).is_none(), "stale entry evicted");
+        assert!(cache.get(&[3]).is_some());
+    }
+
+    #[test]
+    fn cache_expired_entries_release_capacity() {
+        // A burst of short-lived sessions must not evict live ones:
+        // expired entries are purged on put, freeing their slots.
+        let cache = SessionCache::new(2, Duration::from_secs(60));
+        cache.put(vec![1], entry());
+        cache.put(vec![2], entry());
+        cache.age_entries(Duration::from_secs(120));
+        assert_eq!(cache.len(), 0, "len excludes expired entries");
+        cache.put(vec![3], entry());
+        cache.put(vec![4], entry());
+        assert!(cache.get(&[3]).is_some());
+        assert!(cache.get(&[4]).is_some());
+        assert!(cache.get(&[1]).is_none());
+    }
+
+    #[test]
+    fn cache_expired_get_drops_entry() {
+        let cache = SessionCache::new(10, Duration::from_secs(60));
+        cache.put(vec![1], entry());
+        cache.age_entries(Duration::from_secs(120));
+        assert!(cache.get(&[1]).is_none());
+        // The expired slot is gone, not just hidden.
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn cache_heavy_re_put_does_not_grow_queue() {
+        let cache = SessionCache::new(4, Duration::from_secs(60));
+        for i in 0..10_000u32 {
+            cache.put(vec![(i % 4) as u8], entry());
+        }
+        assert_eq!(cache.len(), 4);
+        let inner = cache.inner.lock();
+        assert!(
+            inner.queue.len() <= 2 * inner.map.len() + 16,
+            "tombstone compaction bounds the queue (len {})",
+            inner.queue.len()
+        );
+    }
+
+    #[test]
     fn ticket_seal_open_roundtrip() {
         let mut rng = TestRng::new(3);
         let keys = TicketKeys::generate(&mut rng);
-        let ticket = keys.seal(&entry(), &mut rng);
+        let ticket = keys.seal(&entry(), &mut rng).unwrap();
         let opened = keys.open(&ticket).unwrap();
         assert_eq!(opened.master, entry().master);
         assert_eq!(opened.suite, CipherSuite::EcdheRsa);
     }
 
     #[test]
+    fn ticket_large_master_roundtrips_exactly() {
+        // A master longer than 255 bytes used to truncate via the u8
+        // length; the u16 field must round-trip it bit-exactly.
+        let mut rng = TestRng::new(7);
+        let keys = TicketKeys::generate(&mut rng);
+        let big = SessionEntry {
+            master: (0..300).map(|i| (i % 251) as u8).collect(),
+            suite: CipherSuite::EcdheRsa,
+        };
+        let ticket = keys.seal(&big, &mut rng).unwrap();
+        let opened = keys.open(&ticket).unwrap();
+        assert_eq!(opened.master, big.master);
+    }
+
+    #[test]
+    fn ticket_oversized_master_rejected() {
+        let mut rng = TestRng::new(8);
+        let keys = TicketKeys::generate(&mut rng);
+        let huge = SessionEntry {
+            master: vec![0xAA; 70_000],
+            suite: CipherSuite::EcdheRsa,
+        };
+        assert!(keys.seal(&huge, &mut rng).is_none());
+    }
+
+    #[test]
     fn ticket_tamper_rejected() {
         let mut rng = TestRng::new(4);
         let keys = TicketKeys::generate(&mut rng);
-        let mut ticket = keys.seal(&entry(), &mut rng);
+        let mut ticket = keys.seal(&entry(), &mut rng).unwrap();
         let n = ticket.len();
         ticket[n / 2] ^= 1;
         assert!(keys.open(&ticket).is_none());
@@ -228,7 +443,7 @@ mod tests {
         let mut rng = TestRng::new(5);
         let k1 = TicketKeys::generate(&mut rng);
         let k2 = TicketKeys::generate(&mut rng);
-        let ticket = k1.seal(&entry(), &mut rng);
+        let ticket = k1.seal(&entry(), &mut rng).unwrap();
         assert!(k2.open(&ticket).is_none());
     }
 }

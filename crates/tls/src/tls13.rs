@@ -13,6 +13,8 @@ use crate::error::TlsError;
 use crate::messages::*;
 use crate::provider::{CryptoProvider, OpCounters};
 use crate::record::{ContentType, DirectionKeys, RecordLayer};
+use crate::session::SessionEntry;
+use crate::store::psk_store_key;
 use crate::suite::{Auth, CipherSuite, Version};
 use qtls_crypto::ecc::{self, NamedCurve};
 use qtls_crypto::hmac::Hmac;
@@ -47,17 +49,19 @@ struct Schedule {
 }
 
 impl Schedule {
-    /// Run Extract/Expand chain: early secret → handshake secret →
-    /// handshake traffic secrets.
+    /// Run Extract/Expand chain: early secret (seeded by the resumption
+    /// PSK when one was negotiated) → handshake secret → handshake
+    /// traffic secrets.
     fn handshake(
         provider: &CryptoProvider,
         counters: &mut OpCounters,
         shared_secret: &[u8],
         hello_hash: &[u8],
+        psk: Option<&[u8]>,
     ) -> Self {
         let zeros = [0u8; 32];
         let empty_hash = Sha256::digest(b"");
-        let early = provider.hkdf_extract(counters, &[], &zeros);
+        let early = provider.hkdf_extract(counters, &[], psk.unwrap_or(&zeros));
         let derived = provider.hkdf_expand_label(counters, &early, b"derived", &empty_hash, 32);
         let hs = provider.hkdf_extract(counters, &derived, shared_secret);
         let c_hs = provider.hkdf_expand_label(counters, &hs, b"c hs traffic", hello_hash, 32);
@@ -69,13 +73,15 @@ impl Schedule {
         }
     }
 
-    /// Master secret + application traffic secrets.
+    /// Master secret + application traffic secrets. The master secret
+    /// is returned so callers can derive the resumption master
+    /// (`"res master"`) for NewSessionTicket PSKs.
     fn application(
         &self,
         provider: &CryptoProvider,
         counters: &mut OpCounters,
         transcript_hash: &[u8],
-    ) -> (Vec<u8>, Vec<u8>) {
+    ) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
         let zeros = [0u8; 32];
         let empty_hash = Sha256::digest(b"");
         let derived = provider.hkdf_expand_label(
@@ -90,8 +96,42 @@ impl Schedule {
             provider.hkdf_expand_label(counters, &master, b"c ap traffic", transcript_hash, 32);
         let s_app =
             provider.hkdf_expand_label(counters, &master, b"s ap traffic", transcript_hash, 32);
-        (c_app, s_app)
+        (master, c_app, s_app)
     }
+}
+
+/// The binder key for a resumption PSK: `early = Extract([], psk)`,
+/// then `Expand-Label(early, "res binder", Hash(""), 32)` (RFC 8446
+/// §4.2.11.2, collapsed to one derivation step).
+fn res_binder_key(provider: &CryptoProvider, counters: &mut OpCounters, psk: &[u8]) -> Vec<u8> {
+    let empty_hash = Sha256::digest(b"");
+    let early = provider.hkdf_extract(counters, &[], psk);
+    provider.hkdf_expand_label(counters, &early, b"res binder", &empty_hash, 32)
+}
+
+/// PSK binder over a ClientHello encoding whose binder bytes are
+/// zeroed: both sides HMAC the hash of that partial encoding.
+fn psk_binder(
+    provider: &CryptoProvider,
+    counters: &mut OpCounters,
+    psk: &[u8],
+    zeroed_hello: &[u8],
+) -> Vec<u8> {
+    let key = res_binder_key(provider, counters, psk);
+    Hmac::<Sha256>::mac(&key, &Sha256::digest(zeroed_hello))
+}
+
+/// Material a TLS 1.3 client exports after a handshake to resume later:
+/// the NewSessionTicket identity plus the resumption PSK derived from
+/// the session's master secret.
+#[derive(Clone, Debug)]
+pub struct Tls13ResumeData {
+    /// Opaque ticket (the PSK identity offered in `pre_shared_key`).
+    pub ticket: Vec<u8>,
+    /// Resumption PSK (`"res master"` derivation, 32 bytes).
+    pub secret: Vec<u8>,
+    /// Suite of the original session.
+    pub suite: CipherSuite,
 }
 
 /// Finished verify data: `HMAC(finished_key, transcript_hash)`.
@@ -125,6 +165,8 @@ pub struct Tls13ServerSession {
     suite: CipherSuite,
     curve: NamedCurve,
     schedule: Option<Schedule>,
+    resumed: bool,
+    resume_offered: bool,
     out: Vec<u8>,
     app_in: VecDeque<Vec<u8>>,
     hs_buf: Vec<u8>,
@@ -148,6 +190,8 @@ impl Tls13ServerSession {
             suite: CipherSuite::EcdheRsa,
             curve: NamedCurve::P256,
             schedule: None,
+            resumed: false,
+            resume_offered: false,
             out: Vec::new(),
             app_in: VecDeque::new(),
             hs_buf: Vec::new(),
@@ -167,6 +211,18 @@ impl Tls13ServerSession {
     /// Established?
     pub fn is_established(&self) -> bool {
         self.state == ServerState::Connected
+    }
+
+    /// Did this session resume via a PSK (abbreviated handshake, no
+    /// certificate or CertificateVerify)?
+    pub fn was_resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Did the client offer a PSK that this server could not honour
+    /// (a resume miss — it silently paid the full handshake)?
+    pub fn resume_missed(&self) -> bool {
+        self.resume_offered && !self.resumed
     }
 
     /// Received app data.
@@ -238,7 +294,7 @@ impl Tls13ServerSession {
         match (self.state, msg) {
             (ServerState::ExpectClientHello, HandshakeMsg::ClientHello(ch)) => {
                 self.transcript.update(raw);
-                self.on_client_hello(ch)
+                self.on_client_hello(ch, raw)
             }
             (ServerState::ExpectClientFinished, HandshakeMsg::Finished(fin)) => {
                 let th = self.transcript_hash();
@@ -252,12 +308,45 @@ impl Tls13ServerSession {
         }
     }
 
-    fn on_client_hello(&mut self, ch: ClientHello) -> Result<(), TlsError> {
+    /// Resolve a PSK offer against the shared store / ticket-key ring
+    /// and verify its binder over `raw` (the ClientHello bytes) with
+    /// the trailing binder bytes zeroed. `None` = resume miss.
+    fn resolve_psk(&mut self, offer: &PskOffer, raw: &[u8]) -> Option<Vec<u8>> {
+        if offer.modes & PSK_DHE_KE == 0 {
+            return None;
+        }
+        let blen = offer.binder.len();
+        if blen != 32 || raw.len() < blen {
+            return None;
+        }
+        // Shared-store lookup first (cheap digest key), then the ring
+        // (any worker's ticket opens under the cluster keys).
+        let entry = self
+            .config
+            .session_store
+            .get(&psk_store_key(&offer.identity))
+            .or_else(|| self.config.ticket_keys.open(&offer.identity))?;
+        // A TLS 1.2 master (48 bytes) must never slip in as a 1.3 PSK.
+        if entry.suite != self.suite || entry.master.len() != 32 {
+            return None;
+        }
+        let mut zeroed = raw.to_vec();
+        let n = zeroed.len();
+        zeroed[n - blen..].fill(0);
+        let expect = psk_binder(&self.provider, &mut self.counters, &entry.master, &zeroed);
+        if !qtls_crypto::hmac::constant_time_eq(&expect, &offer.binder) {
+            return None;
+        }
+        Some(entry.master)
+    }
+
+    fn on_client_hello(&mut self, ch: ClientHello, raw: &[u8]) -> Result<(), TlsError> {
         if ch.version != Version::Tls13 {
             return Err(TlsError::HandshakeFailure("not TLS 1.3"));
         }
         let (curve_id, client_share) = ch
             .key_share
+            .clone()
             .ok_or(TlsError::HandshakeFailure("missing key share"))?;
         let curve = NamedCurve::from_iana_id(curve_id)
             .ok_or(TlsError::HandshakeFailure("unknown group"))?;
@@ -272,6 +361,16 @@ impl Tls13ServerSession {
                     && s.key_exchange() == crate::suite::KeyExchange::Ecdhe
             })
             .ok_or(TlsError::HandshakeFailure("no common suite"))?;
+        // PSK resolution (psk_dhe_ke: the ECDHE share stays mandatory,
+        // so resumption keeps its forward secrecy and the offload
+        // engine still sees the asym ops; what it skips is the
+        // certificate flight below).
+        self.resume_offered = ch.psk.is_some();
+        let psk_secret = ch
+            .psk
+            .as_ref()
+            .and_then(|offer| self.resolve_psk(offer, raw));
+        self.resumed = psk_secret.is_some();
         // Server ECDHE share (offloadable asym ops).
         let seed = self.rng.next_u64();
         let (private, public) = self.provider.ec_keygen(&mut self.counters, curve, seed)?;
@@ -286,11 +385,17 @@ impl Tls13ServerSession {
             session_id: vec![],
             suite: self.suite,
             key_share: Some((curve_id, public)),
+            selected_psk: if self.resumed { Some(0) } else { None },
         }))?;
         // Key schedule to handshake-traffic (CPU-only HKDF).
         let hello_hash = self.transcript_hash();
-        let schedule =
-            Schedule::handshake(&self.provider, &mut self.counters, &shared, &hello_hash);
+        let schedule = Schedule::handshake(
+            &self.provider,
+            &mut self.counters,
+            &shared,
+            &hello_hash,
+            psk_secret.as_deref(),
+        );
         // Switch the record layer to handshake keys.
         let server_keys = traffic_keys(
             &self.provider,
@@ -304,49 +409,53 @@ impl Tls13ServerSession {
         );
         self.records.set_write_keys(server_keys);
         self.records.set_read_keys(client_keys);
-        // Encrypted flight: EE, Certificate, CertificateVerify, Finished.
+        // Encrypted flight: EE, [Certificate, CertificateVerify],
+        // Finished — the certificate pair is skipped when the PSK
+        // authenticates the connection (the abbreviated op mix).
         self.send_handshake(&HandshakeMsg::EncryptedExtensions)?;
-        let cert = match self.suite.auth() {
-            Auth::Rsa => CertPayload::Rsa {
-                n: self.config.rsa_key.public().modulus().to_bytes_be(),
-                e: self.config.rsa_key.public().exponent().to_bytes_be(),
-            },
-            Auth::Ecdsa => {
-                let key = self
-                    .config
-                    .ecdsa_keys
-                    .get(&curve)
-                    .ok_or(TlsError::HandshakeFailure("no ECDSA key"))?;
-                CertPayload::Ecdsa {
-                    curve: curve.iana_id(),
-                    point: key.public_point.clone(),
+        if !self.resumed {
+            let cert = match self.suite.auth() {
+                Auth::Rsa => CertPayload::Rsa {
+                    n: self.config.rsa_key.public().modulus().to_bytes_be(),
+                    e: self.config.rsa_key.public().exponent().to_bytes_be(),
+                },
+                Auth::Ecdsa => {
+                    let key = self
+                        .config
+                        .ecdsa_keys
+                        .get(&curve)
+                        .ok_or(TlsError::HandshakeFailure("no ECDSA key"))?;
+                    CertPayload::Ecdsa {
+                        curve: curve.iana_id(),
+                        point: key.public_point.clone(),
+                    }
                 }
-            }
-        };
-        self.send_handshake(&HandshakeMsg::Certificate(cert))?;
-        // CertificateVerify: signature over context || transcript hash.
-        let mut content = SERVER_CV_CONTEXT.to_vec();
-        content.extend_from_slice(&self.transcript_hash());
-        let signature = match self.suite.auth() {
-            Auth::Rsa => {
-                self.provider
-                    .rsa_sign(&mut self.counters, &self.config.rsa_key, &content)?
-            }
-            Auth::Ecdsa => {
-                let key = self.config.ecdsa_keys.get(&curve).expect("checked");
-                let nonce_seed = self.rng.next_u64();
-                self.provider.ecdsa_sign(
-                    &mut self.counters,
-                    curve,
-                    &key.private,
-                    &content,
-                    nonce_seed,
-                )?
-            }
-        };
-        self.send_handshake(&HandshakeMsg::CertificateVerify(CertificateVerify {
-            signature,
-        }))?;
+            };
+            self.send_handshake(&HandshakeMsg::Certificate(cert))?;
+            // CertificateVerify: signature over context || transcript hash.
+            let mut content = SERVER_CV_CONTEXT.to_vec();
+            content.extend_from_slice(&self.transcript_hash());
+            let signature = match self.suite.auth() {
+                Auth::Rsa => {
+                    self.provider
+                        .rsa_sign(&mut self.counters, &self.config.rsa_key, &content)?
+                }
+                Auth::Ecdsa => {
+                    let key = self.config.ecdsa_keys.get(&curve).expect("checked");
+                    let nonce_seed = self.rng.next_u64();
+                    self.provider.ecdsa_sign(
+                        &mut self.counters,
+                        curve,
+                        &key.private,
+                        &content,
+                        nonce_seed,
+                    )?
+                }
+            };
+            self.send_handshake(&HandshakeMsg::CertificateVerify(CertificateVerify {
+                signature,
+            }))?;
+        }
         // Server Finished.
         let th = self.transcript_hash();
         let verify = finished_mac(
@@ -375,7 +484,7 @@ impl Tls13ServerSession {
             return Err(TlsError::BadFinished);
         }
         // Application keys (transcript through server Finished).
-        let (c_app, s_app) = {
+        let (master, c_app, s_app) = {
             let schedule = self.schedule.as_ref().unwrap();
             schedule.application(&self.provider, &mut self.counters, &th)
         };
@@ -384,6 +493,29 @@ impl Tls13ServerSession {
         self.records.set_write_keys(server_keys);
         self.records.set_read_keys(client_keys);
         self.state = ServerState::Connected;
+        // NewSessionTicket after Finished: derive the resumption
+        // master over the transcript *including* the client Finished
+        // (the transcript was updated before this handler ran), seal
+        // it as a ticket under the cluster ring, and publish it in the
+        // shared store so any worker resumes it without the ring.
+        if self.config.issue_tickets {
+            let th_full = self.transcript_hash();
+            let res_master = self.provider.hkdf_expand_label(
+                &mut self.counters,
+                &master,
+                b"res master",
+                &th_full,
+                32,
+            );
+            let entry = SessionEntry {
+                master: res_master,
+                suite: self.suite,
+            };
+            if let Some(ticket) = self.config.ticket_keys.seal(&entry, &mut self.rng) {
+                self.config.session_store.put(psk_store_key(&ticket), entry);
+                self.send_handshake(&HandshakeMsg::NewSessionTicket(NewSessionTicket { ticket }))?;
+            }
+        }
         Ok(())
     }
 }
@@ -415,6 +547,11 @@ pub struct Tls13ClientSession {
     server_rsa: Option<RsaPublicKey>,
     server_ecdsa: Option<(NamedCurve, Vec<u8>)>,
     cv_transcript_hash: Vec<u8>,
+    resume: Option<Tls13ResumeData>,
+    resumed: bool,
+    offered_psk: bool,
+    new_ticket: Option<Vec<u8>>,
+    res_master: Option<Vec<u8>>,
     out: Vec<u8>,
     app_in: VecDeque<Vec<u8>>,
     hs_buf: Vec<u8>,
@@ -423,6 +560,19 @@ pub struct Tls13ClientSession {
 impl Tls13ClientSession {
     /// New TLS 1.3 client on `curve` with `suite`.
     pub fn new(provider: CryptoProvider, suite: CipherSuite, curve: NamedCurve, seed: u64) -> Self {
+        Self::new_resuming(provider, suite, curve, None, seed)
+    }
+
+    /// New TLS 1.3 client offering PSK resumption from a prior
+    /// session's exported [`Tls13ResumeData`] (ignored if its suite
+    /// differs from `suite`).
+    pub fn new_resuming(
+        provider: CryptoProvider,
+        suite: CipherSuite,
+        curve: NamedCurve,
+        resume: Option<Tls13ResumeData>,
+        seed: u64,
+    ) -> Self {
         Tls13ClientSession {
             provider,
             rng: TestRng::new(seed),
@@ -437,13 +587,19 @@ impl Tls13ClientSession {
             server_rsa: None,
             server_ecdsa: None,
             cv_transcript_hash: Vec::new(),
+            resume,
+            resumed: false,
+            offered_psk: false,
+            new_ticket: None,
+            res_master: None,
             out: Vec::new(),
             app_in: VecDeque::new(),
             hs_buf: Vec::new(),
         }
     }
 
-    /// Send the ClientHello with a key share.
+    /// Send the ClientHello with a key share (and a `pre_shared_key`
+    /// offer when resumption data is loaded).
     pub fn start(&mut self) -> Result<(), TlsError> {
         assert_eq!(self.state, ClientState::Start);
         let seed = self.rng.next_u64();
@@ -453,7 +609,18 @@ impl Tls13ClientSession {
         self.ecdhe_private = Some(private);
         let mut random = [0u8; 32];
         self.rng.fill(&mut random);
-        self.send_handshake(&HandshakeMsg::ClientHello(ClientHello {
+        let psk = match &self.resume {
+            Some(r) if r.suite == self.suite => Some(PskOffer {
+                identity: r.ticket.clone(),
+                modes: PSK_DHE_KE,
+                // Placeholder; the real binder is computed below over
+                // this zeroed encoding and patched in (same length, so
+                // the wire size is unchanged).
+                binder: vec![0u8; 32],
+            }),
+            _ => None,
+        };
+        let mut ch = ClientHello {
             version: Version::Tls13,
             random,
             session_id: vec![],
@@ -461,7 +628,23 @@ impl Tls13ClientSession {
             curves: vec![self.curve.iana_id()],
             ticket: None,
             key_share: Some((self.curve.iana_id(), public)),
-        }))?;
+            psk,
+        };
+        if ch.psk.is_some() {
+            let zeroed = HandshakeMsg::ClientHello(ch.clone()).encode();
+            let secret = self
+                .resume
+                .as_ref()
+                .expect("psk offer implies resume data")
+                .secret
+                .clone();
+            let binder = psk_binder(&self.provider, &mut self.counters, &secret, &zeroed);
+            if let Some(offer) = ch.psk.as_mut() {
+                offer.binder = binder;
+            }
+            self.offered_psk = true;
+        }
+        self.send_handshake(&HandshakeMsg::ClientHello(ch))?;
         self.state = ClientState::ExpectServerHello;
         Ok(())
     }
@@ -479,6 +662,24 @@ impl Tls13ClientSession {
     /// Established?
     pub fn is_established(&self) -> bool {
         self.state == ClientState::Connected
+    }
+
+    /// Did the server accept the PSK offer (abbreviated handshake)?
+    pub fn was_resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Export material for resuming this session later: requires an
+    /// established session that has received a NewSessionTicket.
+    pub fn export_resume_data(&self) -> Option<Tls13ResumeData> {
+        if !self.is_established() {
+            return None;
+        }
+        Some(Tls13ResumeData {
+            ticket: self.new_ticket.clone()?,
+            secret: self.res_master.clone()?,
+            suite: self.suite,
+        })
     }
 
     /// Received app data.
@@ -554,7 +755,19 @@ impl Tls13ClientSession {
             }
             (ClientState::ExpectEncryptedExtensions, HandshakeMsg::EncryptedExtensions) => {
                 self.transcript.update(raw);
-                self.state = ClientState::ExpectCertificate;
+                // Resumed handshakes skip the certificate flight: the
+                // PSK authenticates the server, Finished comes next.
+                self.state = if self.resumed {
+                    ClientState::ExpectFinished
+                } else {
+                    ClientState::ExpectCertificate
+                };
+                Ok(())
+            }
+            (ClientState::Connected, HandshakeMsg::NewSessionTicket(t)) => {
+                // Post-handshake NST: stored for export, excluded from
+                // the (already-final) transcript.
+                self.new_ticket = Some(t.ticket);
                 Ok(())
             }
             (ClientState::ExpectCertificate, HandshakeMsg::Certificate(cert)) => {
@@ -609,9 +822,27 @@ impl Tls13ClientSession {
         let shared = self
             .provider
             .ecdh(&mut self.counters, self.curve, &private, &server_share)?;
+        // PSK acceptance: the server echoes the offered identity index.
+        self.resumed = self.offered_psk && sh.selected_psk == Some(0);
+        let psk_secret = if self.resumed {
+            Some(
+                self.resume
+                    .as_ref()
+                    .expect("accepted psk implies resume data")
+                    .secret
+                    .clone(),
+            )
+        } else {
+            None
+        };
         let hello_hash = self.transcript_hash();
-        let schedule =
-            Schedule::handshake(&self.provider, &mut self.counters, &shared, &hello_hash);
+        let schedule = Schedule::handshake(
+            &self.provider,
+            &mut self.counters,
+            &shared,
+            &hello_hash,
+            psk_secret.as_deref(),
+        );
         let server_keys = traffic_keys(
             &self.provider,
             &mut self.counters,
@@ -672,11 +903,24 @@ impl Tls13ClientSession {
         // Application keys: both sides use the transcript hash THROUGH
         // the server Finished (= `th_client` here; the server computes it
         // as the hash before the client's Finished arrives).
-        let (c_app, s_app) = schedule.application(&self.provider, &mut self.counters, &th_client);
+        let (master, c_app, s_app) =
+            schedule.application(&self.provider, &mut self.counters, &th_client);
         let server_keys = traffic_keys(&self.provider, &mut self.counters, &s_app);
         let client_keys = traffic_keys(&self.provider, &mut self.counters, &c_app);
         self.records.set_read_keys(server_keys);
         self.records.set_write_keys(client_keys);
+        // Resumption master over the transcript including the client
+        // Finished just sent — pairs with any NewSessionTicket the
+        // server mints at the same point of its transcript.
+        let th_full = self.transcript_hash();
+        let res_master = self.provider.hkdf_expand_label(
+            &mut self.counters,
+            &master,
+            b"res master",
+            &th_full,
+            32,
+        );
+        self.res_master = Some(res_master);
         self.state = ClientState::Connected;
         Ok(())
     }

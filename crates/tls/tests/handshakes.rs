@@ -293,6 +293,109 @@ fn tls13_handshake_ecdhe_ecdsa() {
     assert_eq!(server.counters.ecc, 3, "keygen + derive + ECDSA sign");
 }
 
+/// Pump a TLS 1.3 client/server pair until quiescent.
+fn pump13(client: &mut Tls13ClientSession, server: &mut Tls13ServerSession) {
+    for _ in 0..16 {
+        let c = client.take_output();
+        let s = server.take_output();
+        if c.is_empty() && s.is_empty() {
+            break;
+        }
+        if !c.is_empty() {
+            server.feed(&c);
+            server.process().unwrap();
+        }
+        if !s.is_empty() {
+            client.feed(&s);
+            client.process().unwrap();
+        }
+    }
+}
+
+#[test]
+fn tls13_psk_resumption_abbreviates() {
+    let config = ServerConfig::test_default();
+    // Full handshake first; the server mints a NewSessionTicket after
+    // the client Finished.
+    let mut server = Tls13ServerSession::new(config.clone(), CryptoProvider::Software, 62);
+    let mut client = Tls13ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        63,
+    );
+    client.start().unwrap();
+    pump13(&mut client, &mut server);
+    assert!(server.is_established() && client.is_established());
+    assert!(!server.was_resumed());
+    let resume = client
+        .export_resume_data()
+        .expect("ticket + resumption secret exported");
+    // Resume against a *fresh* server session sharing the config.
+    let mut server2 = Tls13ServerSession::new(config, CryptoProvider::Software, 64);
+    let mut client2 = Tls13ClientSession::new_resuming(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        Some(resume),
+        65,
+    );
+    client2.start().unwrap();
+    pump13(&mut client2, &mut server2);
+    assert!(server2.is_established() && client2.is_established());
+    assert!(server2.was_resumed(), "server accepts the PSK");
+    assert!(client2.was_resumed(), "client sees selected_psk");
+    assert!(!server2.resume_missed());
+    // PSK authentication: no certificate signature — the only asym
+    // work is the psk_dhe_ke ECDHE (keygen + derive), no RSA at all.
+    assert_eq!(server2.counters.rsa, 0, "no RSA sign on PSK resumption");
+    assert_eq!(server2.counters.ecc, 2, "ECDHE only (psk_dhe_ke)");
+    assert!(
+        server2.counters.hkdf > 4,
+        "abbreviated op mix stays HKDF-heavy"
+    );
+    // Data flows, and the resumed session can itself be resumed.
+    client2.write_app_data(b"resumed 1.3").unwrap();
+    server2.feed(&client2.take_output());
+    server2.process().unwrap();
+    assert_eq!(server2.read_app_data().unwrap(), b"resumed 1.3");
+    assert!(
+        client2.export_resume_data().is_some(),
+        "resumed sessions get fresh tickets too"
+    );
+}
+
+#[test]
+fn tls13_unknown_psk_falls_back_to_full() {
+    use qtls_tls::tls13::Tls13ResumeData;
+    let config = ServerConfig::test_default();
+    // Fabricated resumption data: the store has no entry and the ring
+    // cannot open the "ticket".
+    let resume = Tls13ResumeData {
+        ticket: vec![0x5A; 60],
+        secret: vec![7u8; 32],
+        suite: CipherSuite::EcdheRsa,
+    };
+    let mut server = Tls13ServerSession::new(config, CryptoProvider::Software, 66);
+    let mut client = Tls13ClientSession::new_resuming(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        Some(resume),
+        67,
+    );
+    client.start().unwrap();
+    pump13(&mut client, &mut server);
+    assert!(server.is_established() && client.is_established());
+    assert!(!server.was_resumed());
+    assert!(!client.was_resumed());
+    assert!(
+        server.resume_missed(),
+        "a dishonoured PSK offer is a resume miss"
+    );
+    assert_eq!(server.counters.rsa, 1, "fell back to the full handshake");
+}
+
 #[test]
 fn handshake_via_offload_engine_blocking() {
     // The same handshake, but every server crypto op travels through the

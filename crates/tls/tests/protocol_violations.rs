@@ -59,6 +59,7 @@ fn server_rejects_duplicate_client_hello() {
         curves: vec![],
         ticket: None,
         key_share: None,
+        psk: None,
     });
     server.feed(&record_with(&ch));
     server.process().unwrap();
@@ -80,6 +81,7 @@ fn server_rejects_unknown_suite_offer() {
         curves: vec![],
         ticket: None,
         key_share: None,
+        psk: None,
     });
     server.feed(&record_with(&ch));
     assert!(matches!(
@@ -99,6 +101,7 @@ fn server_rejects_ecdhe_without_common_curve() {
         curves: vec![9999], // unsupported group
         ticket: None,
         key_share: None,
+        psk: None,
     });
     server.feed(&record_with(&ch));
     assert!(matches!(
@@ -140,6 +143,7 @@ fn server_rejects_wrong_version_hello() {
         curves: vec![],
         ticket: None,
         key_share: None,
+        psk: None,
     });
     server.feed(&record_with(&ch));
     assert!(server.process().is_err());
@@ -163,6 +167,7 @@ fn client_rejects_unoffered_suite_selection() {
         session_id: vec![3; 32],
         suite: CipherSuite::TlsRsa, // never offered
         key_share: None,
+        selected_psk: None,
     });
     client.feed(&record_with(&sh));
     assert!(matches!(

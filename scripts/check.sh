@@ -18,7 +18,7 @@ echo "== property sweeps (--features proptest) =="
 # The in-repo prop harness scales every property to its full case
 # count under this feature; still offline and deterministic.
 cargo test -q --offline --features proptest \
-  --test proptest_crypto --test proptest_framework
+  --test proptest_crypto --test proptest_framework --test proptest_tls
 
 echo "== figures smoke run =="
 # Every figure generator must still run end to end (tiny simulated
@@ -47,6 +47,34 @@ for case in submit_only_64/shards1 saturated_roundtrip_64/shards1 \
   fi
 done
 echo "ok: bench sharding rows parse with elem/s throughput"
+
+echo "== resumption figure + cross-worker test + bench smoke =="
+# The resumption ablation must emit both shared and per-worker series
+# (CPS and miss-rate) in SMOKE fidelity, the cluster test proving a
+# ticket minted on worker A resumes on worker B must actually run in the
+# offline suite, and the handshake bench must reach its resumed-vs-full
+# CPS verdict (>= 2x asserted inside the bench).
+resumption_fig=$(cargo run --release --offline -p qtls-sim --bin figures -- smoke resumption)
+for series in "shared K CPS" "shared miss %" "per-worker K CPS" "per-worker miss %"; do
+  if ! grep -qF "$series" <<< "$resumption_fig"; then
+    echo "resumption figure missing series: $series" >&2
+    exit 1
+  fi
+done
+echo "ok: resumption figure emits shared and per-worker series"
+cross_worker=$(cargo test --offline -p qtls-server --lib \
+  ticket_minted_on_worker_a_resumes_on_worker_b 2>&1)
+if ! grep -q "test result: ok. 1 passed" <<< "$cross_worker"; then
+  echo "cross-worker resumption test did not run and pass" >&2
+  exit 1
+fi
+echo "ok: cross-worker resumption test passes (resume on worker B, miss 0)"
+resumption_bench=$(cargo bench --offline -p qtls-bench --bench handshake -- resumption)
+if ! grep -q "resumption_speedup: PASS" <<< "$resumption_bench"; then
+  echo "resumption bench did not print its PASS verdict" >&2
+  exit 1
+fi
+echo "ok: resumed CPS at least 2x full-handshake CPS"
 
 echo "== metrics plane smoke =="
 # Boot a sharded QTLS worker with qat_metrics on, scrape /metrics over

@@ -209,7 +209,9 @@ fn ticket_roundtrip_random_master() {
             master: master.clone(),
             suite: qtls::tls::CipherSuite::TlsRsa,
         };
-        let ticket = keys.seal(&entry, &mut rng);
+        let ticket = keys
+            .seal(&entry, &mut rng)
+            .expect("master fits the sealed format");
         let opened = keys.open(&ticket).unwrap();
         assert_eq!(opened.master, master);
     });

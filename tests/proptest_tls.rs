@@ -1,0 +1,276 @@
+//! Property-based tests over the TLS resumption plane: model-checked
+//! LRU/lifetime behavior of the session cache (the structure shared
+//! with the cluster store's shards), ticket fuzzing against the sealed
+//! format, and shard-consistency of the cluster-shared store.
+//!
+//! Runs on the hermetic in-repo harness (`qtls::prop`): a small
+//! deterministic case set by default, the full sweep with
+//! `cargo test --features proptest`.
+
+use qtls::crypto::TestRng;
+use qtls::prop;
+use qtls::tls::session::{SessionCache, SessionEntry, TicketKeys};
+use qtls::tls::store::{psk_store_key, SharedSessionStore, TicketKeyRing};
+use qtls::tls::suite::CipherSuite;
+use std::time::Duration;
+
+fn entry(master_byte: u8) -> SessionEntry {
+    SessionEntry {
+        master: vec![master_byte; 48],
+        suite: CipherSuite::EcdheRsa,
+    }
+}
+
+/// Reference model of the cache: a recency-ordered list of live entries
+/// with accumulated age. Mirrors the observable contract of the real
+/// cache — put-recency eviction order, re-put moves to back and
+/// refreshes the lifetime clock, entries older than `lifetime` are
+/// never returned and never hold capacity.
+struct Model {
+    /// `(id, master_byte, age)` in put-recency order (front = oldest).
+    live: Vec<(u8, u8, u64)>,
+    capacity: usize,
+    lifetime: u64,
+}
+
+impl Model {
+    // The real cache expires on `elapsed > lifetime`; the test ages in
+    // whole seconds and a few real microseconds always elapse on top,
+    // so an entry aged to exactly `lifetime` is expired there. Model
+    // that as `age >= lifetime` (cases never run for a whole second).
+    fn purge(&mut self) {
+        let lifetime = self.lifetime;
+        self.live.retain(|(_, _, age)| *age < lifetime);
+    }
+
+    fn put(&mut self, id: u8, master: u8) {
+        self.purge();
+        if let Some(pos) = self.live.iter().position(|(i, _, _)| *i == id) {
+            self.live.remove(pos);
+        } else if self.live.len() >= self.capacity {
+            self.live.remove(0);
+        }
+        self.live.push((id, master, 0));
+    }
+
+    fn get(&self, id: u8) -> Option<u8> {
+        self.live
+            .iter()
+            .find(|(i, _, age)| *i == id && *age < self.lifetime)
+            .map(|(_, m, _)| *m)
+    }
+
+    fn age(&mut self, d: u64) {
+        for (_, _, age) in &mut self.live {
+            *age += d;
+        }
+    }
+
+    fn len(&mut self) -> usize {
+        self.purge();
+        self.live.len()
+    }
+}
+
+/// Model-checked cache churn: random interleavings of put / re-put /
+/// get / age must agree with the reference model on every lookup and on
+/// the live count — covering eviction order under re-put and the
+/// expiry-vs-capacity interaction.
+#[test]
+fn cache_churn_matches_model() {
+    prop::check("cache_churn_matches_model", 48, |g| {
+        let capacity = g.usize_in(1, 6);
+        let lifetime = 60u64;
+        let cache = SessionCache::new(capacity, Duration::from_secs(lifetime));
+        let mut model = Model {
+            live: Vec::new(),
+            capacity,
+            lifetime,
+        };
+        // Total aging is capped (≤ 24 ops x 5 s) so the test seam's
+        // saturating age-shift never engages.
+        let ops = g.usize_in(8, 24);
+        for _ in 0..ops {
+            match g.u64_in(0, 4) {
+                0 | 1 => {
+                    // Small id space forces re-puts of hot ids.
+                    let id = g.u64_in(0, 8) as u8;
+                    let master = g.u8();
+                    cache.put(vec![id], entry(master));
+                    model.put(id, master);
+                }
+                2 => {
+                    let id = g.u64_in(0, 8) as u8;
+                    let got = cache.get(&[id]).map(|e| e.master[0]);
+                    assert_eq!(got, model.get(id), "lookup of id {id} diverged");
+                }
+                _ => {
+                    let d = g.u64_in(1, 6);
+                    cache.age_entries(Duration::from_secs(d));
+                    model.age(d);
+                }
+            }
+            assert!(
+                cache.len() <= capacity,
+                "cache overflowed its capacity {capacity}"
+            );
+        }
+        assert_eq!(cache.len(), model.len(), "live-entry count diverged");
+        // Final sweep: every id agrees.
+        for id in 0..8u8 {
+            let got = cache.get(&[id]).map(|e| e.master[0]);
+            assert_eq!(got, model.get(id), "final lookup of id {id} diverged");
+        }
+    });
+}
+
+/// Hot entries survive churn: re-putting one id while `capacity` other
+/// ids stream past must never evict it (the re-put bug this PR fixes
+/// left the old recency slot in place, so exactly this pattern evicted
+/// the hottest entry).
+#[test]
+fn cache_hot_entry_survives_streaming_churn() {
+    prop::check("cache_hot_entry_survives_streaming_churn", 32, |g| {
+        let capacity = g.usize_in(2, 8);
+        let cache = SessionCache::new(capacity, Duration::from_secs(3600));
+        cache.put(vec![0xAA], entry(1));
+        let rounds = g.usize_in(1, 50);
+        for i in 0..rounds {
+            // One cold id streams through, then the hot id is re-put.
+            cache.put(vec![0xBB, i as u8], entry(2));
+            cache.put(vec![0xAA], entry(1));
+        }
+        assert!(
+            cache.get(&[0xAA]).is_some(),
+            "hot re-put entry evicted (capacity {capacity}, {rounds} rounds)"
+        );
+    });
+}
+
+/// Apply one random structural mutation to `ticket`, returning None if
+/// the mutation happens to be the identity.
+fn mutate(g: &mut qtls::prop::Gen, ticket: &[u8]) -> Option<Vec<u8>> {
+    match g.u64_in(0, 3) {
+        0 => {
+            // Flip one bit somewhere.
+            let mut t = ticket.to_vec();
+            let i = g.usize_in(0, t.len());
+            t[i] ^= 1 << g.u64_in(0, 8);
+            Some(t)
+        }
+        1 => {
+            // Truncate to a strict prefix (possibly empty).
+            let keep = g.usize_in(0, ticket.len());
+            Some(ticket[..keep].to_vec())
+        }
+        _ => {
+            // Extend with random bytes.
+            let mut t = ticket.to_vec();
+            t.extend(g.bytes_in(1, 24));
+            Some(t)
+        }
+    }
+}
+
+/// Ticket fuzz: `open` never panics on arbitrary input, never returns
+/// `Some` for any mutated ticket, and always round-trips the untouched
+/// one exactly.
+#[test]
+fn ticket_open_rejects_all_mutations() {
+    prop::check("ticket_open_rejects_all_mutations", 48, |g| {
+        let mut rng = TestRng::new(g.u64());
+        let keys = TicketKeys::generate(&mut rng);
+        let e = SessionEntry {
+            master: g.bytes_in(1, 96),
+            suite: CipherSuite::EcdheRsa,
+        };
+        let ticket = keys.seal(&e, &mut rng).expect("master fits the format");
+        let back = keys.open(&ticket).expect("untouched ticket opens");
+        assert_eq!(back.master, e.master);
+        assert_eq!(back.suite, e.suite);
+        for _ in 0..8 {
+            if let Some(t) = mutate(g, &ticket) {
+                if t == ticket {
+                    continue;
+                }
+                assert!(
+                    keys.open(&t).is_none(),
+                    "mutated ticket must not open (len {} vs {})",
+                    t.len(),
+                    ticket.len()
+                );
+            }
+        }
+        // Pure garbage of any length must also be rejected quietly.
+        let garbage = g.bytes_in(0, 128);
+        if garbage != ticket {
+            assert!(keys.open(&garbage).is_none());
+        }
+    });
+}
+
+/// The rotating ring honours the same rejection property across both of
+/// its generations: tickets sealed before a rotation still open, and
+/// mutations of either generation's tickets never do.
+#[test]
+fn ticket_ring_rejects_mutations_across_rotation() {
+    prop::check("ticket_ring_rejects_mutations_across_rotation", 32, |g| {
+        let mut rng = TestRng::new(g.u64());
+        let ring = TicketKeyRing::new(&mut rng, Duration::ZERO);
+        let e = entry(g.u8());
+        let old = ring.seal(&e, &mut rng).expect("seal");
+        ring.rotate(&mut rng);
+        let new = ring.seal(&e, &mut rng).expect("seal");
+        assert!(
+            ring.open(&old).is_some(),
+            "previous-generation ticket opens"
+        );
+        assert!(ring.open(&new).is_some(), "current-generation ticket opens");
+        for ticket in [&old, &new] {
+            if let Some(t) = mutate(g, ticket) {
+                if t != **ticket {
+                    assert!(ring.open(&t).is_none(), "mutated ticket must not open");
+                }
+            }
+        }
+        // A second rotation retires the first generation entirely.
+        ring.rotate(&mut rng);
+        assert!(ring.open(&old).is_none(), "twice-rotated ticket is dead");
+    });
+}
+
+/// Shard consistency of the cluster store: whatever the shard count, a
+/// put is always visible through a get of the same key, distinct keys
+/// never alias, and the merged stats account exactly for every hit,
+/// miss, and insert.
+#[test]
+fn shared_store_shards_are_consistent() {
+    prop::check("shared_store_shards_are_consistent", 32, |g| {
+        let shards = g.usize_in(1, 9);
+        // Capacity generous enough that even a worst-case hash skew
+        // (every key in one shard) cannot trigger eviction: per-shard
+        // capacity is total/shards, so give every shard >= 32 slots.
+        let store = SharedSessionStore::new(shards, 32 * shards, Duration::from_secs(3600));
+        assert_eq!(store.shard_count(), shards);
+        let n = g.usize_in(1, 32);
+        let mut keys = Vec::new();
+        for i in 0..n {
+            // Derive keys the way the PSK path does, so they spread over
+            // shards like real ticket digests.
+            let key = psk_store_key(&[i as u8, g.u8(), 0x51]);
+            store.put(key.clone(), entry(i as u8));
+            keys.push(key);
+        }
+        for (i, key) in keys.iter().enumerate() {
+            let e = store.get(key).expect("inserted key must be visible");
+            assert_eq!(e.master[0], i as u8, "keys must not alias across shards");
+        }
+        let missing = psk_store_key(b"never-inserted");
+        assert!(store.get(&missing).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.inserts, n as u64);
+        assert_eq!(stats.hits, n as u64);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(store.len(), n);
+    });
+}
