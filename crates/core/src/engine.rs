@@ -40,8 +40,8 @@ use crate::pipeline::{
 use crate::shard::{ShardPolicy, ShardRouter};
 use qtls_crypto::CryptoError;
 use qtls_qat::{
-    make_request, CryptoInstance, CryptoOp, CryptoRequest, CryptoResult, OpClass, ResponseCallback,
-    SubmitFull,
+    make_request, CryptoInstance, CryptoOp, CryptoOutput, CryptoRequest, CryptoResult, OpClass,
+    ResponseCallback, SubmitFull,
 };
 use qtls_sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -258,6 +258,48 @@ impl NotifyStage {
                 ctx.get().set_notified_ns(t1);
             } else {
                 ctx.complete(result);
+            }
+        })
+    }
+
+    /// Response callback for one member of a batched fiber-job offload:
+    /// fill the member's slot; the LAST completion (submitted, deferred
+    /// or cancelled) completes the wait context with a sentinel so the
+    /// whole batch costs one crypto pause.
+    fn batch_job_completion(
+        &self,
+        collector: Arc<BatchCollector>,
+        index: usize,
+        ctx: fiber::CurrentWaitCtx,
+        class: OpClass,
+    ) -> ResponseCallback {
+        let counters = Arc::clone(&self.counters);
+        let shard = Arc::clone(&self.shard);
+        Box::new(move |result| {
+            counters.counter(class).fetch_sub(1, Ordering::Relaxed);
+            shard.dec(class);
+            if collector.fill(index, result) {
+                ctx.complete(Ok(CryptoOutput::Bytes(Vec::new())));
+            }
+        })
+    }
+
+    /// Batched counterpart of [`Self::slot_completion`]: the last
+    /// completion signals the blocking waiter once.
+    fn batch_slot_completion(
+        &self,
+        collector: Arc<BatchCollector>,
+        index: usize,
+        slot: Arc<BlockSlot>,
+        class: OpClass,
+    ) -> ResponseCallback {
+        let counters = Arc::clone(&self.counters);
+        let shard = Arc::clone(&self.shard);
+        Box::new(move |result| {
+            counters.counter(class).fetch_sub(1, Ordering::Relaxed);
+            shard.dec(class);
+            if collector.fill(index, result) {
+                slot.fill(Ok(CryptoOutput::Bytes(Vec::new())));
             }
         })
     }
@@ -751,6 +793,205 @@ impl OffloadEngine {
                 "blocking offload timed out: no poller retrieving responses?"
             );
         }
+    }
+
+    /// Offload a whole batch of same-class operations through ONE shard
+    /// under a single ring publish and a single doorbell — the data
+    /// plane's multi-record submission. Results return in op order.
+    ///
+    /// - `Async` + inside a fiber job: submit the batch, then pause
+    ///   ONCE; the last member's completion fires the notifier.
+    ///   Ring-full leftovers are staged on the shard's submit queue
+    ///   (published by the next sweep flush, failed with
+    ///   [`CryptoError::Cancelled`] by a shutdown drain — so a
+    ///   mid-batch shutdown fails only the unsent tail); without a
+    ///   queue the job pauses with the retry flag and republishes the
+    ///   tail on resume.
+    /// - otherwise: submit and (self-)poll until every member lands.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that every op shares one [`OpClass`].
+    pub fn offload_batch(&self, ops: Vec<CryptoOp>) -> Vec<CryptoResult> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        let class = ops[0].class();
+        debug_assert!(
+            ops.iter().all(|op| op.class() == class),
+            "offload_batch requires a single-class batch"
+        );
+        let shard = self.route(class);
+        match self.mode {
+            EngineMode::Async if fiber::in_job() => self.offload_batch_async(shard, class, ops),
+            EngineMode::Async => self.offload_batch_blocking(shard, class, ops, true),
+            EngineMode::Blocking => {
+                let self_poll = self.has_external_poller.load(Ordering::Relaxed) == 0;
+                self.offload_batch_blocking(shard, class, ops, self_poll)
+            }
+        }
+    }
+
+    /// Batched async path: one crypto pause for the whole batch.
+    fn offload_batch_async(
+        &self,
+        shard: &Shard,
+        class: OpClass,
+        ops: Vec<CryptoOp>,
+    ) -> Vec<CryptoResult> {
+        let ctx_handle = fiber::current_wait_ctx().expect("offload_batch_async requires a job");
+        let collector = Arc::new(BatchCollector::new(ops.len()));
+        let mut batch: std::collections::VecDeque<CryptoRequest> = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| {
+                shard.submit.begin(class);
+                make_request(
+                    shard.submit.next_cookie(),
+                    op,
+                    shard.notify.batch_job_completion(
+                        Arc::clone(&collector),
+                        i,
+                        ctx_handle.clone(),
+                        class,
+                    ),
+                )
+            })
+            .collect();
+        shard.submit.instance.submit_batch(&mut batch);
+        if !batch.is_empty() {
+            if let Some(queue) = shard.submit.attached_queue() {
+                // The unsent tail rides the sweep machinery: the next
+                // flush publishes it; a shutdown drain fails it with
+                // Cancelled while the already-published head completes.
+                for request in batch.drain(..) {
+                    queue.enqueue(request);
+                }
+            }
+        }
+        let mut attempt = 0u32;
+        while !batch.is_empty() {
+            // No queue to stage on: pause with the retry flag and
+            // republish the tail when the event loop resumes us.
+            shard
+                .submit
+                .ring_full_retries
+                .fetch_add(1, Ordering::Relaxed);
+            self.obs.recorder().record(
+                EventKind::BackpressureRetry,
+                shard.index,
+                attempt as u64 + 1,
+                0,
+            );
+            ctx_handle.get().set_retry();
+            fiber::pause_job();
+            shard.submit.instance.submit_batch(&mut batch);
+            attempt += 1;
+        }
+        // One crypto pause for the batch; spurious resumes re-pause.
+        loop {
+            if ctx_handle.get().take_result().is_some() {
+                return collector.take();
+            }
+            fiber::pause_job();
+        }
+    }
+
+    /// Batched blocking path (straight offload / no-job fallback, also
+    /// what benches use): publish under one doorbell, then (self-)poll
+    /// until the last member completes.
+    fn offload_batch_blocking(
+        &self,
+        shard: &Shard,
+        class: OpClass,
+        ops: Vec<CryptoOp>,
+        self_poll: bool,
+    ) -> Vec<CryptoResult> {
+        let collector = Arc::new(BatchCollector::new(ops.len()));
+        let slot = Arc::new(BlockSlot::default());
+        let mut batch: std::collections::VecDeque<CryptoRequest> = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| {
+                shard.submit.begin(class);
+                make_request(
+                    shard.submit.next_cookie(),
+                    op,
+                    shard.notify.batch_slot_completion(
+                        Arc::clone(&collector),
+                        i,
+                        Arc::clone(&slot),
+                        class,
+                    ),
+                )
+            })
+            .collect();
+        let ctx = if self_poll {
+            SubmitContext::BlockingSelfPoll
+        } else {
+            SubmitContext::BlockingWait
+        };
+        let mut attempt = 0u32;
+        loop {
+            shard.submit.instance.submit_batch(&mut batch);
+            if batch.is_empty() {
+                break;
+            }
+            shard
+                .submit
+                .ring_full_retries
+                .fetch_add(1, Ordering::Relaxed);
+            if self_poll {
+                shard.retrieve.poll_all();
+            }
+            shard.submit.backpressure.wait(attempt, ctx);
+            attempt += 1;
+        }
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            if self_poll {
+                shard.retrieve.poll_all();
+            }
+            if slot.try_take(Duration::from_micros(50)).is_some() {
+                return collector.take();
+            }
+            assert!(
+                Instant::now() < deadline,
+                "batched offload timed out: no poller retrieving responses?"
+            );
+        }
+    }
+}
+
+/// Shared result board of one batched offload: a slot per member op and
+/// a countdown; the callback that decrements it to zero wakes the
+/// waiter (one pause / one signal per batch, not per record).
+struct BatchCollector {
+    slots: Mutex<Vec<Option<CryptoResult>>>,
+    remaining: AtomicU64,
+}
+
+impl BatchCollector {
+    fn new(n: usize) -> Self {
+        BatchCollector {
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: AtomicU64::new(n as u64),
+        }
+    }
+
+    /// Park one member's result; true when it was the last outstanding.
+    fn fill(&self, index: usize, result: CryptoResult) -> bool {
+        self.slots.lock()[index] = Some(result);
+        self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// Collect every result in submission order.
+    fn take(&self) -> Vec<CryptoResult> {
+        self.slots
+            .lock()
+            .drain(..)
+            .map(|slot| slot.expect("batch member completed"))
+            .collect()
     }
 }
 
@@ -1323,6 +1564,109 @@ mod tests {
         assert_eq!(cancelled, 6);
         // Second drain is a no-op.
         assert_eq!(engine.drain_submit_queue(), DrainReport::default());
+    }
+
+    #[test]
+    fn batched_blocking_offload_one_doorbell_ordered_results() {
+        let dev = device();
+        let engine = OffloadEngine::new(dev.alloc_instance(), EngineMode::Blocking);
+        let ops: Vec<CryptoOp> = (1..=8).map(prf_op).collect();
+        let results = engine.offload_batch(ops);
+        assert_eq!(results.len(), 8);
+        for (i, result) in results.into_iter().enumerate() {
+            assert_eq!(result.unwrap().into_bytes().len(), i + 1, "order kept");
+        }
+        // The whole batch went out under ONE doorbell.
+        assert_eq!(dev.fw_counters().doorbells.load(Ordering::Relaxed), 1);
+        assert_eq!(dev.fw_counters().submitted.load(Ordering::Relaxed), 8);
+        assert_eq!(engine.inflight().total(), 0);
+    }
+
+    #[test]
+    fn batched_async_offload_pauses_once_for_the_whole_batch() {
+        let dev = device();
+        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Async));
+        let eng = Arc::clone(&engine);
+        let job = match start_job(move || eng.offload_batch((1..=6).map(prf_op).collect())) {
+            StartResult::Paused(j) => j,
+            StartResult::Finished(_) => panic!("must pause"),
+        };
+        // All six inflight after a single publish + doorbell.
+        assert_eq!(engine.inflight().total(), 6);
+        assert_eq!(dev.fw_counters().doorbells.load(Ordering::Relaxed), 1);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.inflight().total() > 0 {
+            engine.poll_all();
+            assert!(Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        // ONE resume finishes the job with every result, in op order.
+        match job.resume() {
+            StartResult::Finished(results) => {
+                assert_eq!(results.len(), 6);
+                for (i, result) in results.into_iter().enumerate() {
+                    assert_eq!(result.unwrap().into_bytes().len(), 1 + i);
+                }
+            }
+            StartResult::Paused(_) => panic!("batch resolved; must finish"),
+        }
+    }
+
+    #[test]
+    fn batched_drain_cancels_only_the_unsent_tail() {
+        // Mid-batch shutdown mirrors the PR-3 drain semantics: the head
+        // of the batch that reached the ring completes normally; only
+        // the tail still staged on the submit queue fails, with the
+        // definite Cancelled error, and order is preserved.
+        use crate::pipeline::SubmitQueue;
+        use qtls_qat::{ServiceMode, ServiceTable};
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 1,
+            engines_per_endpoint: 1,
+            ring_capacity: 4,
+            service_mode: ServiceMode::Timed { time_scale: 1.0 },
+            service_table: ServiceTable {
+                prf_ns: 2_000_000, // 2 ms per op keeps the ring busy
+                ..ServiceTable::default()
+            },
+        });
+        let engine = Arc::new(OffloadEngine::new(dev.alloc_instance(), EngineMode::Async));
+        engine.attach_submit_queue(Arc::new(SubmitQueue::new()));
+        let eng = Arc::clone(&engine);
+        let job = match start_job(move || eng.offload_batch(vec![prf_op(8); 10])) {
+            StartResult::Paused(j) => j,
+            StartResult::Finished(_) => panic!("must pause"),
+        };
+        // Ring took 4; the other 6 are staged for the next sweep.
+        assert_eq!(engine.inflight().total(), 10);
+        let drained = engine.drain_submit_queue();
+        assert!(
+            drained.cancelled >= 1,
+            "shutdown must cancel the staged tail"
+        );
+        let cancelled = drained.cancelled;
+        // The published head still completes through the engine.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.inflight().total() > 0 {
+            engine.poll_all();
+            assert!(Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        let results = match job.resume() {
+            StartResult::Finished(r) => r,
+            StartResult::Paused(_) => panic!("all members resolved; must finish"),
+        };
+        assert_eq!(results.len(), 10);
+        for (i, result) in results.iter().enumerate() {
+            if i < 10 - cancelled {
+                assert!(result.is_ok(), "sent head member {i} must complete");
+            } else {
+                assert!(
+                    matches!(result, Err(CryptoError::Cancelled)),
+                    "unsent tail member {i} must fail with Cancelled, got {result:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -651,6 +651,9 @@ pub mod registry {
         "qtls_worker_resumed_handshakes_total",
         "qtls_worker_resume_miss_total",
         "qtls_worker_requests_total",
+        "qtls_worker_bytes_sent_total",
+        "qtls_worker_bytes_received_total",
+        "qtls_worker_record_handoffs_total",
         "qtls_worker_async_jobs_total",
         "qtls_worker_resumptions_total",
         "qtls_worker_errors_total",

@@ -102,10 +102,27 @@ impl ShardRouter {
             }
             ShardPolicy::OpAffinity => match class {
                 OpClass::Asym => 0,
-                // Symmetric classes share the remaining shards, each
-                // class on one fixed shard.
-                OpClass::Cipher => 1,
-                OpClass::Prf => 1 + 1 % (n - 1),
+                // Bulk record traffic dominates an established
+                // connection, so cipher work spreads over every
+                // non-asym shard by least inflight instead of pinning
+                // to one ring (which capped data-plane throughput).
+                OpClass::Cipher => {
+                    let mut best = 1;
+                    let mut best_load = inflight_of(1);
+                    for i in 2..n {
+                        let load = inflight_of(i);
+                        if load < best_load {
+                            best = i;
+                            best_load = load;
+                        }
+                    }
+                    best
+                }
+                // PRF keeps a fixed home on the last shard so key
+                // derivation cannot queue behind a deep cipher batch.
+                // (The old expression `1 + 1 % (n - 1)` parsed as
+                // `1 + (1 % (n - 1))` — a constant shard 2 for n >= 3.)
+                OpClass::Prf => n - 1,
             },
         }
     }
@@ -151,6 +168,36 @@ mod tests {
                 assert!(idx < n);
             }
         }
+    }
+
+    #[test]
+    fn op_affinity_diverges_prf_and_cipher_at_three_plus_shards() {
+        // Regression: `1 + 1 % (n - 1)` pinned PRF to shard 2 for every
+        // n >= 3, and cipher was pinned to shard 1 — the extra shards
+        // never saw symmetric work. PRF now owns the last shard and
+        // cipher spreads by least inflight, so the two classes must
+        // land on different shards whenever there are >= 2 non-asym
+        // shards.
+        for n in 3..=6usize {
+            let router = ShardRouter::new(ShardPolicy::OpAffinity);
+            let inflight = vec![0u64; n];
+            let cipher = router.route(OpClass::Cipher, &inflight);
+            let prf = router.route(OpClass::Prf, &inflight);
+            assert_ne!(cipher, prf, "cipher and PRF must diverge at n={n}");
+            assert_eq!(prf, n - 1, "PRF owns the last shard at n={n}");
+            assert_ne!(cipher, 0, "cipher stays off the asym shard");
+        }
+    }
+
+    #[test]
+    fn op_affinity_spreads_cipher_by_least_inflight() {
+        let router = ShardRouter::new(ShardPolicy::OpAffinity);
+        // Shard 1 is busy: the next cipher op goes to the idlest
+        // non-asym shard, never to shard 0 no matter how idle it is.
+        assert_eq!(router.route(OpClass::Cipher, &[0, 7, 2, 5]), 2);
+        assert_eq!(router.route(OpClass::Cipher, &[0, 3, 3, 1]), 3);
+        // Ties break to the lowest non-asym index.
+        assert_eq!(router.route(OpClass::Cipher, &[9, 4, 4, 4]), 1);
     }
 
     #[test]

@@ -200,6 +200,48 @@ pub fn cbc_encrypt(key: &Aes128, iv: &[u8; 16], plaintext: &[u8]) -> Result<Vec<
     Ok(out)
 }
 
+/// AES-128-CBC encryption in place: `buf` is overwritten with the
+/// ciphertext, no output allocation. `buf.len()` must be a multiple of
+/// 16 (the record layer pads before encrypting).
+pub fn cbc_encrypt_in_place(
+    key: &Aes128,
+    iv: &[u8; 16],
+    buf: &mut [u8],
+) -> Result<(), CryptoError> {
+    if !buf.len().is_multiple_of(16) {
+        return Err(CryptoError::InvalidLength);
+    }
+    let mut prev = *iv;
+    for chunk in buf.chunks_exact_mut(16) {
+        let block: &mut [u8; 16] = chunk.try_into().unwrap();
+        xor16(block, &prev);
+        key.encrypt_block(block);
+        prev = *block;
+    }
+    Ok(())
+}
+
+/// AES-128-CBC decryption in place: `buf` is overwritten with the
+/// (still padded) plaintext, no output allocation.
+pub fn cbc_decrypt_in_place(
+    key: &Aes128,
+    iv: &[u8; 16],
+    buf: &mut [u8],
+) -> Result<(), CryptoError> {
+    if !buf.len().is_multiple_of(16) || buf.is_empty() {
+        return Err(CryptoError::InvalidLength);
+    }
+    let mut prev = *iv;
+    for chunk in buf.chunks_exact_mut(16) {
+        let block: &mut [u8; 16] = chunk.try_into().unwrap();
+        let cblock = *block;
+        key.decrypt_block(block);
+        xor16(block, &prev);
+        prev = cblock;
+    }
+    Ok(())
+}
+
 /// AES-128-CBC decryption.
 pub fn cbc_decrypt(key: &Aes128, iv: &[u8; 16], ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
     if !ciphertext.len().is_multiple_of(16) || ciphertext.is_empty() {
@@ -308,6 +350,24 @@ mod tests {
             assert_ne!(ct, pt);
             assert_eq!(cbc_decrypt(&aes, &iv, &ct).unwrap(), pt);
         }
+    }
+
+    #[test]
+    fn cbc_in_place_matches_allocating_mode() {
+        let aes = Aes128::new(b"0123456789abcdef");
+        let iv = [7u8; 16];
+        for blocks in [1usize, 2, 5, 64] {
+            let pt: Vec<u8> = (0..blocks * 16).map(|i| i as u8).collect();
+            let mut buf = pt.clone();
+            cbc_encrypt_in_place(&aes, &iv, &mut buf).unwrap();
+            assert_eq!(buf, cbc_encrypt(&aes, &iv, &pt).unwrap());
+            cbc_decrypt_in_place(&aes, &iv, &mut buf).unwrap();
+            assert_eq!(buf, pt);
+        }
+        let mut short = vec![0u8; 15];
+        assert!(cbc_encrypt_in_place(&aes, &iv, &mut short).is_err());
+        assert!(cbc_decrypt_in_place(&aes, &iv, &mut short).is_err());
+        assert!(cbc_decrypt_in_place(&aes, &iv, &mut []).is_err());
     }
 
     #[test]

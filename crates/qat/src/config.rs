@@ -58,6 +58,9 @@ impl ServiceTable {
             CryptoOp::Prf { .. } => self.prf_ns,
             CryptoOp::CipherEncrypt { plaintext, .. } => self.cipher_ns(plaintext.len()),
             CryptoOp::CipherDecrypt { ciphertext, .. } => self.cipher_ns(ciphertext.len()),
+            CryptoOp::CipherSealInPlace { buf, .. } | CryptoOp::CipherOpenInPlace { buf, .. } => {
+                self.cipher_ns(buf.len())
+            }
         }
     }
 

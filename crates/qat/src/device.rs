@@ -10,7 +10,7 @@
 
 use crate::config::{QatConfig, ServiceMode};
 use crate::counters::FwCounters;
-use crate::request::{execute, CryptoRequest, CryptoResponse, ResponseCallback};
+use crate::request::{execute_owned, CryptoRequest, CryptoResponse, ResponseCallback};
 use crate::ring::{Ring, RingFull};
 use crate::trace::{self, RetrieveHook};
 use qtls_sync::{Condvar, Mutex, RwLock};
@@ -387,7 +387,9 @@ fn engine_loop(
                     }
                 }
                 let class = req.op.class();
-                let result = execute(&req.op);
+                // Consume the descriptor: in-place cipher ops transform
+                // their carried buffer and return it via the response.
+                let result = execute_owned(req.op);
                 counters.record_completion(class);
                 let mut resp = CryptoResponse {
                     cookie: req.cookie,

@@ -39,6 +39,7 @@ pub mod trace;
 pub use config::{QatConfig, ServiceMode, ServiceTable};
 pub use device::{make_request, CryptoInstance, QatDevice, SubmitFull};
 pub use request::{
-    CryptoOp, CryptoOutput, CryptoRequest, CryptoResponse, CryptoResult, OpClass, ResponseCallback,
+    open_in_place, seal_in_place, CryptoOp, CryptoOutput, CryptoRequest, CryptoResponse,
+    CryptoResult, OpClass, ResponseCallback,
 };
 pub use trace::{ReqTrace, RetrieveHook};

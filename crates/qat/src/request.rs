@@ -105,6 +105,38 @@ pub enum CryptoOp {
         /// MAC additional data.
         aad: Vec<u8>,
     },
+    /// In-place record seal for the data plane: `buf` carries the
+    /// plaintext fragment in a reusable buffer with capacity reserved
+    /// for tag + padding; the response returns the same buffer holding
+    /// the ciphertext (models a DMA-style in-place transform — no
+    /// per-record allocation on either side).
+    CipherSealInPlace {
+        /// AES key.
+        enc_key: [u8; 16],
+        /// HMAC-SHA1 key, shared across the whole batch.
+        mac_key: Arc<[u8]>,
+        /// Explicit IV.
+        iv: [u8; 16],
+        /// Plaintext in, ciphertext out (same buffer).
+        buf: Vec<u8>,
+        /// Fixed-size MAC additional data: `seq || type || version`.
+        aad: [u8; 11],
+    },
+    /// In-place record open: `buf` carries the ciphertext (without the
+    /// explicit IV); the response returns the same buffer truncated to
+    /// the verified content.
+    CipherOpenInPlace {
+        /// AES key.
+        enc_key: [u8; 16],
+        /// HMAC-SHA1 key, shared across the whole batch.
+        mac_key: Arc<[u8]>,
+        /// Explicit IV.
+        iv: [u8; 16],
+        /// Ciphertext in, plaintext out (same buffer).
+        buf: Vec<u8>,
+        /// Fixed-size MAC additional data: `seq || type || version`.
+        aad: [u8; 11],
+    },
 }
 
 impl CryptoOp {
@@ -117,7 +149,10 @@ impl CryptoOp {
             | CryptoOp::EcKeygen { .. }
             | CryptoOp::EcdhDerive { .. } => OpClass::Asym,
             CryptoOp::Prf { .. } => OpClass::Prf,
-            CryptoOp::CipherEncrypt { .. } | CryptoOp::CipherDecrypt { .. } => OpClass::Cipher,
+            CryptoOp::CipherEncrypt { .. }
+            | CryptoOp::CipherDecrypt { .. }
+            | CryptoOp::CipherSealInPlace { .. }
+            | CryptoOp::CipherOpenInPlace { .. } => OpClass::Cipher,
         }
     }
 }
@@ -177,6 +212,99 @@ pub struct CryptoResponse {
     pub callback: ResponseCallback,
     /// Phase-trace stamps copied from the originating request.
     pub trace: crate::trace::ReqTrace,
+}
+
+/// MAC-then-encrypt one record **in place**: `buf` holds the plaintext
+/// on entry and the ciphertext on return. The tag and TLS-style CBC
+/// padding are appended to `buf` (reserve `len + 20 + 16` up front to
+/// avoid a grow). No allocation when capacity suffices.
+pub fn seal_in_place(
+    enc_key: &[u8; 16],
+    mac_key: &[u8],
+    iv: &[u8; 16],
+    buf: &mut Vec<u8>,
+    aad: &[u8],
+) -> Result<(), CryptoError> {
+    use qtls_crypto::{aes, hmac::Hmac, sha1::Sha1};
+    let mut mac = Hmac::<Sha1>::new(mac_key);
+    mac.update(aad);
+    mac.update(buf);
+    let tag = mac.finalize();
+    buf.extend_from_slice(&tag);
+    let pad_len = 16 - (buf.len() % 16);
+    buf.extend(std::iter::repeat_n((pad_len - 1) as u8, pad_len));
+    let cipher = aes::Aes128::new(enc_key);
+    aes::cbc_encrypt_in_place(&cipher, iv, buf)
+}
+
+/// Decrypt + verify one record **in place**: `buf` holds the ciphertext
+/// (without the explicit IV) on entry and is truncated to the verified
+/// content on return. No allocation.
+pub fn open_in_place(
+    enc_key: &[u8; 16],
+    mac_key: &[u8],
+    iv: &[u8; 16],
+    buf: &mut Vec<u8>,
+    aad: &[u8],
+) -> Result<(), CryptoError> {
+    use qtls_crypto::{aes, hmac::Hmac, sha1::Sha1};
+    let cipher = aes::Aes128::new(enc_key);
+    aes::cbc_decrypt_in_place(&cipher, iv, buf)?;
+    if buf.is_empty() {
+        return Err(CryptoError::BadPadding);
+    }
+    let pad_len = *buf.last().unwrap() as usize + 1;
+    if pad_len > buf.len()
+        || buf[buf.len() - pad_len..]
+            .iter()
+            .any(|&b| b as usize != pad_len - 1)
+    {
+        return Err(CryptoError::BadPadding);
+    }
+    let content_and_tag = buf.len() - pad_len;
+    if content_and_tag < 20 {
+        return Err(CryptoError::BadMac);
+    }
+    let content = content_and_tag - 20;
+    let mut mac = Hmac::<Sha1>::new(mac_key);
+    mac.update(aad);
+    mac.update(&buf[..content]);
+    if !qtls_crypto::hmac::constant_time_eq(&mac.finalize(), &buf[content..content_and_tag]) {
+        return Err(CryptoError::BadMac);
+    }
+    buf.truncate(content);
+    Ok(())
+}
+
+/// Execute an operation, consuming the descriptor — the engine-thread
+/// entry point. In-place cipher ops transform their carried buffer and
+/// hand it back through the response, so the data plane's record
+/// buffers round-trip device-side without a copy or allocation; every
+/// other op delegates to [`execute`].
+pub fn execute_owned(op: CryptoOp) -> CryptoResult {
+    match op {
+        CryptoOp::CipherSealInPlace {
+            enc_key,
+            mac_key,
+            iv,
+            mut buf,
+            aad,
+        } => {
+            seal_in_place(&enc_key, &mac_key, &iv, &mut buf, &aad)?;
+            Ok(CryptoOutput::Bytes(buf))
+        }
+        CryptoOp::CipherOpenInPlace {
+            enc_key,
+            mac_key,
+            iv,
+            mut buf,
+            aad,
+        } => {
+            open_in_place(&enc_key, &mac_key, &iv, &mut buf, &aad)?;
+            Ok(CryptoOutput::Bytes(buf))
+        }
+        other => execute(&other),
+    }
 }
 
 /// Execute an operation using the software crypto substrate — this is
@@ -274,6 +402,31 @@ pub fn execute(op: &CryptoOp) -> CryptoResult {
                 return Err(CryptoError::BadMac);
             }
             Ok(CryptoOutput::Bytes(content.to_vec()))
+        }
+        // By-reference callers (benches, service-time probes) get a
+        // copying fallback; the engine threads go through
+        // [`execute_owned`] and stay allocation-free.
+        CryptoOp::CipherSealInPlace {
+            enc_key,
+            mac_key,
+            iv,
+            buf,
+            aad,
+        } => {
+            let mut out = buf.clone();
+            seal_in_place(enc_key, mac_key, iv, &mut out, aad)?;
+            Ok(CryptoOutput::Bytes(out))
+        }
+        CryptoOp::CipherOpenInPlace {
+            enc_key,
+            mac_key,
+            iv,
+            buf,
+            aad,
+        } => {
+            let mut out = buf.clone();
+            open_in_place(enc_key, mac_key, iv, &mut out, aad)?;
+            Ok(CryptoOutput::Bytes(out))
         }
     }
 }
@@ -377,6 +530,59 @@ mod tests {
             aad: b"tampered".to_vec(),
         };
         assert!(matches!(execute(&bad), Err(CryptoError::BadMac)));
+    }
+
+    #[test]
+    fn in_place_seal_matches_allocating_encrypt_and_roundtrips() {
+        let mac_key: Arc<[u8]> = Arc::from(vec![2u8; 20].into_boxed_slice());
+        let mut aad = [0u8; 11];
+        aad[..8].copy_from_slice(&7u64.to_be_bytes());
+        aad[8] = 23;
+        aad[9..].copy_from_slice(&0x0303u16.to_be_bytes());
+        // Sealed-in-place bytes equal the allocating CipherEncrypt path.
+        let reference = execute(&CryptoOp::CipherEncrypt {
+            enc_key: [1; 16],
+            mac_key: vec![2; 20],
+            iv: [3; 16],
+            plaintext: b"bulk record payload".to_vec(),
+            aad: aad.to_vec(),
+        })
+        .unwrap()
+        .into_bytes();
+        let sealed = execute_owned(CryptoOp::CipherSealInPlace {
+            enc_key: [1; 16],
+            mac_key: Arc::clone(&mac_key),
+            iv: [3; 16],
+            buf: b"bulk record payload".to_vec(),
+            aad,
+        })
+        .unwrap()
+        .into_bytes();
+        assert_eq!(sealed, reference);
+        // Open in place recovers the content and truncates the buffer.
+        let opened = execute_owned(CryptoOp::CipherOpenInPlace {
+            enc_key: [1; 16],
+            mac_key: Arc::clone(&mac_key),
+            iv: [3; 16],
+            buf: sealed.clone(),
+            aad,
+        })
+        .unwrap()
+        .into_bytes();
+        assert_eq!(opened, b"bulk record payload");
+        // Tampered AAD fails the MAC.
+        let mut bad_aad = aad;
+        bad_aad[0] ^= 1;
+        assert!(matches!(
+            execute_owned(CryptoOp::CipherOpenInPlace {
+                enc_key: [1; 16],
+                mac_key,
+                iv: [3; 16],
+                buf: sealed,
+                aad: bad_aad,
+            }),
+            Err(CryptoError::BadMac)
+        ));
     }
 
     #[test]

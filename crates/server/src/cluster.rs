@@ -220,11 +220,11 @@ ssl_engine {
         );
         let listener = cluster.listener();
         let cfg = ClientConfig::default();
-        let (resume, resumed, _, _) =
+        let (resume, resumed, _, _, _) =
             run_connection(&listener, &cfg, 70_000, None, Duration::from_secs(60)).unwrap();
         assert!(!resumed, "first connection is a full handshake");
         let resume = resume.expect("full handshake exports resumption material");
-        let (_, resumed, _, _) = run_connection(
+        let (_, resumed, _, _, _) = run_connection(
             &listener,
             &cfg,
             70_001,

@@ -48,6 +48,12 @@ pub struct EngineDirectives {
     pub shard_policy: ShardPolicy,
     /// Observability plane (`qat_metrics` directive family).
     pub metrics: MetricsConfig,
+    /// Hand established connections to the batched record codec
+    /// (`qat_record_offload on|off`).
+    pub record_offload: bool,
+    /// Records per data-plane batch submission
+    /// (`qat_record_batch_depth N`).
+    pub record_batch_depth: usize,
     /// Shard count for the cluster-shared session/PSK store
     /// (`ssl_session_store_shards N`).
     pub session_store_shards: usize,
@@ -70,6 +76,8 @@ impl Default for EngineDirectives {
             worker_shards: 0,
             shard_policy: ShardPolicy::default(),
             metrics: MetricsConfig::default(),
+            record_offload: true,
+            record_batch_depth: qtls_tls::record::RecordCodec::DEFAULT_BATCH,
             session_store_shards: 8,
             session_timeout: Duration::from_secs(3600),
             ticket_rotation: Duration::ZERO,
@@ -275,6 +283,18 @@ pub fn parse_ssl_engine_conf(input: &str) -> Result<EngineDirectives, ConfError>
             "qat_shard_policy" => {
                 out.shard_policy = ShardPolicy::from_name(&value)
                     .ok_or_else(|| ConfError::BadValue(token.clone()))?;
+            }
+            "qat_record_offload" => match value.as_str() {
+                "on" => out.record_offload = true,
+                "off" => out.record_offload = false,
+                _ => return Err(ConfError::BadValue(token.clone())),
+            },
+            "qat_record_batch_depth" => {
+                let depth = parse_u64(&value)? as usize;
+                if depth == 0 {
+                    return Err(ConfError::BadValue(token.clone()));
+                }
+                out.record_batch_depth = depth;
             }
             "ssl_session_store_shards" => {
                 let shards = parse_u64(&value)? as usize;
@@ -523,6 +543,44 @@ ssl_engine {
             parse_ssl_engine_conf(bad),
             Err(ConfError::BadValue(_))
         ));
+    }
+
+    #[test]
+    fn record_plane_directives_parse() {
+        let conf = r#"
+ssl_engine {
+    use qat_engine;
+    qat_engine {
+        qat_offload_mode async;
+        qat_record_offload off;
+        qat_record_batch_depth 32;
+    }
+}
+"#;
+        let d = parse_ssl_engine_conf(conf).unwrap();
+        assert!(!d.record_offload);
+        assert_eq!(d.record_batch_depth, 32);
+        // Defaults: data plane on, codec default batch depth.
+        let d = parse_ssl_engine_conf(APPENDIX_EXAMPLE).unwrap();
+        assert!(d.record_offload);
+        assert_eq!(
+            d.record_batch_depth,
+            qtls_tls::record::RecordCodec::DEFAULT_BATCH
+        );
+    }
+
+    #[test]
+    fn record_plane_rejects_bad_values() {
+        for bad in [
+            "ssl_engine { use qat_engine; qat_engine { qat_record_offload maybe; } }",
+            "ssl_engine { use qat_engine; qat_engine { qat_record_batch_depth 0; } }",
+            "ssl_engine { use qat_engine; qat_engine { qat_record_batch_depth deep; } }",
+        ] {
+            assert!(
+                matches!(parse_ssl_engine_conf(bad), Err(ConfError::BadValue(_))),
+                "should reject: {bad}"
+            );
+        }
     }
 
     #[test]

@@ -52,6 +52,19 @@ impl Default for ClientConfig {
     }
 }
 
+impl ClientConfig {
+    /// Bulk-transfer mode: keep-alive GETs of one large object per
+    /// connection, amortizing the handshake so the measurement is the
+    /// record data plane (the paper's Fig. 10 transfer workloads).
+    pub fn bulk(path: &str, requests_per_conn: usize) -> Self {
+        ClientConfig {
+            request_path: Some(path.to_string()),
+            requests_per_conn: requests_per_conn.max(1),
+            ..ClientConfig::default()
+        }
+    }
+}
+
 /// Aggregate results across all client streams.
 #[derive(Debug, Default)]
 pub struct LoadStats {
@@ -63,6 +76,8 @@ pub struct LoadStats {
     pub responses: AtomicU64,
     /// Response body bytes received.
     pub body_bytes: AtomicU64,
+    /// Request bytes sent (application plaintext, pre-encryption).
+    pub bytes_sent: AtomicU64,
     /// Errors.
     pub errors: AtomicU64,
     /// Total connection latency in microseconds (for averaging).
@@ -74,6 +89,31 @@ impl LoadStats {
     pub fn avg_latency(&self) -> Duration {
         let n = self.connections.load(Ordering::Relaxed).max(1);
         Duration::from_micros(self.latency_us_total.load(Ordering::Relaxed) / n)
+    }
+
+    /// Application-payload throughput over `elapsed`, in GB/s (both
+    /// directions: response bodies received plus request bytes sent).
+    pub fn gb_per_sec(&self, elapsed: Duration) -> f64 {
+        let bytes =
+            self.body_bytes.load(Ordering::Relaxed) + self.bytes_sent.load(Ordering::Relaxed);
+        bytes as f64 / elapsed.as_secs_f64().max(1e-9) / 1e9
+    }
+
+    /// One-line summary with the throughput column — the ApacheBench
+    /// "Transfer rate" role for bulk-transfer runs.
+    pub fn summary(&self, elapsed: Duration) -> String {
+        format!(
+            "conns {} resumed {} resp {} bytes-in {} bytes-out {} errors {} \
+             avg-lat {:?} | {:.3} GB/s",
+            self.connections.load(Ordering::Relaxed),
+            self.resumed.load(Ordering::Relaxed),
+            self.responses.load(Ordering::Relaxed),
+            self.body_bytes.load(Ordering::Relaxed),
+            self.bytes_sent.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.avg_latency(),
+            self.gb_per_sec(elapsed),
+        )
     }
 }
 
@@ -183,15 +223,15 @@ fn response_progress(buf: &[u8]) -> ResponseProgress {
 /// Run one TLS 1.3 connection: handshake (optionally offering PSK
 /// resumption from a prior connection's exported data), optional single
 /// request, close. Returns `(resume_out, resumed, responses,
-/// body_bytes)` — mirroring [`run_connection`] so mixed-version load
-/// loops can thread resumption state uniformly.
+/// body_bytes, req_bytes)` — mirroring [`run_connection`] so mixed-
+/// version load loops can thread resumption state uniformly.
 pub fn run_connection_tls13(
     listener: &VListener,
     cfg: &ClientConfig,
     seed: u64,
     resume: Option<Tls13ResumeData>,
     timeout: Duration,
-) -> Result<(Option<Tls13ResumeData>, bool, u64, u64), ClientError> {
+) -> Result<(Option<Tls13ResumeData>, bool, u64, u64, u64), ClientError> {
     let deadline = Instant::now() + timeout;
     let sock = listener.connect();
     let mut session = Tls13ClientSession::new_resuming(
@@ -235,8 +275,10 @@ pub fn run_connection_tls13(
     let resumed = session.was_resumed();
     let mut responses = 0u64;
     let mut body_bytes = 0u64;
+    let mut req_bytes = 0u64;
     if let Some(path) = &cfg.request_path {
         let req = format!("GET {path} HTTP/1.1\r\nHost: qtls\r\nConnection: close\r\n\r\n");
+        req_bytes += req.len() as u64;
         session.write_app_data(req.as_bytes())?;
         let mut resp_buf: Vec<u8> = Vec::new();
         let mut needed: Option<(usize, usize)> = None; // (total, header)
@@ -291,7 +333,7 @@ pub fn run_connection_tls13(
     }
     let resume_out = session.export_resume_data();
     sock.close();
-    Ok((resume_out, resumed, responses, body_bytes))
+    Ok((resume_out, resumed, responses, body_bytes, req_bytes))
 }
 
 /// Run one connection: handshake, optional requests, close.
@@ -302,7 +344,7 @@ pub fn run_connection(
     seed: u64,
     resume: Option<ResumeData>,
     timeout: Duration,
-) -> Result<(Option<ResumeData>, bool, u64, u64), ClientError> {
+) -> Result<(Option<ResumeData>, bool, u64, u64, u64), ClientError> {
     let deadline = Instant::now() + timeout;
     let sock = listener.connect();
     let mut session =
@@ -312,6 +354,7 @@ pub fn run_connection(
     let resumed = session.was_resumed();
     let mut responses = 0u64;
     let mut body_bytes = 0u64;
+    let mut req_bytes = 0u64;
     if let Some(path) = &cfg.request_path {
         let mut resp_buf: Vec<u8> = Vec::new();
         for i in 0..cfg.requests_per_conn {
@@ -320,6 +363,7 @@ pub fn run_connection(
                 "GET {path} HTTP/1.1\r\nHost: qtls\r\nConnection: {}\r\n\r\n",
                 if keep { "keep-alive" } else { "close" }
             );
+            req_bytes += req.len() as u64;
             session.write_app_data(req.as_bytes())?;
             // Read until a complete response is buffered.
             let mut needed: Option<(usize, usize)> = None; // (total, header)
@@ -355,7 +399,7 @@ pub fn run_connection(
     }
     let resume_out = session.export_resume_data();
     sock.close();
-    Ok((resume_out, resumed, responses, body_bytes))
+    Ok((resume_out, resumed, responses, body_bytes, req_bytes))
 }
 
 /// Spawn `n_clients` closed-loop client threads hammering `listener`
@@ -411,11 +455,11 @@ pub fn spawn_clients(
                                 Duration::from_secs(30),
                             )
                             .map(
-                                |(new_resume, resumed, responses, bytes)| {
+                                |(new_resume, resumed, responses, bytes, req_bytes)| {
                                     if new_resume.is_some() {
                                         resume12 = new_resume;
                                     }
-                                    (resumed, responses, bytes)
+                                    (resumed, responses, bytes, req_bytes)
                                 },
                             ),
                             Version::Tls13 => run_connection_tls13(
@@ -426,16 +470,16 @@ pub fn spawn_clients(
                                 Duration::from_secs(30),
                             )
                             .map(
-                                |(new_resume, resumed, responses, bytes)| {
+                                |(new_resume, resumed, responses, bytes, req_bytes)| {
                                     if new_resume.is_some() {
                                         resume13 = new_resume;
                                     }
-                                    (resumed, responses, bytes)
+                                    (resumed, responses, bytes, req_bytes)
                                 },
                             ),
                         };
                         match outcome {
-                            Ok((resumed, responses, bytes)) => {
+                            Ok((resumed, responses, bytes, req_bytes)) => {
                                 stats.connections.fetch_add(1, Ordering::Relaxed);
                                 stats
                                     .latency_us_total
@@ -448,6 +492,7 @@ pub fn spawn_clients(
                                 }
                                 stats.responses.fetch_add(responses, Ordering::Relaxed);
                                 stats.body_bytes.fetch_add(bytes, Ordering::Relaxed);
+                                stats.bytes_sent.fetch_add(req_bytes, Ordering::Relaxed);
                             }
                             Err(_) => {
                                 stats.errors.fetch_add(1, Ordering::Relaxed);

@@ -197,7 +197,7 @@ fn render_worker_section(page: &mut PromText, snap: &StatusSnapshot) {
         page.header(name, "gauge", help);
         page.sample(name, &[], value);
     }
-    let counters: [(&str, &str, u64); 8] = [
+    let counters: [(&str, &str, u64); 11] = [
         (
             "qtls_worker_handshakes_total",
             "Completed TLS handshakes.",
@@ -217,6 +217,21 @@ fn render_worker_section(page: &mut PromText, snap: &StatusSnapshot) {
             "qtls_worker_requests_total",
             "HTTP requests served.",
             snap.stats.requests,
+        ),
+        (
+            "qtls_worker_bytes_sent_total",
+            "Application bytes sent (HTTP responses, pre-encryption).",
+            snap.stats.bytes_sent,
+        ),
+        (
+            "qtls_worker_bytes_received_total",
+            "Application bytes received (HTTP requests, post-decryption).",
+            snap.stats.bytes_received,
+        ),
+        (
+            "qtls_worker_record_handoffs_total",
+            "Connections handed from the handshake control plane to the batched record codec.",
+            snap.stats.record_handoffs,
         ),
         (
             "qtls_worker_async_jobs_total",
@@ -536,6 +551,7 @@ pub fn render_stub_status(snap: &StatusSnapshot, engine: Option<&OffloadEngine>)
         "Active connections: {}\n\
          server accepts handled requests\n {} {} {}\n\
          TLS: alive {} idle {} active {} async-jobs {} resumptions {}\n\
+         bytes: sent {} received {} handoffs {}\n\
          submit: flushes {} flushed {} max-depth {} deferred {} \
          holds {} forced {} bypassed {} ewma-depth {}.{:03}\n",
         snap.tc_alive,
@@ -547,6 +563,9 @@ pub fn render_stub_status(snap: &StatusSnapshot, engine: Option<&OffloadEngine>)
         snap.tc_active,
         snap.stats.async_jobs,
         snap.stats.resumptions,
+        snap.stats.bytes_sent,
+        snap.stats.bytes_received,
+        snap.stats.record_handoffs,
         snap.stats.flushes,
         snap.stats.flushed_requests,
         snap.stats.max_flush_depth,
@@ -614,6 +633,9 @@ pub fn render_stub_status_kv(snap: &StatusSnapshot, engine: Option<&OffloadEngin
     kv("tls_active", snap.tc_active);
     kv("async_jobs", snap.stats.async_jobs);
     kv("resumptions", snap.stats.resumptions);
+    kv("bytes_sent", snap.stats.bytes_sent);
+    kv("bytes_received", snap.stats.bytes_received);
+    kv("record_handoffs", snap.stats.record_handoffs);
     kv("submit_flushes", snap.stats.flushes);
     kv("submit_flushed", snap.stats.flushed_requests);
     kv("submit_max_depth", snap.stats.max_flush_depth);
@@ -629,7 +651,6 @@ pub fn render_stub_status_kv(snap: &StatusSnapshot, engine: Option<&OffloadEngin
     kv("errors", snap.stats.errors);
     kv("closed", snap.stats.closed);
     kv("retries", snap.stats.retries);
-    kv("bytes_sent", snap.stats.bytes_sent);
     kv("cancelled_submits", snap.stats.cancelled_submits);
     kv("kernel_switches", snap.kernel_switches);
     if let Some(h) = &snap.heuristic {

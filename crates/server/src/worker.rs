@@ -22,9 +22,11 @@ use qtls_core::{
     NotifyScheme, OffloadEngine, OffloadProfile, PollingScheme, ShardPolicy, StartResult,
     SubmitQueue, TimerPoller, VirtualFd,
 };
+use qtls_crypto::TestRng;
 use qtls_qat::QatDevice;
 use qtls_tls::any_session::AnyServerSession;
-use qtls_tls::provider::{CryptoProvider, OffloadSelection};
+use qtls_tls::provider::{CryptoProvider, OffloadSelection, OpCounters};
+use qtls_tls::record::RecordCodec;
 use qtls_tls::server::ServerConfig;
 use qtls_tls::suite::Version;
 use qtls_tls::TlsError;
@@ -61,6 +63,13 @@ pub struct WorkerConfig {
     pub shard_policy: ShardPolicy,
     /// Observability plane (the `qat_metrics` directive family).
     pub metrics: MetricsConfig,
+    /// Hand established connections off to the batched record codec
+    /// (the `qat_record_offload` directive). Off = the handshake
+    /// session keeps serving application records one at a time.
+    pub record_offload: bool,
+    /// Records staged per data-plane batch submission (the
+    /// `qat_record_batch_depth` directive).
+    pub record_batch: usize,
 }
 
 impl WorkerConfig {
@@ -78,6 +87,8 @@ impl WorkerConfig {
             shards: 0,
             shard_policy: ShardPolicy::default(),
             metrics: MetricsConfig::default(),
+            record_offload: true,
+            record_batch: RecordCodec::DEFAULT_BATCH,
         }
     }
 
@@ -95,6 +106,8 @@ impl WorkerConfig {
             shards: d.worker_shards,
             shard_policy: d.shard_policy,
             metrics: d.metrics,
+            record_offload: d.record_offload,
+            record_batch: d.record_batch_depth,
         }
     }
 }
@@ -113,6 +126,11 @@ pub struct WorkerStats {
     pub requests: u64,
     /// Application bytes sent.
     pub bytes_sent: u64,
+    /// Application bytes received.
+    pub bytes_received: u64,
+    /// Established connections handed off from the handshake control
+    /// plane to the batched record codec.
+    pub record_handoffs: u64,
     /// Fiber jobs that paused at least once (offload jobs).
     pub async_jobs: u64,
     /// Job resumptions processed.
@@ -184,10 +202,23 @@ fn folded_submit_stats(engine: &OffloadEngine) -> Option<FoldedSubmit> {
 }
 
 /// The bundle that travels in and out of fiber jobs: the TLS session plus
-/// the connection's HTTP parsing state.
+/// the connection's HTTP parsing state and, once the handshake control
+/// plane has handed off, the batched data-plane record codec.
 struct ConnCtx {
     session: Box<AnyServerSession>,
     http_buf: Vec<u8>,
+    /// The data-plane codec; `Some` after the post-Finished handoff.
+    codec: Option<RecordCodec>,
+    /// Provider + counters the data plane seals/opens through (the
+    /// handshake session keeps its own for control-plane ops).
+    provider: CryptoProvider,
+    counters: OpCounters,
+    rng: TestRng,
+    /// Wire records sealed by the codec this pass, flushed to the
+    /// socket by `finish_service`.
+    wire_out: Vec<u8>,
+    record_offload: bool,
+    record_batch: usize,
 }
 
 /// Result of one service pass over a connection.
@@ -197,6 +228,9 @@ struct ServiceReport {
     resume_miss: bool,
     requests: u64,
     bytes_sent: u64,
+    bytes_received: u64,
+    /// This pass performed the control-plane → data-plane handoff.
+    handoff: bool,
     close: bool,
     error: Option<TlsError>,
 }
@@ -211,26 +245,62 @@ fn service(ctx: &mut ConnCtx, content: &ContentStore, plane: &MetricsPlane) -> S
         resume_miss: false,
         requests: 0,
         bytes_sent: 0,
+        bytes_received: 0,
+        handoff: false,
         close: false,
         error: None,
     };
-    let was_established = ctx.session.is_established();
-    match ctx.session.process() {
-        Ok(()) => {}
-        Err(e) => {
-            report.error = Some(e);
-            report.close = true;
-            return report;
+    if ctx.codec.is_none() {
+        let was_established = ctx.session.is_established();
+        match ctx.session.process() {
+            Ok(()) => {}
+            Err(e) => {
+                report.error = Some(e);
+                report.close = true;
+                return report;
+            }
+        }
+        if !was_established && ctx.session.is_established() {
+            report.handshake_done = true;
+            report.resumed = ctx.session.was_resumed();
+            report.resume_miss = ctx.session.resume_missed();
+        }
+        // Application data the handshake session decrypted before the
+        // handoff (e.g. a request pipelined behind Finished).
+        while let Some(chunk) = ctx.session.read_app_data() {
+            report.bytes_received += chunk.len() as u64;
+            ctx.http_buf.extend_from_slice(&chunk);
+        }
+        // Control plane → data plane: once established, the handshake
+        // session exports its record secrets (sequence spaces included)
+        // and the batched codec owns record protection from here on.
+        if ctx.record_offload && ctx.session.is_established() {
+            match ctx.session.extract_secrets() {
+                Ok((secrets, leftover)) => {
+                    ctx.codec = Some(RecordCodec::new(secrets, leftover, ctx.record_batch));
+                    report.handoff = true;
+                }
+                Err(e) => {
+                    report.error = Some(e);
+                    report.close = true;
+                    return report;
+                }
+            }
         }
     }
-    if !was_established && ctx.session.is_established() {
-        report.handshake_done = true;
-        report.resumed = ctx.session.was_resumed();
-        report.resume_miss = ctx.session.resume_missed();
-    }
-    // HTTP layer over decrypted application data.
-    while let Some(chunk) = ctx.session.read_app_data() {
-        ctx.http_buf.extend_from_slice(&chunk);
+    if let Some(codec) = &mut ctx.codec {
+        let mut plain = Vec::new();
+        match codec.open_into(&mut plain, &ctx.provider, &mut ctx.counters) {
+            Ok(_) => {
+                report.bytes_received += plain.len() as u64;
+                ctx.http_buf.extend_from_slice(&plain);
+            }
+            Err(e) => {
+                report.error = Some(e);
+                report.close = true;
+                return report;
+            }
+        }
     }
     loop {
         match http::parse_request(&ctx.http_buf) {
@@ -255,10 +325,17 @@ fn service(ctx: &mut ConnCtx, content: &ContentStore, plane: &MetricsPlane) -> S
                 let resp = http::build_response(status, reason, &body, req.keep_alive);
                 report.bytes_sent += resp.len() as u64;
                 report.requests += 1;
-                if let Err(e) = ctx.session.write_app_data(&resp) {
-                    report.error = Some(e);
-                    report.close = true;
-                    break;
+                match &mut ctx.codec {
+                    // Data plane: stage now, seal the whole pass as one
+                    // scatter-gather batch below.
+                    Some(codec) => codec.stage(&resp),
+                    None => {
+                        if let Err(e) = ctx.session.write_app_data(&resp) {
+                            report.error = Some(e);
+                            report.close = true;
+                            break;
+                        }
+                    }
                 }
                 if !req.keep_alive {
                     report.close = true;
@@ -269,6 +346,22 @@ fn service(ctx: &mut ConnCtx, content: &ContentStore, plane: &MetricsPlane) -> S
             ParseOutcome::Bad(_) => {
                 report.close = true;
                 break;
+            }
+        }
+    }
+    // One batched flush per service pass: every response staged above is
+    // sealed through the engine in batches of `record_batch` in-place
+    // descriptors — one doorbell per batch, not per record.
+    if let Some(codec) = &mut ctx.codec {
+        if codec.staged_bytes() > 0 {
+            if let Err(e) = codec.flush_into(
+                &mut ctx.wire_out,
+                &ctx.provider,
+                &mut ctx.counters,
+                &mut ctx.rng,
+            ) {
+                report.error = Some(e);
+                report.close = true;
             }
         }
     }
@@ -506,6 +599,13 @@ impl Worker {
                     driver: Driver::Idle(ConnCtx {
                         session,
                         http_buf: Vec::new(),
+                        codec: None,
+                        provider: self.provider(),
+                        counters: OpCounters::default(),
+                        rng: TestRng::new(self.session_seed ^ 0xda7a_9a7e),
+                        wire_out: Vec::new(),
+                        record_offload: self.cfg.record_offload,
+                        record_batch: self.cfg.record_batch,
                     }),
                     fd: None,
                     established: false,
@@ -652,9 +752,13 @@ impl Worker {
         let Driver::Idle(mut ctx) = std::mem::replace(&mut conn.driver, Driver::Taken) else {
             unreachable!("checked above")
         };
-        // Feed everything readable.
+        // Feed everything readable: to the data-plane codec once the
+        // connection has handed off, to the handshake session before.
         match conn.sock.read_all() {
-            Ok(bytes) => ctx.session.feed(&bytes),
+            Ok(bytes) => match &mut ctx.codec {
+                Some(codec) => codec.feed(&bytes),
+                None => ctx.session.feed(&bytes),
+            },
             Err(SockError::WouldBlock) | Err(SockError::Closed) => {}
         }
         let use_async = self.cfg.profile.uses_async();
@@ -765,9 +869,16 @@ impl Worker {
     /// Post-service bookkeeping: flush output, update stats, close.
     fn finish_service(&mut self, id: u64, mut ctx: ConnCtx, report: ServiceReport) {
         let out = ctx.session.take_output();
+        let wire = std::mem::take(&mut ctx.wire_out);
         let conn = self.conns.get_mut(&id).expect("exists");
         if !out.is_empty() {
             let _ = conn.sock.write(&out);
+        }
+        if !wire.is_empty() {
+            let _ = conn.sock.write(&wire);
+        }
+        if report.handoff {
+            self.stats.record_handoffs += 1;
         }
         if report.handshake_done {
             self.stats.handshakes += 1;
@@ -781,6 +892,7 @@ impl Worker {
         }
         self.stats.requests += report.requests;
         self.stats.bytes_sent += report.bytes_sent;
+        self.stats.bytes_received += report.bytes_received;
         if report.error.is_some() {
             self.stats.errors += 1;
         }

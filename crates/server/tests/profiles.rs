@@ -50,7 +50,7 @@ where
 }
 
 fn handshake_and_get(listener: &Arc<VListener>, cfg: &ClientConfig, seed: u64) {
-    let (_, _, responses, _) =
+    let (_, _, responses, _, _) =
         run_connection(listener, cfg, seed, None, Duration::from_secs(60)).expect("connection");
     if cfg.request_path.is_some() {
         assert_eq!(responses, cfg.requests_per_conn as u64);
@@ -175,7 +175,7 @@ fn session_resumption_through_worker() {
         // One closed-loop client doing 10 connections: 1 full + 9 abbreviated.
         let mut resume = None;
         for i in 0..10u64 {
-            let (new_resume, _resumed, _, _) =
+            let (new_resume, _resumed, _, _, _) =
                 run_connection(l, &cfg, 8000 + i, resume.take(), Duration::from_secs(60))
                     .expect("connection");
             resume = new_resume;
@@ -271,7 +271,7 @@ fn tls13_through_qtls_worker() {
             request_path: Some("/4kb".into()),
             ..ClientConfig::default()
         };
-        let (_, resumed, responses, bytes) =
+        let (_, resumed, responses, bytes, _) =
             run_connection_tls13(&listener, &cfg, 60_000 + i, None, Duration::from_secs(60))
                 .expect("tls13 connection");
         assert!(!resumed, "no PSK offered");
@@ -329,6 +329,7 @@ fn stub_status_formats_every_field() {
         "Active connections: 0\n\
          server accepts handled requests\n 0 0 0\n\
          TLS: alive 0 idle 0 active 0 async-jobs 0 resumptions 0\n\
+         bytes: sent 0 received 0 handoffs 0\n\
          submit: flushes 0 flushed 0 max-depth 0 deferred 0 \
          holds 0 forced 0 bypassed 0 ewma-depth 0.000\n"
     );
@@ -754,6 +755,14 @@ fn stub_status_kv_is_a_superset_of_the_human_page() {
             ] {
                 pairs.push((key.into(), f[idx].parse().unwrap()));
             }
+        } else if line.starts_with("bytes:") {
+            for (key, idx) in [
+                ("bytes_sent", 2),
+                ("bytes_received", 4),
+                ("record_handoffs", 6),
+            ] {
+                pairs.push((key.into(), f[idx].parse().unwrap()));
+            }
         } else if line.starts_with("submit:") {
             for (key, idx) in [
                 ("submit_flushes", 2),
@@ -888,6 +897,68 @@ fn metrics_endpoints_are_404_when_disabled() {
         let snap = engine.obs().merged(phase, qtls_qat::OpClass::Asym);
         assert_eq!(snap.count(), 0, "disabled plane must record nothing");
     }
+}
+
+#[test]
+fn data_plane_codec_serves_bulk_objects() {
+    // Tentpole: after Finished the worker hands the connection to the
+    // batched record codec; a 1 MB object leaves as 64 records sealed in
+    // scatter-gather batches — far fewer doorbells than records.
+    let listener = Arc::new(VListener::new());
+    let device = QatDevice::new(QatConfig::functional_small());
+    let mut worker = Worker::new(
+        Arc::clone(&listener),
+        Some(&device),
+        WorkerConfig::new(OffloadProfile::Qtls),
+    );
+    let (sock, mut client) = hand_establish(&mut worker, &listener, 701);
+    for _ in 0..20 {
+        worker.run_iteration();
+    }
+    assert_eq!(worker.stats.record_handoffs, 1, "handoff after Finished");
+    let fw = device.fw_counters();
+    let ciphers_before = fw.cipher.load(Ordering::Relaxed);
+    let doorbells_before = fw.doorbells.load(Ordering::Relaxed);
+    let (status, body) = https_get(&mut worker, &sock, &mut client, "/1024kb");
+    assert_eq!(status, 200);
+    assert_eq!(body.len(), 1024 * 1024);
+    let ciphers = fw.cipher.load(Ordering::Relaxed) - ciphers_before;
+    let doorbells = fw.doorbells.load(Ordering::Relaxed) - doorbells_before;
+    assert!(
+        ciphers >= 64,
+        "bulk records sealed on the device: {ciphers}"
+    );
+    assert!(
+        doorbells < ciphers / 2,
+        "batching must amortize doorbells: {doorbells} vs {ciphers}"
+    );
+    assert!(worker.stats.bytes_sent >= 1024 * 1024);
+    assert!(worker.stats.bytes_received > 0, "request bytes counted");
+    let page = worker.stub_status();
+    assert!(page.contains("handoffs 1"), "{page}");
+    let kv = worker.stub_status_kv();
+    assert!(
+        kv.lines()
+            .any(|l| l.starts_with("bytes_received ") && !l.ends_with(" 0")),
+        "{kv}"
+    );
+}
+
+#[test]
+fn record_offload_directive_off_keeps_the_session_path() {
+    // `qat_record_offload off`: established connections keep serving
+    // through the handshake session's record layer — no codec handoff.
+    let listener = Arc::new(VListener::new());
+    let mut cfg = WorkerConfig::new(OffloadProfile::Sw);
+    cfg.record_offload = false;
+    let mut worker = Worker::new(Arc::clone(&listener), None, cfg);
+    let (sock, mut client) = hand_establish(&mut worker, &listener, 702);
+    let (status, body) = https_get(&mut worker, &sock, &mut client, "/4kb");
+    assert_eq!(status, 200);
+    assert_eq!(body.len(), 4096);
+    assert_eq!(worker.stats.record_handoffs, 0, "no handoff when off");
+    assert!(worker.stats.bytes_received > 0);
+    assert!(worker.stats.bytes_sent >= 4096);
 }
 
 #[test]

@@ -63,6 +63,7 @@ fn main() {
             "resumption",
             Box::new(move || experiments::resumption_ablation(f)),
         ),
+        ("bulk", Box::new(move || experiments::bulk_ablation(f))),
     ];
     for (name, runner) in all {
         if !wanted.is_empty() && !wanted.contains(&name) {

@@ -106,6 +106,18 @@ impl AnyServerSession {
             AnyServerSession::V13(s) => s.counters,
         }
     }
+
+    /// Export the established record secrets plus leftover inbound bytes
+    /// for a data-plane [`crate::record::RecordCodec`] — the
+    /// version-erased control-plane/data-plane handoff the worker uses.
+    pub fn extract_secrets(
+        &mut self,
+    ) -> Result<(crate::keys::ExtractedSecrets, Vec<u8>), TlsError> {
+        match self {
+            AnyServerSession::V12(s) => s.extract_secrets(),
+            AnyServerSession::V13(s) => s.extract_secrets(),
+        }
+    }
 }
 
 #[cfg(test)]

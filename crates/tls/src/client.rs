@@ -189,6 +189,18 @@ impl ClientSession {
         Ok(())
     }
 
+    /// Export the established record secrets plus leftover inbound bytes
+    /// for a data-plane [`crate::record::RecordCodec`] (see
+    /// [`crate::server::ServerSession::extract_secrets`]).
+    pub fn extract_secrets(
+        &mut self,
+    ) -> Result<(crate::keys::ExtractedSecrets, Vec<u8>), TlsError> {
+        if self.state != State::Connected {
+            return Err(TlsError::InvalidState("extract before established"));
+        }
+        self.records.extract_secrets()
+    }
+
     /// Process everything currently buffered.
     pub fn process(&mut self) -> Result<(), TlsError> {
         loop {

@@ -87,6 +87,35 @@ pub fn finished_verify_data(
     )
 }
 
+/// One direction's record-protection state at the moment of extraction:
+/// the keys plus the sequence number the handshake advanced to, so the
+/// data plane continues the sequence without a gap (a gap or repeat
+/// would fail the peer's MAC check).
+#[derive(Clone)]
+pub struct DirectionSecrets {
+    /// Record-protection keys for this direction.
+    pub keys: DirectionKeys,
+    /// Next record sequence number for this direction.
+    pub seq: u64,
+}
+
+/// kTLS-style snapshot of an established connection's record state.
+///
+/// After `Finished`, the handshake control plane exports these and hands
+/// the connection to the record-layer data plane
+/// ([`crate::record::RecordCodec`]), which never touches handshake state
+/// again — mirroring how a kernel-TLS `setsockopt` receives
+/// `tls12_crypto_info` and takes over record protection.
+#[derive(Clone)]
+pub struct ExtractedSecrets {
+    /// Record-layer protocol version on the wire (e.g. `0x0303`).
+    pub version: u16,
+    /// Our write direction (we seal with these).
+    pub write: DirectionSecrets,
+    /// Our read direction (we open with these).
+    pub read: DirectionSecrets,
+}
+
 /// Label for the server Finished.
 pub const SERVER_FINISHED: &[u8] = b"server finished";
 /// Label for the client Finished.

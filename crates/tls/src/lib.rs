@@ -85,7 +85,9 @@ pub mod tls13;
 pub use any_session::AnyServerSession;
 pub use client::{ClientSession, ResumeData};
 pub use error::TlsError;
+pub use keys::{DirectionSecrets, ExtractedSecrets};
 pub use provider::{CryptoProvider, OffloadSelection, OpCounters};
+pub use record::RecordCodec;
 pub use server::{ProcessOutcome, ServerConfig, ServerSession};
 pub use store::{SharedSessionStore, StoreStats, TicketKeyRing};
 pub use suite::{CipherSuite, SuiteConfig, Version};

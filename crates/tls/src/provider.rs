@@ -314,6 +314,28 @@ impl CryptoProvider {
             }
         }
     }
+
+    /// Does record crypto go to the accelerator? The record codec uses
+    /// this to pick between its in-place software path and the batched
+    /// offload path.
+    pub fn offloads_cipher(&self) -> bool {
+        self.engine_for(|s| s.cipher).is_some()
+    }
+
+    /// Batched record protection for the data plane: each op protects one
+    /// record, and the engine publishes the whole batch under a single
+    /// doorbell ([`OffloadEngine::offload_batch`]). Results come back in
+    /// op order. Returns `None` when record crypto is not offloaded (the
+    /// caller runs its software path instead).
+    pub fn cipher_batch(
+        &self,
+        counters: &mut OpCounters,
+        ops: Vec<CryptoOp>,
+    ) -> Option<Vec<Result<CryptoOutput, CryptoError>>> {
+        let engine = self.engine_for(|s| s.cipher)?;
+        counters.cipher += ops.len() as u32;
+        Some(engine.offload_batch(ops))
+    }
 }
 
 /// Software record encryption (shared with the QAT engine's real-compute

@@ -270,6 +270,20 @@ impl ServerSession {
         Ok(())
     }
 
+    /// Export the established record secrets (kTLS-style) plus any
+    /// buffered-but-unparsed inbound bytes, handing record protection to
+    /// a data-plane [`crate::record::RecordCodec`]. The handshake state
+    /// machine keeps its role (counters, resumption metadata) but can no
+    /// longer perform record I/O.
+    pub fn extract_secrets(
+        &mut self,
+    ) -> Result<(crate::keys::ExtractedSecrets, Vec<u8>), TlsError> {
+        if self.state != State::Connected {
+            return Err(TlsError::InvalidState("extract before established"));
+        }
+        self.records.extract_secrets()
+    }
+
     /// Process everything currently buffered.
     pub fn process(&mut self) -> Result<ProcessOutcome, TlsError> {
         let was_established = self.is_established();

@@ -246,6 +246,20 @@ impl Tls13ServerSession {
         Ok(())
     }
 
+    /// Export the established record secrets plus leftover inbound bytes
+    /// for a data-plane [`crate::record::RecordCodec`] (see
+    /// [`crate::server::ServerSession::extract_secrets`]). The TLS 1.3
+    /// application traffic keys are active at this point, so the codec
+    /// continues the application-data sequence space.
+    pub fn extract_secrets(
+        &mut self,
+    ) -> Result<(crate::keys::ExtractedSecrets, Vec<u8>), TlsError> {
+        if !self.is_established() {
+            return Err(TlsError::InvalidState("extract before established"));
+        }
+        self.records.extract_secrets()
+    }
+
     /// Process buffered input.
     pub fn process(&mut self) -> Result<(), TlsError> {
         loop {
@@ -701,6 +715,19 @@ impl Tls13ClientSession {
         )?;
         self.out.extend_from_slice(&rec);
         Ok(())
+    }
+
+    /// Export the established record secrets plus leftover inbound bytes
+    /// for a data-plane [`crate::record::RecordCodec`]. Call after any
+    /// expected NewSessionTicket has been processed — post-handoff
+    /// handshake records are rejected by the codec.
+    pub fn extract_secrets(
+        &mut self,
+    ) -> Result<(crate::keys::ExtractedSecrets, Vec<u8>), TlsError> {
+        if !self.is_established() {
+            return Err(TlsError::InvalidState("extract before established"));
+        }
+        self.records.extract_secrets()
     }
 
     /// Process buffered input.

@@ -76,6 +76,34 @@ if ! grep -q "resumption_speedup: PASS" <<< "$resumption_bench"; then
 fi
 echo "ok: resumed CPS at least 2x full-handshake CPS"
 
+echo "== bulk data-plane figure + bench smoke =="
+# The record data plane's ablation (DESIGN.md §13) must emit all four
+# series in SMOKE fidelity, the bench group must report byte throughput
+# for both the roundtrip and publish-only rows, and the batched-vs-
+# per-record verdict (>= 1.5x at depth 16, asserted inside the bench)
+# must be reached.
+bulk_fig=$(cargo run --release --offline -p qtls-sim --bin figures -- smoke bulk)
+for series in "SW" "per-record" "pinned-16" "batched-16"; do
+  if ! grep -qF "$series" <<< "$bulk_fig"; then
+    echo "bulk figure missing series: $series" >&2
+    exit 1
+  fi
+done
+echo "ok: bulk figure emits all data-plane series"
+bulk_bench=$(cargo bench --offline -p qtls-bench --bench framework -- bulk_transfer)
+for case in per_record_depth16 batched_depth16 \
+            publish_only/per_record publish_only/batched; do
+  if ! grep -F "bulk_transfer/$case" <<< "$bulk_bench" | grep -qE 'thrpt: [0-9.]+ [KMG]iB/s'; then
+    echo "bench bulk_transfer/$case missing or lacks a bytes throughput row" >&2
+    exit 1
+  fi
+done
+if ! grep -q "bulk_batched_speedup: PASS" <<< "$bulk_bench"; then
+  echo "bulk_transfer bench did not print its PASS verdict" >&2
+  exit 1
+fi
+echo "ok: batched bulk transfer at least 1.5x per-record at depth 16"
+
 echo "== metrics plane smoke =="
 # Boot a sharded QTLS worker with qat_metrics on, scrape /metrics over
 # a real in-band TLS connection, and validate the exposition with the
