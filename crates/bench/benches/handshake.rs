@@ -161,10 +161,62 @@ fn bench_resumption(c: &mut Criterion) {
     println!("resumption_speedup: PASS ({speedup:.2}x resumed vs full CPS)");
 }
 
+/// Admission-control economics: the whole point of the retry-token
+/// scheme is asymmetry — minting and verifying a challenge must be
+/// orders of magnitude cheaper than the full handshake it displaces, or
+/// an attacker could flood challenges as effectively as ClientHellos.
+fn bench_admission(c: &mut Criterion) {
+    use std::time::Instant;
+    let config = ServerConfig::test_default();
+    let keys = Arc::clone(&config.ticket_keys);
+
+    let mut group = c.benchmark_group("admission");
+    group.sample_size(10);
+    let k = Arc::clone(&keys);
+    group.bench_function("challenge_mint_verify", |b| {
+        b.iter(|| {
+            let token = k.mint_retry_token(0xbeef, 1_000);
+            assert!(k.verify_retry_token(&token, 0xbeef, 1_000, 30));
+        })
+    });
+    group.finish();
+
+    // Verdict: paired batches, median full-handshake/challenge time
+    // ratio. The challenge batch is run CHALLENGES_PER_HS times per
+    // handshake so both sides take a measurable span.
+    const BATCH: usize = 20;
+    const CHALLENGES_PER_HS: usize = 50;
+    const PAIRS: usize = 9;
+    let mut ratios = Vec::with_capacity(PAIRS);
+    for _ in 0..PAIRS {
+        let t = Instant::now();
+        for _ in 0..BATCH {
+            full_handshake(&config, CryptoProvider::Software, CipherSuite::EcdheRsa);
+        }
+        let full = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        for i in 0..BATCH * CHALLENGES_PER_HS {
+            let token = keys.mint_retry_token(i as u64, 1_000);
+            assert!(keys.verify_retry_token(&token, i as u64, 1_000, 30));
+        }
+        let challenge = t.elapsed().as_secs_f64() / CHALLENGES_PER_HS as f64;
+        ratios.push(full / challenge);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let ratio = ratios[PAIRS / 2];
+    assert!(
+        ratio >= 50.0,
+        "a challenge must be at least 50x cheaper than the full handshake it displaces, \
+         got {ratio:.0}x"
+    );
+    println!("admission_challenge_cheap: PASS ({ratio:.0}x cheaper than a full handshake)");
+}
+
 criterion_group!(
     benches,
     bench_handshakes,
     bench_offloaded_handshake,
-    bench_resumption
+    bench_resumption,
+    bench_admission
 );
 criterion_main!(benches);

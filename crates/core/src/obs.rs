@@ -658,6 +658,12 @@ pub mod registry {
         "qtls_worker_resumptions_total",
         "qtls_worker_errors_total",
         "qtls_worker_kernel_switches_total",
+        "qtls_worker_accepts_total",
+        "qtls_admission_challenges_total",
+        "qtls_admission_tokens_verified_total",
+        "qtls_admission_tokens_rejected_total",
+        "qtls_admission_accept_sheds_total",
+        "qtls_admission_overloads_total",
         "qtls_metrics_enabled",
     ];
 

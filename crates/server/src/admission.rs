@@ -1,0 +1,211 @@
+//! Handshake-flood admission control (the QFAM design): when a worker
+//! is over its inflight-handshake watermark, a brand-new ClientHello is
+//! not fed to the TLS engine — the worker mints a stateless retry token
+//! (HMAC over the client address + a coarse timestamp, keyed by the
+//! cluster's rotating ticket-key ring; see [`qtls_tls::admission`]) and
+//! closes. A legitimate client round-trips the token on its reconnect
+//! and is admitted before the server spends any asymmetric offload
+//! work; a spoofing flooder never completes the round trip.
+//!
+//! The token travels in a tiny pre-TLS frame. TLS record content types
+//! live in 0x14..=0x17, so the 0xAD magic byte can never be confused
+//! with a ClientHello — one byte of lookahead classifies a connection's
+//! first bytes as "admission frame" or "raw TLS".
+//!
+//! ```text
+//! server -> client   [0xAD, 0x01, len_hi, len_lo, token...]   challenge
+//! client -> server   [0xAD, 0x02, len_hi, len_lo, token...]   retry
+//! ```
+
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// First byte of an admission frame (TLS records start 0x14..=0x17).
+pub const FRAME_MAGIC: u8 = 0xAD;
+/// Frame kind: server challenge carrying a freshly minted token.
+pub const FRAME_CHALLENGE: u8 = 0x01;
+/// Frame kind: client retry presenting a previously issued token.
+pub const FRAME_TOKEN: u8 = 0x02;
+/// Frame header: magic, kind, u16 token length.
+const FRAME_HEADER: usize = 4;
+/// Cap on the token length field — far above any real token, just a
+/// guard against absurd allocations from hostile length prefixes.
+const MAX_TOKEN_LEN: usize = 256;
+
+/// The `admission_*` directive family.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionConfig {
+    /// `admission_control on|off`: challenge token-less new
+    /// ClientHellos while over the watermark.
+    pub enabled: bool,
+    /// `admission_watermark N`: inflight (not-yet-established)
+    /// handshakes at which the worker enters overload mode.
+    pub watermark: u64,
+    /// `admission_accepts_per_sweep N`: accepts one event-loop
+    /// iteration takes before returning to in-flight work.
+    pub accepts_per_sweep: usize,
+    /// `admission_backlog_cap N`: per-listener accept backlog bound;
+    /// connections beyond it are shed at accept with a counter.
+    pub backlog_cap: usize,
+    /// `admission_token_lifetime N` (seconds): how long a minted retry
+    /// token verifies.
+    pub token_lifetime: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enabled: false,
+            watermark: 64,
+            accepts_per_sweep: 64,
+            backlog_cap: crate::net::DEFAULT_BACKLOG,
+            token_lifetime: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Coarse wall-clock seconds for token minting/verification. All
+/// workers share the same clock, so a token minted on worker A verifies
+/// on worker B.
+pub fn coarse_now_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn frame(kind: u8, token: &[u8]) -> Vec<u8> {
+    debug_assert!(token.len() <= MAX_TOKEN_LEN);
+    let mut out = Vec::with_capacity(FRAME_HEADER + token.len());
+    out.push(FRAME_MAGIC);
+    out.push(kind);
+    out.extend_from_slice(&(token.len() as u16).to_be_bytes());
+    out.extend_from_slice(token);
+    out
+}
+
+/// Encode a server→client challenge frame carrying `token`.
+pub fn challenge_frame(token: &[u8]) -> Vec<u8> {
+    frame(FRAME_CHALLENGE, token)
+}
+
+/// Encode a client→server retry frame presenting `token`.
+pub fn token_frame(token: &[u8]) -> Vec<u8> {
+    frame(FRAME_TOKEN, token)
+}
+
+/// Result of classifying a connection's buffered first bytes.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameParse {
+    /// Does not start with the magic byte: raw TLS (a ClientHello).
+    NotAFrame,
+    /// Starts like a frame but the full token has not arrived yet.
+    Incomplete,
+    /// The header is hostile (oversized length, unknown kind).
+    Malformed,
+    /// A complete frame.
+    Frame {
+        /// [`FRAME_CHALLENGE`] or [`FRAME_TOKEN`].
+        kind: u8,
+        /// The carried token bytes.
+        token: Vec<u8>,
+        /// Bytes the frame occupied; anything after belongs to TLS.
+        consumed: usize,
+    },
+}
+
+/// Classify `buf` (a connection's buffered first bytes).
+pub fn parse_frame(buf: &[u8]) -> FrameParse {
+    if buf.first() != Some(&FRAME_MAGIC) {
+        return FrameParse::NotAFrame;
+    }
+    if buf.len() < FRAME_HEADER {
+        return FrameParse::Incomplete;
+    }
+    let kind = buf[1];
+    if kind != FRAME_CHALLENGE && kind != FRAME_TOKEN {
+        return FrameParse::Malformed;
+    }
+    let len = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+    if len > MAX_TOKEN_LEN {
+        return FrameParse::Malformed;
+    }
+    if buf.len() < FRAME_HEADER + len {
+        return FrameParse::Incomplete;
+    }
+    FrameParse::Frame {
+        kind,
+        token: buf[FRAME_HEADER..FRAME_HEADER + len].to_vec(),
+        consumed: FRAME_HEADER + len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let token = vec![7u8; 24];
+        for (encode, kind) in [
+            (challenge_frame as fn(&[u8]) -> Vec<u8>, FRAME_CHALLENGE),
+            (token_frame, FRAME_TOKEN),
+        ] {
+            let wire = encode(&token);
+            match parse_frame(&wire) {
+                FrameParse::Frame {
+                    kind: k,
+                    token: t,
+                    consumed,
+                } => {
+                    assert_eq!(k, kind);
+                    assert_eq!(t, token);
+                    assert_eq!(consumed, wire.len());
+                }
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_stay_unconsumed() {
+        let mut wire = token_frame(&[1, 2, 3]);
+        wire.extend_from_slice(&[0x16, 0x03, 0x03]); // a TLS record follows
+        match parse_frame(&wire) {
+            FrameParse::Frame { consumed, .. } => assert_eq!(consumed, wire.len() - 3),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_reads_report_incomplete() {
+        let wire = challenge_frame(&[9u8; 24]);
+        for cut in 1..wire.len() {
+            assert_eq!(
+                parse_frame(&wire[..cut]),
+                FrameParse::Incomplete,
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn tls_records_are_not_frames() {
+        assert_eq!(
+            parse_frame(&[0x16, 0x03, 0x03, 0x00]),
+            FrameParse::NotAFrame
+        );
+        assert_eq!(parse_frame(&[]), FrameParse::NotAFrame);
+    }
+
+    #[test]
+    fn hostile_headers_are_malformed_not_allocations() {
+        assert_eq!(
+            parse_frame(&[0xAD, 0x01, 0xFF, 0xFF]),
+            FrameParse::Malformed
+        );
+        assert_eq!(
+            parse_frame(&[0xAD, 0x7F, 0x00, 0x00]),
+            FrameParse::Malformed
+        );
+    }
+}

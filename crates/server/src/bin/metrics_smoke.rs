@@ -113,6 +113,11 @@ fn main() {
         "qtls_shard_inflight",
         "qtls_qat_submitted_total",
         "qtls_worker_handshakes_total",
+        "qtls_worker_accepts_total",
+        "qtls_admission_challenges_total",
+        "qtls_admission_tokens_verified_total",
+        "qtls_admission_accept_sheds_total",
+        "qtls_admission_overloads_total",
     ] {
         assert!(
             families.iter().any(|f| f == must),

@@ -11,9 +11,74 @@ use qtls_crypto::TestRng;
 use qtls_qat::QatDevice;
 use qtls_tls::server::ServerConfig;
 use qtls_tls::store::{SharedSessionStore, TicketKeyRing};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Per-worker dispatch accounting kept by the master dispatcher.
+struct DispatchCounters {
+    /// Sockets handed to each worker's accept queue.
+    dispatched: Vec<AtomicU64>,
+    /// Injects each worker's full backlog bounced back.
+    rejected: Vec<AtomicU64>,
+    /// Sockets dropped because every worker's backlog was full.
+    shed: AtomicU64,
+}
+
+/// Snapshot of the dispatcher's per-worker accounting.
+#[derive(Clone, Debug, Default)]
+pub struct DispatchSnapshot {
+    /// Sockets handed to each worker's accept queue.
+    pub dispatched: Vec<u64>,
+    /// Injects each worker's full backlog bounced back (the socket was
+    /// retried on the next worker, so a reject is not a drop).
+    pub rejected: Vec<u64>,
+    /// Sockets dropped at dispatch because every backlog was full.
+    pub shed: u64,
+}
+
+impl DispatchCounters {
+    fn new(workers: usize) -> Self {
+        DispatchCounters {
+            dispatched: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            rejected: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> DispatchSnapshot {
+        DispatchSnapshot {
+            dispatched: self
+                .dispatched
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            rejected: self
+                .rejected
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What `Cluster::shutdown` returns: per-worker stats plus a full
+/// accounting of every socket that entered the cluster but was never
+/// served — nothing disappears silently at shutdown.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Per-worker `(stats, kernel_switches)`, worker order.
+    pub workers: Vec<(WorkerStats, u64)>,
+    /// Sockets still queued on the shared listener when the dispatcher
+    /// stopped (never assigned to a worker); drained and closed.
+    pub undispatched: u64,
+    /// Sockets per worker that were dispatched but never accepted
+    /// (still in the worker's backlog at shutdown); drained and closed.
+    pub dropped_accepts: Vec<u64>,
+    /// The dispatcher's per-worker dispatch/reject/shed accounting.
+    pub dispatch: DispatchSnapshot,
+}
 
 /// A running multi-worker HTTPS server.
 pub struct Cluster {
@@ -23,6 +88,8 @@ pub struct Cluster {
     dispatcher: Option<std::thread::JoinHandle<()>>,
     device: Option<Arc<QatDevice>>,
     session_store: Arc<SharedSessionStore>,
+    worker_listeners: Vec<Arc<VListener>>,
+    dispatch: Arc<DispatchCounters>,
 }
 
 impl Cluster {
@@ -56,25 +123,51 @@ impl Cluster {
         let stop = Arc::new(AtomicBool::new(false));
         // Per-worker accept queues, fed round-robin by the master
         // dispatcher ("handle incoming connections in a balanced
-        // manner", §2.2).
+        // manner", §2.2). Backlogs are bounded by the admission
+        // directive so a handshake flood cannot grow them without limit.
         let worker_listeners: Vec<Arc<VListener>> = (0..directives.worker_processes)
-            .map(|_| Arc::new(VListener::new()))
+            .map(|_| Arc::new(VListener::with_capacity(directives.admission.backlog_cap)))
             .collect();
+        let dispatch = Arc::new(DispatchCounters::new(directives.worker_processes));
         let dispatcher = {
             let shared = Arc::clone(&listener);
             let targets = worker_listeners.clone();
             let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&dispatch);
             std::thread::Builder::new()
                 .name("qtls-master".into())
                 .spawn(move || {
                     let mut next = 0usize;
                     while !stop.load(Ordering::Relaxed) {
-                        match shared.accept() {
-                            Some(sock) => {
-                                targets[next % targets.len()].inject(sock);
-                                next += 1;
+                        let Some(sock) = shared.accept() else {
+                            // Idle: park on the listener's condvar
+                            // instead of busy-spinning on yield_now.
+                            shared.wait_pending(Duration::from_millis(1));
+                            continue;
+                        };
+                        // Round-robin, walking past full backlogs: a
+                        // worker that bounces the inject gets a reject
+                        // mark and the socket moves to the next one.
+                        // Only when a full round finds every backlog
+                        // full is the connection shed.
+                        let mut pending = Some(sock);
+                        for attempt in 0..targets.len() {
+                            let i = (next + attempt) % targets.len();
+                            match targets[i].inject(pending.take().expect("socket present")) {
+                                Ok(()) => {
+                                    counters.dispatched[i].fetch_add(1, Ordering::Relaxed);
+                                    next = i + 1;
+                                    break;
+                                }
+                                Err(back) => {
+                                    counters.rejected[i].fetch_add(1, Ordering::Relaxed);
+                                    pending = Some(back);
+                                }
                             }
-                            None => std::thread::yield_now(),
+                        }
+                        if let Some(sock) = pending {
+                            counters.shed.fetch_add(1, Ordering::Relaxed);
+                            sock.close();
                         }
                     }
                 })
@@ -97,6 +190,11 @@ impl Cluster {
                             if !stop.load(Ordering::Relaxed) {
                                 return false;
                             }
+                            // Shutdown: stop accepting so still-queued
+                            // sockets stay on the backlog for the
+                            // cluster to drain and account, then give
+                            // in-flight connections a bounded drain.
+                            w.pause_accepts();
                             let d = *drain
                                 .get_or_insert_with(|| Instant::now() + Duration::from_secs(2));
                             w.tc_alive() == 0 || Instant::now() > d
@@ -113,6 +211,8 @@ impl Cluster {
             dispatcher: Some(dispatcher),
             device,
             session_store,
+            worker_listeners,
+            dispatch,
         }
     }
 
@@ -132,17 +232,31 @@ impl Cluster {
         Arc::clone(&self.session_store)
     }
 
-    /// Stop all workers (draining in-flight connections) and return the
-    /// per-worker statistics plus kernel-switch counts.
-    pub fn shutdown(mut self) -> Vec<(WorkerStats, u64)> {
+    /// Stop all workers (draining in-flight connections) and account for
+    /// every socket the cluster never served: still-undispatched sockets
+    /// on the shared listener and dispatched-but-never-accepted sockets
+    /// in the per-worker backlogs are drained, closed, and counted —
+    /// shutdown drops nothing silently.
+    pub fn shutdown(mut self) -> ShutdownReport {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(d) = self.dispatcher.take() {
             let _ = d.join();
         }
-        self.handles
+        let workers: Vec<(WorkerStats, u64)> = self
+            .handles
             .into_iter()
             .map(|h| h.join().expect("worker thread"))
-            .collect()
+            .collect();
+        // Workers paused accepts when they observed stop, so anything
+        // still queued is exactly what would have been dropped silently.
+        let undispatched = self.listener.drain();
+        let dropped_accepts: Vec<u64> = self.worker_listeners.iter().map(|l| l.drain()).collect();
+        ShutdownReport {
+            workers,
+            undispatched,
+            dropped_accepts,
+            dispatch: self.dispatch.snapshot(),
+        }
     }
 }
 
@@ -192,11 +306,24 @@ ssl_engine {
         for h in handles {
             h.join().unwrap();
         }
-        let stats = cluster.shutdown();
+        let report = cluster.shutdown();
+        let stats = &report.workers;
         let total: u64 = stats.iter().map(|(s, _)| s.handshakes).sum();
         let errors: u64 = stats.iter().map(|(s, _)| s.errors).sum();
         assert_eq!(total, 9);
         assert_eq!(errors, 0);
+        // Socket conservation: everything dispatched was either
+        // accepted by its worker or drained (and counted) at shutdown.
+        assert_eq!(report.dispatch.dispatched.iter().sum::<u64>(), 9);
+        assert_eq!(report.dispatch.shed, 0);
+        assert_eq!(report.undispatched, 0);
+        for (i, (s, _)) in stats.iter().enumerate() {
+            assert_eq!(
+                report.dispatch.dispatched[i],
+                s.accepted + report.dropped_accepts[i],
+                "worker {i}: dispatched sockets must be accepted or counted"
+            );
+        }
         // Work spread across more than one worker.
         let busy_workers = stats.iter().filter(|(s, _)| s.handshakes > 0).count();
         assert!(busy_workers >= 2, "round-robin accept should spread load");
@@ -234,7 +361,7 @@ ssl_engine {
         .unwrap();
         assert!(resumed, "cross-worker reconnect must resume abbreviated");
         let store = cluster.session_store();
-        let stats = cluster.shutdown();
+        let stats = cluster.shutdown().workers;
         assert_eq!(stats.len(), 2);
         // One handshake per worker; the resumed one happened on the
         // worker that did NOT mint the session.
@@ -267,7 +394,7 @@ ssl_engine {
         let listener = cluster.listener();
         let cfg = ClientConfig::default();
         run_connection(&listener, &cfg, 50_000, None, Duration::from_secs(60)).unwrap();
-        let stats = cluster.shutdown();
+        let stats = cluster.shutdown().workers;
         assert_eq!(stats.iter().map(|(s, _)| s.handshakes).sum::<u64>(), 1);
     }
 }

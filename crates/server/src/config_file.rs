@@ -21,6 +21,7 @@
 //! bundle (profile, offload selection, thresholds, worker count) that
 //! maps directly onto [`crate::worker::WorkerConfig`].
 
+use crate::admission::AdmissionConfig;
 use crate::metrics::MetricsConfig;
 use qtls_core::{FlushMode, FlushPolicyConfig, HeuristicConfig, OffloadProfile, ShardPolicy};
 use qtls_tls::provider::OffloadSelection;
@@ -62,6 +63,8 @@ pub struct EngineDirectives {
     /// Ticket key rotation interval (`ssl_ticket_key_rotation N`,
     /// seconds; 0 = never rotate).
     pub ticket_rotation: Duration,
+    /// Handshake-flood admission control (`admission_*` family).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for EngineDirectives {
@@ -81,6 +84,7 @@ impl Default for EngineDirectives {
             session_store_shards: 8,
             session_timeout: Duration::from_secs(3600),
             ticket_rotation: Duration::ZERO,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -308,6 +312,39 @@ pub fn parse_ssl_engine_conf(input: &str) -> Result<EngineDirectives, ConfError>
             }
             "ssl_ticket_key_rotation" => {
                 out.ticket_rotation = Duration::from_secs(parse_u64(&value)?);
+            }
+            "admission_control" => match value.as_str() {
+                "on" => out.admission.enabled = true,
+                "off" => out.admission.enabled = false,
+                _ => return Err(ConfError::BadValue(token.clone())),
+            },
+            "admission_watermark" => {
+                let mark = parse_u64(&value)?;
+                if mark == 0 {
+                    return Err(ConfError::BadValue(token.clone()));
+                }
+                out.admission.watermark = mark;
+            }
+            "admission_accepts_per_sweep" => {
+                let n = parse_u64(&value)? as usize;
+                if n == 0 {
+                    return Err(ConfError::BadValue(token.clone()));
+                }
+                out.admission.accepts_per_sweep = n;
+            }
+            "admission_backlog_cap" => {
+                let cap = parse_u64(&value)? as usize;
+                if cap == 0 {
+                    return Err(ConfError::BadValue(token.clone()));
+                }
+                out.admission.backlog_cap = cap;
+            }
+            "admission_token_lifetime" => {
+                let secs = parse_u64(&value)?;
+                if secs == 0 {
+                    return Err(ConfError::BadValue(token.clone()));
+                }
+                out.admission.token_lifetime = Duration::from_secs(secs);
             }
             "qat_metrics" => match value.as_str() {
                 "on" => out.metrics.enabled = true,
@@ -650,6 +687,50 @@ ssl_ticket_key_rotation 86400;
             "ssl_session_store_shards many;",
             "ssl_session_timeout forever;",
             "ssl_ticket_key_rotation weekly;",
+        ] {
+            assert!(
+                matches!(parse_ssl_engine_conf(bad), Err(ConfError::BadValue(_))),
+                "should reject: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn admission_directives_parse() {
+        let conf = r#"
+worker_processes 2;
+admission_control on;
+admission_watermark 32;
+admission_accepts_per_sweep 16;
+admission_backlog_cap 1024;
+admission_token_lifetime 10;
+"#;
+        let d = parse_ssl_engine_conf(conf).unwrap();
+        assert!(d.admission.enabled);
+        assert_eq!(d.admission.watermark, 32);
+        assert_eq!(d.admission.accepts_per_sweep, 16);
+        assert_eq!(d.admission.backlog_cap, 1024);
+        assert_eq!(d.admission.token_lifetime, Duration::from_secs(10));
+        // Defaults: off, watermark 64, 64 accepts/sweep, listener
+        // default backlog, 30 s tokens.
+        let d = parse_ssl_engine_conf(APPENDIX_EXAMPLE).unwrap();
+        assert!(!d.admission.enabled);
+        assert_eq!(d.admission.watermark, 64);
+        assert_eq!(d.admission.accepts_per_sweep, 64);
+        assert_eq!(d.admission.backlog_cap, crate::net::DEFAULT_BACKLOG);
+        assert_eq!(d.admission.token_lifetime, Duration::from_secs(30));
+    }
+
+    #[test]
+    fn admission_rejects_bad_values() {
+        for bad in [
+            "admission_control maybe;",
+            "admission_watermark 0;",
+            "admission_watermark deep;",
+            "admission_accepts_per_sweep 0;",
+            "admission_backlog_cap 0;",
+            "admission_token_lifetime 0;",
+            "admission_token_lifetime soon;",
         ] {
             assert!(
                 matches!(parse_ssl_engine_conf(bad), Err(ConfError::BadValue(_))),

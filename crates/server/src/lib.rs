@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cluster;
 pub mod config_file;
 pub mod http;
@@ -17,10 +18,13 @@ pub mod metrics;
 pub mod net;
 pub mod worker;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, DispatchSnapshot, ShutdownReport};
 pub use config_file::{parse_ssl_engine_conf, EngineDirectives};
 pub use http::ContentStore;
-pub use loadgen::{spawn_clients, ClientConfig, LoadStats};
+pub use loadgen::{
+    latency_quantile, run_flood_connection, run_keepalive_stream, spawn_clients, spawn_flood,
+    ClientConfig, FloodOutcome, FloodStats, LoadStats,
+};
 pub use metrics::{MetricsConfig, MetricsPlane, StatusSnapshot};
 pub use net::{VListener, VSocket};
 pub use worker::{Worker, WorkerConfig, WorkerStats};

@@ -1,6 +1,10 @@
 //! Closed-loop load generators — the `openssl s_time` and ApacheBench
 //! roles of the paper's client servers, over the in-memory network.
+//! Includes a `--flood` mode: clients that hammer full ClientHellos
+//! (no resumption, no keep-alive) and understand the admission plane's
+//! retry-token challenges, for exercising handshake-flood overload.
 
+use crate::admission::{self, FrameParse};
 use crate::net::{SockError, VListener, VSocket};
 use qtls_crypto::ecc::NamedCurve;
 use qtls_tls::client::{ClientSession, ResumeData};
@@ -400,6 +404,269 @@ pub fn run_connection(
     let resume_out = session.export_resume_data();
     sock.close();
     Ok((resume_out, resumed, responses, body_bytes, req_bytes))
+}
+
+/// Outcome of one flood-mode connection attempt.
+#[derive(Debug)]
+pub enum FloodOutcome {
+    /// The handshake completed. `challenged` says whether it first had
+    /// to round-trip a retry token (admission was in overload).
+    Completed {
+        /// The server challenged and this client retried with a token.
+        challenged: bool,
+    },
+    /// Challenged and gave up — the behaviour of a flooder that never
+    /// honors retry tokens (or spoofs addresses and cannot).
+    Challenged,
+}
+
+/// Aggregate results across flood clients.
+#[derive(Debug, Default)]
+pub struct FloodStats {
+    /// Connection attempts made.
+    pub attempts: AtomicU64,
+    /// Attempts the server answered with a retry-token challenge.
+    pub challenged: AtomicU64,
+    /// Attempts that completed a handshake (directly or after retry).
+    pub admitted: AtomicU64,
+    /// Errors (including connections shed at a full backlog).
+    pub errors: AtomicU64,
+}
+
+/// Pump a handshake while watching the first bytes for an admission
+/// challenge frame. Returns `Some(token)` when the server challenged,
+/// `None` once the handshake completes.
+fn flood_handshake(
+    sock: &VSocket,
+    session: &mut ClientSession,
+    deadline: Instant,
+) -> Result<Option<Vec<u8>>, ClientError> {
+    let mut raw: Vec<u8> = Vec::new();
+    let mut classified = false; // first bytes proved to be raw TLS
+    loop {
+        let out = session.take_output();
+        if !out.is_empty() {
+            sock.write(&out).map_err(ClientError::Sock)?;
+        }
+        let closed = match sock.read_all() {
+            Ok(bytes) => {
+                raw.extend_from_slice(&bytes);
+                false
+            }
+            Err(SockError::WouldBlock) => false,
+            Err(SockError::Closed) => true,
+        };
+        if classified {
+            if !raw.is_empty() {
+                session.feed(&raw);
+                raw.clear();
+                session.process()?;
+            }
+        } else if !raw.is_empty() {
+            match admission::parse_frame(&raw) {
+                FrameParse::Frame {
+                    kind: admission::FRAME_CHALLENGE,
+                    token,
+                    ..
+                } => return Ok(Some(token)),
+                FrameParse::NotAFrame => {
+                    classified = true;
+                    session.feed(&raw);
+                    raw.clear();
+                    session.process()?;
+                }
+                FrameParse::Incomplete => {}
+                FrameParse::Frame { .. } | FrameParse::Malformed => {
+                    return Err(ClientError::BadResponse("unexpected admission frame"));
+                }
+            }
+        }
+        if session.is_established() {
+            let out = session.take_output();
+            if !out.is_empty() {
+                sock.write(&out).map_err(ClientError::Sock)?;
+            }
+            return Ok(None);
+        }
+        if closed {
+            // The server closed without a (complete) challenge: shed at
+            // the backlog, or mid-handshake failure.
+            return Err(ClientError::Sock(SockError::Closed));
+        }
+        if Instant::now() > deadline {
+            return Err(ClientError::Timeout);
+        }
+        std::thread::yield_now();
+    }
+}
+
+/// Run one flood-mode connection from declared address `addr`: a full
+/// handshake attempt (no resumption, no keep-alive) that understands
+/// retry-token challenges. `honor_retry` = reconnect presenting the
+/// token (a legitimate client); a flooder passes `false` and gives up.
+pub fn run_flood_connection(
+    listener: &VListener,
+    cfg: &ClientConfig,
+    seed: u64,
+    addr: u64,
+    honor_retry: bool,
+    timeout: Duration,
+) -> Result<FloodOutcome, ClientError> {
+    let deadline = Instant::now() + timeout;
+    let sock = listener.connect_from(addr);
+    let mut session =
+        ClientSession::new(CryptoProvider::Software, cfg.suite, cfg.curve, None, seed);
+    session.start()?;
+    let challenge = flood_handshake(&sock, &mut session, deadline)?;
+    sock.close();
+    let Some(token) = challenge else {
+        return Ok(FloodOutcome::Completed { challenged: false });
+    };
+    if !honor_retry {
+        return Ok(FloodOutcome::Challenged);
+    }
+    // Legitimate retry: reconnect from the same address, presenting the
+    // token in front of the fresh ClientHello in one write.
+    let sock = listener.connect_from(addr);
+    let mut session = ClientSession::new(
+        CryptoProvider::Software,
+        cfg.suite,
+        cfg.curve,
+        None,
+        seed | (1 << 63),
+    );
+    session.start()?;
+    let mut first = admission::token_frame(&token);
+    first.extend_from_slice(&session.take_output());
+    sock.write(&first).map_err(ClientError::Sock)?;
+    match flood_handshake(&sock, &mut session, deadline)? {
+        None => {
+            sock.close();
+            Ok(FloodOutcome::Completed { challenged: true })
+        }
+        Some(_) => Err(ClientError::BadResponse(
+            "challenged again after presenting a token",
+        )),
+    }
+}
+
+/// Spawn `n_clients` flood threads hammering `listener` with full
+/// ClientHellos until `stop` is set — the handshake-flood adversary
+/// (`loadgen --flood`). Each client declares a distinct stable address,
+/// so `honor_retry = true` models a well-behaved burst and `false` a
+/// spoofing flooder that can never complete the token round trip.
+pub fn spawn_flood(
+    listener: Arc<VListener>,
+    cfg: ClientConfig,
+    n_clients: usize,
+    honor_retry: bool,
+    stop: Arc<AtomicBool>,
+    stats: Arc<FloodStats>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..n_clients)
+        .map(|client_idx| {
+            let listener = Arc::clone(&listener);
+            let cfg = cfg.clone();
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name(format!("flood-{client_idx}"))
+                .spawn(move || {
+                    let mut seed = 0xf100d_0000_0000 + ((client_idx as u64) << 24);
+                    let addr = 0xf100d_0000 + client_idx as u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        seed += 1;
+                        stats.attempts.fetch_add(1, Ordering::Relaxed);
+                        match run_flood_connection(
+                            &listener,
+                            &cfg,
+                            seed,
+                            addr,
+                            honor_retry,
+                            Duration::from_secs(30),
+                        ) {
+                            Ok(FloodOutcome::Completed { challenged }) => {
+                                stats.admitted.fetch_add(1, Ordering::Relaxed);
+                                if challenged {
+                                    stats.challenged.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Ok(FloodOutcome::Challenged) => {
+                                stats.challenged.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                stats.errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn flood client")
+        })
+        .collect()
+}
+
+/// Drive one established keep-alive connection until `stop`, issuing
+/// `GET path` requests back to back and recording each request's
+/// latency — the background population whose service quality a
+/// handshake flood must not destroy. Returns the per-request latencies.
+pub fn run_keepalive_stream(
+    listener: &VListener,
+    path: &str,
+    seed: u64,
+    stop: &AtomicBool,
+    timeout: Duration,
+) -> Result<Vec<Duration>, ClientError> {
+    let deadline = Instant::now() + timeout;
+    let cfg = ClientConfig::default();
+    let sock = listener.connect();
+    let mut session =
+        ClientSession::new(CryptoProvider::Software, cfg.suite, cfg.curve, None, seed);
+    session.start()?;
+    pump_until(&mut session, &sock, deadline, |s| s.is_established())?;
+    let mut latencies = Vec::new();
+    let mut resp_buf: Vec<u8> = Vec::new();
+    let req = format!("GET {path} HTTP/1.1\r\nHost: qtls\r\nConnection: keep-alive\r\n\r\n");
+    while !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+        let t0 = Instant::now();
+        session.write_app_data(req.as_bytes())?;
+        let mut needed: Option<usize> = None;
+        let mut malformed: Option<&'static str> = None;
+        pump_until(&mut session, &sock, deadline, |s| {
+            while let Some(chunk) = s.read_app_data() {
+                resp_buf.extend_from_slice(&chunk);
+            }
+            if needed.is_none() {
+                match response_progress(&resp_buf) {
+                    ResponseProgress::Incomplete => {}
+                    ResponseProgress::Complete { total_len, .. } => needed = Some(total_len),
+                    ResponseProgress::Malformed(why) => {
+                        malformed = Some(why);
+                        return true;
+                    }
+                }
+            }
+            needed.is_some_and(|total| resp_buf.len() >= total)
+        })?;
+        if let Some(why) = malformed {
+            return Err(ClientError::BadResponse(why));
+        }
+        let total = needed.ok_or(ClientError::BadResponse("response never completed"))?;
+        resp_buf.drain(..total);
+        latencies.push(t0.elapsed());
+    }
+    sock.close();
+    Ok(latencies)
+}
+
+/// The `q`-quantile (e.g. 0.99) of a latency sample, by sorting.
+pub fn latency_quantile(latencies: &[Duration], q: f64) -> Duration {
+    if latencies.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort();
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// Spawn `n_clients` closed-loop client threads hammering `listener`

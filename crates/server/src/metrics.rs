@@ -197,7 +197,7 @@ fn render_worker_section(page: &mut PromText, snap: &StatusSnapshot) {
         page.header(name, "gauge", help);
         page.sample(name, &[], value);
     }
-    let counters: [(&str, &str, u64); 11] = [
+    let counters: [(&str, &str, u64); 17] = [
         (
             "qtls_worker_handshakes_total",
             "Completed TLS handshakes.",
@@ -252,6 +252,36 @@ fn render_worker_section(page: &mut PromText, snap: &StatusSnapshot) {
             "qtls_worker_kernel_switches_total",
             "Simulated user/kernel switches spent on async notification.",
             snap.kernel_switches,
+        ),
+        (
+            "qtls_worker_accepts_total",
+            "Connections accepted off the listener backlog.",
+            snap.stats.accepted,
+        ),
+        (
+            "qtls_admission_challenges_total",
+            "Retry-token challenges sent to token-less ClientHellos under overload.",
+            snap.stats.challenges_sent,
+        ),
+        (
+            "qtls_admission_tokens_verified_total",
+            "Retry tokens presented and verified (admitted past the gate).",
+            snap.stats.tokens_verified,
+        ),
+        (
+            "qtls_admission_tokens_rejected_total",
+            "Retry tokens rejected (stale, spoofed, or malformed frames).",
+            snap.stats.tokens_rejected,
+        ),
+        (
+            "qtls_admission_accept_sheds_total",
+            "Connections shed at the listener's full accept backlog.",
+            snap.stats.accept_sheds,
+        ),
+        (
+            "qtls_admission_overloads_total",
+            "Transitions into overload mode (inflight handshakes crossed the watermark).",
+            snap.stats.overload_entered,
         ),
     ];
     for (name, help, value) in counters {
@@ -576,6 +606,17 @@ pub fn render_stub_status(snap: &StatusSnapshot, engine: Option<&OffloadEngine>)
         snap.stats.ewma_flush_depth_milli / 1000,
         snap.stats.ewma_flush_depth_milli % 1000,
     );
+    let _ = writeln!(
+        page,
+        "admission: accepted {} challenges {} verified {} rejected {} \
+         sheds {} overloads {}",
+        snap.stats.accepted,
+        snap.stats.challenges_sent,
+        snap.stats.tokens_verified,
+        snap.stats.tokens_rejected,
+        snap.stats.accept_sheds,
+        snap.stats.overload_entered,
+    );
     if let Some(engine) = engine {
         let queues: Vec<(usize, Arc<qtls_core::SubmitQueue>)> = (0..engine.shard_count())
             .filter_map(|i| engine.shard_submit_queue(i).map(|q| (i, q)))
@@ -644,6 +685,12 @@ pub fn render_stub_status_kv(snap: &StatusSnapshot, engine: Option<&OffloadEngin
     kv("submit_forced", snap.stats.forced_flushes);
     kv("submit_bypassed", snap.stats.bypassed_submits);
     kv("submit_ewma_depth_milli", snap.stats.ewma_flush_depth_milli);
+    kv("admission_accepted", snap.stats.accepted);
+    kv("admission_challenges", snap.stats.challenges_sent);
+    kv("admission_tokens_verified", snap.stats.tokens_verified);
+    kv("admission_tokens_rejected", snap.stats.tokens_rejected);
+    kv("admission_accept_sheds", snap.stats.accept_sheds);
+    kv("admission_overloads", snap.stats.overload_entered);
     // Extras the human page does not carry.
     kv("handshakes", snap.stats.handshakes);
     kv("resumed_handshakes", snap.stats.resumed);

@@ -3,10 +3,11 @@
 //! readiness, `WouldBlock`, FIN/close) — standing in for the testbed's
 //! TCP over back-to-back 40 GbE NICs.
 
-use qtls_sync::Mutex;
+use qtls_sync::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One direction's byte pipe.
 struct Pipe {
@@ -36,20 +37,40 @@ pub enum SockError {
 pub struct VSocket {
     rx: Arc<Pipe>,
     tx: Arc<Pipe>,
+    /// The peer's address (0 = unknown) — the source-address bit the
+    /// admission layer binds retry tokens to.
+    peer: u64,
 }
 
 impl VSocket {
     /// A connected socket pair.
     pub fn pair() -> (VSocket, VSocket) {
+        Self::pair_from(0)
+    }
+
+    /// A connected socket pair where the client end carries address
+    /// `client_addr`: the returned `(client, server)` server end
+    /// reports it as [`VSocket::peer_addr`].
+    pub fn pair_from(client_addr: u64) -> (VSocket, VSocket) {
         let a = Pipe::new();
         let b = Pipe::new();
         (
             VSocket {
                 rx: Arc::clone(&a),
                 tx: Arc::clone(&b),
+                peer: 0,
             },
-            VSocket { rx: b, tx: a },
+            VSocket {
+                rx: b,
+                tx: a,
+                peer: client_addr,
+            },
         )
+    }
+
+    /// The peer's address (0 when the peer did not declare one).
+    pub fn peer_addr(&self) -> u64 {
+        self.peer
     }
 
     /// Read up to `buf.len()` bytes (non-blocking).
@@ -113,9 +134,21 @@ impl Drop for VSocket {
     }
 }
 
-/// A listening endpoint accepting virtual connections.
+/// Default accept-backlog capacity (the `listen()` backlog role).
+pub const DEFAULT_BACKLOG: usize = 4096;
+
+/// A listening endpoint accepting virtual connections. The backlog is
+/// bounded: connections arriving at a full queue are shed immediately
+/// (the client's end reads `Closed`, like a SYN dropped at a full
+/// accept queue) and counted, so a handshake flood cannot grow the
+/// queue without bound.
 pub struct VListener {
     backlog: Mutex<VecDeque<VSocket>>,
+    /// Signalled whenever the backlog gains an entry, so an accepting
+    /// thread can park instead of spinning when idle.
+    arrived: Condvar,
+    cap: usize,
+    rejected: AtomicU64,
 }
 
 impl Default for VListener {
@@ -125,17 +158,41 @@ impl Default for VListener {
 }
 
 impl VListener {
-    /// New listener.
+    /// New listener with the default backlog capacity.
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_BACKLOG)
+    }
+
+    /// New listener shedding connections beyond `cap` pending accepts.
+    pub fn with_capacity(cap: usize) -> Self {
         VListener {
             backlog: Mutex::new(VecDeque::new()),
+            arrived: Condvar::new(),
+            cap: cap.max(1),
+            rejected: AtomicU64::new(0),
         }
     }
 
     /// Client side: connect, returning the client socket.
     pub fn connect(&self) -> VSocket {
-        let (client, server) = VSocket::pair();
-        self.backlog.lock().push_back(server);
+        self.connect_from(0)
+    }
+
+    /// Connect declaring the client's address `addr` (what the server
+    /// side will see as [`VSocket::peer_addr`]). At a full backlog the
+    /// connection is shed: the returned client socket reads `Closed`.
+    pub fn connect_from(&self, addr: u64) -> VSocket {
+        let (client, server) = VSocket::pair_from(addr);
+        let mut backlog = self.backlog.lock();
+        if backlog.len() >= self.cap {
+            drop(backlog);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            // Dropping the server end closes it; the client observes
+            // the refusal on its first read.
+            return client;
+        }
+        backlog.push_back(server);
+        self.arrived.notify_one();
         client
     }
 
@@ -146,13 +203,57 @@ impl VListener {
 
     /// Inject an already-established server-side socket (used by the
     /// cluster's master dispatcher to balance connections to workers).
-    pub fn inject(&self, sock: VSocket) {
-        self.backlog.lock().push_back(sock);
+    /// At a full backlog the socket is handed back so the dispatcher
+    /// can retry another worker or shed it knowingly — never a silent
+    /// drop.
+    pub fn inject(&self, sock: VSocket) -> Result<(), VSocket> {
+        let mut backlog = self.backlog.lock();
+        if backlog.len() >= self.cap {
+            drop(backlog);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(sock);
+        }
+        backlog.push_back(sock);
+        self.arrived.notify_one();
+        Ok(())
     }
 
     /// Pending connections.
     pub fn pending(&self) -> usize {
         self.backlog.lock().len()
+    }
+
+    /// Backlog capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Connections shed because the backlog was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Park until the backlog is non-empty or `timeout` elapses;
+    /// returns whether anything is pending. Lets the dispatcher block
+    /// instead of busy-spinning on an idle listener.
+    pub fn wait_pending(&self, timeout: Duration) -> bool {
+        let mut backlog = self.backlog.lock();
+        if backlog.is_empty() {
+            let _ = self.arrived.wait_for(&mut backlog, timeout);
+        }
+        !backlog.is_empty()
+    }
+
+    /// Drain every still-queued connection, closing each, and return
+    /// how many were dropped — shutdown accounting for sockets that
+    /// were dispatched but never accepted.
+    pub fn drain(&self) -> u64 {
+        let drained: Vec<VSocket> = self.backlog.lock().drain(..).collect();
+        let n = drained.len() as u64;
+        for sock in drained {
+            sock.close();
+        }
+        n
     }
 }
 
@@ -212,6 +313,73 @@ mod tests {
         let s2 = l.accept().unwrap();
         assert_eq!(s2.read_all().unwrap(), b"two");
         assert!(l.accept().is_none());
+    }
+
+    #[test]
+    fn peer_addr_travels_with_the_connection() {
+        let l = VListener::new();
+        let _client = l.connect_from(0xBEEF);
+        let server = l.accept().unwrap();
+        assert_eq!(server.peer_addr(), 0xBEEF);
+        let _plain = l.connect();
+        let server = l.accept().unwrap();
+        assert_eq!(server.peer_addr(), 0, "plain connect declares no address");
+    }
+
+    #[test]
+    fn backlog_cap_sheds_connects_and_counts() {
+        let l = VListener::with_capacity(2);
+        let c1 = l.connect();
+        let c2 = l.connect();
+        let c3 = l.connect();
+        assert_eq!(l.pending(), 2, "third connection shed at capacity");
+        assert_eq!(l.rejected(), 1);
+        // The shed client observes the refusal; queued ones don't.
+        assert_eq!(c3.read_all().unwrap_err(), SockError::Closed);
+        assert_eq!(c1.read_all().unwrap_err(), SockError::WouldBlock);
+        assert_eq!(c2.read_all().unwrap_err(), SockError::WouldBlock);
+    }
+
+    #[test]
+    fn inject_reports_the_drop_instead_of_losing_the_socket() {
+        let l = VListener::with_capacity(1);
+        let (_c1, s1) = VSocket::pair();
+        let (c2, s2) = VSocket::pair();
+        assert!(l.inject(s1).is_ok());
+        let back = l.inject(s2).expect_err("backlog full");
+        assert_eq!(l.rejected(), 1);
+        // The socket came back intact — the dispatcher can still place
+        // it elsewhere or close it with accounting.
+        back.write(b"still usable").unwrap();
+        assert_eq!(c2.read_all().unwrap(), b"still usable");
+    }
+
+    #[test]
+    fn wait_pending_parks_until_a_connection_arrives() {
+        let l = Arc::new(VListener::new());
+        // Idle: times out empty-handed.
+        assert!(!l.wait_pending(Duration::from_millis(1)));
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            let _c = l2.connect();
+            std::thread::sleep(Duration::from_millis(50));
+        });
+        // A connect notifies the parked waiter well before 5 s.
+        assert!(l.wait_pending(Duration::from_secs(5)));
+        assert!(l.accept().is_some());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn drain_counts_and_closes_undispatched_sockets() {
+        let l = VListener::new();
+        let c1 = l.connect();
+        let c2 = l.connect();
+        assert_eq!(l.drain(), 2);
+        assert_eq!(l.pending(), 0);
+        assert_eq!(c1.read_all().unwrap_err(), SockError::Closed);
+        assert_eq!(c2.read_all().unwrap_err(), SockError::Closed);
+        assert_eq!(l.drain(), 0, "idempotent");
     }
 
     #[test]

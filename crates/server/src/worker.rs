@@ -14,6 +14,7 @@
 //!   an eventfd/epoll-style FD path (QAT+A / QAT+AH), whose simulated
 //!   kernel crossings are counted.
 
+use crate::admission::{self, AdmissionConfig, FrameParse};
 use crate::http::{self, ContentStore, ParseOutcome};
 use crate::metrics::{self, MetricsConfig, MetricsPlane, StatusSnapshot};
 use crate::net::{SockError, VListener, VSocket};
@@ -70,6 +71,10 @@ pub struct WorkerConfig {
     /// Records staged per data-plane batch submission (the
     /// `qat_record_batch_depth` directive).
     pub record_batch: usize,
+    /// Handshake-flood admission control (the `admission_*` directive
+    /// family): retry-token challenges over the watermark, capped
+    /// accepts per sweep, overload prioritization.
+    pub admission: AdmissionConfig,
 }
 
 impl WorkerConfig {
@@ -89,6 +94,7 @@ impl WorkerConfig {
             metrics: MetricsConfig::default(),
             record_offload: true,
             record_batch: RecordCodec::DEFAULT_BATCH,
+            admission: AdmissionConfig::default(),
         }
     }
 
@@ -108,6 +114,7 @@ impl WorkerConfig {
             metrics: d.metrics,
             record_offload: d.record_offload,
             record_batch: d.record_batch_depth,
+            admission: d.admission,
         }
     }
 }
@@ -159,6 +166,20 @@ pub struct WorkerStats {
     pub ewma_flush_depth_milli: u64,
     /// Staged requests cancelled at worker shutdown.
     pub cancelled_submits: u64,
+    /// Connections accepted off the listener backlog.
+    pub accepted: u64,
+    /// Admission challenges sent to token-less ClientHellos while over
+    /// the watermark.
+    pub challenges_sent: u64,
+    /// Retry tokens presented and verified (admitted past the gate).
+    pub tokens_verified: u64,
+    /// Retry tokens rejected (stale, spoofed, or malformed frames).
+    pub tokens_rejected: u64,
+    /// Connections shed at the listener's full accept backlog.
+    pub accept_sheds: u64,
+    /// Transitions into overload mode (inflight handshakes crossed the
+    /// watermark).
+    pub overload_entered: u64,
 }
 
 /// Submit-pipeline counters folded over every shard's queue: counters
@@ -392,6 +413,13 @@ struct Conn {
     fd: Option<Arc<VirtualFd>>,
     established: bool,
     close_requested: bool,
+    /// Past the admission gate (always true with admission off).
+    admitted: bool,
+    /// First bytes buffered while the admission gate classifies them
+    /// (frame vs raw ClientHello); fed to the session on admission.
+    pre_buf: Vec<u8>,
+    /// The client's declared address, which retry tokens bind to.
+    peer_addr: u64,
 }
 
 /// The event-driven worker.
@@ -410,6 +438,11 @@ pub struct Worker {
     session_seed: u64,
     plane: Arc<MetricsPlane>,
     iterations: u64,
+    /// Inflight handshakes crossed the admission watermark last sweep.
+    in_overload: bool,
+    /// Set at shutdown: stop taking new accepts so still-queued
+    /// sockets drain with accounting instead of being half-served.
+    accepts_paused: bool,
 }
 
 impl Worker {
@@ -496,7 +529,22 @@ impl Worker {
             session_seed: 0x9_0000_0000,
             plane,
             iterations: 0,
+            in_overload: false,
+            accepts_paused: false,
         }
+    }
+
+    /// Stop accepting new connections (shutdown drain): sockets still
+    /// queued on the listener stay there for the cluster to drain and
+    /// count instead of being accepted into a dying worker.
+    pub fn pause_accepts(&mut self) {
+        self.accepts_paused = true;
+    }
+
+    /// Is the worker in overload mode (inflight handshakes at or over
+    /// the admission watermark, as of the last sweep)?
+    pub fn in_overload(&self) -> bool {
+        self.in_overload
     }
 
     /// The offload engine, if any (inflight counters etc.).
@@ -581,8 +629,25 @@ impl Worker {
     /// handled (0 = idle).
     pub fn run_iteration(&mut self) -> usize {
         let mut events = 0;
-        // 1. Accept new connections.
-        while let Some(sock) = self.listener.accept() {
+        // 0. Overload check (QFAM): count inflight handshakes against
+        // the admission watermark before this sweep's accepts.
+        if self.cfg.admission.enabled {
+            let inflight = self.conns.values().filter(|c| !c.established).count() as u64;
+            let overload = inflight >= self.cfg.admission.watermark;
+            if overload && !self.in_overload {
+                self.stats.overload_entered += 1;
+            }
+            self.in_overload = overload;
+        }
+        // 1. Accept new connections — capped per sweep so a flood of
+        // fresh sockets cannot starve in-flight connections behind an
+        // arbitrarily long accept loop.
+        let mut accepts_left = self.cfg.admission.accepts_per_sweep;
+        while accepts_left > 0 && !self.accepts_paused {
+            let Some(sock) = self.listener.accept() else {
+                break;
+            };
+            accepts_left -= 1;
             let id = self.next_id;
             self.next_id += 1;
             self.session_seed += 1;
@@ -592,6 +657,7 @@ impl Worker {
                 self.provider(),
                 self.session_seed,
             ));
+            let peer_addr = sock.peer_addr();
             self.conns.insert(
                 id,
                 Conn {
@@ -610,17 +676,30 @@ impl Worker {
                     fd: None,
                     established: false,
                     close_requested: false,
+                    admitted: !self.cfg.admission.enabled,
+                    pre_buf: Vec::new(),
+                    peer_addr,
                 },
             );
+            self.stats.accepted += 1;
             events += 1;
         }
-        // 2. Socket read events.
-        let readable: Vec<u64> = self
+        // 2. Socket read events. In overload mode, established
+        // connections' record I/O is driven before handshaking ones,
+        // and older (further-along) handshakes before fresh
+        // ClientHellos — the QFAM priority order.
+        let mut readable: Vec<u64> = self
             .conns
             .iter()
             .filter(|(_, c)| c.sock.readable() || c.sock.peer_closed())
             .map(|(id, _)| *id)
             .collect();
+        if self.in_overload {
+            readable.sort_by_key(|id| {
+                let c = &self.conns[id];
+                (!c.established, *id)
+            });
+        }
         for id in readable {
             events += 1;
             let conn = self.conns.get_mut(&id).expect("exists");
@@ -708,6 +787,7 @@ impl Worker {
         }
         // 7. Refresh the metrics plane's worker snapshot and run the
         // (cheap, periodic) anomaly check against the phase p99s.
+        self.stats.accept_sheds = self.listener.rejected();
         self.iterations += 1;
         self.plane.update(self.status_snapshot());
         if self.iterations % 256 == 0 {
@@ -733,10 +813,76 @@ impl Worker {
     }
 
     /// Run the loop until `stop` returns true, yielding when idle.
-    pub fn run_until(&mut self, mut stop: impl FnMut(&Worker) -> bool) {
+    pub fn run_until(&mut self, mut stop: impl FnMut(&mut Worker) -> bool) {
         while !stop(self) {
             if self.run_iteration() == 0 {
                 std::thread::yield_now();
+            }
+        }
+    }
+
+    /// The admission gate for a connection that has not been admitted:
+    /// buffer its first bytes and classify them. Returns `true` when
+    /// the connection may proceed into TLS processing this pass.
+    fn admission_gate(&mut self, id: u64) -> bool {
+        let conn = self.conns.get_mut(&id).expect("caller checked");
+        if let Ok(bytes) = conn.sock.read_all() {
+            conn.pre_buf.extend_from_slice(&bytes);
+        }
+        match admission::parse_frame(&conn.pre_buf) {
+            FrameParse::Incomplete => {
+                if conn.sock.peer_closed() {
+                    self.remove_conn(id);
+                }
+                false
+            }
+            FrameParse::Malformed
+            | FrameParse::Frame {
+                kind: admission::FRAME_CHALLENGE,
+                ..
+            } => {
+                // Hostile header, or a frame only servers send.
+                self.stats.tokens_rejected += 1;
+                self.remove_conn(id);
+                false
+            }
+            FrameParse::Frame {
+                token, consumed, ..
+            } => {
+                let now = admission::coarse_now_secs();
+                let ok = self.cfg.tls.ticket_keys.verify_retry_token(
+                    &token,
+                    conn.peer_addr,
+                    now,
+                    self.cfg.admission.token_lifetime.as_secs(),
+                );
+                if !ok {
+                    self.stats.tokens_rejected += 1;
+                    self.remove_conn(id);
+                    return false;
+                }
+                self.stats.tokens_verified += 1;
+                conn.admitted = true;
+                conn.pre_buf.drain(..consumed);
+                true
+            }
+            FrameParse::NotAFrame => {
+                if self.in_overload {
+                    // Over the watermark: challenge instead of spending
+                    // any asymmetric offload work on this ClientHello.
+                    let now = admission::coarse_now_secs();
+                    let token = self
+                        .cfg
+                        .tls
+                        .ticket_keys
+                        .mint_retry_token(conn.peer_addr, now);
+                    let _ = conn.sock.write(&admission::challenge_frame(&token));
+                    self.stats.challenges_sent += 1;
+                    self.remove_conn(id);
+                    return false;
+                }
+                conn.admitted = true;
+                true
             }
         }
     }
@@ -749,11 +895,24 @@ impl Worker {
         if !matches!(conn.driver, Driver::Idle(_)) {
             return; // still awaiting an async event
         }
+        if !conn.admitted && !self.admission_gate(id) {
+            return;
+        }
+        let conn = self.conns.get_mut(&id).expect("gate keeps admitted conns");
         let Driver::Idle(mut ctx) = std::mem::replace(&mut conn.driver, Driver::Taken) else {
             unreachable!("checked above")
         };
-        // Feed everything readable: to the data-plane codec once the
-        // connection has handed off, to the handshake session before.
+        // Feed everything readable: first any bytes the admission gate
+        // buffered ahead of the handshake, then fresh reads — to the
+        // data-plane codec once the connection has handed off, to the
+        // handshake session before.
+        let pre = std::mem::take(&mut conn.pre_buf);
+        if !pre.is_empty() {
+            match &mut ctx.codec {
+                Some(codec) => codec.feed(&pre),
+                None => ctx.session.feed(&pre),
+            }
+        }
         match conn.sock.read_all() {
             Ok(bytes) => match &mut ctx.codec {
                 Some(codec) => codec.feed(&bytes),

@@ -1,0 +1,370 @@
+//! Handshake-flood admission-control integration tests: the retry-token
+//! challenge flow end to end, overload prioritization of established
+//! connections, the capped accept path, backlog shed accounting, and
+//! shutdown socket conservation.
+
+use qtls_core::OffloadProfile;
+use qtls_crypto::ecc::NamedCurve;
+use qtls_server::admission::{self, AdmissionConfig};
+use qtls_server::loadgen::{
+    run_flood_connection, run_keepalive_stream, spawn_flood, ClientConfig, FloodOutcome, FloodStats,
+};
+use qtls_server::{Cluster, ContentStore, VListener, Worker, WorkerConfig, WorkerStats};
+use qtls_tls::client::ClientSession;
+use qtls_tls::provider::CryptoProvider;
+use qtls_tls::server::ServerConfig;
+use qtls_tls::suite::CipherSuite;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Run an SW-profile worker with `cfg` on its own thread until the body
+/// returns; give it a drain window, then hand back the final stats.
+fn with_worker<F>(cfg: WorkerConfig, listener: Arc<VListener>, body: F) -> WorkerStats
+where
+    F: FnOnce(&Arc<VListener>),
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let l2 = Arc::clone(&listener);
+    let handle = std::thread::spawn(move || {
+        let mut worker = Worker::new(l2, None, cfg);
+        let mut deadline: Option<Instant> = None;
+        worker.run_until(|w| {
+            if !stop2.load(Ordering::Relaxed) {
+                return false;
+            }
+            let d = *deadline.get_or_insert_with(|| Instant::now() + Duration::from_secs(5));
+            w.tc_alive() == 0 || Instant::now() > d
+        });
+        worker.stats
+    });
+    body(&listener);
+    stop.store(true, Ordering::Relaxed);
+    handle.join().expect("worker thread")
+}
+
+fn admission_cfg(watermark: u64) -> WorkerConfig {
+    let mut cfg = WorkerConfig::new(OffloadProfile::Sw);
+    cfg.admission = AdmissionConfig {
+        enabled: true,
+        watermark,
+        ..AdmissionConfig::default()
+    };
+    cfg
+}
+
+#[test]
+fn challenge_then_token_retry_admits_the_client() {
+    // Watermark 0: the worker is permanently in overload, so every
+    // token-less ClientHello is challenged. A client that honors the
+    // retry completes its handshake on the second connection.
+    let listener = Arc::new(VListener::new());
+    let stats = with_worker(admission_cfg(0), Arc::clone(&listener), |l| {
+        let outcome = run_flood_connection(
+            l,
+            &ClientConfig::default(),
+            9001,
+            0xC11E,
+            true,
+            Duration::from_secs(30),
+        )
+        .expect("flood connection");
+        assert!(
+            matches!(outcome, FloodOutcome::Completed { challenged: true }),
+            "expected challenged completion, got {outcome:?}"
+        );
+    });
+    assert_eq!(stats.challenges_sent, 1);
+    assert_eq!(stats.tokens_verified, 1);
+    assert_eq!(stats.tokens_rejected, 0);
+    assert_eq!(stats.handshakes, 1);
+    assert!(stats.overload_entered >= 1);
+}
+
+#[test]
+fn flooder_that_ignores_the_token_never_handshakes() {
+    let listener = Arc::new(VListener::new());
+    let stats = with_worker(admission_cfg(0), Arc::clone(&listener), |l| {
+        for i in 0..3u64 {
+            let outcome = run_flood_connection(
+                l,
+                &ClientConfig::default(),
+                9100 + i,
+                0xF100D + i,
+                false,
+                Duration::from_secs(30),
+            )
+            .expect("flood connection");
+            assert!(matches!(outcome, FloodOutcome::Challenged));
+        }
+    });
+    assert_eq!(stats.challenges_sent, 3);
+    assert_eq!(stats.handshakes, 0, "no asymmetric work was spent");
+    assert_eq!(stats.tokens_verified, 0);
+}
+
+#[test]
+fn stale_and_foreign_tokens_are_rejected() {
+    let tls = ServerConfig::test_default();
+    let mut cfg = admission_cfg(0);
+    cfg.tls = Arc::clone(&tls);
+    let listener = Arc::new(VListener::new());
+    let stale = tls
+        .ticket_keys
+        .mint_retry_token(77, admission::coarse_now_secs().saturating_sub(3600));
+    let stats = with_worker(cfg, Arc::clone(&listener), |l| {
+        for (addr, token) in [
+            (77u64, stale.clone()), // expired
+            (78u64, stale.clone()), // bound to a different address
+            (77u64, vec![0u8; 24]), // forged
+        ] {
+            let sock = l.connect_from(addr);
+            let mut session = ClientSession::new(
+                CryptoProvider::Software,
+                CipherSuite::EcdheRsa,
+                NamedCurve::P256,
+                None,
+                9500 + addr,
+            );
+            session.start().expect("client hello");
+            let mut first = admission::token_frame(&token);
+            first.extend_from_slice(&session.take_output());
+            sock.write(&first).expect("first flight");
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                match sock.read_all() {
+                    Err(qtls_server::net::SockError::Closed) => break,
+                    Ok(bytes) => assert!(
+                        bytes.is_empty(),
+                        "rejected token must not elicit handshake bytes"
+                    ),
+                    Err(_) => {}
+                }
+                assert!(Instant::now() < deadline, "server never closed");
+                std::thread::yield_now();
+            }
+        }
+    });
+    assert_eq!(stats.tokens_rejected, 3);
+    assert_eq!(stats.tokens_verified, 0);
+    assert_eq!(stats.handshakes, 0);
+}
+
+#[test]
+fn accepts_are_capped_per_sweep() {
+    let listener = Arc::new(VListener::new());
+    let mut cfg = WorkerConfig::new(OffloadProfile::Sw);
+    cfg.admission.accepts_per_sweep = 2;
+    let mut worker = Worker::new(Arc::clone(&listener), None, cfg);
+    // Hold the client ends open so drops don't close the server ends.
+    let _clients: Vec<_> = (0..5).map(|_| listener.connect()).collect();
+    worker.run_iteration();
+    assert_eq!(worker.stats.accepted, 2, "first sweep takes the cap");
+    assert_eq!(listener.pending(), 3, "rest stay queued for later sweeps");
+    worker.run_iteration();
+    worker.run_iteration();
+    assert_eq!(worker.stats.accepted, 5, "backlog drains across sweeps");
+    assert_eq!(listener.pending(), 0);
+}
+
+#[test]
+fn backlog_cap_sheds_and_the_worker_reports_it() {
+    let listener = Arc::new(VListener::with_capacity(2));
+    let mut worker = Worker::new(
+        Arc::clone(&listener),
+        None,
+        WorkerConfig::new(OffloadProfile::Sw),
+    );
+    let clients: Vec<_> = (0..5).map(|_| listener.connect()).collect();
+    assert_eq!(listener.rejected(), 3);
+    // Shed clients observe a closed socket, like a dropped SYN.
+    for shed in &clients[2..] {
+        assert!(matches!(
+            shed.read_all(),
+            Err(qtls_server::net::SockError::Closed)
+        ));
+    }
+    worker.run_iteration();
+    assert_eq!(worker.stats.accepted, 2);
+    assert_eq!(worker.stats.accept_sheds, 3, "sheds surface in stats");
+}
+
+#[test]
+fn overload_prioritizes_established_connections() {
+    // Single worker, driven by hand: one established keep-alive
+    // connection, then enough pending handshakes to cross the
+    // watermark. The established connection's request must be served
+    // while a fresh token-less ClientHello gets challenged.
+    let listener = Arc::new(VListener::new());
+    let mut cfg = admission_cfg(2);
+    cfg.content = Arc::new(ContentStore::new());
+    let mut worker = Worker::new(Arc::clone(&listener), None, cfg);
+
+    // Establish connection A by hand.
+    let sock_a = listener.connect();
+    let mut client_a = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        None,
+        9700,
+    );
+    client_a.start().expect("client hello");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !client_a.is_established() {
+        let out = client_a.take_output();
+        if !out.is_empty() {
+            sock_a.write(&out).expect("client flight");
+        }
+        worker.run_iteration();
+        if let Ok(bytes) = sock_a.read_all() {
+            client_a.feed(&bytes);
+            client_a.process().expect("client TLS state");
+        }
+        assert!(Instant::now() < deadline);
+    }
+
+    // Pending handshakes past the watermark (accepted, never written).
+    let _pending: Vec<_> = (0..3).map(|_| listener.connect()).collect();
+    worker.run_iteration(); // accepts them
+    worker.run_iteration(); // sweeps with inflight >= watermark
+    assert!(worker.in_overload(), "watermark crossed");
+    assert!(worker.stats.overload_entered >= 1);
+
+    // A fresh token-less ClientHello is challenged, not handshaken.
+    let sock_new = listener.connect_from(0xFEED);
+    let mut client_new = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        None,
+        9701,
+    );
+    client_new.start().expect("client hello");
+    sock_new
+        .write(&client_new.take_output())
+        .expect("client flight");
+    // The established connection's request rides the same sweeps.
+    let req = b"GET /4kb HTTP/1.1\r\nHost: qtls\r\nConnection: keep-alive\r\n\r\n";
+    client_a.write_app_data(req).expect("request");
+    let out = client_a.take_output();
+    sock_a.write(&out).expect("request flight");
+    let mut challenge: Vec<u8> = Vec::new();
+    let mut response: Vec<u8> = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while challenge.len() < 4 || !response.windows(4).any(|w| w == b"\r\n\r\n") {
+        worker.run_iteration();
+        if let Ok(bytes) = sock_new.read_all() {
+            challenge.extend_from_slice(&bytes);
+        }
+        if let Ok(bytes) = sock_a.read_all() {
+            client_a.feed(&bytes);
+            client_a.process().expect("client TLS state");
+            while let Some(chunk) = client_a.read_app_data() {
+                response.extend_from_slice(&chunk);
+            }
+        }
+        assert!(Instant::now() < deadline, "service stalled under overload");
+    }
+    assert_eq!(challenge[0], admission::FRAME_MAGIC, "got a challenge");
+    assert_eq!(challenge[1], admission::FRAME_CHALLENGE);
+    assert!(response.starts_with(b"HTTP/1.1 200"), "request served");
+    assert_eq!(worker.stats.challenges_sent, 1);
+    assert_eq!(worker.stats.handshakes, 1, "only the established conn");
+}
+
+#[test]
+fn shutdown_accounts_for_every_socket() {
+    // Burst-connect against a tiny backlog, then shut down immediately:
+    // every socket must be dispatched+accepted, dispatched+drained,
+    // shed, or still-undispatched — conservation, no silent drops.
+    let directives =
+        qtls_server::parse_ssl_engine_conf("worker_processes 2;\nadmission_backlog_cap 4;\n")
+            .expect("conf");
+    let cluster = Cluster::start(
+        &directives,
+        ServerConfig::test_default(),
+        Arc::new(ContentStore::new()),
+    );
+    let listener = cluster.listener();
+    let _clients: Vec<_> = (0..50).map(|_| listener.connect()).collect();
+    let report = cluster.shutdown();
+    let dispatched: u64 = report.dispatch.dispatched.iter().sum();
+    assert_eq!(
+        dispatched + report.dispatch.shed + report.undispatched,
+        50,
+        "dispatch-side conservation"
+    );
+    for (i, (stats, _)) in report.workers.iter().enumerate() {
+        assert_eq!(
+            report.dispatch.dispatched[i],
+            stats.accepted + report.dropped_accepts[i],
+            "worker {i} accept-side conservation"
+        );
+    }
+}
+
+#[test]
+fn flood_with_admission_keeps_established_streams_alive() {
+    // One worker under a spoofing handshake flood: the pre-established
+    // keep-alive stream keeps being served, the flood is absorbed by
+    // cheap challenges, and overload mode engages.
+    let directives = qtls_server::parse_ssl_engine_conf(
+        "worker_processes 1;\nadmission_control on;\nadmission_watermark 2;\n",
+    )
+    .expect("conf");
+    let cluster = Cluster::start(
+        &directives,
+        ServerConfig::test_default(),
+        Arc::new(ContentStore::new()),
+    );
+    let listener = cluster.listener();
+
+    let stream_stop = Arc::new(AtomicBool::new(false));
+    let stream = {
+        let listener = Arc::clone(&listener);
+        let stop = Arc::clone(&stream_stop);
+        std::thread::spawn(move || {
+            run_keepalive_stream(&listener, "/4kb", 9800, &stop, Duration::from_secs(30))
+        })
+    };
+    // Let the stream establish before the flood starts.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let flood_stop = Arc::new(AtomicBool::new(false));
+    let flood_stats = Arc::new(FloodStats::default());
+    let flooders = spawn_flood(
+        Arc::clone(&listener),
+        ClientConfig::default(),
+        4,
+        false, // spoofing flooders never honor the token
+        Arc::clone(&flood_stop),
+        Arc::clone(&flood_stats),
+    );
+    std::thread::sleep(Duration::from_millis(500));
+    flood_stop.store(true, Ordering::Relaxed);
+    for h in flooders {
+        h.join().expect("flood client");
+    }
+    stream_stop.store(true, Ordering::Relaxed);
+    let latencies = stream
+        .join()
+        .expect("stream thread")
+        .expect("keepalive stream");
+
+    let report = cluster.shutdown();
+    let challenges: u64 = report.workers.iter().map(|(s, _)| s.challenges_sent).sum();
+    let overloads: u64 = report.workers.iter().map(|(s, _)| s.overload_entered).sum();
+    assert!(
+        flood_stats.challenged.load(Ordering::Relaxed) > 0,
+        "flood was challenged: {flood_stats:?}"
+    );
+    assert!(challenges > 0, "workers sent challenges");
+    assert!(overloads >= 1, "overload mode engaged");
+    assert!(
+        latencies.len() >= 5,
+        "established stream kept being served under flood, got {} requests",
+        latencies.len()
+    );
+}

@@ -331,7 +331,9 @@ fn stub_status_formats_every_field() {
          TLS: alive 0 idle 0 active 0 async-jobs 0 resumptions 0\n\
          bytes: sent 0 received 0 handoffs 0\n\
          submit: flushes 0 flushed 0 max-depth 0 deferred 0 \
-         holds 0 forced 0 bypassed 0 ewma-depth 0.000\n"
+         holds 0 forced 0 bypassed 0 ewma-depth 0.000\n\
+         admission: accepted 0 challenges 0 verified 0 rejected 0 \
+         sheds 0 overloads 0\n"
     );
 }
 

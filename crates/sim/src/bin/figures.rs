@@ -64,6 +64,7 @@ fn main() {
             Box::new(move || experiments::resumption_ablation(f)),
         ),
         ("bulk", Box::new(move || experiments::bulk_ablation(f))),
+        ("flood", Box::new(move || experiments::flood_ablation(f))),
     ];
     for (name, runner) in all {
         if !wanted.is_empty() && !wanted.contains(&name) {

@@ -68,6 +68,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod any_session;
 pub mod client;
 pub mod codec;

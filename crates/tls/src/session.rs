@@ -237,6 +237,13 @@ impl TicketKeys {
         TicketKeys { enc_key, mac_key }
     }
 
+    /// The MAC half of the key pair, shared with sibling modules that
+    /// derive cheap authenticators (admission retry tokens) from the
+    /// same rotating material.
+    pub(crate) fn mac_key(&self) -> &[u8; 32] {
+        &self.mac_key
+    }
+
     /// Seal a session into an opaque ticket: `iv || ct || mac`.
     ///
     /// Returns `None` if the master secret is too large to encode

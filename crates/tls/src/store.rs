@@ -247,6 +247,29 @@ impl TicketKeyRing {
             .open(ticket)
             .or_else(|| st.previous.as_ref().and_then(|k| k.open(ticket)))
     }
+
+    /// Mint an admission retry token for `addr` under the current key
+    /// (see [`crate::admission`]).
+    pub fn mint_retry_token(&self, addr: u64, now_secs: u64) -> Vec<u8> {
+        crate::admission::mint_token(&self.inner.lock().current, addr, now_secs)
+    }
+
+    /// Verify an admission retry token for `addr` under the current
+    /// key, falling back to the previous key — tokens minted just
+    /// before a rotation stay valid, so rotation costs nothing.
+    pub fn verify_retry_token(
+        &self,
+        token: &[u8],
+        addr: u64,
+        now_secs: u64,
+        lifetime_secs: u64,
+    ) -> bool {
+        let st = self.inner.lock();
+        crate::admission::verify_token(&st.current, token, addr, now_secs, lifetime_secs)
+            || st.previous.as_ref().is_some_and(|k| {
+                crate::admission::verify_token(k, token, addr, now_secs, lifetime_secs)
+            })
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +353,24 @@ mod tests {
         ring.rotate(&mut rng);
         assert!(ring.open(&old).is_none());
         assert!(ring.open(&new).is_some());
+    }
+
+    #[test]
+    fn ring_retry_tokens_survive_one_rotation() {
+        let mut rng = TestRng::new(13);
+        let ring = TicketKeyRing::new(&mut rng, Duration::ZERO);
+        let token = ring.mint_retry_token(42, 1000);
+        assert!(ring.verify_retry_token(&token, 42, 1001, 30));
+        assert!(!ring.verify_retry_token(&token, 43, 1001, 30), "other addr");
+        // One rotation: the previous-key fallback still verifies it.
+        ring.rotate(&mut rng);
+        assert!(ring.verify_retry_token(&token, 42, 1002, 30));
+        // Two rotations: gone for good, like tickets.
+        ring.rotate(&mut rng);
+        assert!(!ring.verify_retry_token(&token, 42, 1002, 30));
+        // Fresh tokens mint under the rotated current key.
+        let token = ring.mint_retry_token(42, 1003);
+        assert!(ring.verify_retry_token(&token, 42, 1003, 30));
     }
 
     #[test]

@@ -66,16 +66,16 @@ fn main() {
         let _ = c.join();
     }
     let device_counters = cluster.device().map(|d| d.fw_counters().render());
-    let worker_stats = cluster.shutdown();
+    let report = cluster.shutdown();
 
     println!("per-worker results:");
-    for (i, (s, switches)) in worker_stats.iter().enumerate() {
+    for (i, (s, switches)) in report.workers.iter().enumerate() {
         println!(
             "  worker {i}: {:>5} handshakes  {:>5} requests  {:>4} job pauses  {} kernel switches",
             s.handshakes, s.requests, s.async_jobs, switches
         );
     }
-    let total: u64 = worker_stats.iter().map(|(s, _)| s.handshakes).sum();
+    let total: u64 = report.workers.iter().map(|(s, _)| s.handshakes).sum();
     println!(
         "\ntotal: {} handshakes, {} ok client connections, {} errors",
         total,

@@ -104,6 +104,42 @@ if ! grep -q "bulk_batched_speedup: PASS" <<< "$bulk_bench"; then
 fi
 echo "ok: batched bulk transfer at least 1.5x per-record at depth 16"
 
+echo "== flood figure + admission gate tests + bench smoke =="
+# The admission-control layer (DESIGN.md §14) must emit all four flood-
+# ablation series in SMOKE fidelity; the deterministic sim gate (flood
+# with admission on within 1.2x of the unflooded p99, the same flood
+# without admission at >= 2x) and the real-stack flood regression suite
+# must run and pass; and the handshake bench must reach its challenge-
+# economics verdict (challenge >= 50x cheaper than a full handshake,
+# asserted inside the bench).
+flood_fig=$(cargo run --release --offline -p qtls-sim --bin figures -- smoke flood)
+for series in "est p99 ms" "est K rps" "chal K/s" "flood hs/s"; do
+  if ! grep -qF "$series" <<< "$flood_fig"; then
+    echo "flood figure missing series: $series" >&2
+    exit 1
+  fi
+done
+echo "ok: flood figure emits all admission-ablation series"
+flood_gate=$(cargo test --offline -p qtls-sim --lib \
+  admission_absorbs_handshake_flood 2>&1)
+if ! grep -q "test result: ok. 1 passed" <<< "$flood_gate"; then
+  echo "sim flood-admission gate test did not run and pass" >&2
+  exit 1
+fi
+echo "ok: sim gate holds (admission <=1.2x baseline p99; no admission >=2x)"
+flood_suite=$(cargo test --offline -p qtls-server --test flood 2>&1)
+if ! grep -qE "test result: ok. [1-9][0-9]* passed; 0 failed" <<< "$flood_suite"; then
+  echo "real-stack flood regression suite did not run and pass" >&2
+  exit 1
+fi
+echo "ok: real-stack flood suite passes (challenge/retry, caps, sheds, drain)"
+admission_bench=$(cargo bench --offline -p qtls-bench --bench handshake -- admission)
+if ! grep -q "admission_challenge_cheap: PASS" <<< "$admission_bench"; then
+  echo "admission bench did not print its PASS verdict" >&2
+  exit 1
+fi
+echo "ok: challenge mint+verify at least 50x cheaper than a full handshake"
+
 echo "== metrics plane smoke =="
 # Boot a sharded QTLS worker with qat_metrics on, scrape /metrics over
 # a real in-band TLS connection, and validate the exposition with the
