@@ -284,6 +284,7 @@ fn bench_sharding(c: &mut Criterion) {
     // shard until all callbacks fire. Each endpoint contributes two
     // sleeping engines, so N shards service the batch N times as wide.
     group.sample_size(10);
+    let mut rows: Vec<String> = Vec::new();
     for shards in [1usize, 2, 4] {
         let dev = QatDevice::new(QatConfig {
             endpoints: shards,
@@ -347,10 +348,25 @@ fn bench_sharding(c: &mut Criterion) {
                 ret.quantile(0.5) / 1_000,
                 ret.count()
             );
+            rows.push(format!(
+                "{{\"shards\": {shards}, \"pre_p99_us\": {}, \"retrieval_p99_us\": {}, \
+                 \"retrieval_p50_us\": {}, \"samples\": {}}}",
+                pre.quantile(0.99) / 1_000,
+                ret.quantile(0.99) / 1_000,
+                ret.quantile(0.5) / 1_000,
+                ret.count()
+            ));
         }
         qtls_qat::trace::set_tracing(false);
     }
     group.finish();
+    qtls_bench::results::write(
+        "sharding",
+        &format!(
+            "{{\n  \"bench\": \"sharding\",\n  \"measured\": [{}]\n}}\n",
+            rows.join(", ")
+        ),
+    );
 }
 
 fn bench_bulk_transfer(c: &mut Criterion) {
@@ -479,6 +495,13 @@ fn bench_bulk_transfer(c: &mut Criterion) {
         "batched bulk transfer below the 1.5x bar: {speedup:.2}x"
     );
     println!("bulk_batched_speedup: PASS {speedup:.2}x batched vs per-record at depth 16");
+    qtls_bench::results::write(
+        "bulk",
+        &format!(
+            "{{\n  \"bench\": \"bulk\",\n  \"batched_vs_per_record_speedup\": {speedup:.2},\n  \
+             \"depth\": 16,\n  \"pairs\": {PAIRS},\n  \"gate\": 1.5\n}}\n"
+        ),
+    );
 }
 
 fn bench_obs_overhead(c: &mut Criterion) {

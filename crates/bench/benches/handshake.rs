@@ -210,6 +210,13 @@ fn bench_admission(c: &mut Criterion) {
          got {ratio:.0}x"
     );
     println!("admission_challenge_cheap: PASS ({ratio:.0}x cheaper than a full handshake)");
+    qtls_bench::results::write(
+        "admission",
+        &format!(
+            "{{\n  \"bench\": \"admission\",\n  \"challenge_vs_full_handshake_ratio\": {ratio:.0},\n  \
+             \"pairs\": {PAIRS},\n  \"gate\": 50.0\n}}\n"
+        ),
+    );
 }
 
 criterion_group!(

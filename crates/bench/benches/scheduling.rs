@@ -1,0 +1,298 @@
+//! Cluster-scheduling verdict bench (DESIGN.md §15).
+//!
+//! Two complementary measurements, because this box may be a single
+//! hardware thread where wall-clock A/B between cluster policies is
+//! meaningless (same total CPU work, no real worker parallelism):
+//!
+//! 1. **Simulated p99** — the deterministic discrete-event testbed runs
+//!    the §15 scheduling ablation (skewed handshake+app mix) and the
+//!    verdict asserts that least-loaded dispatch with work stealing
+//!    (dFCFS+steal) beats blind round-robin on p99 latency by a fixed
+//!    margin.
+//! 2. **Real-cluster load distribution** — a 4-worker cluster serves a
+//!    stride-4 heavy mix (every 4th connection fetches a large object,
+//!    which blind round-robin deterministically piles onto one worker).
+//!    The verdict asserts least-loaded dispatch spreads bytes across
+//!    workers (worst-worker share shrinks by a fixed factor) and that
+//!    the stealing path actually fires when a worker's accept backlog
+//!    builds up.
+//!
+//! Measured numbers are persisted to `results/BENCH_scheduling.json`.
+
+use qtls_crypto::ecc::NamedCurve;
+use qtls_server::net::{SockError, VSocket};
+use qtls_server::{parse_ssl_engine_conf, Cluster, ContentStore};
+use qtls_sim::experiments::{self, Fidelity};
+use qtls_tls::client::ClientSession;
+use qtls_tls::provider::CryptoProvider;
+use qtls_tls::server::ServerConfig;
+use qtls_tls::suite::CipherSuite;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Workers in the real-cluster runs. The heavy stride below aligns with
+/// this so round-robin lands every heavy connection on worker 0.
+const WORKERS: usize = 4;
+/// Connections per cluster run.
+const CONNS: usize = 32;
+/// Every `HEAVY_STRIDE`-th connection fetches the heavy object.
+const HEAVY_STRIDE: usize = 4;
+/// Heavy object size (synthesized by `ContentStore` as `/768kb`).
+const HEAVY_KB: usize = 768;
+/// Light object size (`/2kb`).
+const LIGHT_KB: usize = 2;
+/// Pause between connection arrivals so worker gauges and backlogs
+/// reflect in-progress work when the dispatcher routes the next socket.
+const PACE: Duration = Duration::from_millis(2);
+/// Per-connection driver deadline.
+const DRIVE_DEADLINE: Duration = Duration::from_secs(120);
+/// Sim gate: dFCFS+steal must beat round-robin p99 by at least this.
+const SIM_SPEEDUP_GATE: f64 = 1.25;
+/// Cluster gate: least-loaded worst-worker byte share must be at most
+/// this fraction of the round-robin worst-worker share.
+const BALANCE_GATE: f64 = 0.75;
+
+/// Drive one pre-connected client socket: software TLS handshake, one
+/// GET with `Connection: close`, done when at least `expect` app-data
+/// bytes came back (body dominates; header slack is ~a hundred bytes).
+fn drive(sock: VSocket, seed: u64, path: String, expect: usize) -> bool {
+    let mut s = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        None,
+        seed,
+    );
+    if s.start().is_err() {
+        return false;
+    }
+    let deadline = Instant::now() + DRIVE_DEADLINE;
+    let mut sent_req = false;
+    let mut got = 0usize;
+    loop {
+        let out = s.take_output();
+        if !out.is_empty() && sock.write(&out).is_err() {
+            return false;
+        }
+        if s.is_established() && !sent_req {
+            let req = format!("GET {path} HTTP/1.1\r\nHost: qtls\r\nConnection: close\r\n\r\n");
+            if s.write_app_data(req.as_bytes()).is_err() {
+                return false;
+            }
+            sent_req = true;
+            continue; // flush the request records before reading
+        }
+        match sock.read_all() {
+            Ok(bytes) => {
+                if !bytes.is_empty() {
+                    s.feed(&bytes);
+                    if s.process().is_err() {
+                        return false;
+                    }
+                }
+            }
+            // Tame single-core oversubscription: 33 driver threads busy-
+            // spinning would starve the workers they are waiting on.
+            Err(SockError::WouldBlock) => std::thread::sleep(Duration::from_micros(100)),
+            Err(SockError::Closed) => return got >= expect,
+        }
+        while let Some(chunk) = s.read_app_data() {
+            got += chunk.len();
+        }
+        if got >= expect {
+            sock.close();
+            return true;
+        }
+        if Instant::now() > deadline {
+            return false;
+        }
+    }
+}
+
+/// One cluster run's distilled outcome.
+struct RunOutcome {
+    /// Connections whose driver saw the full body.
+    ok: usize,
+    /// Per-worker bytes sent.
+    bytes: Vec<u64>,
+    /// Total sockets stolen between workers.
+    stolen: u64,
+    /// Worker-side error count.
+    errors: u64,
+    /// Worst worker's share of total bytes sent.
+    max_share: f64,
+}
+
+/// Start a cluster from `conf`, push the stride-heavy mix through it
+/// with serialized (hence deterministically ordered) connects, and
+/// distill the shutdown report.
+fn run_cluster(conf: &str, seed_base: u64) -> RunOutcome {
+    let directives = parse_ssl_engine_conf(conf).expect("bench conf parses");
+    let cluster = Cluster::start(
+        &directives,
+        ServerConfig::test_default(),
+        Arc::new(ContentStore::new()),
+    );
+    let listener = cluster.listener();
+    let mut handles = Vec::new();
+    for i in 0..CONNS {
+        // Serial connects from this thread pin the arrival order, so
+        // round-robin's socket->worker mapping is deterministic.
+        let sock = listener.connect();
+        let heavy = i % HEAVY_STRIDE == 0;
+        let kb = if heavy { HEAVY_KB } else { LIGHT_KB };
+        let path = format!("/{kb}kb");
+        let seed = seed_base + i as u64;
+        handles.push(std::thread::spawn(move || {
+            drive(sock, seed, path, kb * 1024)
+        }));
+        std::thread::sleep(PACE);
+    }
+    let ok = handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or(false))
+        .filter(|&done| done)
+        .count();
+    let report = cluster.shutdown();
+    let bytes: Vec<u64> = report.workers.iter().map(|(s, _)| s.bytes_sent).collect();
+    let total: u64 = bytes.iter().sum();
+    let max_share = if total == 0 {
+        0.0
+    } else {
+        *bytes.iter().max().unwrap() as f64 / total as f64
+    };
+    RunOutcome {
+        ok,
+        bytes,
+        stolen: report.dispatch.stolen_in.iter().sum(),
+        errors: report.workers.iter().map(|(s, _)| s.errors).sum(),
+        max_share,
+    }
+}
+
+fn main() {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let want = |name: &str| filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()));
+
+    let mut sim_json = String::from("null");
+    let mut cluster_json = String::from("null");
+
+    if want("sim") {
+        sim_json = bench_sim_ablation();
+    }
+    if want("cluster") {
+        cluster_json = bench_cluster_distribution();
+    }
+
+    qtls_bench::results::write(
+        "scheduling",
+        &format!(
+            "{{\n  \"bench\": \"scheduling\",\n  \"sim\": {sim_json},\n  \"cluster\": {cluster_json}\n}}\n"
+        ),
+    );
+}
+
+/// Part 1: deterministic simulated ablation (see `qtls_sim`).
+fn bench_sim_ablation() -> String {
+    let fig = experiments::scheduling_ablation(Fidelity::QUICK);
+    let rr = fig.value("rr p99 ms", "unified").expect("rr series");
+    let cfcfs = fig.value("cfcfs p99 ms", "unified").expect("cfcfs series");
+    let dfcfs = fig.value("dfcfs p99 ms", "unified").expect("dfcfs series");
+    let steal = fig
+        .value("dfcfs+steal p99 ms", "unified")
+        .expect("steal series");
+    let speedup = rr / steal;
+    println!(
+        "scheduling p99 (sim, unified cores, skewed mix): rr {rr:.2}ms cfcfs {cfcfs:.2}ms \
+         dfcfs {dfcfs:.2}ms dfcfs+steal {steal:.2}ms"
+    );
+    assert!(
+        speedup >= SIM_SPEEDUP_GATE,
+        "least-loaded+steal must beat round-robin p99 by {SIM_SPEEDUP_GATE}x \
+         (got {speedup:.2}x: rr {rr:.2}ms vs steal {steal:.2}ms)"
+    );
+    println!(
+        "scheduling_speedup: PASS ({speedup:.2}x p99 vs round-robin, \
+         sim skewed mix, gate {SIM_SPEEDUP_GATE}x)"
+    );
+    format!(
+        "{{\"rr_p99_ms\": {rr:.2}, \"cfcfs_p99_ms\": {cfcfs:.2}, \"dfcfs_p99_ms\": {dfcfs:.2}, \
+         \"dfcfs_steal_p99_ms\": {steal:.2}, \"speedup\": {speedup:.3}, \
+         \"gate\": {SIM_SPEEDUP_GATE}}}"
+    )
+}
+
+/// Part 2: real-cluster distribution + stealing under the stride mix.
+fn bench_cluster_distribution() -> String {
+    // Round-robin control: every heavy lands on worker 0 by stride.
+    let rr = run_cluster("worker_processes 4;", 91_000);
+    println!(
+        "scheduling cluster rr: ok {}/{CONNS} bytes {:?} max_share {:.3}",
+        rr.ok, rr.bytes, rr.max_share
+    );
+    assert_eq!(rr.ok, CONNS, "round-robin run must complete every body");
+    assert_eq!(rr.errors, 0);
+    assert!(
+        rr.max_share >= 0.8,
+        "stride-{HEAVY_STRIDE} heavies must pile onto one round-robin worker \
+         (max_share {:.3})",
+        rr.max_share
+    );
+
+    // Stealing probe: throttle accepts so the piled worker's backlog
+    // persists; its idle siblings must steal from it.
+    let st = run_cluster(
+        "worker_processes 4;\ndispatch_steal on;\nadmission_accepts_per_sweep 1;",
+        92_000,
+    );
+    println!(
+        "scheduling cluster rr+steal: ok {}/{CONNS} stolen {} max_share {:.3}",
+        st.ok, st.stolen, st.max_share
+    );
+    assert_eq!(st.ok, CONNS, "stealing run must complete every body");
+    assert_eq!(st.errors, 0);
+    assert!(
+        st.stolen >= 1,
+        "idle workers must steal from the throttled worker's backlog"
+    );
+    println!(
+        "scheduling_steal: PASS ({} sockets stolen under throttled accepts)",
+        st.stolen
+    );
+
+    // Least-loaded + stealing: the heavies must spread out.
+    let ll = run_cluster(
+        "worker_processes 4;\ndispatch_policy least_loaded;\ndispatch_steal on;",
+        93_000,
+    );
+    println!(
+        "scheduling cluster least_loaded+steal: ok {}/{CONNS} bytes {:?} stolen {} max_share {:.3}",
+        ll.ok, ll.bytes, ll.stolen, ll.max_share
+    );
+    assert_eq!(ll.ok, CONNS, "least-loaded run must complete every body");
+    assert_eq!(ll.errors, 0);
+    assert!(
+        ll.max_share <= BALANCE_GATE * rr.max_share,
+        "least-loaded dispatch must spread the heavy bytes: ll max_share {:.3} \
+         vs gate {:.3} ({BALANCE_GATE} x rr {:.3})",
+        ll.max_share,
+        BALANCE_GATE * rr.max_share,
+        rr.max_share
+    );
+    println!(
+        "scheduling_balance: PASS (worst-worker byte share {:.3} vs {:.3} round-robin, \
+         gate {BALANCE_GATE}x)",
+        ll.max_share, rr.max_share
+    );
+
+    format!(
+        "{{\"workers\": {WORKERS}, \"connections\": {CONNS}, \"heavy_stride\": {HEAVY_STRIDE}, \
+         \"heavy_kb\": {HEAVY_KB}, \"light_kb\": {LIGHT_KB}, \
+         \"rr_max_share\": {:.3}, \"ll_max_share\": {:.3}, \"balance_gate\": {BALANCE_GATE}, \
+         \"stolen_throttled\": {}}}",
+        rr.max_share, ll.max_share, st.stolen
+    )
+}

@@ -1460,8 +1460,8 @@ mod tests {
         assert_eq!(engine.shard_count(), 2);
         // Distinct endpoints back the two shards.
         assert_ne!(
-            engine.shard_instance(0).endpoint_index,
-            engine.shard_instance(1).endpoint_index
+            engine.shard_instance(0).endpoint_index(),
+            engine.shard_instance(1).endpoint_index()
         );
         for _ in 0..4 {
             let eng = Arc::clone(&engine);

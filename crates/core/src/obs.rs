@@ -664,6 +664,10 @@ pub mod registry {
         "qtls_admission_tokens_rejected_total",
         "qtls_admission_accept_sheds_total",
         "qtls_admission_overloads_total",
+        "qtls_worker_load",
+        "qtls_worker_steals_total",
+        "qtls_dispatch_policy",
+        "qtls_qat_rebalances_total",
         "qtls_metrics_enabled",
     ];
 

@@ -25,6 +25,10 @@ struct RingPair {
     /// Observer for retrieved responses while tracing is on; shared by
     /// every clone of the owning instance (pollers included).
     retrieve_hook: RwLock<Option<Arc<dyn RetrieveHook>>>,
+    /// Index of the endpoint whose engines currently serve this pair.
+    /// Runtime shard rebalancing retargets it, so submitters route
+    /// doorbells through this instead of a captured endpoint handle.
+    owner: AtomicUsize,
 }
 
 /// Shared state of one endpoint.
@@ -63,13 +67,23 @@ impl std::fmt::Debug for SubmitFull {
 #[derive(Clone)]
 pub struct CryptoInstance {
     pair: Arc<RingPair>,
-    endpoint: Arc<EndpointShared>,
+    /// Every endpoint of the device: the doorbell goes to whichever one
+    /// currently owns the pair (rebalancing may move it at runtime).
+    endpoints: Arc<Vec<Arc<EndpointShared>>>,
     counters: Arc<FwCounters>,
-    /// Endpoint index (diagnostics).
-    pub endpoint_index: usize,
 }
 
 impl CryptoInstance {
+    /// The endpoint whose engines currently serve this instance (may
+    /// change under runtime shard rebalancing).
+    pub fn endpoint_index(&self) -> usize {
+        self.pair.owner.load(Ordering::Relaxed)
+    }
+
+    /// Ring the owning endpoint's doorbell.
+    fn notify_owner(&self) {
+        self.endpoints[self.endpoint_index()].notify();
+    }
     /// Submit a crypto request in non-blocking mode. On success the
     /// request is queued for an engine; completion is delivered through
     /// the callback at poll time.
@@ -82,7 +96,7 @@ impl CryptoInstance {
             Ok(()) => {
                 self.counters.submitted.fetch_add(1, Ordering::Relaxed);
                 self.counters.doorbells.fetch_add(1, Ordering::Relaxed);
-                self.endpoint.notify();
+                self.notify_owner();
                 Ok(())
             }
             Err(RingFull(back)) => {
@@ -123,7 +137,7 @@ impl CryptoInstance {
                 .submitted
                 .fetch_add(accepted as u64, Ordering::Relaxed);
             self.counters.doorbells.fetch_add(1, Ordering::Relaxed);
-            self.endpoint.notify();
+            self.notify_owner();
         }
         if !requests.is_empty() {
             // Each leftover request was rejected by this flush attempt.
@@ -221,7 +235,7 @@ impl CryptoInstance {
 /// A software QAT card: endpoints, engines and firmware counters.
 pub struct QatDevice {
     config: QatConfig,
-    endpoints: Vec<Arc<EndpointShared>>,
+    endpoints: Arc<Vec<Arc<EndpointShared>>>,
     counters: Arc<FwCounters>,
     engine_handles: Vec<std::thread::JoinHandle<()>>,
 }
@@ -256,7 +270,7 @@ impl QatDevice {
         }
         QatDevice {
             config,
-            endpoints,
+            endpoints: Arc::new(endpoints),
             counters,
             engine_handles,
         }
@@ -310,19 +324,80 @@ impl QatDevice {
     }
 
     fn alloc_on(&self, idx: usize) -> CryptoInstance {
-        let endpoint = Arc::clone(&self.endpoints[idx]);
         let pair = Arc::new(RingPair {
             req: Ring::new(self.config.ring_capacity),
             resp: Ring::new(self.config.ring_capacity * 2),
             retrieve_hook: RwLock::new(None),
+            owner: AtomicUsize::new(idx),
         });
-        endpoint.pairs.write().push(Arc::clone(&pair));
+        self.endpoints[idx].pairs.write().push(Arc::clone(&pair));
         CryptoInstance {
             pair,
-            endpoint,
+            endpoints: Arc::clone(&self.endpoints),
             counters: Arc::clone(&self.counters),
-            endpoint_index: idx,
         }
+    }
+
+    /// Queued (submitted-but-unconsumed) requests per endpoint — the
+    /// co-tenant pressure signal rebalancing acts on.
+    pub fn endpoint_pressures(&self) -> Vec<u64> {
+        self.endpoints
+            .iter()
+            .map(|ep| {
+                ep.pairs
+                    .read()
+                    .iter()
+                    .map(|p| p.req.len() as u64)
+                    .sum::<u64>()
+            })
+            .collect()
+    }
+
+    /// Runtime shard rebalancing: when the most-pressured endpoint's
+    /// queued-request count exceeds the least-pressured one's by at
+    /// least `threshold`, migrate ONE quiescent ring pair (empty request
+    /// AND response ring — no inflight ops) from the hot endpoint to the
+    /// cold one. Doorbells follow the pair's owner, so submitters need
+    /// no coordination. Returns the number of pairs migrated (0 or 1).
+    pub fn rebalance(&self, threshold: u64) -> usize {
+        let pressures = self.endpoint_pressures();
+        if pressures.len() < 2 {
+            return 0;
+        }
+        let hot = (0..pressures.len())
+            .max_by_key(|&i| pressures[i])
+            .expect("device has endpoints");
+        let cold = (0..pressures.len())
+            .min_by_key(|&i| pressures[i])
+            .expect("device has endpoints");
+        if hot == cold || pressures[hot] - pressures[cold] < threshold {
+            return 0;
+        }
+        // Lock both pair lists in index order (the single-caller
+        // dispatcher makes this belt-and-braces) so the pair is never
+        // scannable by zero endpoints while a submit lands on it.
+        let (first, second) = if hot < cold { (hot, cold) } else { (cold, hot) };
+        let mut first_guard = self.endpoints[first].pairs.write();
+        let mut second_guard = self.endpoints[second].pairs.write();
+        let (hot_pairs, cold_pairs) = if hot < cold {
+            (&mut *first_guard, &mut *second_guard)
+        } else {
+            (&mut *second_guard, &mut *first_guard)
+        };
+        let Some(pos) = hot_pairs
+            .iter()
+            .position(|p| p.req.len() == 0 && p.resp.len() == 0)
+        else {
+            return 0; // every shard on the hot endpoint has inflight ops
+        };
+        let pair = hot_pairs.remove(pos);
+        pair.owner.store(cold, Ordering::Relaxed);
+        cold_pairs.push(pair);
+        self.counters.rebalances.fetch_add(1, Ordering::Relaxed);
+        // The cold endpoint's engines may be parked; wake them so a
+        // submit racing the migration is noticed promptly.
+        self.endpoints[cold].notify();
+        1
     }
 
     /// The firmware counters (`cat /sys/kernel/debug/qat*/fw_counters`).
@@ -338,7 +413,7 @@ impl QatDevice {
 
 impl Drop for QatDevice {
     fn drop(&mut self) {
-        for ep in &self.endpoints {
+        for ep in self.endpoints.iter() {
             ep.shutdown.store(true, Ordering::SeqCst);
             ep.notify();
         }
@@ -681,7 +756,7 @@ mod tests {
             ..QatConfig::functional_small()
         });
         let idx: Vec<usize> = (0..6)
-            .map(|_| dev.alloc_instance().endpoint_index)
+            .map(|_| dev.alloc_instance().endpoint_index())
             .collect();
         assert_eq!(idx, vec![0, 1, 2, 0, 1, 2]);
     }
@@ -695,14 +770,14 @@ mod tests {
         });
         // n <= endpoints: all endpoints distinct.
         let batch = dev.alloc_instances(3);
-        let mut eps: Vec<usize> = batch.iter().map(|i| i.endpoint_index).collect();
+        let mut eps: Vec<usize> = batch.iter().map(|i| i.endpoint_index()).collect();
         eps.sort_unstable();
         assert_eq!(eps, vec![0, 1, 2]);
         // n > endpoints: as even as possible (counts differ by <= 1).
         let batch = dev.alloc_instances(5);
         let mut counts = [0usize; 3];
         for inst in &batch {
-            counts[inst.endpoint_index] += 1;
+            counts[inst.endpoint_index()] += 1;
         }
         assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
     }
@@ -718,18 +793,134 @@ mod tests {
             ..QatConfig::functional_small()
         });
         let a = dev.alloc_instance();
-        assert_eq!(a.endpoint_index, 0);
+        assert_eq!(a.endpoint_index(), 0);
         let b = dev.alloc_instance();
-        assert_eq!(b.endpoint_index, 1);
+        assert_eq!(b.endpoint_index(), 1);
         let c = dev.alloc_instance();
-        assert_eq!(c.endpoint_index, 0);
+        assert_eq!(c.endpoint_index(), 0);
         // Endpoint 0 now holds 2 instances, endpoint 1 holds 1.
-        assert_eq!(dev.alloc_instance().endpoint_index, 1);
+        assert_eq!(dev.alloc_instance().endpoint_index(), 1);
         // Batch allocation stays distinct even with the uneven history.
         let batch = dev.alloc_instances(2);
-        let mut eps: Vec<usize> = batch.iter().map(|i| i.endpoint_index).collect();
+        let mut eps: Vec<usize> = batch.iter().map(|i| i.endpoint_index()).collect();
         eps.sort_unstable();
         assert_eq!(eps, vec![0, 1]);
+    }
+
+    #[test]
+    fn rebalance_migrates_only_quiescent_shards() {
+        // No engines: queued requests stay queued, so endpoint pressure
+        // is fully deterministic.
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 2,
+            engines_per_endpoint: 0,
+            ring_capacity: 8,
+            ..QatConfig::functional_small()
+        });
+        let a = dev.alloc_instance(); // endpoint 0
+        let b = dev.alloc_instance(); // endpoint 1
+        let c = dev.alloc_instance(); // endpoint 0 again (2 vs 1 pairs)
+        assert_eq!((a.endpoint_index(), b.endpoint_index()), (0, 1));
+        assert_eq!(c.endpoint_index(), 0);
+        let mk = |i| {
+            make_request(
+                i,
+                CryptoOp::Prf {
+                    secret: vec![],
+                    label: vec![],
+                    seed: vec![],
+                    out_len: 1,
+                },
+                Box::new(|_| {}),
+            )
+        };
+        for i in 0..4 {
+            a.submit(mk(i)).unwrap();
+        }
+        assert_eq!(dev.endpoint_pressures(), vec![4, 0]);
+        // Gap 4 < threshold 5: no migration.
+        assert_eq!(dev.rebalance(5), 0);
+        // Gap 4 >= threshold 2: the QUIESCENT pair (c) migrates off the
+        // hot endpoint; the pair with inflight ops (a) must stay put.
+        assert_eq!(dev.rebalance(2), 1);
+        assert_eq!(c.endpoint_index(), 1, "quiescent shard migrated");
+        assert_eq!(a.endpoint_index(), 0, "busy shard never migrates");
+        assert_eq!(a.queued_requests(), 4, "inflight ops untouched");
+        assert_eq!(
+            dev.fw_counters().rebalances.load(Ordering::Relaxed),
+            1,
+            "migration is observable"
+        );
+        // Hot endpoint now holds only the busy pair: nothing quiescent
+        // remains to migrate, however wide the gap.
+        assert_eq!(dev.rebalance(1), 0);
+        assert_eq!(dev.fw_counters().rebalances.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn rebalanced_shard_completes_work_on_its_new_endpoint() {
+        // Timed engines hold endpoint 0 busy long enough for the
+        // pressure gap to be visible; after migration, a submit through
+        // the moved instance must ring endpoint 1's doorbell and
+        // complete there.
+        use crate::config::{ServiceMode, ServiceTable};
+        let dev = QatDevice::new(QatConfig {
+            endpoints: 2,
+            engines_per_endpoint: 1,
+            ring_capacity: 32,
+            service_mode: ServiceMode::Timed { time_scale: 1.0 },
+            service_table: ServiceTable {
+                prf_ns: 20_000_000, // 20 ms per PRF
+                ..ServiceTable::default()
+            },
+        });
+        let a = dev.alloc_instance(); // endpoint 0
+        let _b = dev.alloc_instance(); // endpoint 1
+        let c = dev.alloc_instance(); // endpoint 0
+        let mk = |i| {
+            make_request(
+                i,
+                CryptoOp::Prf {
+                    secret: b"s".to_vec(),
+                    label: b"l".to_vec(),
+                    seed: b"x".to_vec(),
+                    out_len: 8,
+                },
+                Box::new(|_| {}),
+            )
+        };
+        for i in 0..8 {
+            a.submit(mk(i)).unwrap();
+        }
+        // Endpoint 0's lone engine chews one request at a time, so at
+        // least 6 stay queued while we rebalance.
+        assert_eq!(dev.rebalance(4), 1);
+        assert_eq!(c.endpoint_index(), 1);
+        let (tx, rx) = mpsc::channel();
+        c.submit(make_request(
+            99,
+            CryptoOp::Prf {
+                secret: b"s".to_vec(),
+                label: b"l".to_vec(),
+                seed: b"y".to_vec(),
+                out_len: 16,
+            },
+            Box::new(move |r| tx.send(r).unwrap()),
+        ))
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            c.poll_all();
+            if let Ok(result) = rx.try_recv() {
+                assert_eq!(
+                    result.unwrap().into_bytes(),
+                    qtls_crypto::kdf::prf_tls12(b"s", b"l", b"y", 16)
+                );
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "timed out");
+            std::thread::yield_now();
+        }
     }
 
     #[test]

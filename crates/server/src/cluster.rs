@@ -6,6 +6,7 @@
 use crate::config_file::EngineDirectives;
 use crate::http::ContentStore;
 use crate::net::VListener;
+use crate::sched::{least_loaded_pick, DispatchPolicy, SchedShared, DISPATCH_PROBE};
 use crate::worker::{Worker, WorkerConfig, WorkerStats};
 use qtls_crypto::TestRng;
 use qtls_qat::QatDevice;
@@ -35,6 +36,10 @@ pub struct DispatchSnapshot {
     pub rejected: Vec<u64>,
     /// Sockets dropped at dispatch because every backlog was full.
     pub shed: u64,
+    /// Sockets each worker stole INTO its backlog from a loaded sibling.
+    pub stolen_in: Vec<u64>,
+    /// Sockets stolen OUT of each worker's backlog by an idle sibling.
+    pub stolen_out: Vec<u64>,
 }
 
 impl DispatchCounters {
@@ -59,6 +64,10 @@ impl DispatchCounters {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             shed: self.shed.load(Ordering::Relaxed),
+            // Steal accounting lives in the scheduling plane; the
+            // cluster folds it in when it builds the report.
+            stolen_in: vec![0; self.dispatched.len()],
+            stolen_out: vec![0; self.dispatched.len()],
         }
     }
 }
@@ -90,6 +99,7 @@ pub struct Cluster {
     session_store: Arc<SharedSessionStore>,
     worker_listeners: Vec<Arc<VListener>>,
     dispatch: Arc<DispatchCounters>,
+    sched: Arc<SchedShared>,
 }
 
 impl Cluster {
@@ -129,45 +139,110 @@ impl Cluster {
             .map(|_| Arc::new(VListener::with_capacity(directives.admission.backlog_cap)))
             .collect();
         let dispatch = Arc::new(DispatchCounters::new(directives.worker_processes));
+        let sched = Arc::new(SchedShared::new(
+            directives.worker_processes,
+            directives.dispatch_policy,
+            directives.dispatch_steal,
+        ));
         let dispatcher = {
             let shared = Arc::clone(&listener);
             let targets = worker_listeners.clone();
             let stop = Arc::clone(&stop);
             let counters = Arc::clone(&dispatch);
+            let sched = Arc::clone(&sched);
+            let policy = directives.dispatch_policy;
+            let rebalance = directives
+                .shard_rebalance
+                .then_some(directives.shard_rebalance_threshold);
+            let device = device.clone();
             std::thread::Builder::new()
                 .name("qtls-master".into())
                 .spawn(move || {
                     let mut next = 0usize;
+                    let mut since_rebalance = 0u32;
                     while !stop.load(Ordering::Relaxed) {
                         let Some(sock) = shared.accept() else {
+                            // Co-tenant shard rebalancing: when idle,
+                            // migrate one quiescent shard off an
+                            // endpoint whose queue pressure exceeds its
+                            // least-loaded sibling's by the configured
+                            // gap.
+                            if let (Some(threshold), Some(device)) = (rebalance, device.as_ref()) {
+                                since_rebalance = 0;
+                                device.rebalance(threshold);
+                            }
                             // Idle: park on the listener's condvar
                             // instead of busy-spinning on yield_now.
                             shared.wait_pending(Duration::from_millis(1));
                             continue;
                         };
-                        // Round-robin, walking past full backlogs: a
-                        // worker that bounces the inject gets a reject
-                        // mark and the socket moves to the next one.
-                        // Only when a full round finds every backlog
-                        // full is the connection shed.
+                        // Pick a start worker — blind rotation, or the
+                        // least-loaded gauge within a bounded probe —
+                        // then walk past full backlogs: a worker that
+                        // bounces the inject gets a reject mark and the
+                        // socket moves to the next one.
                         let mut pending = Some(sock);
-                        for attempt in 0..targets.len() {
-                            let i = (next + attempt) % targets.len();
-                            match targets[i].inject(pending.take().expect("socket present")) {
-                                Ok(()) => {
-                                    counters.dispatched[i].fetch_add(1, Ordering::Relaxed);
-                                    next = i + 1;
-                                    break;
+                        let mut drain_waits = 0u32;
+                        loop {
+                            let start = match policy {
+                                DispatchPolicy::RoundRobin => next,
+                                DispatchPolicy::LeastLoaded => {
+                                    least_loaded_pick(&sched.loads(), next, DISPATCH_PROBE)
                                 }
-                                Err(back) => {
-                                    counters.rejected[i].fetch_add(1, Ordering::Relaxed);
-                                    pending = Some(back);
+                            };
+                            // Read the drain generation BEFORE the walk:
+                            // a worker accepting mid-walk must not be
+                            // missed by the park below.
+                            let gen = sched.drain_generation();
+                            for attempt in 0..targets.len() {
+                                let i = (start + attempt) % targets.len();
+                                match targets[i].inject(pending.take().expect("socket present")) {
+                                    Ok(()) => {
+                                        counters.dispatched[i].fetch_add(1, Ordering::Relaxed);
+                                        next = i + 1;
+                                        break;
+                                    }
+                                    Err(back) => {
+                                        counters.rejected[i].fetch_add(1, Ordering::Relaxed);
+                                        pending = Some(back);
+                                    }
                                 }
+                            }
+                            if pending.is_none() {
+                                break;
+                            }
+                            // Every backlog full. Don't shed on a blind
+                            // backoff timer: park until some worker
+                            // signals a backlog drain, then retry the
+                            // round — a drain means some backlog has
+                            // room, so each retry makes progress. Shed
+                            // only when a wait passes with no drain at
+                            // all (workers genuinely stuck) — dispatch
+                            // latency under overload is bounded by the
+                            // workers' drain rate.
+                            drain_waits += 1;
+                            if stop.load(Ordering::Relaxed)
+                                || drain_waits > 64
+                                || !sched.wait_drain(gen, Duration::from_millis(10))
+                            {
+                                break;
                             }
                         }
                         if let Some(sock) = pending {
                             counters.shed.fetch_add(1, Ordering::Relaxed);
                             sock.close();
+                        } else {
+                            // Under sustained load the idle arm above
+                            // never runs; rebalance periodically too.
+                            since_rebalance += 1;
+                            if since_rebalance >= 256 {
+                                since_rebalance = 0;
+                                if let (Some(threshold), Some(device)) =
+                                    (rebalance, device.as_ref())
+                                {
+                                    device.rebalance(threshold);
+                                }
+                            }
                         }
                     }
                 })
@@ -178,6 +253,9 @@ impl Cluster {
                 let mut cfg = WorkerConfig::from_directives(directives);
                 cfg.tls = Arc::clone(&tls);
                 cfg.content = Arc::clone(&content);
+                cfg.sched = Some(Arc::clone(&sched));
+                cfg.worker_index = i;
+                cfg.peers = worker_listeners.clone();
                 let listener = Arc::clone(&worker_listeners[i]);
                 let device = device.clone();
                 let stop = Arc::clone(&stop);
@@ -213,7 +291,13 @@ impl Cluster {
             session_store,
             worker_listeners,
             dispatch,
+            sched,
         }
+    }
+
+    /// The cluster's scheduling plane (load gauges, steal accounting).
+    pub fn sched(&self) -> &Arc<SchedShared> {
+        &self.sched
     }
 
     /// The shared listener clients connect through.
@@ -251,11 +335,13 @@ impl Cluster {
         // still queued is exactly what would have been dropped silently.
         let undispatched = self.listener.drain();
         let dropped_accepts: Vec<u64> = self.worker_listeners.iter().map(|l| l.drain()).collect();
+        let mut dispatch = self.dispatch.snapshot();
+        (dispatch.stolen_in, dispatch.stolen_out) = self.sched.steal_totals();
         ShutdownReport {
             workers,
             undispatched,
             dropped_accepts,
-            dispatch: self.dispatch.snapshot(),
+            dispatch,
         }
     }
 }
@@ -319,11 +405,13 @@ ssl_engine {
         assert_eq!(report.undispatched, 0);
         for (i, (s, _)) in stats.iter().enumerate() {
             assert_eq!(
-                report.dispatch.dispatched[i],
-                s.accepted + report.dropped_accepts[i],
-                "worker {i}: dispatched sockets must be accepted or counted"
+                report.dispatch.dispatched[i] + report.dispatch.stolen_in[i],
+                s.accepted + report.dropped_accepts[i] + report.dispatch.stolen_out[i],
+                "worker {i}: dispatched sockets must be accepted, stolen, or counted"
             );
         }
+        // Stealing is off by default.
+        assert_eq!(report.dispatch.stolen_in.iter().sum::<u64>(), 0);
         // Work spread across more than one worker.
         let busy_workers = stats.iter().filter(|(s, _)| s.handshakes > 0).count();
         assert!(busy_workers >= 2, "round-robin accept should spread load");
@@ -380,6 +468,118 @@ ssl_engine {
         // The shared store served the lookup (session-id or ticket path;
         // the put is recorded either way).
         assert!(store.stats().inserts >= 1);
+    }
+
+    #[test]
+    fn least_loaded_cluster_with_stealing_conserves_sockets() {
+        let directives = parse_ssl_engine_conf(
+            r#"
+worker_processes 3;
+dispatch_policy least_loaded;
+dispatch_steal on;
+"#,
+        )
+        .unwrap();
+        let cluster = Cluster::start(
+            &directives,
+            ServerConfig::test_default(),
+            Arc::new(ContentStore::new()),
+        );
+        let listener = cluster.listener();
+        let mut handles = Vec::new();
+        for i in 0..12u64 {
+            let listener = Arc::clone(&listener);
+            handles.push(std::thread::spawn(move || {
+                let cfg = ClientConfig {
+                    request_path: Some("/4kb".into()),
+                    ..ClientConfig::default()
+                };
+                run_connection(&listener, &cfg, 60_000 + i, None, Duration::from_secs(60))
+                    .expect("connection")
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = cluster.shutdown();
+        let stats = &report.workers;
+        assert_eq!(stats.iter().map(|(s, _)| s.handshakes).sum::<u64>(), 12);
+        assert_eq!(stats.iter().map(|(s, _)| s.errors).sum::<u64>(), 0);
+        // Socket conservation with stealing in the balance: what entered
+        // a worker (dispatched + stolen in) equals what left it
+        // (accepted + drained at shutdown + stolen away).
+        assert_eq!(report.dispatch.dispatched.iter().sum::<u64>(), 12);
+        assert_eq!(report.dispatch.shed, 0);
+        assert_eq!(report.undispatched, 0);
+        for (i, (s, _)) in stats.iter().enumerate() {
+            assert_eq!(
+                report.dispatch.dispatched[i] + report.dispatch.stolen_in[i],
+                s.accepted + report.dropped_accepts[i] + report.dispatch.stolen_out[i],
+                "worker {i}: conservation must include steals"
+            );
+        }
+        // Steal traffic balances globally, and the stats counter agrees
+        // with the scheduling plane's accounting.
+        assert_eq!(
+            report.dispatch.stolen_in.iter().sum::<u64>(),
+            report.dispatch.stolen_out.iter().sum::<u64>()
+        );
+        assert_eq!(
+            stats.iter().map(|(s, _)| s.steals).sum::<u64>(),
+            report.dispatch.stolen_in.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn full_backlogs_park_on_drain_signal_not_backoff() {
+        // One worker with a 2-deep backlog, 8 concurrent clients: the
+        // dispatcher keeps finding the lone backlog full. With the old
+        // fixed-backoff park it would shed; with the drain signal it
+        // parks until the worker accepts and every socket lands.
+        let directives = parse_ssl_engine_conf(
+            r#"
+worker_processes 1;
+admission_backlog_cap 2;
+"#,
+        )
+        .unwrap();
+        let cluster = Cluster::start(
+            &directives,
+            ServerConfig::test_default(),
+            Arc::new(ContentStore::new()),
+        );
+        let listener = cluster.listener();
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let listener = Arc::clone(&listener);
+            handles.push(std::thread::spawn(move || {
+                run_connection(
+                    &listener,
+                    &ClientConfig::default(),
+                    80_000 + i,
+                    None,
+                    Duration::from_secs(60),
+                )
+                .expect("connection")
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = cluster.shutdown();
+        assert_eq!(
+            report
+                .workers
+                .iter()
+                .map(|(s, _)| s.handshakes)
+                .sum::<u64>(),
+            8,
+            "every socket must be served"
+        );
+        assert_eq!(
+            report.dispatch.shed, 0,
+            "dispatch latency is bounded by the worker's drain, not shed on a timer"
+        );
     }
 
     #[test]

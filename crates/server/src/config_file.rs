@@ -23,6 +23,7 @@
 
 use crate::admission::AdmissionConfig;
 use crate::metrics::MetricsConfig;
+use crate::sched::DispatchPolicy;
 use qtls_core::{FlushMode, FlushPolicyConfig, HeuristicConfig, OffloadProfile, ShardPolicy};
 use qtls_tls::provider::OffloadSelection;
 use std::time::Duration;
@@ -65,6 +66,18 @@ pub struct EngineDirectives {
     pub ticket_rotation: Duration,
     /// Handshake-flood admission control (`admission_*` family).
     pub admission: AdmissionConfig,
+    /// How new sockets are routed to workers (`dispatch_policy
+    /// round_robin|least_loaded`).
+    pub dispatch_policy: DispatchPolicy,
+    /// Idle workers steal half of the most-loaded sibling's accept
+    /// backlog (`dispatch_steal on|off`).
+    pub dispatch_steal: bool,
+    /// Runtime migration of quiescent offload shards between device
+    /// endpoints (`shard_rebalance on|off`).
+    pub shard_rebalance: bool,
+    /// Endpoint pressure gap (queued ops) that triggers a rebalance
+    /// (`shard_rebalance_threshold N`, N > 0).
+    pub shard_rebalance_threshold: u64,
 }
 
 impl Default for EngineDirectives {
@@ -85,6 +98,10 @@ impl Default for EngineDirectives {
             session_timeout: Duration::from_secs(3600),
             ticket_rotation: Duration::ZERO,
             admission: AdmissionConfig::default(),
+            dispatch_policy: DispatchPolicy::RoundRobin,
+            dispatch_steal: false,
+            shard_rebalance: false,
+            shard_rebalance_threshold: 16,
         }
     }
 }
@@ -345,6 +362,28 @@ pub fn parse_ssl_engine_conf(input: &str) -> Result<EngineDirectives, ConfError>
                     return Err(ConfError::BadValue(token.clone()));
                 }
                 out.admission.token_lifetime = Duration::from_secs(secs);
+            }
+            "dispatch_policy" => match value.as_str() {
+                "round_robin" => out.dispatch_policy = DispatchPolicy::RoundRobin,
+                "least_loaded" => out.dispatch_policy = DispatchPolicy::LeastLoaded,
+                _ => return Err(ConfError::BadValue(token.clone())),
+            },
+            "dispatch_steal" => match value.as_str() {
+                "on" => out.dispatch_steal = true,
+                "off" => out.dispatch_steal = false,
+                _ => return Err(ConfError::BadValue(token.clone())),
+            },
+            "shard_rebalance" => match value.as_str() {
+                "on" => out.shard_rebalance = true,
+                "off" => out.shard_rebalance = false,
+                _ => return Err(ConfError::BadValue(token.clone())),
+            },
+            "shard_rebalance_threshold" => {
+                let gap = parse_u64(&value)?;
+                if gap == 0 {
+                    return Err(ConfError::BadValue(token.clone()));
+                }
+                out.shard_rebalance_threshold = gap;
             }
             "qat_metrics" => match value.as_str() {
                 "on" => out.metrics.enabled = true,
@@ -731,6 +770,44 @@ admission_token_lifetime 10;
             "admission_backlog_cap 0;",
             "admission_token_lifetime 0;",
             "admission_token_lifetime soon;",
+        ] {
+            assert!(
+                matches!(parse_ssl_engine_conf(bad), Err(ConfError::BadValue(_))),
+                "should reject: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduling_directives_parse() {
+        let conf = r#"
+worker_processes 4;
+dispatch_policy least_loaded;
+dispatch_steal on;
+shard_rebalance on;
+shard_rebalance_threshold 32;
+"#;
+        let d = parse_ssl_engine_conf(conf).unwrap();
+        assert_eq!(d.dispatch_policy, DispatchPolicy::LeastLoaded);
+        assert!(d.dispatch_steal);
+        assert!(d.shard_rebalance);
+        assert_eq!(d.shard_rebalance_threshold, 32);
+        // Defaults: blind round-robin, no stealing, no rebalancing.
+        let d = parse_ssl_engine_conf(APPENDIX_EXAMPLE).unwrap();
+        assert_eq!(d.dispatch_policy, DispatchPolicy::RoundRobin);
+        assert!(!d.dispatch_steal);
+        assert!(!d.shard_rebalance);
+        assert_eq!(d.shard_rebalance_threshold, 16);
+    }
+
+    #[test]
+    fn scheduling_rejects_bad_values() {
+        for bad in [
+            "dispatch_policy fastest;",
+            "dispatch_steal maybe;",
+            "shard_rebalance sometimes;",
+            "shard_rebalance_threshold 0;",
+            "shard_rebalance_threshold wide;",
         ] {
             assert!(
                 matches!(parse_ssl_engine_conf(bad), Err(ConfError::BadValue(_))),

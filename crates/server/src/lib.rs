@@ -16,6 +16,7 @@ pub mod http;
 pub mod loadgen;
 pub mod metrics;
 pub mod net;
+pub mod sched;
 pub mod worker;
 
 pub use cluster::{Cluster, DispatchSnapshot, ShutdownReport};
@@ -27,4 +28,5 @@ pub use loadgen::{
 };
 pub use metrics::{MetricsConfig, MetricsPlane, StatusSnapshot};
 pub use net::{VListener, VSocket};
+pub use sched::{least_loaded_pick, DispatchPolicy, SchedShared, DISPATCH_PROBE};
 pub use worker::{Worker, WorkerConfig, WorkerStats};

@@ -59,6 +59,12 @@ pub struct StatusSnapshot {
     pub heuristic: Option<HeuristicStats>,
     /// Simulated user/kernel switches spent on notification.
     pub kernel_switches: u64,
+    /// The scheduling load gauge as last published: accepted-but-unserved
+    /// backlog + un-established connections + staged offload depth.
+    pub load: u64,
+    /// Dispatch policy code the cluster routes new sockets with:
+    /// 0 `round_robin`, 1 `least_loaded`.
+    pub dispatch_policy: u64,
 }
 
 /// The plane shared between the worker loop (writer) and the in-band
@@ -188,16 +194,33 @@ impl MetricsPlane {
 }
 
 fn render_worker_section(page: &mut PromText, snap: &StatusSnapshot) {
-    let gauges: [(&str, &str, u64); 1] = [(
-        "qtls_worker_connections_active",
-        "TC_active: connections handshaking or with pending work.",
-        snap.tc_active,
-    )];
+    let gauges: [(&str, &str, u64); 3] = [
+        (
+            "qtls_worker_connections_active",
+            "TC_active: connections handshaking or with pending work.",
+            snap.tc_active,
+        ),
+        (
+            "qtls_worker_load",
+            "Scheduling load gauge: backlog + un-established connections + staged offload depth.",
+            snap.load,
+        ),
+        (
+            "qtls_dispatch_policy",
+            "Dispatch policy routing new sockets: 0 round_robin, 1 least_loaded.",
+            snap.dispatch_policy,
+        ),
+    ];
     for (name, help, value) in gauges {
         page.header(name, "gauge", help);
         page.sample(name, &[], value);
     }
-    let counters: [(&str, &str, u64); 17] = [
+    let counters: [(&str, &str, u64); 18] = [
+        (
+            "qtls_worker_steals_total",
+            "Queued sockets stolen from a more-loaded peer's accept backlog.",
+            snap.stats.steals,
+        ),
         (
             "qtls_worker_handshakes_total",
             "Completed TLS handshakes.",
@@ -557,6 +580,25 @@ fn render_engine_section(page: &mut PromText, engine: &Arc<OffloadEngine>) {
         }
     }
 
+    // Device-wide rebalance counter (shared by every shard instance, so
+    // it is rendered once, unlabelled).
+    if engine.shard_count() > 0 {
+        page.header(
+            "qtls_qat_rebalances_total",
+            "counter",
+            "Quiescent ring pairs migrated between endpoints by runtime shard rebalancing.",
+        );
+        page.sample(
+            "qtls_qat_rebalances_total",
+            &[],
+            engine
+                .shard_instance(0)
+                .fw_counters()
+                .rebalances
+                .load(Ordering::Relaxed),
+        );
+    }
+
     // Flight-recorder event counts (monotonic; survive ring overwrite).
     page.header(
         "qtls_flight_events_total",
@@ -616,6 +658,11 @@ pub fn render_stub_status(snap: &StatusSnapshot, engine: Option<&OffloadEngine>)
         snap.stats.tokens_rejected,
         snap.stats.accept_sheds,
         snap.stats.overload_entered,
+    );
+    let _ = writeln!(
+        page,
+        "sched: load {} steals {} policy {}",
+        snap.load, snap.stats.steals, snap.dispatch_policy,
     );
     if let Some(engine) = engine {
         let queues: Vec<(usize, Arc<qtls_core::SubmitQueue>)> = (0..engine.shard_count())
@@ -691,6 +738,9 @@ pub fn render_stub_status_kv(snap: &StatusSnapshot, engine: Option<&OffloadEngin
     kv("admission_tokens_rejected", snap.stats.tokens_rejected);
     kv("admission_accept_sheds", snap.stats.accept_sheds);
     kv("admission_overloads", snap.stats.overload_entered);
+    kv("sched_load", snap.load);
+    kv("sched_steals", snap.stats.steals);
+    kv("sched_policy", snap.dispatch_policy);
     // Extras the human page does not carry.
     kv("handshakes", snap.stats.handshakes);
     kv("resumed_handshakes", snap.stats.resumed);

@@ -244,6 +244,24 @@ impl VListener {
         !backlog.is_empty()
     }
 
+    /// Steal-half protocol: remove up to `max` sockets from the BACK of
+    /// the backlog — at most half of what is queued, so the victim
+    /// keeps the older (front) half it is about to accept — and hand
+    /// them to the caller intact. An idle worker uses this to take work
+    /// from the most-loaded sibling's accept queue; nothing is closed
+    /// or dropped, so socket conservation holds by construction.
+    pub fn steal_half(&self, max: usize) -> Vec<VSocket> {
+        let mut backlog = self.backlog.lock();
+        let take = (backlog.len() / 2).min(max);
+        let mut stolen = Vec::with_capacity(take);
+        for _ in 0..take {
+            stolen.push(backlog.pop_back().expect("len checked"));
+        }
+        // Popped back-to-front: restore arrival order for the thief.
+        stolen.reverse();
+        stolen
+    }
+
     /// Drain every still-queued connection, closing each, and return
     /// how many were dropped — shutdown accounting for sockets that
     /// were dispatched but never accepted.
@@ -368,6 +386,32 @@ mod tests {
         assert!(l.wait_pending(Duration::from_secs(5)));
         assert!(l.accept().is_some());
         t.join().unwrap();
+    }
+
+    #[test]
+    fn steal_half_takes_the_back_and_keeps_order() {
+        let l = VListener::new();
+        let clients: Vec<VSocket> = (1..=5u64).map(|a| l.connect_from(a)).collect();
+        // 5 queued: steal-half takes floor(5/2) = 2, from the back.
+        let stolen = l.steal_half(usize::MAX);
+        assert_eq!(stolen.len(), 2);
+        assert_eq!(l.pending(), 3);
+        assert_eq!(
+            stolen.iter().map(|s| s.peer_addr()).collect::<Vec<_>>(),
+            vec![4, 5],
+            "thief gets the newest half in arrival order"
+        );
+        // The victim keeps the oldest sockets it was about to accept.
+        assert_eq!(l.accept().unwrap().peer_addr(), 1);
+        // Stolen sockets are intact, not closed.
+        stolen[0].write(b"served elsewhere").unwrap();
+        assert_eq!(clients[3].read_all().unwrap(), b"served elsewhere");
+        // `max` caps the take; an empty or single-entry backlog yields
+        // nothing (never leaves the victim empty-handed).
+        assert_eq!(l.steal_half(0).len(), 0);
+        let l2 = VListener::new();
+        let _c = l2.connect();
+        assert_eq!(l2.steal_half(8).len(), 0, "half of 1 rounds down to 0");
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::admission::{self, AdmissionConfig, FrameParse};
 use crate::http::{self, ContentStore, ParseOutcome};
 use crate::metrics::{self, MetricsConfig, MetricsPlane, StatusSnapshot};
 use crate::net::{SockError, VListener, VSocket};
+use crate::sched::SchedShared;
 use qtls_core::{
     fiber, AsyncQueue, EngineMode, FdSelector, FlushPolicyConfig, HeuristicConfig, HeuristicPoller,
     NotifyScheme, OffloadEngine, OffloadProfile, PollingScheme, ShardPolicy, StartResult,
@@ -75,6 +76,14 @@ pub struct WorkerConfig {
     /// family): retry-token challenges over the watermark, capped
     /// accepts per sweep, overload prioritization.
     pub admission: AdmissionConfig,
+    /// The cluster scheduling plane (load gauges, steal accounting,
+    /// drain signal); `None` for a standalone worker.
+    pub sched: Option<Arc<SchedShared>>,
+    /// This worker's slot in the scheduling plane's gauge array.
+    pub worker_index: usize,
+    /// Every worker's accept backlog in cluster order — the steal
+    /// victims. Empty for a standalone worker.
+    pub peers: Vec<Arc<VListener>>,
 }
 
 impl WorkerConfig {
@@ -95,6 +104,9 @@ impl WorkerConfig {
             record_offload: true,
             record_batch: RecordCodec::DEFAULT_BATCH,
             admission: AdmissionConfig::default(),
+            sched: None,
+            worker_index: 0,
+            peers: Vec::new(),
         }
     }
 
@@ -115,6 +127,9 @@ impl WorkerConfig {
             record_offload: d.record_offload,
             record_batch: d.record_batch_depth,
             admission: d.admission,
+            sched: None,
+            worker_index: 0,
+            peers: Vec::new(),
         }
     }
 }
@@ -180,6 +195,9 @@ pub struct WorkerStats {
     /// Transitions into overload mode (inflight handshakes crossed the
     /// watermark).
     pub overload_entered: u64,
+    /// Sockets this worker stole from a loaded sibling's accept backlog
+    /// while its own was dry (`dispatch_steal on`).
+    pub steals: u64,
 }
 
 /// Submit-pipeline counters folded over every shard's queue: counters
@@ -601,6 +619,11 @@ impl Worker {
             tc_active: self.tc_active(),
             heuristic: self.heuristic.as_ref().map(|h| h.stats()),
             kernel_switches: self.kernel_switches(),
+            load: self.load_gauge(),
+            dispatch_policy: match self.cfg.sched.as_ref().map(|s| s.policy()) {
+                Some(crate::sched::DispatchPolicy::LeastLoaded) => 1,
+                _ => 0,
+            },
         }
     }
 
@@ -641,48 +664,42 @@ impl Worker {
         }
         // 1. Accept new connections — capped per sweep so a flood of
         // fresh sockets cannot starve in-flight connections behind an
-        // arbitrarily long accept loop.
+        // arbitrarily long accept loop. When the own backlog runs dry
+        // with stealing enabled, take the newest half of the most-loaded
+        // sibling's backlog instead of going idle (dFCFS+steal; at most
+        // one steal per sweep).
         let mut accepts_left = self.cfg.admission.accepts_per_sweep;
+        let mut accepted_now = 0u64;
+        let mut stole = false;
         while accepts_left > 0 && !self.accepts_paused {
             let Some(sock) = self.listener.accept() else {
-                break;
+                if stole {
+                    break;
+                }
+                stole = true;
+                let stolen = self.steal_batch(accepts_left);
+                if stolen.is_empty() {
+                    break;
+                }
+                for sock in stolen {
+                    accepts_left -= 1;
+                    self.admit_socket(sock);
+                    accepted_now += 1;
+                    events += 1;
+                }
+                continue;
             };
             accepts_left -= 1;
-            let id = self.next_id;
-            self.next_id += 1;
-            self.session_seed += 1;
-            let session = Box::new(AnyServerSession::new(
-                self.cfg.version,
-                Arc::clone(&self.cfg.tls),
-                self.provider(),
-                self.session_seed,
-            ));
-            let peer_addr = sock.peer_addr();
-            self.conns.insert(
-                id,
-                Conn {
-                    sock,
-                    driver: Driver::Idle(ConnCtx {
-                        session,
-                        http_buf: Vec::new(),
-                        codec: None,
-                        provider: self.provider(),
-                        counters: OpCounters::default(),
-                        rng: TestRng::new(self.session_seed ^ 0xda7a_9a7e),
-                        wire_out: Vec::new(),
-                        record_offload: self.cfg.record_offload,
-                        record_batch: self.cfg.record_batch,
-                    }),
-                    fd: None,
-                    established: false,
-                    close_requested: false,
-                    admitted: !self.cfg.admission.enabled,
-                    pre_buf: Vec::new(),
-                    peer_addr,
-                },
-            );
-            self.stats.accepted += 1;
+            self.admit_socket(sock);
+            accepted_now += 1;
             events += 1;
+        }
+        // Backlog space freed (own or the steal victim's): wake a
+        // dispatcher parked on all-full backlogs.
+        if accepted_now > 0 {
+            if let Some(sched) = &self.cfg.sched {
+                sched.note_drain();
+            }
         }
         // 2. Socket read events. In overload mode, established
         // connections' record I/O is driven before handshaking ones,
@@ -788,12 +805,93 @@ impl Worker {
         // 7. Refresh the metrics plane's worker snapshot and run the
         // (cheap, periodic) anomaly check against the phase p99s.
         self.stats.accept_sheds = self.listener.rejected();
+        if let Some(sched) = &self.cfg.sched {
+            sched.publish(self.cfg.worker_index, self.load_gauge());
+        }
         self.iterations += 1;
         self.plane.update(self.status_snapshot());
         if self.iterations % 256 == 0 {
             self.plane.check_anomaly();
         }
         events
+    }
+
+    /// The worker's load gauge, as published to the scheduling plane:
+    /// accepted-but-unserved backlog + inflight handshakes + staged
+    /// offload depth.
+    pub fn load_gauge(&self) -> u64 {
+        let handshaking = self.conns.values().filter(|c| !c.established).count() as u64;
+        let inflight = self
+            .engine
+            .as_ref()
+            .map(|e| e.inflight().total())
+            .unwrap_or(0);
+        self.listener.pending() as u64 + handshaking + inflight
+    }
+
+    /// Turn an accepted (or stolen) socket into a tracked connection.
+    fn admit_socket(&mut self, sock: VSocket) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.session_seed += 1;
+        let session = Box::new(AnyServerSession::new(
+            self.cfg.version,
+            Arc::clone(&self.cfg.tls),
+            self.provider(),
+            self.session_seed,
+        ));
+        let peer_addr = sock.peer_addr();
+        self.conns.insert(
+            id,
+            Conn {
+                sock,
+                driver: Driver::Idle(ConnCtx {
+                    session,
+                    http_buf: Vec::new(),
+                    codec: None,
+                    provider: self.provider(),
+                    counters: OpCounters::default(),
+                    rng: TestRng::new(self.session_seed ^ 0xda7a_9a7e),
+                    wire_out: Vec::new(),
+                    record_offload: self.cfg.record_offload,
+                    record_batch: self.cfg.record_batch,
+                }),
+                fd: None,
+                established: false,
+                close_requested: false,
+                admitted: !self.cfg.admission.enabled,
+                pre_buf: Vec::new(),
+                peer_addr,
+            },
+        );
+        self.stats.accepted += 1;
+    }
+
+    /// Steal up to `max` sockets (half the victim's backlog, newest
+    /// half) from the most-loaded sibling. Returns the stolen sockets;
+    /// empty when stealing is off, nobody is strictly busier, or the
+    /// victim's backlog is too shallow to split.
+    fn steal_batch(&mut self, max: usize) -> Vec<VSocket> {
+        let Some(sched) = self.cfg.sched.clone() else {
+            return Vec::new();
+        };
+        if !sched.steal_enabled() || max == 0 {
+            return Vec::new();
+        }
+        let me = self.cfg.worker_index;
+        let Some(victim) = sched.most_loaded_except(me) else {
+            return Vec::new();
+        };
+        let Some(victim_listener) = self.cfg.peers.get(victim) else {
+            return Vec::new();
+        };
+        let stolen = victim_listener.steal_half(max);
+        if !stolen.is_empty() {
+            let n = stolen.len() as u64;
+            sched.record_steal(me, victim, n);
+            self.stats.steals += n;
+        }
+        stolen
     }
 
     /// Drain the submit pipeline for shutdown: publish what the ring can

@@ -298,11 +298,14 @@ fn shutdown_accounts_for_every_socket() {
     );
     for (i, (stats, _)) in report.workers.iter().enumerate() {
         assert_eq!(
-            report.dispatch.dispatched[i],
-            stats.accepted + report.dropped_accepts[i],
-            "worker {i} accept-side conservation"
+            report.dispatch.dispatched[i] + report.dispatch.stolen_in[i],
+            stats.accepted + report.dropped_accepts[i] + report.dispatch.stolen_out[i],
+            "worker {i} accept-side conservation (steals included)"
         );
     }
+    // Stealing is off by default: the steal ledger must be all-zero.
+    assert_eq!(report.dispatch.stolen_in.iter().sum::<u64>(), 0);
+    assert_eq!(report.dispatch.stolen_out.iter().sum::<u64>(), 0);
 }
 
 #[test]

@@ -333,7 +333,8 @@ fn stub_status_formats_every_field() {
          submit: flushes 0 flushed 0 max-depth 0 deferred 0 \
          holds 0 forced 0 bypassed 0 ewma-depth 0.000\n\
          admission: accepted 0 challenges 0 verified 0 rejected 0 \
-         sheds 0 overloads 0\n"
+         sheds 0 overloads 0\n\
+         sched: load 0 steals 0 policy 0\n"
     );
 }
 
@@ -620,6 +621,15 @@ fn stub_status_per_shard_totals_match_aggregate() {
     assert_eq!(worker.stats.submit_holds, holds);
     assert_eq!(worker.stats.forced_flushes, forced);
     assert_eq!(engine.inflight().total(), inflight);
+    // The scheduling line's load gauge agrees with the worker's live
+    // gauge (same formula the cluster dispatcher routes on).
+    let sched: Vec<&str> = page
+        .lines()
+        .find(|l| l.starts_with("sched: "))
+        .expect("sched line present")
+        .split_whitespace()
+        .collect();
+    assert_eq!(sched[2].parse::<u64>().unwrap(), worker.load_gauge());
 }
 
 #[test]
@@ -778,6 +788,10 @@ fn stub_status_kv_is_a_superset_of_the_human_page() {
                 pairs.push((key.into(), f[idx].parse().unwrap()));
             }
             ewma_decimals.push(("submit_ewma_depth_milli".into(), f[16].to_string()));
+        } else if line.starts_with("sched:") {
+            for (key, idx) in [("sched_load", 2), ("sched_steals", 4), ("sched_policy", 6)] {
+                pairs.push((key.into(), f[idx].parse().unwrap()));
+            }
         } else if line.starts_with("shards:") {
             for (key, idx) in [
                 ("shards_count", 2),
@@ -798,6 +812,10 @@ fn stub_status_kv_is_a_superset_of_the_human_page() {
     assert!(
         pairs.iter().any(|(k, _)| k == "shards_count"),
         "sharded page must carry the shard section: {human}"
+    );
+    assert!(
+        pairs.iter().any(|(k, _)| k == "sched_load"),
+        "page must carry the scheduling line: {human}"
     );
     for (key, value) in pairs {
         assert_eq!(

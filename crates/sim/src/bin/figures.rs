@@ -65,6 +65,10 @@ fn main() {
         ),
         ("bulk", Box::new(move || experiments::bulk_ablation(f))),
         ("flood", Box::new(move || experiments::flood_ablation(f))),
+        (
+            "scheduling",
+            Box::new(move || experiments::scheduling_ablation(f)),
+        ),
     ];
     for (name, runner) in all {
         if !wanted.is_empty() && !wanted.contains(&name) {

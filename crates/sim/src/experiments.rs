@@ -760,6 +760,92 @@ pub fn flood_ablation(f: Fidelity) -> Figure {
     }
 }
 
+/// Ablation (DESIGN.md §15): cluster scheduling disciplines under a
+/// skewed service-time mix. A quarter of the clients stream heavy
+/// keep-alive record traffic (the bulk phase); the rest are
+/// handshake-only. Four disciplines over the same mix:
+/// - `rr`: blind round-robin dispatch, per-worker FCFS queues — the
+///   seed cluster's policy.
+/// - `cfcfs`: centralized FCFS — one shared queue per phase pool; ideal
+///   balance but every pop pays the shared-structure synchronization
+///   cost.
+/// - `dfcfs`: least-loaded dispatch (argmin over the workers' load
+///   gauges) into per-worker queues.
+/// - `dfcfs+steal`: least-loaded dispatch plus idle workers stealing
+///   half of the most-loaded sibling's queued backlog.
+///
+/// The x axis sweeps the phase-core split: a unified pool vs dedicating
+/// a worker prefix to TLS/offload and the rest to application record
+/// I/O (the carvalhof phases_table shape).
+pub fn scheduling_ablation(f: Fidelity) -> Figure {
+    use crate::sim::{SimDiscipline, SimDispatch};
+    let splits: [(&str, Option<(usize, usize)>); 3] = [
+        ("unified", None),
+        ("tls6+app2", Some((6, 2))),
+        ("tls4+app4", Some((4, 4))),
+    ];
+    let disciplines: [(&str, SimDispatch, SimDiscipline); 4] = [
+        ("rr", SimDispatch::RoundRobin, SimDiscipline::DFcfs),
+        ("cfcfs", SimDispatch::RoundRobin, SimDiscipline::CFcfs),
+        ("dfcfs", SimDispatch::LeastLoaded, SimDiscipline::DFcfs),
+        (
+            "dfcfs+steal",
+            SimDispatch::LeastLoaded,
+            SimDiscipline::DFcfsSteal,
+        ),
+    ];
+    let mut series = Vec::new();
+    let mut steals = Series {
+        label: "dfcfs+steal steals/s".into(),
+        points: vec![],
+    };
+    for (name, dispatch, discipline) in disciplines {
+        let mut p99 = Series {
+            label: format!("{name} p99 ms"),
+            points: vec![],
+        };
+        let mut cps = Series {
+            label: format!("{name} K CPS"),
+            points: vec![],
+        };
+        for (x, split) in splits {
+            let mut cfg = handshake_cfg(
+                SimProfile::Sw,
+                8,
+                64,
+                SuiteKind::EcdheRsa(NamedCurve::P256),
+                f,
+            );
+            cfg.request = Some(RequestLoad {
+                size: 64 * 1024,
+                requests_per_conn: 16,
+            });
+            cfg.heavy_clients = 16;
+            cfg.dispatch = dispatch;
+            cfg.discipline = discipline;
+            cfg.phase_split = split;
+            let r = run(cfg);
+            p99.points.push((x.into(), r.p99_latency_ms));
+            cps.points.push((x.into(), r.cps / 1000.0));
+            if discipline == SimDiscipline::DFcfsSteal {
+                let secs = f.measure_ns as f64 / 1e9;
+                steals.points.push((x.into(), r.steals as f64 / secs));
+            }
+        }
+        series.push(p99);
+        series.push(cps);
+    }
+    series.push(steals);
+    Figure {
+        id: "Scheduling".into(),
+        title: "Cluster scheduling: dispatch policy x queue discipline x phase split \
+                (skewed heavy/light mix, SW, 8 workers)"
+            .into(),
+        unit: "see series".into(),
+        series,
+    }
+}
+
 /// Table 1: server-side crypto operations per full handshake.
 pub fn table1() -> Figure {
     use crate::workload::{handshake_flights, OpKind, Seg};
@@ -983,6 +1069,46 @@ mod tests {
         assert!(
             shared_cps > solo_cps,
             "shared {shared_cps}K must beat per-worker {solo_cps}K"
+        );
+    }
+
+    #[test]
+    fn scheduling_ablation_steal_beats_round_robin() {
+        let fig = scheduling_ablation(Fidelity::QUICK);
+        // The headline: under the skewed mix, least-loaded dispatch with
+        // stealing clears blind round-robin's tail by a wide margin at
+        // throughput parity.
+        let rr_p99 = fig.value("rr p99 ms", "unified").unwrap();
+        let steal_p99 = fig.value("dfcfs+steal p99 ms", "unified").unwrap();
+        assert!(
+            steal_p99 <= rr_p99 * 0.85,
+            "stealing must beat round-robin p99: rr={rr_p99} steal={steal_p99}"
+        );
+        let rr_cps = fig.value("rr K CPS", "unified").unwrap();
+        let steal_cps = fig.value("dfcfs+steal K CPS", "unified").unwrap();
+        assert!(
+            steal_cps >= rr_cps * 0.95,
+            "throughput parity: rr={rr_cps}K steal={steal_cps}K"
+        );
+        // Why dfcfs+steal is the shipped policy: it tracks the
+        // centralized-queue ideal's tail without paying a shared queue
+        // in the real cluster.
+        let cfcfs_p99 = fig.value("cfcfs p99 ms", "unified").unwrap();
+        assert!(
+            steal_p99 <= cfcfs_p99 * 1.25,
+            "stealing tracks cFCFS: cfcfs={cfcfs_p99} steal={steal_p99}"
+        );
+        assert!(
+            fig.value("dfcfs+steal steals/s", "unified").unwrap() > 0.0,
+            "idle workers must actually steal under the skewed mix"
+        );
+        // Phase-dedicated cores isolate record I/O from handshakes and
+        // cut the tail further, at a handshake-throughput cost — the
+        // trade the split knob exposes.
+        let split_p99 = fig.value("dfcfs+steal p99 ms", "tls6+app2").unwrap();
+        assert!(
+            split_p99 < steal_p99,
+            "phase split must cut the tail: unified={steal_p99} split={split_p99}"
         );
     }
 

@@ -102,6 +102,31 @@ pub struct RequestLoad {
     pub requests_per_conn: u32,
 }
 
+/// How the master dispatcher picks a worker for a new connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimDispatch {
+    /// Blind rotation — the seed cluster's policy.
+    RoundRobin,
+    /// Exact argmin over the workers' load gauges (queued tasks +
+    /// inflight handshakes + staged offload depth).
+    LeastLoaded,
+}
+
+/// Queue discipline inside a worker pool (the carvalhof design axis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimDiscipline {
+    /// Decentralized FCFS: each worker owns its queue; work stays where
+    /// it was dispatched.
+    DFcfs,
+    /// Centralized FCFS: one shared queue per phase pool; an idle worker
+    /// pops the oldest task, paying a per-pop centralization cost for
+    /// the shared-structure synchronization.
+    CFcfs,
+    /// dFCFS plus work stealing: an idle worker with an empty queue
+    /// takes half of the most-loaded sibling's stealable backlog.
+    DFcfsSteal,
+}
+
 /// Simulation configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -168,6 +193,22 @@ pub struct SimConfig {
     pub admission_enabled: bool,
     /// Inflight handshakes per worker at which overload mode engages.
     pub admission_watermark: u32,
+    /// Dispatch policy for new connections.
+    pub dispatch: SimDispatch,
+    /// Queue discipline within each worker pool.
+    pub discipline: SimDiscipline,
+    /// Phase-partitioned cores: `Some((tls, app))` dedicates the first
+    /// `tls` workers to handshake/offload work and the remaining `app`
+    /// workers to established-connection record I/O (the carvalhof
+    /// phases_table shape). `None` keeps the unified pool.
+    pub phase_split: Option<(usize, usize)>,
+    /// Per-pop cost of the centralized queue (cache-line bouncing and
+    /// CAS retries on the shared head under cFCFS).
+    pub central_queue_op_ns: u64,
+    /// Skewed service-time mix: the first N clients carry the request
+    /// workload, the rest are handshake-only (0 = `request` applies to
+    /// every client — the uniform default).
+    pub heavy_clients: usize,
 }
 
 impl SimConfig {
@@ -201,6 +242,11 @@ impl SimConfig {
             flood_clients: 0,
             admission_enabled: false,
             admission_watermark: 64,
+            dispatch: SimDispatch::RoundRobin,
+            discipline: SimDiscipline::DFcfs,
+            phase_split: None,
+            central_queue_op_ns: 800,
+            heavy_clients: 0,
         }
     }
 }
@@ -242,6 +288,8 @@ pub struct SimReport {
     pub flood_handshakes: u64,
     /// Admission challenges issued to token-less new ClientHellos.
     pub challenges: u64,
+    /// Queued tasks migrated by the work-stealing discipline.
+    pub steals: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -379,6 +427,12 @@ pub struct Sim {
     link_free: Time,
     end: Time,
     next_worker: usize,
+    /// Separate rotation cursor for the application pool under a phase
+    /// split, so re-dispatching established connections does not perturb
+    /// the handshake pool's rotation.
+    next_app: usize,
+    /// cFCFS shared queues, one per phase pool (unused under dFCFS).
+    central: Vec<VecDeque<Task>>,
     jitter_state: u64,
     // measurement
     m_handshakes: u64,
@@ -395,6 +449,7 @@ pub struct Sim {
     m_kernel_switches: u64,
     m_flood_handshakes: u64,
     m_challenges: u64,
+    m_steals: u64,
     /// Diagnostics: accumulated (card wait, retrieve wait, count).
     dbg_card_ns: u64,
     dbg_retrieve_ns: u64,
@@ -449,6 +504,8 @@ impl Sim {
             link_free: 0,
             end,
             next_worker: 0,
+            next_app: 0,
+            central: vec![VecDeque::new(), VecDeque::new()],
             jitter_state: 0x243F_6A88_85A3_08D3,
             m_handshakes: 0,
             m_abbrev: 0,
@@ -463,6 +520,7 @@ impl Sim {
             m_kernel_switches: 0,
             m_flood_handshakes: 0,
             m_challenges: 0,
+            m_steals: 0,
             dbg_card_ns: 0,
             dbg_retrieve_ns: 0,
             dbg_ops: 0,
@@ -554,6 +612,7 @@ impl Sim {
             kernel_switches: self.m_kernel_switches,
             flood_handshakes: self.m_flood_handshakes,
             challenges: self.m_challenges,
+            steals: self.m_steals,
         }
     }
 
@@ -601,6 +660,148 @@ impl Sim {
         self.link_free
     }
 
+    /// Worker range that serves accepts + TLS/offload work (all workers
+    /// unless a phase split dedicates a prefix to it).
+    fn hs_pool(&self) -> std::ops::Range<usize> {
+        match self.cfg.phase_split {
+            Some((tls, _)) if tls > 0 && tls < self.cfg.workers => 0..tls,
+            _ => 0..self.cfg.workers,
+        }
+    }
+
+    /// Worker range that serves established-connection record I/O.
+    fn app_pool(&self) -> std::ops::Range<usize> {
+        match self.cfg.phase_split {
+            Some((tls, _)) if tls > 0 && tls < self.cfg.workers => tls..self.cfg.workers,
+            _ => 0..self.cfg.workers,
+        }
+    }
+
+    /// Pool a given worker belongs to.
+    fn pool_of(&self, worker: u32) -> std::ops::Range<usize> {
+        let hs = self.hs_pool();
+        if hs.contains(&(worker as usize)) {
+            hs
+        } else {
+            self.app_pool()
+        }
+    }
+
+    /// cFCFS shared-queue index for a worker's pool.
+    fn central_idx(&self, worker: u32) -> usize {
+        usize::from(!self.hs_pool().contains(&(worker as usize)))
+    }
+
+    /// The dispatcher's view of a worker's load: accepted-but-unserved
+    /// backlog + inflight handshakes + staged offload depth — the sim
+    /// mirror of the cluster's cache-padded load gauge.
+    fn load_gauge(&self, worker: usize) -> u64 {
+        let w = &self.workers[worker];
+        w.queue.len() as u64 + w.handshaking as u64 + w.inflight_total as u64
+    }
+
+    /// Pick a worker from `pool` under the configured dispatch policy.
+    /// Round-robin advances `cursor`; least-loaded is an exact argmin
+    /// with ties broken toward the lowest index (no LCG draw, so the
+    /// default policy stays byte-for-byte identical to the seed).
+    fn pick_worker(&mut self, pool: std::ops::Range<usize>, app: bool) -> u32 {
+        match self.cfg.dispatch {
+            SimDispatch::RoundRobin => {
+                let cursor = if app {
+                    &mut self.next_app
+                } else {
+                    &mut self.next_worker
+                };
+                let w = pool.start + (*cursor % pool.len());
+                *cursor += 1;
+                w as u32
+            }
+            SimDispatch::LeastLoaded => pool
+                .clone()
+                .min_by_key(|&i| self.load_gauge(i))
+                .expect("non-empty pool") as u32,
+        }
+    }
+
+    /// Move a connection's home worker, keeping the inflight-handshake
+    /// accounting consistent. Only legal while the connection has no
+    /// pending card events: queued `Run`/`Challenge` tasks satisfy this
+    /// (a conn with a submitted op is parked until `QatReady`, and its
+    /// `Resume` continuation is never migrated).
+    fn migrate_conn(&mut self, conn: u32, to: u32) {
+        let from = self.conns[conn as usize].worker;
+        if from == to {
+            return;
+        }
+        let c = &self.conns[conn as usize];
+        if !c.handshake_done && !c.closed {
+            self.workers[from as usize].handshaking -= 1;
+            self.workers[to as usize].handshaking += 1;
+        }
+        self.conns[conn as usize].worker = to;
+    }
+
+    /// dFCFS+stealing: an idle worker takes half of the stealable
+    /// backlog (queued `Run`/`Challenge` tasks, taken from the back —
+    /// the coldest work) of the most-loaded sibling in its pool.
+    /// Returns true if anything was stolen.
+    fn try_steal(&mut self, thief: u32) -> bool {
+        let pool = self.pool_of(thief);
+        let mut victim = None;
+        let mut best = 0usize;
+        for i in pool {
+            if i == thief as usize {
+                continue;
+            }
+            let n = self.workers[i]
+                .queue
+                .iter()
+                .filter(|t| matches!(t, Task::Run(_) | Task::Challenge(_)))
+                .count();
+            if n > best {
+                best = n;
+                victim = Some(i);
+            }
+        }
+        let Some(v) = victim else { return false };
+        // Steal half, leaving the victim at least one task.
+        if best < 2 {
+            return false;
+        }
+        let take = best / 2;
+        let mut stolen = Vec::with_capacity(take);
+        let q = &mut self.workers[v].queue;
+        let mut idx = q.len();
+        while stolen.len() < take && idx > 0 {
+            idx -= 1;
+            if matches!(q[idx], Task::Run(_) | Task::Challenge(_)) {
+                stolen.push(q.remove(idx).expect("index in bounds"));
+            }
+        }
+        // Preserve the victim's FIFO order on the thief's queue.
+        for t in stolen.into_iter().rev() {
+            if let Task::Run(c) | Task::Challenge(c) = t {
+                self.migrate_conn(c, thief);
+            }
+            self.workers[thief as usize].queue.push_back(t);
+            self.m_steals += 1;
+        }
+        true
+    }
+
+    /// Kick every worker of the pool owning cFCFS queue `idx` (a push to
+    /// the shared queue may wake any idle member).
+    fn kick_pool(&mut self, idx: usize) {
+        let pool = if idx == 0 {
+            self.hs_pool()
+        } else {
+            self.app_pool()
+        };
+        for w in pool {
+            self.kick(w as u32);
+        }
+    }
+
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Connect { client } => self.on_connect(client),
@@ -630,8 +831,8 @@ impl Sim {
                 false
             }
         };
-        let worker = (self.next_worker % self.cfg.workers) as u32;
-        self.next_worker += 1;
+        let pool = self.hs_pool();
+        let worker = self.pick_worker(pool, false);
         // Per-worker caches: a resumption attempt only succeeds if the
         // round-robin dispatcher happens to land the client back on the
         // worker holding its state; otherwise it silently pays the full
@@ -659,7 +860,9 @@ impl Sim {
             flights: flights.into(),
             segs: VecDeque::new(),
             started_at: self.now,
-            requests_left: if is_flood {
+            requests_left: if is_flood
+                || (self.cfg.heavy_clients > 0 && client as usize >= self.cfg.heavy_clients)
+            {
                 0
             } else {
                 self.cfg.request.map(|r| r.requests_per_conn).unwrap_or(0)
@@ -692,10 +895,7 @@ impl Sim {
         // in overload mode is answered with a cheap stateless challenge
         // instead of handshake work.
         if gated && overloaded {
-            self.workers[w as usize]
-                .queue
-                .push_back(Task::Challenge(conn));
-            self.kick(w);
+            self.enqueue(w, Task::Challenge(conn), false);
             return;
         }
         let c = &mut self.conns[conn as usize];
@@ -705,8 +905,7 @@ impl Sim {
                 c.segs = flight.into();
             }
         }
-        self.workers[w as usize].queue.push_back(Task::Run(conn));
-        self.kick(w);
+        self.enqueue(w, Task::Run(conn), false);
     }
 
     fn on_request(&mut self, conn: u32) {
@@ -716,17 +915,45 @@ impl Sim {
             return;
         }
         c.segs = request_flight(size, &self.cfg.cost).into();
-        let w = c.worker;
+        // Phase split: established-connection record I/O belongs to the
+        // application pool; re-dispatch there (the connection is idle at
+        // request arrival — no inflight op — so migration is safe).
+        let w = if self.cfg.phase_split.is_some() {
+            let pool = self.app_pool();
+            let to = self.pick_worker(pool, true);
+            self.migrate_conn(conn, to);
+            to
+        } else {
+            self.conns[conn as usize].worker
+        };
         // Overload prioritization: while overloaded, established-
         // connection record I/O jumps ahead of the queued new-ClientHello
         // work instead of aging behind it.
         let overloaded = self.cfg.admission_enabled && self.overload_mode(w);
-        if overloaded {
-            self.workers[w as usize].queue.push_front(Task::Run(conn));
+        self.enqueue(w, Task::Run(conn), overloaded);
+    }
+
+    /// Route a dispatchable task to its queue: the worker's own under
+    /// dFCFS, the pool's shared queue under cFCFS (`front` is the
+    /// overload priority path).
+    fn enqueue(&mut self, worker: u32, task: Task, front: bool) {
+        if self.cfg.discipline == SimDiscipline::CFcfs {
+            let idx = self.central_idx(worker);
+            if front {
+                self.central[idx].push_front(task);
+            } else {
+                self.central[idx].push_back(task);
+            }
+            self.kick_pool(idx);
         } else {
-            self.workers[w as usize].queue.push_back(Task::Run(conn));
+            let q = &mut self.workers[worker as usize].queue;
+            if front {
+                q.push_front(task);
+            } else {
+                q.push_back(task);
+            }
+            self.kick(worker);
         }
-        self.kick(w);
     }
 
     /// A request reaches the card (after driver/DMA fixed latency):
@@ -874,10 +1101,37 @@ impl Sim {
         if w.running.is_some() || w.blocked.is_some() {
             return;
         }
-        let Some(task) = self.workers[worker as usize].queue.pop_front() else {
-            return;
+        // Own queue first: continuations (`Resume`, `Poll`) always live
+        // there and must run on the worker that submitted the op.
+        let (task, extra_ns) = match self.workers[worker as usize].queue.pop_front() {
+            Some(t) => (t, 0),
+            None => match self.cfg.discipline {
+                SimDiscipline::DFcfs => return,
+                SimDiscipline::DFcfsSteal => {
+                    if !self.try_steal(worker) {
+                        return;
+                    }
+                    match self.workers[worker as usize].queue.pop_front() {
+                        Some(t) => (t, 0),
+                        None => return,
+                    }
+                }
+                SimDiscipline::CFcfs => {
+                    let idx = self.central_idx(worker);
+                    match self.central[idx].pop_front() {
+                        Some(t) => {
+                            if let Task::Run(c) | Task::Challenge(c) = t {
+                                self.migrate_conn(c, worker);
+                            }
+                            (t, self.cfg.central_queue_op_ns)
+                        }
+                        None => return,
+                    }
+                }
+            },
         };
         let (cpu_ns, outcome) = self.execute(worker, task);
+        let cpu_ns = cpu_ns + extra_ns;
         // Timer-poller CPU tax: the dedicated polling thread (pinned to
         // the same core) steals a fixed fraction of cycles.
         let inflation = match self.cfg.profile.timer_interval() {
@@ -1155,7 +1409,7 @@ impl Sim {
             }
             self.workers[worker as usize].handshaking -= 1;
             let c = &mut self.conns[conn as usize];
-            if self.cfg.request.is_some() && !is_flood {
+            if self.cfg.request.is_some() && !is_flood && c.requests_left > 0 {
                 // First GET arrives one RTT after our final flight.
                 let at = self.now + rtt + jitter;
                 self.schedule(at, Ev::Request { conn });
@@ -1545,6 +1799,81 @@ mod tests {
             base.rps,
             protected.rps
         );
+    }
+
+    /// A skewed service-time mix: a quarter of the clients carry heavy
+    /// keep-alive record traffic, the rest are handshake-only — the mix
+    /// where blind rotation starves whoever lands behind the heavies.
+    fn skew_cfg(dispatch: SimDispatch, discipline: SimDiscipline) -> SimConfig {
+        let mut cfg =
+            SimConfig::handshake(SimProfile::Sw, 8, 64, SuiteKind::EcdheRsa(NamedCurve::P256));
+        cfg.request = Some(RequestLoad {
+            size: 64 * 1024,
+            requests_per_conn: 16,
+        });
+        cfg.heavy_clients = 16;
+        cfg.dispatch = dispatch;
+        cfg.discipline = discipline;
+        cfg
+    }
+
+    #[test]
+    fn scheduling_knobs_default_inert() {
+        // The scheduling knobs default to the seed's blind round-robin;
+        // setting `heavy_clients` to "every client" must be
+        // indistinguishable from leaving it at 0 (same event stream,
+        // same LCG draw order), and the default discipline never steals.
+        let base_cfg = flood_cfg(0, false);
+        let mut explicit_cfg = base_cfg.clone();
+        explicit_cfg.heavy_clients = explicit_cfg.clients;
+        let base = quick(base_cfg);
+        let explicit = quick(explicit_cfg);
+        assert_eq!(base.handshakes, explicit.handshakes);
+        assert_eq!(base.abbreviated, explicit.abbreviated);
+        assert_eq!(base.steals, 0);
+        assert_eq!(explicit.steals, 0);
+    }
+
+    #[test]
+    fn stealing_relieves_skewed_backlog() {
+        let rr = quick(skew_cfg(SimDispatch::RoundRobin, SimDiscipline::DFcfs));
+        let steal = quick(skew_cfg(
+            SimDispatch::LeastLoaded,
+            SimDiscipline::DFcfsSteal,
+        ));
+        assert!(steal.steals > 0, "idle workers must steal under skew");
+        assert!(
+            steal.p99_latency_ms <= rr.p99_latency_ms,
+            "least-loaded + stealing must not worsen tail latency: rr p99={} steal p99={}",
+            rr.p99_latency_ms,
+            steal.p99_latency_ms
+        );
+        assert!(
+            steal.cps >= rr.cps * 0.9,
+            "throughput parity: rr={} steal={}",
+            rr.cps,
+            steal.cps
+        );
+    }
+
+    #[test]
+    fn phase_split_serves_both_phases() {
+        let mut cfg = skew_cfg(SimDispatch::LeastLoaded, SimDiscipline::DFcfsSteal);
+        cfg.phase_split = Some((5, 3));
+        let r = quick(cfg);
+        assert!(r.handshakes > 0, "TLS pool must complete handshakes");
+        assert!(r.rps > 0.0, "app pool must serve record traffic");
+    }
+
+    #[test]
+    fn cfcfs_matches_work_but_pays_per_pop() {
+        // cFCFS still serves the full mix (no lost work through the
+        // shared queues) — the per-pop centralization cost is a
+        // throughput tax, not a correctness change.
+        let c = quick(skew_cfg(SimDispatch::RoundRobin, SimDiscipline::CFcfs));
+        assert!(c.handshakes > 0);
+        assert!(c.rps > 0.0);
+        assert_eq!(c.steals, 0, "cFCFS does not steal");
     }
 
     #[test]

@@ -140,6 +140,74 @@ if ! grep -q "admission_challenge_cheap: PASS" <<< "$admission_bench"; then
 fi
 echo "ok: challenge mint+verify at least 50x cheaper than a full handshake"
 
+echo "== scheduling figure + gate tests + bench verdicts =="
+# The cluster-scheduling plane (DESIGN.md §15) must emit every queue-
+# discipline series in SMOKE fidelity; the deterministic sim gate
+# (dFCFS+steal beats round-robin p99 on the skewed mix), the scheduling
+# unit tests, the steal/drain cluster regressions, the dispatch/steal
+# property tests and the QAT shard-rebalance tests must all pass; and
+# the scheduling bench must reach its three verdicts (sim p99 speedup
+# >= 1.25x vs round-robin; least-loaded worst-worker byte share
+# <= 0.75x of round-robin's under the stride-heavy mix; steals observed
+# under throttled accepts).
+sched_fig=$(cargo run --release --offline -p qtls-sim --bin figures -- smoke scheduling)
+for series in "rr p99 ms" "cfcfs p99 ms" "dfcfs p99 ms" "dfcfs+steal p99 ms" "dfcfs+steal steals/s"; do
+  if ! grep -qF "$series" <<< "$sched_fig"; then
+    echo "scheduling figure missing series: $series" >&2
+    exit 1
+  fi
+done
+echo "ok: scheduling figure emits all discipline series"
+sched_gate=$(cargo test --offline -p qtls-sim --lib \
+  scheduling_ablation_steal_beats_round_robin 2>&1)
+if ! grep -q "test result: ok. 1 passed" <<< "$sched_gate"; then
+  echo "sim scheduling gate test did not run and pass" >&2
+  exit 1
+fi
+echo "ok: sim gate holds (dFCFS+steal beats round-robin p99)"
+sched_unit=$(cargo test --offline -p qtls-server --lib sched 2>&1)
+if ! grep -qE "test result: ok. [1-9][0-9]* passed; 0 failed" <<< "$sched_unit"; then
+  echo "scheduling-plane unit tests did not run and pass" >&2
+  exit 1
+fi
+sched_steal=$(cargo test --offline -p qtls-server --lib steal 2>&1)
+if ! grep -qE "test result: ok. [1-9][0-9]* passed; 0 failed" <<< "$sched_steal"; then
+  echo "steal regression tests did not run and pass" >&2
+  exit 1
+fi
+sched_drain=$(cargo test --offline -p qtls-server --lib drain 2>&1)
+if ! grep -qE "test result: ok. [1-9][0-9]* passed; 0 failed" <<< "$sched_drain"; then
+  echo "drain-signal regression tests did not run and pass" >&2
+  exit 1
+fi
+echo "ok: scheduling unit + steal + drain-signal regressions pass"
+sched_prop=$(cargo test --offline -p qtls --test proptest_framework -- \
+  least_loaded_dispatch_is_argmin \
+  steal_half_conserves_and_never_duplicates_sockets 2>&1)
+if ! grep -q "test result: ok. 2 passed" <<< "$sched_prop"; then
+  echo "scheduling property tests did not run and pass" >&2
+  exit 1
+fi
+echo "ok: dispatch-argmin and steal-half-conservation properties hold"
+rebalance_suite=$(cargo test --offline -p qtls-qat --lib rebalance 2>&1)
+if ! grep -qE "test result: ok. [1-9][0-9]* passed; 0 failed" <<< "$rebalance_suite"; then
+  echo "QAT shard-rebalance tests did not run and pass" >&2
+  exit 1
+fi
+echo "ok: shard rebalancing migrates only quiescent pairs and completes work"
+sched_bench=$(cargo bench --offline -p qtls-bench --bench scheduling)
+for verdict in "scheduling_speedup: PASS" "scheduling_steal: PASS" "scheduling_balance: PASS"; do
+  if ! grep -q "$verdict" <<< "$sched_bench"; then
+    echo "scheduling bench did not print: $verdict" >&2
+    exit 1
+  fi
+done
+if [ ! -s results/BENCH_scheduling.json ]; then
+  echo "scheduling bench did not persist results/BENCH_scheduling.json" >&2
+  exit 1
+fi
+echo "ok: scheduling bench verdicts (sim p99, balance, steals) + JSON persisted"
+
 echo "== metrics plane smoke =="
 # Boot a sharded QTLS worker with qat_metrics on, scrape /metrics over
 # a real in-band TLS connection, and validate the exposition with the

@@ -399,6 +399,115 @@ fn histogram_snapshot_during_record_is_consistent() {
 }
 
 #[test]
+fn least_loaded_dispatch_is_argmin() {
+    use qtls::server::least_loaded_pick;
+    // The cluster dispatcher's decision function (DESIGN.md §15): with a
+    // full probe the pick IS the argmin over the published gauges, ties
+    // resolved by rotation order from `start`; with a bounded probe it
+    // is the argmin over exactly the probed window. Mirrors the shard
+    // router's `least_inflight_routing_is_argmin` one layer up.
+    prop::check("least_loaded_dispatch_is_argmin", 128, |g| {
+        let n = g.usize_in(1, 13);
+        let gauges: Vec<u64> = (0..n).map(|_| g.u64_in(0, 51)).collect();
+        let start = g.usize_in(0, 2 * n);
+        // Full probe: exact argmin, first-seen in rotation order.
+        let pick = least_loaded_pick(&gauges, start, n);
+        let min = *gauges.iter().min().unwrap();
+        assert_eq!(
+            gauges[pick], min,
+            "picked {pick} holding {}, min is {min}: {gauges:?}",
+            gauges[pick]
+        );
+        let model = (0..n)
+            .map(|step| (start + step) % n)
+            .find(|&i| gauges[i] == min)
+            .unwrap();
+        assert_eq!(pick, model, "ties must go to the first probed index");
+        // Bounded probe: argmin over exactly the probed window.
+        let probe = g.usize_in(1, n + 1);
+        let pick = least_loaded_pick(&gauges, start, probe);
+        let window: Vec<usize> = (0..probe).map(|step| (start + step) % n).collect();
+        assert!(window.contains(&pick), "pick must come from the window");
+        let win_min = window.iter().map(|&i| gauges[i]).min().unwrap();
+        assert_eq!(
+            gauges[pick], win_min,
+            "bounded probe must be the window argmin: {gauges:?} window {window:?}"
+        );
+    });
+}
+
+#[test]
+fn steal_half_conserves_and_never_duplicates_sockets() {
+    use qtls::server::net::VListener;
+    // Work-stealing conservation: over an arbitrary interleaving of
+    // injects, accepts and steal-half calls, every socket ends up in
+    // exactly one place — accepted by the victim, stolen by a thief, or
+    // still pending — with no duplicates, no drops, and the victim
+    // always keeping at least the older half of its queue.
+    prop::check("steal_half_conserves_sockets", 128, |g| {
+        let listener = VListener::new();
+        let mut injected = 0u64;
+        let mut accepted: Vec<u64> = Vec::new();
+        let mut stolen: Vec<u64> = Vec::new();
+        for _ in 0..g.usize_in(0, 120) {
+            match g.u8() % 4 {
+                // Inject twice as often as the other ops so queues grow.
+                0 | 1 => {
+                    injected += 1;
+                    listener.connect_from(injected);
+                }
+                2 => {
+                    if let Some(sock) = listener.accept() {
+                        accepted.push(sock.peer_addr());
+                    }
+                }
+                _ => {
+                    let before = listener.pending();
+                    let batch = listener.steal_half(g.usize_in(0, 10));
+                    assert!(
+                        batch.len() <= before / 2,
+                        "thief took {} of {before}: victim must keep the older half",
+                        batch.len()
+                    );
+                    assert!(
+                        batch
+                            .windows(2)
+                            .all(|w| w[0].peer_addr() < w[1].peer_addr()),
+                        "a stolen batch must preserve arrival order"
+                    );
+                    stolen.extend(batch.iter().map(|s| s.peer_addr()));
+                }
+            }
+        }
+        // Conservation: every injected socket is in exactly one place.
+        let pending = listener.pending() as u64;
+        assert_eq!(
+            accepted.len() as u64 + stolen.len() as u64 + pending,
+            injected,
+            "accepted {} + stolen {} + pending {pending} != injected {injected}",
+            accepted.len(),
+            stolen.len()
+        );
+        let mut all: Vec<u64> = accepted.iter().chain(stolen.iter()).copied().collect();
+        while let Some(sock) = listener.accept() {
+            all.push(sock.peer_addr());
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(
+            all.len() as u64,
+            injected,
+            "a socket was duplicated or dropped"
+        );
+        // The victim accepts in arrival order even across steals.
+        assert!(
+            accepted.windows(2).all(|w| w[0] < w[1]),
+            "victim accept order broken: {accepted:?}"
+        );
+    });
+}
+
+#[test]
 fn ring_concurrent_no_loss() {
     // Heavier multi-threaded check than the unit test: values pushed by
     // 8 producers all come out exactly once.
