@@ -659,6 +659,14 @@ impl OffloadEngine {
             // the doorbell in place, trading one unamortized doorbell
             // for a sweep less of staging latency.
             let bypass = queue.should_bypass(shard.inflight.total());
+            if shard.obs.enabled() {
+                // Connection tracing: link the coming fiber pause to the
+                // shard + flush decision (read back by the worker when
+                // it annotates the offload-wait span).
+                ctx_handle
+                    .get()
+                    .set_submit_info(shard.index, u64::from(bypass));
+            }
             shard.submit.begin(class);
             let request = make_request(
                 shard.submit.next_cookie(),
@@ -678,6 +686,9 @@ impl OffloadEngine {
             return self.consume_parked_result(shard, class, &ctx_handle);
         }
         let mut attempt = 0u32;
+        if shard.obs.enabled() {
+            ctx_handle.get().set_submit_info(shard.index, 0);
+        }
         loop {
             shard.submit.begin(class);
             let request = make_request(
@@ -699,6 +710,9 @@ impl OffloadEngine {
                         attempt as u64 + 1,
                         0,
                     );
+                    if shard.obs.enabled() {
+                        ctx_handle.get().set_submit_info(shard.index, 2);
+                    }
                     match shard
                         .submit
                         .backpressure

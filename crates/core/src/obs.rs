@@ -494,6 +494,10 @@ pub struct FlightRecorder {
     inner: Mutex<FlightInner>,
     /// Snapshot captured by [`Self::freeze`] on anomaly.
     frozen: Mutex<Option<Vec<FlightEvent>>>,
+    /// Exemplar captured alongside [`Self::freeze`]: the slowest sampled
+    /// connection's span tree at the moment of the anomaly, so a p99
+    /// spike comes with a concrete trace attached.
+    frozen_trace: Mutex<Option<ConnTrace>>,
 }
 
 impl FlightRecorder {
@@ -507,6 +511,7 @@ impl FlightRecorder {
                 next: 0,
             }),
             frozen: Mutex::new(None),
+            frozen_trace: Mutex::new(None),
         }
     }
 
@@ -582,6 +587,17 @@ impl FlightRecorder {
         self.frozen.lock().clone()
     }
 
+    /// Attach the exemplar span tree for the current anomaly (the
+    /// slowest sampled connection at freeze time).
+    pub fn freeze_trace(&self, trace: ConnTrace) {
+        *self.frozen_trace.lock() = Some(trace);
+    }
+
+    /// The exemplar span tree captured with the last anomaly, if any.
+    pub fn frozen_trace(&self) -> Option<ConnTrace> {
+        self.frozen_trace.lock().clone()
+    }
+
     /// Render the retained events (and any frozen snapshot) as one
     /// line-oriented page for the on-demand dump endpoint.
     pub fn render_dump(&self) -> String {
@@ -606,7 +622,829 @@ impl FlightRecorder {
             let _ = writeln!(out, "frozen: {} events at anomaly", frozen.len());
             lines(&mut out, &frozen);
         }
+        if let Some(trace) = self.frozen_trace() {
+            let _ = writeln!(
+                out,
+                "exemplar: conn {} worker {} wall-ns {} spans {}",
+                trace.conn_id(),
+                trace.worker(),
+                trace.wall_ns(),
+                trace.spans().len(),
+            );
+            for sp in trace.spans() {
+                let _ = writeln!(
+                    out,
+                    "span {} start {} dur {} parent {} a={} b={}",
+                    sp.kind.name(),
+                    sp.start_ns,
+                    sp.dur_ns(),
+                    sp.parent.map(i64::from).unwrap_or(-1),
+                    sp.a,
+                    sp.b,
+                );
+            }
+        }
         out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection tracing: sampled lifecycle spans
+// ---------------------------------------------------------------------------
+
+/// Number of [`SpanKind`] variants.
+pub const SPAN_KINDS: usize = 9;
+
+/// A named stage of a connection's lifecycle. The histograms of PR 5
+/// see only the four *offload* phases; spans attribute the rest of the
+/// wall clock — accept-backlog wait, the admission round-trip, the
+/// handshake control plane, record-plane batches, and the offload
+/// submit→retrieve waits in between.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// The root span: socket admitted → connection closed.
+    Connection,
+    /// Time queued in a listener backlog before a worker accepted it.
+    /// `a` = dispatch probes, `b` = 1 if the socket arrived by stealing.
+    AcceptWait,
+    /// Admission-gate round trip (QFAM). `a` = 1 challenge sent,
+    /// 2 token verified, 0 passed without a frame.
+    Admission,
+    /// TLS handshake control plane, first flight → `Finished`.
+    /// `a` = 1 if resumed (abbreviated / PSK), 2 on a resume miss;
+    /// `b` = negotiated version tag.
+    Handshake,
+    /// One established service pass: request parse → response staged.
+    /// `a` = requests completed, `b` = body bytes sent.
+    Serve,
+    /// A fiber pause: offload submit → async notify → resume.
+    /// `a` = shard index, `b` = 1 if the submit bypassed the batch
+    /// queue, 2 if it retried on backpressure.
+    OffloadWait,
+    /// One `RecordCodec::flush_into` batch. `a` = records sealed,
+    /// `b` = ciphertext bytes produced.
+    RecordSeal,
+    /// One `RecordCodec::open_into` batch. `a` = records opened,
+    /// `b` = plaintext bytes produced.
+    RecordOpen,
+    /// Derived at publish: wall time of the root not covered by any
+    /// direct child (established keep-alive gaps, client think time).
+    Idle,
+}
+
+/// All span kinds, in [`SpanKind::index`] order.
+pub const SPAN_KIND_LIST: [SpanKind; SPAN_KINDS] = [
+    SpanKind::Connection,
+    SpanKind::AcceptWait,
+    SpanKind::Admission,
+    SpanKind::Handshake,
+    SpanKind::Serve,
+    SpanKind::OffloadWait,
+    SpanKind::RecordSeal,
+    SpanKind::RecordOpen,
+    SpanKind::Idle,
+];
+
+impl SpanKind {
+    /// Dense index for per-kind arrays.
+    pub fn index(self) -> usize {
+        match self {
+            SpanKind::Connection => 0,
+            SpanKind::AcceptWait => 1,
+            SpanKind::Admission => 2,
+            SpanKind::Handshake => 3,
+            SpanKind::Serve => 4,
+            SpanKind::OffloadWait => 5,
+            SpanKind::RecordSeal => 6,
+            SpanKind::RecordOpen => 7,
+            SpanKind::Idle => 8,
+        }
+    }
+
+    /// Stable snake_case name used in exports and the attribution table.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Connection => "connection",
+            SpanKind::AcceptWait => "accept_wait",
+            SpanKind::Admission => "admission",
+            SpanKind::Handshake => "handshake",
+            SpanKind::Serve => "serve",
+            SpanKind::OffloadWait => "offload_wait",
+            SpanKind::RecordSeal => "record_seal",
+            SpanKind::RecordOpen => "record_open",
+            SpanKind::Idle => "idle",
+        }
+    }
+}
+
+/// One begin/end stamped interval in a sampled connection's tree.
+#[derive(Clone, Copy, Debug)]
+pub struct Span {
+    /// Stage this span attributes its interval to.
+    pub kind: SpanKind,
+    /// Monotonic begin stamp ([`now_ns`]).
+    pub start_ns: u64,
+    /// Monotonic end stamp; 0 while still open.
+    pub end_ns: u64,
+    /// Index of the enclosing span in the trace; `None` on the root.
+    pub parent: Option<u32>,
+    /// Kind-specific annotation (see [`SpanKind`]).
+    pub a: u64,
+    /// Kind-specific annotation (see [`SpanKind`]).
+    pub b: u64,
+}
+
+impl Span {
+    /// Closed duration (0 while open or on clock skew).
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// The span tree of one sampled connection. Single-writer by
+/// construction — owned by the connection it traces and touched only by
+/// the worker (or fiber) currently driving that connection — so begin /
+/// end / annotate are plain `Vec` pushes with no atomics and no locks.
+/// Unsampled connections hold `None` instead and allocate nothing.
+#[derive(Clone, Debug)]
+pub struct ConnTrace {
+    conn_id: u64,
+    worker: u32,
+    spans: Vec<Span>,
+    /// Indices of currently-open spans, innermost last. New spans
+    /// nest under the top of this stack.
+    open: Vec<u32>,
+}
+
+impl ConnTrace {
+    /// A new trace whose root [`SpanKind::Connection`] span opens at
+    /// `start_ns`.
+    pub fn new(conn_id: u64, worker: u32, start_ns: u64) -> Self {
+        let mut t = ConnTrace {
+            conn_id,
+            worker,
+            spans: Vec::with_capacity(16),
+            open: Vec::with_capacity(4),
+        };
+        t.spans.push(Span {
+            kind: SpanKind::Connection,
+            start_ns,
+            end_ns: 0,
+            parent: None,
+            a: 0,
+            b: 0,
+        });
+        t.open.push(0);
+        t
+    }
+
+    /// Sampled connection id (the 1-in-N counter value).
+    pub fn conn_id(&self) -> u64 {
+        self.conn_id
+    }
+
+    /// Worker that owned the connection.
+    pub fn worker(&self) -> u32 {
+        self.worker
+    }
+
+    /// Open a child span of the innermost open span. Returns an id for
+    /// [`Self::end`].
+    pub fn begin(&mut self, kind: SpanKind, now: u64) -> u32 {
+        let id = self.spans.len() as u32;
+        let parent = self.open.last().copied();
+        self.spans.push(Span {
+            kind,
+            start_ns: now,
+            end_ns: 0,
+            parent,
+            a: 0,
+            b: 0,
+        });
+        self.open.push(id);
+        id
+    }
+
+    /// Close span `id` (and, defensively, anything it still has open
+    /// under it — ends are popped in LIFO order).
+    pub fn end(&mut self, id: u32, now: u64) {
+        while let Some(top) = self.open.pop() {
+            let sp = &mut self.spans[top as usize];
+            if sp.end_ns == 0 {
+                sp.end_ns = now.max(sp.start_ns);
+            }
+            if top == id {
+                break;
+            }
+        }
+    }
+
+    /// Close span `id` with annotations.
+    pub fn end_annotated(&mut self, id: u32, now: u64, a: u64, b: u64) {
+        {
+            let sp = &mut self.spans[id as usize];
+            sp.a = a;
+            sp.b = b;
+        }
+        self.end(id, now);
+    }
+
+    /// Record an already-measured interval as a completed child of the
+    /// innermost open span (used for intervals measured while the
+    /// connection context was away in a fiber).
+    pub fn add(&mut self, kind: SpanKind, start_ns: u64, end_ns: u64, a: u64, b: u64) {
+        let parent = self.open.last().copied();
+        self.spans.push(Span {
+            kind,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+            parent,
+            a,
+            b,
+        });
+    }
+
+    /// Annotate an open span in place without closing it.
+    pub fn annotate(&mut self, id: u32, a: u64, b: u64) {
+        let sp = &mut self.spans[id as usize];
+        sp.a = a;
+        sp.b = b;
+    }
+
+    /// Close every open span (root included) at `now`, then fill the
+    /// root's uncovered gaps with derived [`SpanKind::Idle`] children so
+    /// direct-child durations sum to the root wall time exactly.
+    pub fn finish(&mut self, now: u64) {
+        while let Some(top) = self.open.pop() {
+            let sp = &mut self.spans[top as usize];
+            if sp.end_ns == 0 {
+                sp.end_ns = now.max(sp.start_ns);
+            }
+        }
+        // Direct children of the root are sequential (one worker drives
+        // the connection), so gaps are the intervals between the end of
+        // one child and the start of the next.
+        let root_start = self.spans[0].start_ns;
+        let root_end = self.spans[0].end_ns;
+        let mut edges: Vec<(u64, u64)> = self
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(0))
+            .map(|s| (s.start_ns, s.end_ns))
+            .collect();
+        edges.sort_unstable();
+        let mut cursor = root_start;
+        let mut gaps: Vec<(u64, u64)> = Vec::new();
+        for (s, e) in edges {
+            if s > cursor {
+                gaps.push((cursor, s));
+            }
+            cursor = cursor.max(e);
+        }
+        if root_end > cursor {
+            gaps.push((cursor, root_end));
+        }
+        for (s, e) in gaps {
+            self.spans.push(Span {
+                kind: SpanKind::Idle,
+                start_ns: s,
+                end_ns: e,
+                parent: Some(0),
+                a: 0,
+                b: 0,
+            });
+        }
+    }
+
+    /// Root-span wall time (0 until [`Self::finish`]).
+    pub fn wall_ns(&self) -> u64 {
+        self.spans[0].dur_ns()
+    }
+
+    /// Sum of the durations of the root's direct children.
+    pub fn covered_ns(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.parent == Some(0))
+            .map(|s| s.dur_ns())
+            .sum()
+    }
+
+    /// All spans, root first, in creation order (derived idle spans
+    /// last).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Number of still-open spans (diagnostics; 0 after `finish`).
+    pub fn open_depth(&self) -> usize {
+        self.open.len()
+    }
+}
+
+/// Per-worker sink of sampled connection traces.
+///
+/// The hot path touches only [`Self::sample`] — one relaxed
+/// `fetch_add` per accepted connection when enabled, one relaxed load
+/// when disabled (`trace_sample_rate 0`). Span begin/end stamps happen
+/// on the single-writer [`ConnTrace`] owned by the sampled connection;
+/// the sink's mutex is taken once per *sampled connection close*
+/// (1-in-N), never per request.
+pub struct TraceSink {
+    sample_rate: AtomicU64,
+    max_spans: usize,
+    seen: AtomicU64,
+    sampled: AtomicU64,
+    spans_total: AtomicU64,
+    dropped: AtomicU64,
+    wall_ns_total: AtomicU64,
+    covered_ns_total: AtomicU64,
+    stage_ns: [Histogram; SPAN_KINDS],
+    inner: Mutex<SinkInner>,
+    slowest: Mutex<Option<ConnTrace>>,
+}
+
+struct SinkInner {
+    traces: Vec<ConnTrace>,
+    spans_held: usize,
+}
+
+/// Default retained-span budget (`trace_buffer_spans`).
+pub const TRACE_BUFFER_SPANS_DEFAULT: usize = 16384;
+
+impl TraceSink {
+    /// A sink sampling 1-in-`sample_rate` connections (0 disables) and
+    /// retaining at most `max_spans` spans across buffered traces.
+    pub fn new(sample_rate: u64, max_spans: usize) -> Self {
+        TraceSink {
+            sample_rate: AtomicU64::new(sample_rate),
+            max_spans: max_spans.max(64),
+            seen: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
+            spans_total: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            wall_ns_total: AtomicU64::new(0),
+            covered_ns_total: AtomicU64::new(0),
+            stage_ns: std::array::from_fn(|_| Histogram::new()),
+            inner: Mutex::new(SinkInner {
+                traces: Vec::new(),
+                spans_held: 0,
+            }),
+            slowest: Mutex::new(None),
+        }
+    }
+
+    /// Is sampling on at all? One relaxed load.
+    pub fn enabled(&self) -> bool {
+        self.sample_rate.load(Ordering::Relaxed) != 0
+    }
+
+    /// The configured 1-in-N rate (0 = off).
+    pub fn sample_rate(&self) -> u64 {
+        self.sample_rate.load(Ordering::Relaxed)
+    }
+
+    /// Per-connection sampling decision. Returns a connection id when
+    /// this connection should carry a trace.
+    pub fn sample(&self) -> Option<u64> {
+        let rate = self.sample_rate.load(Ordering::Relaxed);
+        if rate == 0 {
+            return None;
+        }
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        if n % rate == 0 {
+            self.sampled.fetch_add(1, Ordering::Relaxed);
+            Some(n)
+        } else {
+            None
+        }
+    }
+
+    /// Finish `trace` at `now` and retire it into the buffer: stage
+    /// durations feed the per-kind histograms, the slowest-connection
+    /// slot updates, and the oldest buffered traces are dropped if the
+    /// span budget would overflow.
+    pub fn publish(&self, mut trace: ConnTrace, now: u64) {
+        trace.finish(now);
+        let wall = trace.wall_ns();
+        self.wall_ns_total.fetch_add(wall, Ordering::Relaxed);
+        self.covered_ns_total
+            .fetch_add(trace.covered_ns(), Ordering::Relaxed);
+        self.spans_total
+            .fetch_add(trace.spans().len() as u64, Ordering::Relaxed);
+        for sp in trace.spans() {
+            self.stage_ns[sp.kind.index()].record(sp.dur_ns());
+        }
+        {
+            let mut slowest = self.slowest.lock();
+            let beat = slowest.as_ref().map(|t| wall > t.wall_ns()).unwrap_or(true);
+            if beat {
+                *slowest = Some(trace.clone());
+            }
+        }
+        let mut inner = self.inner.lock();
+        let incoming = trace.spans().len();
+        while inner.spans_held + incoming > self.max_spans && !inner.traces.is_empty() {
+            let evicted = inner.traces.remove(0);
+            inner.spans_held -= evicted.spans().len();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        if incoming <= self.max_spans {
+            inner.spans_held += incoming;
+            inner.traces.push(trace);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Connections sampled so far.
+    pub fn sampled(&self) -> u64 {
+        self.sampled.load(Ordering::Relaxed)
+    }
+
+    /// Spans published so far (monotonic; survives eviction).
+    pub fn spans_published(&self) -> u64 {
+        self.spans_total.load(Ordering::Relaxed)
+    }
+
+    /// Traces evicted from the buffer to stay under the span budget.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Sum of published root wall times.
+    pub fn wall_ns_total(&self) -> u64 {
+        self.wall_ns_total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of published direct-child (stage) durations.
+    pub fn covered_ns_total(&self) -> u64 {
+        self.covered_ns_total.load(Ordering::Relaxed)
+    }
+
+    /// Latency snapshot of one stage across published traces.
+    pub fn stage_snapshot(&self, kind: SpanKind) -> HistSnapshot {
+        self.stage_ns[kind.index()].snapshot()
+    }
+
+    /// Clone of the currently buffered traces, oldest first.
+    pub fn traces(&self) -> Vec<ConnTrace> {
+        self.inner.lock().traces.clone()
+    }
+
+    /// The slowest (by root wall time) connection published so far.
+    pub fn slowest(&self) -> Option<ConnTrace> {
+        self.slowest.lock().clone()
+    }
+}
+
+/// Render traces as a Chrome trace-event JSON document (the
+/// `{"traceEvents": [...]}` object format; loadable in Perfetto or
+/// `chrome://tracing`). Events are complete (`"ph":"X"`) spans with
+/// microsecond timestamps; `pid` is the worker, `tid` the sampled
+/// connection id, so each connection renders as its own track.
+pub fn chrome_trace_json(traces: &[ConnTrace]) -> String {
+    fn us(ns: u64) -> String {
+        format!("{}.{:03}", ns / 1_000, ns % 1_000)
+    }
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for t in traces {
+        for sp in t.spans() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"qtls\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{\"a\":{},\"b\":{},\"parent\":{}}}}}",
+                sp.kind.name(),
+                us(sp.start_ns),
+                us(sp.dur_ns()),
+                t.worker(),
+                t.conn_id(),
+                sp.a,
+                sp.b,
+                sp.parent.map(i64::from).unwrap_or(-1),
+            );
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Mini JSON parser: Chrome-trace validation for CI
+// ---------------------------------------------------------------------------
+
+/// A std-only recursive-descent JSON parser, just big enough to load a
+/// Chrome trace-event document back and check its shape. Backs the
+/// `/trace` CI gate in `scripts/check.sh` and the loadgen
+/// `--trace-dump` artifact check.
+pub mod tracejson {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Json {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number, kept as f64 (trace stamps fit exactly ≤ 2^53).
+        Num(f64),
+        /// A string with escapes decoded.
+        Str(String),
+        /// An array.
+        Arr(Vec<Json>),
+        /// An object (sorted keys).
+        Obj(BTreeMap<String, Json>),
+    }
+
+    impl Json {
+        /// Object field access.
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(m) => m.get(key),
+                _ => None,
+            }
+        }
+
+        /// Array elements, if this is an array.
+        pub fn as_arr(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// Numeric value, if this is a number.
+        pub fn as_num(&self) -> Option<f64> {
+            match self {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// String value, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        at: usize,
+    }
+
+    impl<'a> Parser<'a> {
+        fn ws(&mut self) {
+            while self
+                .b
+                .get(self.at)
+                .map(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r'))
+                .unwrap_or(false)
+            {
+                self.at += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.at).copied()
+        }
+
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.at += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected '{}' at byte {}, found {:?}",
+                    c as char,
+                    self.at,
+                    self.peek().map(|c| c as char)
+                ))
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+            if self.b[self.at..].starts_with(word.as_bytes()) {
+                self.at += word.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at byte {}", self.at))
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut s = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.at += 1;
+                        return Ok(s);
+                    }
+                    Some(b'\\') => {
+                        self.at += 1;
+                        let esc = self.peek().ok_or("truncated escape")?;
+                        self.at += 1;
+                        match esc {
+                            b'"' => s.push('"'),
+                            b'\\' => s.push('\\'),
+                            b'/' => s.push('/'),
+                            b'n' => s.push('\n'),
+                            b't' => s.push('\t'),
+                            b'r' => s.push('\r'),
+                            b'b' => s.push('\u{8}'),
+                            b'f' => s.push('\u{c}'),
+                            b'u' => {
+                                if self.at + 4 > self.b.len() {
+                                    return Err("truncated \\u escape".into());
+                                }
+                                let hex = std::str::from_utf8(&self.b[self.at..self.at + 4])
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                self.at += 4;
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                            other => return Err(format!("bad escape \\{}", other as char)),
+                        }
+                    }
+                    Some(c) if c < 0x80 => {
+                        s.push(c as char);
+                        self.at += 1;
+                    }
+                    Some(_) => {
+                        // Multi-byte UTF-8: copy the sequence through.
+                        let start = self.at;
+                        self.at += 1;
+                        while self
+                            .b
+                            .get(self.at)
+                            .map(|c| c & 0xc0 == 0x80)
+                            .unwrap_or(false)
+                        {
+                            self.at += 1;
+                        }
+                        s.push_str(
+                            std::str::from_utf8(&self.b[start..self.at])
+                                .map_err(|_| "invalid utf-8 in string".to_string())?,
+                        );
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.at;
+            if self.peek() == Some(b'-') {
+                self.at += 1;
+            }
+            while self
+                .peek()
+                .map(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+                .unwrap_or(false)
+            {
+                self.at += 1;
+            }
+            std::str::from_utf8(&self.b[start..self.at])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            self.ws();
+            match self.peek() {
+                Some(b'{') => {
+                    self.at += 1;
+                    let mut m = BTreeMap::new();
+                    self.ws();
+                    if self.peek() == Some(b'}') {
+                        self.at += 1;
+                        return Ok(Json::Obj(m));
+                    }
+                    loop {
+                        self.ws();
+                        let k = self.string()?;
+                        self.ws();
+                        self.eat(b':')?;
+                        let v = self.value()?;
+                        m.insert(k, v);
+                        self.ws();
+                        match self.peek() {
+                            Some(b',') => self.at += 1,
+                            Some(b'}') => {
+                                self.at += 1;
+                                return Ok(Json::Obj(m));
+                            }
+                            _ => return Err(format!("bad object at byte {}", self.at)),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    self.at += 1;
+                    let mut v = Vec::new();
+                    self.ws();
+                    if self.peek() == Some(b']') {
+                        self.at += 1;
+                        return Ok(Json::Arr(v));
+                    }
+                    loop {
+                        v.push(self.value()?);
+                        self.ws();
+                        match self.peek() {
+                            Some(b',') => self.at += 1,
+                            Some(b']') => {
+                                self.at += 1;
+                                return Ok(Json::Arr(v));
+                            }
+                            _ => return Err(format!("bad array at byte {}", self.at)),
+                        }
+                    }
+                }
+                Some(b'"') => Ok(Json::Str(self.string()?)),
+                Some(b't') => self.literal("true", Json::Bool(true)),
+                Some(b'f') => self.literal("false", Json::Bool(false)),
+                Some(b'n') => self.literal("null", Json::Null),
+                Some(_) => self.number(),
+                None => Err("empty input".into()),
+            }
+        }
+    }
+
+    /// Parse a complete JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            at: 0,
+        };
+        let v = p.value()?;
+        p.ws();
+        if p.at != p.b.len() {
+            return Err(format!("trailing bytes at {}", p.at));
+        }
+        Ok(v)
+    }
+
+    /// Shape summary of a validated Chrome trace document.
+    #[derive(Debug, Default)]
+    pub struct ChromeSummary {
+        /// Total trace events.
+        pub events: usize,
+        /// Distinct `tid`s (sampled connections).
+        pub connections: usize,
+        /// Events per span name.
+        pub by_name: BTreeMap<String, usize>,
+    }
+
+    /// Validate `doc` as a Chrome trace-event JSON object: a top-level
+    /// `traceEvents` array whose entries each carry `name`, `ph`, `ts`,
+    /// `dur`, `pid`, and `tid`. Returns counts for further assertions.
+    pub fn validate_chrome_trace(doc: &str) -> Result<ChromeSummary, String> {
+        let v = parse(doc)?;
+        let events = v
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .ok_or("missing traceEvents array")?;
+        let mut summary = ChromeSummary::default();
+        let mut tids = std::collections::BTreeSet::new();
+        for (i, ev) in events.iter().enumerate() {
+            let name = ev
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("event {i}: missing name"))?;
+            let ph = ev
+                .get("ph")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("event {i}: missing ph"))?;
+            if ph != "X" {
+                return Err(format!("event {i}: unexpected ph {ph:?}"));
+            }
+            for field in ["ts", "dur", "pid", "tid"] {
+                let n = ev
+                    .get(field)
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| format!("event {i}: missing {field}"))?;
+                if !n.is_finite() || n < 0.0 {
+                    return Err(format!("event {i}: bad {field}"));
+                }
+            }
+            if let Some(tid) = ev.get("tid").and_then(Json::as_num) {
+                tids.insert(tid as u64);
+            }
+            summary.events += 1;
+            *summary.by_name.entry(name.to_string()).or_insert(0) += 1;
+        }
+        summary.connections = tids.len();
+        Ok(summary)
     }
 }
 
@@ -647,6 +1485,9 @@ pub mod registry {
         "qtls_qat_completed_total",
         "qtls_flight_events_total",
         "qtls_worker_connections_active",
+        "qtls_worker_connections_alive",
+        "qtls_worker_connections_idle",
+        "qtls_shard_count",
         "qtls_worker_handshakes_total",
         "qtls_worker_resumed_handshakes_total",
         "qtls_worker_resume_miss_total",
@@ -669,6 +1510,16 @@ pub mod registry {
         "qtls_dispatch_policy",
         "qtls_qat_rebalances_total",
         "qtls_metrics_enabled",
+        "qtls_worker_closed_total",
+        "qtls_worker_ring_retries_total",
+        "qtls_worker_cancelled_submits_total",
+        "qtls_trace_sample_rate",
+        "qtls_trace_sampled_total",
+        "qtls_trace_spans_total",
+        "qtls_trace_dropped_total",
+        "qtls_trace_wall_us_total",
+        "qtls_trace_covered_us_total",
+        "qtls_trace_stage_us",
     ];
 
     /// Is `name` a registered family, or a `_bucket`/`_sum`/`_count`
@@ -1116,5 +1967,153 @@ mod tests {
         obs.set_enabled(false);
         obs.shard(0).record(Phase::Notify, OpClass::Prf, 1);
         assert_eq!(obs.merged(Phase::Notify, OpClass::Prf).count(), 2);
+    }
+
+    #[test]
+    fn span_tree_nests_under_open_stack() {
+        let mut t = ConnTrace::new(7, 1, 100);
+        let hs = t.begin(SpanKind::Handshake, 110);
+        let wait = t.begin(SpanKind::OffloadWait, 120);
+        t.end_annotated(wait, 150, 2, 1);
+        t.add(SpanKind::RecordSeal, 155, 160, 3, 4096);
+        t.end(hs, 200);
+        t.finish(300);
+        let spans = t.spans();
+        assert_eq!(spans[0].kind, SpanKind::Connection);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[hs as usize].parent, Some(0));
+        assert_eq!(spans[wait as usize].parent, Some(hs));
+        assert_eq!(spans[wait as usize].a, 2);
+        // The add() landed while the handshake was still open.
+        let seal = spans.iter().find(|s| s.kind == SpanKind::RecordSeal);
+        assert_eq!(seal.map(|s| s.parent), Some(Some(hs)));
+        assert_eq!(t.open_depth(), 0);
+        assert_eq!(t.wall_ns(), 200);
+    }
+
+    #[test]
+    fn finish_fills_gaps_so_children_cover_the_root_exactly() {
+        let mut t = ConnTrace::new(0, 0, 1_000);
+        t.add(SpanKind::AcceptWait, 1_000, 1_100, 0, 0);
+        let hs = t.begin(SpanKind::Handshake, 1_200);
+        t.end(hs, 1_500);
+        let sv = t.begin(SpanKind::Serve, 1_900);
+        t.end(sv, 2_000);
+        t.finish(2_400);
+        // Gaps: [1100,1200), [1500,1900), [2000,2400) => idle 900.
+        let idle: u64 = t
+            .spans()
+            .iter()
+            .filter(|s| s.kind == SpanKind::Idle)
+            .map(|s| s.dur_ns())
+            .sum();
+        assert_eq!(idle, 900);
+        assert_eq!(t.covered_ns(), t.wall_ns());
+    }
+
+    #[test]
+    fn finish_closes_dangling_spans() {
+        let mut t = ConnTrace::new(0, 0, 10);
+        let hs = t.begin(SpanKind::Handshake, 20);
+        let _wait = t.begin(SpanKind::OffloadWait, 30);
+        // Connection dies mid-await: nothing was ended explicitly.
+        t.finish(90);
+        assert_eq!(t.open_depth(), 0);
+        for sp in t.spans() {
+            assert!(sp.end_ns >= sp.start_ns);
+            assert!(sp.end_ns != 0);
+        }
+        assert_eq!(t.spans()[hs as usize].end_ns, 90);
+    }
+
+    #[test]
+    fn trace_sink_samples_one_in_n_and_is_off_at_zero() {
+        let off = TraceSink::new(0, 1024);
+        assert!(!off.enabled());
+        for _ in 0..100 {
+            assert!(off.sample().is_none());
+        }
+        assert_eq!(off.sampled(), 0);
+
+        let sink = TraceSink::new(4, 1024);
+        let hits: Vec<bool> = (0..16).map(|_| sink.sample().is_some()).collect();
+        assert_eq!(hits.iter().filter(|h| **h).count(), 4);
+        assert!(hits[0], "first connection is always sampled");
+        assert_eq!(sink.sampled(), 4);
+    }
+
+    #[test]
+    fn trace_sink_publishes_and_evicts_under_span_budget() {
+        let sink = TraceSink::new(1, 64);
+        for i in 0..100u64 {
+            let mut t = ConnTrace::new(i, 0, i * 1_000);
+            let hs = t.begin(SpanKind::Handshake, i * 1_000 + 10);
+            t.end(hs, i * 1_000 + 500);
+            sink.publish(t, i * 1_000 + 600);
+        }
+        assert!(sink.dropped() > 0, "budget of 64 spans must evict");
+        let held: usize = sink.traces().iter().map(|t| t.spans().len()).sum();
+        assert!(held <= 64, "held {held} spans over budget");
+        // Stage histograms and sums accumulated for every publish.
+        assert_eq!(sink.stage_snapshot(SpanKind::Handshake).count(), 100);
+        assert_eq!(sink.stage_snapshot(SpanKind::Connection).count(), 100);
+        assert!(sink.wall_ns_total() > 0);
+        // Slowest slot holds a full 600ns-wall trace.
+        let slow = sink.slowest().expect("slowest populated");
+        assert_eq!(slow.wall_ns(), 600);
+    }
+
+    #[test]
+    fn chrome_trace_json_roundtrips_through_the_mini_parser() {
+        let sink = TraceSink::new(1, 4096);
+        for i in 0..3u64 {
+            let mut t = ConnTrace::new(i, 2, 5_000);
+            t.add(SpanKind::AcceptWait, 5_000, 6_000, 1, 0);
+            let hs = t.begin(SpanKind::Handshake, 6_000);
+            let w = t.begin(SpanKind::OffloadWait, 6_200);
+            t.end_annotated(w, 6_400, 0, 1);
+            t.end(hs, 7_000);
+            sink.publish(t, 8_000);
+        }
+        let doc = chrome_trace_json(&sink.traces());
+        let summary = tracejson::validate_chrome_trace(&doc).expect("valid chrome trace");
+        assert_eq!(summary.connections, 3);
+        assert_eq!(summary.by_name.get("handshake"), Some(&3));
+        assert_eq!(summary.by_name.get("offload_wait"), Some(&3));
+        assert_eq!(summary.by_name.get("accept_wait"), Some(&3));
+        // 5 spans per trace: root, accept, hs, wait, one tail idle gap.
+        assert_eq!(summary.events, 15);
+    }
+
+    #[test]
+    fn mini_parser_handles_escapes_and_rejects_garbage() {
+        let v =
+            tracejson::parse(r#"{"s":"a\"b\nA","n":-1.5e2,"x":[true,null]}"#).expect("valid json");
+        assert_eq!(
+            v.get("s").and_then(tracejson::Json::as_str),
+            Some("a\"b\nA")
+        );
+        assert_eq!(v.get("n").and_then(tracejson::Json::as_num), Some(-150.0));
+        assert!(tracejson::parse("{\"a\":1,}").is_err());
+        assert!(tracejson::parse("[1 2]").is_err());
+        assert!(tracejson::parse("{\"a\" 1}").is_err());
+        assert!(tracejson::parse("").is_err());
+        assert!(tracejson::parse("{} trailing").is_err());
+        assert!(tracejson::validate_chrome_trace("{\"traceEvents\":3}").is_err());
+        assert!(
+            tracejson::validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err(),
+            "event without name/ts must fail"
+        );
+    }
+
+    #[test]
+    fn span_kind_list_matches_indices() {
+        for (i, kind) in SPAN_KIND_LIST.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+        let mut names: Vec<&str> = SPAN_KIND_LIST.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SPAN_KINDS);
     }
 }

@@ -45,6 +45,11 @@ struct Inner {
     /// parked result (obs plane; consumed at resume for the
     /// post-processing phase).
     notified_ns: Option<u64>,
+    /// Trace annotation: the shard the last submission from this job
+    /// was routed to, and how it left the submit queue (0 = batched,
+    /// 1 = bypass, 2 = backpressure retry). Set by the engine only for
+    /// sampled/traced jobs.
+    submit_info: Option<(u32, u64)>,
 }
 
 /// Wait context shared between the job, the engine and the application.
@@ -130,6 +135,18 @@ impl WaitCtx {
     /// the result just taken.
     pub fn take_notified_ns(&self) -> Option<u64> {
         self.inner.lock().notified_ns.take()
+    }
+
+    /// Trace annotation (connection tracing): which shard the last
+    /// submission went to and whether it bypassed the batch queue
+    /// (1), was batched (0), or retried on backpressure (2).
+    pub fn set_submit_info(&self, shard: u32, path: u64) {
+        self.inner.lock().submit_info = Some((shard, path));
+    }
+
+    /// Read the last submit annotation, if the engine recorded one.
+    pub fn submit_info(&self) -> Option<(u32, u64)> {
+        self.inner.lock().submit_info
     }
 
     /// Attach a diagnostic tag.

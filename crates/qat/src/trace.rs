@@ -48,6 +48,15 @@ pub fn now_ns() -> u64 {
     (Instant::now().duration_since(origin).as_nanos() as u64).max(1)
 }
 
+/// Monotonic milliseconds on the same origin as [`now_ns`]. Coarse
+/// clock for wall-cadence checks (anomaly-freeze intervals) that must
+/// not depend on event-loop iteration counts.
+#[inline]
+pub fn now_ms() -> u64 {
+    let origin = *ORIGIN.get_or_init(Instant::now);
+    Instant::now().duration_since(origin).as_millis() as u64
+}
+
 /// Trace stamps carried on a [`crate::CryptoRequest`] and copied onto
 /// its [`crate::CryptoResponse`]. All zero when tracing is disabled.
 #[derive(Clone, Copy, Debug, Default)]

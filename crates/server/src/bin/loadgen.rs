@@ -1,0 +1,126 @@
+//! Self-contained load-generator CLI: boots a QTLS cluster over the
+//! in-process virtual transport, drives it with the library's client
+//! streams, and prints the run summary. With `--trace-dump <path>` it
+//! fetches the `/trace` Chrome trace-event export at the end of the run
+//! and writes the JSON artifact, so a loaded run's span trees can be
+//! archived (and opened in `chrome://tracing`) alongside the
+//! `BENCH_*.json` results.
+//!
+//! Flags (all optional):
+//!   --clients N          client threads (default 4)
+//!   --duration-ms N      run length (default 1000)
+//!   --path /NNkb         object to GET; default /16kb
+//!   --requests N         keep-alive requests per connection (default 2)
+//!   --resumes N          abbreviated handshakes per full one (default 0)
+//!   --workers N          cluster worker processes (default 2)
+//!   --trace-sample N     1-in-N connection sampling (default 16)
+//!   --trace-dump PATH    write the /trace export here after the run
+
+use qtls_server::loadgen::{self, ClientConfig, LoadStats};
+use qtls_server::{parse_ssl_engine_conf, Cluster, ContentStore};
+use qtls_tls::server::ServerConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Options {
+    clients: usize,
+    duration: Duration,
+    path: String,
+    requests: usize,
+    resumes: usize,
+    workers: usize,
+    trace_sample: u64,
+    trace_dump: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        clients: 4,
+        duration: Duration::from_millis(1000),
+        path: "/16kb".to_string(),
+        requests: 2,
+        resumes: 0,
+        workers: 2,
+        trace_sample: 16,
+        trace_dump: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| args.next().unwrap_or_else(|| panic!("{flag} needs {what}"));
+        match flag.as_str() {
+            "--clients" => opts.clients = value("a count").parse().expect("--clients N"),
+            "--duration-ms" => {
+                opts.duration =
+                    Duration::from_millis(value("milliseconds").parse().expect("--duration-ms N"))
+            }
+            "--path" => opts.path = value("a path"),
+            "--requests" => opts.requests = value("a count").parse().expect("--requests N"),
+            "--resumes" => opts.resumes = value("a count").parse().expect("--resumes N"),
+            "--workers" => opts.workers = value("a count").parse().expect("--workers N"),
+            "--trace-sample" => {
+                opts.trace_sample = value("a rate").parse().expect("--trace-sample N")
+            }
+            "--trace-dump" => opts.trace_dump = Some(value("a file path").into()),
+            other => panic!("unknown flag {other} (see the doc comment for usage)"),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let conf = format!(
+        "worker_processes {};\n\
+         ssl_engine {{\n    use qat_engine;\n    qat_engine {{\n        \
+         qat_offload_mode async;\n        qat_notify_mode poll;\n    }}\n}}\n\
+         qat_metrics on;\n\
+         trace_sample_rate {};\n",
+        opts.workers, opts.trace_sample
+    );
+    let directives = parse_ssl_engine_conf(&conf).expect("generated conf parses");
+    let cluster = Cluster::start(
+        &directives,
+        ServerConfig::test_default(),
+        Arc::new(ContentStore::new()),
+    );
+    let listener = cluster.listener();
+
+    let cfg = ClientConfig {
+        request_path: Some(opts.path.clone()),
+        requests_per_conn: opts.requests.max(1),
+        resumes_per_full: opts.resumes,
+        ..ClientConfig::default()
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(LoadStats::default());
+    let t0 = Instant::now();
+    let handles = loadgen::spawn_clients(
+        Arc::clone(&listener),
+        cfg,
+        opts.clients,
+        Arc::clone(&stop),
+        Arc::clone(&stats),
+    );
+    std::thread::sleep(opts.duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed();
+    println!("loadgen: {}", stats.summary(elapsed));
+
+    // End-of-run artifact: the connections above are already reaped and
+    // published (each client stream closes its socket before opening the
+    // next), so one more short connection can export the span trees.
+    if let Some(path) = &opts.trace_dump {
+        match loadgen::trace_dump(&listener, path, 0x7d_0000_0001, Duration::from_secs(30)) {
+            Ok(bytes) => println!("trace-dump: wrote {} ({bytes} bytes)", path.display()),
+            Err(e) => {
+                cluster.shutdown();
+                panic!("trace-dump failed: {e:?}");
+            }
+        }
+    }
+    cluster.shutdown();
+}

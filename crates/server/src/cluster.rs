@@ -5,6 +5,7 @@
 
 use crate::config_file::EngineDirectives;
 use crate::http::ContentStore;
+use crate::metrics::MetricsPlane;
 use crate::net::VListener;
 use crate::sched::{least_loaded_pick, DispatchPolicy, SchedShared, DISPATCH_PROBE};
 use crate::worker::{Worker, WorkerConfig, WorkerStats};
@@ -13,7 +14,7 @@ use qtls_qat::QatDevice;
 use qtls_tls::server::ServerConfig;
 use qtls_tls::store::{SharedSessionStore, TicketKeyRing};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Per-worker dispatch accounting kept by the master dispatcher.
@@ -100,6 +101,10 @@ pub struct Cluster {
     worker_listeners: Vec<Arc<VListener>>,
     dispatch: Arc<DispatchCounters>,
     sched: Arc<SchedShared>,
+    /// Each worker's metrics plane, published by the worker thread as it
+    /// boots (None until then) — lets in-process callers aggregate the
+    /// per-worker trace sinks without an in-band scrape.
+    planes: Arc<Mutex<Vec<Option<Arc<MetricsPlane>>>>>,
 }
 
 impl Cluster {
@@ -138,6 +143,16 @@ impl Cluster {
         let worker_listeners: Vec<Arc<VListener>> = (0..directives.worker_processes)
             .map(|_| Arc::new(VListener::with_capacity(directives.admission.backlog_cap)))
             .collect();
+        // Queue-delay attribution: stamp sockets at arrival on the shared
+        // listener so a sampled connection's accept-wait span covers the
+        // whole dispatch path (shared backlog + worker backlog), not just
+        // the last hop.
+        if directives.metrics.trace_sample_rate > 0 {
+            listener.set_queue_timestamps(true);
+            for target in &worker_listeners {
+                target.set_queue_timestamps(true);
+            }
+        }
         let dispatch = Arc::new(DispatchCounters::new(directives.worker_processes));
         let sched = Arc::new(SchedShared::new(
             directives.worker_processes,
@@ -196,7 +211,12 @@ impl Cluster {
                             let gen = sched.drain_generation();
                             for attempt in 0..targets.len() {
                                 let i = (start + attempt) % targets.len();
-                                match targets[i].inject(pending.take().expect("socket present")) {
+                                let mut sock = pending.take().expect("socket present");
+                                // Annotate how many backlogs this socket
+                                // was walked past; a sampled connection
+                                // surfaces it on its accept-wait span.
+                                sock.set_dispatch_probes(sock.dispatch_probes() + 1);
+                                match targets[i].inject(sock) {
                                     Ok(()) => {
                                         counters.dispatched[i].fetch_add(1, Ordering::Relaxed);
                                         next = i + 1;
@@ -248,6 +268,8 @@ impl Cluster {
                 })
                 .expect("spawn dispatcher")
         };
+        let planes: Arc<Mutex<Vec<Option<Arc<MetricsPlane>>>>> =
+            Arc::new(Mutex::new(vec![None; directives.worker_processes]));
         let handles = (0..directives.worker_processes)
             .map(|i| {
                 let mut cfg = WorkerConfig::from_directives(directives);
@@ -259,10 +281,13 @@ impl Cluster {
                 let listener = Arc::clone(&worker_listeners[i]);
                 let device = device.clone();
                 let stop = Arc::clone(&stop);
+                let planes = Arc::clone(&planes);
                 std::thread::Builder::new()
                     .name(format!("qtls-worker-{i}"))
                     .spawn(move || {
                         let mut worker = Worker::new(listener, device.as_deref(), cfg);
+                        planes.lock().expect("planes lock")[i] =
+                            Some(Arc::clone(worker.metrics_plane()));
                         let mut drain: Option<Instant> = None;
                         worker.run_until(|w| {
                             if !stop.load(Ordering::Relaxed) {
@@ -292,7 +317,14 @@ impl Cluster {
             worker_listeners,
             dispatch,
             sched,
+            planes,
         }
+    }
+
+    /// Each worker's metrics plane, in worker order (None for workers
+    /// that have not finished booting yet).
+    pub fn metrics_planes(&self) -> Vec<Option<Arc<MetricsPlane>>> {
+        self.planes.lock().expect("planes lock").clone()
     }
 
     /// The cluster's scheduling plane (load gauges, steal accounting).

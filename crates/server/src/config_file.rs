@@ -400,6 +400,28 @@ pub fn parse_ssl_engine_conf(input: &str) -> Result<EngineDirectives, ConfError>
                 }
                 out.metrics.flight_capacity = capacity;
             }
+            "qat_anomaly_interval_ms" => {
+                let interval = parse_u64(&value)?;
+                if interval == 0 {
+                    return Err(ConfError::BadValue(token.clone()));
+                }
+                out.metrics.anomaly_interval_ms = interval;
+            }
+            "trace_sample_rate" => {
+                out.metrics.trace_sample_rate = parse_u64(&value)?;
+            }
+            "trace_buffer_spans" => {
+                let spans = parse_u64(&value)? as usize;
+                if spans == 0 {
+                    return Err(ConfError::BadValue(token.clone()));
+                }
+                out.metrics.trace_buffer_spans = spans;
+            }
+            "trace_export" => match value.as_str() {
+                "on" => out.metrics.trace_export = true,
+                "off" => out.metrics.trace_export = false,
+                _ => return Err(ConfError::BadValue(token.clone())),
+            },
             _ => return Err(ConfError::BadDirective(token.clone())),
         }
     }
@@ -669,6 +691,10 @@ ssl_engine {
         qat_metrics on;
         qat_metrics_anomaly_p99_us 5000;
         qat_metrics_flight_capacity 512;
+        qat_anomaly_interval_ms 20;
+        trace_sample_rate 64;
+        trace_buffer_spans 8192;
+        trace_export off;
     }
 }
 "#;
@@ -676,7 +702,12 @@ ssl_engine {
         assert!(d.metrics.enabled);
         assert_eq!(d.metrics.anomaly_p99_us, 5000);
         assert_eq!(d.metrics.flight_capacity, 512);
-        // Defaults: off, no anomaly threshold, default ring capacity.
+        assert_eq!(d.metrics.anomaly_interval_ms, 20);
+        assert_eq!(d.metrics.trace_sample_rate, 64);
+        assert_eq!(d.metrics.trace_buffer_spans, 8192);
+        assert!(!d.metrics.trace_export);
+        // Defaults: off, no anomaly threshold, default ring capacity,
+        // tracing off with export allowed.
         let d = parse_ssl_engine_conf(APPENDIX_EXAMPLE).unwrap();
         assert!(!d.metrics.enabled);
         assert_eq!(d.metrics.anomaly_p99_us, 0);
@@ -684,6 +715,16 @@ ssl_engine {
             d.metrics.flight_capacity,
             qtls_core::obs::FLIGHT_CAPACITY_DEFAULT
         );
+        assert_eq!(
+            d.metrics.anomaly_interval_ms,
+            crate::metrics::ANOMALY_INTERVAL_MS_DEFAULT
+        );
+        assert_eq!(d.metrics.trace_sample_rate, 0);
+        assert_eq!(
+            d.metrics.trace_buffer_spans,
+            qtls_core::obs::TRACE_BUFFER_SPANS_DEFAULT
+        );
+        assert!(d.metrics.trace_export);
     }
 
     #[test]
@@ -692,6 +733,10 @@ ssl_engine {
             "ssl_engine { use qat_engine; qat_engine { qat_metrics maybe; } }",
             "ssl_engine { use qat_engine; qat_engine { qat_metrics_flight_capacity 0; } }",
             "ssl_engine { use qat_engine; qat_engine { qat_metrics_anomaly_p99_us soon; } }",
+            "ssl_engine { use qat_engine; qat_engine { qat_anomaly_interval_ms 0; } }",
+            "ssl_engine { use qat_engine; qat_engine { trace_sample_rate often; } }",
+            "ssl_engine { use qat_engine; qat_engine { trace_buffer_spans 0; } }",
+            "ssl_engine { use qat_engine; qat_engine { trace_export maybe; } }",
         ] {
             assert!(
                 matches!(parse_ssl_engine_conf(bad), Err(ConfError::BadValue(_))),

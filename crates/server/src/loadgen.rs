@@ -132,6 +132,14 @@ pub enum ClientError {
     Timeout,
     /// Response was malformed.
     BadResponse(&'static str),
+    /// Filesystem failure writing a run artifact.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
 }
 
 impl From<TlsError> for ClientError {
@@ -667,6 +675,87 @@ pub fn latency_quantile(latencies: &[Duration], q: f64) -> Duration {
     sorted.sort();
     let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Fetch the worker's `/trace` Chrome trace-event export over an
+/// ordinary TLS connection — the load generator's end-of-run trace
+/// collection. The endpoint is served in-band like any content path, so
+/// this is one more short keep-alive-free GET against the listener. A
+/// non-200 answer (sampling off, `trace_export off`) is reported as
+/// [`ClientError::BadResponse`] rather than an empty artifact.
+pub fn fetch_trace(
+    listener: &VListener,
+    seed: u64,
+    timeout: Duration,
+) -> Result<String, ClientError> {
+    let deadline = Instant::now() + timeout;
+    let sock = listener.connect();
+    let mut session = ClientSession::new(
+        CryptoProvider::Software,
+        CipherSuite::EcdheRsa,
+        NamedCurve::P256,
+        None,
+        seed,
+    );
+    session.start()?;
+    pump_until(&mut session, &sock, deadline, |s| s.is_established())?;
+    session.write_app_data(b"GET /trace HTTP/1.1\r\nHost: qtls\r\nConnection: close\r\n\r\n")?;
+    let mut resp_buf: Vec<u8> = Vec::new();
+    let mut needed: Option<(usize, usize)> = None; // (total, header)
+    let mut malformed: Option<&'static str> = None;
+    pump_until(&mut session, &sock, deadline, |s| {
+        while let Some(chunk) = s.read_app_data() {
+            resp_buf.extend_from_slice(&chunk);
+        }
+        if needed.is_none() {
+            match response_progress(&resp_buf) {
+                ResponseProgress::Incomplete => {}
+                ResponseProgress::Complete {
+                    header_len,
+                    total_len,
+                } => needed = Some((total_len, header_len)),
+                ResponseProgress::Malformed(why) => {
+                    malformed = Some(why);
+                    return true;
+                }
+            }
+        }
+        needed.is_some_and(|(total, _)| resp_buf.len() >= total)
+    })?;
+    sock.close();
+    if let Some(why) = malformed {
+        return Err(ClientError::BadResponse(why));
+    }
+    let (total, header_len) = needed.ok_or(ClientError::BadResponse("response never completed"))?;
+    let head = std::str::from_utf8(&resp_buf[..header_len])
+        .map_err(|_| ClientError::BadResponse("non-UTF-8 response head"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or(ClientError::BadResponse("missing status line"))?;
+    if status != 200 {
+        return Err(ClientError::BadResponse(
+            "trace endpoint did not answer 200",
+        ));
+    }
+    String::from_utf8(resp_buf[header_len..total].to_vec())
+        .map_err(|_| ClientError::BadResponse("trace body is not UTF-8"))
+}
+
+/// The `--trace-dump <path>` flag: fetch `/trace` at the end of a run
+/// and write the JSON document to `path`, so benches and figure runs
+/// can archive span trees alongside their `BENCH_*.json` artifacts.
+/// Returns the number of bytes written.
+pub fn trace_dump(
+    listener: &VListener,
+    path: &std::path::Path,
+    seed: u64,
+    timeout: Duration,
+) -> Result<usize, ClientError> {
+    let doc = fetch_trace(listener, seed, timeout)?;
+    std::fs::write(path, &doc)?;
+    Ok(doc.len())
 }
 
 /// Spawn `n_clients` closed-loop client threads hammering `listener`

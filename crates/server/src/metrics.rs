@@ -9,7 +9,9 @@
 //! `qat_metrics off` (the default) the engine's record paths stay
 //! single-relaxed-load no-ops and `/metrics` answers 404.
 
-use qtls_core::obs::{self, promtext::PromText, EventKind, Phase, CLASS_LIST};
+use qtls_core::obs::{
+    self, promtext::PromText, EventKind, Phase, TraceSink, CLASS_LIST, SPAN_KIND_LIST,
+};
 use qtls_core::{HeuristicStats, OffloadEngine};
 use qtls_sync::Mutex;
 use std::fmt::Write as _;
@@ -29,7 +31,21 @@ pub struct MetricsConfig {
     pub anomaly_p99_us: u64,
     /// `qat_metrics_flight_capacity`: events retained by the recorder.
     pub flight_capacity: usize,
+    /// `qat_anomaly_interval_ms`: wall-clock cadence of the anomaly
+    /// check, replacing the historical every-256-iterations count.
+    pub anomaly_interval_ms: u64,
+    /// `trace_sample_rate`: sample 1-in-N connections for end-to-end
+    /// span tracing (0 = off).
+    pub trace_sample_rate: u64,
+    /// `trace_buffer_spans`: retained-span budget across buffered
+    /// connection traces.
+    pub trace_buffer_spans: usize,
+    /// `trace_export on|off`: serve the `/trace` Chrome-JSON endpoint.
+    pub trace_export: bool,
 }
+
+/// Default `qat_anomaly_interval_ms`.
+pub const ANOMALY_INTERVAL_MS_DEFAULT: u64 = 50;
 
 impl Default for MetricsConfig {
     fn default() -> Self {
@@ -37,6 +53,10 @@ impl Default for MetricsConfig {
             enabled: false,
             anomaly_p99_us: 0,
             flight_capacity: obs::FLIGHT_CAPACITY_DEFAULT,
+            anomaly_interval_ms: ANOMALY_INTERVAL_MS_DEFAULT,
+            trace_sample_rate: 0,
+            trace_buffer_spans: obs::TRACE_BUFFER_SPANS_DEFAULT,
+            trace_export: true,
         }
     }
 }
@@ -73,6 +93,7 @@ pub struct MetricsPlane {
     cfg: MetricsConfig,
     engine: Option<Arc<OffloadEngine>>,
     status: Mutex<StatusSnapshot>,
+    sink: Arc<TraceSink>,
 }
 
 impl MetricsPlane {
@@ -82,7 +103,16 @@ impl MetricsPlane {
             cfg,
             engine,
             status: Mutex::new(StatusSnapshot::default()),
+            sink: Arc::new(TraceSink::new(
+                cfg.trace_sample_rate,
+                cfg.trace_buffer_spans,
+            )),
         }
+    }
+
+    /// The connection-trace sink (sampling decisions + publishes).
+    pub fn trace_sink(&self) -> &Arc<TraceSink> {
+        &self.sink
     }
 
     /// Is the plane enabled (`qat_metrics on`)?
@@ -111,11 +141,15 @@ impl MetricsPlane {
         match path {
             "/stub_status" => {
                 let snap = self.snapshot();
-                let page = if query.split('&').any(|kv| kv == "format=kv") {
+                let kv = query.split('&').any(|kv| kv == "format=kv");
+                let mut page = if kv {
                     render_stub_status_kv(&snap, self.engine.as_deref())
                 } else {
                     render_stub_status(&snap, self.engine.as_deref())
                 };
+                if self.sink.enabled() {
+                    page.push_str(&render_trace_attribution(&self.sink, kv));
+                }
                 Some((200, "OK", page))
             }
             "/metrics" => {
@@ -132,6 +166,13 @@ impl MetricsPlane {
                         None => "flight: 0 recent events\n".to_string(),
                     };
                     Some((200, "OK", page))
+                } else {
+                    Some((404, "Not Found", String::new()))
+                }
+            }
+            "/trace" => {
+                if self.cfg.trace_export && self.sink.enabled() {
+                    Some((200, "OK", obs::chrome_trace_json(&self.sink.traces())))
                 } else {
                     Some((404, "Not Found", String::new()))
                 }
@@ -165,6 +206,11 @@ impl MetricsPlane {
         }
         if let Some((code, p99)) = worst {
             engine.obs().recorder().freeze(0, code, p99);
+            // Exemplar linkage: attach the slowest sampled connection's
+            // span tree so the spike comes with a concrete trace.
+            if let Some(trace) = self.sink.slowest() {
+                engine.obs().recorder().freeze_trace(trace);
+            }
         }
     }
 
@@ -189,16 +235,148 @@ impl MetricsPlane {
         if let Some(engine) = &self.engine {
             render_engine_section(&mut page, engine);
         }
+        if self.sink.enabled() {
+            render_trace_section(&mut page, &self.sink);
+        }
         page.finish()
     }
 }
 
+fn render_trace_section(page: &mut PromText, sink: &TraceSink) {
+    page.header(
+        "qtls_trace_sample_rate",
+        "gauge",
+        "Connection tracing samples 1-in-N connections (0 = off).",
+    );
+    page.sample("qtls_trace_sample_rate", &[], sink.sample_rate());
+    let counters: [(&str, &str, u64); 5] = [
+        (
+            "qtls_trace_sampled_total",
+            "Connections sampled for end-to-end span tracing.",
+            sink.sampled(),
+        ),
+        (
+            "qtls_trace_spans_total",
+            "Spans published across sampled connections.",
+            sink.spans_published(),
+        ),
+        (
+            "qtls_trace_dropped_total",
+            "Traces evicted from the buffer to stay under trace_buffer_spans.",
+            sink.dropped(),
+        ),
+        (
+            "qtls_trace_wall_us_total",
+            "Sum of sampled-connection wall times, microseconds.",
+            sink.wall_ns_total() / 1_000,
+        ),
+        (
+            "qtls_trace_covered_us_total",
+            "Sum of stage durations attributed across sampled connections, microseconds.",
+            sink.covered_ns_total() / 1_000,
+        ),
+    ];
+    for (name, help, value) in counters {
+        page.header(name, "counter", help);
+        page.sample(name, &[], value);
+    }
+    page.header(
+        "qtls_trace_stage_us",
+        "gauge",
+        "Per-stage latency attribution across sampled connections, microseconds.",
+    );
+    for kind in SPAN_KIND_LIST {
+        let snap = sink.stage_snapshot(kind);
+        let count = snap.count();
+        let mean_us = if count == 0 {
+            0
+        } else {
+            snap.sum / count / 1_000
+        };
+        let labels_mean = [("stage", kind.name()), ("stat", "mean")];
+        page.sample("qtls_trace_stage_us", &labels_mean, mean_us);
+        let labels_p99 = [("stage", kind.name()), ("stat", "p99")];
+        page.sample(
+            "qtls_trace_stage_us",
+            &labels_p99,
+            snap.quantile(0.99) / 1_000,
+        );
+    }
+}
+
+/// Render the latency-attribution table appended to `stub_status` when
+/// tracing is on: one row per stage (count / mean / p99, µs) plus a
+/// summary row whose covered-vs-wall ratio is the sum check — stage
+/// durations of every published trace must account for its root wall
+/// time (idle gaps are attributed explicitly, so the two match up to
+/// integer truncation).
+pub fn render_trace_attribution(sink: &TraceSink, kv: bool) -> String {
+    let mut page = String::new();
+    let wall_us = sink.wall_ns_total() / 1_000;
+    let covered_us = sink.covered_ns_total() / 1_000;
+    if kv {
+        let _ = writeln!(page, "trace_sample_rate {}", sink.sample_rate());
+        let _ = writeln!(page, "trace_sampled {}", sink.sampled());
+        let _ = writeln!(page, "trace_spans {}", sink.spans_published());
+        let _ = writeln!(page, "trace_dropped {}", sink.dropped());
+        let _ = writeln!(page, "trace_wall_us {wall_us}");
+        let _ = writeln!(page, "trace_covered_us {covered_us}");
+    } else {
+        let _ = writeln!(
+            page,
+            "trace: rate {} sampled {} spans {} dropped {} wall-us {} covered-us {}",
+            sink.sample_rate(),
+            sink.sampled(),
+            sink.spans_published(),
+            sink.dropped(),
+            wall_us,
+            covered_us,
+        );
+    }
+    for kind in SPAN_KIND_LIST {
+        let snap = sink.stage_snapshot(kind);
+        let count = snap.count();
+        let mean_us = if count == 0 {
+            0
+        } else {
+            snap.sum / count / 1_000
+        };
+        let p99_us = snap.quantile(0.99) / 1_000;
+        if kv {
+            let name = kind.name();
+            let _ = writeln!(page, "trace_stage_{name}_count {count}");
+            let _ = writeln!(page, "trace_stage_{name}_mean_us {mean_us}");
+            let _ = writeln!(page, "trace_stage_{name}_p99_us {p99_us}");
+        } else {
+            let _ = writeln!(
+                page,
+                "trace stage {}: count {} mean-us {} p99-us {}",
+                kind.name(),
+                count,
+                mean_us,
+                p99_us,
+            );
+        }
+    }
+    page
+}
+
 fn render_worker_section(page: &mut PromText, snap: &StatusSnapshot) {
-    let gauges: [(&str, &str, u64); 3] = [
+    let gauges: [(&str, &str, u64); 5] = [
         (
             "qtls_worker_connections_active",
             "TC_active: connections handshaking or with pending work.",
             snap.tc_active,
+        ),
+        (
+            "qtls_worker_connections_alive",
+            "TC_alive: all live connections (idle + active).",
+            snap.tc_alive,
+        ),
+        (
+            "qtls_worker_connections_idle",
+            "TC_idle: established connections with no pending work.",
+            snap.tc_idle,
         ),
         (
             "qtls_worker_load",
@@ -215,7 +393,7 @@ fn render_worker_section(page: &mut PromText, snap: &StatusSnapshot) {
         page.header(name, "gauge", help);
         page.sample(name, &[], value);
     }
-    let counters: [(&str, &str, u64); 18] = [
+    let counters: [(&str, &str, u64); 21] = [
         (
             "qtls_worker_steals_total",
             "Queued sockets stolen from a more-loaded peer's accept backlog.",
@@ -305,6 +483,21 @@ fn render_worker_section(page: &mut PromText, snap: &StatusSnapshot) {
             "qtls_admission_overloads_total",
             "Transitions into overload mode (inflight handshakes crossed the watermark).",
             snap.stats.overload_entered,
+        ),
+        (
+            "qtls_worker_closed_total",
+            "Connections closed and reaped by the worker.",
+            snap.stats.closed,
+        ),
+        (
+            "qtls_worker_ring_retries_total",
+            "Jobs rescheduled after a full request ring (event-loop backpressure).",
+            snap.stats.retries,
+        ),
+        (
+            "qtls_worker_cancelled_submits_total",
+            "Staged submissions cancelled at shutdown before reaching a ring.",
+            snap.stats.cancelled_submits,
         ),
     ];
     for (name, help, value) in counters {
@@ -426,6 +619,12 @@ fn render_engine_section(page: &mut PromText, engine: &Arc<OffloadEngine>) {
     }
 
     // Shard occupancy.
+    page.header(
+        "qtls_shard_count",
+        "gauge",
+        "Engine shards (QAT instance pairs) this worker submits to.",
+    );
+    page.sample("qtls_shard_count", &[], engine.shard_count() as u64);
     page.header(
         "qtls_shard_inflight",
         "gauge",

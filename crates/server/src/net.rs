@@ -40,6 +40,16 @@ pub struct VSocket {
     /// The peer's address (0 = unknown) — the source-address bit the
     /// admission layer binds retry tokens to.
     peer: u64,
+    /// Trace stamp: when this server-side socket entered a listener
+    /// backlog (0 = unstamped; only set while connection tracing is on,
+    /// see [`VListener::set_queue_timestamps`]).
+    queued_ns: u64,
+    /// Trace annotation: dispatch probes the cluster master spent
+    /// picking this socket's worker.
+    probes: u32,
+    /// Trace annotation: the socket reached its worker by work
+    /// stealing, not dispatch.
+    stolen: bool,
 }
 
 impl VSocket {
@@ -59,11 +69,17 @@ impl VSocket {
                 rx: Arc::clone(&a),
                 tx: Arc::clone(&b),
                 peer: 0,
+                queued_ns: 0,
+                probes: 0,
+                stolen: false,
             },
             VSocket {
                 rx: b,
                 tx: a,
                 peer: client_addr,
+                queued_ns: 0,
+                probes: 0,
+                stolen: false,
             },
         )
     }
@@ -71,6 +87,26 @@ impl VSocket {
     /// The peer's address (0 when the peer did not declare one).
     pub fn peer_addr(&self) -> u64 {
         self.peer
+    }
+
+    /// When this socket entered a listener backlog (0 = unstamped).
+    pub fn queued_ns(&self) -> u64 {
+        self.queued_ns
+    }
+
+    /// Dispatch probes spent routing this socket (trace annotation).
+    pub fn dispatch_probes(&self) -> u32 {
+        self.probes
+    }
+
+    /// Annotate the dispatch probe count (cluster master).
+    pub fn set_dispatch_probes(&mut self, probes: u32) {
+        self.probes = probes;
+    }
+
+    /// Did this socket arrive at its worker via work stealing?
+    pub fn stolen(&self) -> bool {
+        self.stolen
     }
 
     /// Read up to `buf.len()` bytes (non-blocking).
@@ -149,6 +185,11 @@ pub struct VListener {
     arrived: Condvar,
     cap: usize,
     rejected: AtomicU64,
+    /// When set, sockets entering the backlog are stamped with
+    /// [`qtls_core::obs::now_ns`] so the accepting worker can attribute
+    /// backlog wait time. Off by default: the accept path then performs
+    /// one relaxed load and no clock reads.
+    stamp: AtomicBool,
 }
 
 impl Default for VListener {
@@ -170,7 +211,13 @@ impl VListener {
             arrived: Condvar::new(),
             cap: cap.max(1),
             rejected: AtomicU64::new(0),
+            stamp: AtomicBool::new(false),
         }
+    }
+
+    /// Enable backlog-entry timestamping (connection tracing).
+    pub fn set_queue_timestamps(&self, on: bool) {
+        self.stamp.store(on, Ordering::Relaxed);
     }
 
     /// Client side: connect, returning the client socket.
@@ -182,7 +229,10 @@ impl VListener {
     /// side will see as [`VSocket::peer_addr`]). At a full backlog the
     /// connection is shed: the returned client socket reads `Closed`.
     pub fn connect_from(&self, addr: u64) -> VSocket {
-        let (client, server) = VSocket::pair_from(addr);
+        let (client, mut server) = VSocket::pair_from(addr);
+        if self.stamp.load(Ordering::Relaxed) {
+            server.queued_ns = qtls_core::obs::now_ns();
+        }
         let mut backlog = self.backlog.lock();
         if backlog.len() >= self.cap {
             drop(backlog);
@@ -206,7 +256,10 @@ impl VListener {
     /// At a full backlog the socket is handed back so the dispatcher
     /// can retry another worker or shed it knowingly — never a silent
     /// drop.
-    pub fn inject(&self, sock: VSocket) -> Result<(), VSocket> {
+    pub fn inject(&self, mut sock: VSocket) -> Result<(), VSocket> {
+        if sock.queued_ns == 0 && self.stamp.load(Ordering::Relaxed) {
+            sock.queued_ns = qtls_core::obs::now_ns();
+        }
         let mut backlog = self.backlog.lock();
         if backlog.len() >= self.cap {
             drop(backlog);
@@ -255,7 +308,9 @@ impl VListener {
         let take = (backlog.len() / 2).min(max);
         let mut stolen = Vec::with_capacity(take);
         for _ in 0..take {
-            stolen.push(backlog.pop_back().expect("len checked"));
+            let mut sock = backlog.pop_back().expect("len checked");
+            sock.stolen = true;
+            stolen.push(sock);
         }
         // Popped back-to-front: restore arrival order for the thief.
         stolen.reverse();

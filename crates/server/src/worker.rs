@@ -19,6 +19,7 @@ use crate::http::{self, ContentStore, ParseOutcome};
 use crate::metrics::{self, MetricsConfig, MetricsPlane, StatusSnapshot};
 use crate::net::{SockError, VListener, VSocket};
 use crate::sched::SchedShared;
+use qtls_core::obs::{self, ConnTrace, SpanKind};
 use qtls_core::{
     fiber, AsyncQueue, EngineMode, FdSelector, FlushPolicyConfig, HeuristicConfig, HeuristicPoller,
     NotifyScheme, OffloadEngine, OffloadProfile, PollingScheme, ShardPolicy, StartResult,
@@ -258,6 +259,13 @@ struct ConnCtx {
     wire_out: Vec<u8>,
     record_offload: bool,
     record_batch: usize,
+    /// The connection's span tree when it was sampled for tracing;
+    /// `None` (no allocation, no clock reads) otherwise.
+    trace: Option<ConnTrace>,
+    /// Open handshake span, until the flight that completes it.
+    hs_span: Option<u32>,
+    /// Open serve span for the current established service pass.
+    serve_span: Option<u32>,
 }
 
 /// Result of one service pass over a connection.
@@ -329,12 +337,22 @@ fn service(ctx: &mut ConnCtx, content: &ContentStore, plane: &MetricsPlane) -> S
     }
     if let Some(codec) = &mut ctx.codec {
         let mut plain = Vec::new();
+        let open_span = ctx
+            .trace
+            .as_mut()
+            .map(|t| t.begin(SpanKind::RecordOpen, obs::now_ns()));
         match codec.open_into(&mut plain, &ctx.provider, &mut ctx.counters) {
-            Ok(_) => {
+            Ok(records) => {
+                if let (Some(trace), Some(id)) = (&mut ctx.trace, open_span) {
+                    trace.end_annotated(id, obs::now_ns(), records as u64, plain.len() as u64);
+                }
                 report.bytes_received += plain.len() as u64;
                 ctx.http_buf.extend_from_slice(&plain);
             }
             Err(e) => {
+                if let (Some(trace), Some(id)) = (&mut ctx.trace, open_span) {
+                    trace.end(id, obs::now_ns());
+                }
                 report.error = Some(e);
                 report.close = true;
                 return report;
@@ -393,14 +411,30 @@ fn service(ctx: &mut ConnCtx, content: &ContentStore, plane: &MetricsPlane) -> S
     // descriptors — one doorbell per batch, not per record.
     if let Some(codec) = &mut ctx.codec {
         if codec.staged_bytes() > 0 {
-            if let Err(e) = codec.flush_into(
+            let wire_before = ctx.wire_out.len();
+            let seal_span = ctx
+                .trace
+                .as_mut()
+                .map(|t| t.begin(SpanKind::RecordSeal, obs::now_ns()));
+            match codec.flush_into(
                 &mut ctx.wire_out,
                 &ctx.provider,
                 &mut ctx.counters,
                 &mut ctx.rng,
             ) {
-                report.error = Some(e);
-                report.close = true;
+                Ok(records) => {
+                    if let (Some(trace), Some(id)) = (&mut ctx.trace, seal_span) {
+                        let sealed = (ctx.wire_out.len() - wire_before) as u64;
+                        trace.end_annotated(id, obs::now_ns(), records as u64, sealed);
+                    }
+                }
+                Err(e) => {
+                    if let (Some(trace), Some(id)) = (&mut ctx.trace, seal_span) {
+                        trace.end(id, obs::now_ns());
+                    }
+                    report.error = Some(e);
+                    report.close = true;
+                }
             }
         }
     }
@@ -438,6 +472,19 @@ struct Conn {
     pre_buf: Vec<u8>,
     /// The client's declared address, which retry tokens bind to.
     peer_addr: u64,
+    /// This connection carries a span trace (mirrors `ctx.trace` so the
+    /// worker can skip clock reads without touching the driver).
+    sampled: bool,
+    /// When the admission gate first engaged (0 = not measuring).
+    gate_start_ns: u64,
+    /// How the gate resolved: 0 passed, 1 challenged, 2 token verified.
+    admitted_via: u64,
+    /// Open offload-wait interval: (start, engine submit annotation)
+    /// — measured on the worker side while the ctx is away in a fiber.
+    await_open: Option<(u64, Option<(u32, u64)>)>,
+    /// Closed offload-wait intervals awaiting transfer into the trace:
+    /// (start, end, shard, path).
+    await_spans: Vec<(u64, u64, u64, u64)>,
 }
 
 /// The event-driven worker.
@@ -456,6 +503,9 @@ pub struct Worker {
     session_seed: u64,
     plane: Arc<MetricsPlane>,
     iterations: u64,
+    /// Coarse stamp of the last anomaly check (wall cadence, not
+    /// iteration counts — see `qat_anomaly_interval_ms`).
+    last_anomaly_check_ms: u64,
     /// Inflight handshakes crossed the admission watermark last sweep.
     in_overload: bool,
     /// Set at shutdown: stop taking new accepts so still-queued
@@ -533,6 +583,11 @@ impl Worker {
             }
         }
         let plane = Arc::new(MetricsPlane::new(cfg.metrics, engine.clone()));
+        // Connection tracing: stamp backlog entry times on this worker's
+        // listener so accept-wait spans have a start edge.
+        if cfg.metrics.trace_sample_rate > 0 {
+            listener.set_queue_timestamps(true);
+        }
         Worker {
             cfg,
             listener,
@@ -547,6 +602,7 @@ impl Worker {
             session_seed: 0x9_0000_0000,
             plane,
             iterations: 0,
+            last_anomaly_check_ms: 0,
             in_overload: false,
             accepts_paused: false,
         }
@@ -810,8 +866,17 @@ impl Worker {
         }
         self.iterations += 1;
         self.plane.update(self.status_snapshot());
-        if self.iterations % 256 == 0 {
-            self.plane.check_anomaly();
+        // Anomaly check on a wall-clock cadence: an iteration-count
+        // cadence ran 256 sweeps apart, which on a saturated loop could
+        // be microseconds and on an idle one could be never-in-time.
+        if self.cfg.metrics.enabled && self.cfg.metrics.anomaly_p99_us > 0 {
+            let now_ms = qtls_qat::trace::now_ms();
+            if now_ms.saturating_sub(self.last_anomaly_check_ms)
+                >= self.cfg.metrics.anomaly_interval_ms
+            {
+                self.last_anomaly_check_ms = now_ms;
+                self.plane.check_anomaly();
+            }
         }
         events
     }
@@ -841,6 +906,31 @@ impl Worker {
             self.session_seed,
         ));
         let peer_addr = sock.peer_addr();
+        // 1-in-N sampling decision — one relaxed fetch_add when tracing
+        // is on, one relaxed load when off. A sampled connection's root
+        // span opens at backlog entry (if stamped) so the accept wait is
+        // inside the connection's wall time.
+        let trace = self.plane.trace_sink().sample().map(|conn_id| {
+            let now = obs::now_ns();
+            let queued = sock.queued_ns();
+            let start = if queued != 0 && queued < now {
+                queued
+            } else {
+                now
+            };
+            let mut trace = ConnTrace::new(conn_id, self.cfg.worker_index as u32, start);
+            if queued != 0 && queued < now {
+                trace.add(
+                    SpanKind::AcceptWait,
+                    queued,
+                    now,
+                    u64::from(sock.dispatch_probes()),
+                    u64::from(sock.stolen()),
+                );
+            }
+            trace
+        });
+        let sampled = trace.is_some();
         self.conns.insert(
             id,
             Conn {
@@ -855,6 +945,9 @@ impl Worker {
                     wire_out: Vec::new(),
                     record_offload: self.cfg.record_offload,
                     record_batch: self.cfg.record_batch,
+                    trace,
+                    hs_span: None,
+                    serve_span: None,
                 }),
                 fd: None,
                 established: false,
@@ -862,6 +955,11 @@ impl Worker {
                 admitted: !self.cfg.admission.enabled,
                 pre_buf: Vec::new(),
                 peer_addr,
+                sampled,
+                gate_start_ns: 0,
+                admitted_via: 0,
+                await_open: None,
+                await_spans: Vec::new(),
             },
         );
         self.stats.accepted += 1;
@@ -961,6 +1059,7 @@ impl Worker {
                 }
                 self.stats.tokens_verified += 1;
                 conn.admitted = true;
+                conn.admitted_via = 2;
                 conn.pre_buf.drain(..consumed);
                 true
             }
@@ -976,6 +1075,7 @@ impl Worker {
                         .mint_retry_token(conn.peer_addr, now);
                     let _ = conn.sock.write(&admission::challenge_frame(&token));
                     self.stats.challenges_sent += 1;
+                    conn.admitted_via = 1;
                     self.remove_conn(id);
                     return false;
                 }
@@ -993,13 +1093,41 @@ impl Worker {
         if !matches!(conn.driver, Driver::Idle(_)) {
             return; // still awaiting an async event
         }
-        if !conn.admitted && !self.admission_gate(id) {
-            return;
+        if !conn.admitted {
+            // Admission round-trip span: opens when the gate first sees
+            // the connection, closes when it passes (or in `remove_conn`
+            // when it is challenged away).
+            if conn.sampled && conn.gate_start_ns == 0 {
+                conn.gate_start_ns = obs::now_ns();
+            }
+            if !self.admission_gate(id) {
+                return;
+            }
         }
         let conn = self.conns.get_mut(&id).expect("gate keeps admitted conns");
         let Driver::Idle(mut ctx) = std::mem::replace(&mut conn.driver, Driver::Taken) else {
             unreachable!("checked above")
         };
+        if let Some(trace) = &mut ctx.trace {
+            let now = obs::now_ns();
+            if conn.gate_start_ns != 0 {
+                trace.add(
+                    SpanKind::Admission,
+                    conn.gate_start_ns,
+                    now,
+                    conn.admitted_via,
+                    0,
+                );
+                conn.gate_start_ns = 0;
+            }
+            if !conn.established {
+                if ctx.hs_span.is_none() {
+                    ctx.hs_span = Some(trace.begin(SpanKind::Handshake, now));
+                }
+            } else if ctx.serve_span.is_none() {
+                ctx.serve_span = Some(trace.begin(SpanKind::Serve, now));
+            }
+        }
         // Feed everything readable: first any bytes the admission gate
         // buffered ahead of the handshake, then fresh reads — to the
         // data-plane codec once the connection has handed off, to the
@@ -1079,6 +1207,9 @@ impl Worker {
             None => unreachable!("async profile without notification"),
         }
         let conn = self.conns.get_mut(&id).expect("exists");
+        if conn.sampled && conn.await_open.is_none() {
+            conn.await_open = Some((obs::now_ns(), job.wait_ctx().submit_info()));
+        }
         conn.driver = Driver::Awaiting {
             job,
             saved_read: false,
@@ -1097,6 +1228,16 @@ impl Worker {
         else {
             return;
         };
+        // Close the offload-wait interval at the moment the notification
+        // is acted on — submit → notify → resume is the paper's async
+        // round trip, and it all happened while the ctx was in the job.
+        if conn.sampled {
+            if let Some((start, info)) = conn.await_open.take() {
+                let (shard, path) = info.unwrap_or((0, 0));
+                conn.await_spans
+                    .push((start, obs::now_ns(), u64::from(shard), path));
+            }
+        }
         self.stats.resumptions += 1;
         match job.resume() {
             StartResult::Finished((ctx, report)) => {
@@ -1114,6 +1255,9 @@ impl Worker {
                 // Another crypto op inside the same service pass.
                 let retry = job.wait_ctx().take_retry();
                 let conn = self.conns.get_mut(&id).expect("exists");
+                if conn.sampled {
+                    conn.await_open = Some((obs::now_ns(), job.wait_ctx().submit_info()));
+                }
                 conn.driver = Driver::Awaiting {
                     job,
                     saved_read,
@@ -1133,6 +1277,30 @@ impl Worker {
         }
         if !wire.is_empty() {
             let _ = conn.sock.write(&wire);
+        }
+        // Fold the pass's offload waits into the trace (they become
+        // children of whichever control-plane span is still open), then
+        // close the spans this pass resolved.
+        if let Some(trace) = &mut ctx.trace {
+            for (start, end, shard, path) in conn.await_spans.drain(..) {
+                trace.add(SpanKind::OffloadWait, start, end, shard, path);
+            }
+            let now = obs::now_ns();
+            if report.handshake_done {
+                if let Some(hs) = ctx.hs_span.take() {
+                    let resume_tag = if report.resumed {
+                        1
+                    } else if report.resume_miss {
+                        2
+                    } else {
+                        0
+                    };
+                    trace.end_annotated(hs, now, resume_tag, u64::from(report.handoff));
+                }
+            }
+            if let Some(sv) = ctx.serve_span.take() {
+                trace.end_annotated(sv, now, report.requests, report.bytes_sent);
+            }
         }
         if report.handoff {
             self.stats.record_handoffs += 1;
@@ -1160,9 +1328,42 @@ impl Worker {
     }
 
     fn remove_conn(&mut self, id: u64) {
-        if let Some(conn) = self.conns.remove(&id) {
+        if let Some(mut conn) = self.conns.remove(&id) {
             if let (Some(fd), Some(sel)) = (&conn.fd, &self.selector) {
                 sel.deregister(fd.id);
+            }
+            // Publish the connection's span tree on teardown — the only
+            // point where the tree is guaranteed complete. Challenged or
+            // errored connections publish partial trees, which is the
+            // point: the gate's work is visible even when nothing else
+            // happened.
+            if conn.sampled {
+                let now = obs::now_ns();
+                let trace = match &mut conn.driver {
+                    Driver::Idle(ctx) => ctx.trace.take(),
+                    // Torn down mid-offload: the ctx (and its trace) is
+                    // away in the fiber; nothing to publish.
+                    _ => None,
+                };
+                if let Some(mut trace) = trace {
+                    if let Some((start, info)) = conn.await_open.take() {
+                        let (shard, path) = info.unwrap_or((0, 0));
+                        conn.await_spans.push((start, now, u64::from(shard), path));
+                    }
+                    for (start, end, shard, path) in conn.await_spans.drain(..) {
+                        trace.add(SpanKind::OffloadWait, start, end, shard, path);
+                    }
+                    if conn.gate_start_ns != 0 {
+                        trace.add(
+                            SpanKind::Admission,
+                            conn.gate_start_ns,
+                            now,
+                            conn.admitted_via,
+                            0,
+                        );
+                    }
+                    self.plane.trace_sink().publish(trace, now);
+                }
             }
             conn.sock.close();
             self.stats.closed += 1;

@@ -719,24 +719,36 @@ fn https_get(
 fn stub_status_kv_is_a_superset_of_the_human_page() {
     // Invariant: every numeric field of the human stub_status page has a
     // kv key carrying the same value (the kv page may add more), on a
-    // sharded worker so the shard section is exercised too.
+    // sharded worker with tracing on so the shard section and the
+    // latency-attribution table are both exercised.
     let listener = Arc::new(VListener::new());
     let device = QatDevice::new(QatConfig {
         endpoints: 2,
         engines_per_endpoint: 2,
         ..QatConfig::functional_small()
     });
-    let mut worker = Worker::new(
-        Arc::clone(&listener),
-        Some(&device),
-        WorkerConfig::new(OffloadProfile::Qtls),
-    );
+    let mut cfg = WorkerConfig::new(OffloadProfile::Qtls);
+    cfg.metrics.enabled = true;
+    cfg.metrics.trace_sample_rate = 1;
+    let mut worker = Worker::new(Arc::clone(&listener), Some(&device), cfg);
+    // One closed connection so at least one span tree has been published
+    // into the attribution table, one still alive for the gauges.
+    let (closed_sock, _closed_client) = hand_establish(&mut worker, &listener, 600);
+    closed_sock.close();
+    for _ in 0..50 {
+        worker.run_iteration();
+    }
     let (_sock, _client) = hand_establish(&mut worker, &listener, 601);
     for _ in 0..50 {
         worker.run_iteration();
     }
-    let human = worker.stub_status();
-    let kv_page = worker.stub_status_kv();
+    // Through the plane, not worker.stub_status(): the attribution table
+    // is appended by the endpoint, which is what scrapers see.
+    let plane = Arc::clone(worker.metrics_plane());
+    let (status, _, human) = plane.serve("/stub_status", "").expect("stub page");
+    assert_eq!(status, 200);
+    let (status, _, kv_page) = plane.serve("/stub_status", "format=kv").expect("kv page");
+    assert_eq!(status, 200);
     let kv: std::collections::HashMap<String, u64> = kv_page
         .lines()
         .map(|l| {
@@ -807,8 +819,34 @@ fn stub_status_kv_is_a_superset_of_the_human_page() {
             pairs.push((format!("shard{i}_holds"), f[7].parse().unwrap()));
             pairs.push((format!("shard{i}_forced"), f[9].parse().unwrap()));
             ewma_decimals.push((format!("shard{i}_ewma_depth_milli"), f[5].to_string()));
+        } else if line.starts_with("trace:") {
+            for (key, idx) in [
+                ("trace_sample_rate", 2),
+                ("trace_sampled", 4),
+                ("trace_spans", 6),
+                ("trace_dropped", 8),
+                ("trace_wall_us", 10),
+                ("trace_covered_us", 12),
+            ] {
+                pairs.push((key.into(), f[idx].parse().unwrap()));
+            }
+        } else if line.starts_with("trace stage ") {
+            let name = f[2].trim_end_matches(':');
+            pairs.push((format!("trace_stage_{name}_count"), f[4].parse().unwrap()));
+            pairs.push((format!("trace_stage_{name}_mean_us"), f[6].parse().unwrap()));
+            pairs.push((format!("trace_stage_{name}_p99_us"), f[8].parse().unwrap()));
         }
     }
+    assert!(
+        pairs.iter().any(|(k, v)| k == "trace_sampled" && *v > 0),
+        "tracing-on page must carry a populated attribution table: {human}"
+    );
+    assert!(
+        pairs
+            .iter()
+            .any(|(k, _)| k == "trace_stage_handshake_count"),
+        "attribution table must list every stage: {human}"
+    );
     assert!(
         pairs.iter().any(|(k, _)| k == "shards_count"),
         "sharded page must carry the shard section: {human}"
@@ -829,6 +867,121 @@ fn stub_status_kv_is_a_superset_of_the_human_page() {
         let milli = kv.get(&key).copied().expect("ewma kv key");
         assert_eq!(format!("{}.{:03}", milli / 1000, milli % 1000), decimal);
     }
+}
+
+/// The Prometheus family responsible for a `stub_status?format=kv` key.
+/// Panics on an unmapped key — adding a kv counter without a registered
+/// family is exactly the regression this audit exists to catch.
+fn prom_family_for_kv_key(key: &str) -> &'static str {
+    if let Some(rest) = key.strip_prefix("shard") {
+        if rest.starts_with(|c: char| c.is_ascii_digit()) {
+            return if rest.ends_with("_inflight") {
+                "qtls_shard_inflight"
+            } else if rest.ends_with("_ewma_depth_milli") {
+                "qtls_submit_ewma_depth_milli"
+            } else if rest.ends_with("_holds") {
+                "qtls_submit_holds_total"
+            } else if rest.ends_with("_forced") {
+                "qtls_submit_forced_flushes_total"
+            } else {
+                panic!("per-shard kv key {key} has no mapped Prometheus family")
+            };
+        }
+    }
+    if key.starts_with("trace_stage_") {
+        return "qtls_trace_stage_us";
+    }
+    match key {
+        "active_connections" | "tls_alive" => "qtls_worker_connections_alive",
+        "tls_idle" => "qtls_worker_connections_idle",
+        "tls_active" => "qtls_worker_connections_active",
+        "accepts" | "admission_accepted" => "qtls_worker_accepts_total",
+        "handled" | "handshakes" => "qtls_worker_handshakes_total",
+        "requests" => "qtls_worker_requests_total",
+        "async_jobs" => "qtls_worker_async_jobs_total",
+        "resumptions" => "qtls_worker_resumptions_total",
+        "bytes_sent" => "qtls_worker_bytes_sent_total",
+        "bytes_received" => "qtls_worker_bytes_received_total",
+        "record_handoffs" => "qtls_worker_record_handoffs_total",
+        "submit_flushes" => "qtls_submit_flushes_total",
+        "submit_flushed" => "qtls_submit_flushed_requests_total",
+        "submit_max_depth" => "qtls_submit_max_depth",
+        "submit_deferred" => "qtls_submit_deferred_total",
+        "submit_holds" | "shards_holds" => "qtls_submit_holds_total",
+        "submit_forced" | "shards_forced" => "qtls_submit_forced_flushes_total",
+        "submit_bypassed" => "qtls_submit_bypassed_total",
+        "submit_ewma_depth_milli" => "qtls_submit_ewma_depth_milli",
+        "admission_challenges" => "qtls_admission_challenges_total",
+        "admission_tokens_verified" => "qtls_admission_tokens_verified_total",
+        "admission_tokens_rejected" => "qtls_admission_tokens_rejected_total",
+        "admission_accept_sheds" => "qtls_admission_accept_sheds_total",
+        "admission_overloads" => "qtls_admission_overloads_total",
+        "sched_load" => "qtls_worker_load",
+        "sched_steals" => "qtls_worker_steals_total",
+        "sched_policy" => "qtls_dispatch_policy",
+        "resumed_handshakes" => "qtls_worker_resumed_handshakes_total",
+        "resume_miss" => "qtls_worker_resume_miss_total",
+        "errors" => "qtls_worker_errors_total",
+        "closed" => "qtls_worker_closed_total",
+        "retries" => "qtls_worker_ring_retries_total",
+        "cancelled_submits" => "qtls_worker_cancelled_submits_total",
+        "kernel_switches" => "qtls_worker_kernel_switches_total",
+        "poll_efficiency" | "poll_timeliness" | "poll_failover" => "qtls_poll_fired_total",
+        "poll_wasted" => "qtls_poll_wasted_total",
+        "poll_responses" => "qtls_poll_responses_total",
+        "poll_shards_swept" => "qtls_poll_shards_swept_total",
+        "shards_count" => "qtls_shard_count",
+        "shards_inflight" => "qtls_shard_inflight",
+        "trace_sample_rate" => "qtls_trace_sample_rate",
+        "trace_sampled" => "qtls_trace_sampled_total",
+        "trace_spans" => "qtls_trace_spans_total",
+        "trace_dropped" => "qtls_trace_dropped_total",
+        "trace_wall_us" => "qtls_trace_wall_us_total",
+        "trace_covered_us" => "qtls_trace_covered_us_total",
+        _ => panic!("kv key {key} has no mapped Prometheus family — register one"),
+    }
+}
+
+#[test]
+fn every_kv_counter_has_a_registered_prometheus_family() {
+    // Registry audit: every key the machine-readable stub page exposes
+    // maps to a family that is in obs::registry::METRIC_NAMES AND is
+    // actually rendered by /metrics on the same worker — stub_status
+    // and the Prometheus exposition must not drift apart.
+    use qtls_core::obs;
+    let listener = Arc::new(VListener::new());
+    let device = QatDevice::new(QatConfig {
+        endpoints: 2,
+        engines_per_endpoint: 2,
+        ..QatConfig::functional_small()
+    });
+    let mut cfg = WorkerConfig::new(OffloadProfile::Qtls);
+    cfg.metrics.enabled = true;
+    cfg.metrics.trace_sample_rate = 1;
+    let mut worker = Worker::new(Arc::clone(&listener), Some(&device), cfg);
+    let (sock, _client) = hand_establish(&mut worker, &listener, 611);
+    sock.close();
+    for _ in 0..50 {
+        worker.run_iteration();
+    }
+    let plane = Arc::clone(worker.metrics_plane());
+    let (_, _, kv_page) = plane.serve("/stub_status", "format=kv").expect("kv page");
+    let (_, _, metrics_page) = plane.serve("/metrics", "").expect("metrics page");
+    let mut checked = 0usize;
+    for line in kv_page.lines() {
+        let key = line.split(' ').next().expect("kv key");
+        let family = prom_family_for_kv_key(key);
+        assert!(
+            obs::registry::is_registered(family),
+            "family {family} (for kv key {key}) not in obs::registry::METRIC_NAMES"
+        );
+        assert!(
+            metrics_page.contains(&format!("# TYPE {family} ")),
+            "family {family} (for kv key {key}) not rendered by /metrics"
+        );
+        checked += 1;
+    }
+    assert!(checked > 40, "kv page suspiciously small: {kv_page}");
 }
 
 #[test]

@@ -243,6 +243,63 @@ if ! grep -q "obs_overhead: PASS" <<< "$obs_bench"; then
 fi
 echo "ok: obs overhead under 2% enabled-vs-disabled"
 
+echo "== connection tracing gates =="
+# End-to-end tracing: the integration suite validates the /trace Chrome
+# trace-event export with the in-repo mini-parser, sum-checks the
+# attribution (stage durations cover each connection's wall time within
+# 5%), proves the admission round trip shows up in the span trees, and
+# pins the anomaly sweep to its wall-clock cadence.
+trace_suite=$(cargo test --offline -p qtls-server --test trace 2>&1)
+if ! grep -qE "test result: ok. [1-9][0-9]* passed; 0 failed" <<< "$trace_suite"; then
+  echo "tracing integration suite did not run and pass" >&2
+  exit 1
+fi
+echo "ok: /trace export valid; span trees sum-checked; anomaly cadence on wall clock"
+trace_prop=$(cargo test --offline -p qtls --test proptest_framework -- \
+  span_trees_nest_and_idle_fill_makes_coverage_exact \
+  trace_sampling_is_exact_and_off_costs_nothing 2>&1)
+if ! grep -q "test result: ok. 2 passed" <<< "$trace_prop"; then
+  echo "tracing property tests did not run and pass" >&2
+  exit 1
+fi
+echo "ok: span nesting/coverage and sampling-exactness properties hold"
+reg_audit=$(cargo test --offline -p qtls-server --test profiles -- \
+  every_kv_counter_has_a_registered_prometheus_family \
+  stub_status_kv_is_a_superset_of_the_human_page 2>&1)
+if ! grep -q "test result: ok. 2 passed" <<< "$reg_audit"; then
+  echo "metrics registry audit tests did not run and pass" >&2
+  exit 1
+fi
+echo "ok: every stub_status counter maps to a registered Prometheus family"
+# The tracing plane must stay under its 2% budget at the production
+# 1-in-64 sampling rate; the bench asserts it internally, prints a
+# greppable verdict, and persists the paired A/B numbers.
+trace_bench=$(cargo bench --offline -p qtls-bench --bench framework -- tracing)
+if ! grep -q "trace_overhead: PASS" <<< "$trace_bench"; then
+  echo "tracing bench did not print its PASS verdict" >&2
+  exit 1
+fi
+if [ ! -s results/BENCH_tracing.json ]; then
+  echo "tracing bench did not persist results/BENCH_tracing.json" >&2
+  exit 1
+fi
+echo "ok: tracing overhead under 2% at 1-in-64 + JSON persisted"
+# A loaded run's trace artifact: the loadgen CLI drives a 2-worker
+# cluster and archives the /trace export via --trace-dump.
+trace_dump=results/trace_loadgen.json
+dump_out=$(cargo run --release --offline -p qtls-server --bin loadgen -- \
+  --clients 4 --duration-ms 500 --requests 2 --trace-sample 4 \
+  --trace-dump "$trace_dump")
+if ! grep -q "trace-dump: wrote" <<< "$dump_out"; then
+  echo "loadgen --trace-dump did not write its artifact" >&2
+  exit 1
+fi
+if [ ! -s "$trace_dump" ]; then
+  echo "loadgen --trace-dump left an empty $trace_dump" >&2
+  exit 1
+fi
+echo "ok: loadgen --trace-dump archived a loaded run's span trees"
+
 echo "== loadgen unwrap guard =="
 # The load generator must never panic on a malformed or partial
 # response: no unwrap() in its non-test code (the test module starts at

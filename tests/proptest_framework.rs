@@ -567,3 +567,99 @@ fn ring_concurrent_no_loss() {
     done.store(true, Ordering::Release);
     assert_eq!(consumer.join().unwrap(), 8 * per);
 }
+
+#[test]
+fn span_trees_nest_and_idle_fill_makes_coverage_exact() {
+    // Random begin/end/add sequences against a sampled connection's
+    // span tree: children always sit inside their parent's interval,
+    // direct-child durations never exceed the parent's wall, and after
+    // finish() the root is covered exactly (idle gaps are attributed
+    // explicitly, which is what makes the attribution sum-check honest).
+    use qtls::core::obs::{ConnTrace, SpanKind, SPAN_KIND_LIST};
+    prop::check(
+        "span_trees_nest_and_idle_fill_makes_coverage_exact",
+        96,
+        |g| {
+            let mut now = g.u64_in(1, 1 << 40);
+            let mut trace = ConnTrace::new(g.u64(), g.u32(), now);
+            let mut open: Vec<u32> = Vec::new();
+            for _ in 0..g.usize_in(0, 60) {
+                now += g.u64_in(1, 1_000);
+                match g.usize_in(0, 2) {
+                    0 => {
+                        let kind = SPAN_KIND_LIST[g.usize_in(1, SPAN_KIND_LIST.len() - 1)];
+                        open.push(trace.begin(kind, now));
+                    }
+                    1 => {
+                        // A completed child (the offload-wait shape): starts
+                        // now, ends before the next event.
+                        let start = now;
+                        now += g.u64_in(1, 500);
+                        let kind = SPAN_KIND_LIST[g.usize_in(1, SPAN_KIND_LIST.len() - 1)];
+                        trace.add(kind, start, now, g.u64(), g.u64());
+                    }
+                    _ => {
+                        if let Some(id) = open.pop() {
+                            trace.end(id, now);
+                        }
+                    }
+                }
+            }
+            now += g.u64_in(1, 1_000);
+            trace.finish(now);
+            let spans = trace.spans();
+            assert_eq!(spans[0].kind, SpanKind::Connection, "span 0 is the root");
+            assert!(spans[0].parent.is_none());
+            let mut child_sum = vec![0u64; spans.len()];
+            for (idx, span) in spans.iter().enumerate().skip(1) {
+                let p = span.parent.expect("non-root spans have a parent") as usize;
+                assert!(p < idx, "parents precede children");
+                assert!(span.end_ns >= span.start_ns, "span closed backwards");
+                assert!(
+                    span.start_ns >= spans[p].start_ns && span.end_ns <= spans[p].end_ns,
+                    "child [{}, {}] escapes parent [{}, {}]",
+                    span.start_ns,
+                    span.end_ns,
+                    spans[p].start_ns,
+                    spans[p].end_ns
+                );
+                child_sum[p] += span.dur_ns();
+            }
+            for (idx, span) in spans.iter().enumerate() {
+                assert!(
+                    child_sum[idx] <= span.dur_ns(),
+                    "children of span {idx} outlast it"
+                );
+            }
+            // Gap-filling: the root's direct children tile it exactly.
+            assert_eq!(child_sum[0], spans[0].dur_ns());
+            assert_eq!(trace.covered_ns(), trace.wall_ns());
+        },
+    );
+}
+
+#[test]
+fn trace_sampling_is_exact_and_off_costs_nothing() {
+    // 1-in-N sampling hits exactly ceil(n/N) of n decisions, and a
+    // disabled sink (rate 0) stays byte-for-byte untouched no matter
+    // how many connections pass it — the zero-cost-when-off contract.
+    use qtls::core::obs::TraceSink;
+    prop::check("trace_sampling_is_exact_and_off_costs_nothing", 64, |g| {
+        let n = g.usize_in(0, 500) as u64;
+        let off = TraceSink::new(0, 4096);
+        assert!(!off.enabled());
+        for _ in 0..n {
+            assert!(off.sample().is_none());
+        }
+        assert_eq!(off.sampled(), 0);
+        assert_eq!(off.spans_published(), 0);
+        assert_eq!(off.wall_ns_total(), 0);
+        assert!(off.traces().is_empty(), "no span storage at rate 0");
+
+        let rate = g.u64_in(1, 64);
+        let sink = TraceSink::new(rate, 4096);
+        let hits = (0..n).filter(|_| sink.sample().is_some()).count() as u64;
+        assert_eq!(hits, n.div_ceil(rate), "1-in-{rate} over {n} decisions");
+        assert_eq!(sink.sampled(), hits);
+    });
+}
